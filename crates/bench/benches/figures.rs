@@ -1,0 +1,84 @@
+//! Figure-regeneration benches: one Criterion benchmark per paper
+//! artifact (Figs. 4-10), each running a scaled-down instance of the
+//! exact experiment pipeline the corresponding `fig*` binary runs at
+//! full scale. `cargo bench` therefore exercises every experiment
+//! end-to-end; the binaries produce the full 512-rank numbers for
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use e10_bench::{run_point, Case, Scale};
+
+fn tiny_collperf() -> e10_workloads::CollPerf {
+    e10_workloads::CollPerf {
+        grid: [2, 2, 2],
+        side: 2,
+        chunk: 8 << 10,
+    }
+}
+
+fn tiny_flash() -> e10_workloads::FlashIo {
+    e10_workloads::FlashIo {
+        nprocs: 8,
+        blocks_per_proc: 2,
+        zones: 4,
+        nvars: 4,
+        file: e10_workloads::FlashFile::Checkpoint,
+    }
+}
+
+fn tiny_ior() -> e10_workloads::Ior {
+    e10_workloads::Ior {
+        nprocs: 8,
+        block_size: 64 << 10,
+        transfer_size: 64 << 10,
+        segments: 2,
+    }
+}
+
+/// Scaled-down sweep point matching one figure's pipeline.
+fn point(c: &mut Criterion, name: &str, case: Case, which: u8, include_last: bool) {
+    c.bench_function(name, move |b| {
+        b.iter(|| {
+            let p = match which {
+                0 => run_point(Scale::Quick, tiny_collperf, case, 2, 64 << 10, include_last),
+                1 => run_point(Scale::Quick, tiny_flash, case, 2, 64 << 10, include_last),
+                _ => run_point(Scale::Quick, tiny_ior, case, 2, 64 << 10, include_last),
+            };
+            black_box(p.outcome.bandwidth)
+        })
+    });
+}
+
+fn fig4(c: &mut Criterion) {
+    point(c, "fig4/collperf_bw_disabled", Case::Disabled, 0, false);
+    point(c, "fig4/collperf_bw_enabled", Case::Enabled, 0, false);
+    point(c, "fig4/collperf_bw_theoretical", Case::Theoretical, 0, false);
+}
+
+fn fig5_6(c: &mut Criterion) {
+    // The breakdown figures reuse the same runs; benching the enabled
+    // and disabled pipelines covers both.
+    point(c, "fig5/collperf_breakdown_cache", Case::Enabled, 0, false);
+    point(c, "fig6/collperf_breakdown_nocache", Case::Disabled, 0, false);
+}
+
+fn fig7_8(c: &mut Criterion) {
+    point(c, "fig7/flashio_bw_enabled", Case::Enabled, 1, false);
+    point(c, "fig7/flashio_bw_disabled", Case::Disabled, 1, false);
+    point(c, "fig8/flashio_breakdown_cache", Case::Enabled, 1, false);
+}
+
+fn fig9_10(c: &mut Criterion) {
+    point(c, "fig9/ior_bw_enabled_lastsync", Case::Enabled, 2, true);
+    point(c, "fig9/ior_bw_disabled_lastsync", Case::Disabled, 2, true);
+    point(c, "fig10/ior_breakdown_cache", Case::Enabled, 2, true);
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig4, fig5_6, fig7_8, fig9_10
+);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Micro-benchmarks of the simulator's hot paths: DES event
+//! throughput, extent-map updates, datatype flattening and window
+//! queries, file-domain math and the fair-share allocator — the pieces
+//! a 512-rank two-phase run stresses millions of times.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use e10_mpisim::{FileView, FlatType};
+use e10_romio::{FdStrategy, FileDomains};
+use e10_simcore::resource::water_fill;
+use e10_simcore::{run, sleep, spawn, SimDuration};
+use e10_storesim::{ExtentMap, Source};
+
+fn bench_des_events(c: &mut Criterion) {
+    c.bench_function("simcore/100k_timer_events", |b| {
+        b.iter(|| {
+            run(async {
+                for _ in 0..100_000u32 {
+                    sleep(SimDuration::from_nanos(10)).await;
+                }
+            })
+        })
+    });
+    c.bench_function("simcore/10k_task_spawn_join", |b| {
+        b.iter(|| {
+            run(async {
+                let hs: Vec<_> = (0..10_000u64)
+                    .map(|i| {
+                        spawn(async move {
+                            sleep(SimDuration::from_nanos(i % 97)).await;
+                            i
+                        })
+                    })
+                    .collect();
+                let mut acc = 0u64;
+                for h in hs {
+                    acc = acc.wrapping_add(h.await);
+                }
+                black_box(acc)
+            })
+        })
+    });
+}
+
+fn bench_extent_map(c: &mut Criterion) {
+    c.bench_function("extent_map/10k_sequential_merging_inserts", |b| {
+        b.iter(|| {
+            let mut m = ExtentMap::new();
+            for i in 0..10_000u64 {
+                m.insert(i * 64, 64, Source::gen_at(1, i * 64));
+            }
+            black_box(m.extent_count())
+        })
+    });
+    c.bench_function("extent_map/10k_strided_inserts", |b| {
+        b.iter(|| {
+            let mut m = ExtentMap::new();
+            for i in 0..10_000u64 {
+                m.insert(i * 128, 64, Source::gen_at(1, i * 128));
+            }
+            black_box(m.extent_count())
+        })
+    });
+    c.bench_function("extent_map/lookup_after_10k", |b| {
+        let mut m = ExtentMap::new();
+        for i in 0..10_000u64 {
+            m.insert(i * 128, 64, Source::gen_at(1, i * 128));
+        }
+        b.iter(|| black_box(m.lookup(300_000, 100_000).len()))
+    });
+}
+
+fn bench_datatypes(c: &mut Criterion) {
+    c.bench_function("datatype/subarray_flatten_64x64", |b| {
+        b.iter(|| {
+            let f = FlatType::subarray(
+                black_box(&[256, 256, 256]),
+                &[64, 64, 64],
+                &[64, 128, 0],
+                8,
+            );
+            black_box(f.runs().len())
+        })
+    });
+    let f = FlatType::vector(65_536, 1024, 4096);
+    let view = FileView::new(&f, 0);
+    c.bench_function("datatype/window_query_65k_runs", |b| {
+        b.iter(|| {
+            black_box(
+                view.pieces_in_window(black_box(120_000_000), black_box(124_000_000))
+                    .len(),
+            )
+        })
+    });
+}
+
+fn bench_fd_and_sharing(c: &mut Criterion) {
+    c.bench_function("fd/partition_512_aggs_aligned", |b| {
+        b.iter(|| {
+            let fds = FileDomains::compute(
+                black_box(0),
+                black_box(32 << 30),
+                512,
+                FdStrategy::StripeAligned,
+                4 << 20,
+            );
+            black_box(fds.max_size())
+        })
+    });
+    let caps: Vec<Option<f64>> = (0..64)
+        .map(|i| if i % 3 == 0 { Some(1e6 + i as f64) } else { None })
+        .collect();
+    c.bench_function("resource/water_fill_64_jobs", |b| {
+        b.iter_batched(
+            || caps.clone(),
+            |caps| black_box(water_fill(1e9, &caps)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    use e10_mpisim::{launch, CollBackend, WorldSpec};
+    for (name, backend) in [
+        ("algorithmic", CollBackend::Algorithmic),
+        ("analytic", CollBackend::Analytic),
+    ] {
+        c.bench_function(&format!("mpi/alltoall_32_ranks_{name}"), |b| {
+            b.iter(|| {
+                run(async move {
+                    let mut spec = WorldSpec::for_tests(32, 8);
+                    spec.backend = backend;
+                    launch(spec, |comm| async move {
+                        let v: Vec<u64> = (0..comm.size() as u64).collect();
+                        for _ in 0..4 {
+                            black_box(comm.alltoall(v.clone(), 8).await);
+                        }
+                    })
+                    .await
+                })
+            })
+        });
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_des_events,
+              bench_extent_map,
+              bench_datatypes,
+              bench_fd_and_sharing,
+              bench_collectives
+);
+criterion_main!(benches);

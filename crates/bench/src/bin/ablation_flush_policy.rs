@@ -1,0 +1,47 @@
+//! Ablation: `e10_cache_flush_flag` — immediate vs on-close
+//! synchronisation.
+//!
+//! `flush_immediate` starts streaming while the collective write is
+//! still running, overlapping sync with both the remaining write AND
+//! the compute phase; `flush_onclose` queues everything until close,
+//! so the sync can only hide behind compute. With short compute phases
+//! the difference is stark.
+
+use std::rc::Rc;
+
+use e10_workloads::Workload;
+use e10_bench::{hints_for, Case, Scale};
+use e10_romio::TestbedSpec;
+use e10_simcore::SimDuration;
+use e10_workloads::{run_workload, RunConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let aggs = *scale.aggregators().last().unwrap();
+    let cb = scale.cb_sizes()[0];
+    println!("Flush-policy ablation, coll_perf, {} aggregators", aggs);
+    println!(
+        "{:>14} {:>18} {:>18}",
+        "compute [s]", "immediate [GB/s]", "onclose [GB/s]"
+    );
+    for compute in [2u64, 10, 30] {
+        let mut row = Vec::new();
+        for flag in ["flush_immediate", "flush_onclose"] {
+            let bw = e10_simcore::run(async move {
+                let w = Rc::new(scale.collperf());
+                let mut spec = TestbedSpec::deep_er();
+                spec.procs = w.procs();
+                spec.nodes = scale.nodes();
+                let tb = spec.build();
+                let hints = hints_for(Case::Enabled, aggs, cb);
+                hints.set("e10_cache_flush_flag", flag);
+                let mut cfg = RunConfig::paper(hints, "/gfs/abl_flush");
+                cfg.files = 2;
+                cfg.compute_delay = SimDuration::from_secs(compute);
+                run_workload(&tb, w, &cfg).await.gb_s()
+            });
+            row.push(bw);
+        }
+        println!("{:>14} {:>18.2} {:>18.2}", compute, row[0], row[1]);
+    }
+}

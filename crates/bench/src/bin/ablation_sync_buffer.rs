@@ -1,0 +1,51 @@
+//! Ablation: `ind_wr_buffer_size` — the cache synchronisation buffer.
+//!
+//! The paper fixes it at 512 KB "for simplicity"; this sweep shows why
+//! the choice matters: the sync thread's per-chunk round trip bounds a
+//! single stream, so small buffers throttle the background flush and
+//! push the 8-aggregator configurations into exposed-sync territory.
+
+use std::rc::Rc;
+
+use e10_workloads::Workload;
+use e10_bench::{hints_for, Case, Scale};
+use e10_romio::TestbedSpec;
+use e10_workloads::{run_workload, RunConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let aggs = scale.aggregators()[0]; // the stressed low-aggregator case
+    let cb = scale.cb_sizes()[0];
+    println!(
+        "Sync-buffer ablation, coll_perf, cache enabled, {} aggregators",
+        aggs
+    );
+    println!(
+        "{:>16} {:>12} {:>18} {:>12}",
+        "ind_wr_buffer", "BW [GB/s]", "exposed sync [s]", "T_c [s]"
+    );
+    for shift in [17u32, 19, 21, 23] {
+        let buf = 1u64 << shift; // 128K .. 8M
+        let (bw, exposed, t_c) = e10_simcore::run(async move {
+            let w = Rc::new(scale.collperf());
+            let mut spec = TestbedSpec::deep_er();
+            spec.procs = w.procs();
+            spec.nodes = scale.nodes();
+            let tb = spec.build();
+            let hints = hints_for(Case::Enabled, aggs, cb);
+            hints.set("ind_wr_buffer_size", &buf.to_string());
+            let mut cfg = RunConfig::paper(hints, "/gfs/abl_sync");
+            cfg.files = 2;
+            cfg.compute_delay = scale.compute_delay();
+            let out = run_workload(&tb, w, &cfg).await;
+            (out.gb_s(), out.phases[0].not_hidden, out.phases[0].t_c)
+        });
+        println!(
+            "{:>13}KiB {:>12.2} {:>18.2} {:>12.2}",
+            buf >> 10,
+            bw,
+            exposed,
+            t_c
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Baseline comparison (paper §V related work, all implemented here):
+//!
+//! * **plain** — standard collective writes to the global file system,
+//! * **parcoll** — ParColl-style partitioned collective I/O
+//!   (Yu & Vetter): smaller synchronisation groups, no extra tier,
+//! * **multifile** — ADIOS-style output, one file per group,
+//! * **ram_staging** — Active-Buffering-style staging (Ma et al. ABT /
+//!   Lee et al. RFS): the E10 machinery with a small memory-speed
+//!   staging area (2 GiB/node of "free RAM"),
+//! * **e10_cache** — the paper's NVM cache (30 GB `/scratch` SSD).
+//!
+//! All variants run the same IOR-shaped workload and are scored with
+//! the paper's Eq. 2 (perceived bandwidth, last-phase sync charged).
+//! parcoll/multifile write group-contiguous segments — their intended
+//! pattern.
+
+use std::rc::Rc;
+
+use e10_bench::{hints_for, paper_base_hints, Case, Scale};
+use e10_mpisim::{FileView, FlatType, Info};
+use e10_romio::{
+    group_of, write_at_all_multifile, write_at_all_partitioned, AdioFile, DataSpec, IoCtx,
+    TestbedSpec,
+};
+use e10_simcore::{join_all, now, spawn};
+use e10_workloads::{run_workload, RunConfig, Workload};
+
+fn block_bytes(scale: Scale) -> u64 {
+    scale.ior().block_size * scale.ior().segments
+}
+
+/// Driver-based variants (plain and both staging flavours).
+fn run_driver_variant(scale: Scale, variant: &'static str, aggs: usize) -> f64 {
+    e10_simcore::run(async move {
+        let w = Rc::new(scale.ior());
+        let mut spec = TestbedSpec::deep_er();
+        spec.procs = w.procs();
+        spec.nodes = scale.nodes();
+        if variant == "ram_staging" {
+            spec.ram_scratch = Some(2 << 30);
+        }
+        let tb = spec.build();
+        let case = if variant == "plain" {
+            Case::Disabled
+        } else {
+            Case::Enabled
+        };
+        let mut cfg = RunConfig::paper(hints_for(case, aggs, 16 << 20), "/gfs/bcd");
+        cfg.files = 2;
+        cfg.compute_delay = scale.compute_delay();
+        cfg.include_last_sync = true;
+        run_workload(&tb, w, &cfg).await.gb_s()
+    })
+}
+
+/// Hand-driven variants (group-based algorithms the driver doesn't
+/// know): score = total bytes / Σ per-phase collective-write time.
+fn run_grouped_variant(scale: Scale, variant: &'static str, aggs: usize) -> f64 {
+    e10_simcore::run(async move {
+        let procs = scale.procs();
+        let block = block_bytes(scale);
+        let mut spec = TestbedSpec::deep_er();
+        spec.procs = procs;
+        spec.nodes = scale.nodes();
+        let tb = spec.build();
+        let hints: Info = paper_base_hints();
+        hints.set("cb_nodes", &aggs.to_string());
+        hints.set("cb_buffer_size", &(16u64 << 20).to_string());
+        let files = 2usize;
+        let ngroups = (aggs / 2).clamp(1, procs);
+        let pfs = Rc::clone(&tb.pfs);
+        let localfs = Rc::clone(&tb.localfs);
+
+        let handles: Vec<_> = tb
+            .world
+            .comms
+            .iter()
+            .map(|comm| {
+                let ctx = IoCtx {
+                    comm: comm.clone(),
+                    pfs: Rc::clone(&pfs),
+                    localfs: Rc::clone(&localfs),
+                };
+                let hints = hints.clone();
+                spawn(async move {
+                    let rank = ctx.comm.rank();
+                    let view =
+                        FileView::new(&FlatType::contiguous(block), rank as u64 * block);
+                    let mut t_io = 0.0;
+                    for k in 0..files {
+                        ctx.comm.barrier().await;
+                        let t0 = now();
+                        let data = DataSpec::FileGen { seed: 900 + k as u64 };
+                        match variant {
+                            "multifile" => {
+                                write_at_all_multifile(
+                                    &ctx,
+                                    &format!("/gfs/bc_mf.{k}"),
+                                    &hints,
+                                    &view,
+                                    &data,
+                                    ngroups,
+                                )
+                                .await
+                                .unwrap();
+                            }
+                            _ => {
+                                let f = AdioFile::open(
+                                    &ctx,
+                                    &format!("/gfs/bc_pc.{k}"),
+                                    &hints,
+                                    true,
+                                )
+                                .await
+                                .unwrap();
+                                write_at_all_partitioned(&f, &view, &data, ngroups).await;
+                                f.close().await;
+                            }
+                        }
+                        t_io += now().since(t0).as_secs_f64();
+                    }
+                    let _ = group_of(rank, ctx.comm.size(), ngroups);
+                    t_io
+                })
+            })
+            .collect();
+        let times = join_all(handles).await;
+        let t = times[0];
+        (files as u64 * procs as u64 * block) as f64 / t / 1e9
+    })
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Baseline comparison (IOR-shaped workload, Eq. 2 GB/s):");
+    println!(
+        "{:<8} {:>10} {:>10} {:>11} {:>13} {:>11}",
+        "aggs", "plain", "parcoll", "multifile", "ram_staging", "e10_cache"
+    );
+    for aggs in scale.aggregators() {
+        let plain = run_driver_variant(scale, "plain", aggs);
+        let parcoll = run_grouped_variant(scale, "parcoll", aggs);
+        let multifile = run_grouped_variant(scale, "multifile", aggs);
+        let ram = run_driver_variant(scale, "ram_staging", aggs);
+        let e10 = run_driver_variant(scale, "e10_cache", aggs);
+        println!(
+            "{:<8} {:>10.2} {:>10.2} {:>11.2} {:>13.2} {:>11.2}",
+            aggs, plain, parcoll, multifile, ram, e10
+        );
+    }
+    println!(
+        "\nram_staging (ABT/RFS) tracks the NVM cache while per-node\n\
+         bursts fit in the 2 GiB of free memory and degrades toward the\n\
+         plain path when they do not; parcoll and multifile shrink the\n\
+         synchronisation span without changing the storage ceiling."
+    );
+}

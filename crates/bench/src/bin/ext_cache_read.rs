@@ -1,0 +1,92 @@
+//! Extension experiment (paper §VI future work): collective reads
+//! served from the aggregator caches (`e10_cache_read = enable`).
+//!
+//! A coll_perf-shaped checkpoint is written through the E10 cache and
+//! synchronised; a matching collective read then runs either against
+//! the global file system (standard) or against the node-local caches
+//! (extension). The cache-served read scales with the aggregator count
+//! instead of the storage servers' ceiling — the read-side mirror of
+//! the paper's write result.
+
+use std::rc::Rc;
+
+use e10_bench::Scale;
+use e10_mpisim::Info;
+use e10_romio::{read_at_all, write_at_all, AdioFile, DataSpec, TestbedSpec};
+use e10_simcore::{join_all, now, spawn};
+use e10_workloads::Workload;
+
+fn run_variant(scale: Scale, aggs: usize, cache_read: bool) -> f64 {
+    e10_simcore::run(async move {
+        let w = Rc::new(scale.collperf());
+        let mut spec = TestbedSpec::deep_er();
+        spec.procs = w.procs();
+        spec.nodes = scale.nodes();
+        let tb = spec.build();
+        let total = w.file_size();
+        let handles: Vec<_> = tb
+            .ctxs()
+            .into_iter()
+            .map(|ctx| {
+                let w = Rc::clone(&w);
+                spawn(async move {
+                    let info = Info::from_pairs([
+                        ("romio_cb_write", "enable"),
+                        ("romio_cb_read", "enable"),
+                        ("striping_unit", "4194304"),
+                        ("striping_factor", "4"),
+                        ("cb_buffer_size", "16777216"),
+                        ("e10_cache", "enable"),
+                        ("ind_wr_buffer_size", "512K"),
+                    ]);
+                    info.set("cb_nodes", &aggs.to_string());
+                    if cache_read {
+                        info.set("e10_cache_read", "enable");
+                    }
+                    let f = AdioFile::open(&ctx, "/gfs/extread", &info, true)
+                        .await
+                        .unwrap();
+                    let views = w.writes(ctx.comm.rank());
+                    for v in &views {
+                        write_at_all(&f, v, &DataSpec::FileGen { seed: 71 }).await;
+                    }
+                    // Make the global copy consistent, keep the cache.
+                    f.file_sync().await;
+                    ctx.comm.barrier().await;
+                    let t0 = now();
+                    let mut hits = 0;
+                    for v in &views {
+                        let r = read_at_all(&f, v).await;
+                        hits += r.cache_hits;
+                    }
+                    let dt = now().since(t0).as_secs_f64();
+                    f.close().await;
+                    (dt, hits)
+                })
+            })
+            .collect();
+        let outs = join_all(handles).await;
+        let dt = outs[0].0;
+        let hits: u64 = outs.iter().map(|(_, h)| h).sum();
+        if cache_read {
+            assert!(hits > 0, "extension run must hit the caches");
+        } else {
+            assert_eq!(hits, 0);
+        }
+        total as f64 / dt / 1e9
+    })
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Cache-read extension: collective re-read of a cached checkpoint");
+    println!(
+        "{:<8} {:>22} {:>24}",
+        "aggs", "global read [GB/s]", "cache-served read [GB/s]"
+    );
+    for aggs in scale.aggregators() {
+        let global = run_variant(scale, aggs, false);
+        let cached = run_variant(scale, aggs, true);
+        println!("{:<8} {:>22.2} {:>24.2}", aggs, global, cached);
+    }
+}

@@ -1,0 +1,16 @@
+//! Figure 4: coll_perf perceived write bandwidth for all
+//! `<aggregators>_<coll_bufsize>` combinations, three cases.
+use e10_bench::{print_bandwidth_figure, run_sweep, Case, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut points = Vec::new();
+    for case in Case::ALL {
+        eprintln!("case {} ...", case.label());
+        points.extend(run_sweep(scale, move || scale.collperf(), case, false));
+    }
+    print_bandwidth_figure(
+        "Fig. 4 — coll_perf perceived bandwidth (aggregators_collbuf)",
+        &points,
+    );
+}

@@ -1,0 +1,15 @@
+//! Figure 7: Flash-IO perceived write bandwidth for all combinations.
+use e10_bench::{print_bandwidth_figure, run_sweep, Case, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut points = Vec::new();
+    for case in Case::ALL {
+        eprintln!("case {} ...", case.label());
+        points.extend(run_sweep(scale, move || scale.flashio(), case, false));
+    }
+    print_bandwidth_figure(
+        "Fig. 7 — Flash-IO perceived bandwidth (aggregators_collbuf)",
+        &points,
+    );
+}

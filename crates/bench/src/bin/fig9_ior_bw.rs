@@ -1,0 +1,17 @@
+//! Figure 9: IOR perceived write bandwidth. Unlike coll_perf and
+//! Flash-IO, IOR charges the non-hidden synchronisation of the LAST
+//! write phase (paper §IV-D), which caps the cache-enabled peak.
+use e10_bench::{print_bandwidth_figure, run_sweep, Case, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut points = Vec::new();
+    for case in Case::ALL {
+        eprintln!("case {} ...", case.label());
+        points.extend(run_sweep(scale, move || scale.ior(), case, true));
+    }
+    print_bandwidth_figure(
+        "Fig. 9 — IOR perceived bandwidth, incl. last-phase sync",
+        &points,
+    );
+}

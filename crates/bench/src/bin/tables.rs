@@ -1,0 +1,66 @@
+//! Tables I and II: the ROMIO collective-I/O hints and the proposed
+//! E10 MPI-IO hint extensions, as resolved by this implementation.
+use e10_mpisim::Info;
+use e10_romio::RomioHints;
+
+fn main() {
+    println!("TABLE I: Collective I/O hints in ROMIO");
+    println!("{:<24} Description", "Hint");
+    for (hint, desc) in [
+        ("romio_cb_write", "enable or disable collective writes"),
+        ("romio_cb_read", "enable or disable collective reads"),
+        ("cb_buffer_size", "set the collective buffer size [bytes]"),
+        ("cb_nodes", "set the number of aggregator processes"),
+    ] {
+        println!("{hint:<24} {desc}");
+    }
+
+    println!("\nTABLE II: Proposed MPI-IO hints extensions");
+    println!("{:<24} Value", "Hint");
+    for (hint, vals) in [
+        ("e10_cache", "enable, disable, coherent"),
+        ("e10_cache_path", "cache directory pathname"),
+        ("e10_cache_flush_flag", "flush_immediate, flush_onclose"),
+        ("e10_cache_discard_flag", "enable, disable"),
+        ("ind_wr_buffer_size", "synchronisation buffer size [bytes]"),
+    ] {
+        println!("{hint:<24} {vals}");
+    }
+
+    println!("\nImplementation extensions beyond the paper's tables:");
+    for (hint, vals) in [
+        ("e10_cache_read", "enable, disable (§VI future work: cache reads)"),
+        ("e10_cache_evict", "enable, disable (§III: streaming space management)"),
+        ("e10_sync_policy", "greedy, backoff (§III: congestion-aware sync)"),
+        ("e10_fd_partition", "even, aligned (footnote 1: BeeGFS driver alignment)"),
+        ("cb_config_list", "\"*:N\" (aggregators per node)"),
+        ("romio_no_indep_rw", "true, false (deferred open)"),
+        ("romio_ds_write", "enable, disable, automatic (data sieving)"),
+    ] {
+        println!("{hint:<24} {vals}");
+    }
+
+    println!("\nResolved defaults (MPI_File_get_info on an empty Info):");
+    let h = RomioHints::parse(&Info::new()).expect("defaults must parse");
+    for (k, v) in h.to_pairs() {
+        println!("  {k:<24} = {v}");
+    }
+
+    println!("\nPaper configuration resolved:");
+    let info = Info::from_pairs([
+        ("romio_cb_write", "enable"),
+        ("cb_nodes", "64"),
+        ("cb_buffer_size", "4M"),
+        ("striping_unit", "4M"),
+        ("striping_factor", "4"),
+        ("ind_wr_buffer_size", "512K"),
+        ("e10_cache", "enable"),
+        ("e10_cache_path", "/scratch"),
+        ("e10_cache_flush_flag", "flush_immediate"),
+        ("e10_cache_discard_flag", "enable"),
+    ]);
+    let h = RomioHints::parse(&info).expect("paper hints must parse");
+    for (k, v) in h.to_pairs() {
+        println!("  {k:<24} = {v}");
+    }
+}

@@ -1,0 +1,403 @@
+//! # e10-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! paper's evaluation (§IV). Each `fig*` binary reruns the paper's
+//! parameter sweep — `cb_nodes ∈ {8,16,32,64}` × `cb_buffer_size ∈
+//! {4,16,64} MB`, three cases (cache disabled / enabled / theoretical)
+//! — on the simulated DEEP-ER testbed and prints the series the paper
+//! plots.
+//!
+//! Set `E10_SCALE=quick` to run a reduced sweep (64 ranks, smaller
+//! files) for smoke testing; the default regenerates the full
+//! 512-rank, 32 GB-per-file experiments.
+
+use std::rc::Rc;
+
+use e10_mpisim::Info;
+use e10_romio::TestbedSpec;
+use e10_simcore::SimDuration;
+use e10_workloads::{run_workload, CollPerf, FlashIo, Ior, RunConfig, RunOutcome, Workload};
+
+/// The three measurement cases of Fig. 4/7/9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Case {
+    /// "BW Cache Disabled": collective writes straight to the global
+    /// file system.
+    Disabled,
+    /// "BW Cache Enabled": writes to the node-local cache,
+    /// asynchronously flushed (`flush_immediate`).
+    Enabled,
+    /// "TBW Cache Enabled": writes to the cache, never flushed — the
+    /// theoretical upper bound when synchronisation is fully hidden.
+    Theoretical,
+}
+
+impl Case {
+    /// All cases, in the paper's legend order.
+    pub const ALL: [Case; 3] = [Case::Disabled, Case::Enabled, Case::Theoretical];
+
+    /// Legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Case::Disabled => "BW Cache Disabled",
+            Case::Enabled => "BW Cache Enabled",
+            Case::Theoretical => "TBW Cache Enabled",
+        }
+    }
+
+    /// Whether the run's global files can be verified (the theoretical
+    /// case never syncs, so there is nothing to verify).
+    pub fn verifiable(&self) -> bool {
+        !matches!(self, Case::Theoretical)
+    }
+}
+
+/// Experiment scale (full paper sweep or a quick smoke version).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 512 ranks, 64 nodes, 32 GB files, the paper's sweep.
+    Full,
+    /// 64 ranks, 8 nodes, small files — minutes instead of tens of
+    /// minutes; shapes still hold.
+    Quick,
+}
+
+impl Scale {
+    /// Read `E10_SCALE` (default full).
+    pub fn from_env() -> Scale {
+        match std::env::var("E10_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Full,
+        }
+    }
+
+    /// Ranks at this scale.
+    pub fn procs(&self) -> usize {
+        match self {
+            Scale::Full => 512,
+            Scale::Quick => 64,
+        }
+    }
+
+    /// Compute nodes at this scale.
+    pub fn nodes(&self) -> usize {
+        match self {
+            Scale::Full => 64,
+            Scale::Quick => 8,
+        }
+    }
+
+    /// Aggregator counts to sweep.
+    pub fn aggregators(&self) -> Vec<usize> {
+        match self {
+            Scale::Full => vec![8, 16, 32, 64],
+            Scale::Quick => vec![2, 4, 8],
+        }
+    }
+
+    /// Collective buffer sizes (bytes) to sweep.
+    pub fn cb_sizes(&self) -> Vec<u64> {
+        match self {
+            Scale::Full => vec![4 << 20, 16 << 20, 64 << 20],
+            Scale::Quick => vec![1 << 20, 4 << 20],
+        }
+    }
+
+    /// Files per run (the paper writes 4).
+    pub fn files(&self) -> usize {
+        4
+    }
+
+    /// Compute delay between phases.
+    pub fn compute_delay(&self) -> SimDuration {
+        match self {
+            Scale::Full => SimDuration::from_secs(30),
+            Scale::Quick => SimDuration::from_secs(4),
+        }
+    }
+
+    /// The coll_perf workload at this scale.
+    pub fn collperf(&self) -> CollPerf {
+        match self {
+            Scale::Full => CollPerf::paper_512(),
+            Scale::Quick => CollPerf {
+                grid: [4, 4, 4],
+                side: 4,
+                chunk: 64 << 10, // 4 MB per rank, 256 MB files
+            },
+        }
+    }
+
+    /// The Flash-IO checkpoint workload at this scale.
+    pub fn flashio(&self) -> FlashIo {
+        match self {
+            Scale::Full => FlashIo::paper_checkpoint_512(),
+            Scale::Quick => FlashIo {
+                nprocs: 64,
+                blocks_per_proc: 8,
+                zones: 8,
+                nvars: 6,
+                file: e10_workloads::FlashFile::Checkpoint,
+            },
+        }
+    }
+
+    /// The IOR workload at this scale.
+    pub fn ior(&self) -> Ior {
+        match self {
+            Scale::Full => Ior::paper_512(),
+            Scale::Quick => Ior {
+                nprocs: 64,
+                block_size: 1 << 20,
+                transfer_size: 1 << 20,
+                segments: 4,
+            },
+        }
+    }
+}
+
+/// The paper's fixed hints: stripe size 4 MB, stripe count 4,
+/// `ind_wr_buffer_size` 512 KB, collective writes forced.
+pub fn paper_base_hints() -> Info {
+    Info::from_pairs([
+        ("romio_cb_write", "enable"),
+        ("striping_unit", "4194304"),
+        ("striping_factor", "4"),
+        ("ind_wr_buffer_size", "512K"),
+    ])
+}
+
+/// Hints for one `<aggregators>_<coll_bufsize>` combination and case.
+pub fn hints_for(case: Case, aggregators: usize, cb_size: u64) -> Info {
+    let info = paper_base_hints();
+    info.set("cb_nodes", &aggregators.to_string());
+    info.set("cb_buffer_size", &cb_size.to_string());
+    match case {
+        Case::Disabled => {}
+        Case::Enabled => {
+            info.set("e10_cache", "enable");
+            info.set("e10_cache_flush_flag", "flush_immediate");
+            info.set("e10_cache_discard_flag", "enable");
+        }
+        Case::Theoretical => {
+            info.set("e10_cache", "enable");
+            info.set("e10_cache_flush_flag", "flush_none");
+            info.set("e10_cache_discard_flag", "enable");
+        }
+    }
+    info
+}
+
+/// The label the paper uses on its x axes.
+pub fn combo_label(aggregators: usize, cb_size: u64) -> String {
+    format!("{aggregators}_{}M", cb_size >> 20)
+}
+
+/// One measured configuration.
+pub struct SweepPoint {
+    /// `<aggregators>_<coll_bufsize>` label.
+    pub combo: String,
+    /// Aggregator count.
+    pub aggregators: usize,
+    /// Collective buffer size, bytes.
+    pub cb_size: u64,
+    /// Which case.
+    pub case: Case,
+    /// The full run outcome.
+    pub outcome: RunOutcome,
+}
+
+/// Run one configuration of `workload` in a fresh simulated cluster.
+pub fn run_point<W, F>(
+    scale: Scale,
+    make_workload: F,
+    case: Case,
+    aggregators: usize,
+    cb_size: u64,
+    include_last_sync: bool,
+) -> SweepPoint
+where
+    W: Workload + 'static,
+    F: FnOnce() -> W + 'static,
+{
+    let outcome = e10_simcore::run(async move {
+        let workload = Rc::new(make_workload());
+        let mut spec = TestbedSpec::deep_er();
+        spec.procs = workload.procs();
+        spec.nodes = scale.nodes();
+        let tb = spec.build();
+        let mut cfg = RunConfig::paper(
+            hints_for(case, aggregators, cb_size),
+            &format!("/gfs/{}", workload.name()),
+        );
+        cfg.files = scale.files();
+        cfg.compute_delay = scale.compute_delay();
+        cfg.include_last_sync = include_last_sync;
+        cfg.verify = case.verifiable();
+        run_workload(&tb, workload, &cfg).await
+    });
+    SweepPoint {
+        combo: combo_label(aggregators, cb_size),
+        aggregators,
+        cb_size,
+        case,
+        outcome,
+    }
+}
+
+/// Run the full `<aggregators>_<coll_bufsize>` sweep for one case.
+pub fn run_sweep<W, F>(
+    scale: Scale,
+    make_workload: F,
+    case: Case,
+    include_last_sync: bool,
+) -> Vec<SweepPoint>
+where
+    W: Workload + 'static,
+    F: Fn() -> W + Copy + 'static,
+{
+    let mut out = Vec::new();
+    for aggs in scale.aggregators() {
+        for cb in scale.cb_sizes() {
+            eprintln!("  running {} {} ...", combo_label(aggs, cb), case.label());
+            out.push(run_point(
+                scale,
+                make_workload,
+                case,
+                aggs,
+                cb,
+                include_last_sync,
+            ));
+        }
+    }
+    out
+}
+
+/// Print a Fig. 4/7/9-style bandwidth table: one row per combo, one
+/// column per case.
+pub fn print_bandwidth_figure(title: &str, points: &[SweepPoint]) {
+    println!("\n{title}");
+    println!("{}", "=".repeat(title.len()));
+    print!("{:<10}", "combo");
+    for case in Case::ALL {
+        print!(" {:>20}", case.label());
+    }
+    println!("   [GB/s, Eq. 2]");
+    let mut combos: Vec<String> = Vec::new();
+    for p in points {
+        if !combos.contains(&p.combo) {
+            combos.push(p.combo.clone());
+        }
+    }
+    for combo in combos {
+        print!("{combo:<10}");
+        for case in Case::ALL {
+            let gb = points
+                .iter()
+                .find(|p| p.combo == combo && p.case == case)
+                .map(|p| p.outcome.gb_s());
+            match gb {
+                Some(v) => print!(" {v:>19.2}"),
+                None => print!(" {:>20}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Print a Fig. 5/6/8/10-style breakdown: per combo, the aggregator-
+/// rank mean seconds in every collective-write phase.
+pub fn print_breakdown_figure(title: &str, points: &[SweepPoint]) {
+    use e10_romio::Phase;
+    println!("\n{title}");
+    println!("{}", "=".repeat(title.len()));
+    let phases = [
+        Phase::ShuffleAlltoall,
+        Phase::ShuffleWaitall,
+        Phase::CollBufAssembly,
+        Phase::Write,
+        Phase::PostWrite,
+        Phase::NotHiddenSync,
+    ];
+    print!("{:<10}", "combo");
+    for ph in phases {
+        print!(" {:>16}", ph.label());
+    }
+    println!("   [aggregator-mean seconds]");
+    for p in points {
+        print!("{:<10}", p.combo);
+        for ph in phases {
+            print!(" {:>16.3}", p.outcome.breakdown_aggs.mean(ph));
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hints_for_cases_differ_only_in_cache_keys() {
+        let d = hints_for(Case::Disabled, 8, 4 << 20);
+        let e = hints_for(Case::Enabled, 8, 4 << 20);
+        let t = hints_for(Case::Theoretical, 8, 4 << 20);
+        assert_eq!(d.get("cb_nodes").as_deref(), Some("8"));
+        assert!(d.get("e10_cache").is_none());
+        assert_eq!(e.get("e10_cache").as_deref(), Some("enable"));
+        assert_eq!(
+            e.get("e10_cache_flush_flag").as_deref(),
+            Some("flush_immediate")
+        );
+        assert_eq!(t.get("e10_cache_flush_flag").as_deref(), Some("flush_none"));
+        assert!(!Case::Theoretical.verifiable());
+        assert!(Case::Enabled.verifiable());
+    }
+
+    #[test]
+    fn combo_labels_match_paper_format() {
+        assert_eq!(combo_label(8, 4 << 20), "8_4M");
+        assert_eq!(combo_label(64, 64 << 20), "64_64M");
+    }
+
+    #[test]
+    fn quick_scale_is_consistent() {
+        let s = Scale::Quick;
+        assert_eq!(s.collperf().procs(), s.procs());
+        assert_eq!(s.flashio().procs(), s.procs());
+        assert_eq!(s.ior().procs(), s.procs());
+        assert!(s.aggregators().iter().all(|&a| a <= s.procs()));
+    }
+
+    #[test]
+    fn full_scale_matches_paper() {
+        let s = Scale::Full;
+        assert_eq!(s.procs(), 512);
+        assert_eq!(s.nodes(), 64);
+        assert_eq!(s.aggregators(), vec![8, 16, 32, 64]);
+        assert_eq!(s.cb_sizes(), vec![4 << 20, 16 << 20, 64 << 20]);
+        assert_eq!(s.files(), 4);
+        assert_eq!(s.collperf().file_size(), 32 << 30);
+        assert_eq!(s.ior().file_size(), 32 << 30);
+    }
+
+    /// A miniature end-to-end sweep point (exercises the whole harness
+    /// path in seconds).
+    #[test]
+    fn run_point_smoke() {
+        let p = run_point(
+            Scale::Quick,
+            || CollPerf {
+                grid: [2, 2, 2],
+                side: 2,
+                chunk: 4 << 10,
+            },
+            Case::Enabled,
+            2,
+            1 << 20,
+            false,
+        );
+        assert!(p.outcome.bandwidth > 0.0);
+        assert_eq!(p.outcome.phases.len(), 4);
+    }
+}

@@ -1,0 +1,517 @@
+//! # e10-localfs
+//!
+//! The node-local file system holding the E10 cache files — the
+//! simulated equivalent of the 30 GB ext4 `/scratch` partition on each
+//! DEEP-ER compute node's SATA SSD.
+//!
+//! Behavioural points that matter to the paper:
+//!
+//! * **`fallocate` support.** `ADIOI_Cache_alloc()` reserves cache
+//!   space with `fallocate(2)`; file systems without it fall back to
+//!   physically writing zeroes "at the cost of time efficiency"
+//!   (paper, §III-A footnote). Both paths are modelled.
+//! * **Page-cache interaction.** Writes land in the node page cache
+//!   (memory speed until the dirty limit), and the flush thread's
+//!   read-back is a cache hit for recently written data — this is what
+//!   makes the cache-enabled runs burst far above raw SATA bandwidth.
+//! * **Capacity.** The partition is small (30 GB); cache allocation
+//!   fails with `NoSpace` when it fills, which ROMIO must handle by
+//!   falling back to the non-cached path.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Range;
+use std::rc::Rc;
+
+use e10_simcore::SimDuration;
+use e10_storesim::{ExtentMap, PageCache, Payload, Source, Ssd};
+
+/// Errors from local file-system operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The partition is full.
+    NoSpace {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// No such file.
+    NotFound(String),
+    /// File already exists (exclusive create).
+    Exists(String),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NoSpace { requested, available } => {
+                write!(f, "no space: requested {requested} B, {available} B available")
+            }
+            FsError::NotFound(p) => write!(f, "not found: {p}"),
+            FsError::Exists(p) => write!(f, "already exists: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Mount-time parameters.
+#[derive(Debug, Clone)]
+pub struct LocalFsParams {
+    /// Partition capacity in bytes.
+    pub capacity: u64,
+    /// Whether `fallocate(2)` is supported (ext4: yes). When false,
+    /// preallocation physically writes zeroes.
+    pub supports_fallocate: bool,
+    /// Cost of a metadata operation (create/unlink/fallocate syscall).
+    pub meta_op: SimDuration,
+}
+
+impl LocalFsParams {
+    /// The DEEP-ER `/scratch` partition: 30 GB ext4 with fallocate.
+    pub fn scratch_30g() -> Self {
+        LocalFsParams {
+            capacity: 30 * (1 << 30),
+            supports_fallocate: true,
+            meta_op: SimDuration::from_micros(30),
+        }
+    }
+}
+
+struct FileState {
+    data: ExtentMap,
+    /// Write-ordering log: file offset → position in the node's write
+    /// stream, used to decide page-cache residency on read-back.
+    stream_log: BTreeMap<u64, u64>,
+    unlinked: bool,
+}
+
+impl FileState {
+    fn size(&self) -> u64 {
+        self.data.high_water()
+    }
+
+    /// Bytes charged against the partition (sparse files only pay for
+    /// covered ranges, as on ext4).
+    fn used(&self) -> u64 {
+        self.data.covered_bytes()
+    }
+
+    fn stream_pos(&self, offset: u64) -> u64 {
+        match self.stream_log.range(..=offset).next_back() {
+            Some((&o, &pos)) => pos + (offset - o),
+            None => 0,
+        }
+    }
+}
+
+struct VolumeState {
+    files: HashMap<String, Rc<RefCell<FileState>>>,
+    used: u64,
+    stream: u64,
+}
+
+/// One node's local file system.
+#[derive(Clone)]
+pub struct LocalFs {
+    params: LocalFsParams,
+    ssd: Ssd,
+    cache: PageCache,
+    vol: Rc<RefCell<VolumeState>>,
+}
+
+/// An open file on a [`LocalFs`].
+#[derive(Clone)]
+pub struct LocalFile {
+    fs: LocalFs,
+    path: String,
+    state: Rc<RefCell<FileState>>,
+}
+
+impl LocalFs {
+    /// Mount a volume over the given SSD and page cache.
+    pub fn new(params: LocalFsParams, ssd: Ssd, cache: PageCache) -> Self {
+        LocalFs {
+            params,
+            ssd,
+            cache,
+            vol: Rc::new(RefCell::new(VolumeState {
+                files: HashMap::new(),
+                used: 0,
+                stream: 0,
+            })),
+        }
+    }
+
+    /// Create (or truncate-open) a file.
+    pub async fn create(&self, path: &str) -> Result<LocalFile, FsError> {
+        e10_simcore::sleep(self.params.meta_op).await;
+        let state = Rc::new(RefCell::new(FileState {
+            data: ExtentMap::new(),
+            stream_log: BTreeMap::new(),
+            unlinked: false,
+        }));
+        let mut vol = self.vol.borrow_mut();
+        if let Some(old) = vol.files.insert(path.to_string(), Rc::clone(&state)) {
+            // Truncation releases the old allocation.
+            let old_used = old.borrow().used();
+            vol.used = vol.used.saturating_sub(old_used);
+            self.cache.evict(old_used);
+        }
+        Ok(LocalFile {
+            fs: self.clone(),
+            path: path.to_string(),
+            state,
+        })
+    }
+
+    /// Open an existing file.
+    pub async fn open(&self, path: &str) -> Result<LocalFile, FsError> {
+        e10_simcore::sleep(self.params.meta_op).await;
+        let vol = self.vol.borrow();
+        let state = vol
+            .files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        Ok(LocalFile {
+            fs: self.clone(),
+            path: path.to_string(),
+            state,
+        })
+    }
+
+    /// Remove a file, releasing its space.
+    pub async fn unlink(&self, path: &str) -> Result<(), FsError> {
+        e10_simcore::sleep(self.params.meta_op).await;
+        let mut vol = self.vol.borrow_mut();
+        let state = vol
+            .files
+            .remove(path)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        let used = state.borrow().used();
+        state.borrow_mut().unlinked = true;
+        vol.used = vol.used.saturating_sub(used);
+        self.cache.evict(used);
+        Ok(())
+    }
+
+    /// `(capacity, used)` in bytes.
+    pub fn statfs(&self) -> (u64, u64) {
+        (self.params.capacity, self.vol.borrow().used)
+    }
+
+    /// True if `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.vol.borrow().files.contains_key(path)
+    }
+
+    /// The page cache backing this volume.
+    pub fn page_cache(&self) -> &PageCache {
+        &self.cache
+    }
+
+    fn reserve(&self, bytes: u64) -> Result<(), FsError> {
+        let mut vol = self.vol.borrow_mut();
+        let available = self.params.capacity.saturating_sub(vol.used);
+        if bytes > available {
+            return Err(FsError::NoSpace {
+                requested: bytes,
+                available,
+            });
+        }
+        vol.used += bytes;
+        Ok(())
+    }
+}
+
+impl LocalFile {
+    /// File path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Current size (max of written high-water and preallocation).
+    pub fn size(&self) -> u64 {
+        self.state.borrow().size()
+    }
+
+    /// Preallocate the byte range `[offset, offset + len)` (the shape
+    /// of `fallocate(2)` used by `ADIOI_Cache_alloc`). Only the
+    /// currently-uncovered holes of the range are charged. With
+    /// `fallocate` support this is metadata-only; otherwise it
+    /// physically writes zeroes (the paper's fallback, "at the cost of
+    /// time efficiency").
+    pub async fn fallocate(&self, offset: u64, len: u64) -> Result<(), FsError> {
+        let holes = self.state.borrow().data.holes(offset, len);
+        let grow: u64 = holes.iter().map(|h| h.end - h.start).sum();
+        if grow > 0 {
+            self.fs.reserve(grow)?;
+        }
+        e10_simcore::sleep(self.fs.params.meta_op).await;
+        if grow == 0 {
+            return Ok(());
+        }
+        if !self.fs.params.supports_fallocate {
+            // Zero-fill fallback: real writes through the page cache.
+            self.fs.cache.write(grow).await;
+        }
+        for h in holes {
+            self.write_extent_bookkeeping(h.start, h.end - h.start);
+            self.state
+                .borrow_mut()
+                .data
+                .insert(h.start, h.end - h.start, Source::Zero);
+        }
+        Ok(())
+    }
+
+    fn write_extent_bookkeeping(&self, offset: u64, len: u64) {
+        let mut vol = self.fs.vol.borrow_mut();
+        let pos = vol.stream;
+        vol.stream += len;
+        self.state.borrow_mut().stream_log.insert(offset, pos);
+    }
+
+    /// Write `payload` at `offset`. Charges page-cache time and updates
+    /// the extent map; grows the allocation (and fails with `NoSpace`)
+    /// as needed.
+    pub async fn write(&self, offset: u64, payload: Payload) -> Result<(), FsError> {
+        let len = payload.len;
+        if len == 0 {
+            return Ok(());
+        }
+        let grow = {
+            let st = self.state.borrow();
+            len - st.data.covered_bytes_in(offset, len)
+        };
+        if grow > 0 {
+            self.fs.reserve(grow)?;
+        }
+        self.fs.cache.write(len).await;
+        self.write_extent_bookkeeping(offset, len);
+        self.state.borrow_mut().data.insert(offset, len, payload.src);
+        Ok(())
+    }
+
+    /// Read `[offset, offset+len)`: charges page-cache or device time
+    /// and returns the covered pieces (holes as `None`).
+    pub async fn read(
+        &self,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<(Range<u64>, Option<Source>)>, FsError> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let stream_pos = self.state.borrow().stream_pos(offset);
+        let hit = self.fs.cache.read_at(stream_pos, len).await;
+        if !hit {
+            self.fs.ssd.read(len).await;
+        }
+        Ok(self.state.borrow().data.lookup(offset, len))
+    }
+
+    /// fsync: wait for writeback of all dirty node data.
+    pub async fn sync(&self) {
+        self.fs.cache.flush().await;
+    }
+
+    /// Punch a hole (`fallocate(FALLOC_FL_PUNCH_HOLE)`): drop
+    /// `[offset, offset+len)` from the file, releasing its blocks back
+    /// to the partition. Metadata-only cost.
+    pub async fn punch(&self, offset: u64, len: u64) {
+        e10_simcore::sleep(self.fs.params.meta_op).await;
+        let freed = {
+            let st = self.state.borrow();
+            st.data.covered_bytes_in(offset, len)
+        };
+        if freed == 0 {
+            return;
+        }
+        self.state.borrow_mut().data.remove(offset, len);
+        let mut vol = self.fs.vol.borrow_mut();
+        vol.used = vol.used.saturating_sub(freed);
+        self.fs.cache.evict(freed);
+    }
+
+    /// Direct access to the extent map (verification in tests).
+    pub fn extents(&self) -> ExtentMap {
+        self.state.borrow().data.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e10_simcore::{now, run, SimRng};
+    use e10_storesim::{PageCacheParams, SsdParams};
+
+    fn fast_node() -> (Ssd, PageCache) {
+        let ssd = Ssd::new(
+            SsdParams {
+                read_bw: 1000.0,
+                write_bw: 500.0,
+                latency: SimDuration::ZERO,
+                jitter_cv: 0.0,
+            },
+            SimRng::new(1),
+        );
+        let pc = PageCache::new(PageCacheParams {
+            mem_bw: 10_000.0,
+            dirty_limit: 2000,
+            capacity: 4000,
+            drain_bw: 500.0,
+        });
+        (ssd, pc)
+    }
+
+    fn small_fs() -> LocalFs {
+        let (ssd, pc) = fast_node();
+        LocalFs::new(
+            LocalFsParams {
+                capacity: 10_000,
+                supports_fallocate: true,
+                meta_op: SimDuration::ZERO,
+            },
+            ssd,
+            pc,
+        )
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        run(async {
+            let fs = small_fs();
+            let f = fs.create("/scratch/cache.0").await.unwrap();
+            f.write(100, Payload::gen(7, 100, 50)).await.unwrap();
+            let pieces = f.read(90, 70).await.unwrap();
+            assert_eq!(pieces.len(), 3);
+            assert!(pieces[0].1.is_none());
+            assert!(pieces[1].1.is_some());
+            assert!(pieces[2].1.is_none());
+            assert!(f.extents().verify_gen(7, 100, 50).is_ok());
+            assert_eq!(f.size(), 150);
+        });
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        run(async {
+            let fs = small_fs();
+            let f = fs.create("/a").await.unwrap();
+            f.write(0, Payload::zero(9000)).await.unwrap();
+            let err = f.write(9000, Payload::zero(2000)).await.unwrap_err();
+            assert!(matches!(err, FsError::NoSpace { .. }));
+            let (cap, used) = fs.statfs();
+            assert_eq!(cap, 10_000);
+            assert_eq!(used, 9000);
+        });
+    }
+
+    #[test]
+    fn unlink_releases_space() {
+        run(async {
+            let fs = small_fs();
+            let f = fs.create("/a").await.unwrap();
+            f.write(0, Payload::zero(5000)).await.unwrap();
+            fs.unlink("/a").await.unwrap();
+            assert_eq!(fs.statfs().1, 0);
+            assert!(!fs.exists("/a"));
+            let err = match fs.open("/a").await {
+                Err(e) => e,
+                Ok(_) => panic!("open of unlinked file must fail"),
+            };
+            assert!(matches!(err, FsError::NotFound(_)));
+        });
+    }
+
+    #[test]
+    fn fallocate_is_cheap_with_support() {
+        let t = run(async {
+            let fs = small_fs();
+            let f = fs.create("/a").await.unwrap();
+            f.fallocate(0, 8000).await.unwrap();
+            assert_eq!(f.size(), 8000);
+            assert_eq!(fs.statfs().1, 8000);
+            now().as_secs_f64()
+        });
+        assert!(t < 0.001, "fallocate must be metadata-only, took {t}s");
+    }
+
+    #[test]
+    fn fallocate_zero_fill_fallback_costs_io_time() {
+        let t = run(async {
+            let (ssd, pc) = fast_node();
+            let fs = LocalFs::new(
+                LocalFsParams {
+                    capacity: 10_000,
+                    supports_fallocate: false,
+                    meta_op: SimDuration::ZERO,
+                },
+                ssd,
+                pc,
+            );
+            let f = fs.create("/a").await.unwrap();
+            f.fallocate(0, 4000).await.unwrap();
+            // Zero content must actually be readable.
+            assert!(f.extents().covered(0, 4000));
+            now().as_secs_f64()
+        });
+        assert!(t > 0.5, "zero-fill must cost real time, took {t}s");
+    }
+
+    #[test]
+    fn fallocate_nospace() {
+        run(async {
+            let fs = small_fs();
+            let f = fs.create("/a").await.unwrap();
+            let err = f.fallocate(0, 20_000).await.unwrap_err();
+            assert!(matches!(err, FsError::NoSpace { .. }));
+        });
+    }
+
+    #[test]
+    fn recreate_truncates_and_releases() {
+        run(async {
+            let fs = small_fs();
+            let f = fs.create("/a").await.unwrap();
+            f.write(0, Payload::zero(6000)).await.unwrap();
+            let f2 = fs.create("/a").await.unwrap();
+            assert_eq!(fs.statfs().1, 0);
+            assert_eq!(f2.size(), 0);
+        });
+    }
+
+    #[test]
+    fn read_back_of_recent_write_is_fast_cache_hit() {
+        let (t_hit, t_cold) = run(async {
+            let fs = small_fs();
+            let f = fs.create("/a").await.unwrap();
+            f.write(0, Payload::zero(1000)).await.unwrap();
+            let t0 = now();
+            f.read(0, 1000).await.unwrap();
+            let t_hit = now().since(t0).as_secs_f64();
+
+            // Push enough data through to evict the early bytes
+            // (page-cache capacity is 4000).
+            f.write(1000, Payload::zero(8000)).await.unwrap();
+            let t1 = now();
+            f.read(0, 1000).await.unwrap();
+            (t_hit, now().since(t1).as_secs_f64())
+        });
+        assert!(t_hit < t_cold, "hit={t_hit} cold={t_cold}");
+    }
+
+    #[test]
+    fn sync_waits_for_writeback() {
+        run(async {
+            let fs = small_fs();
+            let f = fs.create("/a").await.unwrap();
+            f.write(0, Payload::zero(1500)).await.unwrap();
+            f.sync().await;
+            assert_eq!(fs.page_cache().dirty(), 0);
+        });
+    }
+}

@@ -1,0 +1,474 @@
+//! Communicators and point-to-point messaging.
+//!
+//! Each simulated MPI process is an async task holding a [`Comm`]. Sends
+//! move their byte count across the [`e10_netsim::Network`] (so NIC and
+//! switch contention are real), carry an arbitrary typed payload, and
+//! match receives by `(source, tag)` with MPI's non-overtaking ordering
+//! per `(source, destination)` pair.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use e10_netsim::{Network, NodeId};
+use e10_simcore::{spawn, Flag};
+
+/// Message tag.
+pub type Tag = u32;
+
+/// A received message.
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// Tag it was sent with.
+    pub tag: Tag,
+    /// Wire size in bytes (for accounting; the payload is typed).
+    pub bytes: u64,
+    /// The payload.
+    pub data: Box<dyn Any>,
+}
+
+impl Message {
+    /// Downcast the payload, panicking with a useful message on a type
+    /// mismatch (which is always a caller bug, as in real MPI).
+    pub fn into_data<T: 'static>(self) -> T {
+        *self
+            .data
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("message payload type mismatch (src={}, tag={})", self.src, self.tag))
+    }
+}
+
+/// Source selector for receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceSel {
+    /// Match a specific rank.
+    Rank(usize),
+    /// Match any source.
+    Any,
+}
+
+struct RecvWaiter {
+    src: SourceSel,
+    tag: Tag,
+    slot: Rc<RefCell<Option<Message>>>,
+    flag: Flag,
+}
+
+#[derive(Default)]
+struct RankMailbox {
+    arrived: Vec<Message>,
+    waiters: Vec<RecvWaiter>,
+}
+
+/// Per-(src,dst) ordering: messages are delivered in send order even if
+/// wire transfers complete out of order.
+#[derive(Default)]
+struct PairOrder {
+    next_send: u64,
+    next_deliver: u64,
+    stash: HashMap<u64, Message>,
+}
+
+pub(crate) struct CommState {
+    pub(crate) size: usize,
+    pub(crate) node_of: Vec<NodeId>,
+    pub(crate) net: Rc<Network>,
+    mailboxes: RefCell<Vec<RankMailbox>>,
+    order: RefCell<HashMap<(usize, usize), PairOrder>>,
+    pub(crate) coll: Rc<super::coll::CollShared>,
+    /// Bytes pushed through point-to-point sends (accounting).
+    pub(crate) p2p_bytes: RefCell<u64>,
+    pub(crate) p2p_msgs: RefCell<u64>,
+}
+
+/// A communicator handle bound to one rank.
+///
+/// Clones share the communicator; [`Comm::rank`] distinguishes the
+/// owning process. All ranks of a communicator must call collective
+/// operations in the same order (as in MPI).
+#[derive(Clone)]
+pub struct Comm {
+    pub(crate) state: Rc<CommState>,
+    pub(crate) rank: usize,
+}
+
+/// A non-blocking operation handle (`MPI_Request`).
+pub struct Request {
+    flag: Flag,
+    slot: Rc<RefCell<Option<Message>>>,
+}
+
+impl Request {
+    pub(crate) fn new(flag: Flag, slot: Rc<RefCell<Option<Message>>>) -> Self {
+        Request { flag, slot }
+    }
+
+    /// A request that is already complete.
+    pub fn ready() -> Self {
+        let flag = Flag::new();
+        flag.set();
+        Request {
+            flag,
+            slot: Rc::new(RefCell::new(None)),
+        }
+    }
+
+    /// Wait for completion; receives yield their message.
+    pub async fn wait(self) -> Option<Message> {
+        self.flag.wait().await;
+        self.slot.borrow_mut().take()
+    }
+
+    /// Non-blocking completion test.
+    pub fn test(&self) -> bool {
+        self.flag.is_set()
+    }
+}
+
+/// `MPI_Waitall`: wait for every request, returning any received
+/// messages in request order.
+pub async fn waitall(reqs: Vec<Request>) -> Vec<Option<Message>> {
+    let mut out = Vec::with_capacity(reqs.len());
+    for r in reqs {
+        out.push(r.wait().await);
+    }
+    out
+}
+
+impl CommState {
+    /// Build a shared communicator state (used by `new_world` and
+    /// `Comm::split`).
+    pub(crate) fn new_shared(
+        size: usize,
+        node_of: Vec<NodeId>,
+        net: Rc<Network>,
+        coll: Rc<super::coll::CollShared>,
+    ) -> Rc<CommState> {
+        assert_eq!(node_of.len(), size);
+        Rc::new(CommState {
+            size,
+            node_of,
+            net,
+            mailboxes: RefCell::new((0..size).map(|_| RankMailbox::default()).collect()),
+            order: RefCell::new(HashMap::new()),
+            coll,
+            p2p_bytes: RefCell::new(0),
+            p2p_msgs: RefCell::new(0),
+        })
+    }
+}
+
+impl Comm {
+    pub(crate) fn new_world(
+        size: usize,
+        node_of: Vec<NodeId>,
+        net: Rc<Network>,
+        coll: Rc<super::coll::CollShared>,
+    ) -> Vec<Comm> {
+        let state = CommState::new_shared(size, node_of, net, coll);
+        (0..size)
+            .map(|rank| Comm {
+                state: Rc::clone(&state),
+                rank,
+            })
+            .collect()
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of processes.
+    pub fn size(&self) -> usize {
+        self.state.size
+    }
+
+    /// Fabric node hosting this rank.
+    pub fn node(&self) -> NodeId {
+        self.state.node_of[self.rank]
+    }
+
+    /// Fabric node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> NodeId {
+        self.state.node_of[rank]
+    }
+
+    /// The full rank → node mapping (used by aggregator selection).
+    pub fn node_map(&self) -> Vec<NodeId> {
+        self.state.node_of.clone()
+    }
+
+    /// The underlying fabric (for I/O layers that need to charge
+    /// transfers directly).
+    pub fn network(&self) -> Rc<Network> {
+        Rc::clone(&self.state.net)
+    }
+
+    /// Total point-to-point traffic so far `(messages, bytes)`.
+    pub fn p2p_traffic(&self) -> (u64, u64) {
+        (*self.state.p2p_msgs.borrow(), *self.state.p2p_bytes.borrow())
+    }
+
+    fn match_waiter(mb: &mut RankMailbox, msg: Message) {
+        let pos = mb.waiters.iter().position(|w| {
+            (match w.src {
+                SourceSel::Rank(r) => r == msg.src,
+                SourceSel::Any => true,
+            }) && w.tag == msg.tag
+        });
+        match pos {
+            Some(i) => {
+                let w = mb.waiters.remove(i);
+                *w.slot.borrow_mut() = Some(msg);
+                w.flag.set();
+            }
+            None => mb.arrived.push(msg),
+        }
+    }
+
+    fn deliver(state: &Rc<CommState>, dst: usize, seq: u64, msg: Message) {
+        let src = msg.src;
+        let mut order = state.order.borrow_mut();
+        let pair = order.entry((src, dst)).or_default();
+        if seq != pair.next_deliver {
+            pair.stash.insert(seq, msg);
+            return;
+        }
+        drop(order);
+        let mut mb = state.mailboxes.borrow_mut();
+        Self::match_waiter(&mut mb[dst], msg);
+        // Flush any stashed successors.
+        loop {
+            let mut order = state.order.borrow_mut();
+            let pair = order.entry((src, dst)).or_default();
+            pair.next_deliver += 1;
+            let next = pair.next_deliver;
+            match pair.stash.remove(&next) {
+                Some(m) => {
+                    drop(order);
+                    Self::match_waiter(&mut mb[dst], m);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Non-blocking send of a typed payload accounting for `bytes` on
+    /// the wire. The request completes when the transfer has fully
+    /// arrived (buffered-synchronous semantics).
+    pub fn isend<T: 'static>(&self, dst: usize, tag: Tag, bytes: u64, data: T) -> Request {
+        assert!(dst < self.state.size, "isend to rank {dst} of {}", self.state.size);
+        *self.state.p2p_msgs.borrow_mut() += 1;
+        *self.state.p2p_bytes.borrow_mut() += bytes;
+        let seq = {
+            let mut order = self.state.order.borrow_mut();
+            let pair = order.entry((self.rank, dst)).or_default();
+            let s = pair.next_send;
+            pair.next_send += 1;
+            s
+        };
+        let state = Rc::clone(&self.state);
+        let (src_node, dst_node) = (self.node(), self.node_of(dst));
+        let src = self.rank;
+        let flag = Flag::new();
+        let f2 = flag.clone();
+        spawn(async move {
+            state.net.transfer(src_node, dst_node, bytes).await;
+            Self::deliver(
+                &state,
+                dst,
+                seq,
+                Message {
+                    src,
+                    tag,
+                    bytes,
+                    data: Box::new(data),
+                },
+            );
+            f2.set();
+        });
+        Request::new(flag, Rc::new(RefCell::new(None)))
+    }
+
+    /// Blocking send (returns when the message has arrived).
+    pub async fn send<T: 'static>(&self, dst: usize, tag: Tag, bytes: u64, data: T) {
+        self.isend(dst, tag, bytes, data).wait().await;
+    }
+
+    /// Non-blocking receive matching `(src, tag)`.
+    pub fn irecv(&self, src: SourceSel, tag: Tag) -> Request {
+        let mut mbs = self.state.mailboxes.borrow_mut();
+        let mb = &mut mbs[self.rank];
+        let pos = mb.arrived.iter().position(|m| {
+            (match src {
+                SourceSel::Rank(r) => r == m.src,
+                SourceSel::Any => true,
+            }) && m.tag == tag
+        });
+        let flag = Flag::new();
+        let slot = Rc::new(RefCell::new(None));
+        match pos {
+            Some(i) => {
+                *slot.borrow_mut() = Some(mb.arrived.remove(i));
+                flag.set();
+            }
+            None => {
+                mb.waiters.push(RecvWaiter {
+                    src,
+                    tag,
+                    slot: Rc::clone(&slot),
+                    flag: flag.clone(),
+                });
+            }
+        }
+        Request::new(flag, slot)
+    }
+
+    /// Blocking receive.
+    pub async fn recv(&self, src: SourceSel, tag: Tag) -> Message {
+        self.irecv(src, tag)
+            .wait()
+            .await
+            .expect("recv request must yield a message")
+    }
+
+    /// Convenience: blocking receive of a typed payload from a rank.
+    pub async fn recv_from<T: 'static>(&self, src: usize, tag: Tag) -> T {
+        self.recv(SourceSel::Rank(src), tag).await.into_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{launch, WorldSpec};
+    use super::*;
+    use e10_simcore::run;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        run(async {
+            let outs = launch(WorldSpec::for_tests(2, 2), |comm| async move {
+                if comm.rank() == 0 {
+                    comm.send(1, 5, 1024, String::from("hello")).await;
+                    0
+                } else {
+                    let m = comm.recv(SourceSel::Rank(0), 5).await;
+                    assert_eq!(m.bytes, 1024);
+                    assert_eq!(m.into_data::<String>(), "hello");
+                    1
+                }
+            })
+            .await;
+            assert_eq!(outs, vec![0, 1]);
+        });
+    }
+
+    #[test]
+    fn messages_from_same_pair_arrive_in_send_order() {
+        run(async {
+            launch(WorldSpec::for_tests(2, 2), |comm| async move {
+                if comm.rank() == 0 {
+                    // A big slow message then a tiny fast one: the tiny
+                    // one must NOT overtake.
+                    let r1 = comm.isend(1, 7, 100 << 20, 1u32);
+                    let r2 = comm.isend(1, 7, 8, 2u32);
+                    waitall(vec![r1, r2]).await;
+                } else {
+                    let a: u32 = comm.recv_from(0, 7).await;
+                    let b: u32 = comm.recv_from(0, 7).await;
+                    assert_eq!((a, b), (1, 2));
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn tags_demultiplex() {
+        run(async {
+            launch(WorldSpec::for_tests(2, 1), |comm| async move {
+                if comm.rank() == 0 {
+                    comm.send(1, 1, 8, 10u64).await;
+                    comm.send(1, 2, 8, 20u64).await;
+                } else {
+                    // Receive in reverse tag order.
+                    let b: u64 = comm.recv_from(0, 2).await;
+                    let a: u64 = comm.recv_from(0, 1).await;
+                    assert_eq!((a, b), (10, 20));
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn irecv_before_send_completes_on_arrival() {
+        run(async {
+            launch(WorldSpec::for_tests(2, 2), |comm| async move {
+                if comm.rank() == 1 {
+                    let r = comm.irecv(SourceSel::Rank(0), 3);
+                    assert!(!r.test());
+                    let m = r.wait().await.unwrap();
+                    assert_eq!(m.into_data::<u8>(), 42);
+                } else {
+                    e10_simcore::sleep(e10_simcore::SimDuration::from_secs(1)).await;
+                    comm.send(1, 3, 16, 42u8).await;
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn any_source_matches_first_arrival() {
+        run(async {
+            launch(WorldSpec::for_tests(3, 3), |comm| async move {
+                if comm.rank() == 0 {
+                    let a = comm.recv(SourceSel::Any, 9).await;
+                    let b = comm.recv(SourceSel::Any, 9).await;
+                    let mut srcs = vec![a.src, b.src];
+                    srcs.sort_unstable();
+                    assert_eq!(srcs, vec![1, 2]);
+                } else {
+                    comm.send(0, 9, 64, comm.rank()).await;
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        run(async {
+            launch(WorldSpec::for_tests(2, 2), |comm| async move {
+                if comm.rank() == 0 {
+                    comm.send(1, 0, 1000, ()).await;
+                } else {
+                    comm.recv(SourceSel::Rank(0), 0).await;
+                    let (msgs, bytes) = comm.p2p_traffic();
+                    assert_eq!(msgs, 1);
+                    assert_eq!(bytes, 1000);
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn wrong_downcast_panics() {
+        run(async {
+            launch(WorldSpec::for_tests(2, 1), |comm| async move {
+                if comm.rank() == 0 {
+                    comm.send(1, 0, 8, 1u64).await;
+                } else {
+                    let _: String = comm.recv_from(0, 0).await;
+                }
+            })
+            .await;
+        });
+    }
+}

@@ -1,0 +1,108 @@
+//! Generalized requests (`MPI_Grequest_start` /
+//! `MPI_Grequest_complete`).
+//!
+//! The E10 cache layer hands each written extent to its sync thread
+//! together with a generalized request; the sync thread calls
+//! `complete()` once the extent is persistent in the global file, and
+//! `ADIOI_GEN_Flush` waits on the request (paper §III-A).
+
+use e10_simcore::Flag;
+
+/// The waitable side of a generalized request.
+#[derive(Clone)]
+pub struct Grequest {
+    flag: Flag,
+}
+
+/// The completion side, handed to the worker that will finish the
+/// operation.
+#[derive(Clone)]
+pub struct GrequestCompleter {
+    flag: Flag,
+}
+
+impl Grequest {
+    /// Start a generalized request; returns the waitable request and
+    /// its completer.
+    pub fn start() -> (Grequest, GrequestCompleter) {
+        let flag = Flag::new();
+        (
+            Grequest { flag: flag.clone() },
+            GrequestCompleter { flag },
+        )
+    }
+
+    /// `MPI_Wait`.
+    pub async fn wait(&self) {
+        self.flag.wait().await;
+    }
+
+    /// `MPI_Test`.
+    pub fn test(&self) -> bool {
+        self.flag.is_set()
+    }
+}
+
+impl GrequestCompleter {
+    /// `MPI_Grequest_complete`.
+    pub fn complete(&self) {
+        self.flag.set();
+    }
+}
+
+/// Wait for a set of generalized requests (`MPI_Waitall`).
+pub async fn grequest_waitall(reqs: &[Grequest]) {
+    for r in reqs {
+        r.wait().await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e10_simcore::{now, run, sleep, spawn, SimDuration};
+
+    #[test]
+    fn wait_blocks_until_complete() {
+        let t = run(async {
+            let (req, done) = Grequest::start();
+            spawn(async move {
+                sleep(SimDuration::from_secs(3)).await;
+                done.complete();
+            });
+            assert!(!req.test());
+            req.wait().await;
+            assert!(req.test());
+            now().as_secs_f64()
+        });
+        assert_eq!(t, 3.0);
+    }
+
+    #[test]
+    fn waitall_waits_for_slowest() {
+        let t = run(async {
+            let mut reqs = Vec::new();
+            for i in 1..=3u64 {
+                let (req, done) = Grequest::start();
+                spawn(async move {
+                    sleep(SimDuration::from_secs(i)).await;
+                    done.complete();
+                });
+                reqs.push(req);
+            }
+            grequest_waitall(&reqs).await;
+            now().as_secs_f64()
+        });
+        assert_eq!(t, 3.0);
+    }
+
+    #[test]
+    fn complete_before_wait_is_fine() {
+        run(async {
+            let (req, done) = Grequest::start();
+            done.complete();
+            req.wait().await;
+            assert_eq!(now().as_secs_f64(), 0.0);
+        });
+    }
+}

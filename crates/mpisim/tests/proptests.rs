@@ -1,0 +1,136 @@
+//! Property tests for the simulated MPI: the two collective backends
+//! must be result-equivalent for random inputs, datatypes must flatten
+//! consistently, and message matching must respect MPI ordering.
+
+use proptest::prelude::*;
+
+use e10_mpisim::{launch, CollBackend, FileView, FlatType, SourceSel, WorldSpec};
+
+fn spec(p: usize, backend: CollBackend) -> WorldSpec {
+    let mut s = WorldSpec::for_tests(p, (p / 2).max(1));
+    s.backend = backend;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Algorithmic and analytic collectives produce identical results
+    /// for random communicator sizes and values.
+    #[test]
+    fn backends_agree_on_results(p in 1usize..12, salt in 0u64..1000) {
+        let results: Vec<_> = [CollBackend::Algorithmic, CollBackend::Analytic]
+            .into_iter()
+            .map(|b| {
+                e10_simcore::run(async move {
+                    launch(spec(p, b), move |comm| async move {
+                        let me = comm.rank() as u64;
+                        let sum = comm
+                            .allreduce(me * salt + 1, 8, |a, c| a.wrapping_add(*c))
+                            .await;
+                        let gath = comm.allgather(me ^ salt, 8).await;
+                        let a2a = comm
+                            .alltoall(
+                                (0..comm.size() as u64).map(|d| me * 1000 + d).collect(),
+                                8,
+                            )
+                            .await;
+                        let b = comm
+                            .bcast((p / 2).min(comm.size() - 1), Some(salt).filter(|_| {
+                                comm.rank() == (p / 2).min(comm.size() - 1)
+                            }), 8)
+                            .await;
+                        (sum, gath, a2a, b)
+                    })
+                    .await
+                })
+            })
+            .collect();
+        prop_assert_eq!(&results[0], &results[1]);
+    }
+
+    /// subarray flattening covers exactly lsizes.product() bytes and
+    /// every run stays inside the global array.
+    #[test]
+    fn subarray_runs_in_bounds(
+        g in prop::collection::vec(1u64..12, 1..4),
+        frac in prop::collection::vec(0u64..100, 1..4),
+        elem in prop::sample::select(vec![1u64, 4, 8]),
+    ) {
+        let ndim = g.len().min(frac.len());
+        let g = &g[..ndim];
+        let mut l = Vec::new();
+        let mut s = Vec::new();
+        for d in 0..ndim {
+            let ld = (frac[d] % g[d]) + 1;
+            l.push(ld);
+            s.push(g[d] - ld);
+        }
+        let f = FlatType::subarray(g, &l, &s, elem);
+        let expect: u64 = l.iter().product::<u64>() * elem;
+        prop_assert_eq!(f.total_bytes(), expect);
+        let gtotal: u64 = g.iter().product::<u64>() * elem;
+        for &(off, len) in f.runs() {
+            prop_assert!(off + len <= gtotal);
+        }
+        // Runs are sorted and disjoint.
+        for w in f.runs().windows(2) {
+            prop_assert!(w[0].0 + w[0].1 <= w[1].0);
+        }
+    }
+
+    /// Window queries partition the whole view: querying consecutive
+    /// windows returns every piece exactly once.
+    #[test]
+    fn window_queries_partition_view(
+        count in 1u64..60,
+        blocklen in 1u64..50,
+        gap in 0u64..50,
+        disp in 0u64..1000,
+        win in 1u64..500,
+    ) {
+        let stride = blocklen + gap;
+        let flat = FlatType::vector(count, blocklen, stride);
+        let view = FileView::new(&flat, disp);
+        let (lo, hi) = view.file_range();
+        let mut covered = 0u64;
+        let mut pos = lo;
+        while pos < hi {
+            let end = (pos + win).min(hi);
+            for p in view.pieces_in_window(pos, end) {
+                covered += p.len;
+            }
+            pos = end;
+        }
+        prop_assert_eq!(covered, view.total_bytes());
+    }
+
+    /// Per-pair message ordering holds for arbitrary interleavings of
+    /// sizes (big messages must not be overtaken by later small ones).
+    #[test]
+    fn p2p_ordering_random_sizes(sizes in prop::collection::vec(0u64..(1 << 22), 1..20)) {
+        let n = sizes.len();
+        e10_simcore::run(async move {
+            let sizes2 = sizes.clone();
+            launch(WorldSpec::for_tests(2, 2), move |comm| {
+                let sizes = sizes2.clone();
+                async move {
+                    if comm.rank() == 0 {
+                        let reqs: Vec<_> = sizes
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &b)| comm.isend(1, 5, b, i))
+                            .collect();
+                        e10_mpisim::waitall(reqs).await;
+                    } else {
+                        for expect in 0..n {
+                            let m = comm.recv(SourceSel::Rank(0), 5).await;
+                            assert_eq!(m.into_data::<usize>(), expect);
+                        }
+                    }
+                }
+            })
+            .await;
+        });
+    }
+}

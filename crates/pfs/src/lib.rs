@@ -1,0 +1,838 @@
+//! # e10-pfs
+//!
+//! A BeeGFS-like global parallel file system, built from the storage and
+//! network models:
+//!
+//! * one **metadata server** (FIFO service per metadata RPC),
+//! * `N` **data targets**, each a RAID array of jittery rotational
+//!   disks behind a per-target ingest link and a shared storage
+//!   backend (the SAS switch of the DEEP-ER JBOD),
+//! * **striping**: files are chunked by `stripe_unit` round-robin over
+//!   `stripe_count` targets,
+//! * **extent locks** at stripe granularity on each target (the file
+//!   system locking protocol that makes unaligned file domains
+//!   contend), plus a per-file range-lock service used by the E10
+//!   `coherent` cache mode.
+//!
+//! Clients interact through [`PfsHandle`]; every operation charges
+//! network transfer, RPC handling, commit latency and device time on
+//! the simulated resources, so aggregate bandwidth, per-stream
+//! small-buffer throughput and server-side response-time variance all
+//! emerge from the model rather than being dialled in.
+
+pub mod lock;
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::rc::Rc;
+
+use e10_netsim::{Network, NodeId};
+use e10_simcore::rng::Jitter;
+use e10_simcore::{join_all, spawn, FairShare, FifoServer, SimDuration, SimRng, Tally};
+use e10_storesim::{
+    Disk, DiskParams, ExtentMap, PageCache, PageCacheParams, Payload, Raid, RaidParams, Source,
+};
+use lock::{LockMode, RangeLock, RangeLockGuard};
+
+/// File-system-wide parameters.
+#[derive(Debug, Clone)]
+pub struct PfsParams {
+    /// Number of data targets.
+    pub data_targets: usize,
+    /// Default stripe unit in bytes (`striping_unit` hint default).
+    pub default_stripe_unit: u64,
+    /// Default stripe count (`striping_factor` hint default).
+    pub default_stripe_count: usize,
+    /// CPU cost of handling one I/O RPC on a target.
+    pub rpc_overhead: SimDuration,
+    /// Server-side commit latency per write RPC (journal/ack path) —
+    /// this is what bounds a single client stream with small buffers.
+    pub commit_latency: SimDuration,
+    /// Metadata RPC service time.
+    pub meta_op: SimDuration,
+    /// Per-target ingest bandwidth (server NIC→storage path), bytes/s.
+    pub ingest_bw: f64,
+    /// Shared backend (SAS switch) bandwidth, bytes/s.
+    pub backend_bw: f64,
+    /// RPC handler threads per target.
+    pub handler_threads: usize,
+    /// RAID-controller write-back cache per target, bytes.
+    pub controller_cache: u64,
+    /// Controller ingest (PCIe/cache-absorb) bandwidth, bytes/s.
+    pub controller_absorb_bw: f64,
+    /// Sorted destage rate from controller cache to media, bytes/s.
+    /// Already accounts for the shared SAS backend split across
+    /// targets under full load.
+    pub destage_bw: f64,
+    /// Coefficient of variation of per-request server jitter (load
+    /// imbalance among I/O servers — the paper's variability driver).
+    pub server_jitter_cv: f64,
+    /// Disk model for target members.
+    pub disk: DiskParams,
+    /// RAID geometry per target.
+    pub raid: RaidParams,
+    /// Disks per target (data + parity).
+    pub disks_per_target: usize,
+}
+
+impl PfsParams {
+    /// The DEEP-ER storage system: 4 data targets, each an 8+2 RAID6 of
+    /// nearline SAS drives, one shared SAS backend, BeeGFS defaults.
+    pub fn deep_er() -> Self {
+        PfsParams {
+            data_targets: 4,
+            default_stripe_unit: 4 * (1 << 20),
+            default_stripe_count: 4,
+            rpc_overhead: SimDuration::from_micros(100),
+            commit_latency: SimDuration::from_micros(6_500),
+            meta_op: SimDuration::from_micros(250),
+            ingest_bw: 1.1e9,
+            backend_bw: 2.6e9,
+            handler_threads: 8,
+            controller_cache: 512 << 20,
+            controller_absorb_bw: 2.5e9,
+            destage_bw: 650e6,
+            server_jitter_cv: 0.4,
+            disk: DiskParams::nearline_sas(),
+            raid: RaidParams::raid6(),
+            disks_per_target: 10,
+        }
+    }
+}
+
+struct Target {
+    node: NodeId,
+    handler: FifoServer,
+    ingest: FairShare,
+    /// Controller write-back cache: foreground writes complete once
+    /// accepted here; destaging to media happens at the sorted
+    /// sequential rate in the background.
+    wbc: PageCache,
+    /// Media array, used by the read path (reads miss the small
+    /// controller cache for our workloads).
+    raid: Raid,
+    stripe_locks: RangeLock,
+    jitter: RefCell<Jitter>,
+    bytes_written: RefCell<Tally>,
+    write_latency: RefCell<Tally>,
+}
+
+struct PfsFileState {
+    stripe_unit: u64,
+    stripe_count: usize,
+    first_target: usize,
+    /// Gives each file a disjoint device region on every target.
+    file_index: u64,
+    data: ExtentMap,
+    size: u64,
+    range_lock: RangeLock,
+    open_handles: usize,
+}
+
+/// The file system instance (one per simulated cluster).
+pub struct Pfs {
+    params: PfsParams,
+    net: Rc<Network>,
+    mds_node: NodeId,
+    mds: FifoServer,
+    backend: FairShare,
+    targets: Vec<Target>,
+    files: RefCell<HashMap<String, Rc<RefCell<PfsFileState>>>>,
+    files_created: RefCell<u64>,
+}
+
+/// Striping overrides at create time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Striping {
+    /// Stripe unit in bytes (None → file-system default).
+    pub unit: Option<u64>,
+    /// Stripe count (None → default; clamped to the target count).
+    pub count: Option<usize>,
+}
+
+/// Errors from PFS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfsError {
+    /// No such file.
+    NotFound(String),
+}
+
+impl std::fmt::Display for PfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PfsError::NotFound(p) => write!(f, "not found: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+impl Pfs {
+    /// Build the file system. `mds_node` and `target_nodes` are the
+    /// fabric node ids of the servers (they must exist in `net`);
+    /// `seed` drives all device jitter streams.
+    pub fn new(
+        params: PfsParams,
+        net: Rc<Network>,
+        mds_node: NodeId,
+        target_nodes: Vec<NodeId>,
+        seed: u64,
+    ) -> Rc<Self> {
+        assert_eq!(
+            target_nodes.len(),
+            params.data_targets,
+            "one fabric node per data target"
+        );
+        let targets = target_nodes
+            .iter()
+            .enumerate()
+            .map(|(t, &node)| {
+                let disks = (0..params.disks_per_target)
+                    .map(|d| {
+                        Disk::new(
+                            params.disk.clone(),
+                            SimRng::stream(seed, (t * 1000 + d) as u64),
+                        )
+                    })
+                    .collect();
+                Target {
+                    node,
+                    handler: FifoServer::new(params.handler_threads),
+                    ingest: FairShare::new(params.ingest_bw),
+                    wbc: PageCache::new(PageCacheParams {
+                        mem_bw: params.controller_absorb_bw,
+                        dirty_limit: params.controller_cache,
+                        capacity: params.controller_cache,
+                        drain_bw: params.destage_bw,
+                    }),
+                    raid: Raid::new(params.raid.clone(), disks),
+                    stripe_locks: RangeLock::new(),
+                    jitter: RefCell::new(Jitter::new(
+                        SimRng::stream(seed, 9_000 + t as u64),
+                        params.server_jitter_cv,
+                    )),
+                    bytes_written: RefCell::new(Tally::new()),
+                    write_latency: RefCell::new(Tally::new()),
+                }
+            })
+            .collect();
+        Rc::new(Pfs {
+            mds: FifoServer::new(1),
+            backend: FairShare::new(params.backend_bw),
+            params,
+            net,
+            mds_node,
+            targets,
+            files: RefCell::new(HashMap::new()),
+            files_created: RefCell::new(0),
+        })
+    }
+
+    /// File-system parameters.
+    pub fn params(&self) -> &PfsParams {
+        &self.params
+    }
+
+    async fn meta_rpc(&self, client: NodeId) {
+        self.net.transfer(client, self.mds_node, 256).await;
+        self.mds.serve(self.params.meta_op).await;
+        self.net.transfer(self.mds_node, client, 128).await;
+    }
+
+    /// Create (or truncate) a file. One metadata RPC.
+    pub async fn create(
+        self: &Rc<Self>,
+        client: NodeId,
+        path: &str,
+        striping: Striping,
+    ) -> PfsHandle {
+        self.meta_rpc(client).await;
+        let unit = striping.unit.unwrap_or(self.params.default_stripe_unit);
+        let count = striping
+            .count
+            .unwrap_or(self.params.default_stripe_count)
+            .clamp(1, self.targets.len());
+        let idx = *self.files_created.borrow();
+        *self.files_created.borrow_mut() += 1;
+        let st = Rc::new(RefCell::new(PfsFileState {
+            stripe_unit: unit,
+            stripe_count: count,
+            first_target: (idx as usize) % self.targets.len(),
+            file_index: idx,
+            data: ExtentMap::new(),
+            size: 0,
+            range_lock: RangeLock::new(),
+            open_handles: 1,
+        }));
+        self.files.borrow_mut().insert(path.to_string(), Rc::clone(&st));
+        PfsHandle {
+            pfs: Rc::clone(self),
+            path: path.to_string(),
+            state: st,
+        }
+    }
+
+    /// Open an existing file. One metadata RPC.
+    pub async fn open(self: &Rc<Self>, client: NodeId, path: &str) -> Result<PfsHandle, PfsError> {
+        self.meta_rpc(client).await;
+        let st = self
+            .files
+            .borrow()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| PfsError::NotFound(path.to_string()))?;
+        st.borrow_mut().open_handles += 1;
+        Ok(PfsHandle {
+            pfs: Rc::clone(self),
+            path: path.to_string(),
+            state: st,
+        })
+    }
+
+    /// Attach to an existing file WITHOUT a metadata RPC — the
+    /// deferred-open optimisation (`romio_no_indep_rw`): non-aggregator
+    /// processes reuse the collectively-established state and only
+    /// talk to the MDS if they later do I/O (which, under collective
+    /// buffering, they do not).
+    pub fn attach(self: &Rc<Self>, path: &str) -> Result<PfsHandle, PfsError> {
+        let st = self
+            .files
+            .borrow()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| PfsError::NotFound(path.to_string()))?;
+        st.borrow_mut().open_handles += 1;
+        Ok(PfsHandle {
+            pfs: Rc::clone(self),
+            path: path.to_string(),
+            state: st,
+        })
+    }
+
+    /// True if the file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.borrow().contains_key(path)
+    }
+
+    /// The logical contents of a file (verification oracle), if it
+    /// exists.
+    pub fn file_extents(&self, path: &str) -> Option<ExtentMap> {
+        self.files
+            .borrow()
+            .get(path)
+            .map(|st| st.borrow().data.clone())
+    }
+
+    /// Aggregate bytes written across all targets.
+    pub fn bytes_written(&self) -> f64 {
+        self.targets
+            .iter()
+            .map(|t| t.bytes_written.borrow().sum())
+            .sum()
+    }
+
+    /// Per-target write service-time statistics (jitter visibility).
+    pub fn target_write_latencies(&self) -> Vec<Tally> {
+        self.targets
+            .iter()
+            .map(|t| t.write_latency.borrow().clone())
+            .collect()
+    }
+
+    /// Instantaneous storage load in `[0, 1]`: for each target, the
+    /// larger of (a) the controller write-back cache's fill fraction
+    /// (destage backlog) and (b) requests queued behind the RPC
+    /// handler pool relative to its size (arrival pressure); averaged
+    /// over targets. Cheap to poll — used by congestion-aware sync.
+    pub fn server_load(&self) -> f64 {
+        let per_target = |t: &Target| {
+            let backlog = t.wbc.dirty() as f64 / self.params.controller_cache as f64;
+            let arrivals =
+                t.handler.queue_len() as f64 / self.params.handler_threads as f64;
+            backlog.max(arrivals).min(1.0)
+        };
+        let sum: f64 = self.targets.iter().map(per_target).sum();
+        sum / self.targets.len() as f64
+    }
+
+    /// Stripe-lock contention: `(grants, contended)` summed over targets.
+    pub fn lock_contention(&self) -> (u64, u64) {
+        self.targets
+            .iter()
+            .map(|t| t.stripe_locks.contention_stats())
+            .fold((0, 0), |(a, b), (g, c)| (a + g, b + c))
+    }
+}
+
+/// A chunk of a file request routed to one target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Chunk {
+    target: usize,
+    dev_offset: u64,
+    file_offset: u64,
+    len: u64,
+}
+
+/// An open file handle.
+#[derive(Clone)]
+pub struct PfsHandle {
+    pfs: Rc<Pfs>,
+    path: String,
+    state: Rc<RefCell<PfsFileState>>,
+}
+
+impl PfsHandle {
+    /// File path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Stripe unit of this file.
+    pub fn stripe_unit(&self) -> u64 {
+        self.state.borrow().stripe_unit
+    }
+
+    /// Stripe count of this file.
+    pub fn stripe_count(&self) -> usize {
+        self.state.borrow().stripe_count
+    }
+
+    /// Current file size.
+    pub fn size(&self) -> u64 {
+        self.state.borrow().size
+    }
+
+    /// Split `[offset, offset+len)` into per-target chunks following
+    /// the striping layout (contiguous same-target pieces merged).
+    fn chunks(&self, offset: u64, len: u64) -> Vec<Chunk> {
+        let st = self.state.borrow();
+        let unit = st.stripe_unit;
+        let count = st.stripe_count as u64;
+        let ntargets = self.pfs.targets.len();
+        // Disjoint per-file device regions, aligned to the stripe unit
+        // so lock-range rounding never couples unrelated chunks.
+        let base = st.file_index * (1u64 << 40).div_ceil(unit) * unit;
+        let mut out: Vec<Chunk> = Vec::new();
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let c = pos / unit;
+            let within = pos % unit;
+            let take = (unit - within).min(end - pos);
+            let target = ((st.first_target as u64 + c % count) % ntargets as u64) as usize;
+            let dev_offset = base + (c / count) * unit + within;
+            if let Some(last) = out.last_mut() {
+                if last.target == target && last.dev_offset + last.len == dev_offset {
+                    last.len += take;
+                    pos += take;
+                    continue;
+                }
+            }
+            out.push(Chunk {
+                target,
+                dev_offset,
+                file_offset: pos,
+                len: take,
+            });
+            pos += take;
+        }
+        out
+    }
+
+    async fn write_chunk(&self, client: NodeId, chunk: Chunk) {
+        let pfs = &self.pfs;
+        let t = &pfs.targets[chunk.target];
+        let t0 = e10_simcore::now();
+        // Client → server wire transfer (data + header).
+        pfs.net.transfer(client, t.node, chunk.len + 128).await;
+        // Stripe-granular extent lock (the file-system locking
+        // protocol): taken when the server starts processing the
+        // request, so conflicting writers serialise for the whole
+        // server-side path (ingest + commit + cache acceptance).
+        let unit = self.state.borrow().stripe_unit;
+        let lstart = (chunk.dev_offset / unit) * unit;
+        let lend = (chunk.dev_offset + chunk.len).div_ceil(unit) * unit;
+        let _lock = t.stripe_locks.lock(lstart..lend, LockMode::Exclusive).await;
+        // Server NIC → storage path.
+        t.ingest.serve(chunk.len as f64).await;
+        // RPC handling + journal commit on a handler thread; the
+        // commit path carries the server-side jitter (load imbalance).
+        let j = t.jitter.borrow_mut().sample();
+        t.handler
+            .serve(pfs.params.rpc_overhead + pfs.params.commit_latency.mul_f64(j))
+            .await;
+        // Accept into the controller write-back cache: instant-ish when
+        // the cache has room, throttled to the destage rate when full.
+        t.wbc.write(chunk.len).await;
+        // Ack back to the client.
+        pfs.net.transfer(t.node, client, 64).await;
+        t.bytes_written.borrow_mut().push(chunk.len as f64);
+        t.write_latency
+            .borrow_mut()
+            .push(e10_simcore::now().since(t0).as_secs_f64());
+    }
+
+    /// Write `payload` at `offset`; returns when all stripe chunks are
+    /// committed. Chunks to different targets proceed in parallel.
+    pub async fn write(&self, client: NodeId, offset: u64, payload: Payload) {
+        let len = payload.len;
+        if len == 0 {
+            return;
+        }
+        let chunks = self.chunks(offset, len);
+        let mut hs = Vec::new();
+        for chunk in chunks {
+            let this = self.clone();
+            hs.push(spawn(async move { this.write_chunk(client, chunk).await }));
+        }
+        join_all(hs).await;
+        let mut st = self.state.borrow_mut();
+        st.data.insert(offset, len, payload.src);
+        st.size = st.size.max(offset + len);
+    }
+
+    /// Write a set of disjoint `(offset, payload)` pieces as ONE
+    /// spanning I/O of `[span_start, span_start + span_len)` — the
+    /// shape of a data-sieving read-modify-write, where the whole
+    /// collective-buffer window is written back but only the pieces
+    /// carry new content. Timing covers the full span; the extent map
+    /// only records the pieces (the rest re-writes old data).
+    pub async fn write_span_pieces(
+        &self,
+        client: NodeId,
+        span_start: u64,
+        span_len: u64,
+        pieces: Vec<(u64, Payload)>,
+    ) {
+        if span_len == 0 {
+            return;
+        }
+        let chunks = self.chunks(span_start, span_len);
+        let mut hs = Vec::new();
+        for chunk in chunks {
+            let this = self.clone();
+            hs.push(spawn(async move { this.write_chunk(client, chunk).await }));
+        }
+        join_all(hs).await;
+        let mut st = self.state.borrow_mut();
+        for (off, p) in pieces {
+            debug_assert!(off >= span_start && off + p.len <= span_start + span_len);
+            let len = p.len;
+            st.data.insert(off, len, p.src);
+            st.size = st.size.max(off + len);
+        }
+        st.size = st.size.max(span_start + span_len);
+    }
+
+    /// Read `[offset, offset+len)`: charges transfer/device time and
+    /// returns the stored pieces (holes as `None`).
+    pub async fn read(
+        &self,
+        client: NodeId,
+        offset: u64,
+        len: u64,
+    ) -> Vec<(Range<u64>, Option<Source>)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let chunks = self.chunks(offset, len);
+        let mut hs = Vec::new();
+        for chunk in chunks {
+            let this = self.clone();
+            hs.push(spawn(async move {
+                let pfs = &this.pfs;
+                let t = &pfs.targets[chunk.target];
+                pfs.net.transfer(client, t.node, 128).await;
+                let unit = this.state.borrow().stripe_unit;
+                let lstart = (chunk.dev_offset / unit) * unit;
+                let lend = (chunk.dev_offset + chunk.len).div_ceil(unit) * unit;
+                let _lock = t.stripe_locks.lock(lstart..lend, LockMode::Shared).await;
+                t.handler.serve(pfs.params.rpc_overhead).await;
+                let raid = t.raid.clone();
+                let (off, l) = (chunk.dev_offset, chunk.len);
+                let h = spawn(async move { raid.read(off, l).await });
+                pfs.backend.serve(chunk.len as f64).await;
+                h.await;
+                pfs.net.transfer(t.node, client, chunk.len + 64).await;
+            }));
+        }
+        join_all(hs).await;
+        self.state.borrow().data.lookup(offset, len)
+    }
+
+    /// Take a byte-range lock on the file (used by the E10 `coherent`
+    /// cache mode). One metadata RPC, then a grant from the per-file
+    /// lock service.
+    pub async fn lock_extent(
+        &self,
+        client: NodeId,
+        range: Range<u64>,
+        mode: LockMode,
+    ) -> RangeLockGuard {
+        self.pfs.meta_rpc(client).await;
+        let rl = self.state.borrow().range_lock.clone();
+        rl.lock(range, mode).await
+    }
+
+    /// Close the handle (one metadata RPC).
+    pub async fn close(&self, client: NodeId) {
+        self.pfs.meta_rpc(client).await;
+        self.state.borrow_mut().open_handles -= 1;
+    }
+
+    /// Release an attached handle without a metadata RPC (the
+    /// deferred-open counterpart of [`Pfs::attach`]).
+    pub fn detach(&self) {
+        self.state.borrow_mut().open_handles -= 1;
+    }
+
+    /// The file's logical contents (verification oracle).
+    pub fn extents(&self) -> ExtentMap {
+        self.state.borrow().data.clone()
+    }
+
+    /// See [`Pfs::server_load`].
+    pub fn server_load(&self) -> f64 {
+        self.pfs.server_load()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e10_netsim::NetConfig;
+    use e10_simcore::{now, run};
+
+    /// 8 client nodes (0..8), MDS on node 8, targets on nodes 9..13.
+    fn small_cluster() -> (Rc<Network>, Rc<Pfs>) {
+        let net = Rc::new(Network::new(NetConfig::ib_qdr(13), 13));
+        let mut params = PfsParams::deep_er();
+        params.disk.jitter_cv = 0.0;
+        let pfs = Pfs::new(params, Rc::clone(&net), 8, (9..13).collect(), 42);
+        (net, pfs)
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs.create(0, "/gfs/out", Striping::default()).await;
+            f.write(0, 0, Payload::gen(5, 0, 1 << 20)).await;
+            assert_eq!(f.size(), 1 << 20);
+            let pieces = f.read(1, 0, 1 << 20).await;
+            assert!(pieces.iter().all(|(_, s)| s.is_some()));
+            assert!(f.extents().verify_gen(5, 0, 1 << 20).is_ok());
+        });
+    }
+
+    #[test]
+    fn chunking_follows_striping() {
+        run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs
+                .create(
+                    0,
+                    "/gfs/a",
+                    Striping {
+                        unit: Some(100),
+                        count: Some(4),
+                    },
+                )
+                .await;
+            let chunks = f.chunks(50, 300);
+            assert_eq!(chunks.len(), 4);
+            assert_eq!(chunks[0].len, 50);
+            assert_eq!(chunks[1].len, 100);
+            let total: u64 = chunks.iter().map(|c| c.len).sum();
+            assert_eq!(total, 300);
+            let targets: std::collections::HashSet<usize> =
+                chunks.iter().map(|c| c.target).collect();
+            assert_eq!(targets.len(), 4, "round-robin over 4 targets");
+        });
+    }
+
+    #[test]
+    fn stripe_count_one_uses_single_target() {
+        run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs
+                .create(0, "/gfs/a", Striping { unit: Some(100), count: Some(1) })
+                .await;
+            let chunks = f.chunks(0, 1000);
+            // All on one target, merged into a single contiguous chunk.
+            assert_eq!(chunks.len(), 1);
+            assert_eq!(chunks[0].len, 1000);
+        });
+    }
+
+    #[test]
+    fn second_file_starts_on_next_target_and_disjoint_region() {
+        run(async {
+            let (_net, pfs) = small_cluster();
+            let a = pfs
+                .create(0, "/gfs/a", Striping { unit: Some(100), count: Some(2) })
+                .await;
+            let b = pfs
+                .create(0, "/gfs/b", Striping { unit: Some(100), count: Some(2) })
+                .await;
+            let ca = a.chunks(0, 100)[0].clone();
+            let cb = b.chunks(0, 100)[0].clone();
+            assert_ne!(ca.target, cb.target);
+            assert_ne!(ca.dev_offset, cb.dev_offset);
+        });
+    }
+
+    #[test]
+    fn open_missing_file_errors() {
+        run(async {
+            let (_net, pfs) = small_cluster();
+            let r = pfs.open(0, "/gfs/none").await;
+            assert!(matches!(r, Err(PfsError::NotFound(_))));
+        });
+    }
+
+    #[test]
+    fn parallel_clients_beat_single_client() {
+        let (t_single, t_multi) = run(async {
+            let (_net, pfs) = small_cluster();
+            let size = 64u64 << 20;
+            let f = pfs.create(0, "/gfs/s", Striping::default()).await;
+            let t0 = now();
+            for i in 0..(size / (4 << 20)) {
+                f.write(0, i * (4 << 20), Payload::gen(1, i * (4 << 20), 4 << 20))
+                    .await;
+            }
+            let t_single = now().since(t0).as_secs_f64();
+
+            let g = pfs.create(0, "/gfs/m", Striping::default()).await;
+            let t1 = now();
+            let mut hs = Vec::new();
+            for c in 0..4u64 {
+                let g = g.clone();
+                hs.push(spawn(async move {
+                    let share = size / 4;
+                    for i in 0..(share / (4 << 20)) {
+                        let off = c * share + i * (4 << 20);
+                        g.write(c as usize, off, Payload::gen(2, off, 4 << 20)).await;
+                    }
+                }));
+            }
+            join_all(hs).await;
+            (t_single, now().since(t1).as_secs_f64())
+        });
+        assert!(
+            t_multi < t_single * 0.7,
+            "multi={t_multi} single={t_single}"
+        );
+    }
+
+    #[test]
+    fn small_buffer_stream_is_latency_bound() {
+        let bw = run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs.create(0, "/gfs/s", Striping::default()).await;
+            let chunk = 512u64 << 10; // the paper's ind_wr_buffer_size
+            let total = 64u64 << 20;
+            let t0 = now();
+            for i in 0..(total / chunk) {
+                f.write(0, i * chunk, Payload::gen(1, i * chunk, chunk)).await;
+            }
+            total as f64 / now().since(t0).as_secs_f64()
+        });
+        // A 512 KB-at-a-time serial stream must land well below the
+        // aggregate system bandwidth.
+        assert!((50e6..400e6).contains(&bw), "per-stream bw={bw}");
+    }
+
+    #[test]
+    fn unaligned_writers_contend_on_stripe_locks() {
+        run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs
+                .create(0, "/gfs/c", Striping { unit: Some(1 << 20), count: Some(1) })
+                .await;
+            let mut hs = Vec::new();
+            // Two clients write halves of the SAME stripe unit.
+            for c in 0..2u64 {
+                let f = f.clone();
+                hs.push(spawn(async move {
+                    f.write(c as usize, c * (512 << 10), Payload::zero(512 << 10))
+                        .await;
+                }));
+            }
+            join_all(hs).await;
+            let (_, contended) = pfs.lock_contention();
+            assert!(contended >= 1, "expected stripe-lock contention");
+        });
+    }
+
+    #[test]
+    fn aligned_writers_do_not_contend() {
+        run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs
+                .create(0, "/gfs/c", Striping { unit: Some(1 << 20), count: Some(1) })
+                .await;
+            let mut hs = Vec::new();
+            for c in 0..2u64 {
+                let f = f.clone();
+                hs.push(spawn(async move {
+                    f.write(c as usize, c * (1 << 20), Payload::zero(1 << 20)).await;
+                }));
+            }
+            join_all(hs).await;
+            let (_, contended) = pfs.lock_contention();
+            assert_eq!(contended, 0);
+        });
+    }
+
+    #[test]
+    fn coherent_mode_extent_locks_block_readers() {
+        run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs.create(0, "/gfs/l", Striping::default()).await;
+            let g = f.lock_extent(0, 0..1024, LockMode::Exclusive).await;
+            let f2 = f.clone();
+            let h = spawn(async move {
+                let _r = f2.lock_extent(1, 0..10, LockMode::Shared).await;
+                now().as_secs_f64()
+            });
+            e10_simcore::sleep(SimDuration::from_secs(1)).await;
+            drop(g);
+            let t = h.await;
+            assert!(t >= 1.0, "reader must wait for the writer, got {t}");
+        });
+    }
+
+    #[test]
+    fn write_latency_statistics_show_jitter() {
+        run(async {
+            let net = Rc::new(Network::new(NetConfig::ib_qdr(13), 13));
+            let pfs = Pfs::new(PfsParams::deep_er(), Rc::clone(&net), 8, (9..13).collect(), 7);
+            let f = pfs.create(0, "/gfs/j", Striping::default()).await;
+            for i in 0..32u64 {
+                f.write(0, i * (4 << 20), Payload::zero(4 << 20)).await;
+            }
+            let lat = pfs.target_write_latencies();
+            let total: u64 = lat.iter().map(|t| t.count()).sum();
+            assert_eq!(total, 32);
+            let any_jitter = lat.iter().any(|t| t.count() > 2 && t.cv() > 0.01);
+            assert!(any_jitter, "disk jitter must surface in service times");
+        });
+    }
+
+    #[test]
+    fn close_decrements_handles() {
+        run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs.create(0, "/gfs/h", Striping::default()).await;
+            let f2 = pfs.open(1, "/gfs/h").await.unwrap();
+            assert_eq!(f.state.borrow().open_handles, 2);
+            f2.close(1).await;
+            f.close(0).await;
+            assert_eq!(f.state.borrow().open_handles, 0);
+            assert!(pfs.exists("/gfs/h"));
+        });
+    }
+}

@@ -1,0 +1,658 @@
+//! The ADIO file abstraction: open/close/sync/flush and contiguous
+//! writes, with the E10 cache redirection of Fig. 2's
+//! `ADIOI_GEN_WriteContig`.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use e10_localfs::FsError;
+use e10_mpisim::{Comm, Info};
+use e10_pfs::{PfsError, PfsHandle, Striping};
+use e10_storesim::Payload;
+
+use crate::cache::CacheLayer;
+use crate::fd::select_aggregators_capped;
+use crate::hints::{CacheMode, HintError, RomioHints};
+use crate::profile::{Phase, Profiler};
+use crate::testbed::IoCtx;
+
+/// Errors surfaced by ADIO operations.
+#[derive(Debug)]
+pub enum AdioError {
+    /// A hint was present but invalid.
+    Hint(HintError),
+    /// Global file-system error.
+    Pfs(PfsError),
+    /// Local (cache) file-system error.
+    Local(FsError),
+}
+
+impl std::fmt::Display for AdioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdioError::Hint(e) => write!(f, "hint error: {e}"),
+            AdioError::Pfs(e) => write!(f, "global fs error: {e}"),
+            AdioError::Local(e) => write!(f, "local fs error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdioError {}
+
+impl From<HintError> for AdioError {
+    fn from(e: HintError) -> Self {
+        AdioError::Hint(e)
+    }
+}
+
+impl From<PfsError> for AdioError {
+    fn from(e: PfsError) -> Self {
+        AdioError::Pfs(e)
+    }
+}
+
+/// What a write call's buffer logically contains.
+///
+/// Benchmarks use [`DataSpec::FileGen`]: the buffer holds the bytes
+/// that belong at the target file offsets of generator stream `seed`,
+/// which makes the final file self-verifying at any scale. Byte-exact
+/// tests use [`DataSpec::Buffer`].
+#[derive(Debug, Clone)]
+pub enum DataSpec {
+    /// Identity-mapped generator data (`file[p] = gen_byte(seed, p)`).
+    FileGen {
+        /// Stream id (typically one per file).
+        seed: u64,
+    },
+    /// An explicit local buffer.
+    Buffer(Payload),
+}
+
+impl DataSpec {
+    /// The payload for the view piece at `buf_off` that lands at
+    /// `file_off`.
+    pub fn piece(&self, buf_off: u64, file_off: u64, len: u64) -> Payload {
+        match self {
+            DataSpec::FileGen { seed } => Payload::gen(*seed, file_off, len),
+            DataSpec::Buffer(p) => p.slice(buf_off, len),
+        }
+    }
+}
+
+/// An open MPI file, bound to one rank (`ADIO_File`).
+#[derive(Clone)]
+pub struct AdioFile {
+    /// The communicator the file was opened on.
+    pub comm: Comm,
+    ctx: IoCtx,
+    global: PfsHandle,
+    hints: Rc<RomioHints>,
+    cache: Option<CacheLayer>,
+    profiler: Profiler,
+    aggregators: Rc<Vec<usize>>,
+    my_agg_index: Option<usize>,
+    deferred_open: bool,
+    atomic: Rc<Cell<bool>>,
+    closed: Rc<Cell<bool>>,
+}
+
+impl AdioFile {
+    /// Collective open (`ADIOI_GEN_OpenColl`): creates (or opens) the
+    /// global file, resolves hints and aggregators, and — when
+    /// `e10_cache` asks for it — opens the node-local cache file,
+    /// reverting to the standard path if that fails (paper §III-A).
+    pub async fn open(
+        ctx: &IoCtx,
+        path: &str,
+        info: &Info,
+        create: bool,
+    ) -> Result<AdioFile, AdioError> {
+        let hints = RomioHints::parse(info)?;
+        let profiler = Profiler::new();
+        let timer = profiler.enter(Phase::OpenColl);
+        let comm = ctx.comm.clone();
+
+        let striping = Striping {
+            unit: hints.striping_unit,
+            count: hints.striping_factor,
+        };
+        let node_map = comm.node_map();
+        let nnodes = node_map.iter().copied().max().map(|m| m + 1).unwrap_or(1);
+        let aggregators = Rc::new(select_aggregators_capped(
+            &node_map,
+            hints.cb_nodes.unwrap_or(nnodes),
+            hints.cb_config_max_per_node.unwrap_or(usize::MAX),
+        ));
+        let my_agg_index = aggregators.iter().position(|&r| r == comm.rank());
+
+        // Rank 0 creates; everyone else opens after the create is
+        // globally visible. With `romio_no_indep_rw` (deferred open)
+        // only the aggregators pay the metadata RPC; the rest attach.
+        let deferred = hints.no_indep_rw && my_agg_index.is_none() && comm.rank() != 0;
+        let global = if comm.rank() == 0 {
+            let h = if create || !ctx.pfs.exists(path) {
+                ctx.pfs.create(comm.node(), path, striping).await
+            } else {
+                ctx.pfs.open(comm.node(), path).await?
+            };
+            comm.barrier().await;
+            h
+        } else {
+            comm.barrier().await;
+            if deferred {
+                ctx.pfs.attach(path)?
+            } else {
+                ctx.pfs.open(comm.node(), path).await?
+            }
+        };
+
+        let cache = if hints.cache_requested() {
+            let basename = path.rsplit('/').next().unwrap_or(path);
+            // "If for any reason the open of the cache file fails, the
+            // implementation reverts to standard open."
+            CacheLayer::open(
+                ctx.my_localfs().clone(),
+                &hints.e10_cache_path,
+                basename,
+                comm.rank(),
+                comm.node(),
+                global.clone(),
+                hints.ind_wr_buffer_size,
+                hints.e10_cache_flush_flag,
+                hints.e10_cache == CacheMode::Coherent,
+                hints.e10_cache_discard_flag,
+                hints.e10_cache_evict,
+                hints.e10_sync_policy,
+            )
+            .await
+            .ok()
+        } else {
+            None
+        };
+        drop(timer);
+
+        Ok(AdioFile {
+            comm,
+            ctx: ctx.clone(),
+            global,
+            hints: Rc::new(hints),
+            cache,
+            profiler,
+            aggregators,
+            my_agg_index,
+            deferred_open: deferred,
+            atomic: Rc::new(Cell::new(false)),
+            closed: Rc::new(Cell::new(false)),
+        })
+    }
+
+    /// The resolved hints (`MPI_File_get_info`).
+    pub fn hints(&self) -> &RomioHints {
+        &self.hints
+    }
+
+    /// This file's profiler.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The aggregator ranks for collective I/O on this file.
+    pub fn aggregators(&self) -> &[usize] {
+        &self.aggregators
+    }
+
+    /// This rank's index among the aggregators, if it is one.
+    pub fn my_agg_index(&self) -> Option<usize> {
+        self.my_agg_index
+    }
+
+    /// True if the E10 cache is active (requested, opened and not
+    /// degraded).
+    pub fn cache_active(&self) -> bool {
+        self.cache.as_ref().is_some_and(|c| !c.is_degraded())
+    }
+
+    /// The cache layer, if any.
+    pub fn cache(&self) -> Option<&CacheLayer> {
+        self.cache.as_ref()
+    }
+
+    /// The global file handle (verification / inspection).
+    pub fn global(&self) -> &PfsHandle {
+        &self.global
+    }
+
+    /// The stripe unit in effect for this file.
+    pub fn stripe_unit(&self) -> u64 {
+        self.global.stripe_unit()
+    }
+
+    /// Resolved I/O context.
+    pub fn ctx(&self) -> &IoCtx {
+        &self.ctx
+    }
+
+    /// `MPI_File_set_atomicity` (paper §III-B: "can even enforce
+    /// atomicity using MPI_File_set_atomicity()"). In atomic mode every
+    /// non-cached write takes an exclusive byte-range lock on the
+    /// global file for its whole extent, so concurrent overlapping
+    /// writes serialise and readers never observe torn updates. With
+    /// the E10 cache, atomic visibility is instead provided by the
+    /// `coherent` cache mode.
+    pub fn set_atomicity(&self, atomic: bool) {
+        self.atomic.set(atomic);
+    }
+
+    /// Current atomicity flag (`MPI_File_get_atomicity`).
+    pub fn atomicity(&self) -> bool {
+        self.atomic.get()
+    }
+
+    /// `ADIOI_GEN_WriteContig` / `ADIO_WriteContig`: one contiguous
+    /// extent, through the cache when enabled (falling back to the
+    /// global file if the cache has degraded).
+    pub async fn write_contig(&self, offset: u64, payload: Payload) {
+        let _t = self.profiler.enter(Phase::Write);
+        if let Some(c) = &self.cache {
+            match c.write(offset, payload.clone()).await {
+                Ok(true) => return,
+                Ok(false) => {} // degraded → global path below
+                Err(_) => {}    // unexpected local error → global path
+            }
+        }
+        let _guard = if self.atomic.get() && payload.len > 0 {
+            Some(
+                self.global
+                    .lock_extent(
+                        self.comm.node(),
+                        offset..offset + payload.len,
+                        e10_pfs::lock::LockMode::Exclusive,
+                    )
+                    .await,
+            )
+        } else {
+            None
+        };
+        self.global.write(self.comm.node(), offset, payload).await;
+    }
+
+    /// Write disjoint pieces as one spanning I/O (the write half of a
+    /// collective-buffer read-modify-write). Only meaningful on the
+    /// non-cached path.
+    pub async fn write_span(&self, span_start: u64, span_len: u64, pieces: Vec<(u64, Payload)>) {
+        let _t = self.profiler.enter(Phase::Write);
+        self.global
+            .write_span_pieces(self.comm.node(), span_start, span_len, pieces)
+            .await;
+    }
+
+    /// Contiguous read from the global file. Reads are not served from
+    /// the cache (paper §III-B: cache reads unsupported); in `coherent`
+    /// mode they take a shared extent lock so in-transit data cannot be
+    /// observed.
+    pub async fn read_contig(
+        &self,
+        offset: u64,
+        len: u64,
+    ) -> Vec<(std::ops::Range<u64>, Option<e10_storesim::Source>)> {
+        let _guard = if self.hints.e10_cache == CacheMode::Coherent && len > 0 {
+            Some(
+                self.global
+                    .lock_extent(
+                        self.comm.node(),
+                        offset..offset + len,
+                        e10_pfs::lock::LockMode::Shared,
+                    )
+                    .await,
+            )
+        } else {
+            None
+        };
+        self.global.read(self.comm.node(), offset, len).await
+    }
+
+    /// `MPI_File_sync`: after it returns, all data this process wrote
+    /// is visible in the global file.
+    pub async fn file_sync(&self) {
+        let _t = self.profiler.enter(Phase::FlushWait);
+        if let Some(c) = &self.cache {
+            c.flush().await;
+        }
+    }
+
+    /// `MPI_File_close` (collective): flush the cache, stop the sync
+    /// thread, optionally discard the cache file, close the global
+    /// handle and synchronise the communicator.
+    pub async fn close(&self) {
+        if self.closed.replace(true) {
+            return;
+        }
+        {
+            let _t = self.profiler.enter(Phase::FlushWait);
+            if let Some(c) = &self.cache {
+                c.close().await;
+            }
+        }
+        let _t = self.profiler.enter(Phase::Close);
+        if self.deferred_open {
+            self.global.detach();
+        } else {
+            self.global.close(self.comm.node()).await;
+        }
+        self.comm.barrier().await;
+    }
+
+    /// True once closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed.get()
+    }
+
+    /// A view of the same open file bound to a sub-communicator, with
+    /// its own aggregator set (in sub-rank numbering). Used by the
+    /// partitioned-collective baseline: the global handle, cache layer
+    /// and profiler are shared; only the coordination scope changes.
+    pub(crate) fn with_comm(&self, sub: Comm, aggregators: Vec<usize>) -> AdioFile {
+        let my_agg_index = aggregators.iter().position(|&r| r == sub.rank());
+        AdioFile {
+            comm: sub,
+            ctx: self.ctx.clone(),
+            global: self.global.clone(),
+            hints: Rc::clone(&self.hints),
+            cache: self.cache.clone(),
+            profiler: self.profiler.clone(),
+            aggregators: Rc::new(aggregators),
+            my_agg_index,
+            deferred_open: self.deferred_open,
+            atomic: Rc::clone(&self.atomic),
+            closed: Rc::clone(&self.closed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::TestbedSpec;
+    use e10_mpisim::{FileView, FlatType};
+    use e10_simcore::run;
+
+    fn info_with(pairs: &[(&str, &str)]) -> Info {
+        let i = Info::new();
+        for (k, v) in pairs {
+            i.set(k, v);
+        }
+        i
+    }
+
+    /// Run a closure per rank on a small testbed.
+    async fn on_testbed<F, Fut>(procs: usize, nodes: usize, f: F)
+    where
+        F: Fn(IoCtx) -> Fut,
+        Fut: std::future::Future<Output = ()> + 'static,
+    {
+        let tb = TestbedSpec::small(procs, nodes).build();
+        let handles: Vec<_> = tb
+            .ctxs()
+            .into_iter()
+            .map(|ctx| e10_simcore::spawn(f(ctx)))
+            .collect();
+        e10_simcore::join_all(handles).await;
+    }
+
+    #[test]
+    fn open_write_close_without_cache() {
+        run(async {
+            on_testbed(4, 2, |ctx| async move {
+                let f = AdioFile::open(&ctx, "/gfs/plain", &Info::new(), true)
+                    .await
+                    .unwrap();
+                assert!(!f.cache_active());
+                let off = ctx.comm.rank() as u64 * 1024;
+                f.write_contig(off, Payload::gen(1, off, 1024)).await;
+                f.close().await;
+                assert!(f.is_closed());
+                if ctx.comm.rank() == 0 {
+                    assert!(f.global().extents().verify_gen(1, 0, 4096).is_ok());
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn cache_enabled_write_is_deferred_until_close() {
+        run(async {
+            on_testbed(2, 1, |ctx| async move {
+                let info = info_with(&[
+                    ("e10_cache", "enable"),
+                    ("e10_cache_flush_flag", "flush_onclose"),
+                    ("e10_cache_discard_flag", "enable"),
+                ]);
+                let f = AdioFile::open(&ctx, "/gfs/cached", &info, true).await.unwrap();
+                assert!(f.cache_active());
+                let off = ctx.comm.rank() as u64 * 4096;
+                f.write_contig(off, Payload::gen(2, off, 4096)).await;
+                // Not yet visible globally.
+                assert!(!f.global().extents().covered(off, 1));
+                f.close().await;
+                assert!(f.global().extents().verify_gen(2, off, 4096).is_ok());
+                // Discarded after close.
+                let (_, used) = ctx.my_localfs().statfs();
+                assert_eq!(used, 0, "cache file must be discarded");
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn file_sync_makes_data_visible() {
+        run(async {
+            on_testbed(2, 1, |ctx| async move {
+                let info = info_with(&[("e10_cache", "enable")]);
+                let f = AdioFile::open(&ctx, "/gfs/synced", &info, true).await.unwrap();
+                let off = ctx.comm.rank() as u64 * 1000;
+                f.write_contig(off, Payload::gen(3, off, 1000)).await;
+                f.file_sync().await;
+                assert!(f.global().extents().verify_gen(3, off, 1000).is_ok());
+                f.close().await;
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn cache_open_failure_reverts_to_standard_path() {
+        run(async {
+            // Zero-capacity scratch: cache file creation succeeds but
+            // the first write degrades... make create itself fail by
+            // pointing nothing anywhere — instead verify degraded-write
+            // fallback end to end with a tiny scratch.
+            let mut spec = TestbedSpec::small(2, 1);
+            spec.localfs.capacity = 512; // almost nothing
+            let tb = spec.build();
+            let handles: Vec<_> = tb
+                .ctxs()
+                .into_iter()
+                .map(|ctx| {
+                    e10_simcore::spawn(async move {
+                        let info = info_with(&[("e10_cache", "enable")]);
+                        let f = AdioFile::open(&ctx, "/gfs/fallback", &info, true)
+                            .await
+                            .unwrap();
+                        let off = ctx.comm.rank() as u64 * 100_000;
+                        f.write_contig(off, Payload::gen(4, off, 100_000)).await;
+                        // Data must land in the global file despite the
+                        // cache being unusable.
+                        f.close().await;
+                        assert!(f.global().extents().verify_gen(4, off, 100_000).is_ok());
+                    })
+                })
+                .collect();
+            e10_simcore::join_all(handles).await;
+        });
+    }
+
+    #[test]
+    fn aggregator_resolution_follows_cb_nodes() {
+        run(async {
+            on_testbed(8, 4, |ctx| async move {
+                let info = info_with(&[("cb_nodes", "2")]);
+                let f = AdioFile::open(&ctx, "/gfs/aggsel", &info, true).await.unwrap();
+                assert_eq!(f.aggregators(), &[0, 2]);
+                match ctx.comm.rank() {
+                    0 => assert_eq!(f.my_agg_index(), Some(0)),
+                    2 => assert_eq!(f.my_agg_index(), Some(1)),
+                    _ => assert_eq!(f.my_agg_index(), None),
+                }
+                f.close().await;
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn default_aggregators_one_per_node() {
+        run(async {
+            on_testbed(8, 4, |ctx| async move {
+                let f = AdioFile::open(&ctx, "/gfs/defagg", &Info::new(), true)
+                    .await
+                    .unwrap();
+                assert_eq!(f.aggregators(), &[0, 2, 4, 6]);
+                f.close().await;
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn cb_config_list_caps_aggregators_per_node() {
+        run(async {
+            on_testbed(8, 2, |ctx| async move {
+                // 8 ranks on 2 nodes; ask for 6 aggregators but at most
+                // 2 per node → only 4 can be placed.
+                let info = info_with(&[("cb_nodes", "6"), ("cb_config_list", "*:2")]);
+                let f = AdioFile::open(&ctx, "/gfs/cbl", &info, true).await.unwrap();
+                assert_eq!(f.aggregators(), &[0, 4, 1, 5]);
+                f.close().await;
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn deferred_open_skips_metadata_for_non_aggregators() {
+        run(async {
+            // Measure open duration per rank with/without the hint.
+            async fn open_times(defer: bool) -> (f64, f64) {
+                let tb = TestbedSpec::small(8, 4).build();
+                let handles: Vec<_> = tb
+                    .ctxs()
+                    .into_iter()
+                    .map(|ctx| {
+                        e10_simcore::spawn(async move {
+                            let info = info_with(&[("cb_nodes", "2")]);
+                            if defer {
+                                info.set("romio_no_indep_rw", "true");
+                            }
+                            let t0 = e10_simcore::now();
+                            let f = AdioFile::open(&ctx, "/gfs/dop", &info, true)
+                                .await
+                                .unwrap();
+                            let dt = e10_simcore::now().since(t0).as_secs_f64();
+                            // Correctness is unaffected.
+                            let off = ctx.comm.rank() as u64 * 4096;
+                            let view = FileView::new(&FlatType::contiguous(4096), off);
+                            crate::collective::write_at_all(
+                                &f,
+                                &view,
+                                &DataSpec::FileGen { seed: 55 },
+                            )
+                            .await;
+                            f.close().await;
+                            if ctx.comm.rank() == 0 {
+                                f.global().extents().verify_gen(55, 0, 8 * 4096).unwrap();
+                            }
+                            (ctx.comm.rank(), dt, f.my_agg_index().is_some())
+                        })
+                    })
+                    .collect();
+                let outs = e10_simcore::join_all(handles).await;
+                let non_agg_mean = outs
+                    .iter()
+                    .filter(|(r, _, agg)| !agg && *r != 0)
+                    .map(|(_, t, _)| t)
+                    .sum::<f64>()
+                    / outs.iter().filter(|(r, _, agg)| !agg && *r != 0).count() as f64;
+                let agg_mean = outs
+                    .iter()
+                    .filter(|(_, _, agg)| *agg)
+                    .map(|(_, t, _)| t)
+                    .sum::<f64>()
+                    / outs.iter().filter(|(_, _, agg)| *agg).count() as f64;
+                (non_agg_mean, agg_mean)
+            }
+            let (plain_non_agg, _) = open_times(false).await;
+            let (defer_non_agg, defer_agg) = open_times(true).await;
+            assert!(
+                defer_non_agg < plain_non_agg,
+                "deferred open must be cheaper for non-aggregators:                  {defer_non_agg} vs {plain_non_agg}"
+            );
+            // Aggregators still pay the full open.
+            assert!(defer_agg > defer_non_agg);
+        });
+    }
+
+    #[test]
+    fn atomic_mode_serialises_overlapping_writers() {
+        run(async {
+            on_testbed(2, 2, |ctx| async move {
+                let f = AdioFile::open(&ctx, "/gfs/atomic", &Info::new(), true)
+                    .await
+                    .unwrap();
+                assert!(!f.atomicity());
+                f.set_atomicity(true);
+                assert!(f.atomicity());
+                // Both ranks write the SAME extent with different
+                // seeds; atomicity guarantees the result is entirely
+                // one or the other, never interleaved.
+                let seed = 60 + ctx.comm.rank() as u64;
+                f.write_contig(0, Payload::gen(seed, 0, 256 << 10)).await;
+                f.close().await;
+                if ctx.comm.rank() == 0 {
+                    let ext = f.global().extents();
+                    let a = ext.verify_gen(60, 0, 256 << 10);
+                    let b = ext.verify_gen(61, 0, 256 << 10);
+                    assert!(
+                        a.is_ok() ^ b.is_ok(),
+                        "exactly one writer must win wholesale: {a:?} {b:?}"
+                    );
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn double_close_is_idempotent() {
+        run(async {
+            on_testbed(2, 1, |ctx| async move {
+                let f = AdioFile::open(&ctx, "/gfs/dc", &Info::new(), true).await.unwrap();
+                f.close().await;
+                f.close().await;
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn invalid_hint_fails_open() {
+        run(async {
+            on_testbed(1, 1, |ctx| async move {
+                let info = info_with(&[("e10_cache", "bogus")]);
+                let r = AdioFile::open(&ctx, "/gfs/x", &info, true).await;
+                assert!(matches!(r, Err(AdioError::Hint(_))));
+            })
+            .await;
+        });
+    }
+}

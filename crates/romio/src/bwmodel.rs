@@ -1,0 +1,129 @@
+//! The perceived-bandwidth model of §III-D (Equations 1 and 2).
+//!
+//! With `S(k)` bytes written in I/O phase `k`, `T_c(k)` the collective
+//! write time into the cache, `T_s(k)` the background synchronisation
+//! time and `C(k+1)` the following compute phase:
+//!
+//! ```text
+//! bw(k) = S(k) / (T_c(k) + max(0, T_s(k) - C(k+1)))          (Eq. 1)
+//! BW    = ΣS(k) / Σ(T_c(k) + max(0, T_s(k) - C(k+1)))        (Eq. 2)
+//! ```
+
+/// One I/O phase's measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseMeasure {
+    /// Bytes written, `S(k)`.
+    pub bytes: u64,
+    /// Collective write time (seconds), `T_c(k)`.
+    pub t_c: f64,
+    /// Cache synchronisation time (seconds), `T_s(k)`; 0 when the cache
+    /// is disabled (the write itself goes to the global file).
+    pub t_s: f64,
+    /// Available overlap: the following compute phase `C(k+1)`
+    /// (0 for the last phase, which has nothing to hide behind).
+    pub c_next: f64,
+}
+
+impl PhaseMeasure {
+    /// The non-hidden synchronisation `max(0, T_s - C)` of Eq. 1.
+    pub fn not_hidden_sync(&self) -> f64 {
+        (self.t_s - self.c_next).max(0.0)
+    }
+
+    /// Effective I/O time charged to this phase.
+    pub fn effective_time(&self) -> f64 {
+        self.t_c + self.not_hidden_sync()
+    }
+
+    /// Eq. 1: the phase's perceived bandwidth (bytes/s).
+    pub fn bandwidth(&self) -> f64 {
+        let t = self.effective_time();
+        if t <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.bytes as f64 / t
+        }
+    }
+}
+
+/// Eq. 2: average perceived bandwidth over all phases (bytes/s).
+pub fn total_bandwidth(phases: &[PhaseMeasure]) -> f64 {
+    let bytes: u64 = phases.iter().map(|p| p.bytes).sum();
+    let time: f64 = phases.iter().map(|p| p.effective_time()).sum();
+    if time <= 0.0 {
+        f64::INFINITY
+    } else {
+        bytes as f64 / time
+    }
+}
+
+/// Pretty GB/s (decimal, as the paper's axes).
+pub fn gb_s(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_hidden_sync_costs_nothing() {
+        let p = PhaseMeasure {
+            bytes: 1_000_000,
+            t_c: 2.0,
+            t_s: 10.0,
+            c_next: 30.0,
+        };
+        assert_eq!(p.not_hidden_sync(), 0.0);
+        assert_eq!(p.bandwidth(), 500_000.0);
+    }
+
+    #[test]
+    fn exposed_sync_reduces_bandwidth() {
+        let p = PhaseMeasure {
+            bytes: 1_000_000,
+            t_c: 2.0,
+            t_s: 10.0,
+            c_next: 4.0,
+        };
+        assert_eq!(p.not_hidden_sync(), 6.0);
+        assert_eq!(p.bandwidth(), 125_000.0);
+    }
+
+    #[test]
+    fn last_phase_exposes_full_sync() {
+        // The IOR observation (Fig. 9/10): with C(N+1)=0 the entire
+        // T_s of the final write phase is charged.
+        let p = PhaseMeasure {
+            bytes: 100,
+            t_c: 1.0,
+            t_s: 16.0,
+            c_next: 0.0,
+        };
+        assert_eq!(p.effective_time(), 17.0);
+    }
+
+    #[test]
+    fn eq2_matches_manual_sum() {
+        let phases = [
+            PhaseMeasure { bytes: 100, t_c: 1.0, t_s: 5.0, c_next: 10.0 },
+            PhaseMeasure { bytes: 100, t_c: 1.0, t_s: 5.0, c_next: 2.0 },
+            PhaseMeasure { bytes: 100, t_c: 1.0, t_s: 5.0, c_next: 0.0 },
+        ];
+        // times: 1, 1+3, 1+5 → 11s, 300 bytes.
+        let bw = total_bandwidth(&phases);
+        assert!((bw - 300.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_zero_time() {
+        assert!(total_bandwidth(&[]).is_infinite());
+        let p = PhaseMeasure { bytes: 5, t_c: 0.0, t_s: 0.0, c_next: 0.0 };
+        assert!(p.bandwidth().is_infinite());
+    }
+
+    #[test]
+    fn gb_conversion() {
+        assert_eq!(gb_s(2.0e9), 2.0);
+    }
+}

@@ -1,0 +1,487 @@
+//! The E10 persistent cache layer (§III of the paper).
+//!
+//! When `e10_cache` is `enable` (or `coherent`), `ADIOI_GEN_OpenColl`
+//! opens a per-process cache file on the node-local file system;
+//! `ADIOI_GEN_WriteContig` redirects writes to it, allocates space with
+//! `fallocate` (`ADIOI_Cache_alloc`) and posts a synchronisation
+//! request — a generalized MPI request completed by the dedicated sync
+//! thread (`ADIOI_Sync_thread_start`) once the extent has been read
+//! back from the cache and written to the global file in
+//! `ind_wr_buffer_size` chunks. `ADIOI_GEN_Flush` waits on the
+//! outstanding requests (immediately, or at close for `flush_onclose`);
+//! `ADIO_Close` flushes, closes and optionally discards the cache file.
+//!
+//! In `coherent` mode each cached extent takes an exclusive byte-range
+//! lock on the global file (`ADIOI_WRITE_LOCK`) that is only dropped
+//! when the extent is persistent, so no reader can observe in-transit
+//! data.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use e10_localfs::{FsError, LocalFile, LocalFs};
+use e10_mpisim::{grequest_waitall, Grequest, GrequestCompleter};
+use e10_netsim::NodeId;
+use e10_pfs::lock::{LockMode, RangeLockGuard};
+use e10_pfs::PfsHandle;
+use e10_simcore::{channel, JoinHandle, Sender};
+use e10_storesim::Payload;
+
+use crate::hints::{FlushFlag, SyncPolicy};
+
+struct SyncMsg {
+    offset: u64,
+    len: u64,
+    completer: GrequestCompleter,
+    lock: Option<RangeLockGuard>,
+    /// Set when the application is blocked waiting (flush/close):
+    /// overrides the backoff policy.
+    urgent: bool,
+}
+
+struct CacheInner {
+    file: LocalFile,
+    cache_file_path: String,
+    localfs: LocalFs,
+    global: PfsHandle,
+    node: NodeId,
+    ind_wr: u64,
+    flush_flag: FlushFlag,
+    coherent: bool,
+    discard: bool,
+    evict: bool,
+    sync_policy: SyncPolicy,
+    tx: RefCell<Option<Sender<SyncMsg>>>,
+    sync_task: RefCell<Option<JoinHandle<()>>>,
+    outstanding: RefCell<Vec<Grequest>>,
+    deferred: RefCell<Vec<(u64, u64, Option<RangeLockGuard>)>>,
+    degraded: Cell<bool>,
+    bytes_cached: Cell<u64>,
+    bytes_synced: Rc<Cell<u64>>,
+}
+
+/// One open file's cache state.
+#[derive(Clone)]
+pub struct CacheLayer {
+    inner: Rc<CacheInner>,
+}
+
+impl CacheLayer {
+    /// Open the cache file and start the sync thread. Fails (so the
+    /// caller can revert to the standard path, as the paper requires)
+    /// if the cache file cannot be created.
+    #[allow(clippy::too_many_arguments)] // mirrors the breadth of the e10 hint set
+    pub async fn open(
+        localfs: LocalFs,
+        cache_path: &str,
+        file_basename: &str,
+        rank: usize,
+        node: NodeId,
+        global: PfsHandle,
+        ind_wr: u64,
+        flush_flag: FlushFlag,
+        coherent: bool,
+        discard: bool,
+        evict: bool,
+        sync_policy: SyncPolicy,
+    ) -> Result<CacheLayer, FsError> {
+        let cache_file_path = format!("{cache_path}/{file_basename}.{rank}.e10");
+        let file = localfs.create(&cache_file_path).await?;
+        let bytes_synced = Rc::new(Cell::new(0u64));
+        let inner = Rc::new(CacheInner {
+            file,
+            cache_file_path,
+            localfs,
+            global,
+            node,
+            ind_wr: ind_wr.max(1),
+            flush_flag,
+            coherent,
+            discard,
+            evict,
+            sync_policy,
+            tx: RefCell::new(None),
+            sync_task: RefCell::new(None),
+            outstanding: RefCell::new(Vec::new()),
+            deferred: RefCell::new(Vec::new()),
+            degraded: Cell::new(false),
+            bytes_cached: Cell::new(0),
+            bytes_synced,
+        });
+        let layer = CacheLayer { inner };
+        layer.start_sync_thread();
+        Ok(layer)
+    }
+
+    /// `ADIOI_Sync_thread_start`: one dedicated task per open file that
+    /// drains sync requests FIFO.
+    fn start_sync_thread(&self) {
+        let (tx, mut rx) = channel::<SyncMsg>();
+        let file = self.inner.file.clone();
+        let global = self.inner.global.clone();
+        let node = self.inner.node;
+        let ind_wr = self.inner.ind_wr;
+        let evict = self.inner.evict;
+        let policy = self.inner.sync_policy;
+        let synced = Rc::clone(&self.inner.bytes_synced);
+        let task = e10_simcore::spawn(async move {
+            while let Some(msg) = rx.recv().await {
+                let end = msg.offset + msg.len;
+                let mut pos = msg.offset;
+                while pos < end {
+                    // Congestion-aware policy (§III's "synchronisation
+                    // could take into account the level of congestion
+                    // of the I/O servers"): back off while the storage
+                    // targets are saturated by foreground traffic,
+                    // unless the application is already waiting on
+                    // this request (then drain greedily).
+                    if policy == SyncPolicy::Backoff && !msg.urgent {
+                        let mut backoffs = 0;
+                        while global.server_load() > 0.7 && backoffs < 1_000 {
+                            e10_simcore::sleep(e10_simcore::SimDuration::from_millis(20)).await;
+                            backoffs += 1;
+                        }
+                    }
+                    let n = ind_wr.min(end - pos);
+                    // Read back from the cache file (page-cache hit for
+                    // recent data, SSD otherwise)...
+                    let pieces = file.read(pos, n).await.unwrap_or_default();
+                    // ...and stream to the global file.
+                    for (range, src) in pieces {
+                        if let Some(src) = src {
+                            let len = range.end - range.start;
+                            global
+                                .write(node, range.start, Payload { src, len })
+                                .await;
+                        }
+                    }
+                    // Streaming space management: drop the chunk from
+                    // the cache as soon as it is persistent globally.
+                    if evict {
+                        file.punch(pos, n).await;
+                    }
+                    synced.set(synced.get() + n);
+                    pos += n;
+                }
+                msg.completer.complete();
+                drop(msg.lock);
+            }
+        });
+        *self.inner.tx.borrow_mut() = Some(tx);
+        *self.inner.sync_task.borrow_mut() = Some(task);
+    }
+
+    /// True once the cache has failed and writes go to the global file.
+    pub fn is_degraded(&self) -> bool {
+        self.inner.degraded.get()
+    }
+
+    /// Bytes accepted into the cache so far.
+    pub fn bytes_cached(&self) -> u64 {
+        self.inner.bytes_cached.get()
+    }
+
+    /// Bytes fully synchronised to the global file so far.
+    pub fn bytes_synced(&self) -> u64 {
+        self.inner.bytes_synced.get()
+    }
+
+    /// Sync requests posted but not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.inner
+            .outstanding
+            .borrow()
+            .iter()
+            .filter(|r| !r.test())
+            .count()
+    }
+
+    /// Path of the cache file on `/scratch`.
+    pub fn cache_file_path(&self) -> &str {
+        &self.inner.cache_file_path
+    }
+
+    /// True if `[offset, offset+len)` is fully present in this
+    /// process's cache file (cache-read extension).
+    pub fn covers(&self, offset: u64, len: u64) -> bool {
+        self.inner.file.extents().covered(offset, len)
+    }
+
+    /// Read from the cache file (charges local device/page-cache time)
+    /// and return the stored pieces.
+    pub async fn read_local(
+        &self,
+        offset: u64,
+        len: u64,
+    ) -> Vec<(std::ops::Range<u64>, Option<e10_storesim::Source>)> {
+        self.inner.file.read(offset, len).await.unwrap_or_default()
+    }
+
+    fn enqueue_sync(&self, offset: u64, len: u64, lock: Option<RangeLockGuard>, urgent: bool) {
+        let (req, completer) = Grequest::start();
+        self.inner.outstanding.borrow_mut().push(req);
+        let tx = self.inner.tx.borrow();
+        tx.as_ref()
+            .expect("sync thread not running")
+            .send(SyncMsg {
+                offset,
+                len,
+                completer,
+                lock,
+                urgent,
+            })
+            .ok();
+    }
+
+    /// Write one contiguous extent through the cache. Returns `false`
+    /// if the cache is (or just became) degraded and the caller must
+    /// write to the global file instead.
+    pub async fn write(&self, offset: u64, payload: Payload) -> Result<bool, FsError> {
+        if self.inner.degraded.get() {
+            return Ok(false);
+        }
+        let len = payload.len;
+        // ADIOI_Cache_alloc: reserve space first so failure is clean.
+        if let Err(e) = self.inner.file.fallocate(offset, len).await {
+            match e {
+                FsError::NoSpace { .. } => {
+                    self.inner.degraded.set(true);
+                    return Ok(false);
+                }
+                other => return Err(other),
+            }
+        }
+        self.inner.file.write(offset, payload).await?;
+        self.inner
+            .bytes_cached
+            .set(self.inner.bytes_cached.get() + len);
+        // Coherent mode: hold an exclusive global-file extent lock until
+        // this extent is persistent.
+        let lock = if self.inner.coherent && self.inner.flush_flag != FlushFlag::FlushNone {
+            Some(
+                self.inner
+                    .global
+                    .lock_extent(self.inner.node, offset..offset + len, LockMode::Exclusive)
+                    .await,
+            )
+        } else {
+            None
+        };
+        match self.inner.flush_flag {
+            FlushFlag::FlushImmediate => self.enqueue_sync(offset, len, lock, false),
+            FlushFlag::FlushOnClose => {
+                self.inner.deferred.borrow_mut().push((offset, len, lock));
+            }
+            FlushFlag::FlushNone => {}
+        }
+        Ok(true)
+    }
+
+    /// `ADIOI_GEN_Flush`: push any deferred extents to the sync thread
+    /// and wait for every outstanding request.
+    pub async fn flush(&self) {
+        if self.inner.flush_flag == FlushFlag::FlushNone {
+            return;
+        }
+        let deferred: Vec<_> = self.inner.deferred.borrow_mut().drain(..).collect();
+        for (offset, len, lock) in deferred {
+            // The caller is about to wait: drain at full speed.
+            self.enqueue_sync(offset, len, lock, true);
+        }
+        let reqs: Vec<Grequest> = self.inner.outstanding.borrow_mut().drain(..).collect();
+        grequest_waitall(&reqs).await;
+    }
+
+    /// Close-path: flush, stop the sync thread, discard the cache file
+    /// if requested.
+    pub async fn close(&self) {
+        self.flush().await;
+        // Dropping the sender lets the sync task drain and exit.
+        let task = {
+            self.inner.tx.borrow_mut().take();
+            self.inner.sync_task.borrow_mut().take()
+        };
+        if let Some(t) = task {
+            t.await;
+        }
+        if self.inner.discard {
+            let _ = self.inner.localfs.unlink(&self.inner.cache_file_path).await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::TestbedSpec;
+    use e10_pfs::Striping;
+    use e10_simcore::run;
+
+    async fn setup(flush: FlushFlag, coherent: bool, discard: bool) -> (CacheLayer, PfsHandle) {
+        let tb = TestbedSpec::small(2, 1).build();
+        let global = tb.pfs.create(0, "/gfs/target", Striping::default()).await;
+        let layer = CacheLayer::open(
+            tb.localfs[0].clone(),
+            "/scratch",
+            "target",
+            0,
+            0,
+            global.clone(),
+            512 << 10,
+            flush,
+            coherent,
+            discard,
+            false,
+            crate::hints::SyncPolicy::Greedy,
+        )
+        .await
+        .unwrap();
+        (layer, global)
+    }
+
+    #[test]
+    fn immediate_flush_moves_data_to_global() {
+        run(async {
+            let (layer, global) = setup(FlushFlag::FlushImmediate, false, false).await;
+            layer.write(0, Payload::gen(3, 0, 2 << 20)).await.unwrap();
+            assert_eq!(layer.bytes_cached(), 2 << 20);
+            layer.flush().await;
+            assert_eq!(layer.bytes_synced(), 2 << 20);
+            assert!(global.extents().verify_gen(3, 0, 2 << 20).is_ok());
+            assert_eq!(layer.outstanding(), 0);
+        });
+    }
+
+    #[test]
+    fn onclose_defers_until_flush() {
+        run(async {
+            let (layer, global) = setup(FlushFlag::FlushOnClose, false, false).await;
+            layer.write(0, Payload::gen(3, 0, 1 << 20)).await.unwrap();
+            // Give the (idle) sync thread time: nothing must move yet.
+            e10_simcore::sleep(e10_simcore::SimDuration::from_secs(5)).await;
+            assert_eq!(layer.bytes_synced(), 0);
+            assert!(!global.extents().covered(0, 1));
+            layer.flush().await;
+            assert!(global.extents().verify_gen(3, 0, 1 << 20).is_ok());
+        });
+    }
+
+    #[test]
+    fn flush_none_never_syncs() {
+        run(async {
+            let (layer, global) = setup(FlushFlag::FlushNone, false, false).await;
+            layer.write(0, Payload::gen(3, 0, 1 << 20)).await.unwrap();
+            layer.flush().await;
+            layer.close().await;
+            assert_eq!(layer.bytes_synced(), 0);
+            assert!(!global.extents().covered(0, 1));
+        });
+    }
+
+    #[test]
+    fn discard_removes_cache_file_on_close() {
+        run(async {
+            let tb = TestbedSpec::small(2, 1).build();
+            let global = tb.pfs.create(0, "/gfs/t", Striping::default()).await;
+            for (discard, expect_exists) in [(true, false), (false, true)] {
+                let layer = CacheLayer::open(
+                    tb.localfs[0].clone(),
+                    "/scratch",
+                    "t",
+                    0,
+                    0,
+                    global.clone(),
+                    512 << 10,
+                    FlushFlag::FlushImmediate,
+                    false,
+                    discard,
+                    false,
+                    crate::hints::SyncPolicy::Greedy,
+                )
+                .await
+                .unwrap();
+                layer.write(0, Payload::gen(1, 0, 1024)).await.unwrap();
+                let path = layer.cache_file_path().to_string();
+                layer.close().await;
+                assert_eq!(tb.localfs[0].exists(&path), expect_exists, "discard={discard}");
+            }
+        });
+    }
+
+    #[test]
+    fn nospace_degrades_instead_of_failing() {
+        run(async {
+            let mut spec = TestbedSpec::small(2, 1);
+            spec.localfs.capacity = 1 << 20; // 1 MiB scratch
+            let tb = spec.build();
+            let global = tb.pfs.create(0, "/gfs/t", Striping::default()).await;
+            let layer = CacheLayer::open(
+                tb.localfs[0].clone(),
+                "/scratch",
+                "t",
+                0,
+                0,
+                global.clone(),
+                512 << 10,
+                FlushFlag::FlushImmediate,
+                false,
+                true,
+                false,
+                crate::hints::SyncPolicy::Greedy,
+            )
+            .await
+            .unwrap();
+            assert!(layer.write(0, Payload::zero(512 << 10)).await.unwrap());
+            // Second write exceeds the partition: degraded, not an error.
+            let cached = layer.write(512 << 10, Payload::zero(1 << 20)).await.unwrap();
+            assert!(!cached);
+            assert!(layer.is_degraded());
+            // Later writes keep reporting degraded.
+            assert!(!layer.write(0, Payload::zero(1)).await.unwrap());
+            layer.close().await;
+        });
+    }
+
+    #[test]
+    fn coherent_mode_blocks_readers_until_synced() {
+        run(async {
+            let (layer, global) = setup(FlushFlag::FlushOnClose, true, false).await;
+            layer.write(0, Payload::gen(9, 0, 4 << 20)).await.unwrap();
+            // A reader trying to lock the extent must wait until flush
+            // completes (deferred sync → lock held until then).
+            let g2 = global.clone();
+            let reader = e10_simcore::spawn(async move {
+                let _l = g2.lock_extent(0, 0..1024, LockMode::Shared).await;
+                // Once we get the lock, the data must be present.
+                assert!(g2.extents().verify_gen(9, 0, 4 << 20).is_ok());
+                e10_simcore::now()
+            });
+            e10_simcore::sleep(e10_simcore::SimDuration::from_secs(2)).await;
+            let before_flush = e10_simcore::now();
+            layer.flush().await;
+            let t_reader = reader.await;
+            assert!(t_reader >= before_flush, "reader got in before sync completed");
+            layer.close().await;
+        });
+    }
+
+    #[test]
+    fn sync_thread_overlaps_with_foreground() {
+        run(async {
+            let (layer, _global) = setup(FlushFlag::FlushImmediate, false, false).await;
+            // Queue several extents; outstanding shrinks over time
+            // without any flush call.
+            for i in 0..4u64 {
+                layer
+                    .write(i * (4 << 20), Payload::gen(1, i * (4 << 20), 4 << 20))
+                    .await
+                    .unwrap();
+            }
+            let initial = layer.outstanding();
+            assert!(initial > 0);
+            e10_simcore::sleep(e10_simcore::SimDuration::from_secs(60)).await;
+            assert_eq!(layer.outstanding(), 0, "background sync must progress");
+            assert_eq!(layer.bytes_synced(), 16 << 20);
+        });
+    }
+}

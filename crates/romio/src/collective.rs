@@ -1,0 +1,564 @@
+//! The extended two-phase collective write
+//! (`ADIOI_GEN_WriteStridedColl` → `ADIOI_Exch_and_write` →
+//! `ADIOI_W_Exchange_data`, Fig. 2 of the paper).
+//!
+//! Steps (paper §II-A):
+//!
+//! 1. every process exchanges its access range (offset exchange),
+//! 2. the accessed byte range is split into file domains, one per
+//!    aggregator,
+//! 3. every process works out which pieces of its buffer belong to
+//!    which aggregator,
+//! 4. rounds of two-phase I/O: per-round `MPI_Alltoall` size
+//!    dissemination, point-to-point data shuffle, collective-buffer
+//!    assembly and `ADIO_WriteContig` (to the global file, or to the
+//!    E10 cache when `e10_cache` is enabled),
+//! 5. a final `MPI_Allreduce` exchanging error codes — the
+//!    "post_write" global synchronisation, bottlenecked by the slowest
+//!    writer.
+
+use e10_mpisim::{waitall, FileView, SourceSel, Tag};
+use e10_storesim::Payload;
+
+use crate::adio::{AdioFile, DataSpec};
+use crate::fd::FileDomains;
+use crate::hints::CbMode;
+use crate::profile::Phase;
+
+const DATA_TAG_BASE: Tag = 0x2000_0000;
+
+/// Outcome of a collective write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteAllResult {
+    /// Bytes this rank contributed.
+    pub bytes: u64,
+    /// Two-phase rounds executed (0 on the independent path).
+    pub rounds: u64,
+    /// Whether collective buffering was used.
+    pub used_collective: bool,
+}
+
+/// A maximal contiguous group of shuffled pieces in an aggregator's
+/// collective buffer.
+struct Run {
+    start: u64,
+    end: u64,
+    pieces: Vec<(u64, Payload)>,
+}
+
+/// Coalesce sorted pieces into contiguous runs.
+fn coalesce_runs(mut pieces: Vec<(u64, Payload)>) -> Vec<Run> {
+    pieces.sort_by_key(|&(off, _)| off);
+    let mut runs: Vec<Run> = Vec::new();
+    for (off, p) in pieces {
+        let end = off + p.len;
+        match runs.last_mut() {
+            Some(r) if off <= r.end => {
+                r.end = r.end.max(end);
+                r.pieces.push((off, p));
+            }
+            _ => runs.push(Run {
+                start: off,
+                end,
+                pieces: vec![(off, p)],
+            }),
+        }
+    }
+    runs
+}
+
+/// Merge adjacent pieces whose sources continue each other, so one
+/// assembled collective buffer becomes a handful of `write_contig`
+/// calls instead of thousands.
+fn merge_continuing(pieces: Vec<(u64, Payload)>) -> Vec<(u64, Payload)> {
+    let mut out: Vec<(u64, Payload)> = Vec::new();
+    for (off, p) in pieces {
+        if let Some((loff, lp)) = out.last_mut() {
+            if *loff + lp.len == off && lp.src.continues(lp.len, &p.src) {
+                lp.len += p.len;
+                continue;
+            }
+        }
+        out.push((off, p));
+    }
+    out
+}
+
+/// `MPI_File_write_all`: collective write of this rank's buffer
+/// (described by `data`) through its file `view`.
+pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> WriteAllResult {
+    let comm = fd.comm.clone();
+    let prof = fd.profiler().clone();
+    let me = comm.rank();
+    let my_bytes = view.total_bytes();
+
+    // --- 1. offset exchange --------------------------------------------
+    let (my_st, my_end) = if my_bytes == 0 {
+        (u64::MAX, 0)
+    } else {
+        view.file_range()
+    };
+    let st_end: Vec<(u64, u64)> = {
+        let _t = prof.enter(Phase::OffsetExchange);
+        comm.allgather((my_st, my_end), 16).await
+    };
+    let min_st = st_end.iter().filter(|e| e.0 != u64::MAX).map(|e| e.0).min();
+    let Some(min_st) = min_st else {
+        // Nobody wrote anything.
+        return WriteAllResult {
+            bytes: 0,
+            rounds: 0,
+            used_collective: false,
+        };
+    };
+    let max_end = st_end.iter().map(|e| e.1).max().unwrap_or(0);
+
+    // --- 2. collective-vs-independent decision --------------------------
+    let mut interleaved = false;
+    let mut running_end = 0u64;
+    for &(st, end) in &st_end {
+        if st == u64::MAX {
+            continue;
+        }
+        if st < running_end {
+            interleaved = true;
+        }
+        running_end = running_end.max(end);
+    }
+    let use_coll = match fd.hints().cb_write {
+        CbMode::Enable => true,
+        CbMode::Disable => false,
+        CbMode::Automatic => interleaved,
+    };
+    if !use_coll {
+        let bytes = crate::sieve::write_strided(fd, view, data).await;
+        return WriteAllResult {
+            bytes,
+            rounds: 0,
+            used_collective: false,
+        };
+    }
+
+    // --- 3. file domains -------------------------------------------------
+    let (fds, cb, ntimes) = {
+        let _t = prof.enter(Phase::FdCalc);
+        let naggs = fd.aggregators().len();
+        let fds = FileDomains::compute(
+            min_st,
+            max_end,
+            naggs,
+            fd.hints().fd_strategy,
+            fd.stripe_unit(),
+        );
+        let cb = fd.hints().cb_buffer_size;
+        let ntimes = fds.max_size().div_ceil(cb);
+        (fds, cb, ntimes)
+    };
+    let aggregators: Vec<usize> = fd.aggregators().to_vec();
+    let my_agg = fd.my_agg_index();
+    let net = comm.network();
+    let p = comm.size();
+
+    // --- 4. the two-phase rounds ------------------------------------------
+    for round in 0..ntimes {
+        let tag = DATA_TAG_BASE + (round % 4096) as Tag;
+        // Per-aggregator window of this round.
+        let windows: Vec<(u64, u64)> = (0..aggregators.len())
+            .map(|a| {
+                let ws = (fds.starts[a] + round * cb).min(fds.ends[a]);
+                let we = (fds.starts[a] + (round + 1) * cb).min(fds.ends[a]);
+                (ws, we)
+            })
+            .collect();
+
+        // My contribution to each aggregator this round.
+        let mut send_sizes = vec![0u64; p];
+        let mut per_agg_pieces: Vec<Vec<(u64, Payload)>> = Vec::with_capacity(windows.len());
+        if my_bytes > 0 {
+            for (a, &(ws, we)) in windows.iter().enumerate() {
+                let pieces = view.pieces_in_window(ws, we);
+                let bytes: u64 = pieces.iter().map(|vp| vp.len).sum();
+                send_sizes[aggregators[a]] = bytes;
+                per_agg_pieces.push(
+                    pieces
+                        .into_iter()
+                        .map(|vp| (vp.file_off, data.piece(vp.buf_off, vp.file_off, vp.len)))
+                        .collect(),
+                );
+            }
+        } else {
+            per_agg_pieces.resize_with(windows.len(), Vec::new);
+        }
+
+        // Size dissemination: the per-round MPI_Alltoall
+        // ("shuffle_all2all").
+        let recv_sizes: Vec<u64> = {
+            let _t = prof.enter(Phase::ShuffleAlltoall);
+            comm.alltoall(send_sizes.clone(), 8).await
+        };
+
+        // Data shuffle: post sends, post receives, wait for all.
+        let mut local_pieces: Vec<(u64, Payload)> = Vec::new();
+        let mut sreqs = Vec::new();
+        for (a, pieces) in per_agg_pieces.into_iter().enumerate() {
+            if pieces.is_empty() {
+                continue;
+            }
+            let dst = aggregators[a];
+            if dst == me {
+                local_pieces = pieces;
+            } else {
+                let bytes: u64 =
+                    pieces.iter().map(|(_, p)| p.len).sum::<u64>() + 32 + 16 * pieces.len() as u64;
+                sreqs.push(comm.isend(dst, tag, bytes, pieces));
+            }
+        }
+        let mut rreqs = Vec::new();
+        if my_agg.is_some() {
+            for (src, &sz) in recv_sizes.iter().enumerate() {
+                if sz > 0 && src != me {
+                    rreqs.push(comm.irecv(SourceSel::Rank(src), tag));
+                }
+            }
+        }
+        let mut recvd: Vec<(u64, Payload)> = local_pieces;
+        {
+            let _t = prof.enter(Phase::ShuffleWaitall);
+            for m in waitall(rreqs).await.into_iter().flatten() {
+                recvd.extend(m.into_data::<Vec<(u64, Payload)>>());
+            }
+            waitall(sreqs).await;
+        }
+
+        // Collective-buffer assembly + write (aggregators only).
+        if my_agg.is_some() && !recvd.is_empty() {
+            let total: u64 = recvd.iter().map(|(_, p)| p.len).sum();
+            let runs = {
+                let _t = prof.enter(Phase::CollBufAssembly);
+                net.local_copy(comm.node(), total).await;
+                coalesce_runs(recvd)
+            };
+            let holes = runs.len() > 1;
+            if holes && !fd.cache_active() {
+                // Data sieving in the collective buffer: read the whole
+                // window span, then write it back in one spanning I/O.
+                let span_start = runs.first().unwrap().start;
+                let span_end = runs.last().unwrap().end;
+                {
+                    let _t = prof.enter(Phase::Write);
+                    fd.global()
+                        .read(comm.node(), span_start, span_end - span_start)
+                        .await;
+                }
+                let pieces: Vec<(u64, Payload)> =
+                    runs.into_iter().flat_map(|r| r.pieces).collect();
+                fd.write_span(span_start, span_end - span_start, pieces)
+                    .await;
+            } else {
+                for run in runs {
+                    for (off, payload) in merge_continuing(run.pieces) {
+                        fd.write_contig(off, payload).await;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- 5. post-write error exchange -------------------------------------
+    {
+        let _t = prof.enter(Phase::PostWrite);
+        comm.allreduce(0u32, 4, |a, b| (*a).max(*b)).await;
+    }
+
+    WriteAllResult {
+        bytes: my_bytes,
+        rounds: ntimes,
+        used_collective: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::{IoCtx, TestbedSpec};
+    use e10_mpisim::{FlatType, Info};
+    use e10_simcore::run;
+
+    async fn on_testbed<F, Fut>(procs: usize, nodes: usize, f: F)
+    where
+        F: Fn(IoCtx) -> Fut,
+        Fut: std::future::Future<Output = ()> + 'static,
+    {
+        let tb = TestbedSpec::small(procs, nodes).build();
+        let handles: Vec<_> = tb
+            .ctxs()
+            .into_iter()
+            .map(|ctx| e10_simcore::spawn(f(ctx)))
+            .collect();
+        e10_simcore::join_all(handles).await;
+    }
+
+    fn strided_view(rank: usize, p: usize, block: u64, count: u64) -> FileView {
+        // Rank r owns blocks r, r+p, r+2p, ... (classic interleave).
+        let blocks: Vec<(u64, u64)> = (0..count)
+            .map(|i| ((i * p as u64 + rank as u64) * block, block))
+            .collect();
+        FileView::new(&FlatType::indexed(blocks), 0)
+    }
+
+    fn paper_info(extra: &[(&str, &str)]) -> Info {
+        let i = Info::new();
+        i.set("romio_cb_write", "enable");
+        i.set("cb_buffer_size", "65536");
+        for (k, v) in extra {
+            i.set(k, v);
+        }
+        i
+    }
+
+    /// The core oracle: an interleaved collective write from P ranks
+    /// produces a byte-perfect file.
+    #[test]
+    fn two_phase_write_produces_correct_file() {
+        run(async {
+            on_testbed(8, 4, |ctx| async move {
+                let f = crate::adio::AdioFile::open(&ctx, "/gfs/tp", &paper_info(&[]), true)
+                    .await
+                    .unwrap();
+                let view = strided_view(ctx.comm.rank(), 8, 10_000, 16);
+                let res = write_at_all(&f, &view, &DataSpec::FileGen { seed: 11 }).await;
+                assert!(res.used_collective);
+                assert!(res.rounds > 1, "must take multiple rounds");
+                assert_eq!(res.bytes, 160_000);
+                f.close().await;
+                if ctx.comm.rank() == 0 {
+                    f.global()
+                        .extents()
+                        .verify_gen(11, 0, 8 * 16 * 10_000)
+                        .unwrap();
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn two_phase_write_with_cache_produces_correct_file() {
+        run(async {
+            on_testbed(8, 4, |ctx| async move {
+                let info = paper_info(&[
+                    ("e10_cache", "enable"),
+                    ("e10_cache_flush_flag", "flush_immediate"),
+                    ("e10_cache_discard_flag", "enable"),
+                ]);
+                let f = crate::adio::AdioFile::open(&ctx, "/gfs/tpc", &info, true)
+                    .await
+                    .unwrap();
+                let view = strided_view(ctx.comm.rank(), 8, 5_000, 8);
+                write_at_all(&f, &view, &DataSpec::FileGen { seed: 12 }).await;
+                f.close().await;
+                if ctx.comm.rank() == 0 {
+                    f.global().extents().verify_gen(12, 0, 8 * 8 * 5_000).unwrap();
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn holes_trigger_rmw_and_preserve_existing_data() {
+        run(async {
+            on_testbed(4, 2, |ctx| async move {
+                // Pre-populate the file with generator 7 everywhere.
+                let f0 = crate::adio::AdioFile::open(&ctx, "/gfs/rmw", &paper_info(&[]), true)
+                    .await
+                    .unwrap();
+                if ctx.comm.rank() == 0 {
+                    f0.write_contig(0, Payload::gen(7, 0, 80_000)).await;
+                }
+                f0.close().await;
+
+                // Now write generator 8 to every second 1000-byte block
+                // (holes between pieces → the RMW path).
+                let f = crate::adio::AdioFile::open(&ctx, "/gfs/rmw", &paper_info(&[]), false)
+                    .await
+                    .unwrap();
+                let blocks: Vec<(u64, u64)> = (0..10)
+                    .map(|i| ((i * 4 + ctx.comm.rank() as u64) * 2_000, 1_000))
+                    .collect();
+                let view = FileView::new(&FlatType::indexed(blocks), 0);
+                write_at_all(&f, &view, &DataSpec::FileGen { seed: 8 }).await;
+                f.close().await;
+
+                if ctx.comm.rank() == 0 {
+                    let ext = f.global().extents();
+                    // New data where written...
+                    ext.verify_gen(8, 0, 1_000).unwrap();
+                    ext.verify_gen(8, 2_000, 1_000).unwrap();
+                    // ...old data preserved in the holes.
+                    ext.verify_gen(7, 1_000, 1_000).unwrap();
+                    ext.verify_gen(7, 79_000, 1_000).unwrap();
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn non_interleaved_auto_takes_independent_path() {
+        run(async {
+            on_testbed(4, 2, |ctx| async move {
+                let info = Info::new(); // romio_cb_write = automatic
+                let f = crate::adio::AdioFile::open(&ctx, "/gfs/ind", &info, true)
+                    .await
+                    .unwrap();
+                // Each rank writes a disjoint contiguous region.
+                let view = FileView::new(
+                    &FlatType::contiguous(50_000),
+                    ctx.comm.rank() as u64 * 50_000,
+                );
+                let res = write_at_all(&f, &view, &DataSpec::FileGen { seed: 13 }).await;
+                assert!(!res.used_collective);
+                f.close().await;
+                if ctx.comm.rank() == 0 {
+                    f.global().extents().verify_gen(13, 0, 200_000).unwrap();
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn cb_disable_forces_independent_even_when_interleaved() {
+        run(async {
+            on_testbed(4, 2, |ctx| async move {
+                let info = Info::new();
+                info.set("romio_cb_write", "disable");
+                let f = crate::adio::AdioFile::open(&ctx, "/gfs/noagg", &info, true)
+                    .await
+                    .unwrap();
+                let view = strided_view(ctx.comm.rank(), 4, 1_000, 4);
+                let res = write_at_all(&f, &view, &DataSpec::FileGen { seed: 14 }).await;
+                assert!(!res.used_collective);
+                f.close().await;
+                if ctx.comm.rank() == 0 {
+                    f.global().extents().verify_gen(14, 0, 16_000).unwrap();
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn ranks_with_no_data_participate_safely() {
+        run(async {
+            on_testbed(4, 2, |ctx| async move {
+                let f = crate::adio::AdioFile::open(&ctx, "/gfs/empty", &paper_info(&[]), true)
+                    .await
+                    .unwrap();
+                // Only even ranks write.
+                let view = if ctx.comm.rank() % 2 == 0 {
+                    strided_view(ctx.comm.rank() / 2, 2, 3_000, 4)
+                } else {
+                    FileView::new(&FlatType::contiguous(0), 0)
+                };
+                write_at_all(&f, &view, &DataSpec::FileGen { seed: 15 }).await;
+                f.close().await;
+                if ctx.comm.rank() == 0 {
+                    f.global().extents().verify_gen(15, 0, 2 * 4 * 3_000).unwrap();
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn all_empty_views_return_immediately() {
+        run(async {
+            on_testbed(3, 3, |ctx| async move {
+                let f = crate::adio::AdioFile::open(&ctx, "/gfs/nothing", &paper_info(&[]), true)
+                    .await
+                    .unwrap();
+                let view = FileView::new(&FlatType::contiguous(0), 0);
+                let res = write_at_all(&f, &view, &DataSpec::FileGen { seed: 1 }).await;
+                assert_eq!(res.bytes, 0);
+                f.close().await;
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn literal_buffers_roundtrip_byte_exact() {
+        run(async {
+            on_testbed(2, 1, |ctx| async move {
+                let rank = ctx.comm.rank();
+                let f = crate::adio::AdioFile::open(&ctx, "/gfs/lit", &paper_info(&[]), true)
+                    .await
+                    .unwrap();
+                // Rank r writes bytes [r, r, ...] at interleaved blocks.
+                let blocks: Vec<(u64, u64)> =
+                    (0..4).map(|i| ((i * 2 + rank as u64) * 100, 100)).collect();
+                let view = FileView::new(&FlatType::indexed(blocks), 0);
+                let buf = Payload::literal(vec![rank as u8 + 1; 400]);
+                write_at_all(&f, &view, &DataSpec::Buffer(buf)).await;
+                f.close().await;
+                if rank == 0 {
+                    let ext = f.global().extents();
+                    for i in 0..8u64 {
+                        let expect = (i % 2) as u8 + 1;
+                        assert_eq!(ext.byte_at(i * 100).unwrap(), expect, "block {i}");
+                        assert_eq!(ext.byte_at(i * 100 + 99).unwrap(), expect);
+                    }
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn profiler_records_expected_phases() {
+        run(async {
+            on_testbed(4, 2, |ctx| async move {
+                // Small stripes so both aggregators get non-empty FDs.
+                let f = crate::adio::AdioFile::open(
+                    &ctx,
+                    "/gfs/prof",
+                    &paper_info(&[("striping_unit", "4096")]),
+                    true,
+                )
+                    .await
+                    .unwrap();
+                let view = strided_view(ctx.comm.rank(), 4, 8_000, 8);
+                write_at_all(&f, &view, &DataSpec::FileGen { seed: 16 }).await;
+                f.close().await;
+                let p = f.profiler();
+                assert!(p.get(Phase::OffsetExchange).as_nanos() > 0);
+                assert!(p.get(Phase::ShuffleAlltoall).as_nanos() > 0);
+                assert!(p.get(Phase::PostWrite).as_nanos() > 0);
+                if f.my_agg_index().is_some() {
+                    assert!(p.get(Phase::Write).as_nanos() > 0, "aggregators must write");
+                } else {
+                    assert_eq!(p.get(Phase::Write).as_nanos(), 0, "non-aggregators never write");
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn coalesce_and_merge_helpers() {
+        let p1 = Payload::gen(1, 0, 10);
+        let p2 = Payload::gen(1, 10, 10);
+        let p3 = Payload::gen(2, 0, 5);
+        let runs = coalesce_runs(vec![(30, p3.clone()), (0, p1.clone()), (10, p2.clone())]);
+        assert_eq!(runs.len(), 2);
+        assert_eq!((runs[0].start, runs[0].end), (0, 20));
+        assert_eq!((runs[1].start, runs[1].end), (30, 35));
+        let merged = merge_continuing(vec![(0, p1), (10, p2)]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].1.len, 20);
+        let unmerged = merge_continuing(vec![(0, Payload::gen(1, 0, 10)), (10, Payload::gen(9, 0, 10))]);
+        assert_eq!(unmerged.len(), 2);
+    }
+}

@@ -1,0 +1,515 @@
+//! The two-phase collective read (`ADIOI_GEN_ReadStridedColl`).
+//!
+//! The paper implements only the write path and names cache reads as
+//! future work, observing that "a collective read that matches the
+//! previous write could safely read the data from the aggregators'
+//! cache" (§III-B). This module provides both:
+//!
+//! * the standard two-phase read — aggregators read their file-domain
+//!   windows from the global file and scatter the requested pieces —
+//!   and
+//! * the **cache-read extension** (`e10_cache_read = enable`): an
+//!   aggregator serves a window run from its node-local cache file when
+//!   the run is fully covered there, falling back to the global file
+//!   otherwise. With matching aggregator count and file domains this is
+//!   exactly the safe case the paper describes.
+
+use e10_mpisim::{waitall, FileView, SourceSel, Tag};
+use e10_storesim::{ExtentMap, Payload, Source};
+
+use crate::adio::AdioFile;
+use crate::fd::FileDomains;
+use crate::hints::CbMode;
+use crate::profile::Phase;
+
+const READ_REQ_TAG_BASE: Tag = 0x3000_0000;
+const READ_DATA_TAG_BASE: Tag = 0x3800_0000;
+
+/// One piece of data returned by a collective read.
+#[derive(Debug, Clone)]
+pub struct ReadPiece {
+    /// Absolute file offset the data came from.
+    pub file_off: u64,
+    /// Where it belongs in the caller's buffer.
+    pub buf_off: u64,
+    /// The data (holes in the file read back as zeroes).
+    pub payload: Payload,
+}
+
+/// Outcome of a collective read.
+#[derive(Debug, Default)]
+pub struct ReadAllResult {
+    /// This rank's received data, in buffer order.
+    pub pieces: Vec<ReadPiece>,
+    /// Bytes received.
+    pub bytes: u64,
+    /// Two-phase rounds executed (0 on the independent path).
+    pub rounds: u64,
+    /// Whether collective buffering was used.
+    pub used_collective: bool,
+    /// Bytes an aggregator served from its local cache (extension).
+    pub cache_hits: u64,
+}
+
+impl ReadAllResult {
+    /// Check that every received byte equals generator stream `seed`
+    /// at the identity mapping — the read-side verification oracle.
+    pub fn verify_gen(&self, seed: u64) -> Result<(), String> {
+        for p in &self.pieces {
+            for i in 0..p.payload.len {
+                let got = p.payload.src.byte_at(i);
+                let want = e10_storesim::gen_byte(seed, p.file_off + i);
+                if got != want {
+                    return Err(format!(
+                        "mismatch at file offset {} (buf {})",
+                        p.file_off + i,
+                        p.buf_off + i
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A request one rank sends an aggregator: give me these file ranges.
+type ReqPiece = (u64, u64, u64); // (file_off, len, buf_off)
+
+/// `MPI_File_read_all`: collective read of this rank's `view`.
+pub async fn read_at_all(fd: &AdioFile, view: &FileView) -> ReadAllResult {
+    let comm = fd.comm.clone();
+    let prof = fd.profiler().clone();
+    let me = comm.rank();
+    let my_bytes = view.total_bytes();
+
+    // Offset exchange — identical preamble to the write path.
+    let (my_st, my_end) = if my_bytes == 0 {
+        (u64::MAX, 0)
+    } else {
+        view.file_range()
+    };
+    let st_end: Vec<(u64, u64)> = {
+        let _t = prof.enter(Phase::OffsetExchange);
+        comm.allgather((my_st, my_end), 16).await
+    };
+    let min_st = st_end.iter().filter(|e| e.0 != u64::MAX).map(|e| e.0).min();
+    let Some(min_st) = min_st else {
+        return ReadAllResult::default();
+    };
+    let max_end = st_end.iter().map(|e| e.1).max().unwrap_or(0);
+
+    let mut interleaved = false;
+    let mut running_end = 0u64;
+    for &(st, end) in &st_end {
+        if st == u64::MAX {
+            continue;
+        }
+        if st < running_end {
+            interleaved = true;
+        }
+        running_end = running_end.max(end);
+    }
+    let use_coll = match fd.hints().cb_read {
+        CbMode::Enable => true,
+        CbMode::Disable => false,
+        CbMode::Automatic => interleaved,
+    };
+    if !use_coll {
+        return independent_read(fd, view).await;
+    }
+
+    let (fds, cb, ntimes) = {
+        let _t = prof.enter(Phase::FdCalc);
+        let fds = FileDomains::compute(
+            min_st,
+            max_end,
+            fd.aggregators().len(),
+            fd.hints().fd_strategy,
+            fd.stripe_unit(),
+        );
+        let cb = fd.hints().cb_buffer_size;
+        let ntimes = fds.max_size().div_ceil(cb);
+        (fds, cb, ntimes)
+    };
+    let aggregators: Vec<usize> = fd.aggregators().to_vec();
+    let my_agg = fd.my_agg_index();
+    let p = comm.size();
+
+    let mut out = ReadAllResult {
+        used_collective: true,
+        rounds: ntimes,
+        ..Default::default()
+    };
+
+    for round in 0..ntimes {
+        let req_tag = READ_REQ_TAG_BASE + (round % 4096) as Tag;
+        let data_tag = READ_DATA_TAG_BASE + (round % 4096) as Tag;
+        let windows: Vec<(u64, u64)> = (0..aggregators.len())
+            .map(|a| {
+                let ws = (fds.starts[a] + round * cb).min(fds.ends[a]);
+                let we = (fds.starts[a] + (round + 1) * cb).min(fds.ends[a]);
+                (ws, we)
+            })
+            .collect();
+
+        // What I want from each aggregator this round.
+        let mut want_sizes = vec![0u64; p];
+        let mut per_agg_reqs: Vec<Vec<ReqPiece>> = Vec::with_capacity(windows.len());
+        for (a, &(ws, we)) in windows.iter().enumerate() {
+            let pieces = view.pieces_in_window(ws, we);
+            let bytes: u64 = pieces.iter().map(|vp| vp.len).sum();
+            want_sizes[aggregators[a]] = bytes;
+            per_agg_reqs.push(
+                pieces
+                    .into_iter()
+                    .map(|vp| (vp.file_off, vp.len, vp.buf_off))
+                    .collect(),
+            );
+        }
+
+        let req_sizes: Vec<u64> = {
+            let _t = prof.enter(Phase::ShuffleAlltoall);
+            comm.alltoall(want_sizes.clone(), 8).await
+        };
+
+        // Send request lists; keep my own local.
+        let mut local_req: Vec<ReqPiece> = Vec::new();
+        let mut sreqs = Vec::new();
+        for (a, reqs) in per_agg_reqs.iter().enumerate() {
+            if reqs.is_empty() {
+                continue;
+            }
+            let dst = aggregators[a];
+            if dst == me {
+                local_req = reqs.clone();
+            } else {
+                let bytes = 32 + 24 * reqs.len() as u64;
+                sreqs.push(comm.isend(dst, req_tag, bytes, reqs.clone()));
+            }
+        }
+
+        // Aggregator: gather requests, read the union, reply.
+        let mut reply_reqs = Vec::new();
+        if my_agg.is_some() {
+            let mut requests: Vec<(usize, Vec<ReqPiece>)> = Vec::new();
+            if !local_req.is_empty() {
+                requests.push((me, local_req.clone()));
+            }
+            {
+                let _t = prof.enter(Phase::ShuffleWaitall);
+                let mut rreqs = Vec::new();
+                for (src, &sz) in req_sizes.iter().enumerate() {
+                    if sz > 0 && src != me {
+                        rreqs.push(comm.irecv(SourceSel::Rank(src), req_tag));
+                    }
+                }
+                for m in waitall(rreqs).await.into_iter().flatten() {
+                    let src = m.src;
+                    requests.push((src, m.into_data::<Vec<ReqPiece>>()));
+                }
+                requests.sort_by_key(|(src, _)| *src);
+            }
+            if !requests.is_empty() {
+                // Union of requested ranges → merged runs.
+                let mut ranges: Vec<(u64, u64)> = requests
+                    .iter()
+                    .flat_map(|(_, rs)| rs.iter().map(|&(o, l, _)| (o, l)))
+                    .collect();
+                ranges.sort_unstable();
+                let mut runs: Vec<(u64, u64)> = Vec::new();
+                for (o, l) in ranges {
+                    match runs.last_mut() {
+                        Some(r) if o <= r.0 + r.1 => r.1 = r.1.max(o + l - r.0),
+                        _ => runs.push((o, l)),
+                    }
+                }
+                // Read each run — from the local cache when the
+                // extension allows and the run is fully cached there.
+                let mut window_data = ExtentMap::new();
+                {
+                    let _t = prof.enter(Phase::Write); // the data-I/O phase
+                    for (o, l) in runs {
+                        let cached = fd.hints().e10_cache_read
+                            && fd
+                                .cache()
+                                .filter(|c| !c.is_degraded())
+                                .is_some_and(|c| c.covers(o, l));
+                        let pieces = if cached {
+                            out.cache_hits += l;
+                            fd.cache().unwrap().read_local(o, l).await
+                        } else {
+                            fd.global().read(comm.node(), o, l).await
+                        };
+                        for (r, src) in pieces {
+                            let len = r.end - r.start;
+                            window_data.insert(
+                                r.start,
+                                len,
+                                src.unwrap_or(Source::Zero),
+                            );
+                        }
+                    }
+                }
+                // Scatter the pieces back.
+                for (src, reqs) in requests {
+                    let mut reply: Vec<ReadPiece> = Vec::new();
+                    let mut bytes = 32u64;
+                    for (o, l, buf_off) in reqs {
+                        for (r, s) in window_data.lookup(o, l) {
+                            let len = r.end - r.start;
+                            reply.push(ReadPiece {
+                                file_off: r.start,
+                                buf_off: buf_off + (r.start - o),
+                                payload: Payload {
+                                    src: s.unwrap_or(Source::Zero),
+                                    len,
+                                },
+                            });
+                            bytes += len + 24;
+                        }
+                    }
+                    if src == me {
+                        for p in reply {
+                            out.bytes += p.payload.len;
+                            out.pieces.push(p);
+                        }
+                    } else {
+                        reply_reqs.push(comm.isend(src, data_tag, bytes, reply));
+                    }
+                }
+            }
+        }
+
+        // Everyone: wait for requested data.
+        {
+            let _t = prof.enter(Phase::ShuffleWaitall);
+            let mut rreqs = Vec::new();
+            for (a, reqs) in per_agg_reqs.iter().enumerate() {
+                if !reqs.is_empty() && aggregators[a] != me {
+                    rreqs.push(comm.irecv(SourceSel::Rank(aggregators[a]), data_tag));
+                }
+            }
+            for m in waitall(rreqs).await.into_iter().flatten() {
+                for p in m.into_data::<Vec<ReadPiece>>() {
+                    out.bytes += p.payload.len;
+                    out.pieces.push(p);
+                }
+            }
+            waitall(sreqs).await;
+            waitall(reply_reqs).await;
+        }
+    }
+
+    {
+        let _t = prof.enter(Phase::PostWrite);
+        comm.allreduce(0u32, 4, |a, b| (*a).max(*b)).await;
+    }
+    out.pieces.sort_by_key(|p| p.buf_off);
+    out
+}
+
+/// Independent strided read: each rank reads its own pieces.
+async fn independent_read(fd: &AdioFile, view: &FileView) -> ReadAllResult {
+    let mut out = ReadAllResult::default();
+    let buf = fd.hints().ind_wr_buffer_size.max(1);
+    for vp in view.pieces() {
+        let mut off = 0;
+        while off < vp.len {
+            let n = buf.min(vp.len - off);
+            let pieces = fd.read_contig(vp.file_off + off, n).await;
+            for (r, s) in pieces {
+                let len = r.end - r.start;
+                out.pieces.push(ReadPiece {
+                    file_off: r.start,
+                    buf_off: vp.buf_off + off + (r.start - (vp.file_off + off)),
+                    payload: Payload {
+                        src: s.unwrap_or(Source::Zero),
+                        len,
+                    },
+                });
+                out.bytes += len;
+            }
+            off += n;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adio::DataSpec;
+    use crate::collective::write_at_all;
+    use crate::testbed::{IoCtx, TestbedSpec};
+    use e10_mpisim::{FlatType, Info};
+    use e10_simcore::run;
+
+    async fn on_testbed<F, Fut>(procs: usize, nodes: usize, f: F)
+    where
+        F: Fn(IoCtx) -> Fut,
+        Fut: std::future::Future<Output = ()> + 'static,
+    {
+        let tb = TestbedSpec::small(procs, nodes).build();
+        let handles: Vec<_> = tb
+            .ctxs()
+            .into_iter()
+            .map(|ctx| e10_simcore::spawn(f(ctx)))
+            .collect();
+        e10_simcore::join_all(handles).await;
+    }
+
+    fn strided_view(rank: usize, p: usize, block: u64, count: u64) -> FileView {
+        let blocks: Vec<(u64, u64)> = (0..count)
+            .map(|i| ((i * p as u64 + rank as u64) * block, block))
+            .collect();
+        FileView::new(&FlatType::indexed(blocks), 0)
+    }
+
+    fn rw_hints(extra: &[(&str, &str)]) -> Info {
+        let i = Info::from_pairs([
+            ("romio_cb_write", "enable"),
+            ("romio_cb_read", "enable"),
+            ("cb_buffer_size", "32K"),
+            ("striping_unit", "32K"),
+        ]);
+        for (k, v) in extra {
+            i.set(k, v);
+        }
+        i
+    }
+
+    #[test]
+    fn collective_read_returns_what_was_written() {
+        run(async {
+            on_testbed(8, 4, |ctx| async move {
+                let f = crate::adio::AdioFile::open(&ctx, "/gfs/r1", &rw_hints(&[]), true)
+                    .await
+                    .unwrap();
+                let view = strided_view(ctx.comm.rank(), 8, 4096, 8);
+                write_at_all(&f, &view, &DataSpec::FileGen { seed: 31 }).await;
+                let r = read_at_all(&f, &view).await;
+                assert!(r.used_collective);
+                assert_eq!(r.bytes, view.total_bytes());
+                r.verify_gen(31).unwrap();
+                // Buffer must be tiled exactly.
+                let mut pos = 0;
+                for p in &r.pieces {
+                    assert_eq!(p.buf_off, pos);
+                    pos += p.payload.len;
+                }
+                assert_eq!(pos, view.total_bytes());
+                f.close().await;
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn read_of_sparse_file_returns_zeroes_for_holes() {
+        run(async {
+            on_testbed(4, 2, |ctx| async move {
+                let f = crate::adio::AdioFile::open(&ctx, "/gfs/r2", &rw_hints(&[]), true)
+                    .await
+                    .unwrap();
+                // Write only even blocks; read everything.
+                let wview = strided_view(ctx.comm.rank(), 8, 2048, 4);
+                write_at_all(&f, &wview, &DataSpec::FileGen { seed: 32 }).await;
+                let rview = strided_view(ctx.comm.rank(), 4, 4096, 4);
+                let r = read_at_all(&f, &rview).await;
+                assert_eq!(r.bytes, rview.total_bytes());
+                // Some pieces must be zero (holes), none may be garbage.
+                for p in &r.pieces {
+                    let first = p.payload.src.byte_at(0);
+                    let expect_gen = e10_storesim::gen_byte(32, p.file_off);
+                    assert!(
+                        first == expect_gen || first == 0,
+                        "unexpected byte at {}",
+                        p.file_off
+                    );
+                }
+                f.close().await;
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn cache_read_extension_hits_local_cache() {
+        run(async {
+            on_testbed(8, 4, |ctx| async move {
+                let info = rw_hints(&[
+                    ("e10_cache", "enable"),
+                    ("e10_cache_flush_flag", "flush_onclose"),
+                    ("e10_cache_read", "enable"),
+                ]);
+                let f = crate::adio::AdioFile::open(&ctx, "/gfs/r3", &info, true)
+                    .await
+                    .unwrap();
+                let view = strided_view(ctx.comm.rank(), 8, 4096, 8);
+                write_at_all(&f, &view, &DataSpec::FileGen { seed: 33 }).await;
+                // Nothing has been flushed (onclose); a matching
+                // collective read must be served from the caches.
+                let r = read_at_all(&f, &view).await;
+                r.verify_gen(33).unwrap();
+                assert_eq!(r.bytes, view.total_bytes());
+                if f.my_agg_index().is_some() {
+                    assert!(r.cache_hits > 0, "aggregators must hit their caches");
+                }
+                f.close().await;
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn without_extension_unflushed_data_reads_as_holes() {
+        run(async {
+            on_testbed(4, 2, |ctx| async move {
+                let info = rw_hints(&[
+                    ("e10_cache", "enable"),
+                    ("e10_cache_flush_flag", "flush_onclose"),
+                ]);
+                let f = crate::adio::AdioFile::open(&ctx, "/gfs/r4", &info, true)
+                    .await
+                    .unwrap();
+                let view = strided_view(ctx.comm.rank(), 4, 4096, 4);
+                write_at_all(&f, &view, &DataSpec::FileGen { seed: 34 }).await;
+                let r = read_at_all(&f, &view).await;
+                // MPI-IO semantics: before sync/close, the global file
+                // has no data; reads return zero-filled holes.
+                assert_eq!(r.cache_hits, 0);
+                assert!(r.verify_gen(34).is_err());
+                f.close().await;
+                // After close, the same read sees everything.
+                let f2 = crate::adio::AdioFile::open(&ctx, "/gfs/r4", &rw_hints(&[]), false)
+                    .await
+                    .unwrap();
+                let r2 = read_at_all(&f2, &view).await;
+                r2.verify_gen(34).unwrap();
+                f2.close().await;
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn independent_read_path() {
+        run(async {
+            on_testbed(2, 1, |ctx| async move {
+                let f = crate::adio::AdioFile::open(&ctx, "/gfs/r5", &Info::new(), true)
+                    .await
+                    .unwrap();
+                // Disjoint contiguous regions: automatic → independent.
+                let off = ctx.comm.rank() as u64 * 65536;
+                f.write_contig(off, Payload::gen(35, off, 65536)).await;
+                let view = FileView::new(&FlatType::contiguous(65536), off);
+                let r = read_at_all(&f, &view).await;
+                assert!(!r.used_collective);
+                assert_eq!(r.bytes, 65536);
+                r.verify_gen(35).unwrap();
+                f.close().await;
+            })
+            .await;
+        });
+    }
+}

@@ -1,0 +1,538 @@
+//! MPI-IO hints: ROMIO's collective-I/O hints (Table I of the paper)
+//! plus the proposed E10 extensions (Table II), with parsing,
+//! validation and defaults.
+
+use e10_mpisim::Info;
+
+/// `romio_cb_write` / `romio_cb_read` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CbMode {
+    /// Always use collective buffering.
+    Enable,
+    /// Never use collective buffering.
+    Disable,
+    /// Let ROMIO decide from the access pattern (the default).
+    #[default]
+    Automatic,
+}
+
+/// `e10_cache` values (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Cache layer off (default).
+    #[default]
+    Disable,
+    /// Write collective data to the node-local cache.
+    Enable,
+    /// Like `Enable`, but written extents stay locked in the global
+    /// file until their synchronisation completes.
+    Coherent,
+}
+
+/// `e10_cache_flush_flag` values (Table II), plus the `flush_none`
+/// measurement mode used to obtain the paper's "TBW Cache Enabled"
+/// series (cache writes without any synchronisation to the global
+/// file — an upper bound, not a consistency-preserving configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushFlag {
+    /// Start synchronising each extent right after it is written.
+    #[default]
+    FlushImmediate,
+    /// Queue extents and synchronise them when the file is closed.
+    FlushOnClose,
+    /// Never synchronise (theoretical-bandwidth measurement only).
+    FlushNone,
+}
+
+/// Cache synchronisation scheduling policy (`e10_sync_policy`,
+/// extension; §III names congestion awareness as a possible richer
+/// policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Stream to the global file as fast as the path allows (default).
+    #[default]
+    Greedy,
+    /// Back off while the storage servers are saturated by foreground
+    /// traffic, yielding the bandwidth to whoever is actively waiting.
+    Backoff,
+}
+
+/// File-domain partitioning strategy for the two-phase algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FdStrategy {
+    /// Even byte split of the accessed range (classic UFS driver) —
+    /// file domains may straddle stripe boundaries and contend on
+    /// file-system locks.
+    Even,
+    /// Even split with boundaries aligned to `striping_unit` (the
+    /// Lustre driver behaviour, and the BeeGFS driver developed in the
+    /// course of the paper — its footnote 1). Default.
+    #[default]
+    StripeAligned,
+}
+
+/// All hints relevant to this implementation, resolved with defaults.
+#[derive(Debug, Clone)]
+pub struct RomioHints {
+    /// `romio_cb_write` (Table I).
+    pub cb_write: CbMode,
+    /// `romio_cb_read` (Table I).
+    pub cb_read: CbMode,
+    /// `cb_buffer_size` in bytes (Table I; ROMIO default 16 MiB).
+    pub cb_buffer_size: u64,
+    /// `cb_nodes` (Table I; default = number of nodes).
+    pub cb_nodes: Option<usize>,
+    /// `striping_factor` (stripe count).
+    pub striping_factor: Option<usize>,
+    /// `striping_unit` in bytes.
+    pub striping_unit: Option<u64>,
+    /// `ind_wr_buffer_size` in bytes (pre-existing ROMIO hint reused as
+    /// the cache synchronisation buffer size; default 512 KiB).
+    pub ind_wr_buffer_size: u64,
+    /// `e10_cache` (Table II).
+    pub e10_cache: CacheMode,
+    /// `e10_cache_path` (Table II; default `/scratch`).
+    pub e10_cache_path: String,
+    /// `e10_cache_flush_flag` (Table II).
+    pub e10_cache_flush_flag: FlushFlag,
+    /// `e10_cache_discard_flag` (Table II; `enable` removes the cache
+    /// file after close).
+    pub e10_cache_discard_flag: bool,
+    /// `e10_fd_partition` (this implementation): file-domain strategy.
+    pub fd_strategy: FdStrategy,
+    /// `romio_ds_write`: data sieving for independent writes (ROMIO
+    /// default: disable, because of the locking it requires).
+    pub ds_write: CbMode,
+    /// `e10_cache_read` (extension; the paper's stated future work):
+    /// serve collective reads from the aggregator's local cache when
+    /// the requested extent is fully cached there.
+    pub e10_cache_read: bool,
+    /// `cb_config_list` (subset of ROMIO's syntax): `*:N` caps the
+    /// number of aggregators placed per node at `N`.
+    pub cb_config_max_per_node: Option<usize>,
+    /// `romio_no_indep_rw`: deferred open — only aggregators (and rank
+    /// 0, which creates) open the global file, saving a metadata storm
+    /// at scale.
+    pub no_indep_rw: bool,
+    /// `e10_cache_evict` (extension; §III's "more complex" space
+    /// management): punch each extent out of the cache file as soon as
+    /// it is synchronised, so the cache works as a streaming staging
+    /// area and files larger than `/scratch` still fit.
+    pub e10_cache_evict: bool,
+    /// `e10_sync_policy` (extension): congestion awareness of the sync
+    /// thread.
+    pub e10_sync_policy: SyncPolicy,
+}
+
+impl Default for RomioHints {
+    fn default() -> Self {
+        RomioHints {
+            cb_write: CbMode::Automatic,
+            cb_read: CbMode::Automatic,
+            cb_buffer_size: 16 << 20,
+            cb_nodes: None,
+            striping_factor: None,
+            striping_unit: None,
+            ind_wr_buffer_size: 512 << 10,
+            e10_cache: CacheMode::Disable,
+            e10_cache_path: "/scratch".to_string(),
+            e10_cache_flush_flag: FlushFlag::FlushImmediate,
+            e10_cache_discard_flag: false,
+            fd_strategy: FdStrategy::StripeAligned,
+            ds_write: CbMode::Disable,
+            e10_cache_read: false,
+            cb_config_max_per_node: None,
+            no_indep_rw: false,
+            e10_cache_evict: false,
+            e10_sync_policy: SyncPolicy::Greedy,
+        }
+    }
+}
+
+/// A hint that was present but malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HintError {
+    /// Hint key.
+    pub key: String,
+    /// The rejected value.
+    pub value: String,
+    /// What would have been accepted.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for HintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid hint {}={:?} (expected {})",
+            self.key, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for HintError {}
+
+fn parse_size(v: &str) -> Option<u64> {
+    let v = v.trim();
+    let (num, mult) = match v.chars().last() {
+        Some('k') | Some('K') => (&v[..v.len() - 1], 1 << 10),
+        Some('m') | Some('M') => (&v[..v.len() - 1], 1 << 20),
+        Some('g') | Some('G') => (&v[..v.len() - 1], 1 << 30),
+        _ => (v, 1),
+    };
+    num.trim().parse::<u64>().ok().map(|n| n * mult)
+}
+
+impl RomioHints {
+    /// Parse an [`Info`] object, applying defaults for missing hints.
+    /// Unknown keys are ignored (MPI semantics); present-but-invalid
+    /// values are an error.
+    pub fn parse(info: &Info) -> Result<RomioHints, HintError> {
+        let mut h = RomioHints::default();
+        for (key, value) in info.entries() {
+            let err = |expected: &'static str| HintError {
+                key: key.clone(),
+                value: value.clone(),
+                expected,
+            };
+            match key.as_str() {
+                "romio_cb_write" | "romio_cb_read" => {
+                    let mode = match value.as_str() {
+                        "enable" => CbMode::Enable,
+                        "disable" => CbMode::Disable,
+                        "automatic" => CbMode::Automatic,
+                        _ => return Err(err("enable|disable|automatic")),
+                    };
+                    if key == "romio_cb_write" {
+                        h.cb_write = mode;
+                    } else {
+                        h.cb_read = mode;
+                    }
+                }
+                "cb_buffer_size" => {
+                    h.cb_buffer_size = parse_size(&value)
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| err("positive byte count"))?;
+                }
+                "cb_nodes" => {
+                    h.cb_nodes = Some(
+                        value
+                            .trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| err("positive integer"))?,
+                    );
+                }
+                "striping_factor" => {
+                    h.striping_factor = Some(
+                        value
+                            .trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| err("positive integer"))?,
+                    );
+                }
+                "striping_unit" => {
+                    h.striping_unit = Some(
+                        parse_size(&value)
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| err("positive byte count"))?,
+                    );
+                }
+                "ind_wr_buffer_size" => {
+                    h.ind_wr_buffer_size = parse_size(&value)
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| err("positive byte count"))?;
+                }
+                "e10_cache" => {
+                    h.e10_cache = match value.as_str() {
+                        "enable" => CacheMode::Enable,
+                        "disable" => CacheMode::Disable,
+                        "coherent" => CacheMode::Coherent,
+                        _ => return Err(err("enable|disable|coherent")),
+                    };
+                }
+                "e10_cache_path" => {
+                    if value.is_empty() {
+                        return Err(err("non-empty path"));
+                    }
+                    h.e10_cache_path = value.clone();
+                }
+                "e10_cache_flush_flag" => {
+                    h.e10_cache_flush_flag = match value.as_str() {
+                        "flush_immediate" => FlushFlag::FlushImmediate,
+                        "flush_onclose" => FlushFlag::FlushOnClose,
+                        "flush_none" => FlushFlag::FlushNone,
+                        _ => return Err(err("flush_immediate|flush_onclose|flush_none")),
+                    };
+                }
+                "e10_cache_discard_flag" => {
+                    h.e10_cache_discard_flag = match value.as_str() {
+                        "enable" => true,
+                        "disable" => false,
+                        _ => return Err(err("enable|disable")),
+                    };
+                }
+                "cb_config_list" => {
+                    // Accept ROMIO's most common form: "*:N".
+                    let n = value
+                        .strip_prefix("*:")
+                        .and_then(|n| n.trim().parse::<usize>().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| err("\"*:N\" with N > 0"))?;
+                    h.cb_config_max_per_node = Some(n);
+                }
+                "romio_no_indep_rw" => {
+                    h.no_indep_rw = match value.as_str() {
+                        "true" | "enable" => true,
+                        "false" | "disable" => false,
+                        _ => return Err(err("true|false")),
+                    };
+                }
+                "e10_cache_read" => {
+                    h.e10_cache_read = match value.as_str() {
+                        "enable" => true,
+                        "disable" => false,
+                        _ => return Err(err("enable|disable")),
+                    };
+                }
+                "e10_sync_policy" => {
+                    h.e10_sync_policy = match value.as_str() {
+                        "greedy" => SyncPolicy::Greedy,
+                        "backoff" => SyncPolicy::Backoff,
+                        _ => return Err(err("greedy|backoff")),
+                    };
+                }
+                "e10_cache_evict" => {
+                    h.e10_cache_evict = match value.as_str() {
+                        "enable" => true,
+                        "disable" => false,
+                        _ => return Err(err("enable|disable")),
+                    };
+                }
+                "romio_ds_write" => {
+                    h.ds_write = match value.as_str() {
+                        "enable" => CbMode::Enable,
+                        "disable" => CbMode::Disable,
+                        "automatic" => CbMode::Automatic,
+                        _ => return Err(err("enable|disable|automatic")),
+                    };
+                }
+                "e10_fd_partition" => {
+                    h.fd_strategy = match value.as_str() {
+                        "even" => FdStrategy::Even,
+                        "aligned" => FdStrategy::StripeAligned,
+                        _ => return Err(err("even|aligned")),
+                    };
+                }
+                _ => {} // unknown hints are silently ignored, as in MPI
+            }
+        }
+        Ok(h)
+    }
+
+    /// Render the resolved hints as `(key, value)` pairs (used by the
+    /// Table I / Table II regeneration binary and by introspection à la
+    /// `MPI_File_get_info`).
+    pub fn to_pairs(&self) -> Vec<(String, String)> {
+        let cb = |m: CbMode| match m {
+            CbMode::Enable => "enable",
+            CbMode::Disable => "disable",
+            CbMode::Automatic => "automatic",
+        };
+        let mut out = vec![
+            ("romio_cb_write".into(), cb(self.cb_write).into()),
+            ("romio_cb_read".into(), cb(self.cb_read).into()),
+            ("cb_buffer_size".into(), self.cb_buffer_size.to_string()),
+            (
+                "ind_wr_buffer_size".into(),
+                self.ind_wr_buffer_size.to_string(),
+            ),
+            (
+                "e10_cache".into(),
+                match self.e10_cache {
+                    CacheMode::Disable => "disable",
+                    CacheMode::Enable => "enable",
+                    CacheMode::Coherent => "coherent",
+                }
+                .into(),
+            ),
+            ("e10_cache_path".into(), self.e10_cache_path.clone()),
+            (
+                "e10_cache_flush_flag".into(),
+                match self.e10_cache_flush_flag {
+                    FlushFlag::FlushImmediate => "flush_immediate",
+                    FlushFlag::FlushOnClose => "flush_onclose",
+                    FlushFlag::FlushNone => "flush_none",
+                }
+                .into(),
+            ),
+            (
+                "e10_cache_discard_flag".into(),
+                if self.e10_cache_discard_flag {
+                    "enable"
+                } else {
+                    "disable"
+                }
+                .into(),
+            ),
+        ];
+        if let Some(n) = self.cb_nodes {
+            out.push(("cb_nodes".into(), n.to_string()));
+        }
+        if let Some(n) = self.striping_factor {
+            out.push(("striping_factor".into(), n.to_string()));
+        }
+        if let Some(n) = self.striping_unit {
+            out.push(("striping_unit".into(), n.to_string()));
+        }
+        out
+    }
+
+    /// True if any E10 cache behaviour is requested.
+    pub fn cache_requested(&self) -> bool {
+        self.e10_cache != CacheMode::Disable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let h = RomioHints::default();
+        assert_eq!(h.cb_buffer_size, 16 << 20);
+        assert_eq!(h.ind_wr_buffer_size, 512 << 10);
+        assert_eq!(h.e10_cache, CacheMode::Disable);
+        assert_eq!(h.e10_cache_flush_flag, FlushFlag::FlushImmediate);
+        assert!(!h.e10_cache_discard_flag);
+        assert_eq!(h.e10_cache_path, "/scratch");
+    }
+
+    #[test]
+    fn parses_full_paper_configuration() {
+        let info = Info::from_pairs([
+            ("romio_cb_write", "enable"),
+            ("cb_buffer_size", "4M"),
+            ("cb_nodes", "16"),
+            ("striping_unit", "4194304"),
+            ("striping_factor", "4"),
+            ("ind_wr_buffer_size", "512K"),
+            ("e10_cache", "enable"),
+            ("e10_cache_path", "/scratch/e10"),
+            ("e10_cache_flush_flag", "flush_onclose"),
+            ("e10_cache_discard_flag", "enable"),
+        ]);
+        let h = RomioHints::parse(&info).unwrap();
+        assert_eq!(h.cb_write, CbMode::Enable);
+        assert_eq!(h.cb_buffer_size, 4 << 20);
+        assert_eq!(h.cb_nodes, Some(16));
+        assert_eq!(h.striping_unit, Some(4 << 20));
+        assert_eq!(h.striping_factor, Some(4));
+        assert_eq!(h.ind_wr_buffer_size, 512 << 10);
+        assert_eq!(h.e10_cache, CacheMode::Enable);
+        assert_eq!(h.e10_cache_path, "/scratch/e10");
+        assert_eq!(h.e10_cache_flush_flag, FlushFlag::FlushOnClose);
+        assert!(h.e10_cache_discard_flag);
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("512"), Some(512));
+        assert_eq!(parse_size("512K"), Some(512 << 10));
+        assert_eq!(parse_size("4m"), Some(4 << 20));
+        assert_eq!(parse_size("2G"), Some(2 << 30));
+        assert_eq!(parse_size("x"), None);
+    }
+
+    #[test]
+    fn invalid_values_are_rejected_with_context() {
+        let info = Info::from_pairs([("e10_cache", "maybe")]);
+        let e = RomioHints::parse(&info).unwrap_err();
+        assert_eq!(e.key, "e10_cache");
+        assert!(e.to_string().contains("coherent"));
+
+        for (k, v) in [
+            ("cb_buffer_size", "0"),
+            ("cb_nodes", "-3"),
+            ("romio_cb_write", "yes"),
+            ("e10_cache_flush_flag", "later"),
+            ("e10_cache_discard_flag", "1"),
+            ("e10_cache_path", ""),
+        ] {
+            let info = Info::from_pairs([(k, v)]);
+            assert!(RomioHints::parse(&info).is_err(), "{k}={v} must fail");
+        }
+    }
+
+    #[test]
+    fn extension_hints_parse_and_validate() {
+        let info = Info::from_pairs([
+            ("e10_cache_read", "enable"),
+            ("e10_cache_evict", "enable"),
+            ("e10_sync_policy", "backoff"),
+            ("cb_config_list", "*:2"),
+            ("romio_no_indep_rw", "true"),
+        ]);
+        let h = RomioHints::parse(&info).unwrap();
+        assert!(h.e10_cache_read);
+        assert!(h.e10_cache_evict);
+        assert_eq!(h.e10_sync_policy, SyncPolicy::Backoff);
+        assert_eq!(h.cb_config_max_per_node, Some(2));
+        assert!(h.no_indep_rw);
+        for (k, v) in [
+            ("e10_cache_read", "yes"),
+            ("e10_cache_evict", "on"),
+            ("e10_sync_policy", "polite"),
+            ("cb_config_list", "2"),
+            ("cb_config_list", "*:0"),
+            ("romio_no_indep_rw", "1"),
+        ] {
+            let info = Info::from_pairs([(k, v)]);
+            assert!(RomioHints::parse(&info).is_err(), "{k}={v} must fail");
+        }
+        // Defaults are all off.
+        let d = RomioHints::default();
+        assert!(!d.e10_cache_read && !d.e10_cache_evict && !d.no_indep_rw);
+        assert_eq!(d.e10_sync_policy, SyncPolicy::Greedy);
+        assert_eq!(d.cb_config_max_per_node, None);
+    }
+
+    #[test]
+    fn unknown_hints_are_ignored() {
+        let info = Info::from_pairs([("some_vendor_hint", "whatever")]);
+        assert!(RomioHints::parse(&info).is_ok());
+    }
+
+    #[test]
+    fn coherent_implies_cache_requested() {
+        let info = Info::from_pairs([("e10_cache", "coherent")]);
+        let h = RomioHints::parse(&info).unwrap();
+        assert_eq!(h.e10_cache, CacheMode::Coherent);
+        assert!(h.cache_requested());
+        assert!(!RomioHints::default().cache_requested());
+    }
+
+    #[test]
+    fn to_pairs_roundtrips_through_parse() {
+        let info = Info::from_pairs([
+            ("romio_cb_write", "enable"),
+            ("cb_nodes", "8"),
+            ("e10_cache", "coherent"),
+            ("e10_cache_flush_flag", "flush_none"),
+        ]);
+        let h = RomioHints::parse(&info).unwrap();
+        let info2 = Info::new();
+        for (k, v) in h.to_pairs() {
+            info2.set(&k, &v);
+        }
+        let h2 = RomioHints::parse(&info2).unwrap();
+        assert_eq!(h2.cb_write, h.cb_write);
+        assert_eq!(h2.cb_nodes, h.cb_nodes);
+        assert_eq!(h2.e10_cache, h.e10_cache);
+        assert_eq!(h2.e10_cache_flush_flag, h.e10_cache_flush_flag);
+    }
+}

@@ -1,0 +1,47 @@
+//! # e10-romio
+//!
+//! The core of the reproduction: a ROMIO-style MPI-IO implementation
+//! over the simulated cluster, containing the paper's contribution —
+//! the E10 MPI-IO hint extensions that integrate node-local
+//! non-volatile storage as a persistent cache for collective writes.
+//!
+//! Layer map (mirroring Fig. 2 of the paper):
+//!
+//! * [`hints`] — Table I (ROMIO collective hints) and Table II (the
+//!   `e10_*` extensions) with parsing and validation.
+//! * [`adio`] — the ADIO file object: collective open, `write_contig`
+//!   with cache redirection, flush/sync/close semantics.
+//! * [`collective`] — the extended two-phase algorithm
+//!   (`ADIOI_Exch_and_write`): offset exchange, file domains, per-round
+//!   `Alltoall` + data shuffle + collective-buffer write, final error
+//!   `Allreduce`.
+//! * [`sieve`] — independent strided writes with optional data sieving.
+//! * [`cache`] — the E10 cache layer: cache file, `fallocate`
+//!   allocation, sync thread, generalized-request completion, coherent
+//!   locking, discard policy.
+//! * [`fd`] — file-domain partitioning and aggregator selection.
+//! * [`profile`] — MPE-style phase accounting (the breakdown figures).
+//! * [`bwmodel`] — Equations 1 and 2 (perceived bandwidth).
+//! * [`testbed`] — the simulated DEEP-ER cluster assembly.
+
+pub mod adio;
+pub mod baselines;
+pub mod bwmodel;
+pub mod cache;
+pub mod collective;
+pub mod collective_read;
+pub mod fd;
+pub mod hints;
+pub mod profile;
+pub mod sieve;
+pub mod testbed;
+
+pub use adio::{AdioError, AdioFile, DataSpec};
+pub use baselines::{group_of, write_at_all_multifile, write_at_all_partitioned};
+pub use cache::CacheLayer;
+pub use collective::{write_at_all, WriteAllResult};
+pub use collective_read::{read_at_all, ReadAllResult, ReadPiece};
+pub use fd::{select_aggregators, select_aggregators_capped, FileDomains};
+pub use hints::{CacheMode, CbMode, FdStrategy, FlushFlag, HintError, RomioHints, SyncPolicy};
+pub use profile::{Breakdown, Phase, Profiler};
+pub use testbed::{IoCtx, Testbed, TestbedSpec};

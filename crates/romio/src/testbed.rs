@@ -1,0 +1,225 @@
+//! Cluster assembly: compute nodes (with local SSD + page cache +
+//! `/scratch`), the global parallel file system, and the fabric.
+//!
+//! [`TestbedSpec::deep_er`] is the calibrated reproduction of the
+//! DEEP-ER evaluation platform (§IV-A): 512 ranks on 64 dual-socket
+//! nodes (8 ranks/node), 32 GB RAM and an 80 GB SATA SSD per node with
+//! a 30 GB `/scratch` partition, BeeGFS with 1 MDS + 4 data targets
+//! (8+2 RAID6 of nearline SAS), InfiniBand QDR.
+
+use std::rc::Rc;
+
+use e10_localfs::{LocalFs, LocalFsParams};
+use e10_mpisim::{CollBackend, Comm, World, WorldSpec};
+use e10_netsim::NetConfig;
+use e10_pfs::{Pfs, PfsParams};
+use e10_simcore::SimRng;
+use e10_storesim::{PageCache, PageCacheParams, Ssd, SsdParams};
+
+/// Everything an ADIO file operation needs from the environment, bound
+/// to one rank.
+#[derive(Clone)]
+pub struct IoCtx {
+    /// This rank's communicator.
+    pub comm: Comm,
+    /// The global parallel file system.
+    pub pfs: Rc<Pfs>,
+    /// Node-local file systems, indexed by compute node.
+    pub localfs: Rc<Vec<LocalFs>>,
+}
+
+impl IoCtx {
+    /// The local file system of this rank's node.
+    pub fn my_localfs(&self) -> &LocalFs {
+        &self.localfs[self.comm.node()]
+    }
+}
+
+/// Parameters for building a full testbed.
+#[derive(Debug, Clone)]
+pub struct TestbedSpec {
+    /// MPI processes.
+    pub procs: usize,
+    /// Compute nodes.
+    pub nodes: usize,
+    /// Collective backend.
+    pub backend: CollBackend,
+    /// Master seed for all jitter streams.
+    pub seed: u64,
+    /// Global file-system parameters.
+    pub pfs: PfsParams,
+    /// Node SSD parameters.
+    pub ssd: SsdParams,
+    /// Node `/scratch` parameters.
+    pub localfs: LocalFsParams,
+    /// Node page-cache parameters.
+    pub pagecache: PageCacheParams,
+    /// Fabric override (None → IB QDR).
+    pub net_cfg: Option<NetConfig>,
+    /// Stage the cache in RAM instead of the SSD (the Active-Buffering
+    /// / RFS baseline of the paper's §V): `Some(bytes)` gives each node
+    /// that much memory-speed staging space — fast, but far smaller
+    /// than the `/scratch` SSD partition.
+    pub ram_scratch: Option<u64>,
+}
+
+impl TestbedSpec {
+    /// The paper's evaluation platform at full scale.
+    pub fn deep_er() -> Self {
+        let ssd = SsdParams::sata_scratch();
+        let pagecache = PageCacheParams::deep_er_node(ssd.write_bw);
+        TestbedSpec {
+            procs: 512,
+            nodes: 64,
+            backend: CollBackend::Analytic,
+            seed: 2016,
+            pfs: PfsParams::deep_er(),
+            ssd,
+            localfs: LocalFsParams::scratch_30g(),
+            pagecache,
+            net_cfg: None,
+            ram_scratch: None,
+        }
+    }
+
+    /// A reduced testbed for unit/integration tests: same topology
+    /// style, algorithmic collectives, fast devices, small `/scratch`.
+    pub fn small(procs: usize, nodes: usize) -> Self {
+        let mut s = Self::deep_er();
+        s.procs = procs;
+        s.nodes = nodes;
+        s.backend = CollBackend::Algorithmic;
+        s.seed = 7;
+        s.pfs.disk.jitter_cv = 0.0;
+        s.pfs.server_jitter_cv = 0.0;
+        s
+    }
+
+    /// Build the fabric, servers and per-node storage. Must run inside
+    /// `e10_simcore::run`.
+    pub fn build(&self) -> Testbed {
+        let mut wspec = WorldSpec::new(self.procs, self.nodes);
+        wspec.backend = self.backend;
+        wspec.extra_nodes = 1 + self.pfs.data_targets; // MDS + targets
+        wspec.net_cfg = self.net_cfg.clone();
+        let world = World::build(&wspec);
+        let mds_node = world.server_node(0);
+        let target_nodes = (0..self.pfs.data_targets)
+            .map(|i| world.server_node(1 + i))
+            .collect();
+        let pfs = Pfs::new(
+            self.pfs.clone(),
+            Rc::clone(&world.net),
+            mds_node,
+            target_nodes,
+            self.seed,
+        );
+        let localfs: Vec<LocalFs> = (0..self.nodes)
+            .map(|n| {
+                if let Some(ram) = self.ram_scratch {
+                    // Memory staging: device and writeback at memory
+                    // speed, but only `ram` bytes per node.
+                    let ssd = Ssd::new(
+                        SsdParams {
+                            read_bw: self.pagecache.mem_bw,
+                            write_bw: self.pagecache.mem_bw,
+                            latency: e10_simcore::SimDuration::from_nanos(500),
+                            jitter_cv: 0.0,
+                        },
+                        SimRng::stream(self.seed, 100_000 + n as u64),
+                    );
+                    let pc = PageCache::new(PageCacheParams {
+                        mem_bw: self.pagecache.mem_bw,
+                        dirty_limit: ram,
+                        capacity: ram,
+                        drain_bw: self.pagecache.mem_bw,
+                    });
+                    let mut lp = self.localfs.clone();
+                    lp.capacity = ram;
+                    return LocalFs::new(lp, ssd, pc);
+                }
+                let ssd = Ssd::new(
+                    self.ssd.clone(),
+                    SimRng::stream(self.seed, 100_000 + n as u64),
+                );
+                let pc = PageCache::new(self.pagecache.clone());
+                LocalFs::new(self.localfs.clone(), ssd, pc)
+            })
+            .collect();
+        Testbed {
+            world,
+            pfs,
+            localfs: Rc::new(localfs),
+        }
+    }
+}
+
+/// A built cluster.
+pub struct Testbed {
+    /// The MPI world (fabric + communicators).
+    pub world: World,
+    /// The global file system.
+    pub pfs: Rc<Pfs>,
+    /// Per-compute-node local file systems.
+    pub localfs: Rc<Vec<LocalFs>>,
+}
+
+impl Testbed {
+    /// The I/O context of `rank`.
+    pub fn ctx(&self, rank: usize) -> IoCtx {
+        IoCtx {
+            comm: self.world.comms[rank].clone(),
+            pfs: Rc::clone(&self.pfs),
+            localfs: Rc::clone(&self.localfs),
+        }
+    }
+
+    /// All per-rank contexts.
+    pub fn ctxs(&self) -> Vec<IoCtx> {
+        (0..self.world.comms.len()).map(|r| self.ctx(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e10_simcore::run;
+
+    #[test]
+    fn deep_er_spec_matches_paper() {
+        let s = TestbedSpec::deep_er();
+        assert_eq!(s.procs, 512);
+        assert_eq!(s.nodes, 64);
+        assert_eq!(s.procs / s.nodes, 8);
+        assert_eq!(s.pfs.data_targets, 4);
+        assert_eq!(s.pfs.default_stripe_unit, 4 << 20);
+        assert_eq!(s.localfs.capacity, 30 << 30);
+    }
+
+    #[test]
+    fn build_wires_servers_after_compute_nodes() {
+        run(async {
+            let tb = TestbedSpec::small(8, 4).build();
+            // 4 compute + 1 MDS + 4 targets.
+            assert_eq!(tb.world.net.nodes(), 9);
+            assert_eq!(tb.localfs.len(), 4);
+            let ctx = tb.ctx(5);
+            assert_eq!(ctx.comm.rank(), 5);
+            assert_eq!(ctx.comm.node(), 2);
+            let (cap, used) = ctx.my_localfs().statfs();
+            assert!(cap > 0);
+            assert_eq!(used, 0);
+        });
+    }
+
+    #[test]
+    fn each_node_gets_its_own_scratch() {
+        run(async {
+            let tb = TestbedSpec::small(4, 2).build();
+            let f = tb.localfs[0].create("/scratch/x").await.unwrap();
+            f.write(0, e10_storesim::Payload::zero(100)).await.unwrap();
+            assert_eq!(tb.localfs[0].statfs().1, 100);
+            assert_eq!(tb.localfs[1].statfs().1, 0);
+        });
+    }
+}

@@ -1,0 +1,203 @@
+//! Unbounded multi-producer single-consumer channels between simulated tasks.
+//!
+//! Delivery is instantaneous in virtual time (the receiver becomes runnable
+//! at the same instant the sender sends); any transport latency should be
+//! modelled explicitly by the communication layer on top.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    recv_waiters: Vec<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Sending half of a channel. Cloneable.
+pub struct Sender<T> {
+    state: Rc<RefCell<ChanState<T>>>,
+}
+
+/// Receiving half of a channel.
+pub struct Receiver<T> {
+    state: Rc<RefCell<ChanState<T>>>,
+}
+
+/// Error returned by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Create an unbounded channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let state = Rc::new(RefCell::new(ChanState {
+        queue: VecDeque::new(),
+        recv_waiters: Vec::new(),
+        senders: 1,
+        receiver_alive: true,
+    }));
+    (
+        Sender {
+            state: Rc::clone(&state),
+        },
+        Receiver { state },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a value; wakes the receiver if it is waiting.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.state.borrow_mut();
+        if !st.receiver_alive {
+            return Err(SendError(value));
+        }
+        st.queue.push_back(value);
+        for w in st.recv_waiters.drain(..) {
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// True if the receiving half has been dropped.
+    pub fn is_closed(&self) -> bool {
+        !self.state.borrow().receiver_alive
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.state.borrow_mut().senders += 1;
+        Sender {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.state.borrow_mut();
+        st.senders -= 1;
+        if st.senders == 0 {
+            for w in st.recv_waiters.drain(..) {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Wait for the next value. Resolves to `None` once all senders are
+    /// dropped and the queue is drained.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { rx: self }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.state.borrow_mut().queue.pop_front()
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+
+    /// True if no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.state.borrow_mut().receiver_alive = false;
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    rx: &'a mut Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut st = self.rx.state.borrow_mut();
+        if let Some(v) = st.queue.pop_front() {
+            return Poll::Ready(Some(v));
+        }
+        if st.senders == 0 {
+            return Poll::Ready(None);
+        }
+        st.recv_waiters.push(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{run, sleep, spawn};
+    use crate::time::SimDuration;
+
+    #[test]
+    fn values_flow_in_order() {
+        let got = run(async {
+            let (tx, mut rx) = channel();
+            spawn(async move {
+                for i in 0..5 {
+                    sleep(SimDuration::from_secs(1)).await;
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recv_returns_none_after_all_senders_drop() {
+        run(async {
+            let (tx, mut rx) = channel::<u32>();
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(7).unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv().await, Some(7));
+            assert_eq!(rx.recv().await, None);
+        });
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        run(async {
+            let (tx, rx) = channel::<u32>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+            assert!(tx.is_closed());
+        });
+    }
+
+    #[test]
+    fn try_recv_and_len() {
+        run(async {
+            let (tx, mut rx) = channel();
+            assert!(rx.is_empty());
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.len(), 2);
+            assert_eq!(rx.try_recv(), Some(1));
+            assert_eq!(rx.try_recv(), Some(2));
+            assert_eq!(rx.try_recv(), None);
+        });
+    }
+}

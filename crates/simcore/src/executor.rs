@@ -1,0 +1,596 @@
+//! The discrete-event executor.
+//!
+//! The simulation runs on a single OS thread. Simulated activities are
+//! ordinary Rust `async` tasks; whenever a task awaits a timed operation
+//! (a [`sleep`], a queueing resource, a message arrival, ...) it parks and
+//! the kernel advances the virtual clock to the next scheduled event.
+//!
+//! Determinism: events are ordered by `(time, sequence-number)` and the
+//! ready queue is FIFO, so a run is a pure function of its inputs (including
+//! any RNG seeds used by the models).
+//!
+//! The kernel is installed in a thread-local while [`run`] executes, which
+//! lets deeply nested model code call [`now`], [`spawn`] or [`schedule_call`]
+//! without threading a handle through every layer — the same pattern a real
+//! MPI implementation gets from its process-global runtime state.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a spawned task.
+pub type TaskId = u64;
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+enum EventAction {
+    /// Wake a parked future.
+    Wake(Waker),
+    /// Run an arbitrary callback (used by queueing resources to complete
+    /// service and reschedule themselves).
+    Call(Box<dyn FnOnce()>),
+}
+
+struct ScheduledEvent {
+    action: EventAction,
+    cancelled: Option<Rc<Cell<bool>>>,
+}
+
+/// Handle to a scheduled callback; dropping it does NOT cancel the event,
+/// call [`EventHandle::cancel`] explicitly.
+#[derive(Clone)]
+pub struct EventHandle {
+    cancelled: Rc<Cell<bool>>,
+}
+
+impl EventHandle {
+    /// Prevent the event from firing. Idempotent; has no effect if the
+    /// event already fired.
+    pub fn cancel(&self) {
+        self.cancelled.set(true);
+    }
+
+    /// True if [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.get()
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<Mutex<VecDeque<TaskId>>>,
+    queued: AtomicBool,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        if !self.queued.swap(true, Ordering::Relaxed) {
+            self.ready.lock().unwrap().push_back(self.id);
+        }
+    }
+}
+
+pub(crate) struct Kernel {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    events: HashMap<u64, ScheduledEvent>,
+    tasks: HashMap<TaskId, LocalFuture>,
+    wakers: HashMap<TaskId, Arc<TaskWaker>>,
+    next_task: TaskId,
+    ready: Arc<Mutex<VecDeque<TaskId>>>,
+    events_fired: u64,
+    tasks_spawned: u64,
+}
+
+impl Kernel {
+    fn new() -> Self {
+        Kernel {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            events: HashMap::new(),
+            tasks: HashMap::new(),
+            wakers: HashMap::new(),
+            next_task: 0,
+            ready: Arc::new(Mutex::new(VecDeque::new())),
+            events_fired: 0,
+            tasks_spawned: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: ScheduledEvent) -> u64 {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, seq)));
+        self.events.insert(seq, ev);
+        seq
+    }
+
+    fn spawn_raw(&mut self, fut: LocalFuture) -> TaskId {
+        let id = self.next_task;
+        self.next_task += 1;
+        self.tasks_spawned += 1;
+        let waker = Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.ready),
+            queued: AtomicBool::new(true),
+        });
+        self.tasks.insert(id, fut);
+        self.wakers.insert(id, waker);
+        self.ready.lock().unwrap().push_back(id);
+        id
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Rc<RefCell<Kernel>>>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn with_kernel<R>(f: impl FnOnce(&mut Kernel) -> R) -> R {
+    CTX.with(|ctx| {
+        let guard = ctx.borrow();
+        let rc = guard
+            .as_ref()
+            .expect("simcore primitive used outside of simcore::run()");
+        let mut k = rc.borrow_mut();
+        f(&mut k)
+    })
+}
+
+/// Current simulated time. Panics outside of [`run`].
+pub fn now() -> SimTime {
+    with_kernel(|k| k.now)
+}
+
+/// Current simulated time, or `None` outside of [`run`] (for drop
+/// implementations that must not panic during unwinding).
+pub fn try_now() -> Option<SimTime> {
+    CTX.with(|ctx| ctx.borrow().as_ref().map(|rc| rc.borrow().now))
+}
+
+/// Schedule `f` to run at absolute simulated time `at`.
+///
+/// Returns a handle that can cancel the callback before it fires.
+pub fn schedule_call_at(at: SimTime, f: impl FnOnce() + 'static) -> EventHandle {
+    let cancelled = Rc::new(Cell::new(false));
+    with_kernel(|k| {
+        k.schedule(
+            at,
+            ScheduledEvent {
+                action: EventAction::Call(Box::new(f)),
+                cancelled: Some(Rc::clone(&cancelled)),
+            },
+        )
+    });
+    EventHandle { cancelled }
+}
+
+/// Schedule `f` to run after `delay`.
+pub fn schedule_call(delay: SimDuration, f: impl FnOnce() + 'static) -> EventHandle {
+    let at = now() + delay;
+    schedule_call_at(at, f)
+}
+
+pub(crate) fn schedule_wake_at(at: SimTime, waker: Waker) {
+    with_kernel(|k| {
+        k.schedule(
+            at,
+            ScheduledEvent {
+                action: EventAction::Wake(waker),
+                cancelled: None,
+            },
+        )
+    });
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waiters: Vec<Waker>,
+    finished: bool,
+}
+
+/// Handle to a spawned task; awaiting it yields the task's output.
+///
+/// Unlike `std::thread::JoinHandle`, dropping it detaches the task (the
+/// task keeps running).
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+    id: TaskId,
+}
+
+impl<T> JoinHandle<T> {
+    /// Identifier of the underlying task.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// True once the task has completed.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().finished
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        if st.finished {
+            match st.result.take() {
+                Some(v) => Poll::Ready(v),
+                None => panic!("JoinHandle polled after completion was taken"),
+            }
+        } else {
+            st.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Spawn a new simulated task. The task starts at the current virtual time.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    let state = Rc::new(RefCell::new(JoinState {
+        result: None,
+        waiters: Vec::new(),
+        finished: false,
+    }));
+    let st2 = Rc::clone(&state);
+    let wrapped = Box::pin(async move {
+        let out = fut.await;
+        let mut st = st2.borrow_mut();
+        st.result = Some(out);
+        st.finished = true;
+        for w in st.waiters.drain(..) {
+            w.wake();
+        }
+    });
+    let id = with_kernel(|k| k.spawn_raw(wrapped));
+    JoinHandle { state, id }
+}
+
+/// Future returned by [`sleep`] / [`sleep_until`].
+pub struct Sleep {
+    deadline: SimTime,
+    scheduled: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let t = now();
+        if t >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.scheduled {
+            self.scheduled = true;
+            schedule_wake_at(self.deadline, cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+/// Suspend the current task for `d` of simulated time.
+pub fn sleep(d: SimDuration) -> Sleep {
+    Sleep {
+        deadline: now() + d,
+        scheduled: false,
+    }
+}
+
+/// Suspend the current task until the absolute instant `t` (no-op if in
+/// the past).
+pub fn sleep_until(t: SimTime) -> Sleep {
+    Sleep {
+        deadline: t,
+        scheduled: false,
+    }
+}
+
+/// Yield to other runnable tasks at the same instant.
+pub fn yield_now() -> YieldNow {
+    YieldNow { polled: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    polled: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.polled {
+            Poll::Ready(())
+        } else {
+            self.polled = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+/// Statistics about a completed simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Virtual time at which the main task completed.
+    pub end_time: SimTime,
+    /// Number of calendar events fired.
+    pub events_fired: u64,
+    /// Number of tasks spawned over the whole run.
+    pub tasks_spawned: u64,
+}
+
+/// Run `main` to completion inside a fresh simulation and return its output.
+///
+/// Panics with a diagnostic if the simulation deadlocks (no runnable task
+/// and no pending event while `main` is incomplete). Background tasks still
+/// pending when `main` finishes are dropped.
+pub fn run<F, T>(main: F) -> T
+where
+    F: Future<Output = T> + 'static,
+    T: 'static,
+{
+    run_with_stats(main).0
+}
+
+/// Like [`run`] but also returns calendar statistics.
+pub fn run_with_stats<F, T>(main: F) -> (T, RunStats)
+where
+    F: Future<Output = T> + 'static,
+    T: 'static,
+{
+    let kernel = Rc::new(RefCell::new(Kernel::new()));
+    CTX.with(|ctx| {
+        let mut guard = ctx.borrow_mut();
+        assert!(
+            guard.is_none(),
+            "nested simcore::run() on the same thread is not supported"
+        );
+        *guard = Some(Rc::clone(&kernel));
+    });
+    // Make sure the TLS slot is cleared even if the simulation panics.
+    struct CtxGuard;
+    impl Drop for CtxGuard {
+        fn drop(&mut self) {
+            CTX.with(|ctx| ctx.borrow_mut().take());
+        }
+    }
+    let _guard = CtxGuard;
+
+    let main_handle = spawn(main);
+    let ready = kernel.borrow().ready.clone();
+
+    loop {
+        // Drain all tasks runnable at the current instant.
+        loop {
+            let tid = ready.lock().unwrap().pop_front();
+            let Some(tid) = tid else { break };
+            let (fut, waker) = {
+                let mut k = kernel.borrow_mut();
+                let Some(fut) = k.tasks.remove(&tid) else {
+                    continue; // task already completed
+                };
+                let w = k.wakers.get(&tid).expect("waker missing").clone();
+                w.queued.store(false, Ordering::Relaxed);
+                (fut, w)
+            };
+            let mut fut = fut;
+            let waker_obj: Waker = waker.into();
+            let mut cx = Context::from_waker(&waker_obj);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {
+                    let mut k = kernel.borrow_mut();
+                    k.wakers.remove(&tid);
+                }
+                Poll::Pending => {
+                    kernel.borrow_mut().tasks.insert(tid, fut);
+                }
+            }
+        }
+
+        if main_handle.is_finished() {
+            break;
+        }
+
+        // Advance virtual time to the next live event.
+        let next = loop {
+            let popped = {
+                let mut k = kernel.borrow_mut();
+                match k.heap.pop() {
+                    Some(Reverse((t, seq))) => {
+                        let ev = k.events.remove(&seq).expect("event body missing");
+                        if ev.cancelled.as_ref().is_some_and(|c| c.get()) {
+                            continue;
+                        }
+                        k.now = t;
+                        k.events_fired += 1;
+                        Some(ev)
+                    }
+                    None => None,
+                }
+            };
+            break popped;
+        };
+
+        match next {
+            Some(ev) => match ev.action {
+                EventAction::Wake(w) => w.wake(),
+                EventAction::Call(f) => f(),
+            },
+            None => {
+                let blocked = kernel.borrow().tasks.len();
+                panic!(
+                    "simulation deadlock at {}: main task incomplete, \
+                     {blocked} task(s) blocked, no pending events",
+                    kernel.borrow().now
+                );
+            }
+        }
+    }
+
+    let stats = {
+        let k = kernel.borrow();
+        RunStats {
+            end_time: k.now,
+            events_fired: k.events_fired,
+            tasks_spawned: k.tasks_spawned,
+        }
+    };
+    let out = {
+        let mut st = main_handle.state.borrow_mut();
+        st.result.take().expect("main task finished without result")
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_starts_at_zero_and_advances() {
+        let (end, stats) = run_with_stats(async {
+            assert_eq!(now(), SimTime::ZERO);
+            sleep(SimDuration::from_secs(5)).await;
+            assert_eq!(now().as_secs_f64(), 5.0);
+            sleep(SimDuration::from_millis(250)).await;
+            now()
+        });
+        assert_eq!(end.as_secs_f64(), 5.25);
+        assert_eq!(stats.end_time, end);
+        assert!(stats.events_fired >= 2);
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        let v = run(async {
+            let h1 = spawn(async {
+                sleep(SimDuration::from_secs(2)).await;
+                21u32
+            });
+            let h2 = spawn(async {
+                sleep(SimDuration::from_secs(1)).await;
+                21u32
+            });
+            h1.await + h2.await
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn join_completes_at_max_of_children() {
+        let t = run(async {
+            let h1 = spawn(async { sleep(SimDuration::from_secs(3)).await });
+            let h2 = spawn(async { sleep(SimDuration::from_secs(7)).await });
+            h1.await;
+            h2.await;
+            now()
+        });
+        assert_eq!(t.as_secs_f64(), 7.0);
+    }
+
+    #[test]
+    fn zero_sleep_completes_immediately() {
+        run(async {
+            sleep(SimDuration::ZERO).await;
+            assert_eq!(now(), SimTime::ZERO);
+        });
+    }
+
+    #[test]
+    fn yield_now_preserves_time() {
+        run(async {
+            yield_now().await;
+            assert_eq!(now(), SimTime::ZERO);
+        });
+    }
+
+    #[test]
+    fn scheduled_call_fires_and_cancel_works() {
+        let fired = run(async {
+            let fired = Rc::new(Cell::new(0u32));
+            let f1 = Rc::clone(&fired);
+            schedule_call(SimDuration::from_secs(1), move || {
+                f1.set(f1.get() + 1);
+            });
+            let f2 = Rc::clone(&fired);
+            let h = schedule_call(SimDuration::from_secs(2), move || {
+                f2.set(f2.get() + 10);
+            });
+            h.cancel();
+            sleep(SimDuration::from_secs(3)).await;
+            fired.get()
+        });
+        assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn events_fire_in_deterministic_fifo_order_at_same_time() {
+        let order = run(async {
+            let order = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..10 {
+                let o = Rc::clone(&order);
+                spawn(async move {
+                    sleep(SimDuration::from_secs(1)).await;
+                    o.borrow_mut().push(i);
+                });
+            }
+            sleep(SimDuration::from_secs(2)).await;
+            Rc::try_unwrap(order).unwrap().into_inner()
+        });
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn detached_tasks_are_dropped_at_main_exit() {
+        run(async {
+            spawn(async {
+                sleep(SimDuration::from_secs(1_000_000)).await;
+                unreachable!("detached task must not outlive main");
+            });
+            sleep(SimDuration::from_secs(1)).await;
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        run(async {
+            // A future that never wakes.
+            struct Never;
+            impl Future for Never {
+                type Output = ();
+                fn poll(self: Pin<&mut Self>, _: &mut Context<'_>) -> Poll<()> {
+                    Poll::Pending
+                }
+            }
+            Never.await;
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn primitives_panic_outside_run() {
+        let _ = now();
+    }
+}

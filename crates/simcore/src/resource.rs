@@ -1,0 +1,437 @@
+//! Queueing resources: the building blocks for device and network models.
+//!
+//! Two service disciplines are provided:
+//!
+//! * [`FifoServer`] — `k` identical servers, one job at a time each,
+//!   FIFO queue. Matches request-at-a-time devices (a disk head, an RPC
+//!   handler thread).
+//! * [`FairShare`] — a capacity shared among all in-flight jobs
+//!   (processor sharing), with optional per-job rate caps resolved by
+//!   water-filling. Matches links and storage targets where concurrent
+//!   streams split bandwidth.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::executor::{now, schedule_call_at, EventHandle};
+use crate::sync::{Flag, Semaphore};
+use crate::time::{SimDuration, SimTime};
+
+/// A station of `k` identical FIFO servers.
+///
+/// Service times are supplied by the caller, either up front
+/// ([`serve`](FifoServer::serve)) or computed at the moment service
+/// begins ([`serve_with`](FifoServer::serve_with)) — the latter matters
+/// for devices whose cost depends on state at service start (e.g. disk
+/// head position).
+#[derive(Clone)]
+pub struct FifoServer {
+    sem: Semaphore,
+    stats: Rc<RefCell<ServerStats>>,
+}
+
+/// Usage counters for a [`FifoServer`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ServerStats {
+    /// Jobs fully served.
+    pub jobs: u64,
+    /// Total busy time across all servers.
+    pub busy: SimDuration,
+    /// Total time jobs spent queued before service.
+    pub queued: SimDuration,
+}
+
+impl FifoServer {
+    /// Create a station with `servers` parallel servers.
+    pub fn new(servers: usize) -> Self {
+        FifoServer {
+            sem: Semaphore::new(servers),
+            stats: Rc::new(RefCell::new(ServerStats::default())),
+        }
+    }
+
+    /// Queue for a server, then hold it for `service`.
+    pub async fn serve(&self, service: SimDuration) {
+        self.serve_with(|| service).await;
+    }
+
+    /// Queue for a server, then hold it for the duration computed by
+    /// `service` *at the instant service begins*.
+    pub async fn serve_with(&self, service: impl FnOnce() -> SimDuration) {
+        let enq = now();
+        let _g = self.sem.acquire().await;
+        let start = now();
+        let dur = service();
+        crate::executor::sleep(dur).await;
+        let mut st = self.stats.borrow_mut();
+        st.jobs += 1;
+        st.busy += dur;
+        st.queued += start.since(enq);
+    }
+
+    /// Current queue length (jobs waiting, not in service).
+    pub fn queue_len(&self) -> usize {
+        self.sem.queue_len()
+    }
+
+    /// Snapshot of usage counters.
+    pub fn stats(&self) -> ServerStats {
+        *self.stats.borrow()
+    }
+}
+
+const WORK_EPS: f64 = 1e-6;
+
+struct FsJob {
+    remaining: f64,
+    cap: Option<f64>,
+    done: Flag,
+}
+
+struct FsState {
+    rate: f64,
+    jobs: Vec<FsJob>,
+    last_settle: SimTime,
+    pending: Option<EventHandle>,
+    /// Total work units completed (stats).
+    work_done: f64,
+    jobs_done: u64,
+}
+
+/// A processor-sharing resource of fixed total capacity (work units per
+/// second — typically bytes/s).
+///
+/// All in-flight jobs progress simultaneously, each at the water-filling
+/// fair share of the capacity subject to its optional per-job rate cap.
+#[derive(Clone)]
+pub struct FairShare {
+    inner: Rc<RefCell<FsState>>,
+}
+
+impl FairShare {
+    /// Create a resource with total capacity `rate` work-units/second.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "FairShare capacity must be positive");
+        FairShare {
+            inner: Rc::new(RefCell::new(FsState {
+                rate,
+                jobs: Vec::new(),
+                last_settle: SimTime::ZERO,
+                pending: None,
+                work_done: 0.0,
+                jobs_done: 0,
+            })),
+        }
+    }
+
+    /// Process `work` units, sharing capacity with concurrent jobs.
+    pub async fn serve(&self, work: f64) {
+        self.serve_capped(work, None).await;
+    }
+
+    /// Process `work` units, never exceeding `cap` units/second for this
+    /// job even when spare capacity exists.
+    pub async fn serve_capped(&self, work: f64, cap: Option<f64>) {
+        if work <= 0.0 {
+            return;
+        }
+        let done = Flag::new();
+        {
+            let mut st = self.inner.borrow_mut();
+            let t = now();
+            st.settle(t);
+            st.jobs.push(FsJob {
+                remaining: work,
+                cap,
+                done: done.clone(),
+            });
+            st.reschedule(&self.inner, t);
+        }
+        done.wait().await;
+    }
+
+    /// Number of in-flight jobs.
+    pub fn active(&self) -> usize {
+        self.inner.borrow().jobs.len()
+    }
+
+    /// Total work completed so far.
+    pub fn work_done(&self) -> f64 {
+        self.inner.borrow().work_done
+    }
+
+    /// Total jobs completed so far.
+    pub fn jobs_done(&self) -> u64 {
+        self.inner.borrow().jobs_done
+    }
+
+    /// Total capacity in work-units/second.
+    pub fn rate(&self) -> f64 {
+        self.inner.borrow().rate
+    }
+}
+
+impl FsState {
+    /// Per-job service rates under water-filling fair sharing.
+    fn rates(&self) -> Vec<f64> {
+        water_fill(
+            self.rate,
+            &self.jobs.iter().map(|j| j.cap).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Advance job progress from `last_settle` to `to`, completing any
+    /// jobs that finish in the interval boundary.
+    fn settle(&mut self, to: SimTime) {
+        let dt = to.since(self.last_settle).as_secs_f64();
+        self.last_settle = to;
+        if dt > 0.0 && !self.jobs.is_empty() {
+            let rates = self.rates();
+            for (job, r) in self.jobs.iter_mut().zip(&rates) {
+                let step = r * dt;
+                let used = step.min(job.remaining);
+                job.remaining -= used;
+                self.work_done += used;
+            }
+        }
+        // Complete finished jobs (preserving order for determinism).
+        let mut i = 0;
+        while i < self.jobs.len() {
+            if self.jobs[i].remaining <= WORK_EPS {
+                let job = self.jobs.remove(i);
+                self.jobs_done += 1;
+                job.done.set();
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Schedule the next completion event.
+    fn reschedule(&mut self, me: &Rc<RefCell<FsState>>, t: SimTime) {
+        if let Some(h) = self.pending.take() {
+            h.cancel();
+        }
+        if self.jobs.is_empty() {
+            return;
+        }
+        let rates = self.rates();
+        let mut horizon = f64::INFINITY;
+        for (job, r) in self.jobs.iter().zip(&rates) {
+            if *r > 0.0 {
+                horizon = horizon.min(job.remaining / r);
+            }
+        }
+        assert!(
+            horizon.is_finite(),
+            "FairShare stalled: all jobs have zero rate"
+        );
+        // Round up to a whole nanosecond so virtual time always advances.
+        let mut dt = SimDuration::from_secs_f64(horizon);
+        if dt.is_zero() {
+            dt = SimDuration::from_nanos(1);
+        }
+        let at = t + dt;
+        let inner = Rc::clone(me);
+        self.pending = Some(schedule_call_at(at, move || {
+            let mut st = inner.borrow_mut();
+            let t = now();
+            st.settle(t);
+            st.reschedule(&inner, t);
+        }));
+    }
+}
+
+/// Water-filling allocation: distribute `total` capacity over jobs with
+/// optional caps so every job gets `min(cap, fair share)`, with spare
+/// capacity from capped jobs re-distributed among the rest.
+pub fn water_fill(total: f64, caps: &[Option<f64>]) -> Vec<f64> {
+    let n = caps.len();
+    let mut rates = vec![0.0; n];
+    if n == 0 {
+        return rates;
+    }
+    let mut remaining = total;
+    let mut open: Vec<usize> = (0..n).collect();
+    loop {
+        let share = remaining / open.len() as f64;
+        // Cap everyone whose limit is below the current equal share.
+        let (capped, uncapped): (Vec<usize>, Vec<usize>) = open
+            .iter()
+            .partition(|&&i| caps[i].is_some_and(|c| c < share));
+        if capped.is_empty() {
+            for &i in &open {
+                rates[i] = share;
+            }
+            break;
+        }
+        for &i in &capped {
+            let c = caps[i].unwrap();
+            rates[i] = c;
+            remaining -= c;
+        }
+        if uncapped.is_empty() {
+            break;
+        }
+        open = uncapped;
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{run, sleep, spawn};
+
+    #[test]
+    fn water_fill_no_caps_is_equal_split() {
+        let r = water_fill(12.0, &[None, None, None]);
+        assert_eq!(r, vec![4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn water_fill_redistributes_capped_slack() {
+        let r = water_fill(12.0, &[Some(2.0), None, None]);
+        assert_eq!(r, vec![2.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn water_fill_all_capped_below_share() {
+        let r = water_fill(100.0, &[Some(1.0), Some(2.0)]);
+        assert_eq!(r, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn water_fill_empty() {
+        assert!(water_fill(5.0, &[]).is_empty());
+    }
+
+    #[test]
+    fn fifo_server_serialises_jobs() {
+        let end = run(async {
+            let srv = FifoServer::new(1);
+            let mut hs = Vec::new();
+            for _ in 0..4 {
+                let srv = srv.clone();
+                hs.push(spawn(async move {
+                    srv.serve(SimDuration::from_secs(2)).await;
+                }));
+            }
+            for h in hs {
+                h.await;
+            }
+            let st = srv.stats();
+            assert_eq!(st.jobs, 4);
+            assert_eq!(st.busy.as_secs_f64(), 8.0);
+            // Jobs 2..4 queued 2,4,6 seconds respectively.
+            assert_eq!(st.queued.as_secs_f64(), 12.0);
+            now().as_secs_f64()
+        });
+        assert_eq!(end, 8.0);
+    }
+
+    #[test]
+    fn fifo_server_parallelism() {
+        let end = run(async {
+            let srv = FifoServer::new(2);
+            let mut hs = Vec::new();
+            for _ in 0..4 {
+                let srv = srv.clone();
+                hs.push(spawn(async move {
+                    srv.serve(SimDuration::from_secs(2)).await;
+                }));
+            }
+            for h in hs {
+                h.await;
+            }
+            now().as_secs_f64()
+        });
+        assert_eq!(end, 4.0);
+    }
+
+    #[test]
+    fn fair_share_single_job_runs_at_full_rate() {
+        let end = run(async {
+            let link = FairShare::new(100.0);
+            link.serve(500.0).await;
+            now().as_secs_f64()
+        });
+        assert!((end - 5.0).abs() < 1e-6, "end={end}");
+    }
+
+    #[test]
+    fn fair_share_two_equal_jobs_halve_throughput() {
+        let (t1, t2) = run(async {
+            let link = FairShare::new(100.0);
+            let l1 = link.clone();
+            let h1 = spawn(async move {
+                l1.serve(500.0).await;
+                now().as_secs_f64()
+            });
+            let l2 = link.clone();
+            let h2 = spawn(async move {
+                l2.serve(500.0).await;
+                now().as_secs_f64()
+            });
+            (h1.await, h2.await)
+        });
+        // Both active the whole time: each gets 50 u/s → 10 s.
+        assert!((t1 - 10.0).abs() < 1e-6, "t1={t1}");
+        assert!((t2 - 10.0).abs() < 1e-6, "t2={t2}");
+    }
+
+    #[test]
+    fn fair_share_late_arrival_shares_remaining() {
+        let (t1, t2) = run(async {
+            let link = FairShare::new(100.0);
+            let l1 = link.clone();
+            let h1 = spawn(async move {
+                l1.serve(1000.0).await;
+                now().as_secs_f64()
+            });
+            let l2 = link.clone();
+            let h2 = spawn(async move {
+                sleep(SimDuration::from_secs(5)).await;
+                l2.serve(250.0).await;
+                now().as_secs_f64()
+            });
+            (h1.await, h2.await)
+        });
+        // Job1 alone 0-5s (500 done). From t=5 both at 50 u/s; job2
+        // finishes at t=10 (250 done), job1 has 250 left at 100 u/s → 12.5.
+        assert!((t2 - 10.0).abs() < 1e-5, "t2={t2}");
+        assert!((t1 - 12.5).abs() < 1e-5, "t1={t1}");
+    }
+
+    #[test]
+    fn fair_share_respects_per_job_cap() {
+        let end = run(async {
+            let link = FairShare::new(1000.0);
+            link.serve_capped(100.0, Some(10.0)).await;
+            now().as_secs_f64()
+        });
+        assert!((end - 10.0).abs() < 1e-6, "end={end}");
+    }
+
+    #[test]
+    fn fair_share_zero_work_is_instant() {
+        run(async {
+            let link = FairShare::new(1.0);
+            link.serve(0.0).await;
+            assert_eq!(now(), SimTime::ZERO);
+            assert_eq!(link.jobs_done(), 0);
+        });
+    }
+
+    #[test]
+    fn fair_share_counters() {
+        run(async {
+            let link = FairShare::new(10.0);
+            link.serve(30.0).await;
+            link.serve(20.0).await;
+            assert_eq!(link.jobs_done(), 2);
+            assert!((link.work_done() - 50.0).abs() < 1e-6);
+            assert_eq!(link.active(), 0);
+        });
+    }
+}

@@ -1,0 +1,285 @@
+//! Lightweight statistics collectors used by the models and the
+//! experiment harness.
+
+use std::fmt;
+
+/// Streaming mean/variance/min/max using Welford's algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Tally {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Tally {
+    /// Empty tally.
+    pub fn new() -> Self {
+        Tally {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            ..Default::default()
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (std-dev / mean; 0 if mean is 0).
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Smallest observation (+inf if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (-inf if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another tally into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let d = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += d * n2 / n;
+        self.m2 += other.m2 + d * d * n1 * n2 / n;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Tally {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.n,
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// Fixed-memory quantile sketch over logarithmic buckets.
+///
+/// Values are bucketed by `log2` with `sub` sub-buckets per octave; this
+/// bounds relative quantile error at ~`2^(1/sub) - 1` regardless of the
+/// number of observations, which is plenty for latency histograms.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    sub: u32,
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+    floor: f64,
+}
+
+impl LogHistogram {
+    /// `floor` is the smallest distinguishable value; anything below it
+    /// lands in the underflow bucket. `sub` sub-buckets per power of two.
+    pub fn new(floor: f64, sub: u32) -> Self {
+        assert!(floor > 0.0 && sub > 0);
+        LogHistogram {
+            sub,
+            counts: vec![0; (64 * sub) as usize],
+            underflow: 0,
+            total: 0,
+            floor,
+        }
+    }
+
+    fn bucket(&self, x: f64) -> Option<usize> {
+        if x < self.floor {
+            return None;
+        }
+        let b = ((x / self.floor).log2() * self.sub as f64).floor() as usize;
+        Some(b.min(self.counts.len() - 1))
+    }
+
+    fn bucket_value(&self, b: usize) -> f64 {
+        // Geometric midpoint of the bucket.
+        self.floor * 2f64.powf((b as f64 + 0.5) / self.sub as f64)
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        match self.bucket(x) {
+            Some(b) => self.counts[b] += 1,
+            None => self.underflow += 1,
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.floor;
+        }
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.bucket_value(b);
+            }
+        }
+        self.bucket_value(self.counts.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_basic_moments() {
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.push(x);
+        }
+        assert_eq!(t.count(), 8);
+        assert_eq!(t.mean(), 5.0);
+        assert_eq!(t.variance(), 4.0);
+        assert_eq!(t.std_dev(), 2.0);
+        assert_eq!(t.min(), 2.0);
+        assert_eq!(t.max(), 9.0);
+        assert_eq!(t.sum(), 40.0);
+        assert_eq!(t.cv(), 0.4);
+    }
+
+    #[test]
+    fn tally_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * i % 37) as f64).collect();
+        let mut whole = Tally::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 2 == 0 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tally_empty_is_safe() {
+        let t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.cv(), 0.0);
+        let mut a = Tally::new();
+        a.merge(&t);
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bounded_error() {
+        let mut h = LogHistogram::new(1e-6, 8);
+        for i in 1..=10_000 {
+            h.push(i as f64 * 1e-3);
+        }
+        let med = h.quantile(0.5);
+        assert!((med - 5.0).abs() / 5.0 < 0.1, "median={med}");
+        let p99 = h.quantile(0.99);
+        assert!((p99 - 9.9).abs() / 9.9 < 0.1, "p99={p99}");
+        assert!(h.quantile(0.0) > 0.0);
+        assert!(h.quantile(1.0) >= p99);
+    }
+
+    #[test]
+    fn histogram_underflow() {
+        let mut h = LogHistogram::new(1.0, 4);
+        h.push(0.001);
+        h.push(0.002);
+        h.push(10.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.3), 1.0); // underflow reported as floor
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = LogHistogram::new(1.0, 4);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+}

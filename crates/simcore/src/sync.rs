@@ -1,0 +1,434 @@
+//! Synchronisation primitives for simulated tasks.
+//!
+//! All primitives are single-threaded (the simulation runs on one OS
+//! thread) but coordinate *tasks*: waiting parks the task and lets virtual
+//! time advance.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// A one-shot, multi-waiter event flag ("manual reset event").
+///
+/// Tasks `wait()` until some other task calls `set()`. Once set it stays
+/// set; later waits resolve immediately. Cloning shares the flag.
+#[derive(Clone, Default)]
+pub struct Flag {
+    inner: Rc<RefCell<FlagState>>,
+}
+
+#[derive(Default)]
+struct FlagState {
+    set: bool,
+    waiters: Vec<Waker>,
+}
+
+impl Flag {
+    /// Create a new, unset flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the flag, waking all current waiters. Idempotent.
+    pub fn set(&self) {
+        let mut st = self.inner.borrow_mut();
+        if !st.set {
+            st.set = true;
+            for w in st.waiters.drain(..) {
+                w.wake();
+            }
+        }
+    }
+
+    /// True if the flag has been set.
+    pub fn is_set(&self) -> bool {
+        self.inner.borrow().set
+    }
+
+    /// Wait until the flag is set.
+    pub fn wait(&self) -> FlagWait {
+        FlagWait { flag: self.clone() }
+    }
+}
+
+/// Future returned by [`Flag::wait`].
+pub struct FlagWait {
+    flag: Flag,
+}
+
+impl Future for FlagWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut st = self.flag.inner.borrow_mut();
+        if st.set {
+            Poll::Ready(())
+        } else {
+            st.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// A counting semaphore with FIFO-fair acquisition.
+#[derive(Clone)]
+pub struct Semaphore {
+    inner: Rc<RefCell<SemState>>,
+}
+
+struct SemState {
+    permits: usize,
+    waiters: VecDeque<SemWaiter>,
+}
+
+struct SemWaiter {
+    want: usize,
+    granted: Rc<Cell<bool>>,
+    waker: Waker,
+}
+
+impl Semaphore {
+    /// Create a semaphore with `permits` initial permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            inner: Rc::new(RefCell::new(SemState {
+                permits,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Acquire `n` permits, waiting FIFO-fairly. The returned guard
+    /// releases the permits on drop.
+    pub async fn acquire_many(&self, n: usize) -> SemaphoreGuard {
+        let wait = {
+            let mut st = self.inner.borrow_mut();
+            if st.waiters.is_empty() && st.permits >= n {
+                st.permits -= n;
+                None
+            } else {
+                Some(Rc::new(Cell::new(false)))
+            }
+        };
+        if let Some(granted) = wait {
+            AcquireWait {
+                sem: self.inner.clone(),
+                want: n,
+                granted,
+                registered: false,
+            }
+            .await;
+        }
+        SemaphoreGuard {
+            sem: self.inner.clone(),
+            held: n,
+        }
+    }
+
+    /// Acquire a single permit.
+    pub async fn acquire(&self) -> SemaphoreGuard {
+        self.acquire_many(1).await
+    }
+
+    /// Permits currently available.
+    pub fn available(&self) -> usize {
+        self.inner.borrow().permits
+    }
+
+    /// Number of tasks currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.inner.borrow().waiters.len()
+    }
+}
+
+impl SemState {
+    /// Hand permits to queued waiters, strictly in FIFO order.
+    fn drain(&mut self) {
+        while let Some(front) = self.waiters.front() {
+            if self.permits >= front.want {
+                let w = self.waiters.pop_front().unwrap();
+                self.permits -= w.want;
+                w.granted.set(true);
+                w.waker.wake();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+struct AcquireWait {
+    sem: Rc<RefCell<SemState>>,
+    want: usize,
+    granted: Rc<Cell<bool>>,
+    registered: bool,
+}
+
+impl Future for AcquireWait {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.granted.get() {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.registered = true;
+            let mut st = self.sem.borrow_mut();
+            st.waiters.push_back(SemWaiter {
+                want: self.want,
+                granted: Rc::clone(&self.granted),
+                waker: cx.waker().clone(),
+            });
+            // We may be at the head with permits already free.
+            st.drain();
+            if self.granted.get() {
+                return Poll::Ready(());
+            }
+        }
+        Poll::Pending
+    }
+}
+
+/// Guard holding semaphore permits; releases on drop.
+pub struct SemaphoreGuard {
+    sem: Rc<RefCell<SemState>>,
+    held: usize,
+}
+
+impl Drop for SemaphoreGuard {
+    fn drop(&mut self) {
+        let mut st = self.sem.borrow_mut();
+        st.permits += self.held;
+        st.drain();
+    }
+}
+
+/// A reusable rendezvous barrier for a fixed party count.
+///
+/// The `n`-th arriving task releases everyone; the barrier then resets for
+/// the next generation, so it can be used in loops.
+#[derive(Clone)]
+pub struct Barrier {
+    inner: Rc<RefCell<BarrierState>>,
+    parties: usize,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    waiters: Vec<Waker>,
+}
+
+impl Barrier {
+    /// Create a barrier for `parties` tasks. `parties` must be > 0.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "Barrier requires at least one party");
+        Barrier {
+            inner: Rc::new(RefCell::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                waiters: Vec::new(),
+            })),
+            parties,
+        }
+    }
+
+    /// Arrive and wait for all parties. Returns `true` for the task that
+    /// tripped the barrier (the "leader" of this generation).
+    pub async fn wait(&self) -> bool {
+        let (gen, leader) = {
+            let mut st = self.inner.borrow_mut();
+            st.arrived += 1;
+            if st.arrived == self.parties {
+                st.arrived = 0;
+                st.generation += 1;
+                for w in st.waiters.drain(..) {
+                    w.wake();
+                }
+                (st.generation, true)
+            } else {
+                (st.generation, false)
+            }
+        };
+        if !leader {
+            BarrierWait {
+                inner: self.inner.clone(),
+                generation: gen,
+            }
+            .await;
+        }
+        leader
+    }
+}
+
+struct BarrierWait {
+    inner: Rc<RefCell<BarrierState>>,
+    generation: u64,
+}
+
+impl Future for BarrierWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut st = self.inner.borrow_mut();
+        if st.generation != self.generation {
+            Poll::Ready(())
+        } else {
+            st.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{now, run, sleep, spawn};
+    use crate::time::SimDuration;
+
+    #[test]
+    fn flag_wakes_all_waiters() {
+        let times = run(async {
+            let flag = Flag::new();
+            let mut handles = Vec::new();
+            for _ in 0..3 {
+                let f = flag.clone();
+                handles.push(spawn(async move {
+                    f.wait().await;
+                    now().as_secs_f64()
+                }));
+            }
+            spawn({
+                let f = flag.clone();
+                async move {
+                    sleep(SimDuration::from_secs(4)).await;
+                    f.set();
+                }
+            });
+            let mut out = Vec::new();
+            for h in handles {
+                out.push(h.await);
+            }
+            assert!(flag.is_set());
+            out
+        });
+        assert_eq!(times, vec![4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn flag_set_before_wait_resolves_immediately() {
+        run(async {
+            let flag = Flag::new();
+            flag.set();
+            flag.set(); // idempotent
+            flag.wait().await;
+            assert_eq!(now().as_secs_f64(), 0.0);
+        });
+    }
+
+    #[test]
+    fn semaphore_limits_concurrency() {
+        let max_seen = run(async {
+            let sem = Semaphore::new(2);
+            let active = Rc::new(Cell::new(0usize));
+            let max_seen = Rc::new(Cell::new(0usize));
+            let mut hs = Vec::new();
+            for _ in 0..6 {
+                let sem = sem.clone();
+                let active = Rc::clone(&active);
+                let max_seen = Rc::clone(&max_seen);
+                hs.push(spawn(async move {
+                    let _g = sem.acquire().await;
+                    active.set(active.get() + 1);
+                    max_seen.set(max_seen.get().max(active.get()));
+                    sleep(SimDuration::from_secs(1)).await;
+                    active.set(active.get() - 1);
+                }));
+            }
+            for h in hs {
+                h.await;
+            }
+            assert_eq!(now().as_secs_f64(), 3.0); // 6 jobs, 2 at a time, 1s each
+            max_seen.get()
+        });
+        assert_eq!(max_seen, 2);
+    }
+
+    #[test]
+    fn semaphore_fifo_order_with_acquire_many() {
+        let order = run(async {
+            let sem = Semaphore::new(3);
+            let order = Rc::new(RefCell::new(Vec::new()));
+            let g = sem.acquire_many(3).await;
+            let mut hs = Vec::new();
+            // First waiter wants 2, second wants 1: FIFO means the
+            // 1-permit waiter must NOT jump ahead when only 1 is free.
+            for (i, want) in [(0, 2usize), (1, 1usize)] {
+                let sem = sem.clone();
+                let order = Rc::clone(&order);
+                hs.push(spawn(async move {
+                    let _g = sem.acquire_many(want).await;
+                    order.borrow_mut().push(i);
+                    sleep(SimDuration::from_secs(1)).await;
+                }));
+            }
+            sleep(SimDuration::from_secs(1)).await;
+            drop(g);
+            for h in hs {
+                h.await;
+            }
+            Rc::try_unwrap(order).unwrap().into_inner()
+        });
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn barrier_releases_all_and_reuses() {
+        run(async {
+            let bar = Barrier::new(4);
+            let mut hs = Vec::new();
+            for i in 0..4u64 {
+                let bar = bar.clone();
+                hs.push(spawn(async move {
+                    for round in 0..3u64 {
+                        sleep(SimDuration::from_secs(i + 1)).await;
+                        bar.wait().await;
+                        // Everyone leaves the barrier at the time the
+                        // slowest participant arrived.
+                        assert_eq!(now().as_secs_f64() % 4.0, 0.0, "round {round}");
+                    }
+                }));
+            }
+            for h in hs {
+                h.await;
+            }
+            assert_eq!(now().as_secs_f64(), 12.0);
+        });
+    }
+
+    #[test]
+    fn barrier_reports_exactly_one_leader() {
+        let leaders = run(async {
+            let bar = Barrier::new(3);
+            let mut hs = Vec::new();
+            for i in 0..3u64 {
+                let bar = bar.clone();
+                hs.push(spawn(async move {
+                    sleep(SimDuration::from_secs(i)).await;
+                    bar.wait().await
+                }));
+            }
+            let mut n = 0;
+            for h in hs {
+                if h.await {
+                    n += 1;
+                }
+            }
+            n
+        });
+        assert_eq!(leaders, 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Rotational disk model (the SAS drives behind the BeeGFS data targets).
+//!
+//! A disk is a single FIFO server (the head). Each request pays a
+//! position-dependent cost: sequential continuation is nearly free;
+//! anything else pays seek + half-rotation, with a log-normal jitter
+//! multiplier. The jitter is what ultimately produces the response-time
+//! spread among aggregators that the paper identifies as the main
+//! global-synchronisation cost of collective I/O.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use e10_simcore::rng::Jitter;
+use e10_simcore::{transfer_time, FifoServer, SimDuration, SimRng};
+
+/// Mechanical and transfer parameters of a disk.
+#[derive(Debug, Clone)]
+pub struct DiskParams {
+    /// Average seek time for a random access.
+    pub seek: SimDuration,
+    /// Cost of continuing just past the previous request (track switch).
+    pub settle: SimDuration,
+    /// Average rotational delay (half a revolution).
+    pub rotation: SimDuration,
+    /// Media transfer rate, bytes/s.
+    pub bandwidth: f64,
+    /// Coefficient of variation of the per-request jitter multiplier.
+    pub jitter_cv: f64,
+}
+
+impl DiskParams {
+    /// A 7.2k RPM 2 TB nearline SAS drive (the DEEP-ER JBOD population).
+    pub fn nearline_sas() -> Self {
+        DiskParams {
+            seek: SimDuration::from_micros(8_000),
+            settle: SimDuration::from_micros(500),
+            rotation: SimDuration::from_micros(4_160),
+            bandwidth: 155e6,
+            jitter_cv: 0.25,
+        }
+    }
+}
+
+struct DiskState {
+    head_pos: u64,
+    jitter: Jitter,
+    requests: u64,
+    seeks: u64,
+}
+
+/// A single simulated disk.
+#[derive(Clone)]
+pub struct Disk {
+    params: DiskParams,
+    server: FifoServer,
+    state: Rc<RefCell<DiskState>>,
+}
+
+impl Disk {
+    /// Create a disk; `rng` drives its jitter stream.
+    pub fn new(params: DiskParams, rng: SimRng) -> Self {
+        let cv = params.jitter_cv;
+        Disk {
+            params,
+            server: FifoServer::new(1),
+            state: Rc::new(RefCell::new(DiskState {
+                head_pos: 0,
+                jitter: Jitter::new(rng, cv),
+                requests: 0,
+                seeks: 0,
+            })),
+        }
+    }
+
+    fn service_time(&self, offset: u64, len: u64) -> SimDuration {
+        let mut st = self.state.borrow_mut();
+        st.requests += 1;
+        let positioning = if offset == st.head_pos {
+            self.params.settle
+        } else {
+            st.seeks += 1;
+            self.params.seek + self.params.rotation
+        };
+        st.head_pos = offset + len;
+        let j = st.jitter.sample();
+        (positioning + transfer_time(len, self.params.bandwidth)).mul_f64(j)
+    }
+
+    /// Write `len` bytes at `offset` (queue + position + transfer).
+    pub async fn write(&self, offset: u64, len: u64) {
+        self.server
+            .serve_with(|| self.service_time(offset, len))
+            .await;
+    }
+
+    /// Read `len` bytes at `offset`.
+    pub async fn read(&self, offset: u64, len: u64) {
+        // Same mechanics as a write for this model.
+        self.server
+            .serve_with(|| self.service_time(offset, len))
+            .await;
+    }
+
+    /// Requests served so far.
+    pub fn requests(&self) -> u64 {
+        self.state.borrow().requests
+    }
+
+    /// How many of those paid a full seek.
+    pub fn seeks(&self) -> u64 {
+        self.state.borrow().seeks
+    }
+
+    /// Queue length right now.
+    pub fn queue_len(&self) -> usize {
+        self.server.queue_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e10_simcore::{now, run};
+
+    fn quiet_params() -> DiskParams {
+        DiskParams {
+            jitter_cv: 0.0,
+            ..DiskParams::nearline_sas()
+        }
+    }
+
+    #[test]
+    fn sequential_writes_avoid_seeks() {
+        let (seq, rnd) = run(async {
+            let d = Disk::new(quiet_params(), SimRng::new(1));
+            let t0 = now();
+            for i in 0..16u64 {
+                d.write(i * 1_048_576, 1_048_576).await;
+            }
+            let seq = now().since(t0).as_secs_f64();
+            let d2 = Disk::new(quiet_params(), SimRng::new(2));
+            let t1 = now();
+            for i in 0..16u64 {
+                // Deliberately scattered.
+                d2.write(((i * 7919) % 97) * 10_000_000, 1_048_576).await;
+            }
+            (seq, now().since(t1).as_secs_f64())
+        });
+        assert!(rnd > seq * 1.5, "random={rnd} sequential={seq}");
+    }
+
+    #[test]
+    fn first_access_pays_no_seek_at_origin() {
+        run(async {
+            let d = Disk::new(quiet_params(), SimRng::new(1));
+            d.write(0, 4096).await;
+            assert_eq!(d.seeks(), 0);
+            d.write(4096, 4096).await;
+            assert_eq!(d.seeks(), 0);
+            d.write(0, 4096).await;
+            assert_eq!(d.seeks(), 1);
+            assert_eq!(d.requests(), 3);
+        });
+    }
+
+    #[test]
+    fn large_sequential_throughput_near_media_rate() {
+        let t = run(async {
+            let d = Disk::new(quiet_params(), SimRng::new(1));
+            // 64 MB sequential in 4 MB requests.
+            for i in 0..16u64 {
+                d.write(i * 4_194_304, 4_194_304).await;
+            }
+            now().as_secs_f64()
+        });
+        let bytes = 64.0 * 1_048_576.0;
+        let bw = bytes / t;
+        let media = quiet_params().bandwidth;
+        assert!(bw > media * 0.9, "bw={bw}, media={media}");
+    }
+
+    #[test]
+    fn jitter_spreads_service_times() {
+        let times = run(async {
+            let d = Disk::new(DiskParams::nearline_sas(), SimRng::new(3));
+            let mut ts = Vec::new();
+            for _ in 0..50 {
+                let t0 = now();
+                d.write(999_999_999, 1_048_576).await; // same offset → always seeks
+                ts.push(now().since(t0).as_secs_f64());
+            }
+            ts
+        });
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let spread = times.iter().fold(0.0f64, |m, &t| m.max((t - mean).abs()));
+        assert!(spread > mean * 0.1, "expected visible jitter, spread={spread} mean={mean}");
+    }
+}

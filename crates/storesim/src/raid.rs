@@ -1,0 +1,246 @@
+//! RAID array model (the 8+2 RAID6 data targets of the DEEP-ER JBOD).
+//!
+//! A write is chunked round-robin across the data disks, which service
+//! their shares concurrently; parity disks receive a proportional load.
+//! Partial-stripe writes pay a read-modify-write penalty on the parity
+//! drives — one of the reasons small unaligned requests hurt the global
+//! file system so much more than large aligned ones.
+
+use crate::disk::Disk;
+use e10_simcore::{join_all, spawn};
+
+/// RAID geometry.
+#[derive(Debug, Clone)]
+pub struct RaidParams {
+    /// Per-disk chunk size in bytes.
+    pub chunk: u64,
+    /// Number of parity disks (2 for RAID6).
+    pub parity: usize,
+}
+
+impl RaidParams {
+    /// RAID6 with 128 KiB chunks.
+    pub fn raid6() -> Self {
+        RaidParams {
+            chunk: 128 * 1024,
+            parity: 2,
+        }
+    }
+}
+
+/// A RAID array over a set of member disks.
+///
+/// Cloning shares the underlying disks (handles are reference-counted),
+/// so a clone models another client of the same physical array.
+#[derive(Clone)]
+pub struct Raid {
+    params: RaidParams,
+    disks: Vec<Disk>,
+}
+
+impl Raid {
+    /// Build an array; `disks.len()` must exceed `params.parity`.
+    pub fn new(params: RaidParams, disks: Vec<Disk>) -> Self {
+        assert!(
+            disks.len() > params.parity,
+            "need at least one data disk ({} disks, {} parity)",
+            disks.len(),
+            params.parity
+        );
+        Raid { params, disks }
+    }
+
+    /// Number of data disks.
+    pub fn data_disks(&self) -> usize {
+        self.disks.len() - self.params.parity
+    }
+
+    /// Full stripe width in bytes.
+    pub fn stripe_bytes(&self) -> u64 {
+        self.params.chunk * self.data_disks() as u64
+    }
+
+    /// Split `[offset, offset+len)` into per-data-disk `(disk, disk_off,
+    /// len)` pieces, merging contiguous chunks per disk.
+    fn layout(&self, offset: u64, len: u64) -> Vec<(usize, u64, u64)> {
+        let nd = self.data_disks() as u64;
+        let chunk = self.params.chunk;
+        let mut per_disk: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nd as usize];
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let c = pos / chunk;
+            let within = pos % chunk;
+            let take = (chunk - within).min(end - pos);
+            let disk = (c % nd) as usize;
+            let disk_off = (c / nd) * chunk + within;
+            if let Some(last) = per_disk[disk].last_mut() {
+                if last.0 + last.1 == disk_off {
+                    last.1 += take;
+                    pos += take;
+                    continue;
+                }
+            }
+            per_disk[disk].push((disk_off, take));
+            pos += take;
+        }
+        per_disk
+            .into_iter()
+            .enumerate()
+            .flat_map(|(d, v)| v.into_iter().map(move |(o, l)| (d, o, l)))
+            .collect()
+    }
+
+    /// Write `len` bytes at array offset `offset`.
+    pub async fn write(&self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let pieces = self.layout(offset, len);
+        let max_piece = pieces.iter().map(|&(_, _, l)| l).max().unwrap_or(0);
+        let stripe = self.stripe_bytes();
+        let partial = !offset.is_multiple_of(stripe) || !len.is_multiple_of(stripe);
+        let mut hs = Vec::new();
+        for (d, o, l) in pieces {
+            let disk = self.disks[d].clone();
+            hs.push(spawn(async move { disk.write(o, l).await }));
+        }
+        // Parity drives mirror the heaviest data drive; partial stripes
+        // must read old parity first (RMW).
+        let nd = self.data_disks();
+        let parity_off = (offset / stripe) * self.params.chunk;
+        for p in 0..self.params.parity {
+            let disk = self.disks[nd + p].clone();
+            hs.push(spawn(async move {
+                if partial {
+                    disk.read(parity_off, max_piece).await;
+                }
+                disk.write(parity_off, max_piece).await;
+            }));
+        }
+        join_all(hs).await;
+    }
+
+    /// Read `len` bytes at array offset `offset` (data disks only).
+    pub async fn read(&self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let mut hs = Vec::new();
+        for (d, o, l) in self.layout(offset, len) {
+            let disk = self.disks[d].clone();
+            hs.push(spawn(async move { disk.read(o, l).await }));
+        }
+        join_all(hs).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskParams;
+    use e10_simcore::{now, run, SimRng};
+
+    fn quiet_disk(i: u64) -> Disk {
+        Disk::new(
+            DiskParams {
+                jitter_cv: 0.0,
+                ..DiskParams::nearline_sas()
+            },
+            SimRng::stream(77, i),
+        )
+    }
+
+    fn array(n: usize) -> Raid {
+        Raid::new(
+            RaidParams::raid6(),
+            (0..n as u64).map(quiet_disk).collect(),
+        )
+    }
+
+    #[test]
+    fn layout_round_robins_chunks() {
+        let r = array(10); // 8 data + 2 parity
+        let chunk = r.params.chunk;
+        let pieces = r.layout(0, chunk * 3);
+        assert_eq!(
+            pieces,
+            vec![(0, 0, chunk), (1, 0, chunk), (2, 0, chunk)]
+        );
+        // Second full stripe wraps to disk 0 at chunk offset `chunk`.
+        let pieces = r.layout(chunk * 8, chunk);
+        assert_eq!(pieces, vec![(0, chunk, chunk)]);
+    }
+
+    #[test]
+    fn layout_merges_contiguous_same_disk_chunks() {
+        let r = array(3); // 1 data disk
+        let chunk = r.params.chunk;
+        let pieces = r.layout(0, chunk * 4);
+        assert_eq!(pieces, vec![(0, 0, chunk * 4)]);
+    }
+
+    #[test]
+    fn layout_handles_unaligned_offsets() {
+        let r = array(10);
+        let chunk = r.params.chunk;
+        let pieces = r.layout(chunk / 2, chunk);
+        assert_eq!(
+            pieces,
+            vec![(0, chunk / 2, chunk / 2), (1, 0, chunk / 2)]
+        );
+        let total: u64 = pieces.iter().map(|p| p.2).sum();
+        assert_eq!(total, chunk);
+    }
+
+    #[test]
+    fn array_outpaces_single_disk_on_large_writes() {
+        let (t_array, t_disk) = run(async {
+            let r = array(10);
+            let stripe = r.stripe_bytes();
+            let t0 = now();
+            r.write(0, stripe * 8).await;
+            let t_array = now().since(t0).as_secs_f64();
+
+            let d = quiet_disk(99);
+            let t1 = now();
+            d.write(0, stripe * 8).await;
+            (t_array, now().since(t1).as_secs_f64())
+        });
+        assert!(
+            t_array < t_disk / 4.0,
+            "array={t_array}s single={t_disk}s"
+        );
+    }
+
+    #[test]
+    fn partial_stripe_write_pays_rmw() {
+        let (t_partial, t_full) = run(async {
+            let r = array(10);
+            let stripe = r.stripe_bytes();
+            let t0 = now();
+            r.write(0, stripe).await;
+            let t_full = now().since(t0).as_secs_f64();
+
+            let r2 = array(10);
+            let t1 = now();
+            r2.write(r2.params.chunk / 2, stripe).await;
+            (now().since(t1).as_secs_f64(), t_full)
+        });
+        assert!(
+            t_partial > t_full,
+            "partial={t_partial} full={t_full}"
+        );
+    }
+
+    #[test]
+    fn zero_length_io_is_free() {
+        let t = run(async {
+            let r = array(4);
+            r.write(0, 0).await;
+            r.read(0, 0).await;
+            now().as_secs_f64()
+        });
+        assert_eq!(t, 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Solid-state drive model (the node-local SATA SSD holding `/scratch`).
+//!
+//! No mechanical state: a small per-command latency plus bandwidth-
+//! shared read and write channels. Service time variance is an order of
+//! magnitude lower than the disk model's, which is exactly the property
+//! the paper exploits (stable response times → cheap global sync).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use e10_simcore::rng::Jitter;
+use e10_simcore::{FairShare, SimRng};
+use e10_simcore::{SimDuration, Tally};
+
+/// SSD performance parameters.
+#[derive(Debug, Clone)]
+pub struct SsdParams {
+    /// Sustained read bandwidth, bytes/s.
+    pub read_bw: f64,
+    /// Sustained write bandwidth, bytes/s.
+    pub write_bw: f64,
+    /// Per-command latency.
+    pub latency: SimDuration,
+    /// Coefficient of variation of per-command jitter (small for SSDs).
+    pub jitter_cv: f64,
+}
+
+impl SsdParams {
+    /// An 80 GB consumer SATA SSD of the DEEP-ER era (Intel 320-ish):
+    /// ~270 MB/s read, ~220 MB/s sustained write. The paper's ~20 GB/s
+    /// burst across 64 nodes also rides the page cache (see
+    /// [`crate::pagecache`]), not the bare device.
+    pub fn sata_scratch() -> Self {
+        SsdParams {
+            read_bw: 270e6,
+            write_bw: 220e6,
+            latency: SimDuration::from_micros(80),
+            jitter_cv: 0.03,
+        }
+    }
+}
+
+/// A simulated SSD.
+#[derive(Clone)]
+pub struct Ssd {
+    params: SsdParams,
+    read_chan: FairShare,
+    write_chan: FairShare,
+    state: Rc<RefCell<SsdState>>,
+}
+
+struct SsdState {
+    jitter: Jitter,
+    write_lat: Tally,
+    read_lat: Tally,
+}
+
+impl Ssd {
+    /// Create an SSD; `rng` drives its (small) jitter stream.
+    pub fn new(params: SsdParams, rng: SimRng) -> Self {
+        let cv = params.jitter_cv;
+        Ssd {
+            read_chan: FairShare::new(params.read_bw),
+            write_chan: FairShare::new(params.write_bw),
+            params,
+            state: Rc::new(RefCell::new(SsdState {
+                jitter: Jitter::new(rng, cv),
+                write_lat: Tally::new(),
+                read_lat: Tally::new(),
+            })),
+        }
+    }
+
+    /// Write `len` bytes (offset-independent service).
+    pub async fn write(&self, len: u64) {
+        let t0 = e10_simcore::now();
+        let j = self.state.borrow_mut().jitter.sample();
+        e10_simcore::sleep(self.params.latency.mul_f64(j)).await;
+        self.write_chan.serve(len as f64 * j).await;
+        self.state
+            .borrow_mut()
+            .write_lat
+            .push(e10_simcore::now().since(t0).as_secs_f64());
+    }
+
+    /// Read `len` bytes.
+    pub async fn read(&self, len: u64) {
+        let t0 = e10_simcore::now();
+        let j = self.state.borrow_mut().jitter.sample();
+        e10_simcore::sleep(self.params.latency.mul_f64(j)).await;
+        self.read_chan.serve(len as f64 * j).await;
+        self.state
+            .borrow_mut()
+            .read_lat
+            .push(e10_simcore::now().since(t0).as_secs_f64());
+    }
+
+    /// Device parameters.
+    pub fn params(&self) -> &SsdParams {
+        &self.params
+    }
+
+    /// Service-time statistics for writes.
+    pub fn write_latency(&self) -> Tally {
+        self.state.borrow().write_lat.clone()
+    }
+
+    /// Service-time statistics for reads.
+    pub fn read_latency(&self) -> Tally {
+        self.state.borrow().read_lat.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e10_simcore::{join_all, now, run, spawn};
+
+    fn quiet() -> SsdParams {
+        SsdParams {
+            jitter_cv: 0.0,
+            latency: SimDuration::ZERO,
+            read_bw: 1000.0,
+            write_bw: 500.0,
+        }
+    }
+
+    #[test]
+    fn write_throughput_matches_channel() {
+        let t = run(async {
+            let s = Ssd::new(quiet(), SimRng::new(1));
+            s.write(1000).await;
+            now().as_secs_f64()
+        });
+        assert!((t - 2.0).abs() < 1e-6, "t={t}");
+    }
+
+    #[test]
+    fn reads_and_writes_use_separate_channels() {
+        let t = run(async {
+            let s = Ssd::new(quiet(), SimRng::new(1));
+            let s1 = s.clone();
+            let h1 = spawn(async move { s1.write(500).await });
+            let s2 = s.clone();
+            let h2 = spawn(async move { s2.read(1000).await });
+            join_all(vec![h1, h2]).await;
+            now().as_secs_f64()
+        });
+        // Both take 1 s in parallel, not 2 s serialised.
+        assert!((t - 1.0).abs() < 1e-6, "t={t}");
+    }
+
+    #[test]
+    fn concurrent_writes_share_bandwidth() {
+        let t = run(async {
+            let s = Ssd::new(quiet(), SimRng::new(1));
+            let mut hs = Vec::new();
+            for _ in 0..2 {
+                let s = s.clone();
+                hs.push(spawn(async move { s.write(500).await }));
+            }
+            join_all(hs).await;
+            now().as_secs_f64()
+        });
+        assert!((t - 2.0).abs() < 1e-6, "t={t}");
+    }
+
+    #[test]
+    fn ssd_variance_well_below_disk_variance() {
+        let (ssd_cv, disk_cv) = run(async {
+            let s = Ssd::new(SsdParams::sata_scratch(), SimRng::new(5));
+            for _ in 0..60 {
+                s.write(4_194_304).await;
+            }
+            let d = crate::disk::Disk::new(crate::disk::DiskParams::nearline_sas(), SimRng::new(6));
+            let mut tally = Tally::new();
+            for i in 0..60u64 {
+                let t0 = now();
+                d.write((i * 7919 % 101) * 50_000_000, 4_194_304).await;
+                tally.push(now().since(t0).as_secs_f64());
+            }
+            (s.write_latency().cv(), tally.cv())
+        });
+        assert!(
+            ssd_cv < disk_cv / 2.0,
+            "ssd cv={ssd_cv}, disk cv={disk_cv}"
+        );
+    }
+
+    #[test]
+    fn latency_statistics_recorded() {
+        run(async {
+            let s = Ssd::new(quiet(), SimRng::new(1));
+            s.write(100).await;
+            s.read(100).await;
+            assert_eq!(s.write_latency().count(), 1);
+            assert_eq!(s.read_latency().count(), 1);
+        });
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the synthetic-data model: payload slicing,
+//! source advancement and extent-map algebra are the foundations the
+//! whole correctness oracle rests on.
+
+use proptest::prelude::*;
+
+use e10_storesim::{gen_byte, ExtentMap, Payload, Source};
+
+proptest! {
+    /// Slicing a payload commutes with materialisation.
+    #[test]
+    fn payload_slice_commutes_with_materialize(
+        seed in 0u64..50,
+        origin in 0u64..10_000,
+        len in 1u64..400,
+        cut in 0u64..400,
+        take in 0u64..400,
+    ) {
+        let cut = cut.min(len);
+        let take = take.min(len - cut);
+        let p = Payload::gen(seed, origin, len);
+        let whole = p.materialize();
+        let piece = p.slice(cut, take);
+        prop_assert_eq!(
+            piece.materialize(),
+            whole[cut as usize..(cut + take) as usize].to_vec()
+        );
+    }
+
+    /// advance(a).advance(b) == advance(a + b), for all source kinds.
+    #[test]
+    fn source_advance_is_additive(
+        a in 0u64..1000,
+        b in 0u64..1000,
+        probe in 0u64..100,
+        seed in 0u64..10,
+    ) {
+        let sources = [
+            Source::Zero,
+            Source::gen_at(seed, 12345),
+            Source::literal(vec![7u8; 2200]),
+        ];
+        for s in sources {
+            let two_step = s.advance(a).advance(b);
+            let one_step = s.advance(a + b);
+            prop_assert_eq!(two_step.byte_at(probe), one_step.byte_at(probe));
+        }
+    }
+
+    /// Splitting one insert into arbitrary consecutive sub-inserts
+    /// yields the same map contents.
+    #[test]
+    fn split_inserts_equal_single_insert(
+        start in 0u64..5000,
+        len in 1u64..2000,
+        splits in prop::collection::vec(1u64..500, 0..6),
+        seed in 0u64..20,
+    ) {
+        let mut one = ExtentMap::new();
+        one.insert(start, len, Source::gen_at(seed, start));
+
+        let mut many = ExtentMap::new();
+        let mut pos = start;
+        let end = start + len;
+        for s in splits {
+            if pos >= end { break; }
+            let take = s.min(end - pos);
+            many.insert(pos, take, Source::gen_at(seed, pos));
+            pos += take;
+        }
+        if pos < end {
+            many.insert(pos, end - pos, Source::gen_at(seed, pos));
+        }
+        // Same coverage, same bytes, and fully merged back to one extent.
+        prop_assert_eq!(many.covered_bytes(), one.covered_bytes());
+        prop_assert_eq!(many.extent_count(), 1);
+        for probe in [start, start + len / 2, start + len - 1] {
+            prop_assert_eq!(many.byte_at(probe), one.byte_at(probe));
+        }
+        prop_assert!(many.verify_gen(seed, start, len).is_ok());
+    }
+
+    /// Insert order of non-overlapping extents does not matter.
+    #[test]
+    fn insert_order_irrelevant_for_disjoint_extents(
+        lens in prop::collection::vec(1u64..200, 1..12),
+        order_seed in 0u64..1000,
+    ) {
+        // Build disjoint extents with 1-byte gaps.
+        let mut extents = Vec::new();
+        let mut pos = 0;
+        for (i, &l) in lens.iter().enumerate() {
+            extents.push((pos, l, i as u64));
+            pos += l + 1;
+        }
+        let mut sorted = ExtentMap::new();
+        for &(o, l, s) in &extents {
+            sorted.insert(o, l, Source::gen_at(s, o));
+        }
+        // Pseudo-shuffle.
+        let mut shuffled = extents.clone();
+        let n = shuffled.len();
+        for i in 0..n {
+            let j = ((order_seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)) % n as u64) as usize;
+            shuffled.swap(i, j);
+        }
+        let mut other = ExtentMap::new();
+        for &(o, l, s) in &shuffled {
+            other.insert(o, l, Source::gen_at(s, o));
+        }
+        prop_assert_eq!(sorted.extent_count(), other.extent_count());
+        prop_assert_eq!(sorted.covered_bytes(), other.covered_bytes());
+        for &(o, l, _) in &extents {
+            for probe in [o, o + l - 1] {
+                prop_assert_eq!(sorted.byte_at(probe), other.byte_at(probe));
+            }
+            prop_assert_eq!(sorted.byte_at(o + l), None);
+        }
+    }
+
+    /// lookup() pieces always tile the queried range exactly.
+    #[test]
+    fn lookup_tiles_range(
+        writes in prop::collection::vec((0u64..3000, 1u64..500), 0..15),
+        q_start in 0u64..3500,
+        q_len in 1u64..800,
+    ) {
+        let mut m = ExtentMap::new();
+        for (o, l) in writes {
+            m.insert(o, l, Source::gen_at(1, o));
+        }
+        let pieces = m.lookup(q_start, q_len);
+        let mut pos = q_start;
+        for (r, _) in &pieces {
+            prop_assert_eq!(r.start, pos);
+            prop_assert!(r.end > r.start);
+            pos = r.end;
+        }
+        prop_assert_eq!(pos, q_start + q_len);
+        // covered_bytes_in agrees with the tiling.
+        let covered: u64 = pieces
+            .iter()
+            .filter(|(_, s)| s.is_some())
+            .map(|(r, _)| r.end - r.start)
+            .sum();
+        prop_assert_eq!(m.covered_bytes_in(q_start, q_len), covered);
+    }
+
+    /// gen_byte depends on every bit of the index (sanity: two nearby
+    /// indices rarely collide over a window).
+    #[test]
+    fn gen_stream_not_degenerate(seed in 0u64..1000, base in 0u64..1_000_000) {
+        let window: Vec<u8> = (0..256).map(|i| gen_byte(seed, base + i)).collect();
+        let distinct = window.iter().collect::<std::collections::HashSet<_>>().len();
+        prop_assert!(distinct > 64, "only {distinct} distinct bytes in 256");
+    }
+}

@@ -1,0 +1,137 @@
+//! coll_perf: the collective-I/O benchmark distributed with MPICH.
+//!
+//! Every process owns one block of a three-dimensional array
+//! distributed over a `gx × gy × gz` process grid; the file stores the
+//! array in C order, so each process's block appears as a strided
+//! pattern of `L²` runs of `L × chunk` bytes (the paper's coll_perf
+//! configuration: one 64 MB block per process).
+//!
+//! **Granularity substitution** (documented in DESIGN.md): the real
+//! coll_perf writes 8-byte elements, giving runs of a few KB; we use a
+//! configurable `chunk` (default 128 KiB) as the element size so a full
+//! 512-process, 32 GB run stays tractable in the simulator while every
+//! collective-buffer window still receives interleaved pieces from
+//! many processes — the property that drives two-phase behaviour.
+
+use e10_mpisim::{FileView, FlatType};
+
+use crate::Workload;
+
+/// coll_perf parameters.
+#[derive(Debug, Clone)]
+pub struct CollPerf {
+    /// Process grid (gx × gy × gz must equal the number of ranks).
+    pub grid: [u64; 3],
+    /// Local block side, in chunks (block = side³ chunks).
+    pub side: u64,
+    /// Bytes per chunk ("element" granularity).
+    pub chunk: u64,
+}
+
+impl CollPerf {
+    /// The paper's configuration for 512 ranks: 8×8×8 grid, 64 MB
+    /// blocks (8³ chunks of 128 KiB), 32 GB file.
+    pub fn paper_512() -> Self {
+        CollPerf {
+            grid: [8, 8, 8],
+            side: 8,
+            chunk: 128 << 10,
+        }
+    }
+
+    /// A miniature configuration for tests.
+    pub fn tiny(grid: [u64; 3]) -> Self {
+        CollPerf {
+            grid,
+            side: 2,
+            chunk: 1 << 10,
+        }
+    }
+
+    fn gsizes(&self) -> [u64; 3] {
+        [
+            self.grid[2] * self.side,
+            self.grid[1] * self.side,
+            self.grid[0] * self.side,
+        ]
+    }
+}
+
+impl Workload for CollPerf {
+    fn name(&self) -> &'static str {
+        "coll_perf"
+    }
+
+    fn procs(&self) -> usize {
+        (self.grid[0] * self.grid[1] * self.grid[2]) as usize
+    }
+
+    fn file_size(&self) -> u64 {
+        self.procs() as u64 * self.side.pow(3) * self.chunk
+    }
+
+    fn writes(&self, rank: usize) -> Vec<FileView> {
+        let [gx, gy, _gz] = self.grid;
+        let r = rank as u64;
+        // Rank decomposition: x fastest (matches MPI_Dims_create order
+        // used by coll_perf's darray).
+        let rx = r % gx;
+        let ry = (r / gx) % gy;
+        let rz = r / (gx * gy);
+        let l = self.side;
+        let flat = FlatType::subarray(
+            &self.gsizes(),
+            &[l, l, l],
+            &[rz * l, ry * l, rx * l],
+            self.chunk,
+        );
+        vec![FileView::new(&flat, 0)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_32gb_64mb_blocks() {
+        let w = CollPerf::paper_512();
+        assert_eq!(w.procs(), 512);
+        assert_eq!(w.file_size(), 32 << 30);
+        let per_proc: u64 = w.writes(0).iter().map(|v| v.total_bytes()).sum();
+        assert_eq!(per_proc, 64 << 20);
+    }
+
+    #[test]
+    fn views_tile_the_file_exactly() {
+        let w = CollPerf::tiny([2, 2, 2]);
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for r in 0..w.procs() {
+            for v in w.writes(r) {
+                for p in v.pieces() {
+                    runs.push((p.file_off, p.len));
+                }
+            }
+        }
+        runs.sort_unstable();
+        let mut pos = 0;
+        for (off, len) in runs {
+            assert_eq!(off, pos, "gap or overlap at {off}");
+            pos = off + len;
+        }
+        assert_eq!(pos, w.file_size());
+    }
+
+    #[test]
+    fn pattern_is_strided_and_interleaved() {
+        let w = CollPerf::tiny([2, 1, 1]);
+        let v0 = &w.writes(0)[0];
+        let v1 = &w.writes(1)[0];
+        // Multiple non-contiguous runs per rank.
+        assert!(v0.pieces().len() > 1);
+        // Rank 1's range starts before rank 0 ends: interleaved.
+        let (s1, _) = v1.file_range();
+        let (_, e0) = v0.file_range();
+        assert!(s1 < e0, "blocks along x must interleave in the file");
+    }
+}

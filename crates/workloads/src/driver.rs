@@ -1,0 +1,259 @@
+//! The multi-file workflow driver (Fig. 3 of the paper) and the
+//! perceived-bandwidth measurement of Eq. 2.
+//!
+//! Each benchmark writes `files` files of the same size with a compute
+//! delay between I/O phases. Following the modified workflow, the
+//! close of file `k` is moved to the start of I/O phase `k+1` (after
+//! the compute), so cache synchronisation overlaps computation and the
+//! close only waits for whatever is *not hidden* — exactly the
+//! `max(0, T_s(k) − C(k+1))` term of Eq. 1.
+
+use std::rc::Rc;
+
+use e10_mpisim::Info;
+use e10_romio::bwmodel::{total_bandwidth, PhaseMeasure};
+use e10_romio::{write_at_all, AdioFile, Breakdown, DataSpec, IoCtx, Phase, Profiler, Testbed};
+use e10_simcore::{now, sleep, SimDuration};
+
+use crate::Workload;
+
+/// Configuration of one benchmark run.
+#[derive(Clone)]
+pub struct RunConfig {
+    /// Number of files written (the paper uses 4).
+    pub files: usize,
+    /// Compute delay between I/O phases (the paper uses 30 s).
+    pub compute_delay: SimDuration,
+    /// MPI-IO hints for every file.
+    pub hints: Info,
+    /// Charge the last file's close wait to the bandwidth (IOR does;
+    /// coll_perf and Flash-IO do not — paper §IV-B/§IV-D).
+    pub include_last_sync: bool,
+    /// Verify the final global files byte-for-byte against the
+    /// generator (disable for `flush_none`, which never syncs).
+    pub verify: bool,
+    /// Global-file path prefix; files are `<prefix>.<k>`.
+    pub path_prefix: String,
+    /// Generator seed of file `k` is `seed_base + k`.
+    pub seed_base: u64,
+    /// Coefficient of variation of per-rank compute-time jitter
+    /// (log-normal, mean 1). With OS noise or load imbalance, ranks
+    /// arrive at the next I/O phase staggered and the collective's
+    /// first global synchronisation absorbs the spread — the effect
+    /// the paper (via Damaris [16]) notes becomes *more* prominent the
+    /// faster the I/O itself is.
+    pub compute_jitter_cv: f64,
+}
+
+impl RunConfig {
+    /// The paper's setup: 4 files, 30 s compute delay.
+    pub fn paper(hints: Info, prefix: &str) -> Self {
+        RunConfig {
+            files: 4,
+            compute_delay: SimDuration::from_secs(30),
+            hints,
+            include_last_sync: false,
+            verify: true,
+            path_prefix: prefix.to_string(),
+            seed_base: 1000,
+            compute_jitter_cv: 0.0,
+        }
+    }
+}
+
+/// One I/O phase's timings (measured on rank 0, which is barrier-
+/// aligned with every other rank at phase boundaries).
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseOutcome {
+    /// Bytes written by all ranks in this phase.
+    pub bytes: u64,
+    /// Collective write time `T_c(k)` (open + all write_all calls).
+    pub t_c: f64,
+    /// Close wait — the non-hidden synchronisation of Eq. 1.
+    pub not_hidden: f64,
+}
+
+/// The result of a run.
+pub struct RunOutcome {
+    /// Per-file phases.
+    pub phases: Vec<PhaseOutcome>,
+    /// Eq. 2 perceived bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Per-phase cost breakdown merged over all ranks.
+    pub breakdown: Breakdown,
+    /// Per-phase cost breakdown merged over aggregator ranks only —
+    /// what the paper's Fig. 5/6/8/10 stacked bars show (non-
+    /// aggregators spend almost everything waiting in the alltoall).
+    pub breakdown_aggs: Breakdown,
+    /// Total bytes across files.
+    pub total_bytes: u64,
+    /// Virtual wall time of the whole run, seconds.
+    pub wall_time: f64,
+}
+
+impl RunOutcome {
+    /// Bandwidth in decimal GB/s (the paper's unit).
+    pub fn gb_s(&self) -> f64 {
+        self.bandwidth / 1e9
+    }
+}
+
+/// Run `workload` on `tb` under `cfg`. The testbed's rank count must
+/// match the workload's.
+pub async fn run_workload(tb: &Testbed, workload: Rc<dyn Workload>, cfg: &RunConfig) -> RunOutcome {
+    assert_eq!(
+        tb.world.comms.len(),
+        workload.procs(),
+        "testbed rank count must match the workload"
+    );
+    let t_start = now();
+    let file_bytes = workload.file_size();
+    let hints = cfg.hints.dup();
+    if workload.force_collective() && hints.get("romio_cb_write").is_none() {
+        hints.set("romio_cb_write", "enable");
+    }
+
+    let pfs = Rc::clone(&tb.pfs);
+    let localfs = Rc::clone(&tb.localfs);
+    let cfg_shared = Rc::new(cfg.clone());
+
+    let per_rank = tb
+        .world
+        .run_ranks(move |comm| {
+            let ctx = IoCtx {
+                comm,
+                pfs: Rc::clone(&pfs),
+                localfs: Rc::clone(&localfs),
+            };
+            let wl = Rc::clone(&workload);
+            let cfg = Rc::clone(&cfg_shared);
+            let hints = hints.clone();
+            async move {
+                let rank = ctx.comm.rank();
+                let views = wl.writes(rank);
+                let mut prev: Option<AdioFile> = None;
+                let mut phases: Vec<(u64, f64)> = Vec::new();
+                let mut not_hidden = vec![0.0f64; cfg.files];
+                let rank_prof = Profiler::new();
+                let mut is_agg = false;
+                let mut jitter = e10_simcore::rng::Jitter::new(
+                    e10_simcore::SimRng::stream(0xC0FFEE, rank as u64),
+                    cfg.compute_jitter_cv,
+                );
+
+                for k in 0..cfg.files {
+                    // Fig. 3: close file k-1 right before opening file k.
+                    if let Some(f) = prev.take() {
+                        let t0 = now();
+                        f.close().await;
+                        not_hidden[k - 1] = now().since(t0).as_secs_f64();
+                        let p = f.profiler();
+                        p.take(Phase::FlushWait); // re-attributed:
+                        p.add(
+                            Phase::NotHiddenSync,
+                            SimDuration::from_secs_f64(not_hidden[k - 1]),
+                        );
+                        rank_prof.merge_from(p);
+                    }
+                    // T_c is measured from when THIS rank becomes
+                    // ready: under compute jitter the collective's
+                    // synchronisation absorbs the arrival spread and
+                    // it shows up in the perceived write time, as on a
+                    // real machine.
+                    let t0 = now();
+                    ctx.comm.barrier().await;
+                    let path = format!("{}.{k}", cfg.path_prefix);
+                    let fd = AdioFile::open(&ctx, &path, &hints, true)
+                        .await
+                        .expect("collective open failed");
+                    is_agg = fd.my_agg_index().is_some();
+                    let mut bytes = 0;
+                    for view in &views {
+                        let r = write_at_all(
+                            &fd,
+                            view,
+                            &DataSpec::FileGen {
+                                seed: cfg.seed_base + k as u64,
+                            },
+                        )
+                        .await;
+                        bytes += r.bytes;
+                    }
+                    phases.push((bytes, now().since(t0).as_secs_f64()));
+                    if k + 1 < cfg.files {
+                        // The compute phase C(k+1): background sync of
+                        // file k proceeds meanwhile. Per-rank jitter
+                        // staggers the arrivals at phase k+1.
+                        sleep(cfg.compute_delay.mul_f64(jitter.sample())).await;
+                    }
+                    prev = Some(fd);
+                }
+                // Final close: nothing left to hide behind.
+                if let Some(f) = prev.take() {
+                    let t0 = now();
+                    f.close().await;
+                    let wait = now().since(t0).as_secs_f64();
+                    let p = f.profiler();
+                    p.take(Phase::FlushWait);
+                    if cfg.include_last_sync {
+                        not_hidden[cfg.files - 1] = wait;
+                        p.add(Phase::NotHiddenSync, SimDuration::from_secs_f64(wait));
+                    }
+                    rank_prof.merge_from(p);
+                }
+                (phases, not_hidden, rank_prof, is_agg)
+            }
+        })
+        .await;
+
+    let (phase_times, not_hidden, _, _) = &per_rank[0];
+    let phases: Vec<PhaseOutcome> = phase_times
+        .iter()
+        .zip(not_hidden)
+        .map(|(&(_, t_c), &nh)| PhaseOutcome {
+            bytes: file_bytes,
+            t_c,
+            not_hidden: nh,
+        })
+        .collect();
+
+    let measures: Vec<PhaseMeasure> = phases
+        .iter()
+        .map(|p| PhaseMeasure {
+            bytes: p.bytes,
+            t_c: p.t_c,
+            t_s: p.not_hidden,
+            c_next: 0.0,
+        })
+        .collect();
+    let bandwidth = total_bandwidth(&measures);
+    let profs: Vec<Profiler> = per_rank.iter().map(|(_, _, p, _)| p.clone()).collect();
+    let breakdown = Breakdown::from_profilers(&profs);
+    let agg_profs: Vec<Profiler> = per_rank
+        .iter()
+        .filter(|(_, _, _, is_agg)| *is_agg)
+        .map(|(_, _, p, _)| p.clone())
+        .collect();
+    let breakdown_aggs = Breakdown::from_profilers(&agg_profs);
+
+    if cfg.verify {
+        for k in 0..cfg.files {
+            let path = format!("{}.{k}", cfg.path_prefix);
+            let ext = tb
+                .pfs
+                .file_extents(&path)
+                .unwrap_or_else(|| panic!("file {path} missing after run"));
+            ext.verify_gen(cfg.seed_base + k as u64, 0, file_bytes)
+                .unwrap_or_else(|e| panic!("verification of {path} failed: {e}"));
+        }
+    }
+
+    RunOutcome {
+        phases,
+        bandwidth,
+        breakdown,
+        breakdown_aggs,
+        total_bytes: file_bytes * cfg.files as u64,
+        wall_time: now().since(t_start).as_secs_f64(),
+    }
+}

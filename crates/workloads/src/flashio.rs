@@ -1,0 +1,195 @@
+//! Flash-IO: the I/O kernel of the FLASH adaptive-mesh hydrodynamics
+//! code, writing checkpoint and plot files through (simulated)
+//! parallel HDF5.
+//!
+//! The checkpoint layout follows the real benchmark: one dataset per
+//! variable, each a global array `[nblocks_total][nz][ny][nx]` of
+//! doubles, with every process owning a contiguous slab of blocks. The
+//! paper's configuration: 80 blocks/process, 16 zones per coordinate
+//! direction, 24 variables of 8 bytes (768 KB per process per block),
+//! ≈30 GB checkpoint. Plot files carry 4 single-precision variables
+//! (without and with corner data).
+
+use e10_mpisim::{FileView, FlatType};
+
+use crate::Workload;
+
+/// Which FLASH file is being produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashFile {
+    /// Full checkpoint: all variables, double precision.
+    Checkpoint,
+    /// Plot file, cell-centred data, single precision.
+    Plot,
+    /// Plot file with corner data (one extra zone per direction).
+    PlotCorners,
+}
+
+/// Flash-IO parameters.
+#[derive(Debug, Clone)]
+pub struct FlashIo {
+    /// MPI processes.
+    pub nprocs: usize,
+    /// Blocks per process.
+    pub blocks_per_proc: u64,
+    /// Zones per coordinate direction per block.
+    pub zones: u64,
+    /// Number of mesh variables (checkpoint).
+    pub nvars: u64,
+    /// Which file to produce.
+    pub file: FlashFile,
+}
+
+impl FlashIo {
+    /// The paper's checkpoint configuration for 512 ranks (~30 GB).
+    pub fn paper_checkpoint_512() -> Self {
+        FlashIo {
+            nprocs: 512,
+            blocks_per_proc: 80,
+            zones: 16,
+            nvars: 24,
+            file: FlashFile::Checkpoint,
+        }
+    }
+
+    /// A miniature configuration for tests.
+    pub fn tiny(nprocs: usize) -> Self {
+        FlashIo {
+            nprocs,
+            blocks_per_proc: 2,
+            zones: 2,
+            nvars: 3,
+            file: FlashFile::Checkpoint,
+        }
+    }
+
+    /// Bytes of one variable of one block.
+    fn block_var_bytes(&self) -> u64 {
+        let (z, e) = match self.file {
+            FlashFile::Checkpoint => (self.zones, 8),
+            FlashFile::Plot => (self.zones, 4),
+            FlashFile::PlotCorners => (self.zones + 1, 4),
+        };
+        z * z * z * e
+    }
+
+    fn vars(&self) -> u64 {
+        match self.file {
+            FlashFile::Checkpoint => self.nvars,
+            FlashFile::Plot | FlashFile::PlotCorners => 4.min(self.nvars),
+        }
+    }
+
+    /// Bytes of HDF5-ish metadata at the head of the file (tree
+    /// structure, coordinates, bounding boxes — written by rank 0).
+    pub fn metadata_bytes(&self) -> u64 {
+        // ~96 B of tree info + 56 B of coords per block.
+        self.nprocs as u64 * self.blocks_per_proc * 152
+    }
+
+    fn dataset_bytes(&self) -> u64 {
+        self.nprocs as u64 * self.blocks_per_proc * self.block_var_bytes()
+    }
+}
+
+impl Workload for FlashIo {
+    fn name(&self) -> &'static str {
+        match self.file {
+            FlashFile::Checkpoint => "flash_io_chk",
+            FlashFile::Plot => "flash_io_plt",
+            FlashFile::PlotCorners => "flash_io_plt_crn",
+        }
+    }
+
+    fn procs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn file_size(&self) -> u64 {
+        self.metadata_bytes() + self.vars() * self.dataset_bytes()
+    }
+
+    fn writes(&self, rank: usize) -> Vec<FileView> {
+        let mut out = Vec::new();
+        // Metadata: rank 0 writes the header region; the others
+        // participate with empty views (HDF5 collective metadata).
+        let meta = self.metadata_bytes();
+        if rank == 0 {
+            out.push(FileView::new(&FlatType::contiguous(meta), 0));
+        } else {
+            out.push(FileView::new(&FlatType::contiguous(0), 0));
+        }
+        // One collective write per variable dataset: this process's
+        // contiguous slab of blocks.
+        let slab = self.blocks_per_proc * self.block_var_bytes();
+        let ds = self.dataset_bytes();
+        for v in 0..self.vars() {
+            let disp = meta + v * ds + rank as u64 * slab;
+            out.push(FileView::new(&FlatType::contiguous(slab), disp));
+        }
+        out
+    }
+
+    /// HDF5 writes per-variable datasets where ranks are contiguous:
+    /// force collective buffering as the paper's runs do.
+    fn force_collective(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_checkpoint_is_about_30gb() {
+        let w = FlashIo::paper_checkpoint_512();
+        // 512 × 80 × 24 × 16³ × 8 = 30 GiB of data plus metadata.
+        let data = 512u64 * 80 * 24 * 4096 * 8;
+        assert_eq!(data, 30 << 30);
+        assert!(w.file_size() > data);
+        assert!(w.file_size() < data + (1 << 30));
+        // 768 KB per proc per block across all variables.
+        assert_eq!(24 * w.block_var_bytes(), 768 << 10);
+    }
+
+    #[test]
+    fn views_cover_file_without_overlap() {
+        let w = FlashIo::tiny(4);
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for r in 0..w.procs() {
+            for v in w.writes(r) {
+                for p in v.pieces() {
+                    runs.push((p.file_off, p.len));
+                }
+            }
+        }
+        runs.sort_unstable();
+        let mut pos = 0;
+        for (off, len) in runs {
+            assert_eq!(off, pos);
+            pos = off + len;
+        }
+        assert_eq!(pos, w.file_size());
+    }
+
+    #[test]
+    fn one_write_per_variable_plus_metadata() {
+        let w = FlashIo::tiny(4);
+        assert_eq!(w.writes(1).len(), 1 + 3);
+        assert!(w.force_collective());
+    }
+
+    #[test]
+    fn plot_files_are_smaller_than_checkpoint() {
+        let mut w = FlashIo::paper_checkpoint_512();
+        let chk = w.file_size();
+        w.file = FlashFile::Plot;
+        let plt = w.file_size();
+        w.file = FlashFile::PlotCorners;
+        let crn = w.file_size();
+        assert!(plt < chk);
+        assert!(crn > plt, "corner data adds zones");
+        assert!(crn < chk);
+    }
+}

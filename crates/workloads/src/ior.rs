@@ -1,0 +1,127 @@
+//! IOR: the interleaved-or-random parallel I/O benchmark, in its
+//! segmented collective-write configuration.
+//!
+//! The file is a sequence of segments; within a segment every process
+//! owns one `block_size` block at `(segment × P + rank) × block_size`,
+//! written in `transfer_size` pieces. The paper: 512 processes × 8 MB
+//! blocks × 8 segments = 32 GB, one `MPI_File_write_all` per transfer.
+
+use e10_mpisim::{FileView, FlatType};
+
+use crate::Workload;
+
+/// IOR parameters.
+#[derive(Debug, Clone)]
+pub struct Ior {
+    /// MPI processes.
+    pub nprocs: usize,
+    /// Per-process block per segment, bytes.
+    pub block_size: u64,
+    /// Bytes per write call (≤ block_size, divides it).
+    pub transfer_size: u64,
+    /// Number of segments.
+    pub segments: u64,
+}
+
+impl Ior {
+    /// The paper's configuration: 8 MB blocks, 8 segments, 512 ranks.
+    pub fn paper_512() -> Self {
+        Ior {
+            nprocs: 512,
+            block_size: 8 << 20,
+            transfer_size: 8 << 20,
+            segments: 8,
+        }
+    }
+
+    /// Miniature configuration for tests.
+    pub fn tiny(nprocs: usize) -> Self {
+        Ior {
+            nprocs,
+            block_size: 4 << 10,
+            transfer_size: 2 << 10,
+            segments: 3,
+        }
+    }
+
+    fn segment_bytes(&self) -> u64 {
+        self.nprocs as u64 * self.block_size
+    }
+}
+
+impl Workload for Ior {
+    fn name(&self) -> &'static str {
+        "ior"
+    }
+
+    fn procs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn file_size(&self) -> u64 {
+        self.segments * self.segment_bytes()
+    }
+
+    fn writes(&self, rank: usize) -> Vec<FileView> {
+        assert!(self.block_size.is_multiple_of(self.transfer_size));
+        let mut out = Vec::new();
+        for seg in 0..self.segments {
+            let block_off = seg * self.segment_bytes() + rank as u64 * self.block_size;
+            for t in 0..(self.block_size / self.transfer_size) {
+                out.push(FileView::new(
+                    &FlatType::contiguous(self.transfer_size),
+                    block_off + t * self.transfer_size,
+                ));
+            }
+        }
+        out
+    }
+
+    /// IOR's collective mode forces collective buffering even though a
+    /// single transfer's accesses are disjoint-contiguous.
+    fn force_collective(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_32gb() {
+        let w = Ior::paper_512();
+        assert_eq!(w.file_size(), 32 << 30);
+        assert_eq!(w.writes(0).len(), 8); // one write_all per segment
+    }
+
+    #[test]
+    fn views_tile_the_file() {
+        let w = Ior::tiny(3);
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for r in 0..w.procs() {
+            for v in w.writes(r) {
+                for p in v.pieces() {
+                    runs.push((p.file_off, p.len));
+                }
+            }
+        }
+        runs.sort_unstable();
+        let mut pos = 0;
+        for (off, len) in runs {
+            assert_eq!(off, pos);
+            pos = off + len;
+        }
+        assert_eq!(pos, w.file_size());
+    }
+
+    #[test]
+    fn transfer_granularity_splits_blocks() {
+        let w = Ior::tiny(2);
+        // 3 segments × (4K block / 2K transfer) = 6 writes per rank.
+        assert_eq!(w.writes(0).len(), 6);
+        for v in w.writes(1) {
+            assert_eq!(v.total_bytes(), 2 << 10);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! # e10-workloads
+//!
+//! The three I/O kernels of the paper's evaluation — [`collperf`]
+//! (MPICH's coll_perf), [`flashio`] (the FLASH checkpoint kernel) and
+//! [`ior`] — plus the [`driver`] implementing the modified multi-file
+//! workflow of Fig. 3 with compute-delay overlap and Eq. 2 bandwidth
+//! accounting.
+//!
+//! A [`Workload`] describes, per rank, the sequence of
+//! `MPI_File_write_all` calls (as [`e10_mpisim::FileView`]s) that write
+//! one file; the driver replays it for each of the run's files against
+//! a [`e10_romio::Testbed`].
+
+pub mod collperf;
+pub mod driver;
+pub mod flashio;
+pub mod ior;
+
+pub use collperf::CollPerf;
+pub use driver::{run_workload, PhaseOutcome, RunConfig, RunOutcome};
+pub use flashio::{FlashFile, FlashIo};
+pub use ior::Ior;
+
+use e10_mpisim::FileView;
+
+/// A benchmark's access pattern for one file.
+pub trait Workload {
+    /// Short name (used in file paths and reports).
+    fn name(&self) -> &'static str;
+
+    /// Number of MPI processes the pattern is defined for.
+    fn procs(&self) -> usize;
+
+    /// Bytes in one complete file.
+    fn file_size(&self) -> u64;
+
+    /// The collective writes rank `rank` performs for one file, in
+    /// order. The union over ranks must tile `[0, file_size())`.
+    fn writes(&self, rank: usize) -> Vec<FileView>;
+
+    /// Whether the benchmark forces `romio_cb_write = enable` (HDF5 /
+    /// IOR collective mode do; coll_perf's pattern is interleaved and
+    /// triggers collective buffering on its own).
+    fn force_collective(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e10_mpisim::Info;
+    use e10_romio::TestbedSpec;
+    use e10_simcore::run;
+    use std::rc::Rc;
+
+    fn quick_cfg(hints: Info, prefix: &str, files: usize) -> RunConfig {
+        RunConfig {
+            files,
+            compute_delay: e10_simcore::SimDuration::from_secs(5),
+            hints,
+            include_last_sync: true,
+            verify: true,
+            path_prefix: prefix.to_string(),
+            seed_base: 50,
+            compute_jitter_cv: 0.0,
+        }
+    }
+
+    #[test]
+    fn collperf_end_to_end_no_cache() {
+        run(async {
+            let w = Rc::new(CollPerf::tiny([2, 2, 2]));
+            let tb = TestbedSpec::small(w.procs(), 4).build();
+            let hints = Info::from_pairs([("cb_buffer_size", "4096"), ("striping_unit", "8192")]);
+            let out = run_workload(&tb, w, &quick_cfg(hints, "/gfs/cp", 2)).await;
+            assert_eq!(out.phases.len(), 2);
+            assert!(out.bandwidth > 0.0);
+            // Cache disabled: close waits are negligible.
+            for p in &out.phases {
+                assert!(p.not_hidden < 0.1, "unexpected close wait {p:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn collperf_end_to_end_with_cache() {
+        run(async {
+            let w = Rc::new(CollPerf::tiny([2, 2, 2]));
+            let tb = TestbedSpec::small(w.procs(), 4).build();
+            let hints = Info::from_pairs([
+                ("cb_buffer_size", "4096"),
+                ("striping_unit", "8192"),
+                ("e10_cache", "enable"),
+                ("e10_cache_discard_flag", "enable"),
+            ]);
+            let out = run_workload(&tb, w, &quick_cfg(hints, "/gfs/cpc", 2)).await;
+            assert!(out.bandwidth > 0.0);
+            // Verification inside run_workload proves the flush path.
+        });
+    }
+
+    #[test]
+    fn flashio_end_to_end() {
+        run(async {
+            let w = Rc::new(FlashIo::tiny(4));
+            let tb = TestbedSpec::small(4, 2).build();
+            let hints = Info::from_pairs([
+                ("cb_buffer_size", "4096"),
+                ("striping_unit", "4096"),
+                ("e10_cache", "enable"),
+            ]);
+            let out = run_workload(&tb, w, &quick_cfg(hints, "/gfs/flash", 2)).await;
+            assert!(out.bandwidth > 0.0);
+        });
+    }
+
+    #[test]
+    fn ior_end_to_end_counts_last_sync() {
+        run(async {
+            let w = Rc::new(Ior::tiny(4));
+            let tb = TestbedSpec::small(4, 2).build();
+            let hints = Info::from_pairs([
+                ("cb_buffer_size", "4096"),
+                ("striping_unit", "4096"),
+                ("e10_cache", "enable"),
+                ("e10_cache_flush_flag", "flush_onclose"),
+            ]);
+            let mut cfg = quick_cfg(hints, "/gfs/ior", 2);
+            cfg.compute_delay = e10_simcore::SimDuration::from_nanos(1);
+            let out = run_workload(&tb, w, &cfg).await;
+            // With flush_onclose and ~no compute, close waits must show.
+            let last = out.phases.last().unwrap();
+            assert!(
+                last.not_hidden > 0.0,
+                "last phase must expose sync: {last:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn flush_none_skips_global_file_entirely() {
+        run(async {
+            let w = Rc::new(Ior::tiny(2));
+            let tb = TestbedSpec::small(2, 1).build();
+            let hints = Info::from_pairs([
+                ("cb_buffer_size", "4096"),
+                ("e10_cache", "enable"),
+                ("e10_cache_flush_flag", "flush_none"),
+            ]);
+            let mut cfg = quick_cfg(hints, "/gfs/tbw", 1);
+            cfg.verify = false; // nothing ever reaches the global file
+            let out = run_workload(&tb, w, &cfg).await;
+            assert!(out.bandwidth > 0.0);
+            let ext = tb.pfs.file_extents("/gfs/tbw.0").unwrap();
+            assert_eq!(ext.covered_bytes(), 0);
+        });
+    }
+
+    #[test]
+    fn breakdown_contains_shuffle_and_write_phases() {
+        run(async {
+            let w = Rc::new(CollPerf::tiny([2, 2, 1]));
+            let tb = TestbedSpec::small(w.procs(), 2).build();
+            let hints = Info::from_pairs([("cb_buffer_size", "2048"), ("striping_unit", "4096")]);
+            let out = run_workload(&tb, w, &quick_cfg(hints, "/gfs/bd", 1)).await;
+            use e10_romio::Phase;
+            assert!(out.breakdown.mean(Phase::ShuffleAlltoall) > 0.0);
+            assert!(out.breakdown.mean(Phase::Write) > 0.0);
+            assert!(out.breakdown.mean(Phase::PostWrite) > 0.0);
+        });
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the workload generators: for any parameters, the
+//! per-rank views of one file must tile `[0, file_size())` exactly —
+//! no gaps, no overlaps — which is what makes whole-file verification
+//! after a run meaningful.
+
+use proptest::prelude::*;
+
+use e10_workloads::{CollPerf, FlashFile, FlashIo, Ior, Workload};
+
+fn assert_tiles(w: &dyn Workload) {
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for r in 0..w.procs() {
+        for v in w.writes(r) {
+            for p in v.pieces() {
+                runs.push((p.file_off, p.len));
+            }
+        }
+    }
+    runs.sort_unstable();
+    let mut pos = 0;
+    for (off, len) in runs {
+        assert_eq!(off, pos, "gap or overlap at {off} in {}", w.name());
+        pos = off + len;
+    }
+    assert_eq!(pos, w.file_size(), "{} size mismatch", w.name());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    #[test]
+    fn collperf_tiles_for_any_grid(
+        gx in 1u64..4, gy in 1u64..4, gz in 1u64..4,
+        side in 1u64..4,
+        chunk_shift in 6u32..12,
+    ) {
+        let w = CollPerf { grid: [gx, gy, gz], side, chunk: 1 << chunk_shift };
+        assert_tiles(&w);
+    }
+
+    #[test]
+    fn flashio_tiles_for_any_shape(
+        nprocs in 1usize..9,
+        blocks in 1u64..5,
+        zones in 1u64..6,
+        nvars in 1u64..8,
+        which in 0usize..3,
+    ) {
+        let w = FlashIo {
+            nprocs,
+            blocks_per_proc: blocks,
+            zones,
+            nvars,
+            file: [FlashFile::Checkpoint, FlashFile::Plot, FlashFile::PlotCorners][which],
+        };
+        assert_tiles(&w);
+    }
+
+    #[test]
+    fn ior_tiles_for_any_shape(
+        nprocs in 1usize..9,
+        t_shift in 6u32..12,
+        t_per_block in 1u64..5,
+        segments in 1u64..5,
+    ) {
+        let t = 1u64 << t_shift;
+        let w = Ior {
+            nprocs,
+            block_size: t * t_per_block,
+            transfer_size: t,
+            segments,
+        };
+        assert_tiles(&w);
+    }
+}

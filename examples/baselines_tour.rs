@@ -1,0 +1,142 @@
+//! A tour of the related-work baselines the paper positions itself
+//! against (§V), all implemented in this repository:
+//!
+//! * partitioned collective I/O (Yu & Vetter's ParColl),
+//! * multi-file output (the ADIOS approach),
+//! * memory staging (Ma et al. ABT / Lee et al. RFS),
+//! * and the paper's E10 NVM cache.
+//!
+//! ```text
+//! cargo run --release --example baselines_tour
+//! ```
+
+use e10_repro::prelude::*;
+use e10_repro::romio::{write_at_all_multifile, write_at_all_partitioned};
+
+fn main() {
+    e10_simcore::run(async {
+        let procs = 16;
+        let tb = TestbedSpec::small(procs, 4).build();
+        let hints = Info::from_pairs([
+            ("romio_cb_write", "enable"),
+            ("cb_nodes", "4"),
+            ("cb_buffer_size", "256K"),
+            ("striping_unit", "256K"),
+        ]);
+        let block = 1u64 << 20;
+
+        println!("16 ranks, 1 MiB per rank, group-contiguous pattern\n");
+
+        // --- ParColl: partitioned collective write, 2 groups ----------
+        let handles: Vec<_> = tb
+            .ctxs()
+            .into_iter()
+            .map(|ctx| {
+                let hints = hints.clone();
+                e10_simcore::spawn(async move {
+                    let f = AdioFile::open(&ctx, "/gfs/tour_pc", &hints, true)
+                        .await
+                        .unwrap();
+                    let view = FileView::new(
+                        &FlatType::contiguous(block),
+                        ctx.comm.rank() as u64 * block,
+                    );
+                    let t0 = e10_simcore::now();
+                    write_at_all_partitioned(&f, &view, &DataSpec::FileGen { seed: 1 }, 2)
+                        .await;
+                    let dt = e10_simcore::now().since(t0).as_secs_f64();
+                    f.close().await;
+                    dt
+                })
+            })
+            .collect();
+        let t = e10_simcore::join_all(handles).await[0];
+        tb.pfs
+            .file_extents("/gfs/tour_pc")
+            .unwrap()
+            .verify_gen(1, 0, procs as u64 * block)
+            .unwrap();
+        println!("ParColl (2 groups):     write_all {t:.4}s — single shared file, verified");
+
+        // --- ADIOS-style: one file per group ---------------------------
+        let handles: Vec<_> = tb
+            .ctxs()
+            .into_iter()
+            .map(|ctx| {
+                let hints = hints.clone();
+                e10_simcore::spawn(async move {
+                    let view = FileView::new(
+                        &FlatType::contiguous(block),
+                        ctx.comm.rank() as u64 * block,
+                    );
+                    let t0 = e10_simcore::now();
+                    let (_, path) = write_at_all_multifile(
+                        &ctx,
+                        "/gfs/tour_mf",
+                        &hints,
+                        &view,
+                        &DataSpec::FileGen { seed: 2 },
+                        4,
+                    )
+                    .await
+                    .unwrap();
+                    (e10_simcore::now().since(t0).as_secs_f64(), path)
+                })
+            })
+            .collect();
+        let outs = e10_simcore::join_all(handles).await;
+        let files: std::collections::BTreeSet<_> =
+            outs.iter().map(|(_, p)| p.clone()).collect();
+        println!(
+            "ADIOS multi-file (4):   write_all {:.4}s — {} files: {:?}",
+            outs[0].0,
+            files.len(),
+            files
+        );
+
+        // --- E10 cache ---------------------------------------------------
+        let handles: Vec<_> = tb
+            .ctxs()
+            .into_iter()
+            .map(|ctx| {
+                let hints = hints.dup();
+                hints.set("e10_cache", "enable");
+                hints.set("e10_cache_discard_flag", "enable");
+                e10_simcore::spawn(async move {
+                    let f = AdioFile::open(&ctx, "/gfs/tour_e10", &hints, true)
+                        .await
+                        .unwrap();
+                    let view = FileView::new(
+                        &FlatType::contiguous(block),
+                        ctx.comm.rank() as u64 * block,
+                    );
+                    let t0 = e10_simcore::now();
+                    write_at_all(&f, &view, &DataSpec::FileGen { seed: 3 }).await;
+                    let t_write = e10_simcore::now().since(t0).as_secs_f64();
+                    // Computation hides the background flush...
+                    e10_simcore::sleep(SimDuration::from_secs(5)).await;
+                    let t0 = e10_simcore::now();
+                    f.close().await;
+                    (t_write, e10_simcore::now().since(t0).as_secs_f64())
+                })
+            })
+            .collect();
+        let (tw, tc) = e10_simcore::join_all(handles).await[0];
+        tb.pfs
+            .file_extents("/gfs/tour_e10")
+            .unwrap()
+            .verify_gen(3, 0, procs as u64 * block)
+            .unwrap();
+        println!(
+            "E10 NVM cache:          write_all {tw:.4}s + close wait {tc:.4}s \
+             (flush hidden by 5s compute) — shared file, verified"
+        );
+
+        println!(
+            "\nThe baselines shrink synchronisation or restructure output; \
+             the E10 cache instead decouples the collective write from \
+             the storage servers entirely and pays only whatever flush \
+             the compute phase cannot hide."
+        );
+    });
+}

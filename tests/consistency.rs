@@ -1,0 +1,183 @@
+//! MPI-IO consistency semantics (paper §III-B): data written through
+//! the E10 cache becomes globally visible only under the three
+//! documented circumstances — immediate flush completed, close
+//! returned, or `MPI_File_sync` returned — and `coherent` mode never
+//! exposes in-transit data.
+
+use e10_repro::pfs::lock::LockMode;
+use e10_repro::prelude::*;
+use e10_repro::romio::Testbed;
+
+fn cache_hints(flush: &str, mode: &str) -> Info {
+    Info::from_pairs([
+        ("e10_cache", mode),
+        ("e10_cache_flush_flag", flush),
+        ("ind_wr_buffer_size", "16K"),
+    ])
+}
+
+async fn close_all(files: &[AdioFile]) {
+    let hs: Vec<_> = files
+        .iter()
+        .map(|f| {
+            let f = f.clone();
+            e10_simcore::spawn(async move { f.close().await })
+        })
+        .collect();
+    e10_simcore::join_all(hs).await;
+}
+
+async fn open_pair(tb: &Testbed, path: &'static str, info: Info) -> Vec<AdioFile> {
+    let mut out = Vec::new();
+    for ctx in tb.ctxs() {
+        let info = info.clone();
+        out.push(
+            e10_simcore::spawn(async move {
+                AdioFile::open(&ctx, path, &info, true).await.unwrap()
+            }),
+        );
+    }
+    e10_simcore::join_all(out).await
+}
+
+#[test]
+fn visibility_rule_1_flush_immediate_after_sync_completes() {
+    e10_simcore::run(async {
+        let tb = TestbedSpec::small(2, 1).build();
+        let files = open_pair(&tb, "/gfs/v1", cache_hints("flush_immediate", "enable")).await;
+        let f = &files[0];
+        f.write_contig(0, Payload::gen(1, 0, 256 << 10)).await;
+        // Synchronisation was started automatically; after enough time
+        // it must complete without any explicit call.
+        e10_simcore::sleep(SimDuration::from_secs(60)).await;
+        assert_eq!(f.cache().unwrap().outstanding(), 0);
+        f.global().extents().verify_gen(1, 0, 256 << 10).unwrap();
+        close_all(&files).await;
+    });
+}
+
+#[test]
+fn visibility_rule_2_flush_onclose_only_after_close() {
+    e10_simcore::run(async {
+        let tb = TestbedSpec::small(2, 1).build();
+        let files = open_pair(&tb, "/gfs/v2", cache_hints("flush_onclose", "enable")).await;
+        let f = &files[0];
+        f.write_contig(0, Payload::gen(2, 0, 128 << 10)).await;
+        // No amount of waiting makes onclose data visible...
+        e10_simcore::sleep(SimDuration::from_secs(120)).await;
+        assert_eq!(f.global().extents().covered_bytes(), 0);
+        // ...until the close returns.
+        close_all(&files).await;
+        assert!(files[0].global().extents().verify_gen(2, 0, 128 << 10).is_ok());
+    });
+}
+
+#[test]
+fn visibility_rule_3_file_sync() {
+    e10_simcore::run(async {
+        let tb = TestbedSpec::small(2, 1).build();
+        let files = open_pair(&tb, "/gfs/v3", cache_hints("flush_onclose", "enable")).await;
+        let f = &files[0];
+        f.write_contig(4096, Payload::gen(3, 4096, 64 << 10)).await;
+        f.file_sync().await;
+        // Visible immediately after MPI_File_sync returns.
+        f.global().extents().verify_gen(3, 4096, 64 << 10).unwrap();
+        close_all(&files).await;
+    });
+}
+
+#[test]
+fn coherent_reader_never_sees_partial_extents() {
+    e10_simcore::run(async {
+        let tb = TestbedSpec::small(2, 2).build();
+        let files = open_pair(&tb, "/gfs/coh", cache_hints("flush_immediate", "coherent")).await;
+        let writer = files[0].clone();
+        let reader = files[1].clone();
+        let len = 1u64 << 20;
+        let w = e10_simcore::spawn(async move {
+            writer.write_contig(0, Payload::gen(4, 0, len)).await;
+            writer
+        });
+        let r = e10_simcore::spawn(async move {
+            // Try to read the extent while it is (potentially) in
+            // transit: the shared lock must only be granted once the
+            // data is fully persistent.
+            e10_simcore::sleep(SimDuration::from_millis(1)).await;
+            let g = reader
+                .global()
+                .lock_extent(reader.comm.node(), 0..len, LockMode::Shared)
+                .await;
+            let covered = reader.global().extents().covered_bytes_in(0, len);
+            drop(g);
+            (reader, covered)
+        });
+        let writer = w.await;
+        let (reader, covered) = r.await;
+        assert!(
+            covered == 0 || covered == len,
+            "coherent reader saw a partial extent: {covered} of {len} bytes"
+        );
+        close_all(&[writer, reader]).await;
+    });
+}
+
+#[test]
+fn overlapping_collective_writes_last_writer_wins() {
+    // Two consecutive write_all calls to the same region: the second
+    // must fully overwrite the first (POSIX-after-sync semantics).
+    e10_simcore::run(async {
+        let tb = TestbedSpec::small(4, 2).build();
+        let handles: Vec<_> = tb
+            .ctxs()
+            .into_iter()
+            .map(|ctx| {
+                e10_simcore::spawn(async move {
+                    let info = Info::from_pairs([
+                        ("romio_cb_write", "enable"),
+                        ("cb_buffer_size", "16K"),
+                        ("striping_unit", "16K"),
+                    ]);
+                    let f = AdioFile::open(&ctx, "/gfs/ow", &info, true).await.unwrap();
+                    let r = ctx.comm.rank() as u64;
+                    let blocks: Vec<(u64, u64)> =
+                        (0..8).map(|i| ((i * 4 + r) * 2048, 2048)).collect();
+                    let view = FileView::new(&FlatType::indexed(blocks), 0);
+                    write_at_all(&f, &view, &DataSpec::FileGen { seed: 10 }).await;
+                    write_at_all(&f, &view, &DataSpec::FileGen { seed: 11 }).await;
+                    f.close().await;
+                    f.global().extents().clone()
+                })
+            })
+            .collect();
+        let exts = e10_simcore::join_all(handles).await;
+        let total = 4 * 8 * 2048;
+        assert!(exts[0].verify_gen(10, 0, total).is_err());
+        exts[0].verify_gen(11, 0, total).unwrap();
+    });
+}
+
+#[test]
+fn discard_flag_controls_cache_file_retention() {
+    e10_simcore::run(async {
+        let tb = TestbedSpec::small(2, 1).build();
+        for (flag, kept) in [("disable", true), ("enable", false)] {
+            let info = cache_hints("flush_immediate", "enable");
+            info.set("e10_cache_discard_flag", flag);
+            let files = open_pair(&tb, "/gfs/keep", info).await;
+            for f in &files {
+                f.write_contig(
+                    f.comm.rank() as u64 * 4096,
+                    Payload::gen(5, f.comm.rank() as u64 * 4096, 4096),
+                )
+                .await;
+            }
+            close_all(&files).await;
+            let cache_path = files[0].cache().unwrap().cache_file_path().to_string();
+            assert_eq!(
+                tb.localfs[0].exists(&cache_path),
+                kept,
+                "discard_flag={flag}"
+            );
+        }
+    });
+}

@@ -1,0 +1,87 @@
+//! Reproducibility: the simulation is a pure function of its seed.
+//! Identical configurations must produce bit-identical bandwidths and
+//! phase timings; different seeds must produce different jitter (and
+//! thus different timings) but identical file contents.
+
+use std::rc::Rc;
+
+use e10_repro::prelude::*;
+
+fn run_once(seed: u64) -> (f64, Vec<(f64, f64)>) {
+    e10_simcore::run(async move {
+        let mut spec = TestbedSpec::small(8, 4);
+        spec.seed = seed;
+        // Re-enable jitter so the seed matters.
+        spec.pfs.disk.jitter_cv = 0.3;
+        spec.pfs.server_jitter_cv = 0.4;
+        let tb = spec.build();
+        let w = Rc::new(CollPerf::tiny([2, 2, 2])) as Rc<dyn Workload>;
+        let hints = Info::from_pairs([
+            ("romio_cb_write", "enable"),
+            ("cb_buffer_size", "8K"),
+            ("striping_unit", "8K"),
+            ("e10_cache", "enable"),
+            ("e10_cache_discard_flag", "enable"),
+        ]);
+        let mut cfg = RunConfig::paper(hints, "/gfs/det");
+        cfg.files = 2;
+        cfg.compute_delay = SimDuration::from_secs(2);
+        cfg.include_last_sync = true;
+        let out = run_workload(&tb, w, &cfg).await;
+        (
+            out.bandwidth,
+            out.phases.iter().map(|p| (p.t_c, p.not_hidden)).collect(),
+        )
+    })
+}
+
+#[test]
+fn identical_seeds_are_bit_identical() {
+    let a = run_once(123);
+    let b = run_once(123);
+    assert_eq!(a.0.to_bits(), b.0.to_bits(), "bandwidth must be exact");
+    for (pa, pb) in a.1.iter().zip(&b.1) {
+        assert_eq!(pa.0.to_bits(), pb.0.to_bits());
+        assert_eq!(pa.1.to_bits(), pb.1.to_bits());
+    }
+}
+
+#[test]
+fn different_seeds_differ_in_timing_not_in_content() {
+    let a = run_once(1);
+    let b = run_once(2);
+    // Content correctness is checked inside run_workload (verify=true);
+    // timings must differ because the jitter streams differ.
+    assert_ne!(
+        a.0.to_bits(),
+        b.0.to_bits(),
+        "different seeds should produce different jitter"
+    );
+}
+
+#[test]
+fn event_counts_are_reproducible() {
+    let count = |seed: u64| {
+        let (_, stats) = e10_simcore::run_with_stats(async move {
+            let mut spec = TestbedSpec::small(4, 2);
+            spec.seed = seed;
+            let tb = spec.build();
+            let w = Rc::new(Ior {
+                nprocs: 4,
+                block_size: 16 << 10,
+                transfer_size: 8 << 10,
+                segments: 2,
+            }) as Rc<dyn Workload>;
+            let mut cfg = RunConfig::paper(
+                Info::from_pairs([("romio_cb_write", "enable"), ("cb_buffer_size", "8K")]),
+                "/gfs/evt",
+            );
+            cfg.files = 1;
+            cfg.compute_delay = SimDuration::from_secs(1);
+            cfg.include_last_sync = true;
+            run_workload(&tb, w, &cfg).await;
+        });
+        (stats.events_fired, stats.tasks_spawned)
+    };
+    assert_eq!(count(9), count(9));
+}

@@ -1,0 +1,218 @@
+//! Cross-crate integration tests: each evaluation workload runs end to
+//! end on a small simulated cluster in every cache mode, and the final
+//! global file must be byte-accurate.
+
+use std::rc::Rc;
+
+use e10_repro::prelude::*;
+use e10_repro::workloads::FlashFile;
+
+fn small_hints(extra: &[(&str, &str)]) -> Info {
+    let info = Info::from_pairs([
+        ("romio_cb_write", "enable"),
+        ("cb_buffer_size", "64K"),
+        ("striping_unit", "64K"),
+        ("striping_factor", "4"),
+        ("ind_wr_buffer_size", "16K"),
+        ("cb_nodes", "4"),
+    ]);
+    for (k, v) in extra {
+        info.set(k, v);
+    }
+    info
+}
+
+fn run_case(workload: Rc<dyn Workload>, extra: &[(&str, &str)], prefix: &str) -> f64 {
+    let hints = small_hints(extra);
+    let nodes = (workload.procs() / 2).max(1);
+    let prefix = prefix.to_string();
+    e10_simcore::run(async move {
+        let tb = TestbedSpec::small(workload.procs(), nodes).build();
+        let mut cfg = RunConfig::paper(hints, &prefix);
+        cfg.files = 2;
+        cfg.compute_delay = SimDuration::from_secs(5);
+        cfg.include_last_sync = true;
+        let out = run_workload(&tb, workload, &cfg).await;
+        out.bandwidth
+    })
+}
+
+#[test]
+fn collperf_all_cache_modes_verify() {
+    let mk = || Rc::new(CollPerf::tiny([2, 2, 2])) as Rc<dyn Workload>;
+    // verification happens inside run_workload
+    run_case(mk(), &[], "/gfs/cp_plain");
+    run_case(mk(), &[("e10_cache", "enable")], "/gfs/cp_imm");
+    run_case(
+        mk(),
+        &[
+            ("e10_cache", "enable"),
+            ("e10_cache_flush_flag", "flush_onclose"),
+            ("e10_cache_discard_flag", "enable"),
+        ],
+        "/gfs/cp_onclose",
+    );
+    run_case(mk(), &[("e10_cache", "coherent")], "/gfs/cp_coh");
+}
+
+#[test]
+fn flashio_checkpoint_and_plotfiles_verify() {
+    for file in [FlashFile::Checkpoint, FlashFile::Plot, FlashFile::PlotCorners] {
+        let w = Rc::new(FlashIo {
+            nprocs: 8,
+            blocks_per_proc: 2,
+            zones: 4,
+            nvars: 4,
+            file,
+        }) as Rc<dyn Workload>;
+        run_case(
+            w,
+            &[("e10_cache", "enable"), ("e10_cache_discard_flag", "enable")],
+            "/gfs/flash_e2e",
+        );
+    }
+}
+
+#[test]
+fn ior_with_transfer_smaller_than_block_verifies() {
+    let w = Rc::new(Ior {
+        nprocs: 8,
+        block_size: 32 << 10,
+        transfer_size: 8 << 10,
+        segments: 2,
+    }) as Rc<dyn Workload>;
+    run_case(w, &[("e10_cache", "enable")], "/gfs/ior_e2e");
+}
+
+#[test]
+fn even_fd_partition_also_verifies() {
+    let w = Rc::new(CollPerf::tiny([2, 2, 1])) as Rc<dyn Workload>;
+    run_case(
+        w,
+        &[("e10_fd_partition", "even"), ("e10_cache", "enable")],
+        "/gfs/cp_even",
+    );
+}
+
+#[test]
+fn cache_cases_order_sanely() {
+    // TBW (never flushes) must be at least as fast as the flushing
+    // cache, which must beat the straight-to-PFS path for this
+    // shuffle-heavy pattern when sync hides behind compute. The
+    // comparison uses the paper's coll_perf accounting (last-phase sync
+    // excluded) and a workload large enough that per-open overheads do
+    // not dominate.
+    let mk = || {
+        Rc::new(CollPerf {
+            grid: [4, 2, 1],
+            side: 4,
+            chunk: 16 << 10, // 8 MiB file
+        }) as Rc<dyn Workload>
+    };
+    let run_ord = |extra: &[(&'static str, &'static str)], prefix: &'static str, verify: bool| {
+        let workload = mk();
+        let hints = small_hints(extra);
+        e10_simcore::run(async move {
+            let tb = TestbedSpec::small(workload.procs(), 4).build();
+            let mut cfg = RunConfig::paper(hints, prefix);
+            cfg.files = 2;
+            cfg.compute_delay = SimDuration::from_secs(20);
+            cfg.include_last_sync = false;
+            cfg.verify = verify;
+            run_workload(&tb, workload, &cfg).await.bandwidth
+        })
+    };
+
+    let plain = run_ord(&[], "/gfs/ord_plain", true);
+    let tbw = run_ord(
+        &[("e10_cache", "enable"), ("e10_cache_flush_flag", "flush_none")],
+        "/gfs/ord_tbw",
+        false,
+    );
+    let cached = run_ord(&[("e10_cache", "enable")], "/gfs/ord_en", true);
+
+    assert!(
+        tbw >= cached * 0.95,
+        "theoretical ({tbw:.3e}) must bound cached ({cached:.3e})"
+    );
+    assert!(
+        cached > plain,
+        "cached ({cached:.3e}) must beat plain ({plain:.3e}) with hidden sync"
+    );
+}
+
+/// Checkpoint/restart: write checkpoints through the cached workflow,
+/// then "restart" — reopen the newest checkpoint and collectively read
+/// every rank's state back, byte-verified.
+#[test]
+fn checkpoint_restart_roundtrip() {
+    e10_simcore::run(async {
+        let w = Rc::new(CollPerf::tiny([2, 2, 1]));
+        let tb = TestbedSpec::small(4, 2).build();
+        let hints = small_hints(&[
+            ("e10_cache", "enable"),
+            ("e10_cache_flush_flag", "flush_onclose"),
+            ("e10_cache_discard_flag", "enable"),
+        ]);
+        let mut cfg = RunConfig::paper(hints, "/gfs/ckpt");
+        cfg.files = 3;
+        cfg.compute_delay = SimDuration::from_secs(2);
+        cfg.include_last_sync = true;
+        run_workload(&tb, Rc::clone(&w) as Rc<dyn Workload>, &cfg).await;
+
+        // Restart: every rank reads its own piece of checkpoint 2.
+        let handles: Vec<_> = tb
+            .ctxs()
+            .into_iter()
+            .map(|ctx| {
+                let w = Rc::clone(&w);
+                e10_simcore::spawn(async move {
+                    let info = small_hints(&[("romio_cb_read", "enable")]);
+                    let f = AdioFile::open(&ctx, "/gfs/ckpt.2", &info, false)
+                        .await
+                        .unwrap();
+                    for view in w.writes(ctx.comm.rank()) {
+                        let r = e10_repro::romio::read_at_all(&f, &view).await;
+                        r.verify_gen(1000 + 2).unwrap(); // RunConfig::paper seed_base + file 2
+                        assert_eq!(r.bytes, view.total_bytes());
+                    }
+                    f.close().await;
+                })
+            })
+            .collect();
+        e10_simcore::join_all(handles).await;
+    });
+}
+
+#[test]
+fn multiple_write_all_calls_per_file_compose() {
+    // Two collective writes to disjoint halves of the same file must
+    // both verify (exercises per-file round/tag reuse).
+    e10_simcore::run(async {
+        let tb = TestbedSpec::small(4, 2).build();
+        let handles: Vec<_> = tb
+            .ctxs()
+            .into_iter()
+            .map(|ctx| {
+                e10_simcore::spawn(async move {
+                    let f = AdioFile::open(&ctx, "/gfs/two", &small_hints(&[]), true)
+                        .await
+                        .unwrap();
+                    let r = ctx.comm.rank() as u64;
+                    let half = 4 * 16 * 1024u64;
+                    for w in 0..2u64 {
+                        let blocks: Vec<(u64, u64)> = (0..16)
+                            .map(|i| (w * half + (i * 4 + r) * 1024, 1024))
+                            .collect();
+                        let view = FileView::new(&FlatType::indexed(blocks), 0);
+                        write_at_all(&f, &view, &DataSpec::FileGen { seed: 9 }).await;
+                    }
+                    f.close().await;
+                    f.global().extents().clone()
+                })
+            })
+            .collect();
+        let exts = e10_simcore::join_all(handles).await;
+        exts[0].verify_gen(9, 0, 2 * 4 * 16 * 1024).unwrap();
+    });
+}

@@ -1,0 +1,174 @@
+//! Failure injection: the E10 layer must degrade gracefully — cache
+//! full, fallocate unsupported, scratch partitions of different sizes —
+//! while the data always reaches the global file intact.
+
+use std::rc::Rc;
+
+use e10_repro::prelude::*;
+
+fn cache_hints() -> Info {
+    Info::from_pairs([
+        ("romio_cb_write", "enable"),
+        ("cb_buffer_size", "32K"),
+        ("striping_unit", "32K"),
+        ("e10_cache", "enable"),
+        ("e10_cache_discard_flag", "enable"),
+    ])
+}
+
+#[test]
+fn scratch_fills_mid_run_and_data_still_lands() {
+    // The scratch partition can hold roughly half of what one run
+    // writes: the cache degrades mid-collective and the remainder goes
+    // straight to the global file — all bytes must verify.
+    e10_simcore::run(async {
+        let mut spec = TestbedSpec::small(4, 2);
+        spec.localfs.capacity = 96 << 10; // per node
+        let tb = spec.build();
+        let handles: Vec<_> = tb
+            .ctxs()
+            .into_iter()
+            .map(|ctx| {
+                e10_simcore::spawn(async move {
+                    let f = AdioFile::open(&ctx, "/gfs/fill", &cache_hints(), true)
+                        .await
+                        .unwrap();
+                    let r = ctx.comm.rank() as u64;
+                    let blocks: Vec<(u64, u64)> =
+                        (0..32).map(|i| ((i * 4 + r) * 8192, 8192)).collect();
+                    let view = FileView::new(&FlatType::indexed(blocks), 0);
+                    write_at_all(&f, &view, &DataSpec::FileGen { seed: 21 }).await;
+                    f.close().await;
+                    (f.global().extents().clone(), f.cache_active())
+                })
+            })
+            .collect();
+        let outs = e10_simcore::join_all(handles).await;
+        outs[0].0.verify_gen(21, 0, 4 * 32 * 8192).unwrap();
+        // At least one aggregator must have degraded (total data 1 MiB,
+        // per-node scratch 96 KiB).
+        assert!(
+            outs.iter().any(|(_, active)| !active),
+            "expected at least one degraded cache"
+        );
+    });
+}
+
+#[test]
+fn fallocate_unsupported_costs_time_but_stays_correct() {
+    let run_with = |supports: bool| {
+        e10_simcore::run(async move {
+            let mut spec = TestbedSpec::small(4, 2);
+            spec.localfs.supports_fallocate = supports;
+            let tb = spec.build();
+            let w = Rc::new(CollPerf::tiny([2, 2, 1])) as Rc<dyn Workload>;
+            let mut cfg = RunConfig::paper(cache_hints(), "/gfs/falloc");
+            cfg.files = 1;
+            cfg.compute_delay = SimDuration::from_secs(2);
+            cfg.include_last_sync = true;
+            let out = run_workload(&tb, w, &cfg).await;
+            out.bandwidth
+        })
+    };
+    let with = run_with(true);
+    let without = run_with(false);
+    assert!(
+        without <= with,
+        "zero-fill preallocation must not be faster (with={with:.3e}, without={without:.3e})"
+    );
+}
+
+#[test]
+fn tiny_scratch_reverts_to_standard_path_entirely() {
+    e10_simcore::run(async {
+        let mut spec = TestbedSpec::small(2, 1);
+        spec.localfs.capacity = 16; // nothing fits
+        let tb = spec.build();
+        let handles: Vec<_> = tb
+            .ctxs()
+            .into_iter()
+            .map(|ctx| {
+                e10_simcore::spawn(async move {
+                    let f = AdioFile::open(&ctx, "/gfs/tiny", &cache_hints(), true)
+                        .await
+                        .unwrap();
+                    let off = ctx.comm.rank() as u64 * 65536;
+                    f.write_contig(off, Payload::gen(22, off, 65536)).await;
+                    f.close().await;
+                    f.global().extents().clone()
+                })
+            })
+            .collect();
+        let exts = e10_simcore::join_all(handles).await;
+        exts[0].verify_gen(22, 0, 2 * 65536).unwrap();
+    });
+}
+
+#[test]
+fn repeated_runs_on_same_cluster_reuse_scratch() {
+    // Discarded cache files must actually release space: many
+    // consecutive runs on one testbed cannot exhaust the partition.
+    e10_simcore::run(async {
+        let mut spec = TestbedSpec::small(2, 1);
+        spec.localfs.capacity = 256 << 10;
+        let tb = spec.build();
+        for round in 0..8u64 {
+            let handles: Vec<_> = tb
+                .ctxs()
+                .into_iter()
+                .map(|ctx| {
+                    e10_simcore::spawn(async move {
+                        let path = format!("/gfs/reuse.{round}");
+                        let f = AdioFile::open(&ctx, &path, &cache_hints(), true)
+                            .await
+                            .unwrap();
+                        let off = ctx.comm.rank() as u64 * (100 << 10);
+                        f.write_contig(off, Payload::gen(round, off, 100 << 10)).await;
+                        f.close().await;
+                        assert!(f.cache_active(), "round {round} must still cache");
+                    })
+                })
+                .collect();
+            e10_simcore::join_all(handles).await;
+            assert_eq!(tb.localfs[0].statfs().1, 0, "scratch leaked after round {round}");
+        }
+    });
+}
+
+#[test]
+fn server_jitter_extremes_only_slow_things_down() {
+    let bw_with_cv = |cv: f64| {
+        e10_simcore::run(async move {
+            let mut spec = TestbedSpec::small(8, 4);
+            spec.pfs.server_jitter_cv = cv;
+            spec.pfs.disk.jitter_cv = (cv / 2.0).min(1.0);
+            let tb = spec.build();
+            // Enough rounds and requests that the max-over-aggregators
+            // effect dominates single-draw luck.
+            let w = Rc::new(CollPerf {
+                grid: [2, 2, 2],
+                side: 4,
+                chunk: 16 << 10,
+            }) as Rc<dyn Workload>;
+            let mut cfg = RunConfig::paper(
+                Info::from_pairs([
+                    ("romio_cb_write", "enable"),
+                    ("cb_buffer_size", "64K"),
+                    ("striping_unit", "64K"),
+                ]),
+                "/gfs/jit",
+            );
+            cfg.files = 2;
+            cfg.compute_delay = SimDuration::from_secs(1);
+            cfg.include_last_sync = true;
+            run_workload(&tb, w, &cfg).await.bandwidth
+        })
+    };
+    let calm = bw_with_cv(0.0);
+    let wild = bw_with_cv(3.0);
+    assert!(calm.is_finite() && wild.is_finite());
+    assert!(
+        wild < calm,
+        "heavy server jitter must reduce collective bandwidth (calm={calm:.3e}, wild={wild:.3e})"
+    );
+}

@@ -1,0 +1,252 @@
+//! Property-based tests (proptest): the central invariants hold for
+//! *random* access patterns, write sequences and hint sets — not just
+//! the benchmark shapes.
+
+use proptest::prelude::*;
+
+use e10_repro::prelude::*;
+use e10_repro::romio::{FdStrategy, FileDomains, RomioHints};
+use e10_repro::simcore::resource::water_fill;
+use e10_repro::storesim::{ExtentMap, Source};
+
+/// Partition `[0, total)` into segments with random owners; returns
+/// per-rank sorted block lists that tile the range exactly.
+fn random_partition(
+    total: u64,
+    procs: usize,
+    seg_lens: &[u64],
+    owners: &[usize],
+) -> Vec<Vec<(u64, u64)>> {
+    let mut per_rank: Vec<Vec<(u64, u64)>> = vec![Vec::new(); procs];
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < total {
+        let len = seg_lens[i % seg_lens.len()].min(total - pos);
+        let owner = owners[i % owners.len()] % procs;
+        per_rank[owner].push((pos, len));
+        pos += len;
+        i += 1;
+    }
+    per_rank
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Whatever the interleaving, a collective write must produce a
+    /// byte-perfect file — cache on and off, both FD strategies.
+    #[test]
+    fn two_phase_write_correct_for_random_patterns(
+        seg_lens in prop::collection::vec(1u64..3000, 3..12),
+        owners in prop::collection::vec(0usize..8, 4..40),
+        procs in 2usize..8,
+        cache in any::<bool>(),
+        aligned in any::<bool>(),
+        cb_shift in 11u32..15, // 2K..16K collective buffer
+    ) {
+        let total = 200_000u64;
+        let per_rank = random_partition(total, procs, &seg_lens, &owners);
+        e10_simcore::run(async move {
+            let tb = TestbedSpec::small(procs, (procs / 2).max(1)).build();
+            let handles: Vec<_> = tb
+                .ctxs()
+                .into_iter()
+                .map(|ctx| {
+                    let blocks = per_rank[ctx.comm.rank()].clone();
+                    let cb = 1u64 << cb_shift;
+                    e10_simcore::spawn(async move {
+                        let info = Info::from_pairs([
+                            ("romio_cb_write", "enable"),
+                            ("striping_unit", "8192"),
+                        ]);
+                        info.set("cb_buffer_size", &cb.to_string());
+                        info.set(
+                            "e10_fd_partition",
+                            if aligned { "aligned" } else { "even" },
+                        );
+                        if cache {
+                            info.set("e10_cache", "enable");
+                            info.set("e10_cache_discard_flag", "enable");
+                        }
+                        let f = AdioFile::open(&ctx, "/gfs/prop", &info, true)
+                            .await
+                            .unwrap();
+                        let view = FileView::new(&FlatType::indexed(blocks), 0);
+                        write_at_all(&f, &view, &DataSpec::FileGen { seed: 77 }).await;
+                        f.close().await;
+                        f.global().extents().clone()
+                    })
+                })
+                .collect();
+            let exts = e10_simcore::join_all(handles).await;
+            exts[0].verify_gen(77, 0, total).unwrap();
+        });
+    }
+
+    /// A collective read of what a collective write produced returns
+    /// exactly the written bytes, with and without the cache-read
+    /// extension.
+    #[test]
+    fn collective_read_roundtrips_random_patterns(
+        seg_lens in prop::collection::vec(1u64..2000, 3..10),
+        owners in prop::collection::vec(0usize..6, 4..30),
+        procs in 2usize..6,
+        cache_read in any::<bool>(),
+    ) {
+        let total = 120_000u64;
+        let per_rank = random_partition(total, procs, &seg_lens, &owners);
+        e10_simcore::run(async move {
+            let tb = TestbedSpec::small(procs, (procs / 2).max(1)).build();
+            let handles: Vec<_> = tb
+                .ctxs()
+                .into_iter()
+                .map(|ctx| {
+                    let blocks = per_rank[ctx.comm.rank()].clone();
+                    e10_simcore::spawn(async move {
+                        let info = Info::from_pairs([
+                            ("romio_cb_write", "enable"),
+                            ("romio_cb_read", "enable"),
+                            ("cb_buffer_size", "8192"),
+                            ("striping_unit", "8192"),
+                            ("e10_cache", "enable"),
+                        ]);
+                        if cache_read {
+                            info.set("e10_cache_read", "enable");
+                        }
+                        let f = AdioFile::open(&ctx, "/gfs/rprop", &info, true)
+                            .await
+                            .unwrap();
+                        let view = FileView::new(&FlatType::indexed(blocks), 0);
+                        e10_repro::romio::write_at_all(
+                            &f,
+                            &view,
+                            &DataSpec::FileGen { seed: 78 },
+                        )
+                        .await;
+                        f.file_sync().await;
+                        let r = e10_repro::romio::read_at_all(&f, &view).await;
+                        r.verify_gen(78).unwrap();
+                        assert_eq!(r.bytes, view.total_bytes());
+                        f.close().await;
+                    })
+                })
+                .collect();
+            e10_simcore::join_all(handles).await;
+        });
+    }
+
+    /// ExtentMap must agree with a naive Vec<u8> shadow model under an
+    /// arbitrary write sequence.
+    #[test]
+    fn extent_map_matches_naive_model(
+        writes in prop::collection::vec((0u64..4000, 1u64..700, 0u64..5), 1..40),
+    ) {
+        let size = 5000usize;
+        let mut map = ExtentMap::new();
+        let mut shadow: Vec<Option<u8>> = vec![None; size];
+        for (off, len, seed) in writes {
+            let len = len.min(size as u64 - off);
+            if len == 0 { continue; }
+            map.insert(off, len, Source::gen_at(seed, off));
+            for p in off..off + len {
+                shadow[p as usize] = Some(e10_repro::storesim::gen_byte(seed, p));
+            }
+        }
+        for p in 0..size as u64 {
+            prop_assert_eq!(map.byte_at(p), shadow[p as usize], "byte {}", p);
+        }
+        // Coverage accounting must agree too.
+        let covered = shadow.iter().filter(|b| b.is_some()).count() as u64;
+        prop_assert_eq!(map.covered_bytes(), covered);
+    }
+
+    /// File domains: sorted, disjoint, exactly covering, and (aligned
+    /// strategy) stripe-aligned at interior boundaries.
+    #[test]
+    fn file_domains_invariants(
+        min_st in 0u64..1_000_000,
+        len in 1u64..50_000_000,
+        naggs in 1usize..100,
+        unit_shift in 10u32..23,
+        aligned in any::<bool>(),
+    ) {
+        let unit = 1u64 << unit_shift;
+        let strategy = if aligned { FdStrategy::StripeAligned } else { FdStrategy::Even };
+        let fds = FileDomains::compute(min_st, min_st + len, naggs, strategy, unit);
+        fds.validate(min_st, min_st + len).unwrap();
+        // Every offset maps to exactly the domain containing it.
+        for probe in [min_st, min_st + len / 2, min_st + len - 1] {
+            let a = fds.aggregator_of(probe).expect("offset inside range");
+            prop_assert!(fds.starts[a] <= probe && probe < fds.ends[a]);
+        }
+        prop_assert_eq!(fds.aggregator_of(min_st + len), None);
+        if aligned {
+            for a in 0..fds.len() - 1 {
+                let b = fds.ends[a];
+                if b != min_st && b != min_st + len {
+                    prop_assert_eq!(b % unit, 0, "interior boundary {} unaligned", b);
+                }
+            }
+        }
+    }
+
+    /// Water-filling: conserves capacity, respects caps, never
+    /// starves an uncapped job while others exceed the fair share.
+    #[test]
+    fn water_fill_invariants(
+        total in 1.0f64..1e6,
+        caps in prop::collection::vec(prop::option::of(1.0f64..1e5), 1..20),
+    ) {
+        let rates = water_fill(total, &caps);
+        let sum: f64 = rates.iter().sum();
+        prop_assert!(sum <= total * (1.0 + 1e-9));
+        for (r, c) in rates.iter().zip(&caps) {
+            prop_assert!(*r >= 0.0);
+            if let Some(c) = c {
+                prop_assert!(*r <= c * (1.0 + 1e-9));
+            }
+        }
+        // If anything was left unallocated, every job must be capped.
+        if sum < total * (1.0 - 1e-6) {
+            for (r, c) in rates.iter().zip(&caps) {
+                prop_assert!(c.is_some() && *r >= c.unwrap() * (1.0 - 1e-9));
+            }
+        }
+    }
+
+    /// Hint parsing is a fixpoint under render→parse.
+    #[test]
+    fn hints_roundtrip(
+        cb_write in 0usize..3,
+        cb_size in 1u64..1_000_000,
+        cb_nodes in prop::option::of(1usize..1000),
+        cache in 0usize..3,
+        flush in 0usize..3,
+        discard in any::<bool>(),
+    ) {
+        let info = Info::new();
+        info.set("romio_cb_write", ["enable", "disable", "automatic"][cb_write]);
+        info.set("cb_buffer_size", &cb_size.to_string());
+        if let Some(n) = cb_nodes {
+            info.set("cb_nodes", &n.to_string());
+        }
+        info.set("e10_cache", ["enable", "disable", "coherent"][cache]);
+        info.set(
+            "e10_cache_flush_flag",
+            ["flush_immediate", "flush_onclose", "flush_none"][flush],
+        );
+        info.set("e10_cache_discard_flag", if discard { "enable" } else { "disable" });
+        let h1 = RomioHints::parse(&info).unwrap();
+        let back = Info::new();
+        for (k, v) in h1.to_pairs() {
+            back.set(&k, &v);
+        }
+        let h2 = RomioHints::parse(&back).unwrap();
+        prop_assert_eq!(h1.cb_write, h2.cb_write);
+        prop_assert_eq!(h1.cb_buffer_size, h2.cb_buffer_size);
+        prop_assert_eq!(h1.cb_nodes, h2.cb_nodes);
+        prop_assert_eq!(h1.e10_cache, h2.e10_cache);
+        prop_assert_eq!(h1.e10_cache_flush_flag, h2.e10_cache_flush_flag);
+        prop_assert_eq!(h1.e10_cache_discard_flag, h2.e10_cache_discard_flag);
+    }
+}
