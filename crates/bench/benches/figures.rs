@@ -5,7 +5,7 @@
 //! end-to-end; the binaries produce the full 512-rank numbers for
 //! EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use e10_bench::harness::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use e10_bench::{run_point, Case, Scale};
@@ -54,14 +54,26 @@ fn point(c: &mut Criterion, name: &str, case: Case, which: u8, include_last: boo
 fn fig4(c: &mut Criterion) {
     point(c, "fig4/collperf_bw_disabled", Case::Disabled, 0, false);
     point(c, "fig4/collperf_bw_enabled", Case::Enabled, 0, false);
-    point(c, "fig4/collperf_bw_theoretical", Case::Theoretical, 0, false);
+    point(
+        c,
+        "fig4/collperf_bw_theoretical",
+        Case::Theoretical,
+        0,
+        false,
+    );
 }
 
 fn fig5_6(c: &mut Criterion) {
     // The breakdown figures reuse the same runs; benching the enabled
     // and disabled pipelines covers both.
     point(c, "fig5/collperf_breakdown_cache", Case::Enabled, 0, false);
-    point(c, "fig6/collperf_breakdown_nocache", Case::Disabled, 0, false);
+    point(
+        c,
+        "fig6/collperf_breakdown_nocache",
+        Case::Disabled,
+        0,
+        false,
+    );
 }
 
 fn fig7_8(c: &mut Criterion) {

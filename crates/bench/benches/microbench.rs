@@ -3,7 +3,7 @@
 //! queries, file-domain math and the fair-share allocator — the pieces
 //! a 512-rank two-phase run stresses millions of times.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use e10_bench::harness::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use e10_mpisim::{FileView, FlatType};
@@ -74,12 +74,8 @@ fn bench_extent_map(c: &mut Criterion) {
 fn bench_datatypes(c: &mut Criterion) {
     c.bench_function("datatype/subarray_flatten_64x64", |b| {
         b.iter(|| {
-            let f = FlatType::subarray(
-                black_box(&[256, 256, 256]),
-                &[64, 64, 64],
-                &[64, 128, 0],
-                8,
-            );
+            let f =
+                FlatType::subarray(black_box(&[256, 256, 256]), &[64, 64, 64], &[64, 128, 0], 8);
             black_box(f.runs().len())
         })
     });
@@ -109,7 +105,13 @@ fn bench_fd_and_sharing(c: &mut Criterion) {
         })
     });
     let caps: Vec<Option<f64>> = (0..64)
-        .map(|i| if i % 3 == 0 { Some(1e6 + i as f64) } else { None })
+        .map(|i| {
+            if i % 3 == 0 {
+                Some(1e6 + i as f64)
+            } else {
+                None
+            }
+        })
         .collect();
     c.bench_function("resource/water_fill_64_jobs", |b| {
         b.iter_batched(

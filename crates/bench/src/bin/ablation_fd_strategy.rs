@@ -15,9 +15,9 @@
 
 use std::rc::Rc;
 
-use e10_workloads::Workload;
 use e10_bench::{paper_base_hints, Scale};
 use e10_romio::TestbedSpec;
+use e10_workloads::Workload;
 use e10_workloads::{run_workload, RunConfig};
 
 fn main() {

@@ -7,9 +7,9 @@
 
 use std::rc::Rc;
 
-use e10_workloads::Workload;
 use e10_bench::{hints_for, Case, Scale};
 use e10_romio::TestbedSpec;
+use e10_workloads::Workload;
 use e10_workloads::{run_workload, RunConfig};
 
 fn main() {

@@ -84,13 +84,14 @@ fn run_grouped_variant(scale: Scale, variant: &'static str, aggs: usize) -> f64 
                 let hints = hints.clone();
                 spawn(async move {
                     let rank = ctx.comm.rank();
-                    let view =
-                        FileView::new(&FlatType::contiguous(block), rank as u64 * block);
+                    let view = FileView::new(&FlatType::contiguous(block), rank as u64 * block);
                     let mut t_io = 0.0;
                     for k in 0..files {
                         ctx.comm.barrier().await;
                         let t0 = now();
-                        let data = DataSpec::FileGen { seed: 900 + k as u64 };
+                        let data = DataSpec::FileGen {
+                            seed: 900 + k as u64,
+                        };
                         match variant {
                             "multifile" => {
                                 write_at_all_multifile(
@@ -105,14 +106,10 @@ fn run_grouped_variant(scale: Scale, variant: &'static str, aggs: usize) -> f64 
                                 .unwrap();
                             }
                             _ => {
-                                let f = AdioFile::open(
-                                    &ctx,
-                                    &format!("/gfs/bc_pc.{k}"),
-                                    &hints,
-                                    true,
-                                )
-                                .await
-                                .unwrap();
+                                let f =
+                                    AdioFile::open(&ctx, &format!("/gfs/bc_pc.{k}"), &hints, true)
+                                        .await
+                                        .unwrap();
                                 write_at_all_partitioned(&f, &view, &data, ngroups).await;
                                 f.close().await;
                             }

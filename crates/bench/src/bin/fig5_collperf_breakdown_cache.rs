@@ -5,8 +5,5 @@ use e10_bench::{print_breakdown_figure, run_sweep, Case, Scale};
 fn main() {
     let scale = Scale::from_env();
     let points = run_sweep(scale, move || scale.collperf(), Case::Enabled, false);
-    print_breakdown_figure(
-        "Fig. 5 — coll_perf breakdown, cache ENABLED",
-        &points,
-    );
+    print_breakdown_figure("Fig. 5 — coll_perf breakdown, cache ENABLED", &points);
 }

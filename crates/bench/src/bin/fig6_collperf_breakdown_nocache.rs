@@ -5,8 +5,5 @@ use e10_bench::{print_breakdown_figure, run_sweep, Case, Scale};
 fn main() {
     let scale = Scale::from_env();
     let points = run_sweep(scale, move || scale.collperf(), Case::Disabled, false);
-    print_breakdown_figure(
-        "Fig. 6 — coll_perf breakdown, cache DISABLED",
-        &points,
-    );
+    print_breakdown_figure("Fig. 6 — coll_perf breakdown, cache DISABLED", &points);
 }

@@ -1,16 +1,25 @@
 //! Scratch probe: one full-scale coll_perf phase, used during
 //! calibration. Not part of the figure set.
-use std::rc::Rc;
+//!
+//! `probe [aggs] [cb_mb] [case] [trace]` — `trace` is `off` (default),
+//! `ring` or `jsonl`; `jsonl` writes `results/traces/collperf.jsonl`
+//! and both modes print the run's metrics snapshot.
 use e10_mpisim::Info;
 use e10_romio::TestbedSpec;
 use e10_simcore::SimDuration;
 use e10_workloads::{run_workload, CollPerf, RunConfig};
+use std::rc::Rc;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let aggs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
     let cb_mb: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let case = args.get(3).map(|s| s.as_str()).unwrap_or("disabled").to_string();
+    let case = args
+        .get(3)
+        .map(|s| s.as_str())
+        .unwrap_or("disabled")
+        .to_string();
+    let trace = args.get(4).map(|s| s.as_str()).unwrap_or("off").to_string();
     let host0 = std::time::Instant::now();
     let out = e10_simcore::run(async move {
         let w = Rc::new(CollPerf::paper_512());
@@ -24,21 +33,48 @@ fn main() {
         hints.set("cb_nodes", &aggs.to_string());
         hints.set("cb_buffer_size", &format!("{}M", cb_mb));
         match case.as_str() {
-            "enabled" => { hints.set("e10_cache", "enable"); hints.set("e10_cache_discard_flag", "enable"); }
-            "tbw" => { hints.set("e10_cache", "enable"); hints.set("e10_cache_flush_flag", "flush_none"); hints.set("e10_cache_discard_flag", "enable"); }
+            "enabled" => {
+                hints.set("e10_cache", "enable");
+                hints.set("e10_cache_discard_flag", "enable");
+            }
+            "tbw" => {
+                hints.set("e10_cache", "enable");
+                hints.set("e10_cache_flush_flag", "flush_none");
+                hints.set("e10_cache_discard_flag", "enable");
+            }
             _ => {}
+        }
+        if trace != "off" {
+            hints.set("e10_trace", &trace);
         }
         let mut cfg = RunConfig::paper(hints, "/gfs/collperf");
         cfg.files = 2;
         cfg.compute_delay = SimDuration::from_secs(30);
         cfg.verify = case != "tbw";
-        if case == "tbw" { cfg.verify = false; }
+        if case == "tbw" {
+            cfg.verify = false;
+        }
         run_workload(&tb, w, &cfg).await
     });
     println!("host_secs={:.1}", host0.elapsed().as_secs_f64());
     println!("bw_gbs={:.3} wall={:.1}s", out.gb_s(), out.wall_time);
     for (i, p) in out.phases.iter().enumerate() {
-        println!("phase{}: t_c={:.2}s not_hidden={:.2}s", i, p.t_c, p.not_hidden);
+        println!(
+            "phase{}: t_c={:.2}s not_hidden={:.2}s",
+            i, p.t_c, p.not_hidden
+        );
     }
     println!("{}", out.breakdown.table());
+    if let Some(t) = &out.trace {
+        match &t.path {
+            Some(p) => println!("trace: {} events -> {p}", t.recorded),
+            None => println!(
+                "trace: {} events in ring ({} dropped)",
+                t.recorded, t.dropped
+            ),
+        }
+    }
+    if let Some(m) = &out.metrics {
+        println!("{}", m.render());
+    }
 }

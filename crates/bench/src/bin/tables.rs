@@ -29,13 +29,28 @@ fn main() {
 
     println!("\nImplementation extensions beyond the paper's tables:");
     for (hint, vals) in [
-        ("e10_cache_read", "enable, disable (§VI future work: cache reads)"),
-        ("e10_cache_evict", "enable, disable (§III: streaming space management)"),
-        ("e10_sync_policy", "greedy, backoff (§III: congestion-aware sync)"),
-        ("e10_fd_partition", "even, aligned (footnote 1: BeeGFS driver alignment)"),
+        (
+            "e10_cache_read",
+            "enable, disable (§VI future work: cache reads)",
+        ),
+        (
+            "e10_cache_evict",
+            "enable, disable (§III: streaming space management)",
+        ),
+        (
+            "e10_sync_policy",
+            "greedy, backoff (§III: congestion-aware sync)",
+        ),
+        (
+            "e10_fd_partition",
+            "even, aligned (footnote 1: BeeGFS driver alignment)",
+        ),
         ("cb_config_list", "\"*:N\" (aggregators per node)"),
         ("romio_no_indep_rw", "true, false (deferred open)"),
-        ("romio_ds_write", "enable, disable, automatic (data sieving)"),
+        (
+            "romio_ds_write",
+            "enable, disable, automatic (data sieving)",
+        ),
     ] {
         println!("{hint:<24} {vals}");
     }

@@ -1,0 +1,166 @@
+//! Wall-clock micro-benchmark harness with a criterion-shaped API.
+//!
+//! The offline build environment has no crates.io, so the real
+//! `criterion` crate is unavailable; this module lets the bench targets
+//! under `benches/` keep their structure (`Criterion`,
+//! `Bencher::iter`, `criterion_group!`/`criterion_main!`) while
+//! measuring with plain `std::time::Instant`. Statistics are
+//! deliberately simple — median/min/max over `sample_size` samples —
+//! which is plenty for spotting order-of-magnitude regressions in the
+//! simulator's hot paths.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup; accepted for API compatibility,
+/// every batch is one iteration here.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Setup output is cheap to hold.
+    SmallInput,
+    /// Setup output is large.
+    LargeInput,
+    /// Re-run setup for every iteration.
+    PerIteration,
+}
+
+/// Collects samples for one benchmark function.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, one sample per call, `sample_size` samples
+    /// (plus one untimed warm-up).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.durations.push(t0.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter`], with an untimed per-sample setup.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.durations.push(t0.elapsed());
+        }
+    }
+}
+
+/// Benchmark registry/runner.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark and print its timing line.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            durations: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut b);
+        let mut ds = b.durations;
+        if ds.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        ds.sort();
+        let median = ds[ds.len() / 2];
+        println!(
+            "{name:<44} median {:>12?}  min {:>12?}  max {:>12?}  ({} samples)",
+            median,
+            ds[0],
+            ds[ds.len() - 1],
+            ds.len()
+        );
+    }
+}
+
+/// criterion-compatible group declaration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::harness::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// criterion-compatible entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_requested_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut setups = 0u32;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 3);
+    }
+}

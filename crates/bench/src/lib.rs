@@ -11,6 +11,8 @@
 //! files) for smoke testing; the default regenerates the full
 //! 512-rank, 32 GB-per-file experiments.
 
+pub mod harness;
+
 use std::rc::Rc;
 
 use e10_mpisim::Info;

@@ -45,8 +45,14 @@ pub enum FsError {
 impl std::fmt::Display for FsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FsError::NoSpace { requested, available } => {
-                write!(f, "no space: requested {requested} B, {available} B available")
+            FsError::NoSpace {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "no space: requested {requested} B, {available} B available"
+                )
             }
             FsError::NotFound(p) => write!(f, "not found: {p}"),
             FsError::Exists(p) => write!(f, "already exists: {p}"),
@@ -291,7 +297,10 @@ impl LocalFile {
         }
         self.fs.cache.write(len).await;
         self.write_extent_bookkeeping(offset, len);
-        self.state.borrow_mut().data.insert(offset, len, payload.src);
+        self.state
+            .borrow_mut()
+            .data
+            .insert(offset, len, payload.src);
         Ok(())
     }
 

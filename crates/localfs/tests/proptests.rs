@@ -43,10 +43,16 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..3, 0u64..20_000, 1u64..8_000)
-            .prop_map(|(file, off, len)| Op::Write { file, off, len }),
-        (0u8..3, 0u64..20_000, 1u64..8_000)
-            .prop_map(|(file, off, len)| Op::Falloc { file, off, len }),
+        (0u8..3, 0u64..20_000, 1u64..8_000).prop_map(|(file, off, len)| Op::Write {
+            file,
+            off,
+            len
+        }),
+        (0u8..3, 0u64..20_000, 1u64..8_000).prop_map(|(file, off, len)| Op::Falloc {
+            file,
+            off,
+            len
+        }),
         (0u8..3).prop_map(|file| Op::Unlink { file }),
     ]
 }

@@ -463,9 +463,7 @@ impl Comm {
             })
             .await;
         sleep(self.cost_allgather(16)).await;
-        let (ranks, state) = shared
-            .get(&color)
-            .expect("split color vanished");
+        let (ranks, state) = shared.get(&color).expect("split color vanished");
         let rank = ranks
             .iter()
             .position(|&r| r == self.rank)
@@ -518,10 +516,8 @@ mod tests {
         both_backends(|b| {
             run(async move {
                 let outs = launch(spec(7, b), |comm| async move {
-                    e10_simcore::sleep(e10_simcore::SimDuration::from_secs(
-                        comm.rank() as u64,
-                    ))
-                    .await;
+                    e10_simcore::sleep(e10_simcore::SimDuration::from_secs(comm.rank() as u64))
+                        .await;
                     comm.barrier().await;
                     now().as_secs_f64()
                 })
@@ -595,8 +591,7 @@ mod tests {
             run(async move {
                 let outs = launch(spec(5, b), |comm| async move {
                     let p = comm.size();
-                    let v: Vec<(usize, usize)> =
-                        (0..p).map(|dst| (comm.rank(), dst)).collect();
+                    let v: Vec<(usize, usize)> = (0..p).map(|dst| (comm.rank(), dst)).collect();
                     comm.alltoall(v, 16).await
                 })
                 .await;
@@ -719,7 +714,8 @@ mod tests {
             for p in [2usize, 3, 4, 8, 13] {
                 run(async move {
                     let outs = launch(spec(p, b), |comm| async move {
-                        comm.allreduce(comm.rank() as u64 + 1, 8, |a, c| a + c).await
+                        comm.allreduce(comm.rank() as u64 + 1, 8, |a, c| a + c)
+                            .await
                     })
                     .await;
                     let expect = (p as u64) * (p as u64 + 1) / 2;

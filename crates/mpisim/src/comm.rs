@@ -33,10 +33,12 @@ impl Message {
     /// Downcast the payload, panicking with a useful message on a type
     /// mismatch (which is always a caller bug, as in real MPI).
     pub fn into_data<T: 'static>(self) -> T {
-        *self
-            .data
-            .downcast::<T>()
-            .unwrap_or_else(|_| panic!("message payload type mismatch (src={}, tag={})", self.src, self.tag))
+        *self.data.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "message payload type mismatch (src={}, tag={})",
+                self.src, self.tag
+            )
+        })
     }
 }
 
@@ -209,7 +211,10 @@ impl Comm {
 
     /// Total point-to-point traffic so far `(messages, bytes)`.
     pub fn p2p_traffic(&self) -> (u64, u64) {
-        (*self.state.p2p_msgs.borrow(), *self.state.p2p_bytes.borrow())
+        (
+            *self.state.p2p_msgs.borrow(),
+            *self.state.p2p_bytes.borrow(),
+        )
     }
 
     fn match_waiter(mb: &mut RankMailbox, msg: Message) {
@@ -260,7 +265,11 @@ impl Comm {
     /// the wire. The request completes when the transfer has fully
     /// arrived (buffered-synchronous semantics).
     pub fn isend<T: 'static>(&self, dst: usize, tag: Tag, bytes: u64, data: T) -> Request {
-        assert!(dst < self.state.size, "isend to rank {dst} of {}", self.state.size);
+        assert!(
+            dst < self.state.size,
+            "isend to rank {dst} of {}",
+            self.state.size
+        );
         *self.state.p2p_msgs.borrow_mut() += 1;
         *self.state.p2p_bytes.borrow_mut() += bytes;
         let seq = {

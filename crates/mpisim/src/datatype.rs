@@ -178,9 +178,7 @@ impl FileView {
             return Vec::new();
         }
         // First piece that could overlap: binary search by end offset.
-        let start = self
-            .pieces
-            .partition_point(|p| p.file_off + p.len <= lo);
+        let start = self.pieces.partition_point(|p| p.file_off + p.len <= lo);
         let mut out = Vec::new();
         for p in &self.pieces[start..] {
             if p.file_off >= hi {
@@ -231,12 +229,8 @@ mod tests {
         for rz in 0..2u64 {
             for ry in 0..2u64 {
                 for rx in 0..2u64 {
-                    let f = FlatType::subarray(
-                        &[4, 4, 4],
-                        &[2, 2, 2],
-                        &[rz * 2, ry * 2, rx * 2],
-                        8,
-                    );
+                    let f =
+                        FlatType::subarray(&[4, 4, 4], &[2, 2, 2], &[rz * 2, ry * 2, rx * 2], 8);
                     assert_eq!(f.total_bytes(), 8 * 8);
                     all.extend_from_slice(f.runs());
                 }
@@ -280,7 +274,14 @@ mod tests {
         assert_eq!(view.file_range(), (1000, 1060));
         assert_eq!(view.total_bytes(), 30);
         let ps = view.pieces();
-        assert_eq!(ps[1], ViewPiece { file_off: 1025, len: 10, buf_off: 10 });
+        assert_eq!(
+            ps[1],
+            ViewPiece {
+                file_off: 1025,
+                len: 10,
+                buf_off: 10
+            }
+        );
     }
 
     #[test]
@@ -291,9 +292,21 @@ mod tests {
         assert_eq!(
             ps,
             vec![
-                ViewPiece { file_off: 5, len: 5, buf_off: 5 },
-                ViewPiece { file_off: 20, len: 10, buf_off: 10 },
-                ViewPiece { file_off: 40, len: 5, buf_off: 20 },
+                ViewPiece {
+                    file_off: 5,
+                    len: 5,
+                    buf_off: 5
+                },
+                ViewPiece {
+                    file_off: 20,
+                    len: 10,
+                    buf_off: 10
+                },
+                ViewPiece {
+                    file_off: 40,
+                    len: 5,
+                    buf_off: 20
+                },
             ]
         );
         assert!(view.pieces_in_window(10, 20).is_empty());

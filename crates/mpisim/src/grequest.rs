@@ -26,10 +26,7 @@ impl Grequest {
     /// its completer.
     pub fn start() -> (Grequest, GrequestCompleter) {
         let flag = Flag::new();
-        (
-            Grequest { flag: flag.clone() },
-            GrequestCompleter { flag },
-        )
+        (Grequest { flag: flag.clone() }, GrequestCompleter { flag })
     }
 
     /// `MPI_Wait`.

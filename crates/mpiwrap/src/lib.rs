@@ -125,7 +125,9 @@ impl WrapConfig {
                         _ => {
                             return Err(ConfigError {
                                 line: i + 1,
-                                message: format!("deferred_close must be true/false, got {value:?}"),
+                                message: format!(
+                                    "deferred_close must be true/false, got {value:?}"
+                                ),
                             })
                         }
                     };
@@ -225,8 +227,7 @@ impl MpiWrap {
     /// The `MPI_Finalize` overload: really close everything still
     /// outstanding (in deterministic path order).
     pub async fn finalize(&self) {
-        let mut files: Vec<(String, AdioFile)> =
-            self.outstanding.borrow_mut().drain().collect();
+        let mut files: Vec<(String, AdioFile)> = self.outstanding.borrow_mut().drain().collect();
         files.sort_by(|a, b| a.0.cmp(&b.0));
         for (_, f) in files {
             f.close().await;
@@ -311,7 +312,10 @@ file: /gfs/plain.dat
                         let wrap = MpiWrap::new(ctx.clone(), cfg);
                         let rank = ctx.comm.rank() as u64;
                         // Phase 0: write file chk.0, "close" it.
-                        let f0 = wrap.file_open("/gfs/chk.0", &Info::new(), true).await.unwrap();
+                        let f0 = wrap
+                            .file_open("/gfs/chk.0", &Info::new(), true)
+                            .await
+                            .unwrap();
                         f0.write_contig(rank * 1000, Payload::gen(70, rank * 1000, 1000))
                             .await;
                         let g0 = f0.global().clone();
@@ -322,7 +326,10 @@ file: /gfs/plain.dat
                         assert_eq!(g0.extents().covered_bytes(), 0);
 
                         // Phase 1: opening chk.1 really closes chk.0.
-                        let f1 = wrap.file_open("/gfs/chk.1", &Info::new(), true).await.unwrap();
+                        let f1 = wrap
+                            .file_open("/gfs/chk.1", &Info::new(), true)
+                            .await
+                            .unwrap();
                         assert_eq!(wrap.outstanding_count(), 0);
                         g0.extents().verify_gen(70, rank * 1000, 1000).unwrap();
                         f1.write_contig(rank * 1000, Payload::gen(71, rank * 1000, 1000))
@@ -350,7 +357,10 @@ file: /gfs/plain.dat
             let tb = TestbedSpec::small(1, 1).build();
             let ctx = tb.ctx(0);
             let wrap = MpiWrap::new(ctx, WrapConfig::parse(CONFIG).unwrap());
-            let f = wrap.file_open("/gfs/other.0", &Info::new(), true).await.unwrap();
+            let f = wrap
+                .file_open("/gfs/other.0", &Info::new(), true)
+                .await
+                .unwrap();
             wrap.file_close(f).await;
             assert_eq!(wrap.outstanding_count(), 0);
             let (deferred, real) = wrap.close_stats();
@@ -364,7 +374,10 @@ file: /gfs/plain.dat
             let tb = TestbedSpec::small(1, 1).build();
             let ctx = tb.ctx(0);
             let wrap = MpiWrap::new(ctx, WrapConfig::parse(CONFIG).unwrap());
-            let f = wrap.file_open("/gfs/chk.0", &Info::new(), true).await.unwrap();
+            let f = wrap
+                .file_open("/gfs/chk.0", &Info::new(), true)
+                .await
+                .unwrap();
             assert!(f.cache_active(), "config must enable the E10 cache");
             assert!(f.hints().e10_cache_discard_flag);
             wrap.file_close(f).await;

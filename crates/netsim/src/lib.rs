@@ -16,6 +16,7 @@
 //! memory bus resource instead (the paper's point (e): collective I/O
 //! stresses node memory bandwidth during the shuffle).
 
+use e10_simcore::trace::{self, Event, EventKind, Layer};
 use e10_simcore::{join_all, spawn, FairShare, SimDuration};
 
 /// Index of a node in the cluster.
@@ -123,6 +124,25 @@ impl Network {
     /// has arrived. Zero-byte messages still pay latency + overhead
     /// (they are real control messages).
     pub async fn transfer(&self, src: NodeId, dst: NodeId, bytes: u64) {
+        trace::emit(|| {
+            Event::new(Layer::Netsim, "transfer", EventKind::Begin)
+                .node(src)
+                .field("dst", dst)
+                .field("bytes", bytes)
+        });
+        trace::counter("netsim.messages", 1);
+        trace::counter("netsim.bytes", bytes);
+        self.transfer_inner(src, dst, bytes).await;
+        trace::emit(|| {
+            Event::new(Layer::Netsim, "transfer", EventKind::End)
+                .node(src)
+                .field("dst", dst)
+                .field("bytes", bytes)
+                .field("core_bytes", self.core.work_done())
+        });
+    }
+
+    async fn transfer_inner(&self, src: NodeId, dst: NodeId, bytes: u64) {
         e10_simcore::sleep(self.cfg.overhead).await;
         if src == dst {
             // Intra-node: one memcpy through the node's memory system.
@@ -159,6 +179,12 @@ impl Network {
     /// Charge a local memory copy of `bytes` on `node` (e.g. packing
     /// data into a collective buffer).
     pub async fn local_copy(&self, node: NodeId, bytes: u64) {
+        trace::emit(|| {
+            Event::new(Layer::Netsim, "local_copy", EventKind::Point)
+                .node(node)
+                .field("bytes", bytes)
+        });
+        trace::counter("netsim.local_copy_bytes", bytes);
         self.mem[node].serve(bytes as f64).await;
     }
 

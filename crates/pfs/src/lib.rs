@@ -29,6 +29,7 @@ use std::rc::Rc;
 
 use e10_netsim::{Network, NodeId};
 use e10_simcore::rng::Jitter;
+use e10_simcore::trace::{self, Event, EventKind, Layer};
 use e10_simcore::{join_all, spawn, FairShare, FifoServer, SimDuration, SimRng, Tally};
 use e10_storesim::{
     Disk, DiskParams, ExtentMap, PageCache, PageCacheParams, Payload, Raid, RaidParams, Source,
@@ -265,7 +266,9 @@ impl Pfs {
             range_lock: RangeLock::new(),
             open_handles: 1,
         }));
-        self.files.borrow_mut().insert(path.to_string(), Rc::clone(&st));
+        self.files
+            .borrow_mut()
+            .insert(path.to_string(), Rc::clone(&st));
         PfsHandle {
             pfs: Rc::clone(self),
             path: path.to_string(),
@@ -348,8 +351,7 @@ impl Pfs {
     pub fn server_load(&self) -> f64 {
         let per_target = |t: &Target| {
             let backlog = t.wbc.dirty() as f64 / self.params.controller_cache as f64;
-            let arrivals =
-                t.handler.queue_len() as f64 / self.params.handler_threads as f64;
+            let arrivals = t.handler.queue_len() as f64 / self.params.handler_threads as f64;
             backlog.max(arrivals).min(1.0)
         };
         let sum: f64 = self.targets.iter().map(per_target).sum();
@@ -444,6 +446,15 @@ impl PfsHandle {
         let pfs = &self.pfs;
         let t = &pfs.targets[chunk.target];
         let t0 = e10_simcore::now();
+        trace::emit(|| {
+            Event::new(Layer::Pfs, "write_chunk", EventKind::Begin)
+                .node(client)
+                .field("target", chunk.target)
+                .field("bytes", chunk.len)
+                .field("queue_depth", t.handler.queue_len())
+        });
+        trace::counter("pfs.write_chunks", 1);
+        trace::counter("pfs.write_bytes", chunk.len);
         // Client → server wire transfer (data + header).
         pfs.net.transfer(client, t.node, chunk.len + 128).await;
         // Stripe-granular extent lock (the file-system locking
@@ -468,9 +479,17 @@ impl PfsHandle {
         // Ack back to the client.
         pfs.net.transfer(t.node, client, 64).await;
         t.bytes_written.borrow_mut().push(chunk.len as f64);
-        t.write_latency
-            .borrow_mut()
-            .push(e10_simcore::now().since(t0).as_secs_f64());
+        let latency = e10_simcore::now().since(t0).as_secs_f64();
+        t.write_latency.borrow_mut().push(latency);
+        trace::emit(|| {
+            Event::new(Layer::Pfs, "write_chunk", EventKind::End)
+                .node(client)
+                .field("target", chunk.target)
+                .field("bytes", chunk.len)
+                .field("latency_s", latency)
+                .field("queue_depth", t.handler.queue_len())
+        });
+        trace::sample("pfs.write_chunk_latency_s", latency);
     }
 
     /// Write `payload` at `offset`; returns when all stripe chunks are
@@ -543,6 +562,15 @@ impl PfsHandle {
             hs.push(spawn(async move {
                 let pfs = &this.pfs;
                 let t = &pfs.targets[chunk.target];
+                trace::emit(|| {
+                    Event::new(Layer::Pfs, "read_chunk", EventKind::Begin)
+                        .node(client)
+                        .field("target", chunk.target)
+                        .field("bytes", chunk.len)
+                        .field("queue_depth", t.handler.queue_len())
+                });
+                trace::counter("pfs.read_chunks", 1);
+                trace::counter("pfs.read_bytes", chunk.len);
                 pfs.net.transfer(client, t.node, 128).await;
                 let unit = this.state.borrow().stripe_unit;
                 let lstart = (chunk.dev_offset / unit) * unit;
@@ -555,6 +583,12 @@ impl PfsHandle {
                 pfs.backend.serve(chunk.len as f64).await;
                 h.await;
                 pfs.net.transfer(t.node, client, chunk.len + 64).await;
+                trace::emit(|| {
+                    Event::new(Layer::Pfs, "read_chunk", EventKind::End)
+                        .node(client)
+                        .field("target", chunk.target)
+                        .field("bytes", chunk.len)
+                });
             }));
         }
         join_all(hs).await;
@@ -657,7 +691,14 @@ mod tests {
         run(async {
             let (_net, pfs) = small_cluster();
             let f = pfs
-                .create(0, "/gfs/a", Striping { unit: Some(100), count: Some(1) })
+                .create(
+                    0,
+                    "/gfs/a",
+                    Striping {
+                        unit: Some(100),
+                        count: Some(1),
+                    },
+                )
                 .await;
             let chunks = f.chunks(0, 1000);
             // All on one target, merged into a single contiguous chunk.
@@ -671,10 +712,24 @@ mod tests {
         run(async {
             let (_net, pfs) = small_cluster();
             let a = pfs
-                .create(0, "/gfs/a", Striping { unit: Some(100), count: Some(2) })
+                .create(
+                    0,
+                    "/gfs/a",
+                    Striping {
+                        unit: Some(100),
+                        count: Some(2),
+                    },
+                )
                 .await;
             let b = pfs
-                .create(0, "/gfs/b", Striping { unit: Some(100), count: Some(2) })
+                .create(
+                    0,
+                    "/gfs/b",
+                    Striping {
+                        unit: Some(100),
+                        count: Some(2),
+                    },
+                )
                 .await;
             let ca = a.chunks(0, 100)[0].clone();
             let cb = b.chunks(0, 100)[0].clone();
@@ -714,7 +769,8 @@ mod tests {
                     let share = size / 4;
                     for i in 0..(share / (4 << 20)) {
                         let off = c * share + i * (4 << 20);
-                        g.write(c as usize, off, Payload::gen(2, off, 4 << 20)).await;
+                        g.write(c as usize, off, Payload::gen(2, off, 4 << 20))
+                            .await;
                     }
                 }));
             }
@@ -736,7 +792,8 @@ mod tests {
             let total = 64u64 << 20;
             let t0 = now();
             for i in 0..(total / chunk) {
-                f.write(0, i * chunk, Payload::gen(1, i * chunk, chunk)).await;
+                f.write(0, i * chunk, Payload::gen(1, i * chunk, chunk))
+                    .await;
             }
             total as f64 / now().since(t0).as_secs_f64()
         });
@@ -750,7 +807,14 @@ mod tests {
         run(async {
             let (_net, pfs) = small_cluster();
             let f = pfs
-                .create(0, "/gfs/c", Striping { unit: Some(1 << 20), count: Some(1) })
+                .create(
+                    0,
+                    "/gfs/c",
+                    Striping {
+                        unit: Some(1 << 20),
+                        count: Some(1),
+                    },
+                )
                 .await;
             let mut hs = Vec::new();
             // Two clients write halves of the SAME stripe unit.
@@ -772,13 +836,21 @@ mod tests {
         run(async {
             let (_net, pfs) = small_cluster();
             let f = pfs
-                .create(0, "/gfs/c", Striping { unit: Some(1 << 20), count: Some(1) })
+                .create(
+                    0,
+                    "/gfs/c",
+                    Striping {
+                        unit: Some(1 << 20),
+                        count: Some(1),
+                    },
+                )
                 .await;
             let mut hs = Vec::new();
             for c in 0..2u64 {
                 let f = f.clone();
                 hs.push(spawn(async move {
-                    f.write(c as usize, c * (1 << 20), Payload::zero(1 << 20)).await;
+                    f.write(c as usize, c * (1 << 20), Payload::zero(1 << 20))
+                        .await;
                 }));
             }
             join_all(hs).await;
@@ -809,7 +881,13 @@ mod tests {
     fn write_latency_statistics_show_jitter() {
         run(async {
             let net = Rc::new(Network::new(NetConfig::ib_qdr(13), 13));
-            let pfs = Pfs::new(PfsParams::deep_er(), Rc::clone(&net), 8, (9..13).collect(), 7);
+            let pfs = Pfs::new(
+                PfsParams::deep_er(),
+                Rc::clone(&net),
+                8,
+                (9..13).collect(),
+                7,
+            );
             let f = pfs.create(0, "/gfs/j", Striping::default()).await;
             for i in 0..32u64 {
                 f.write(0, i * (4 << 20), Payload::zero(4 << 20)).await;

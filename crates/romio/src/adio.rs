@@ -5,51 +5,20 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use e10_localfs::FsError;
 use e10_mpisim::{Comm, Info};
-use e10_pfs::{PfsError, PfsHandle, Striping};
+use e10_pfs::{PfsHandle, Striping};
 use e10_storesim::Payload;
 
 use crate::cache::CacheLayer;
+use crate::error::Error;
 use crate::fd::select_aggregators_capped;
-use crate::hints::{CacheMode, HintError, RomioHints};
+use crate::hints::{CacheMode, RomioHints};
 use crate::profile::{Phase, Profiler};
 use crate::testbed::IoCtx;
 
-/// Errors surfaced by ADIO operations.
-#[derive(Debug)]
-pub enum AdioError {
-    /// A hint was present but invalid.
-    Hint(HintError),
-    /// Global file-system error.
-    Pfs(PfsError),
-    /// Local (cache) file-system error.
-    Local(FsError),
-}
-
-impl std::fmt::Display for AdioError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            AdioError::Hint(e) => write!(f, "hint error: {e}"),
-            AdioError::Pfs(e) => write!(f, "global fs error: {e}"),
-            AdioError::Local(e) => write!(f, "local fs error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for AdioError {}
-
-impl From<HintError> for AdioError {
-    fn from(e: HintError) -> Self {
-        AdioError::Hint(e)
-    }
-}
-
-impl From<PfsError> for AdioError {
-    fn from(e: PfsError) -> Self {
-        AdioError::Pfs(e)
-    }
-}
+/// Alias kept so pre-unification code (`AdioError::Hint(..)` matches
+/// and all) keeps compiling; new code should name [`Error`].
+pub type AdioError = Error;
 
 /// What a write call's buffer logically contains.
 ///
@@ -428,7 +397,9 @@ mod tests {
                     ("e10_cache_flush_flag", "flush_onclose"),
                     ("e10_cache_discard_flag", "enable"),
                 ]);
-                let f = AdioFile::open(&ctx, "/gfs/cached", &info, true).await.unwrap();
+                let f = AdioFile::open(&ctx, "/gfs/cached", &info, true)
+                    .await
+                    .unwrap();
                 assert!(f.cache_active());
                 let off = ctx.comm.rank() as u64 * 4096;
                 f.write_contig(off, Payload::gen(2, off, 4096)).await;
@@ -449,7 +420,9 @@ mod tests {
         run(async {
             on_testbed(2, 1, |ctx| async move {
                 let info = info_with(&[("e10_cache", "enable")]);
-                let f = AdioFile::open(&ctx, "/gfs/synced", &info, true).await.unwrap();
+                let f = AdioFile::open(&ctx, "/gfs/synced", &info, true)
+                    .await
+                    .unwrap();
                 let off = ctx.comm.rank() as u64 * 1000;
                 f.write_contig(off, Payload::gen(3, off, 1000)).await;
                 f.file_sync().await;
@@ -497,7 +470,9 @@ mod tests {
         run(async {
             on_testbed(8, 4, |ctx| async move {
                 let info = info_with(&[("cb_nodes", "2")]);
-                let f = AdioFile::open(&ctx, "/gfs/aggsel", &info, true).await.unwrap();
+                let f = AdioFile::open(&ctx, "/gfs/aggsel", &info, true)
+                    .await
+                    .unwrap();
                 assert_eq!(f.aggregators(), &[0, 2]);
                 match ctx.comm.rank() {
                     0 => assert_eq!(f.my_agg_index(), Some(0)),
@@ -555,9 +530,7 @@ mod tests {
                                 info.set("romio_no_indep_rw", "true");
                             }
                             let t0 = e10_simcore::now();
-                            let f = AdioFile::open(&ctx, "/gfs/dop", &info, true)
-                                .await
-                                .unwrap();
+                            let f = AdioFile::open(&ctx, "/gfs/dop", &info, true).await.unwrap();
                             let dt = e10_simcore::now().since(t0).as_secs_f64();
                             // Correctness is unaffected.
                             let off = ctx.comm.rank() as u64 * 4096;
@@ -636,7 +609,9 @@ mod tests {
     fn double_close_is_idempotent() {
         run(async {
             on_testbed(2, 1, |ctx| async move {
-                let f = AdioFile::open(&ctx, "/gfs/dc", &Info::new(), true).await.unwrap();
+                let f = AdioFile::open(&ctx, "/gfs/dc", &Info::new(), true)
+                    .await
+                    .unwrap();
                 f.close().await;
                 f.close().await;
             })

@@ -130,19 +130,17 @@ mod tests {
                         let half_bytes = 4096 * 16 * half_ranks as u64;
                         let blocks: Vec<(u64, u64)> = (0..16u64)
                             .map(|i| {
-                                (g as u64 * half_bytes
-                                    + (i * half_ranks as u64 + lr as u64) * 4096,
-                                 4096)
+                                (
+                                    g as u64 * half_bytes
+                                        + (i * half_ranks as u64 + lr as u64) * 4096,
+                                    4096,
+                                )
                             })
                             .collect();
                         let view = FileView::new(&FlatType::indexed(blocks), 0);
-                        let r = write_at_all_partitioned(
-                            &f,
-                            &view,
-                            &DataSpec::FileGen { seed: 41 },
-                            2,
-                        )
-                        .await;
+                        let r =
+                            write_at_all_partitioned(&f, &view, &DataSpec::FileGen { seed: 41 }, 2)
+                                .await;
                         assert!(r.used_collective);
                         f.close().await;
                         f.global().extents().clone()
@@ -168,9 +166,7 @@ mod tests {
                         let mut costs = Vec::new();
                         for ngroups in [1usize, 2] {
                             let path = format!("/gfs/pcsync{ngroups}");
-                            let f = AdioFile::open(&ctx, &path, &hints(), true)
-                                .await
-                                .unwrap();
+                            let f = AdioFile::open(&ctx, &path, &hints(), true).await.unwrap();
                             // Group-contiguous pattern (ParColl's use
                             // case): rank r strides within its group's
                             // half of the file, so partitioning leaves
@@ -202,9 +198,7 @@ mod tests {
                 })
                 .collect();
             let all = e10_simcore::join_all(handles).await;
-            let mean = |i: usize| {
-                all.iter().map(|c| c[i]).sum::<f64>() / all.len() as f64
-            };
+            let mean = |i: usize| all.iter().map(|c| c[i]).sum::<f64>() / all.len() as f64;
             assert!(
                 mean(1) < mean(0),
                 "partitioning must reduce global-sync cost: {} vs {}",
@@ -226,9 +220,7 @@ mod tests {
                         let info = hints();
                         info.set("e10_cache", "enable");
                         info.set("e10_cache_discard_flag", "enable");
-                        let f = AdioFile::open(&ctx, "/gfs/pcc", &info, true)
-                            .await
-                            .unwrap();
+                        let f = AdioFile::open(&ctx, "/gfs/pcc", &info, true).await.unwrap();
                         let g = group_of(ctx.comm.rank(), 8, 4) as u64;
                         let lr = (ctx.comm.rank() % 2) as u64;
                         let seg = 2 * 8 * 1024u64;
@@ -236,13 +228,8 @@ mod tests {
                             .map(|i| (g * seg + (i * 2 + lr) * 1024, 1024))
                             .collect();
                         let view = FileView::new(&FlatType::indexed(blocks), 0);
-                        write_at_all_partitioned(
-                            &f,
-                            &view,
-                            &DataSpec::FileGen { seed: 43 },
-                            4,
-                        )
-                        .await;
+                        write_at_all_partitioned(&f, &view, &DataSpec::FileGen { seed: 43 }, 4)
+                            .await;
                         f.close().await;
                         f.global().extents().clone()
                     })

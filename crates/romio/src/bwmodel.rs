@@ -106,9 +106,24 @@ mod tests {
     #[test]
     fn eq2_matches_manual_sum() {
         let phases = [
-            PhaseMeasure { bytes: 100, t_c: 1.0, t_s: 5.0, c_next: 10.0 },
-            PhaseMeasure { bytes: 100, t_c: 1.0, t_s: 5.0, c_next: 2.0 },
-            PhaseMeasure { bytes: 100, t_c: 1.0, t_s: 5.0, c_next: 0.0 },
+            PhaseMeasure {
+                bytes: 100,
+                t_c: 1.0,
+                t_s: 5.0,
+                c_next: 10.0,
+            },
+            PhaseMeasure {
+                bytes: 100,
+                t_c: 1.0,
+                t_s: 5.0,
+                c_next: 2.0,
+            },
+            PhaseMeasure {
+                bytes: 100,
+                t_c: 1.0,
+                t_s: 5.0,
+                c_next: 0.0,
+            },
         ];
         // times: 1, 1+3, 1+5 → 11s, 300 bytes.
         let bw = total_bandwidth(&phases);
@@ -118,7 +133,12 @@ mod tests {
     #[test]
     fn degenerate_zero_time() {
         assert!(total_bandwidth(&[]).is_infinite());
-        let p = PhaseMeasure { bytes: 5, t_c: 0.0, t_s: 0.0, c_next: 0.0 };
+        let p = PhaseMeasure {
+            bytes: 5,
+            t_c: 0.0,
+            t_s: 0.0,
+            c_next: 0.0,
+        };
         assert!(p.bandwidth().is_infinite());
     }
 

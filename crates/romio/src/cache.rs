@@ -24,6 +24,7 @@ use e10_mpisim::{grequest_waitall, Grequest, GrequestCompleter};
 use e10_netsim::NodeId;
 use e10_pfs::lock::{LockMode, RangeLockGuard};
 use e10_pfs::PfsHandle;
+use e10_simcore::trace::{self, Event, EventKind, Layer};
 use e10_simcore::{channel, JoinHandle, Sender};
 use e10_storesim::Payload;
 
@@ -126,6 +127,13 @@ impl CacheLayer {
         let synced = Rc::clone(&self.inner.bytes_synced);
         let task = e10_simcore::spawn(async move {
             while let Some(msg) = rx.recv().await {
+                trace::emit(|| {
+                    Event::new(Layer::Romio, "cache.sync", EventKind::Begin)
+                        .node(node)
+                        .field("offset", msg.offset)
+                        .field("bytes", msg.len)
+                        .field("urgent", msg.urgent)
+                });
                 let end = msg.offset + msg.len;
                 let mut pos = msg.offset;
                 while pos < end {
@@ -150,9 +158,7 @@ impl CacheLayer {
                     for (range, src) in pieces {
                         if let Some(src) = src {
                             let len = range.end - range.start;
-                            global
-                                .write(node, range.start, Payload { src, len })
-                                .await;
+                            global.write(node, range.start, Payload { src, len }).await;
                         }
                     }
                     // Streaming space management: drop the chunk from
@@ -163,6 +169,13 @@ impl CacheLayer {
                     synced.set(synced.get() + n);
                     pos += n;
                 }
+                trace::emit(|| {
+                    Event::new(Layer::Romio, "cache.sync", EventKind::End)
+                        .node(node)
+                        .field("offset", msg.offset)
+                        .field("bytes", msg.len)
+                });
+                trace::counter("cache.bytes_synced", msg.len);
                 msg.completer.complete();
                 drop(msg.lock);
             }
@@ -255,6 +268,13 @@ impl CacheLayer {
         self.inner
             .bytes_cached
             .set(self.inner.bytes_cached.get() + len);
+        trace::emit(|| {
+            Event::new(Layer::Romio, "cache.extent_write", EventKind::Point)
+                .node(self.inner.node)
+                .field("offset", offset)
+                .field("bytes", len)
+        });
+        trace::counter("cache.bytes_cached", len);
         // Coherent mode: hold an exclusive global-file extent lock until
         // this extent is persistent.
         let lock = if self.inner.coherent && self.inner.flush_flag != FlushFlag::FlushNone {
@@ -289,7 +309,15 @@ impl CacheLayer {
             self.enqueue_sync(offset, len, lock, true);
         }
         let reqs: Vec<Grequest> = self.inner.outstanding.borrow_mut().drain(..).collect();
+        trace::emit(|| {
+            Event::new(Layer::Romio, "cache.flush_wait", EventKind::Begin)
+                .node(self.inner.node)
+                .field("outstanding", reqs.iter().filter(|r| !r.test()).count())
+        });
         grequest_waitall(&reqs).await;
+        trace::emit(|| {
+            Event::new(Layer::Romio, "cache.flush_wait", EventKind::End).node(self.inner.node)
+        });
     }
 
     /// Close-path: flush, stop the sync thread, discard the cache file
@@ -403,7 +431,11 @@ mod tests {
                 layer.write(0, Payload::gen(1, 0, 1024)).await.unwrap();
                 let path = layer.cache_file_path().to_string();
                 layer.close().await;
-                assert_eq!(tb.localfs[0].exists(&path), expect_exists, "discard={discard}");
+                assert_eq!(
+                    tb.localfs[0].exists(&path),
+                    expect_exists,
+                    "discard={discard}"
+                );
             }
         });
     }
@@ -433,7 +465,10 @@ mod tests {
             .unwrap();
             assert!(layer.write(0, Payload::zero(512 << 10)).await.unwrap());
             // Second write exceeds the partition: degraded, not an error.
-            let cached = layer.write(512 << 10, Payload::zero(1 << 20)).await.unwrap();
+            let cached = layer
+                .write(512 << 10, Payload::zero(1 << 20))
+                .await
+                .unwrap();
             assert!(!cached);
             assert!(layer.is_degraded());
             // Later writes keep reporting degraded.
@@ -460,7 +495,10 @@ mod tests {
             let before_flush = e10_simcore::now();
             layer.flush().await;
             let t_reader = reader.await;
-            assert!(t_reader >= before_flush, "reader got in before sync completed");
+            assert!(
+                t_reader >= before_flush,
+                "reader got in before sync completed"
+            );
             layer.close().await;
         });
     }

@@ -250,8 +250,7 @@ pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> Wr
                         .read(comm.node(), span_start, span_end - span_start)
                         .await;
                 }
-                let pieces: Vec<(u64, Payload)> =
-                    runs.into_iter().flat_map(|r| r.pieces).collect();
+                let pieces: Vec<(u64, Payload)> = runs.into_iter().flat_map(|r| r.pieces).collect();
                 fd.write_span(span_start, span_end - span_start, pieces)
                     .await;
             } else {
@@ -358,7 +357,10 @@ mod tests {
                 write_at_all(&f, &view, &DataSpec::FileGen { seed: 12 }).await;
                 f.close().await;
                 if ctx.comm.rank() == 0 {
-                    f.global().extents().verify_gen(12, 0, 8 * 8 * 5_000).unwrap();
+                    f.global()
+                        .extents()
+                        .verify_gen(12, 0, 8 * 8 * 5_000)
+                        .unwrap();
                 }
             })
             .await;
@@ -465,7 +467,10 @@ mod tests {
                 write_at_all(&f, &view, &DataSpec::FileGen { seed: 15 }).await;
                 f.close().await;
                 if ctx.comm.rank() == 0 {
-                    f.global().extents().verify_gen(15, 0, 2 * 4 * 3_000).unwrap();
+                    f.global()
+                        .extents()
+                        .verify_gen(15, 0, 2 * 4 * 3_000)
+                        .unwrap();
                 }
             })
             .await;
@@ -527,8 +532,8 @@ mod tests {
                     &paper_info(&[("striping_unit", "4096")]),
                     true,
                 )
-                    .await
-                    .unwrap();
+                .await
+                .unwrap();
                 let view = strided_view(ctx.comm.rank(), 4, 8_000, 8);
                 write_at_all(&f, &view, &DataSpec::FileGen { seed: 16 }).await;
                 f.close().await;
@@ -539,7 +544,11 @@ mod tests {
                 if f.my_agg_index().is_some() {
                     assert!(p.get(Phase::Write).as_nanos() > 0, "aggregators must write");
                 } else {
-                    assert_eq!(p.get(Phase::Write).as_nanos(), 0, "non-aggregators never write");
+                    assert_eq!(
+                        p.get(Phase::Write).as_nanos(),
+                        0,
+                        "non-aggregators never write"
+                    );
                 }
             })
             .await;
@@ -558,7 +567,10 @@ mod tests {
         let merged = merge_continuing(vec![(0, p1), (10, p2)]);
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].1.len, 20);
-        let unmerged = merge_continuing(vec![(0, Payload::gen(1, 0, 10)), (10, Payload::gen(9, 0, 10))]);
+        let unmerged = merge_continuing(vec![
+            (0, Payload::gen(1, 0, 10)),
+            (10, Payload::gen(9, 0, 10)),
+        ]);
         assert_eq!(unmerged.len(), 2);
     }
 }

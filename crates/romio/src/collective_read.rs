@@ -242,11 +242,7 @@ pub async fn read_at_all(fd: &AdioFile, view: &FileView) -> ReadAllResult {
                         };
                         for (r, src) in pieces {
                             let len = r.end - r.start;
-                            window_data.insert(
-                                r.start,
-                                len,
-                                src.unwrap_or(Source::Zero),
-                            );
+                            window_data.insert(r.start, len, src.unwrap_or(Source::Zero));
                         }
                     }
                 }

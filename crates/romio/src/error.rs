@@ -1,0 +1,108 @@
+//! The one public error type of `e10-romio`.
+//!
+//! Every fallible surface of the crate — hint resolution, the global
+//! parallel file system, the node-local cache file system — converges
+//! here, so callers match on a single enum instead of juggling the
+//! per-layer types. [`AdioError`] remains as an alias for existing
+//! code.
+//!
+//! [`AdioError`]: crate::adio::AdioError
+
+use e10_localfs::FsError;
+use e10_pfs::PfsError;
+
+use crate::hints::{HintError, HintErrors};
+
+/// Errors surfaced by ADIO operations.
+#[derive(Debug)]
+pub enum Error {
+    /// A hint was present but invalid.
+    Hint(HintError),
+    /// Global file-system error.
+    Pfs(PfsError),
+    /// Local (cache) file-system error.
+    Local(FsError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Hint(e) => write!(f, "hint error: {e}"),
+            Error::Pfs(e) => write!(f, "global fs error: {e}"),
+            Error::Local(e) => write!(f, "local fs error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Hint(e) => Some(e),
+            Error::Pfs(e) => Some(e),
+            Error::Local(e) => Some(e),
+        }
+    }
+}
+
+impl From<HintError> for Error {
+    fn from(e: HintError) -> Self {
+        Error::Hint(e)
+    }
+}
+
+impl From<HintErrors> for Error {
+    fn from(e: HintErrors) -> Self {
+        Error::Hint(HintError::from(e))
+    }
+}
+
+impl From<PfsError> for Error {
+    fn from(e: PfsError) -> Self {
+        Error::Pfs(e)
+    }
+}
+
+impl From<FsError> for Error {
+    fn from(e: FsError) -> Self {
+        Error::Local(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable_and_source_chains() {
+        let e = Error::from(HintError {
+            key: "e10_cache".into(),
+            value: "maybe".into(),
+            expected: "enable|disable|coherent",
+        });
+        assert_eq!(
+            e.to_string(),
+            "hint error: invalid hint e10_cache=\"maybe\" (expected enable|disable|coherent)"
+        );
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn hint_errors_collapse_to_first() {
+        let errs = HintErrors(vec![
+            HintError {
+                key: "a".into(),
+                value: "1".into(),
+                expected: "x",
+            },
+            HintError {
+                key: "b".into(),
+                value: "2".into(),
+                expected: "y",
+            },
+        ]);
+        match Error::from(errs) {
+            Error::Hint(e) => assert_eq!(e.key, "a"),
+            other => panic!("wrong variant: {other}"),
+        }
+    }
+}

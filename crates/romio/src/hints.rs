@@ -1,6 +1,17 @@
 //! MPI-IO hints: ROMIO's collective-I/O hints (Table I of the paper)
 //! plus the proposed E10 extensions (Table II), with parsing,
 //! validation and defaults.
+//!
+//! Two ways in:
+//!
+//! * [`RomioHintsBuilder`] — the typed API. Each setter takes the
+//!   enum/integer it controls and validates immediately; [`build`]
+//!   returns every violation at once as [`HintErrors`].
+//! * [`RomioHints::from_info`] — the MPI surface. A thin adapter that
+//!   feeds each `(key, value)` string pair of an [`Info`] object
+//!   through the builder's raw-string entry point.
+//!
+//! [`build`]: RomioHintsBuilder::build
 
 use e10_mpisim::Info;
 
@@ -16,6 +27,26 @@ pub enum CbMode {
     Automatic,
 }
 
+impl CbMode {
+    fn parse(s: &str) -> Option<CbMode> {
+        match s {
+            "enable" => Some(CbMode::Enable),
+            "disable" => Some(CbMode::Disable),
+            "automatic" => Some(CbMode::Automatic),
+            _ => None,
+        }
+    }
+
+    /// The hint-string spelling of this mode.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CbMode::Enable => "enable",
+            CbMode::Disable => "disable",
+            CbMode::Automatic => "automatic",
+        }
+    }
+}
+
 /// `e10_cache` values (Table II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CacheMode {
@@ -27,6 +58,26 @@ pub enum CacheMode {
     /// Like `Enable`, but written extents stay locked in the global
     /// file until their synchronisation completes.
     Coherent,
+}
+
+impl CacheMode {
+    fn parse(s: &str) -> Option<CacheMode> {
+        match s {
+            "enable" => Some(CacheMode::Enable),
+            "disable" => Some(CacheMode::Disable),
+            "coherent" => Some(CacheMode::Coherent),
+            _ => None,
+        }
+    }
+
+    /// The hint-string spelling of this mode.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CacheMode::Disable => "disable",
+            CacheMode::Enable => "enable",
+            CacheMode::Coherent => "coherent",
+        }
+    }
 }
 
 /// `e10_cache_flush_flag` values (Table II), plus the `flush_none`
@@ -44,6 +95,26 @@ pub enum FlushFlag {
     FlushNone,
 }
 
+impl FlushFlag {
+    fn parse(s: &str) -> Option<FlushFlag> {
+        match s {
+            "flush_immediate" => Some(FlushFlag::FlushImmediate),
+            "flush_onclose" => Some(FlushFlag::FlushOnClose),
+            "flush_none" => Some(FlushFlag::FlushNone),
+            _ => None,
+        }
+    }
+
+    /// The hint-string spelling of this flag.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FlushFlag::FlushImmediate => "flush_immediate",
+            FlushFlag::FlushOnClose => "flush_onclose",
+            FlushFlag::FlushNone => "flush_none",
+        }
+    }
+}
+
 /// Cache synchronisation scheduling policy (`e10_sync_policy`,
 /// extension; §III names congestion awareness as a possible richer
 /// policy).
@@ -55,6 +126,24 @@ pub enum SyncPolicy {
     /// Back off while the storage servers are saturated by foreground
     /// traffic, yielding the bandwidth to whoever is actively waiting.
     Backoff,
+}
+
+impl SyncPolicy {
+    fn parse(s: &str) -> Option<SyncPolicy> {
+        match s {
+            "greedy" => Some(SyncPolicy::Greedy),
+            "backoff" => Some(SyncPolicy::Backoff),
+            _ => None,
+        }
+    }
+
+    /// The hint-string spelling of this policy.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SyncPolicy::Greedy => "greedy",
+            SyncPolicy::Backoff => "backoff",
+        }
+    }
 }
 
 /// File-domain partitioning strategy for the two-phase algorithm.
@@ -69,6 +158,56 @@ pub enum FdStrategy {
     /// course of the paper — its footnote 1). Default.
     #[default]
     StripeAligned,
+}
+
+impl FdStrategy {
+    fn parse(s: &str) -> Option<FdStrategy> {
+        match s {
+            "even" => Some(FdStrategy::Even),
+            "aligned" => Some(FdStrategy::StripeAligned),
+            _ => None,
+        }
+    }
+
+    /// The hint-string spelling of this strategy.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FdStrategy::Even => "even",
+            FdStrategy::StripeAligned => "aligned",
+        }
+    }
+}
+
+/// `e10_trace` values: where structured trace events go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No tracing (default; the instrumented paths cost one branch).
+    #[default]
+    Off,
+    /// Bounded in-memory ring, inspectable after the run.
+    Ring,
+    /// NDJSON stream under `e10_trace_path`.
+    Jsonl,
+}
+
+impl TraceMode {
+    fn parse(s: &str) -> Option<TraceMode> {
+        match s {
+            "off" => Some(TraceMode::Off),
+            "ring" => Some(TraceMode::Ring),
+            "jsonl" => Some(TraceMode::Jsonl),
+            _ => None,
+        }
+    }
+
+    /// The hint-string spelling of this mode.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TraceMode::Off => "off",
+            TraceMode::Ring => "ring",
+            TraceMode::Jsonl => "jsonl",
+        }
+    }
 }
 
 /// All hints relevant to this implementation, resolved with defaults.
@@ -122,6 +261,11 @@ pub struct RomioHints {
     /// `e10_sync_policy` (extension): congestion awareness of the sync
     /// thread.
     pub e10_sync_policy: SyncPolicy,
+    /// `e10_trace` (extension): structured-trace destination.
+    pub e10_trace: TraceMode,
+    /// `e10_trace_path` (extension): directory for `jsonl` traces
+    /// (default `results/traces`).
+    pub e10_trace_path: String,
 }
 
 impl Default for RomioHints {
@@ -145,6 +289,8 @@ impl Default for RomioHints {
             no_indep_rw: false,
             e10_cache_evict: false,
             e10_sync_policy: SyncPolicy::Greedy,
+            e10_trace: TraceMode::Off,
+            e10_trace_path: "results/traces".to_string(),
         }
     }
 }
@@ -172,6 +318,38 @@ impl std::fmt::Display for HintError {
 
 impl std::error::Error for HintError {}
 
+/// Every violation found while building a hint set — the builder keeps
+/// going after the first bad value so a caller sees the whole list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HintErrors(pub Vec<HintError>);
+
+impl HintErrors {
+    /// The first violation (MPI callers usually report just one).
+    pub fn first(&self) -> &HintError {
+        &self.0[0]
+    }
+}
+
+impl std::fmt::Display for HintErrors {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for HintErrors {}
+
+impl From<HintErrors> for HintError {
+    fn from(e: HintErrors) -> HintError {
+        e.0.into_iter().next().expect("HintErrors is never empty")
+    }
+}
+
 fn parse_size(v: &str) -> Option<u64> {
     let v = v.trim();
     let (num, mult) = match v.chars().last() {
@@ -183,200 +361,374 @@ fn parse_size(v: &str) -> Option<u64> {
     num.trim().parse::<u64>().ok().map(|n| n * mult)
 }
 
-impl RomioHints {
-    /// Parse an [`Info`] object, applying defaults for missing hints.
-    /// Unknown keys are ignored (MPI semantics); present-but-invalid
-    /// values are an error.
-    pub fn parse(info: &Info) -> Result<RomioHints, HintError> {
-        let mut h = RomioHints::default();
-        for (key, value) in info.entries() {
-            let err = |expected: &'static str| HintError {
-                key: key.clone(),
-                value: value.clone(),
-                expected,
-            };
-            match key.as_str() {
-                "romio_cb_write" | "romio_cb_read" => {
-                    let mode = match value.as_str() {
-                        "enable" => CbMode::Enable,
-                        "disable" => CbMode::Disable,
-                        "automatic" => CbMode::Automatic,
-                        _ => return Err(err("enable|disable|automatic")),
-                    };
-                    if key == "romio_cb_write" {
-                        h.cb_write = mode;
-                    } else {
-                        h.cb_read = mode;
-                    }
-                }
-                "cb_buffer_size" => {
-                    h.cb_buffer_size = parse_size(&value)
-                        .filter(|&n| n > 0)
-                        .ok_or_else(|| err("positive byte count"))?;
-                }
-                "cb_nodes" => {
-                    h.cb_nodes = Some(
-                        value
-                            .trim()
-                            .parse::<usize>()
-                            .ok()
-                            .filter(|&n| n > 0)
-                            .ok_or_else(|| err("positive integer"))?,
-                    );
-                }
-                "striping_factor" => {
-                    h.striping_factor = Some(
-                        value
-                            .trim()
-                            .parse::<usize>()
-                            .ok()
-                            .filter(|&n| n > 0)
-                            .ok_or_else(|| err("positive integer"))?,
-                    );
-                }
-                "striping_unit" => {
-                    h.striping_unit = Some(
-                        parse_size(&value)
-                            .filter(|&n| n > 0)
-                            .ok_or_else(|| err("positive byte count"))?,
-                    );
-                }
-                "ind_wr_buffer_size" => {
-                    h.ind_wr_buffer_size = parse_size(&value)
-                        .filter(|&n| n > 0)
-                        .ok_or_else(|| err("positive byte count"))?;
-                }
-                "e10_cache" => {
-                    h.e10_cache = match value.as_str() {
-                        "enable" => CacheMode::Enable,
-                        "disable" => CacheMode::Disable,
-                        "coherent" => CacheMode::Coherent,
-                        _ => return Err(err("enable|disable|coherent")),
-                    };
-                }
-                "e10_cache_path" => {
-                    if value.is_empty() {
-                        return Err(err("non-empty path"));
-                    }
-                    h.e10_cache_path = value.clone();
-                }
-                "e10_cache_flush_flag" => {
-                    h.e10_cache_flush_flag = match value.as_str() {
-                        "flush_immediate" => FlushFlag::FlushImmediate,
-                        "flush_onclose" => FlushFlag::FlushOnClose,
-                        "flush_none" => FlushFlag::FlushNone,
-                        _ => return Err(err("flush_immediate|flush_onclose|flush_none")),
-                    };
-                }
-                "e10_cache_discard_flag" => {
-                    h.e10_cache_discard_flag = match value.as_str() {
-                        "enable" => true,
-                        "disable" => false,
-                        _ => return Err(err("enable|disable")),
-                    };
-                }
-                "cb_config_list" => {
-                    // Accept ROMIO's most common form: "*:N".
-                    let n = value
-                        .strip_prefix("*:")
-                        .and_then(|n| n.trim().parse::<usize>().ok())
-                        .filter(|&n| n > 0)
-                        .ok_or_else(|| err("\"*:N\" with N > 0"))?;
-                    h.cb_config_max_per_node = Some(n);
-                }
-                "romio_no_indep_rw" => {
-                    h.no_indep_rw = match value.as_str() {
-                        "true" | "enable" => true,
-                        "false" | "disable" => false,
-                        _ => return Err(err("true|false")),
-                    };
-                }
-                "e10_cache_read" => {
-                    h.e10_cache_read = match value.as_str() {
-                        "enable" => true,
-                        "disable" => false,
-                        _ => return Err(err("enable|disable")),
-                    };
-                }
-                "e10_sync_policy" => {
-                    h.e10_sync_policy = match value.as_str() {
-                        "greedy" => SyncPolicy::Greedy,
-                        "backoff" => SyncPolicy::Backoff,
-                        _ => return Err(err("greedy|backoff")),
-                    };
-                }
-                "e10_cache_evict" => {
-                    h.e10_cache_evict = match value.as_str() {
-                        "enable" => true,
-                        "disable" => false,
-                        _ => return Err(err("enable|disable")),
-                    };
-                }
-                "romio_ds_write" => {
-                    h.ds_write = match value.as_str() {
-                        "enable" => CbMode::Enable,
-                        "disable" => CbMode::Disable,
-                        "automatic" => CbMode::Automatic,
-                        _ => return Err(err("enable|disable|automatic")),
-                    };
-                }
-                "e10_fd_partition" => {
-                    h.fd_strategy = match value.as_str() {
-                        "even" => FdStrategy::Even,
-                        "aligned" => FdStrategy::StripeAligned,
-                        _ => return Err(err("even|aligned")),
-                    };
-                }
-                _ => {} // unknown hints are silently ignored, as in MPI
-            }
+/// Typed, validating construction of a [`RomioHints`] set.
+///
+/// Setters take the value in its natural type and record a
+/// [`HintError`] instead of panicking or silently clamping; `build`
+/// either returns the hints or every violation at once. String pairs
+/// (the MPI `Info` surface) enter through [`set_str`].
+///
+/// [`set_str`]: RomioHintsBuilder::set_str
+#[derive(Debug, Clone, Default)]
+pub struct RomioHintsBuilder {
+    hints: RomioHints,
+    errors: Vec<HintError>,
+}
+
+impl RomioHintsBuilder {
+    /// Start from the defaults of Tables I/II.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn invalid(&mut self, key: &str, value: impl std::fmt::Display, expected: &'static str) {
+        self.errors.push(HintError {
+            key: key.to_string(),
+            value: value.to_string(),
+            expected,
+        });
+    }
+
+    /// `romio_cb_write`.
+    pub fn cb_write(mut self, mode: CbMode) -> Self {
+        self.hints.cb_write = mode;
+        self
+    }
+
+    /// `romio_cb_read`.
+    pub fn cb_read(mut self, mode: CbMode) -> Self {
+        self.hints.cb_read = mode;
+        self
+    }
+
+    /// `cb_buffer_size` in bytes (must be positive).
+    pub fn cb_buffer_size(mut self, bytes: u64) -> Self {
+        if bytes == 0 {
+            self.invalid("cb_buffer_size", bytes, "positive byte count");
+        } else {
+            self.hints.cb_buffer_size = bytes;
         }
-        Ok(h)
+        self
+    }
+
+    /// `cb_nodes` (must be positive).
+    pub fn cb_nodes(mut self, n: usize) -> Self {
+        if n == 0 {
+            self.invalid("cb_nodes", n, "positive integer");
+        } else {
+            self.hints.cb_nodes = Some(n);
+        }
+        self
+    }
+
+    /// `striping_factor` (must be positive).
+    pub fn striping_factor(mut self, n: usize) -> Self {
+        if n == 0 {
+            self.invalid("striping_factor", n, "positive integer");
+        } else {
+            self.hints.striping_factor = Some(n);
+        }
+        self
+    }
+
+    /// `striping_unit` in bytes (must be positive).
+    pub fn striping_unit(mut self, bytes: u64) -> Self {
+        if bytes == 0 {
+            self.invalid("striping_unit", bytes, "positive byte count");
+        } else {
+            self.hints.striping_unit = Some(bytes);
+        }
+        self
+    }
+
+    /// `ind_wr_buffer_size` in bytes (must be positive).
+    pub fn ind_wr_buffer_size(mut self, bytes: u64) -> Self {
+        if bytes == 0 {
+            self.invalid("ind_wr_buffer_size", bytes, "positive byte count");
+        } else {
+            self.hints.ind_wr_buffer_size = bytes;
+        }
+        self
+    }
+
+    /// `e10_cache`.
+    pub fn e10_cache(mut self, mode: CacheMode) -> Self {
+        self.hints.e10_cache = mode;
+        self
+    }
+
+    /// `e10_cache_path` (must be non-empty).
+    pub fn e10_cache_path(mut self, path: impl Into<String>) -> Self {
+        let path = path.into();
+        if path.is_empty() {
+            self.invalid("e10_cache_path", path, "non-empty path");
+        } else {
+            self.hints.e10_cache_path = path;
+        }
+        self
+    }
+
+    /// `e10_cache_flush_flag`.
+    pub fn e10_cache_flush_flag(mut self, flag: FlushFlag) -> Self {
+        self.hints.e10_cache_flush_flag = flag;
+        self
+    }
+
+    /// `e10_cache_discard_flag`.
+    pub fn e10_cache_discard_flag(mut self, discard: bool) -> Self {
+        self.hints.e10_cache_discard_flag = discard;
+        self
+    }
+
+    /// `e10_fd_partition`.
+    pub fn fd_strategy(mut self, s: FdStrategy) -> Self {
+        self.hints.fd_strategy = s;
+        self
+    }
+
+    /// `romio_ds_write`.
+    pub fn ds_write(mut self, mode: CbMode) -> Self {
+        self.hints.ds_write = mode;
+        self
+    }
+
+    /// `e10_cache_read`.
+    pub fn e10_cache_read(mut self, on: bool) -> Self {
+        self.hints.e10_cache_read = on;
+        self
+    }
+
+    /// `cb_config_list` as `*:N` (N must be positive).
+    pub fn cb_config_max_per_node(mut self, n: usize) -> Self {
+        if n == 0 {
+            self.invalid("cb_config_list", format!("*:{n}"), "\"*:N\" with N > 0");
+        } else {
+            self.hints.cb_config_max_per_node = Some(n);
+        }
+        self
+    }
+
+    /// `romio_no_indep_rw`.
+    pub fn no_indep_rw(mut self, on: bool) -> Self {
+        self.hints.no_indep_rw = on;
+        self
+    }
+
+    /// `e10_cache_evict`.
+    pub fn e10_cache_evict(mut self, on: bool) -> Self {
+        self.hints.e10_cache_evict = on;
+        self
+    }
+
+    /// `e10_sync_policy`.
+    pub fn e10_sync_policy(mut self, p: SyncPolicy) -> Self {
+        self.hints.e10_sync_policy = p;
+        self
+    }
+
+    /// `e10_trace`.
+    pub fn e10_trace(mut self, mode: TraceMode) -> Self {
+        self.hints.e10_trace = mode;
+        self
+    }
+
+    /// `e10_trace_path` (must be non-empty).
+    pub fn e10_trace_path(mut self, path: impl Into<String>) -> Self {
+        let path = path.into();
+        if path.is_empty() {
+            self.invalid("e10_trace_path", path, "non-empty path");
+        } else {
+            self.hints.e10_trace_path = path;
+        }
+        self
+    }
+
+    /// The raw-string entry point used by [`RomioHints::from_info`]:
+    /// parse one `(key, value)` hint pair. Unknown keys are ignored
+    /// (MPI semantics); present-but-invalid values are recorded.
+    pub fn set_str(mut self, key: &str, value: &str) -> Self {
+        macro_rules! or_invalid {
+            ($opt:expr, $expected:literal, $setter:ident) => {
+                match $opt {
+                    Some(v) => return self.$setter(v),
+                    None => {
+                        self.invalid(key, value, $expected);
+                        return self;
+                    }
+                }
+            };
+        }
+        match key {
+            "romio_cb_write" => {
+                or_invalid!(CbMode::parse(value), "enable|disable|automatic", cb_write)
+            }
+            "romio_cb_read" => {
+                or_invalid!(CbMode::parse(value), "enable|disable|automatic", cb_read)
+            }
+            "romio_ds_write" => {
+                or_invalid!(CbMode::parse(value), "enable|disable|automatic", ds_write)
+            }
+            "cb_buffer_size" => or_invalid!(
+                parse_size(value).filter(|&n| n > 0),
+                "positive byte count",
+                cb_buffer_size
+            ),
+            "cb_nodes" => or_invalid!(
+                value.trim().parse::<usize>().ok().filter(|&n| n > 0),
+                "positive integer",
+                cb_nodes
+            ),
+            "striping_factor" => or_invalid!(
+                value.trim().parse::<usize>().ok().filter(|&n| n > 0),
+                "positive integer",
+                striping_factor
+            ),
+            "striping_unit" => or_invalid!(
+                parse_size(value).filter(|&n| n > 0),
+                "positive byte count",
+                striping_unit
+            ),
+            "ind_wr_buffer_size" => or_invalid!(
+                parse_size(value).filter(|&n| n > 0),
+                "positive byte count",
+                ind_wr_buffer_size
+            ),
+            "e10_cache" => {
+                or_invalid!(
+                    CacheMode::parse(value),
+                    "enable|disable|coherent",
+                    e10_cache
+                )
+            }
+            "e10_cache_path" => or_invalid!(
+                Some(value).filter(|v| !v.is_empty()),
+                "non-empty path",
+                e10_cache_path
+            ),
+            "e10_cache_flush_flag" => or_invalid!(
+                FlushFlag::parse(value),
+                "flush_immediate|flush_onclose|flush_none",
+                e10_cache_flush_flag
+            ),
+            "e10_cache_discard_flag" => or_invalid!(
+                parse_enable_disable(value),
+                "enable|disable",
+                e10_cache_discard_flag
+            ),
+            "cb_config_list" => or_invalid!(
+                value
+                    .strip_prefix("*:")
+                    .and_then(|n| n.trim().parse::<usize>().ok())
+                    .filter(|&n| n > 0),
+                "\"*:N\" with N > 0",
+                cb_config_max_per_node
+            ),
+            "romio_no_indep_rw" => or_invalid!(
+                match value {
+                    "true" | "enable" => Some(true),
+                    "false" | "disable" => Some(false),
+                    _ => None,
+                },
+                "true|false",
+                no_indep_rw
+            ),
+            "e10_cache_read" => {
+                or_invalid!(
+                    parse_enable_disable(value),
+                    "enable|disable",
+                    e10_cache_read
+                )
+            }
+            "e10_cache_evict" => or_invalid!(
+                parse_enable_disable(value),
+                "enable|disable",
+                e10_cache_evict
+            ),
+            "e10_sync_policy" => {
+                or_invalid!(SyncPolicy::parse(value), "greedy|backoff", e10_sync_policy)
+            }
+            "e10_fd_partition" => {
+                or_invalid!(FdStrategy::parse(value), "even|aligned", fd_strategy)
+            }
+            "e10_trace" => or_invalid!(TraceMode::parse(value), "off|ring|jsonl", e10_trace),
+            "e10_trace_path" => or_invalid!(
+                Some(value).filter(|v| !v.is_empty()),
+                "non-empty path",
+                e10_trace_path
+            ),
+            _ => {} // unknown hints are silently ignored, as in MPI
+        }
+        self
+    }
+
+    /// Finish: the hints, or every violation recorded along the way.
+    pub fn build(self) -> Result<RomioHints, HintErrors> {
+        if self.errors.is_empty() {
+            Ok(self.hints)
+        } else {
+            Err(HintErrors(self.errors))
+        }
+    }
+}
+
+fn parse_enable_disable(s: &str) -> Option<bool> {
+    match s {
+        "enable" => Some(true),
+        "disable" => Some(false),
+        _ => None,
+    }
+}
+
+impl RomioHints {
+    /// A fresh [`RomioHintsBuilder`] at the Table I/II defaults.
+    pub fn builder() -> RomioHintsBuilder {
+        RomioHintsBuilder::new()
+    }
+
+    /// Resolve an [`Info`] object: thin adapter over the builder.
+    /// Unknown keys are ignored (MPI semantics); every
+    /// present-but-invalid value is reported.
+    pub fn from_info(info: &Info) -> Result<RomioHints, HintErrors> {
+        let mut b = RomioHints::builder();
+        for (key, value) in info.entries() {
+            b = b.set_str(&key, &value);
+        }
+        b.build()
+    }
+
+    /// Compatibility wrapper around [`from_info`] reporting the first
+    /// violation only.
+    ///
+    /// [`from_info`]: RomioHints::from_info
+    pub fn parse(info: &Info) -> Result<RomioHints, HintError> {
+        RomioHints::from_info(info).map_err(HintError::from)
     }
 
     /// Render the resolved hints as `(key, value)` pairs (used by the
     /// Table I / Table II regeneration binary and by introspection à la
-    /// `MPI_File_get_info`).
+    /// `MPI_File_get_info`). Every hint this implementation reads is
+    /// listed, so [`from_info`] on the output reproduces `self`.
+    ///
+    /// [`from_info`]: RomioHints::from_info
     pub fn to_pairs(&self) -> Vec<(String, String)> {
-        let cb = |m: CbMode| match m {
-            CbMode::Enable => "enable",
-            CbMode::Disable => "disable",
-            CbMode::Automatic => "automatic",
-        };
+        let onoff = |b: bool| if b { "enable" } else { "disable" };
         let mut out = vec![
-            ("romio_cb_write".into(), cb(self.cb_write).into()),
-            ("romio_cb_read".into(), cb(self.cb_read).into()),
+            ("romio_cb_write".into(), self.cb_write.as_str().into()),
+            ("romio_cb_read".into(), self.cb_read.as_str().into()),
             ("cb_buffer_size".into(), self.cb_buffer_size.to_string()),
             (
                 "ind_wr_buffer_size".into(),
                 self.ind_wr_buffer_size.to_string(),
             ),
-            (
-                "e10_cache".into(),
-                match self.e10_cache {
-                    CacheMode::Disable => "disable",
-                    CacheMode::Enable => "enable",
-                    CacheMode::Coherent => "coherent",
-                }
-                .into(),
-            ),
+            ("e10_cache".into(), self.e10_cache.as_str().into()),
             ("e10_cache_path".into(), self.e10_cache_path.clone()),
             (
                 "e10_cache_flush_flag".into(),
-                match self.e10_cache_flush_flag {
-                    FlushFlag::FlushImmediate => "flush_immediate",
-                    FlushFlag::FlushOnClose => "flush_onclose",
-                    FlushFlag::FlushNone => "flush_none",
-                }
-                .into(),
+                self.e10_cache_flush_flag.as_str().into(),
             ),
             (
                 "e10_cache_discard_flag".into(),
-                if self.e10_cache_discard_flag {
-                    "enable"
-                } else {
-                    "disable"
-                }
-                .into(),
+                onoff(self.e10_cache_discard_flag).into(),
             ),
         ];
         if let Some(n) = self.cb_nodes {
@@ -388,7 +740,36 @@ impl RomioHints {
         if let Some(n) = self.striping_unit {
             out.push(("striping_unit".into(), n.to_string()));
         }
+        out.push(("romio_ds_write".into(), self.ds_write.as_str().into()));
+        out.push(("e10_fd_partition".into(), self.fd_strategy.as_str().into()));
+        out.push(("e10_cache_read".into(), onoff(self.e10_cache_read).into()));
+        out.push(("e10_cache_evict".into(), onoff(self.e10_cache_evict).into()));
+        out.push((
+            "e10_sync_policy".into(),
+            self.e10_sync_policy.as_str().into(),
+        ));
+        if let Some(n) = self.cb_config_max_per_node {
+            out.push(("cb_config_list".into(), format!("*:{n}")));
+        }
+        out.push((
+            "romio_no_indep_rw".into(),
+            if self.no_indep_rw { "true" } else { "false" }.into(),
+        ));
+        out.push(("e10_trace".into(), self.e10_trace.as_str().into()));
+        out.push(("e10_trace_path".into(), self.e10_trace_path.clone()));
         out
+    }
+
+    /// Render as an [`Info`] object (`MPI_File_get_info`). The inverse
+    /// of [`from_info`] for every hint.
+    ///
+    /// [`from_info`]: RomioHints::from_info
+    pub fn to_info(&self) -> Info {
+        let info = Info::new();
+        for (k, v) in self.to_pairs() {
+            info.set(&k, &v);
+        }
+        info
     }
 
     /// True if any E10 cache behaviour is requested.
@@ -410,6 +791,8 @@ mod tests {
         assert_eq!(h.e10_cache_flush_flag, FlushFlag::FlushImmediate);
         assert!(!h.e10_cache_discard_flag);
         assert_eq!(h.e10_cache_path, "/scratch");
+        assert_eq!(h.e10_trace, TraceMode::Off);
+        assert_eq!(h.e10_trace_path, "results/traces");
     }
 
     #[test]
@@ -440,6 +823,66 @@ mod tests {
     }
 
     #[test]
+    fn builder_typed_setters_match_string_parsing() {
+        let typed = RomioHints::builder()
+            .cb_write(CbMode::Enable)
+            .cb_buffer_size(4 << 20)
+            .cb_nodes(16)
+            .striping_unit(4 << 20)
+            .striping_factor(4)
+            .ind_wr_buffer_size(512 << 10)
+            .e10_cache(CacheMode::Coherent)
+            .e10_cache_path("/scratch/e10")
+            .e10_cache_flush_flag(FlushFlag::FlushOnClose)
+            .e10_cache_discard_flag(true)
+            .e10_trace(TraceMode::Ring)
+            .build()
+            .unwrap();
+        let parsed = RomioHints::from_info(&Info::from_pairs([
+            ("romio_cb_write", "enable"),
+            ("cb_buffer_size", "4M"),
+            ("cb_nodes", "16"),
+            ("striping_unit", "4M"),
+            ("striping_factor", "4"),
+            ("ind_wr_buffer_size", "512K"),
+            ("e10_cache", "coherent"),
+            ("e10_cache_path", "/scratch/e10"),
+            ("e10_cache_flush_flag", "flush_onclose"),
+            ("e10_cache_discard_flag", "enable"),
+            ("e10_trace", "ring"),
+        ]))
+        .unwrap();
+        assert_eq!(typed.to_pairs(), parsed.to_pairs());
+    }
+
+    #[test]
+    fn builder_collects_every_violation() {
+        let err = RomioHints::builder()
+            .cb_buffer_size(0)
+            .cb_nodes(0)
+            .e10_cache_path("")
+            .build()
+            .unwrap_err();
+        assert_eq!(err.0.len(), 3);
+        assert_eq!(err.first().key, "cb_buffer_size");
+        let keys: Vec<&str> = err.0.iter().map(|e| e.key.as_str()).collect();
+        assert_eq!(keys, ["cb_buffer_size", "cb_nodes", "e10_cache_path"]);
+        // Display joins all of them.
+        let msg = err.to_string();
+        assert!(msg.contains("cb_nodes") && msg.contains("e10_cache_path"));
+    }
+
+    #[test]
+    fn from_info_reports_all_bad_values() {
+        let info = Info::from_pairs([("cb_buffer_size", "0"), ("e10_cache", "maybe")]);
+        let err = RomioHints::from_info(&info).unwrap_err();
+        assert_eq!(err.0.len(), 2);
+        // `parse` keeps the old single-error surface.
+        let first = RomioHints::parse(&info).unwrap_err();
+        assert_eq!(&first, err.first());
+    }
+
+    #[test]
     fn size_suffixes() {
         assert_eq!(parse_size("512"), Some(512));
         assert_eq!(parse_size("512K"), Some(512 << 10));
@@ -462,6 +905,8 @@ mod tests {
             ("e10_cache_flush_flag", "later"),
             ("e10_cache_discard_flag", "1"),
             ("e10_cache_path", ""),
+            ("e10_trace", "maybe"),
+            ("e10_trace_path", ""),
         ] {
             let info = Info::from_pairs([(k, v)]);
             assert!(RomioHints::parse(&info).is_err(), "{k}={v} must fail");
@@ -476,6 +921,8 @@ mod tests {
             ("e10_sync_policy", "backoff"),
             ("cb_config_list", "*:2"),
             ("romio_no_indep_rw", "true"),
+            ("e10_trace", "jsonl"),
+            ("e10_trace_path", "results/traces/run1"),
         ]);
         let h = RomioHints::parse(&info).unwrap();
         assert!(h.e10_cache_read);
@@ -483,6 +930,8 @@ mod tests {
         assert_eq!(h.e10_sync_policy, SyncPolicy::Backoff);
         assert_eq!(h.cb_config_max_per_node, Some(2));
         assert!(h.no_indep_rw);
+        assert_eq!(h.e10_trace, TraceMode::Jsonl);
+        assert_eq!(h.e10_trace_path, "results/traces/run1");
         for (k, v) in [
             ("e10_cache_read", "yes"),
             ("e10_cache_evict", "on"),
@@ -517,22 +966,21 @@ mod tests {
     }
 
     #[test]
-    fn to_pairs_roundtrips_through_parse() {
-        let info = Info::from_pairs([
-            ("romio_cb_write", "enable"),
-            ("cb_nodes", "8"),
-            ("e10_cache", "coherent"),
-            ("e10_cache_flush_flag", "flush_none"),
-        ]);
-        let h = RomioHints::parse(&info).unwrap();
-        let info2 = Info::new();
-        for (k, v) in h.to_pairs() {
-            info2.set(&k, &v);
-        }
-        let h2 = RomioHints::parse(&info2).unwrap();
-        assert_eq!(h2.cb_write, h.cb_write);
-        assert_eq!(h2.cb_nodes, h.cb_nodes);
-        assert_eq!(h2.e10_cache, h.e10_cache);
-        assert_eq!(h2.e10_cache_flush_flag, h.e10_cache_flush_flag);
+    fn to_info_roundtrips_every_hint() {
+        let h = RomioHints::builder()
+            .cb_write(CbMode::Enable)
+            .cb_nodes(8)
+            .e10_cache(CacheMode::Coherent)
+            .e10_cache_flush_flag(FlushFlag::FlushNone)
+            .cb_config_max_per_node(2)
+            .no_indep_rw(true)
+            .e10_cache_evict(true)
+            .e10_sync_policy(SyncPolicy::Backoff)
+            .e10_trace(TraceMode::Jsonl)
+            .e10_trace_path("results/traces/x")
+            .build()
+            .unwrap();
+        let h2 = RomioHints::from_info(&h.to_info()).unwrap();
+        assert_eq!(h2.to_pairs(), h.to_pairs());
     }
 }

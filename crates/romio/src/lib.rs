@@ -30,6 +30,7 @@ pub mod bwmodel;
 pub mod cache;
 pub mod collective;
 pub mod collective_read;
+pub mod error;
 pub mod fd;
 pub mod hints;
 pub mod profile;
@@ -41,7 +42,11 @@ pub use baselines::{group_of, write_at_all_multifile, write_at_all_partitioned};
 pub use cache::CacheLayer;
 pub use collective::{write_at_all, WriteAllResult};
 pub use collective_read::{read_at_all, ReadAllResult, ReadPiece};
+pub use error::Error;
 pub use fd::{select_aggregators, select_aggregators_capped, FileDomains};
-pub use hints::{CacheMode, CbMode, FdStrategy, FlushFlag, HintError, RomioHints, SyncPolicy};
+pub use hints::{
+    CacheMode, CbMode, FdStrategy, FlushFlag, HintError, HintErrors, RomioHints, RomioHintsBuilder,
+    SyncPolicy, TraceMode,
+};
 pub use profile::{Breakdown, Phase, Profiler};
 pub use testbed::{IoCtx, Testbed, TestbedSpec};

@@ -10,6 +10,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use e10_simcore::trace::{self, Event, EventKind, Layer};
 use e10_simcore::{now, SimDuration, SimTime};
 
 /// The cost categories of the collective write path (Fig. 2).
@@ -97,8 +98,11 @@ impl Profiler {
         Self::default()
     }
 
-    /// Start timing `phase`; the returned guard charges on drop.
+    /// Start timing `phase`; the returned guard charges on drop. The
+    /// phase also becomes a `Begin`/`End` span on the ambient trace
+    /// sink, so MPE-style breakdowns and traces share one taxonomy.
     pub fn enter(&self, phase: Phase) -> PhaseTimer {
+        trace::emit(|| Event::new(Layer::Romio, phase.label(), EventKind::Begin));
         PhaseTimer {
             profiler: self.clone(),
             phase,
@@ -161,7 +165,12 @@ impl Drop for PhaseTimer {
         // Tolerate being dropped outside the simulation (e.g. during
         // unwinding after a test failure) without a double panic.
         if let Some(t) = e10_simcore::executor::try_now() {
-            self.profiler.add(self.phase, t.since(self.start));
+            let elapsed = t.since(self.start);
+            trace::emit(|| {
+                Event::new(Layer::Romio, self.phase.label(), EventKind::End)
+                    .field("elapsed_s", elapsed.as_secs_f64())
+            });
+            self.profiler.add(self.phase, elapsed);
         }
     }
 }
@@ -181,10 +190,12 @@ impl Breakdown {
         for p in profs {
             let snap = p.snapshot();
             for ph in Phase::ALL {
-                per_phase
-                    .entry(ph)
-                    .or_default()
-                    .push(snap.get(&ph).copied().unwrap_or(SimDuration::ZERO).as_secs_f64());
+                per_phase.entry(ph).or_default().push(
+                    snap.get(&ph)
+                        .copied()
+                        .unwrap_or(SimDuration::ZERO)
+                        .as_secs_f64(),
+                );
             }
         }
         Breakdown {
@@ -221,10 +232,7 @@ impl Breakdown {
     /// Render an aligned text table of `(phase, mean, max)` rows —
     /// what the breakdown figure bins print.
     pub fn table(&self) -> String {
-        let mut out = format!(
-            "{:<16} {:>12} {:>12}\n",
-            "phase", "mean [s]", "max [s]"
-        );
+        let mut out = format!("{:<16} {:>12} {:>12}\n", "phase", "mean [s]", "max [s]");
         for ph in Phase::ALL {
             let mean = self.mean(ph);
             let max = self.max(ph);

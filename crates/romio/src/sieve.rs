@@ -86,7 +86,9 @@ mod tests {
         run(async {
             let tb = TestbedSpec::small(1, 1).build();
             let ctx = tb.ctx(0);
-            let f = AdioFile::open(&ctx, "/gfs/ind", &Info::new(), true).await.unwrap();
+            let f = AdioFile::open(&ctx, "/gfs/ind", &Info::new(), true)
+                .await
+                .unwrap();
             let flat = FlatType::vector(8, 1_000, 10_000);
             let view = FileView::new(&flat, 500);
             let n = write_strided(&f, &view, &DataSpec::FileGen { seed: 5 }).await;
@@ -109,7 +111,9 @@ mod tests {
             let ctx = tb.ctx(0);
             let info = Info::new();
             info.set("ind_wr_buffer_size", "4096");
-            let f = AdioFile::open(&ctx, "/gfs/chunk", &info, true).await.unwrap();
+            let f = AdioFile::open(&ctx, "/gfs/chunk", &info, true)
+                .await
+                .unwrap();
             let view = FileView::new(&FlatType::contiguous(20_000), 0);
             write_strided(&f, &view, &DataSpec::FileGen { seed: 6 }).await;
             f.close().await;
@@ -125,7 +129,9 @@ mod tests {
             let info = Info::new();
             info.set("romio_ds_write", "enable");
             info.set("ind_wr_buffer_size", "1M");
-            let f = AdioFile::open(&ctx, "/gfs/sieve", &info, true).await.unwrap();
+            let f = AdioFile::open(&ctx, "/gfs/sieve", &info, true)
+                .await
+                .unwrap();
             // Dense pattern: 100-byte pieces every 150 bytes.
             let flat = FlatType::vector(64, 100, 150);
             let view = FileView::new(&flat, 0);
@@ -147,7 +153,9 @@ mod tests {
             let ctx = tb.ctx(0);
             let info = Info::new();
             info.set("romio_ds_write", "enable");
-            let f = AdioFile::open(&ctx, "/gfs/sparse", &info, true).await.unwrap();
+            let f = AdioFile::open(&ctx, "/gfs/sparse", &info, true)
+                .await
+                .unwrap();
             // 100-byte pieces every 10_000 bytes: sieving would read
             // 99% garbage; the heuristic must fall back to direct writes.
             let flat = FlatType::vector(4, 100, 10_000);

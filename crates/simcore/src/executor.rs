@@ -25,6 +25,7 @@ use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{self, Event, EventKind, Layer};
 
 /// Identifier of a spawned task.
 pub type TaskId = u64;
@@ -263,6 +264,8 @@ where
         }
     });
     let id = with_kernel(|k| k.spawn_raw(wrapped));
+    // Outside the kernel borrow: event construction reads the clock.
+    trace::emit(|| Event::new(Layer::Executor, "task.spawn", EventKind::Point).field("task", id));
     JoinHandle { state, id }
 }
 
@@ -397,12 +400,24 @@ where
             let mut fut = fut;
             let waker_obj: Waker = waker.into();
             let mut cx = Context::from_waker(&waker_obj);
+            trace::emit(|| {
+                Event::new(Layer::Executor, "task.wake", EventKind::Point).field("task", tid)
+            });
+            trace::counter("executor.polls", 1);
             match fut.as_mut().poll(&mut cx) {
                 Poll::Ready(()) => {
+                    trace::emit(|| {
+                        Event::new(Layer::Executor, "task.finish", EventKind::Point)
+                            .field("task", tid)
+                    });
                     let mut k = kernel.borrow_mut();
                     k.wakers.remove(&tid);
                 }
                 Poll::Pending => {
+                    trace::emit(|| {
+                        Event::new(Layer::Executor, "task.block", EventKind::Point)
+                            .field("task", tid)
+                    });
                     kernel.borrow_mut().tasks.insert(tid, fut);
                 }
             }

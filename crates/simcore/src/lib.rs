@@ -37,6 +37,7 @@
 //! assert_eq!(end, 3.0);
 //! ```
 
+pub mod chacha;
 pub mod channel;
 pub mod executor;
 pub mod resource;
@@ -44,6 +45,7 @@ pub mod rng;
 pub mod stats;
 pub mod sync;
 pub mod time;
+pub mod trace;
 
 pub use channel::{channel, Receiver, Sender};
 pub use executor::{

@@ -6,8 +6,7 @@
 //! another (the "independent streams" discipline common in simulation
 //! codebases).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::chacha::StdRng;
 
 /// A seeded random number generator for one model/stream.
 pub struct SimRng {
@@ -30,7 +29,7 @@ impl SimRng {
 
     /// Uniform in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        self.rng.next_f64()
     }
 
     /// Uniform in `[lo, hi)`.
@@ -40,7 +39,7 @@ impl SimRng {
 
     /// Uniform integer in `[0, n)`.
     pub fn below(&mut self, n: u64) -> u64 {
-        self.rng.gen_range(0..n)
+        self.rng.below(n)
     }
 
     /// Exponential with the given mean (inverse-transform sampling).

@@ -1,0 +1,82 @@
+//! A minimal stand-in for the `bytes` crate's `Bytes`: cheaply
+//! cloneable, immutable byte storage. The simulator is single-threaded,
+//! so an `Rc<[u8]>` gives the same O(1) clone without the external
+//! dependency (the build environment is fully offline).
+
+use std::fmt;
+use std::ops::Deref;
+use std::rc::Rc;
+
+/// Immutable, reference-counted bytes.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bytes(Rc<[u8]>);
+
+impl Bytes {
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// View as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(v.into())
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes(v.into())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(v: [u8; N]) -> Bytes {
+        Bytes(v.as_slice().into())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Bytes {
+        Bytes(v.as_bytes().into())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes(len={})", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage_and_compares_by_content() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a[1], 2);
+        assert_eq!(a.len(), 3);
+        assert_eq!(Bytes::from(&[1u8, 2, 3][..]), a);
+        assert!(!a.is_empty());
+    }
+}

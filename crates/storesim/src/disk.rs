@@ -193,6 +193,9 @@ mod tests {
         });
         let mean = times.iter().sum::<f64>() / times.len() as f64;
         let spread = times.iter().fold(0.0f64, |m, &t| m.max((t - mean).abs()));
-        assert!(spread > mean * 0.1, "expected visible jitter, spread={spread} mean={mean}");
+        assert!(
+            spread > mean * 0.1,
+            "expected visible jitter, spread={spread} mean={mean}"
+        );
     }
 }

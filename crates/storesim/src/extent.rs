@@ -38,7 +38,11 @@ impl std::fmt::Display for VerifyError {
         match self {
             VerifyError::Hole(r) => write!(f, "hole at [{}, {})", r.start, r.end),
             VerifyError::WrongContent { range, found } => {
-                write!(f, "wrong content at [{}, {}): {found}", range.start, range.end)
+                write!(
+                    f,
+                    "wrong content at [{}, {}): {found}",
+                    range.start, range.end
+                )
             }
         }
     }
@@ -57,7 +61,11 @@ impl ExtentMap {
 
     /// One past the last written byte (0 if empty).
     pub fn high_water(&self) -> u64 {
-        self.map.iter().next_back().map(|(_, (e, _))| *e).unwrap_or(0)
+        self.map
+            .iter()
+            .next_back()
+            .map(|(_, (e, _))| *e)
+            .unwrap_or(0)
     }
 
     /// Total bytes covered.

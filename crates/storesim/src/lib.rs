@@ -14,6 +14,7 @@
 //! * [`pagecache`] — dirty-limit write absorption and writeback, which
 //!   gives the cache-enabled runs their memory-speed burst behaviour.
 
+pub mod bytes;
 pub mod disk;
 pub mod extent;
 pub mod pagecache;
@@ -21,6 +22,7 @@ pub mod pattern;
 pub mod raid;
 pub mod ssd;
 
+pub use bytes::Bytes;
 pub use disk::{Disk, DiskParams};
 pub use extent::{ExtentMap, VerifyError};
 pub use pagecache::{PageCache, PageCacheParams};

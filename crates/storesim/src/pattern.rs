@@ -15,7 +15,7 @@
 //! extent map against the expected generator catches any offset
 //! mis-bookkeeping at full benchmark scale with O(#extents) memory.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 use std::fmt;
 
 /// Cheap deterministic byte generator: 8 bytes per SplitMix64 hash.
@@ -105,8 +105,14 @@ impl Source {
         match (self, other) {
             (Source::Zero, Source::Zero) => true,
             (
-                Source::Gen { seed: s1, origin: o1 },
-                Source::Gen { seed: s2, origin: o2 },
+                Source::Gen {
+                    seed: s1,
+                    origin: o1,
+                },
+                Source::Gen {
+                    seed: s2,
+                    origin: o2,
+                },
             ) => s1 == s2 && o1 + len == *o2,
             _ => false,
         }

@@ -152,10 +152,7 @@ mod tests {
     }
 
     fn array(n: usize) -> Raid {
-        Raid::new(
-            RaidParams::raid6(),
-            (0..n as u64).map(quiet_disk).collect(),
-        )
+        Raid::new(RaidParams::raid6(), (0..n as u64).map(quiet_disk).collect())
     }
 
     #[test]
@@ -163,10 +160,7 @@ mod tests {
         let r = array(10); // 8 data + 2 parity
         let chunk = r.params.chunk;
         let pieces = r.layout(0, chunk * 3);
-        assert_eq!(
-            pieces,
-            vec![(0, 0, chunk), (1, 0, chunk), (2, 0, chunk)]
-        );
+        assert_eq!(pieces, vec![(0, 0, chunk), (1, 0, chunk), (2, 0, chunk)]);
         // Second full stripe wraps to disk 0 at chunk offset `chunk`.
         let pieces = r.layout(chunk * 8, chunk);
         assert_eq!(pieces, vec![(0, chunk, chunk)]);
@@ -185,10 +179,7 @@ mod tests {
         let r = array(10);
         let chunk = r.params.chunk;
         let pieces = r.layout(chunk / 2, chunk);
-        assert_eq!(
-            pieces,
-            vec![(0, chunk / 2, chunk / 2), (1, 0, chunk / 2)]
-        );
+        assert_eq!(pieces, vec![(0, chunk / 2, chunk / 2), (1, 0, chunk / 2)]);
         let total: u64 = pieces.iter().map(|p| p.2).sum();
         assert_eq!(total, chunk);
     }
@@ -207,10 +198,7 @@ mod tests {
             d.write(0, stripe * 8).await;
             (t_array, now().since(t1).as_secs_f64())
         });
-        assert!(
-            t_array < t_disk / 4.0,
-            "array={t_array}s single={t_disk}s"
-        );
+        assert!(t_array < t_disk / 4.0, "array={t_array}s single={t_disk}s");
     }
 
     #[test]
@@ -227,10 +215,7 @@ mod tests {
             r2.write(r2.params.chunk / 2, stripe).await;
             (now().since(t1).as_secs_f64(), t_full)
         });
-        assert!(
-            t_partial > t_full,
-            "partial={t_partial} full={t_full}"
-        );
+        assert!(t_partial > t_full, "partial={t_partial} full={t_full}");
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use e10_simcore::rng::Jitter;
+use e10_simcore::trace::{self, Event, EventKind, Layer};
 use e10_simcore::{FairShare, SimRng};
 use e10_simcore::{SimDuration, Tally};
 
@@ -77,10 +78,15 @@ impl Ssd {
         let j = self.state.borrow_mut().jitter.sample();
         e10_simcore::sleep(self.params.latency.mul_f64(j)).await;
         self.write_chan.serve(len as f64 * j).await;
-        self.state
-            .borrow_mut()
-            .write_lat
-            .push(e10_simcore::now().since(t0).as_secs_f64());
+        let lat = e10_simcore::now().since(t0).as_secs_f64();
+        self.state.borrow_mut().write_lat.push(lat);
+        trace::emit(|| {
+            Event::new(Layer::Storesim, "ssd.write", EventKind::Point)
+                .field("bytes", len)
+                .field("latency_s", lat)
+        });
+        trace::counter("ssd.write_bytes", len);
+        trace::sample("ssd.write_latency_s", lat);
     }
 
     /// Read `len` bytes.
@@ -89,10 +95,15 @@ impl Ssd {
         let j = self.state.borrow_mut().jitter.sample();
         e10_simcore::sleep(self.params.latency.mul_f64(j)).await;
         self.read_chan.serve(len as f64 * j).await;
-        self.state
-            .borrow_mut()
-            .read_lat
-            .push(e10_simcore::now().since(t0).as_secs_f64());
+        let lat = e10_simcore::now().since(t0).as_secs_f64();
+        self.state.borrow_mut().read_lat.push(lat);
+        trace::emit(|| {
+            Event::new(Layer::Storesim, "ssd.read", EventKind::Point)
+                .field("bytes", len)
+                .field("latency_s", lat)
+        });
+        trace::counter("ssd.read_bytes", len);
+        trace::sample("ssd.read_latency_s", lat);
     }
 
     /// Device parameters.
@@ -181,10 +192,7 @@ mod tests {
             }
             (s.write_latency().cv(), tally.cv())
         });
-        assert!(
-            ssd_cv < disk_cv / 2.0,
-            "ssd cv={ssd_cv}, disk cv={disk_cv}"
-        );
+        assert!(ssd_cv < disk_cv / 2.0, "ssd cv={ssd_cv}, disk cv={disk_cv}");
     }
 
     #[test]

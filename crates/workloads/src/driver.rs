@@ -12,10 +12,71 @@ use std::rc::Rc;
 
 use e10_mpisim::Info;
 use e10_romio::bwmodel::{total_bandwidth, PhaseMeasure};
-use e10_romio::{write_at_all, AdioFile, Breakdown, DataSpec, IoCtx, Phase, Profiler, Testbed};
+use e10_romio::{
+    write_at_all, AdioFile, Breakdown, DataSpec, IoCtx, Phase, Profiler, Testbed, TraceMode,
+};
+use e10_simcore::trace::{
+    install_with_metrics, JsonlSink, MetricsRegistry, MetricsSnapshot, RingSink, TraceGuard,
+};
 use e10_simcore::{now, sleep, SimDuration};
 
 use crate::Workload;
+
+/// The `trace` section of an experiment configuration: whether and
+/// where a run records structured trace events. The `e10_trace` /
+/// `e10_trace_path` hints, when present, override this section so a
+/// single sweep binary can turn tracing on for one configuration only.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Event destination (default [`TraceMode::Off`]).
+    pub mode: TraceMode,
+    /// Directory for `jsonl` traces.
+    pub path: String,
+    /// Capacity of the in-memory ring for [`TraceMode::Ring`].
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            mode: TraceMode::Off,
+            path: "results/traces".to_string(),
+            ring_capacity: 1 << 16,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Resolve the effective configuration: hint keys present in
+    /// `hints` win over the config section.
+    pub fn effective(&self, hints: &Info) -> TraceConfig {
+        let mut t = self.clone();
+        if let Ok(h) = e10_romio::RomioHints::from_info(hints) {
+            if hints.get("e10_trace").is_some() {
+                t.mode = h.e10_trace;
+            }
+            if hints.get("e10_trace_path").is_some() {
+                t.path = h.e10_trace_path;
+            }
+        }
+        t
+    }
+}
+
+/// What tracing recorded during a run.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// The resolved mode the run used.
+    pub mode: TraceMode,
+    /// The JSONL file written, for [`TraceMode::Jsonl`].
+    pub path: Option<String>,
+    /// Events accepted by the sink.
+    pub recorded: u64,
+    /// Events dropped (ring wrap-around).
+    pub dropped: u64,
+    /// In-memory events, for [`TraceMode::Ring`].
+    pub events: Vec<e10_simcore::trace::Event>,
+}
 
 /// Configuration of one benchmark run.
 #[derive(Clone)]
@@ -43,6 +104,8 @@ pub struct RunConfig {
     /// the paper (via Damaris [16]) notes becomes *more* prominent the
     /// faster the I/O itself is.
     pub compute_jitter_cv: f64,
+    /// Structured-trace destination for this run (hints override).
+    pub trace: TraceConfig,
 }
 
 impl RunConfig {
@@ -57,6 +120,7 @@ impl RunConfig {
             path_prefix: prefix.to_string(),
             seed_base: 1000,
             compute_jitter_cv: 0.0,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -89,6 +153,10 @@ pub struct RunOutcome {
     pub total_bytes: u64,
     /// Virtual wall time of the whole run, seconds.
     pub wall_time: f64,
+    /// Counter/tally snapshot, when the run was traced.
+    pub metrics: Option<MetricsSnapshot>,
+    /// What the trace sink recorded, when the run was traced.
+    pub trace: Option<TraceReport>,
 }
 
 impl RunOutcome {
@@ -112,6 +180,37 @@ pub async fn run_workload(tb: &Testbed, workload: Rc<dyn Workload>, cfg: &RunCon
     if workload.force_collective() && hints.get("romio_cb_write").is_none() {
         hints.set("romio_cb_write", "enable");
     }
+
+    // Install the run's trace sink; every instrumented layer emits to
+    // it for the duration. Nothing in the simulation reads trace
+    // state, so virtual-time outcomes are identical traced or not.
+    let trace_cfg = cfg.trace.effective(&hints);
+    let metrics = Rc::new(MetricsRegistry::new());
+    let mut ring: Option<Rc<RingSink>> = None;
+    let mut jsonl: Option<(Rc<JsonlSink>, String)> = None;
+    let trace_guard: Option<TraceGuard> = match trace_cfg.mode {
+        TraceMode::Off => None,
+        TraceMode::Ring => {
+            let s = Rc::new(RingSink::new(trace_cfg.ring_capacity));
+            ring = Some(Rc::clone(&s));
+            Some(install_with_metrics(s, Rc::clone(&metrics)))
+        }
+        TraceMode::Jsonl => {
+            let base = cfg.path_prefix.rsplit('/').next().unwrap_or("run");
+            let path = format!("{}/{base}.jsonl", trace_cfg.path);
+            match JsonlSink::create(&path) {
+                Ok(s) => {
+                    let s = Rc::new(s);
+                    jsonl = Some((Rc::clone(&s), path));
+                    Some(install_with_metrics(s, Rc::clone(&metrics)))
+                }
+                Err(e) => {
+                    eprintln!("e10: cannot create trace file {path}: {e}; tracing disabled");
+                    None
+                }
+            }
+        }
+    };
 
     let pfs = Rc::clone(&tb.pfs);
     let localfs = Rc::clone(&tb.localfs);
@@ -162,6 +261,15 @@ pub async fn run_workload(tb: &Testbed, workload: Rc<dyn Workload>, cfg: &RunCon
                     // real machine.
                     let t0 = now();
                     ctx.comm.barrier().await;
+                    e10_simcore::trace::emit(|| {
+                        e10_simcore::trace::Event::new(
+                            e10_simcore::trace::Layer::Workload,
+                            "io_phase",
+                            e10_simcore::trace::EventKind::Begin,
+                        )
+                        .rank(rank)
+                        .field("file", k)
+                    });
                     let path = format!("{}.{k}", cfg.path_prefix);
                     let fd = AdioFile::open(&ctx, &path, &hints, true)
                         .await
@@ -180,6 +288,16 @@ pub async fn run_workload(tb: &Testbed, workload: Rc<dyn Workload>, cfg: &RunCon
                         bytes += r.bytes;
                     }
                     phases.push((bytes, now().since(t0).as_secs_f64()));
+                    e10_simcore::trace::emit(|| {
+                        e10_simcore::trace::Event::new(
+                            e10_simcore::trace::Layer::Workload,
+                            "io_phase",
+                            e10_simcore::trace::EventKind::End,
+                        )
+                        .rank(rank)
+                        .field("file", k)
+                        .field("bytes", bytes)
+                    });
                     if k + 1 < cfg.files {
                         // The compute phase C(k+1): background sync of
                         // file k proceeds meanwhile. Per-rank jitter
@@ -248,6 +366,31 @@ pub async fn run_workload(tb: &Testbed, workload: Rc<dyn Workload>, cfg: &RunCon
         }
     }
 
+    let (metrics_snap, trace_report) = if trace_guard.is_some() {
+        let report = if let Some(r) = &ring {
+            TraceReport {
+                mode: TraceMode::Ring,
+                path: None,
+                recorded: r.recorded(),
+                dropped: r.dropped(),
+                events: r.events(),
+            }
+        } else {
+            let (s, path) = jsonl.as_ref().expect("jsonl sink when not ring");
+            TraceReport {
+                mode: TraceMode::Jsonl,
+                path: Some(path.clone()),
+                recorded: s.recorded(),
+                dropped: 0,
+                events: Vec::new(),
+            }
+        };
+        (Some(metrics.snapshot()), Some(report))
+    } else {
+        (None, None)
+    };
+    drop(trace_guard); // restore the previous sink, flush the file
+
     RunOutcome {
         phases,
         bandwidth,
@@ -255,5 +398,7 @@ pub async fn run_workload(tb: &Testbed, workload: Rc<dyn Workload>, cfg: &RunCon
         breakdown_aggs,
         total_bytes: file_bytes * cfg.files as u64,
         wall_time: now().since(t_start).as_secs_f64(),
+        metrics: metrics_snap,
+        trace: trace_report,
     }
 }

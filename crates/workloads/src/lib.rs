@@ -17,7 +17,7 @@ pub mod flashio;
 pub mod ior;
 
 pub use collperf::CollPerf;
-pub use driver::{run_workload, PhaseOutcome, RunConfig, RunOutcome};
+pub use driver::{run_workload, PhaseOutcome, RunConfig, RunOutcome, TraceConfig, TraceReport};
 pub use flashio::{FlashFile, FlashIo};
 pub use ior::Ior;
 
@@ -64,6 +64,7 @@ mod tests {
             path_prefix: prefix.to_string(),
             seed_base: 50,
             compute_jitter_cv: 0.0,
+            trace: TraceConfig::default(),
         }
     }
 

@@ -17,9 +17,7 @@ use std::rc::Rc;
 fn main() {
     let procs = 64;
     let nodes = 8;
-    println!(
-        "coll_perf, {procs} ranks / {nodes} nodes, E10 cache enabled, 2 files\n"
-    );
+    println!("coll_perf, {procs} ranks / {nodes} nodes, E10 cache enabled, 2 files\n");
     println!(
         "{:<8} {:<12} {:>14} {:>14} {:>12}",
         "aggs", "compute [s]", "T_c [s]", "exposed [s]", "BW [GB/s]"
@@ -49,11 +47,7 @@ fn main() {
                 cfg.files = 2;
                 cfg.compute_delay = SimDuration::from_secs(compute_s);
                 let out = run_workload(&tb, w, &cfg).await;
-                (
-                    out.phases[0].t_c,
-                    out.phases[0].not_hidden,
-                    out.gb_s(),
-                )
+                (out.phases[0].t_c, out.phases[0].not_hidden, out.gb_s())
             });
             println!(
                 "{:<8} {:<12} {:>14.3} {:>14.3} {:>12.2}",

@@ -37,13 +37,10 @@ fn main() {
                     let f = AdioFile::open(&ctx, "/gfs/tour_pc", &hints, true)
                         .await
                         .unwrap();
-                    let view = FileView::new(
-                        &FlatType::contiguous(block),
-                        ctx.comm.rank() as u64 * block,
-                    );
+                    let view =
+                        FileView::new(&FlatType::contiguous(block), ctx.comm.rank() as u64 * block);
                     let t0 = e10_simcore::now();
-                    write_at_all_partitioned(&f, &view, &DataSpec::FileGen { seed: 1 }, 2)
-                        .await;
+                    write_at_all_partitioned(&f, &view, &DataSpec::FileGen { seed: 1 }, 2).await;
                     let dt = e10_simcore::now().since(t0).as_secs_f64();
                     f.close().await;
                     dt
@@ -65,10 +62,8 @@ fn main() {
             .map(|ctx| {
                 let hints = hints.clone();
                 e10_simcore::spawn(async move {
-                    let view = FileView::new(
-                        &FlatType::contiguous(block),
-                        ctx.comm.rank() as u64 * block,
-                    );
+                    let view =
+                        FileView::new(&FlatType::contiguous(block), ctx.comm.rank() as u64 * block);
                     let t0 = e10_simcore::now();
                     let (_, path) = write_at_all_multifile(
                         &ctx,
@@ -85,8 +80,7 @@ fn main() {
             })
             .collect();
         let outs = e10_simcore::join_all(handles).await;
-        let files: std::collections::BTreeSet<_> =
-            outs.iter().map(|(_, p)| p.clone()).collect();
+        let files: std::collections::BTreeSet<_> = outs.iter().map(|(_, p)| p.clone()).collect();
         println!(
             "ADIOS multi-file (4):   write_all {:.4}s — {} files: {:?}",
             outs[0].0,
@@ -106,10 +100,8 @@ fn main() {
                     let f = AdioFile::open(&ctx, "/gfs/tour_e10", &hints, true)
                         .await
                         .unwrap();
-                    let view = FileView::new(
-                        &FlatType::contiguous(block),
-                        ctx.comm.rank() as u64 * block,
-                    );
+                    let view =
+                        FileView::new(&FlatType::contiguous(block), ctx.comm.rank() as u64 * block);
                     let t0 = e10_simcore::now();
                     write_at_all(&f, &view, &DataSpec::FileGen { seed: 3 }).await;
                     let t_write = e10_simcore::now().since(t0).as_secs_f64();

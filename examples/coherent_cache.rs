@@ -60,10 +60,7 @@ async fn demo(mode: &'static str) {
                             1 << 20,
                             "coherent mode must never expose in-transit data"
                         ),
-                        _ => assert_eq!(
-                            visible, 0,
-                            "plain enable: nothing visible before close"
-                        ),
+                        _ => assert_eq!(visible, 0, "plain enable: nothing visible before close"),
                     }
                     drop(guard);
                     f.close().await;

@@ -71,8 +71,14 @@ fn main() {
                             .await
                             .expect("open failed");
                         for view in flash.writes(rank) {
-                            write_at_all(&f, &view, &DataSpec::FileGen { seed: 300 + k as u64 })
-                                .await;
+                            write_at_all(
+                                &f,
+                                &view,
+                                &DataSpec::FileGen {
+                                    seed: 300 + k as u64,
+                                },
+                            )
+                            .await;
                         }
                         wrap.file_close(f).await; // returns immediately!
                         io_time += e10_simcore::now().since(t0).as_secs_f64();

@@ -41,10 +41,7 @@ async fn one_run(path: &'static str, cache: bool) -> (f64, f64) {
             e10_simcore::spawn(async move {
                 let f = AdioFile::open(&ctx, path, &info, true).await.unwrap();
                 if ctx.comm.rank() == 0 {
-                    println!(
-                        "  aggregators: {:?} (one per node first)",
-                        f.aggregators()
-                    );
+                    println!("  aggregators: {:?} (one per node first)", f.aggregators());
                 }
                 let block = 64 << 10;
                 let blocks: Vec<(u64, u64)> = (0..32u64)

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Pre-merge gate (see ROADMAP.md). Everything runs offline: the
+# workspace has no external dependencies.
+#
+#   scripts/ci.sh           # full gate
+#
+# Steps:
+#   1. release build of every crate, bins included
+#   2. full test suite (unit + integration + property + doc tests)
+#   3. formatting
+#   4. clippy, warnings promoted to errors
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ci: all green"

@@ -84,10 +84,12 @@ pub use e10_workloads as workloads;
 pub mod prelude {
     pub use e10_mpisim::{Comm, FileView, FlatType, Info};
     pub use e10_romio::{
-        write_at_all, AdioFile, CacheMode, DataSpec, FlushFlag, IoCtx, Phase, RomioHints, Testbed,
-        TestbedSpec,
+        write_at_all, AdioFile, CacheMode, DataSpec, Error, FlushFlag, IoCtx, Phase, RomioHints,
+        RomioHintsBuilder, Testbed, TestbedSpec, TraceMode,
     };
     pub use e10_simcore::{SimDuration, SimTime};
     pub use e10_storesim::Payload;
-    pub use e10_workloads::{run_workload, CollPerf, FlashIo, Ior, RunConfig, Workload};
+    pub use e10_workloads::{
+        run_workload, CollPerf, FlashIo, Ior, RunConfig, TraceConfig, Workload,
+    };
 }

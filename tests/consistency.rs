@@ -31,11 +31,9 @@ async fn open_pair(tb: &Testbed, path: &'static str, info: Info) -> Vec<AdioFile
     let mut out = Vec::new();
     for ctx in tb.ctxs() {
         let info = info.clone();
-        out.push(
-            e10_simcore::spawn(async move {
-                AdioFile::open(&ctx, path, &info, true).await.unwrap()
-            }),
-        );
+        out.push(e10_simcore::spawn(async move {
+            AdioFile::open(&ctx, path, &info, true).await.unwrap()
+        }));
     }
     e10_simcore::join_all(out).await
 }
@@ -68,7 +66,11 @@ fn visibility_rule_2_flush_onclose_only_after_close() {
         assert_eq!(f.global().extents().covered_bytes(), 0);
         // ...until the close returns.
         close_all(&files).await;
-        assert!(files[0].global().extents().verify_gen(2, 0, 128 << 10).is_ok());
+        assert!(files[0]
+            .global()
+            .extents()
+            .verify_gen(2, 0, 128 << 10)
+            .is_ok());
     });
 }
 

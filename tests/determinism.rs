@@ -7,7 +7,14 @@ use std::rc::Rc;
 
 use e10_repro::prelude::*;
 
-fn run_once(seed: u64) -> (f64, Vec<(f64, f64)>) {
+/// Bandwidth plus per-phase `(t_c, not_hidden)` pairs.
+type Timings = (f64, Vec<(f64, f64)>);
+
+fn run_once(seed: u64) -> Timings {
+    run_once_traced(seed, TraceMode::Off).0
+}
+
+fn run_once_traced(seed: u64, trace: TraceMode) -> (Timings, Vec<e10_simcore::trace::Event>) {
     e10_simcore::run(async move {
         let mut spec = TestbedSpec::small(8, 4);
         spec.seed = seed;
@@ -27,10 +34,14 @@ fn run_once(seed: u64) -> (f64, Vec<(f64, f64)>) {
         cfg.files = 2;
         cfg.compute_delay = SimDuration::from_secs(2);
         cfg.include_last_sync = true;
+        cfg.trace.mode = trace;
         let out = run_workload(&tb, w, &cfg).await;
         (
-            out.bandwidth,
-            out.phases.iter().map(|p| (p.t_c, p.not_hidden)).collect(),
+            (
+                out.bandwidth,
+                out.phases.iter().map(|p| (p.t_c, p.not_hidden)).collect(),
+            ),
+            out.trace.map(|t| t.events).unwrap_or_default(),
         )
     })
 }
@@ -57,6 +68,35 @@ fn different_seeds_differ_in_timing_not_in_content() {
         b.0.to_bits(),
         "different seeds should produce different jitter"
     );
+}
+
+#[test]
+fn tracing_does_not_perturb_virtual_time() {
+    // The structured-trace layer observes the simulation; nothing in
+    // the simulation reads it back, so a fully traced run must land on
+    // the same virtual-clock results bit for bit.
+    let (off, no_events) = run_once_traced(77, TraceMode::Off);
+    let (ring, events) = run_once_traced(77, TraceMode::Ring);
+    assert!(no_events.is_empty(), "untraced run must record nothing");
+    assert_eq!(off.0.to_bits(), ring.0.to_bits(), "bandwidth must be exact");
+    for (pa, pb) in off.1.iter().zip(&ring.1) {
+        assert_eq!(pa.0.to_bits(), pb.0.to_bits());
+        assert_eq!(pa.1.to_bits(), pb.1.to_bits());
+    }
+    // The traced run saw the whole stack: events from at least four
+    // distinct layers (executor, netsim, pfs, romio, ...).
+    let layers: std::collections::BTreeSet<&'static str> =
+        events.iter().map(|e| e.layer.name()).collect();
+    assert!(
+        layers.len() >= 4,
+        "expected events from >=4 layers, got {layers:?}"
+    );
+    // And tracing twice is itself deterministic.
+    let (_, events2) = run_once_traced(77, TraceMode::Ring);
+    assert_eq!(events.len(), events2.len());
+    for (a, b) in events.iter().zip(&events2) {
+        assert_eq!(a.to_json(), b.to_json());
+    }
 }
 
 #[test]

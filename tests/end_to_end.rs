@@ -57,7 +57,11 @@ fn collperf_all_cache_modes_verify() {
 
 #[test]
 fn flashio_checkpoint_and_plotfiles_verify() {
-    for file in [FlashFile::Checkpoint, FlashFile::Plot, FlashFile::PlotCorners] {
+    for file in [
+        FlashFile::Checkpoint,
+        FlashFile::Plot,
+        FlashFile::PlotCorners,
+    ] {
         let w = Rc::new(FlashIo {
             nprocs: 8,
             blocks_per_proc: 2,
@@ -67,7 +71,10 @@ fn flashio_checkpoint_and_plotfiles_verify() {
         }) as Rc<dyn Workload>;
         run_case(
             w,
-            &[("e10_cache", "enable"), ("e10_cache_discard_flag", "enable")],
+            &[
+                ("e10_cache", "enable"),
+                ("e10_cache_discard_flag", "enable"),
+            ],
             "/gfs/flash_e2e",
         );
     }
@@ -125,7 +132,10 @@ fn cache_cases_order_sanely() {
 
     let plain = run_ord(&[], "/gfs/ord_plain", true);
     let tbw = run_ord(
-        &[("e10_cache", "enable"), ("e10_cache_flush_flag", "flush_none")],
+        &[
+            ("e10_cache", "enable"),
+            ("e10_cache_flush_flag", "flush_none"),
+        ],
         "/gfs/ord_tbw",
         false,
     );

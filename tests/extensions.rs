@@ -90,9 +90,7 @@ fn backoff_policy_yields_to_foreground_traffic() {
                         if rank == 0 {
                             // Cached writer: 16 MiB to sync in background.
                             let info = base_hints(&[("e10_sync_policy", policy)]);
-                            let f = AdioFile::open(&ctx, "/gfs/bg", &info, true)
-                                .await
-                                .unwrap();
+                            let f = AdioFile::open(&ctx, "/gfs/bg", &info, true).await.unwrap();
                             f.write_contig(0, Payload::gen(81, 0, 16 << 20)).await;
                             // Sample sync progress mid-burst.
                             e10_simcore::sleep(SimDuration::from_millis(400)).await;
@@ -107,11 +105,8 @@ fn backoff_policy_yields_to_foreground_traffic() {
                             // fine-striped writes (many concurrent
                             // chunks per call) for ~0.5 s.
                             let info = Info::from_pairs([("striping_unit", "64K")]);
-                            let f = AdioFile::open(&ctx, "/gfs/fg", &info, true)
-                                .await
-                                .unwrap();
-                            let t_end =
-                                e10_simcore::now() + SimDuration::from_millis(500);
+                            let f = AdioFile::open(&ctx, "/gfs/fg", &info, true).await.unwrap();
+                            let t_end = e10_simcore::now() + SimDuration::from_millis(500);
                             let mut off = 0u64;
                             while e10_simcore::now() < t_end {
                                 f.write_contig(off, Payload::gen(82, off, 8 << 20)).await;
@@ -185,9 +180,7 @@ fn evict_then_cache_read_falls_back_to_global() {
                         ("e10_cache_read", "enable"),
                         ("e10_cache_evict", "enable"),
                     ]);
-                    let f = AdioFile::open(&ctx, "/gfs/evr", &info, true)
-                        .await
-                        .unwrap();
+                    let f = AdioFile::open(&ctx, "/gfs/evr", &info, true).await.unwrap();
                     let r = ctx.comm.rank() as u64;
                     let blocks: Vec<(u64, u64)> =
                         (0..8).map(|i| ((i * 4 + r) * 4096, 4096)).collect();

@@ -123,14 +123,19 @@ fn repeated_runs_on_same_cluster_reuse_scratch() {
                             .await
                             .unwrap();
                         let off = ctx.comm.rank() as u64 * (100 << 10);
-                        f.write_contig(off, Payload::gen(round, off, 100 << 10)).await;
+                        f.write_contig(off, Payload::gen(round, off, 100 << 10))
+                            .await;
                         f.close().await;
                         assert!(f.cache_active(), "round {round} must still cache");
                     })
                 })
                 .collect();
             e10_simcore::join_all(handles).await;
-            assert_eq!(tb.localfs[0].statfs().1, 0, "scratch leaked after round {round}");
+            assert_eq!(
+                tb.localfs[0].statfs().1,
+                0,
+                "scratch leaked after round {round}"
+            );
         }
     });
 }

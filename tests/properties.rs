@@ -249,4 +249,91 @@ proptest! {
         prop_assert_eq!(h1.e10_cache_flush_flag, h2.e10_cache_flush_flag);
         prop_assert_eq!(h1.e10_cache_discard_flag, h2.e10_cache_discard_flag);
     }
+
+    /// For every Table I/II hint the typed builder and the Info string
+    /// surface resolve to identical hints, and `to_info` inverts
+    /// `from_info`.
+    #[test]
+    fn builder_agrees_with_from_info(
+        cb_write in 0usize..3,
+        cb_read in 0usize..3,
+        cb_size in 1u64..(1u64 << 32),
+        cb_nodes in prop::option::of(1usize..1000),
+        striping_factor in prop::option::of(1usize..64),
+        striping_unit in prop::option::of(1u64..(1u64 << 26)),
+        ind_wr in 1u64..(1u64 << 24),
+        cache in 0usize..3,
+        flush in 0usize..3,
+        discard in any::<bool>(),
+        evict in any::<bool>(),
+        cache_read in any::<bool>(),
+        no_indep in any::<bool>(),
+        sync_pol in 0usize..2,
+        fd in 0usize..2,
+        max_per_node in prop::option::of(1usize..8),
+        trace in 0usize..3,
+    ) {
+        use e10_repro::romio::{CacheMode, CbMode, FlushFlag, SyncPolicy, TraceMode};
+
+        let cb_modes = [CbMode::Enable, CbMode::Disable, CbMode::Automatic];
+        let cb_strs = ["enable", "disable", "automatic"];
+        let cache_modes = [CacheMode::Enable, CacheMode::Disable, CacheMode::Coherent];
+        let cache_strs = ["enable", "disable", "coherent"];
+        let flush_flags = [FlushFlag::FlushImmediate, FlushFlag::FlushOnClose, FlushFlag::FlushNone];
+        let flush_strs = ["flush_immediate", "flush_onclose", "flush_none"];
+        let sync_pols = [SyncPolicy::Greedy, SyncPolicy::Backoff];
+        let sync_strs = ["greedy", "backoff"];
+        let fds = [FdStrategy::Even, FdStrategy::StripeAligned];
+        let fd_strs = ["even", "aligned"];
+        let traces = [TraceMode::Off, TraceMode::Ring, TraceMode::Jsonl];
+        let trace_strs = ["off", "ring", "jsonl"];
+        let onoff = |b: bool| if b { "enable" } else { "disable" };
+
+        let mut b = RomioHints::builder()
+            .cb_write(cb_modes[cb_write])
+            .cb_read(cb_modes[cb_read])
+            .cb_buffer_size(cb_size)
+            .ind_wr_buffer_size(ind_wr)
+            .e10_cache(cache_modes[cache])
+            .e10_cache_flush_flag(flush_flags[flush])
+            .e10_cache_discard_flag(discard)
+            .e10_cache_evict(evict)
+            .e10_cache_read(cache_read)
+            .no_indep_rw(no_indep)
+            .e10_sync_policy(sync_pols[sync_pol])
+            .fd_strategy(fds[fd])
+            .e10_trace(traces[trace]);
+        if let Some(n) = cb_nodes { b = b.cb_nodes(n); }
+        if let Some(n) = striping_factor { b = b.striping_factor(n); }
+        if let Some(n) = striping_unit { b = b.striping_unit(n); }
+        if let Some(n) = max_per_node { b = b.cb_config_max_per_node(n); }
+        let typed = b.build().unwrap();
+
+        // The same configuration spelled as Info strings.
+        let info = Info::new();
+        info.set("romio_cb_write", cb_strs[cb_write]);
+        info.set("romio_cb_read", cb_strs[cb_read]);
+        info.set("cb_buffer_size", &cb_size.to_string());
+        info.set("ind_wr_buffer_size", &ind_wr.to_string());
+        info.set("e10_cache", cache_strs[cache]);
+        info.set("e10_cache_flush_flag", flush_strs[flush]);
+        info.set("e10_cache_discard_flag", onoff(discard));
+        info.set("e10_cache_evict", onoff(evict));
+        info.set("e10_cache_read", onoff(cache_read));
+        info.set("romio_no_indep_rw", if no_indep { "true" } else { "false" });
+        info.set("e10_sync_policy", sync_strs[sync_pol]);
+        info.set("e10_fd_partition", fd_strs[fd]);
+        info.set("e10_trace", trace_strs[trace]);
+        if let Some(n) = cb_nodes { info.set("cb_nodes", &n.to_string()); }
+        if let Some(n) = striping_factor { info.set("striping_factor", &n.to_string()); }
+        if let Some(n) = striping_unit { info.set("striping_unit", &n.to_string()); }
+        if let Some(n) = max_per_node { info.set("cb_config_list", &format!("*:{n}")); }
+
+        let parsed = RomioHints::from_info(&info).unwrap();
+        prop_assert_eq!(typed.to_pairs(), parsed.to_pairs());
+
+        // to_info is the inverse of from_info.
+        let back = RomioHints::from_info(&typed.to_info()).unwrap();
+        prop_assert_eq!(typed.to_pairs(), back.to_pairs());
+    }
 }

@@ -1,0 +1,120 @@
+//! The structured-trace layer end to end: a coll_perf run with
+//! `e10_trace=jsonl` must write parseable NDJSON covering the whole
+//! stack, the ring sink must honour its bound, and the metrics
+//! snapshot must account for the bytes the run moved.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use e10_repro::prelude::*;
+
+fn run_collperf(trace_pairs: &[(&str, &str)], prefix: &str) -> e10_repro::workloads::RunOutcome {
+    let trace_pairs: Vec<(String, String)> = trace_pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    let prefix = prefix.to_string();
+    e10_simcore::run(async move {
+        let tb = TestbedSpec::small(8, 4).build();
+        let w = Rc::new(CollPerf::tiny([2, 2, 2])) as Rc<dyn Workload>;
+        let hints = Info::from_pairs([
+            ("romio_cb_write", "enable"),
+            ("cb_buffer_size", "8K"),
+            ("striping_unit", "8K"),
+            ("e10_cache", "enable"),
+        ]);
+        for (k, v) in &trace_pairs {
+            hints.set(k, v);
+        }
+        let mut cfg = RunConfig::paper(hints, &prefix);
+        cfg.files = 2;
+        cfg.compute_delay = SimDuration::from_secs(2);
+        run_workload(&tb, w, &cfg).await
+    })
+}
+
+#[test]
+fn jsonl_trace_covers_the_stack_and_parses() {
+    let dir = std::env::temp_dir().join(format!("e10-trace-test-{}", std::process::id()));
+    let dir_s = dir.to_str().unwrap().to_string();
+    let out = run_collperf(
+        &[("e10_trace", "jsonl"), ("e10_trace_path", &dir_s)],
+        "/gfs/trc",
+    );
+
+    let report = out.trace.expect("jsonl run must produce a trace report");
+    assert_eq!(report.mode, TraceMode::Jsonl);
+    let path = report.path.expect("jsonl report carries the file path");
+    let text = std::fs::read_to_string(&path).expect("trace file must exist");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len() as u64, report.recorded);
+    assert!(report.recorded > 100, "a traced run emits plenty of events");
+
+    // Every line is one JSON object with the fixed schema prefix, and
+    // the events span at least four layers of the simulator.
+    let mut layers = BTreeSet::new();
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"t_ns\":") && line.ends_with('}'),
+            "malformed record: {line}"
+        );
+        assert!(line.contains("\"layer\":\""), "missing layer: {line}");
+        assert!(line.contains("\"span\":\""), "missing span: {line}");
+        assert!(line.contains("\"kind\":\""), "missing kind: {line}");
+        let layer = line
+            .split("\"layer\":\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .unwrap();
+        layers.insert(layer.to_string());
+    }
+    assert!(
+        layers.len() >= 4,
+        "expected events from >=4 layers, got {layers:?}"
+    );
+    // The cache path was exercised, so its spans must be present.
+    assert!(text.contains("\"span\":\"cache.sync\""));
+    assert!(text.contains("\"span\":\"write_chunk\""));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ring_sink_bounds_memory_and_metrics_add_up() {
+    let out = run_collperf(&[("e10_trace", "ring")], "/gfs/trcring");
+    let report = out.trace.expect("ring run must produce a trace report");
+    assert_eq!(report.mode, TraceMode::Ring);
+    assert!(report.events.len() <= 1 << 16, "ring must stay bounded");
+    assert_eq!(
+        report.events.len() as u64 + report.dropped,
+        report.recorded,
+        "kept + dropped must equal recorded"
+    );
+
+    // The metrics registry counted the global-file writes: every byte
+    // of both files went through the PFS write path at least once.
+    let metrics = out.metrics.expect("traced run must snapshot metrics");
+    let pfs_bytes = metrics
+        .counters
+        .iter()
+        .find(|(name, _)| *name == "pfs.write_bytes")
+        .map(|(_, v)| *v)
+        .expect("pfs.write_bytes counter present");
+    assert!(
+        pfs_bytes >= out.total_bytes,
+        "pfs wrote {pfs_bytes} of {} bytes",
+        out.total_bytes
+    );
+    // Executor polls are tallied too.
+    assert!(metrics
+        .counters
+        .iter()
+        .any(|(name, v)| *name == "executor.polls" && *v > 0));
+}
+
+#[test]
+fn untraced_runs_record_nothing() {
+    let out = run_collperf(&[], "/gfs/trcoff");
+    assert!(out.trace.is_none());
+    assert!(out.metrics.is_none());
+}
