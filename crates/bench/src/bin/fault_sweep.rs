@@ -1,0 +1,166 @@
+//! Fault matrix: collective-write bandwidth under injected faults,
+//! reported as overhead against the fault-free baseline, plus one
+//! node-crash + journal-recovery case. Not part of the figure set —
+//! this is the resilience probe behind `scripts/ci.sh`'s smoke gate.
+//!
+//! `fault_sweep [--smoke]` — `--smoke` (or `E10_SCALE=quick`) shrinks
+//! the sweep to seconds for CI. Exit status is non-zero if any faulted
+//! run fails verification or the crash recovery loses data.
+use std::rc::Rc;
+
+use e10_faultsim::{always, FaultPlan};
+use e10_mpisim::Info;
+use e10_romio::TestbedSpec;
+use e10_simcore::{SimDuration, SimTime};
+use e10_workloads::{run_crash_recovery, run_workload, CollPerf, CrashConfig, RunConfig, Workload};
+
+fn hints(cache: bool) -> Info {
+    let h = Info::from_pairs([
+        ("romio_cb_write", "enable"),
+        ("cb_buffer_size", "8K"),
+        ("striping_unit", "8K"),
+    ]);
+    if cache {
+        h.set("e10_cache", "enable");
+        h.set("e10_cache_discard_flag", "enable");
+    }
+    h
+}
+
+/// The fault kinds of the matrix. Probabilities are low enough that
+/// retries absorb every RPC failure (exhaustion needs five misses in a
+/// row) — faulted runs must still verify.
+fn plan(kind: &str, fault_seed: u64) -> FaultPlan {
+    let p = FaultPlan::new(fault_seed);
+    match kind {
+        "ssd_stall" => p.ssd_stall(1, always(), 0.5, SimDuration::from_micros(300)),
+        "link_fault" => p.link_fault(None, None, always(), 0.05, SimDuration::from_micros(50)),
+        "rpc_fail" => p.rpc_fail(None, always(), 0.25),
+        other => panic!("unknown fault kind {other}"),
+    }
+}
+
+fn sweep_once(smoke: bool, cache: bool, faults: FaultPlan, path: &str) -> (f64, f64, u64) {
+    let files = if smoke { 1 } else { 4 };
+    let path = path.to_string();
+    let out = e10_simcore::run(async move {
+        let w = Rc::new(CollPerf::tiny([2, 2, 2])) as Rc<dyn Workload>;
+        let mut spec = TestbedSpec::small(8, 4);
+        // Keep the page cache small enough that cached writes drain to
+        // the node SSD during the run — otherwise `ssd_stall` has no
+        // injection point to hit at this workload size.
+        spec.pagecache.dirty_limit = 1 << 10;
+        let tb = spec.build();
+        let mut cfg = RunConfig::paper(hints(cache), &path);
+        cfg.files = files;
+        cfg.compute_delay = SimDuration::from_secs(2);
+        cfg.include_last_sync = true;
+        cfg.faults = faults;
+        run_workload(&tb, w, &cfg).await
+    });
+    (out.gb_s(), out.wall_time, out.faults_injected)
+}
+
+/// Crash + journal recovery: virtual cost of the recovery pass against
+/// the wall time of a fault-free run of the same workload.
+fn crash_case(fault_seed: u64) -> bool {
+    // Fault-free wall of the exact write sequence the crash harness
+    // replays (collective writes + per-rank sync).
+    let base_wall = e10_simcore::run(async move {
+        let w = Rc::new(CollPerf::tiny([2, 2, 2]));
+        let tb = TestbedSpec::small(w.procs(), 2).build();
+        let handles: Vec<_> = tb
+            .ctxs()
+            .into_iter()
+            .map(|ctx| {
+                let w = Rc::clone(&w);
+                e10_simcore::spawn(async move {
+                    let f =
+                        e10_romio::AdioFile::open(&ctx, "/gfs/fsweep_base", &crash_hints(), true)
+                            .await
+                            .unwrap();
+                    for view in &w.writes(ctx.comm.rank()) {
+                        let r = e10_romio::write_at_all(
+                            &f,
+                            view,
+                            &e10_romio::DataSpec::FileGen { seed: fault_seed },
+                        )
+                        .await;
+                        assert_eq!(r.error_code, 0);
+                    }
+                    f.file_sync().await;
+                })
+            })
+            .collect();
+        e10_simcore::join_all(handles).await;
+        e10_simcore::now().since(SimTime::ZERO).as_secs_f64()
+    });
+    let (ok, crash_secs, recovery_secs, requeued, killed) = e10_simcore::run(async move {
+        let w = Rc::new(CollPerf::tiny([2, 2, 2]));
+        let tb = TestbedSpec::small(w.procs(), 2).build();
+        let cfg = CrashConfig::after_writes(crash_hints(), "/gfs/fsweep_crash", fault_seed, 1);
+        let out = run_crash_recovery(&tb, w as Rc<dyn Workload>, &cfg).await;
+        let ok = out.verified.is_ok() && out.lost.is_empty() && out.failed.is_empty();
+        let wall = e10_simcore::now().since(SimTime::ZERO).as_secs_f64();
+        (
+            ok,
+            wall,
+            out.recovery_secs,
+            out.requeued_bytes(),
+            out.killed_tasks,
+        )
+    });
+    println!(
+        "crash+recovery: killed_tasks={killed} requeued_kib={} recovery_s={recovery_secs:.4} \
+         wall_s={crash_secs:.3} fault_free_s={base_wall:.3} overhead_pct={:.1} verified={}",
+        requeued / 1024,
+        100.0 * (crash_secs - base_wall) / base_wall,
+        if ok { "ok" } else { "FAILED" },
+    );
+    ok
+}
+
+fn crash_hints() -> Info {
+    let h = hints(true);
+    h.set("e10_cache_flush_flag", "flush_onclose");
+    h.set("e10_cache_journal", "enable");
+    h
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke")
+        || std::env::var("E10_SCALE").is_ok_and(|v| v == "quick");
+    let fault_seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    println!(
+        "# fault_sweep mode={} seed={fault_seed}",
+        if smoke { "smoke" } else { "full" }
+    );
+    let host0 = std::time::Instant::now();
+    for cache in [false, true] {
+        let label = if cache { "e10_cache" } else { "no_cache" };
+        let (base_bw, base_wall, _) =
+            sweep_once(smoke, cache, FaultPlan::default(), "/gfs/fsweep_ff");
+        println!("{label:>9} fault_free: bw_gbs={base_bw:.3} wall={base_wall:.3}s");
+        for kind in ["ssd_stall", "link_fault", "rpc_fail"] {
+            let (bw, wall, injected) =
+                sweep_once(smoke, cache, plan(kind, fault_seed), "/gfs/fsweep");
+            println!(
+                "{label:>9} {kind:>10}: bw_gbs={bw:.3} wall={wall:.3}s injected={injected} \
+                 overhead_pct={:.1}",
+                100.0 * (wall - base_wall) / base_wall,
+            );
+        }
+    }
+    let ok = crash_case(fault_seed);
+    println!("host_secs={:.1}", host0.elapsed().as_secs_f64());
+    if !ok {
+        eprintln!("fault_sweep: crash recovery FAILED");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,462 @@
+//! # e10-faultsim
+//!
+//! Deterministic, seed-driven fault injection for the E10 simulation.
+//!
+//! The paper's central robustness claim is that the E10 cache is
+//! *persistent*: collective writes land on non-volatile node-local
+//! devices, so cached-but-unflushed data survives a node crash and can
+//! still reach the global file system. This crate supplies the faults
+//! that make the claim testable:
+//!
+//! * **Node crashes** — a power-loss instant for one compute node. The
+//!   crash itself is executed by the harness (kill the node's crash
+//!   group, apply torn-write semantics to its local file system); the
+//!   plan only declares *when* and *where*.
+//! * **SSD stalls** — garbage-collection-style latency spikes on the
+//!   node-local device, the behaviour NVM evaluation papers single out
+//!   as diverging from DRAM.
+//! * **Link faults** — extra delay on fabric messages (a dropped packet
+//!   is modelled as one retransmit-timeout of delay; the transport is
+//!   reliable, as on InfiniBand).
+//! * **PFS RPC failures** — server-side request failures that force the
+//!   client retry/backoff path.
+//!
+//! ## Ambient schedule
+//!
+//! Like `e10_simcore::trace`, the active [`FaultSchedule`] lives in a
+//! thread-local installed for the duration of a run. Device and server
+//! models call the query functions ([`ssd_stall`], [`link_fault`],
+//! [`rpc_fails`]) at their injection points; with no schedule installed
+//! each query is a single branch, so fault-free runs remain bit-identical
+//! to builds without any plan. All sampling is driven by dedicated
+//! [`SimRng`] streams derived from the plan seed — the same plan and seed
+//! reproduce the same faults, byte for byte.
+
+use std::cell::{Cell, RefCell};
+use std::ops::Range;
+
+use e10_simcore::trace::{self, Event, EventKind, Layer};
+use e10_simcore::{SimDuration, SimRng, SimTime};
+
+/// One declared fault, active inside its window.
+#[derive(Debug, Clone)]
+pub enum FaultSpec {
+    /// Power-loss crash of compute node `node` at instant `at`.
+    ///
+    /// Not sampled by the query functions: the crash harness reads it
+    /// via [`FaultPlan::crashes`] and executes kill + power-loss itself.
+    NodeCrash {
+        /// Compute node that loses power.
+        node: usize,
+        /// Virtual instant of the power cut.
+        at: SimTime,
+    },
+    /// SSD commands on `node` stall for an extra `stall` with
+    /// probability `prob` per command while inside `window`.
+    SsdStall {
+        /// Affected compute node (as set via `Ssd::set_node`).
+        node: usize,
+        /// Active window of virtual time.
+        window: Range<SimTime>,
+        /// Per-command stall probability in `[0, 1]`.
+        prob: f64,
+        /// Stall duration added to the command.
+        stall: SimDuration,
+    },
+    /// Fabric messages matching `src`→`dst` (`None` = any endpoint) are
+    /// delayed by `delay` with probability `prob` per message.
+    LinkFault {
+        /// Source node filter.
+        src: Option<usize>,
+        /// Destination node filter.
+        dst: Option<usize>,
+        /// Active window of virtual time.
+        window: Range<SimTime>,
+        /// Per-message fault probability in `[0, 1]`.
+        prob: f64,
+        /// Added delay (one retransmit timeout for a dropped packet).
+        delay: SimDuration,
+    },
+    /// PFS RPCs served by `target` (`None` = any target) fail with
+    /// probability `prob`, forcing the client to retry with backoff.
+    RpcFail {
+        /// Data-target index filter.
+        target: Option<usize>,
+        /// Active window of virtual time.
+        window: Range<SimTime>,
+        /// Per-RPC failure probability in `[0, 1]`.
+        prob: f64,
+    },
+}
+
+/// A declarative, reproducible set of faults for one run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed for the fault sampling streams (independent of the testbed
+    /// seed, so fault luck can be varied without moving device jitter).
+    pub seed: u64,
+    /// The declared faults.
+    pub specs: Vec<FaultSpec>,
+}
+
+/// Window covering the whole run.
+pub fn always() -> Range<SimTime> {
+    SimTime::ZERO..SimTime::ZERO + SimDuration::from_secs(u32::MAX as u64)
+}
+
+impl FaultPlan {
+    /// An empty plan with the given fault seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// True if no faults are declared.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Declare a node crash (builder style).
+    pub fn node_crash(mut self, node: usize, at: SimTime) -> Self {
+        self.specs.push(FaultSpec::NodeCrash { node, at });
+        self
+    }
+
+    /// Declare an SSD stall fault (builder style).
+    pub fn ssd_stall(
+        mut self,
+        node: usize,
+        window: Range<SimTime>,
+        prob: f64,
+        stall: SimDuration,
+    ) -> Self {
+        self.specs.push(FaultSpec::SsdStall {
+            node,
+            window,
+            prob,
+            stall,
+        });
+        self
+    }
+
+    /// Declare a link fault (builder style).
+    pub fn link_fault(
+        mut self,
+        src: Option<usize>,
+        dst: Option<usize>,
+        window: Range<SimTime>,
+        prob: f64,
+        delay: SimDuration,
+    ) -> Self {
+        self.specs.push(FaultSpec::LinkFault {
+            src,
+            dst,
+            window,
+            prob,
+            delay,
+        });
+        self
+    }
+
+    /// Declare a PFS RPC failure fault (builder style).
+    pub fn rpc_fail(mut self, target: Option<usize>, window: Range<SimTime>, prob: f64) -> Self {
+        self.specs.push(FaultSpec::RpcFail {
+            target,
+            window,
+            prob,
+        });
+        self
+    }
+
+    /// The declared node crashes as `(node, at)` pairs, in plan order.
+    pub fn crashes(&self) -> Vec<(usize, SimTime)> {
+        self.specs
+            .iter()
+            .filter_map(|s| match s {
+                FaultSpec::NodeCrash { node, at } => Some((*node, *at)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+struct Installed {
+    plan: FaultPlan,
+    /// One sampling stream per spec, so adding a spec never shifts the
+    /// draws of the others.
+    rngs: Vec<RefCell<SimRng>>,
+    injected: Cell<u64>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Installed>> = const { RefCell::new(None) };
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The runtime side of a [`FaultPlan`]: installs the plan into the
+/// thread-local slot consulted by the device and server models.
+pub struct FaultSchedule;
+
+/// Uninstalls the schedule on drop.
+pub struct FaultGuard {
+    _priv: (),
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| a.borrow_mut().take());
+        ENABLED.with(|e| e.set(false));
+    }
+}
+
+/// Stream-id base for per-spec sampling RNGs (disjoint from the device
+/// jitter streams, which live below 100 000 + nodes).
+const FAULT_STREAM_BASE: u64 = 900_000;
+
+impl FaultSchedule {
+    /// Install `plan` for the current thread until the guard drops.
+    ///
+    /// Panics if a schedule is already installed (fault runs don't nest).
+    pub fn install(plan: FaultPlan) -> FaultGuard {
+        let rngs = (0..plan.specs.len())
+            .map(|i| RefCell::new(SimRng::stream(plan.seed, FAULT_STREAM_BASE + i as u64)))
+            .collect();
+        ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            assert!(slot.is_none(), "a FaultSchedule is already installed");
+            *slot = Some(Installed {
+                plan,
+                rngs,
+                injected: Cell::new(0),
+            });
+        });
+        ENABLED.with(|e| e.set(true));
+        FaultGuard { _priv: () }
+    }
+}
+
+/// True if a fault schedule is currently installed.
+pub fn active() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Number of faults injected so far by the installed schedule.
+pub fn injected_count() -> u64 {
+    ACTIVE.with(|a| a.borrow().as_ref().map_or(0, |i| i.injected.get()))
+}
+
+fn record(kind: &'static str, node: usize, extra_ns: u64) {
+    ACTIVE.with(|a| {
+        if let Some(inst) = a.borrow().as_ref() {
+            inst.injected.set(inst.injected.get() + 1);
+        }
+    });
+    trace::emit(|| {
+        Event::new(Layer::Faultsim, "fault.injected", EventKind::Point)
+            .node(node)
+            .field("fault", kind)
+            .field("extra_ns", extra_ns)
+    });
+    trace::counter("faultsim.injected", 1);
+}
+
+fn in_window(w: &Range<SimTime>) -> bool {
+    let t = e10_simcore::now();
+    t >= w.start && t < w.end
+}
+
+/// Extra service delay for an SSD command on `node`, if a stall fires.
+pub fn ssd_stall(node: usize) -> Option<SimDuration> {
+    if !active() {
+        return None;
+    }
+    let mut total = SimDuration::ZERO;
+    ACTIVE.with(|a| {
+        let guard = a.borrow();
+        let inst = guard.as_ref().expect("enabled without schedule");
+        for (spec, rng) in inst.plan.specs.iter().zip(&inst.rngs) {
+            if let FaultSpec::SsdStall {
+                node: n,
+                window,
+                prob,
+                stall,
+            } = spec
+            {
+                if *n == node && in_window(window) && rng.borrow_mut().uniform() < *prob {
+                    total += *stall;
+                }
+            }
+        }
+    });
+    if total > SimDuration::ZERO {
+        record("ssd_stall", node, total.as_nanos());
+        Some(total)
+    } else {
+        None
+    }
+}
+
+/// Extra delivery delay for a fabric message `src → dst`, if a link
+/// fault fires.
+pub fn link_fault(src: usize, dst: usize) -> Option<SimDuration> {
+    if !active() {
+        return None;
+    }
+    let mut total = SimDuration::ZERO;
+    ACTIVE.with(|a| {
+        let guard = a.borrow();
+        let inst = guard.as_ref().expect("enabled without schedule");
+        for (spec, rng) in inst.plan.specs.iter().zip(&inst.rngs) {
+            if let FaultSpec::LinkFault {
+                src: s,
+                dst: d,
+                window,
+                prob,
+                delay,
+            } = spec
+            {
+                let hit = s.is_none_or(|s| s == src) && d.is_none_or(|d| d == dst);
+                if hit && in_window(window) && rng.borrow_mut().uniform() < *prob {
+                    total += *delay;
+                }
+            }
+        }
+    });
+    if total > SimDuration::ZERO {
+        record("link", src, total.as_nanos());
+        Some(total)
+    } else {
+        None
+    }
+}
+
+/// True if the next PFS RPC served by data target `target` must fail.
+pub fn rpc_fails(target: usize) -> bool {
+    if !active() {
+        return false;
+    }
+    let mut fails = false;
+    ACTIVE.with(|a| {
+        let guard = a.borrow();
+        let inst = guard.as_ref().expect("enabled without schedule");
+        for (spec, rng) in inst.plan.specs.iter().zip(&inst.rngs) {
+            if let FaultSpec::RpcFail {
+                target: t,
+                window,
+                prob,
+            } = spec
+            {
+                if t.is_none_or(|t| t == target)
+                    && in_window(window)
+                    && rng.borrow_mut().uniform() < *prob
+                {
+                    fails = true;
+                }
+            }
+        }
+    });
+    if fails {
+        record("rpc", target, 0);
+    }
+    fails
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e10_simcore::run;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn no_schedule_means_no_faults() {
+        run(async {
+            assert!(!active());
+            assert!(ssd_stall(0).is_none());
+            assert!(link_fault(0, 1).is_none());
+            assert!(!rpc_fails(0));
+        });
+    }
+
+    #[test]
+    fn guard_uninstalls_on_drop() {
+        run(async {
+            {
+                let _g = FaultSchedule::install(FaultPlan::new(1).ssd_stall(
+                    0,
+                    always(),
+                    1.0,
+                    SimDuration::from_millis(5),
+                ));
+                assert!(active());
+                assert!(ssd_stall(0).is_some());
+            }
+            assert!(!active());
+            assert!(ssd_stall(0).is_none());
+        });
+    }
+
+    #[test]
+    fn windows_and_node_filters_apply() {
+        run(async {
+            let _g = FaultSchedule::install(FaultPlan::new(1).ssd_stall(
+                2,
+                secs(10)..secs(20),
+                1.0,
+                SimDuration::from_millis(5),
+            ));
+            assert!(ssd_stall(2).is_none(), "before the window");
+            assert!(ssd_stall(1).is_none(), "wrong node");
+            e10_simcore::sleep(SimDuration::from_secs(15)).await;
+            assert!(ssd_stall(2).is_some(), "inside the window");
+            e10_simcore::sleep(SimDuration::from_secs(10)).await;
+            assert!(ssd_stall(2).is_none(), "after the window");
+        });
+    }
+
+    #[test]
+    fn sampling_is_reproducible_per_seed() {
+        let draws = |seed: u64| {
+            run(async move {
+                let _g = FaultSchedule::install(FaultPlan::new(seed).rpc_fail(None, always(), 0.5));
+                (0..64).map(|_| rpc_fails(0)).collect::<Vec<bool>>()
+            })
+        };
+        assert_eq!(draws(7), draws(7));
+        assert_ne!(draws(7), draws(8), "different seeds must differ");
+    }
+
+    #[test]
+    fn link_faults_respect_endpoint_filters() {
+        run(async {
+            let _g = FaultSchedule::install(FaultPlan::new(1).link_fault(
+                Some(0),
+                None,
+                always(),
+                1.0,
+                SimDuration::from_micros(100),
+            ));
+            assert!(link_fault(0, 3).is_some());
+            assert!(link_fault(1, 3).is_none());
+            assert_eq!(injected_count(), 1);
+        });
+    }
+
+    #[test]
+    fn crashes_are_declarative_only() {
+        let plan = FaultPlan::new(1)
+            .node_crash(3, secs(5))
+            .rpc_fail(None, always(), 0.0);
+        assert_eq!(plan.crashes(), vec![(3, secs(5))]);
+        run(async {
+            let _g = FaultSchedule::install(plan);
+            // Crash specs never fire through the sampling queries.
+            assert!(!rpc_fails(0));
+            assert_eq!(injected_count(), 0);
+        });
+    }
+}

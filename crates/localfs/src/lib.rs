@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::ops::Range;
 use std::rc::Rc;
 
-use e10_simcore::SimDuration;
+use e10_simcore::{SimDuration, SimRng};
 use e10_storesim::{ExtentMap, PageCache, Payload, Source, Ssd};
 
 /// Errors from local file-system operations.
@@ -91,17 +91,21 @@ struct FileState {
     /// stream, used to decide page-cache residency on read-back.
     stream_log: BTreeMap<u64, u64>,
     unlinked: bool,
+    /// Raw append-only byte log (the substrate for small manifest /
+    /// journal files, whose *contents* matter across a crash, unlike
+    /// the generator-backed extent data).
+    append_log: Vec<u8>,
 }
 
 impl FileState {
     fn size(&self) -> u64 {
-        self.data.high_water()
+        self.data.high_water().max(self.append_log.len() as u64)
     }
 
     /// Bytes charged against the partition (sparse files only pay for
-    /// covered ranges, as on ext4).
+    /// covered ranges, as on ext4; append-log bytes pay in full).
     fn used(&self) -> u64 {
-        self.data.covered_bytes()
+        self.data.covered_bytes() + self.append_log.len() as u64
     }
 
     fn stream_pos(&self, offset: u64) -> u64 {
@@ -112,10 +116,41 @@ impl FileState {
     }
 }
 
+/// A write that has been issued but whose completion the caller has not
+/// yet observed — the bytes at risk when the node loses power.
+enum InFlight {
+    Write {
+        state: Rc<RefCell<FileState>>,
+        offset: u64,
+        payload: Payload,
+    },
+    Append {
+        state: Rc<RefCell<FileState>>,
+        bytes: Vec<u8>,
+    },
+}
+
 struct VolumeState {
     files: HashMap<String, Rc<RefCell<FileState>>>,
     used: u64,
     stream: u64,
+    /// Outstanding writes, keyed by issue ticket (BTreeMap: power-loss
+    /// tearing must visit them in deterministic issue order).
+    in_flight: BTreeMap<u64, InFlight>,
+    next_ticket: u64,
+}
+
+/// Deregisters an in-flight write when its future completes — or when a
+/// killed task's future is dropped.
+struct InFlightGuard {
+    vol: Rc<RefCell<VolumeState>>,
+    ticket: u64,
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.vol.borrow_mut().in_flight.remove(&self.ticket);
+    }
 }
 
 /// One node's local file system.
@@ -146,6 +181,8 @@ impl LocalFs {
                 files: HashMap::new(),
                 used: 0,
                 stream: 0,
+                in_flight: BTreeMap::new(),
+                next_ticket: 0,
             })),
         }
     }
@@ -157,6 +194,7 @@ impl LocalFs {
             data: ExtentMap::new(),
             stream_log: BTreeMap::new(),
             unlinked: false,
+            append_log: Vec::new(),
         }));
         let mut vol = self.vol.borrow_mut();
         if let Some(old) = vol.files.insert(path.to_string(), Rc::clone(&state)) {
@@ -230,6 +268,64 @@ impl LocalFs {
         vol.used += bytes;
         Ok(())
     }
+
+    fn register_in_flight(&self, entry: InFlight) -> InFlightGuard {
+        let mut vol = self.vol.borrow_mut();
+        let ticket = vol.next_ticket;
+        vol.next_ticket += 1;
+        vol.in_flight.insert(ticket, entry);
+        InFlightGuard {
+            vol: Rc::clone(&self.vol),
+            ticket,
+        }
+    }
+
+    /// Cut power to the node *right now*.
+    ///
+    /// Durability model (the NVM premise of the paper, see DESIGN.md §8):
+    /// a write whose call has completed is durable on the device; a
+    /// write still in flight is torn at a multiple of `atomicity` bytes
+    /// — a deterministic, `rng`-sampled prefix survives, the rest is
+    /// lost. The page cache comes back cold, so post-restart reads pay
+    /// device time. File-system metadata survives (journalled ext4).
+    ///
+    /// Call this *before* killing the node's crash group: killing first
+    /// would run the in-flight drop guards and silently discard the
+    /// torn prefixes.
+    pub fn power_loss(&self, atomicity: u64, rng: &mut SimRng) {
+        let atom = atomicity.max(1);
+        let entries: Vec<InFlight> = {
+            let mut vol = self.vol.borrow_mut();
+            std::mem::take(&mut vol.in_flight).into_values().collect()
+        };
+        for entry in entries {
+            match entry {
+                InFlight::Write {
+                    state,
+                    offset,
+                    payload,
+                } => {
+                    let keep = rng.below(payload.len + 1) / atom * atom;
+                    if keep > 0 {
+                        let torn = payload.slice(0, keep);
+                        state.borrow_mut().data.insert(offset, keep, torn.src);
+                    }
+                }
+                InFlight::Append { state, bytes } => {
+                    let keep = (rng.below(bytes.len() as u64 + 1) / atom * atom) as usize;
+                    state
+                        .borrow_mut()
+                        .append_log
+                        .extend_from_slice(&bytes[..keep]);
+                }
+            }
+        }
+        // Reconcile the partition accounting: reservations were made
+        // for full in-flight lengths, but only torn prefixes landed.
+        let mut vol = self.vol.borrow_mut();
+        vol.used = vol.files.values().map(|f| f.borrow().used()).sum();
+        self.cache.power_cycle();
+    }
 }
 
 impl LocalFile {
@@ -295,6 +391,13 @@ impl LocalFile {
         if grow > 0 {
             self.fs.reserve(grow)?;
         }
+        let _in_flight = self.fs.register_in_flight(InFlight::Write {
+            state: Rc::clone(&self.state),
+            offset,
+            payload: payload.clone(),
+        });
+        // A stalled device back-pressures the page cache it drains into.
+        self.fs.ssd.stall_point().await;
         self.fs.cache.write(len).await;
         self.write_extent_bookkeeping(offset, len);
         self.state
@@ -302,6 +405,47 @@ impl LocalFile {
             .data
             .insert(offset, len, payload.src);
         Ok(())
+    }
+
+    /// Append raw bytes to the file's byte log (journal substrate).
+    /// Charges the same page-cache/partition costs as [`write`](Self::write);
+    /// the log offset of the appended record is returned. Unlike extent
+    /// writes, these bytes keep their literal contents across a
+    /// [`LocalFs::power_loss`] (modulo tearing of the in-flight tail).
+    pub async fn append_bytes(&self, bytes: &[u8]) -> Result<u64, FsError> {
+        let len = bytes.len() as u64;
+        if len == 0 {
+            return Ok(self.state.borrow().append_log.len() as u64);
+        }
+        self.fs.reserve(len)?;
+        let _in_flight = self.fs.register_in_flight(InFlight::Append {
+            state: Rc::clone(&self.state),
+            bytes: bytes.to_vec(),
+        });
+        let at = self.state.borrow().append_log.len() as u64;
+        self.write_extent_bookkeeping(at, len);
+        self.fs.ssd.stall_point().await;
+        self.fs.cache.write(len).await;
+        self.state.borrow_mut().append_log.extend_from_slice(bytes);
+        Ok(at)
+    }
+
+    /// Read the whole byte log, charging page-cache or device time.
+    pub async fn read_log(&self) -> Vec<u8> {
+        let len = self.state.borrow().append_log.len() as u64;
+        if len > 0 {
+            let stream_pos = self.state.borrow().stream_pos(0);
+            let hit = self.fs.cache.read_at(stream_pos, len).await;
+            if !hit {
+                self.fs.ssd.read(len).await;
+            }
+        }
+        self.state.borrow().append_log.clone()
+    }
+
+    /// Current length of the byte log.
+    pub fn log_len(&self) -> u64 {
+        self.state.borrow().append_log.len() as u64
     }
 
     /// Read `[offset, offset+len)`: charges page-cache or device time
@@ -324,6 +468,8 @@ impl LocalFile {
 
     /// fsync: wait for writeback of all dirty node data.
     pub async fn sync(&self) {
+        // Writeback drains through the device; a planned stall delays it.
+        self.fs.ssd.stall_point().await;
         self.fs.cache.flush().await;
     }
 
@@ -522,5 +668,108 @@ mod tests {
             f.sync().await;
             assert_eq!(fs.page_cache().dirty(), 0);
         });
+    }
+
+    #[test]
+    fn append_log_roundtrips_and_charges_capacity() {
+        run(async {
+            let fs = small_fs();
+            let f = fs.create("/scratch/x.jnl").await.unwrap();
+            assert_eq!(f.append_bytes(b"rec-one.").await.unwrap(), 0);
+            assert_eq!(f.append_bytes(b"rec-two.").await.unwrap(), 8);
+            assert_eq!(f.log_len(), 16);
+            assert_eq!(f.read_log().await, b"rec-one.rec-two.");
+            assert_eq!(fs.statfs().1, 16);
+            fs.unlink("/scratch/x.jnl").await.unwrap();
+            assert_eq!(fs.statfs().1, 0, "unlink must release log bytes");
+        });
+    }
+
+    #[test]
+    fn completed_writes_survive_power_loss_and_cache_goes_cold() {
+        run(async {
+            let fs = small_fs();
+            let f = fs.create("/a").await.unwrap();
+            f.write(0, Payload::gen(3, 0, 1000)).await.unwrap();
+            f.append_bytes(b"0123456789abcdef").await.unwrap();
+            let t0 = now();
+            f.read(0, 1000).await.unwrap();
+            let warm = now().since(t0).as_secs_f64();
+
+            fs.power_loss(512, &mut SimRng::new(1));
+            assert!(
+                f.extents().verify_gen(3, 0, 1000).is_ok(),
+                "acked data is durable"
+            );
+            assert_eq!(f.read_log().await, b"0123456789abcdef");
+            assert_eq!(fs.statfs().1, 1016, "accounting must be intact");
+
+            let t1 = now();
+            f.read(0, 1000).await.unwrap();
+            let cold = now().since(t1).as_secs_f64();
+            assert!(cold > warm, "post-restart read must be a device read");
+        });
+    }
+
+    #[test]
+    fn in_flight_write_is_torn_at_the_atomicity_unit() {
+        run(async {
+            let fs = small_fs();
+            let f = fs.create("/a").await.unwrap();
+            let gid = e10_simcore::new_group();
+            let f2 = f.clone();
+            e10_simcore::spawn_in_group(gid, async move {
+                // 5000 B at 10 000 B/s memory speed: 0.5 s in flight.
+                f2.write(0, Payload::gen(9, 0, 5000)).await.unwrap();
+                unreachable!("the node dies before the write completes");
+            });
+            sleep_quarter().await;
+            // Power loss FIRST, then the crash-group kill (the contract
+            // documented on power_loss).
+            fs.power_loss(512, &mut SimRng::new(7));
+            e10_simcore::kill_group(gid);
+
+            let kept = f.extents().covered_bytes();
+            assert!(kept < 5000, "a torn write must not be complete");
+            assert_eq!(kept % 512, 0, "tear must respect the atomicity unit");
+            if kept > 0 {
+                assert!(
+                    f.extents().verify_gen(9, 0, kept).is_ok(),
+                    "prefix is real data"
+                );
+            }
+            assert_eq!(
+                fs.statfs().1,
+                kept,
+                "reservation must shrink to the torn prefix"
+            );
+            // A second power loss with nothing in flight changes nothing.
+            fs.power_loss(512, &mut SimRng::new(8));
+            assert_eq!(f.extents().covered_bytes(), kept);
+        });
+    }
+
+    #[test]
+    fn power_loss_tearing_is_deterministic() {
+        let kept_with = |seed: u64| {
+            run(async move {
+                let fs = small_fs();
+                let f = fs.create("/a").await.unwrap();
+                let gid = e10_simcore::new_group();
+                let f2 = f.clone();
+                e10_simcore::spawn_in_group(gid, async move {
+                    let _ = f2.write(0, Payload::gen(9, 0, 5000)).await;
+                });
+                sleep_quarter().await;
+                fs.power_loss(64, &mut SimRng::new(seed));
+                e10_simcore::kill_group(gid);
+                f.extents().covered_bytes()
+            })
+        };
+        assert_eq!(kept_with(3), kept_with(3));
+    }
+
+    async fn sleep_quarter() {
+        e10_simcore::sleep(SimDuration::from_millis(250)).await;
     }
 }

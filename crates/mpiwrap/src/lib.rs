@@ -317,7 +317,8 @@ file: /gfs/plain.dat
                             .await
                             .unwrap();
                         f0.write_contig(rank * 1000, Payload::gen(70, rank * 1000, 1000))
-                            .await;
+                            .await
+                            .unwrap();
                         let g0 = f0.global().clone();
                         wrap.file_close(f0).await;
                         assert_eq!(wrap.outstanding_count(), 1);
@@ -333,7 +334,8 @@ file: /gfs/plain.dat
                         assert_eq!(wrap.outstanding_count(), 0);
                         g0.extents().verify_gen(70, rank * 1000, 1000).unwrap();
                         f1.write_contig(rank * 1000, Payload::gen(71, rank * 1000, 1000))
-                            .await;
+                            .await
+                            .unwrap();
                         let g1 = f1.global().clone();
                         wrap.file_close(f1).await;
 

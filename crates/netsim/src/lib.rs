@@ -149,6 +149,12 @@ impl Network {
             self.mem[src].serve(bytes as f64).await;
             return;
         }
+        // Injected link fault: a dropped-and-retransmitted or delayed
+        // message. The transport stays reliable (InfiniBand-style); the
+        // fault costs only time.
+        if let Some(extra) = e10_faultsim::link_fault(src, dst) {
+            e10_simcore::sleep(extra).await;
+        }
         e10_simcore::sleep(self.cfg.latency).await;
         if bytes == 0 {
             return;
@@ -366,6 +372,55 @@ mod tests {
             now().as_secs_f64()
         });
         assert!((t - 2.0).abs() < 0.01, "t={t}");
+    }
+
+    #[test]
+    fn link_fault_adds_exactly_the_declared_delay() {
+        let base = run(async {
+            let net = Network::new(test_cfg(), 4);
+            net.transfer(0, 1, 1000).await;
+            now().as_secs_f64()
+        });
+        let faulted = run(async {
+            let _g =
+                e10_faultsim::FaultSchedule::install(e10_faultsim::FaultPlan::new(3).link_fault(
+                    Some(0),
+                    Some(1),
+                    e10_faultsim::always(),
+                    1.0,
+                    SimDuration::from_secs(2),
+                ));
+            let net = Network::new(test_cfg(), 4);
+            net.transfer(0, 1, 1000).await;
+            now().as_secs_f64()
+        });
+        assert!(
+            (faulted - base - 2.0).abs() < 1e-6,
+            "faulted={faulted} base={base}"
+        );
+    }
+
+    #[test]
+    fn intra_node_transfers_never_see_link_faults() {
+        let (a, b) = run(async {
+            let net = Network::new(test_cfg(), 2);
+            net.transfer(1, 1, 4000).await;
+            let a = now().as_secs_f64();
+            let _g =
+                e10_faultsim::FaultSchedule::install(e10_faultsim::FaultPlan::new(3).link_fault(
+                    None,
+                    None,
+                    e10_faultsim::always(),
+                    1.0,
+                    SimDuration::from_secs(9),
+                ));
+            net.transfer(1, 1, 4000).await;
+            (a, now().as_secs_f64() - a)
+        });
+        assert!(
+            (a - b).abs() < 1e-9,
+            "memcpy path must be immune: {a} vs {b}"
+        );
     }
 
     #[test]

@@ -69,6 +69,11 @@ pub struct PfsParams {
     /// Coefficient of variation of per-request server jitter (load
     /// imbalance among I/O servers — the paper's variability driver).
     pub server_jitter_cv: f64,
+    /// Retries after a failed I/O RPC before the client gives up.
+    pub max_retries: u32,
+    /// Base client backoff after a failed RPC; doubles per attempt and
+    /// is stretched by a uniform jitter factor in `[1, 2)`.
+    pub retry_base: SimDuration,
     /// Disk model for target members.
     pub disk: DiskParams,
     /// RAID geometry per target.
@@ -95,6 +100,8 @@ impl PfsParams {
             controller_absorb_bw: 2.5e9,
             destage_bw: 650e6,
             server_jitter_cv: 0.4,
+            max_retries: 4,
+            retry_base: SimDuration::from_millis(2),
             disk: DiskParams::nearline_sas(),
             raid: RaidParams::raid6(),
             disks_per_target: 10,
@@ -141,6 +148,9 @@ pub struct Pfs {
     targets: Vec<Target>,
     files: RefCell<HashMap<String, Rc<RefCell<PfsFileState>>>>,
     files_created: RefCell<u64>,
+    /// Jitter stream for client retry backoff (decorrelates retries of
+    /// concurrent clients after a correlated server failure).
+    retry_rng: RefCell<SimRng>,
 }
 
 /// Striping overrides at create time.
@@ -152,22 +162,66 @@ pub struct Striping {
     pub count: Option<usize>,
 }
 
+/// One failed I/O RPC (the underlying cause of [`PfsError::RpcExhausted`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcError {
+    /// Operation kind (`"write"` or `"read"`).
+    pub op: &'static str,
+    /// Data target that failed the request.
+    pub target: usize,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} rpc failed on data target {}", self.op, self.target)
+    }
+}
+
+impl std::error::Error for RpcError {}
+
 /// Errors from PFS operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PfsError {
     /// No such file.
     NotFound(String),
+    /// An I/O RPC kept failing after every allowed retry.
+    RpcExhausted {
+        /// Operation kind (`"write"` or `"read"`).
+        op: &'static str,
+        /// Data target that failed the request.
+        target: usize,
+        /// Failed attempts, including the initial one.
+        attempts: u32,
+        /// The final failure.
+        source: RpcError,
+    },
 }
 
 impl std::fmt::Display for PfsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PfsError::NotFound(p) => write!(f, "not found: {p}"),
+            PfsError::RpcExhausted {
+                op,
+                target,
+                attempts,
+                ..
+            } => write!(
+                f,
+                "{op} rpc to data target {target} failed after {attempts} attempts"
+            ),
         }
     }
 }
 
-impl std::error::Error for PfsError {}
+impl std::error::Error for PfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PfsError::NotFound(_) => None,
+            PfsError::RpcExhausted { source, .. } => Some(source),
+        }
+    }
+}
 
 impl Pfs {
     /// Build the file system. `mds_node` and `target_nodes` are the
@@ -227,12 +281,65 @@ impl Pfs {
             targets,
             files: RefCell::new(HashMap::new()),
             files_created: RefCell::new(0),
+            retry_rng: RefCell::new(SimRng::stream(seed, 20_000)),
         })
     }
 
     /// File-system parameters.
     pub fn params(&self) -> &PfsParams {
         &self.params
+    }
+
+    /// Client side of one I/O RPC submission: ship the request to the
+    /// target and, if the server fails it (injected via
+    /// `e10_faultsim::rpc_fails`), back off exponentially with jitter
+    /// and retry up to [`PfsParams::max_retries`] times.
+    async fn submit_rpc(
+        &self,
+        client: NodeId,
+        target: usize,
+        op: &'static str,
+        req_bytes: u64,
+    ) -> Result<(), PfsError> {
+        let t = &self.targets[target];
+        let mut attempt: u32 = 0;
+        loop {
+            // Client → server wire transfer (header, plus data for
+            // writes).
+            self.net.transfer(client, t.node, req_bytes).await;
+            if !e10_faultsim::rpc_fails(target) {
+                return Ok(());
+            }
+            // A failed attempt still occupied a handler thread before
+            // erroring out, and the error reply rides back to the
+            // client.
+            t.handler.serve(self.params.rpc_overhead).await;
+            self.net.transfer(t.node, client, 64).await;
+            attempt += 1;
+            if attempt > self.params.max_retries {
+                return Err(PfsError::RpcExhausted {
+                    op,
+                    target,
+                    attempts: attempt,
+                    source: RpcError { op, target },
+                });
+            }
+            let stretch = 1.0 + self.retry_rng.borrow_mut().uniform();
+            let backoff = self
+                .params
+                .retry_base
+                .mul_f64((1u64 << (attempt - 1)) as f64 * stretch);
+            trace::emit(|| {
+                Event::new(Layer::Pfs, "rpc.retry", EventKind::Point)
+                    .node(client)
+                    .field("op", op)
+                    .field("target", target)
+                    .field("attempt", attempt)
+                    .field("backoff_ns", backoff.as_nanos())
+            });
+            trace::counter("pfs.rpc_retries", 1);
+            e10_simcore::sleep(backoff).await;
+        }
     }
 
     async fn meta_rpc(&self, client: NodeId) {
@@ -442,7 +549,7 @@ impl PfsHandle {
         out
     }
 
-    async fn write_chunk(&self, client: NodeId, chunk: Chunk) {
+    async fn write_chunk(&self, client: NodeId, chunk: Chunk) -> Result<(), PfsError> {
         let pfs = &self.pfs;
         let t = &pfs.targets[chunk.target];
         let t0 = e10_simcore::now();
@@ -455,8 +562,10 @@ impl PfsHandle {
         });
         trace::counter("pfs.write_chunks", 1);
         trace::counter("pfs.write_bytes", chunk.len);
-        // Client → server wire transfer (data + header).
-        pfs.net.transfer(client, t.node, chunk.len + 128).await;
+        // Client → server wire transfer (data + header), with retry on
+        // injected RPC failures.
+        pfs.submit_rpc(client, chunk.target, "write", chunk.len + 128)
+            .await?;
         // Stripe-granular extent lock (the file-system locking
         // protocol): taken when the server starts processing the
         // request, so conflicting writers serialise for the whole
@@ -490,14 +599,22 @@ impl PfsHandle {
                 .field("queue_depth", t.handler.queue_len())
         });
         trace::sample("pfs.write_chunk_latency_s", latency);
+        Ok(())
     }
 
     /// Write `payload` at `offset`; returns when all stripe chunks are
-    /// committed. Chunks to different targets proceed in parallel.
-    pub async fn write(&self, client: NodeId, offset: u64, payload: Payload) {
+    /// committed. Chunks to different targets proceed in parallel. On
+    /// error nothing is recorded in the file map: the client cannot
+    /// know which chunks landed, so the whole request counts as failed.
+    pub async fn write(
+        &self,
+        client: NodeId,
+        offset: u64,
+        payload: Payload,
+    ) -> Result<(), PfsError> {
         let len = payload.len;
         if len == 0 {
-            return;
+            return Ok(());
         }
         let chunks = self.chunks(offset, len);
         let mut hs = Vec::new();
@@ -505,10 +622,13 @@ impl PfsHandle {
             let this = self.clone();
             hs.push(spawn(async move { this.write_chunk(client, chunk).await }));
         }
-        join_all(hs).await;
+        for r in join_all(hs).await {
+            r?;
+        }
         let mut st = self.state.borrow_mut();
         st.data.insert(offset, len, payload.src);
         st.size = st.size.max(offset + len);
+        Ok(())
     }
 
     /// Write a set of disjoint `(offset, payload)` pieces as ONE
@@ -523,9 +643,9 @@ impl PfsHandle {
         span_start: u64,
         span_len: u64,
         pieces: Vec<(u64, Payload)>,
-    ) {
+    ) -> Result<(), PfsError> {
         if span_len == 0 {
-            return;
+            return Ok(());
         }
         let chunks = self.chunks(span_start, span_len);
         let mut hs = Vec::new();
@@ -533,7 +653,9 @@ impl PfsHandle {
             let this = self.clone();
             hs.push(spawn(async move { this.write_chunk(client, chunk).await }));
         }
-        join_all(hs).await;
+        for r in join_all(hs).await {
+            r?;
+        }
         let mut st = self.state.borrow_mut();
         for (off, p) in pieces {
             debug_assert!(off >= span_start && off + p.len <= span_start + span_len);
@@ -542,6 +664,7 @@ impl PfsHandle {
             st.size = st.size.max(off + len);
         }
         st.size = st.size.max(span_start + span_len);
+        Ok(())
     }
 
     /// Read `[offset, offset+len)`: charges transfer/device time and
@@ -551,9 +674,9 @@ impl PfsHandle {
         client: NodeId,
         offset: u64,
         len: u64,
-    ) -> Vec<(Range<u64>, Option<Source>)> {
+    ) -> Result<Vec<(Range<u64>, Option<Source>)>, PfsError> {
         if len == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let chunks = self.chunks(offset, len);
         let mut hs = Vec::new();
@@ -571,7 +694,7 @@ impl PfsHandle {
                 });
                 trace::counter("pfs.read_chunks", 1);
                 trace::counter("pfs.read_bytes", chunk.len);
-                pfs.net.transfer(client, t.node, 128).await;
+                pfs.submit_rpc(client, chunk.target, "read", 128).await?;
                 let unit = this.state.borrow().stripe_unit;
                 let lstart = (chunk.dev_offset / unit) * unit;
                 let lend = (chunk.dev_offset + chunk.len).div_ceil(unit) * unit;
@@ -589,10 +712,13 @@ impl PfsHandle {
                         .field("target", chunk.target)
                         .field("bytes", chunk.len)
                 });
+                Ok::<(), PfsError>(())
             }));
         }
-        join_all(hs).await;
-        self.state.borrow().data.lookup(offset, len)
+        for r in join_all(hs).await {
+            r?;
+        }
+        Ok(self.state.borrow().data.lookup(offset, len))
     }
 
     /// Take a byte-range lock on the file (used by the E10 `coherent`
@@ -652,9 +778,9 @@ mod tests {
         run(async {
             let (_net, pfs) = small_cluster();
             let f = pfs.create(0, "/gfs/out", Striping::default()).await;
-            f.write(0, 0, Payload::gen(5, 0, 1 << 20)).await;
+            f.write(0, 0, Payload::gen(5, 0, 1 << 20)).await.unwrap();
             assert_eq!(f.size(), 1 << 20);
-            let pieces = f.read(1, 0, 1 << 20).await;
+            let pieces = f.read(1, 0, 1 << 20).await.unwrap();
             assert!(pieces.iter().all(|(_, s)| s.is_some()));
             assert!(f.extents().verify_gen(5, 0, 1 << 20).is_ok());
         });
@@ -756,7 +882,8 @@ mod tests {
             let t0 = now();
             for i in 0..(size / (4 << 20)) {
                 f.write(0, i * (4 << 20), Payload::gen(1, i * (4 << 20), 4 << 20))
-                    .await;
+                    .await
+                    .unwrap();
             }
             let t_single = now().since(t0).as_secs_f64();
 
@@ -770,7 +897,8 @@ mod tests {
                     for i in 0..(share / (4 << 20)) {
                         let off = c * share + i * (4 << 20);
                         g.write(c as usize, off, Payload::gen(2, off, 4 << 20))
-                            .await;
+                            .await
+                            .unwrap();
                     }
                 }));
             }
@@ -793,7 +921,8 @@ mod tests {
             let t0 = now();
             for i in 0..(total / chunk) {
                 f.write(0, i * chunk, Payload::gen(1, i * chunk, chunk))
-                    .await;
+                    .await
+                    .unwrap();
             }
             total as f64 / now().since(t0).as_secs_f64()
         });
@@ -822,7 +951,8 @@ mod tests {
                 let f = f.clone();
                 hs.push(spawn(async move {
                     f.write(c as usize, c * (512 << 10), Payload::zero(512 << 10))
-                        .await;
+                        .await
+                        .unwrap();
                 }));
             }
             join_all(hs).await;
@@ -850,7 +980,8 @@ mod tests {
                 let f = f.clone();
                 hs.push(spawn(async move {
                     f.write(c as usize, c * (1 << 20), Payload::zero(1 << 20))
-                        .await;
+                        .await
+                        .unwrap();
                 }));
             }
             join_all(hs).await;
@@ -890,7 +1021,9 @@ mod tests {
             );
             let f = pfs.create(0, "/gfs/j", Striping::default()).await;
             for i in 0..32u64 {
-                f.write(0, i * (4 << 20), Payload::zero(4 << 20)).await;
+                f.write(0, i * (4 << 20), Payload::zero(4 << 20))
+                    .await
+                    .unwrap();
             }
             let lat = pfs.target_write_latencies();
             let total: u64 = lat.iter().map(|t| t.count()).sum();
@@ -898,6 +1031,120 @@ mod tests {
             let any_jitter = lat.iter().any(|t| t.count() > 2 && t.cv() > 0.01);
             assert!(any_jitter, "disk jitter must surface in service times");
         });
+    }
+
+    #[test]
+    fn transient_rpc_failures_are_retried_and_recover() {
+        let (t_clean, t_faulty, retried) = run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs.create(0, "/gfs/r", Striping::default()).await;
+            let t0 = now();
+            f.write(0, 0, Payload::gen(1, 0, 1 << 20)).await.unwrap();
+            let t_clean = now().since(t0).as_secs_f64();
+
+            // Every RPC fails for the next 20 ms; the exponential
+            // backoff carries the retries past the window.
+            let horizon = now() + SimDuration::from_millis(20);
+            let _g = e10_faultsim::FaultSchedule::install(
+                e10_faultsim::FaultPlan::new(3).rpc_fail(None, now()..horizon, 1.0),
+            );
+            let t1 = now();
+            f.write(0, 1 << 20, Payload::gen(1, 1 << 20, 1 << 20))
+                .await
+                .unwrap();
+            let t_faulty = now().since(t1).as_secs_f64();
+            (t_clean, t_faulty, e10_faultsim::injected_count())
+        });
+        assert!(retried >= 1, "at least one RPC must have failed");
+        assert!(
+            t_faulty > t_clean,
+            "retries must cost time: clean={t_clean} faulty={t_faulty}"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_surface_with_source_chain() {
+        run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs.create(0, "/gfs/x", Striping::default()).await;
+            let _g = e10_faultsim::FaultSchedule::install(
+                e10_faultsim::FaultPlan::new(3).rpc_fail(None, e10_faultsim::always(), 1.0),
+            );
+            let err = f
+                .write(0, 0, Payload::gen(1, 0, 4096))
+                .await
+                .expect_err("all retries must be exhausted");
+            let PfsError::RpcExhausted { op, attempts, .. } = &err else {
+                panic!("unexpected error {err:?}");
+            };
+            assert_eq!(*op, "write");
+            assert_eq!(
+                *attempts,
+                pfs.params().max_retries + 1,
+                "initial attempt plus every retry"
+            );
+            use std::error::Error;
+            let src = err.source().expect("source chain must be intact");
+            assert!(src.to_string().contains("rpc failed"), "source={src}");
+            // Nothing may be recorded for a failed write.
+            assert_eq!(f.size(), 0);
+            assert!(f.extents().holes(0, 4096).len() == 1);
+        });
+    }
+
+    #[test]
+    fn reads_retry_too_and_failures_target_only_the_declared_target() {
+        run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs
+                .create(
+                    0,
+                    "/gfs/t",
+                    Striping {
+                        unit: Some(1 << 20),
+                        count: Some(1),
+                    },
+                )
+                .await;
+            f.write(0, 0, Payload::gen(2, 0, 1 << 20)).await.unwrap();
+            let victim = f.chunks(0, 1).pop().unwrap().target;
+            // Fail a DIFFERENT target: this file never touches it.
+            let other = (victim + 1) % pfs.params().data_targets;
+            let _g = e10_faultsim::FaultSchedule::install(
+                e10_faultsim::FaultPlan::new(3).rpc_fail(Some(other), e10_faultsim::always(), 1.0),
+            );
+            f.read(1, 0, 1 << 20).await.unwrap();
+            assert_eq!(e10_faultsim::injected_count(), 0);
+            drop(_g);
+            // Now fail the file's own target: reads must error out.
+            let _g = e10_faultsim::FaultSchedule::install(
+                e10_faultsim::FaultPlan::new(3).rpc_fail(Some(victim), e10_faultsim::always(), 1.0),
+            );
+            let err = f.read(1, 0, 1 << 20).await.expect_err("read must fail");
+            assert!(matches!(err, PfsError::RpcExhausted { op: "read", .. }));
+        });
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        // With N allowed retries and 100% failure, the total backoff is
+        // at least retry_base * (2^N - 1) (jitter only stretches it).
+        let elapsed = run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs.create(0, "/gfs/b", Striping::default()).await;
+            let t0 = now();
+            let _g = e10_faultsim::FaultSchedule::install(
+                e10_faultsim::FaultPlan::new(3).rpc_fail(None, e10_faultsim::always(), 1.0),
+            );
+            let _ = f.write(0, 0, Payload::gen(1, 0, 4096)).await;
+            now().since(t0).as_secs_f64()
+        });
+        let base = 0.002;
+        let floor = base * ((1 << 4) - 1) as f64; // 4 retries
+        assert!(
+            elapsed >= floor,
+            "elapsed={elapsed} must include exponential backoff >= {floor}"
+        );
     }
 
     #[test]

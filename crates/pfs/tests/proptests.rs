@@ -41,7 +41,7 @@ proptest! {
             let mut model = e10_storesim::ExtentMap::new();
             for (i, &(off, len)) in writes.iter().enumerate() {
                 let seed = i as u64 + 1;
-                f.write(0, off, Payload::gen(seed, off, len)).await;
+                f.write(0, off, Payload::gen(seed, off, len)).await.unwrap();
                 model.insert(off, len, e10_storesim::Source::gen_at(seed, off));
             }
             let got = f.extents();
@@ -70,8 +70,8 @@ proptest! {
             let f = pfs
                 .create(0, "/gfs/q", Striping { unit: Some(1 << unit_shift), count: None })
                 .await;
-            f.write(0, off, Payload::gen(9, off, len)).await;
-            let pieces = f.read(1, q_off, q_len).await;
+            f.write(0, off, Payload::gen(9, off, len)).await.unwrap();
+            let pieces = f.read(1, q_off, q_len).await.unwrap();
             // Pieces tile the query.
             let mut pos = q_off;
             for (r, src) in pieces {

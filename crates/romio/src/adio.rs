@@ -2,14 +2,14 @@
 //! writes, with the E10 cache redirection of Fig. 2's
 //! `ADIOI_GEN_WriteContig`.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use e10_mpisim::{Comm, Info};
 use e10_pfs::{PfsHandle, Striping};
 use e10_storesim::Payload;
 
-use crate::cache::CacheLayer;
+use crate::cache::{CacheConfig, CacheLayer};
 use crate::error::Error;
 use crate::fd::select_aggregators_capped;
 use crate::hints::{CacheMode, RomioHints};
@@ -63,6 +63,7 @@ pub struct AdioFile {
     deferred_open: bool,
     atomic: Rc<Cell<bool>>,
     closed: Rc<Cell<bool>>,
+    io_error: Rc<RefCell<Option<Error>>>,
 }
 
 impl AdioFile {
@@ -121,17 +122,8 @@ impl AdioFile {
             // implementation reverts to standard open."
             CacheLayer::open(
                 ctx.my_localfs().clone(),
-                &hints.e10_cache_path,
-                basename,
-                comm.rank(),
-                comm.node(),
                 global.clone(),
-                hints.ind_wr_buffer_size,
-                hints.e10_cache_flush_flag,
-                hints.e10_cache == CacheMode::Coherent,
-                hints.e10_cache_discard_flag,
-                hints.e10_cache_evict,
-                hints.e10_sync_policy,
+                CacheConfig::from_hints(&hints, basename, comm.rank(), comm.node()),
             )
             .await
             .ok()
@@ -152,6 +144,7 @@ impl AdioFile {
             deferred_open: deferred,
             atomic: Rc::new(Cell::new(false)),
             closed: Rc::new(Cell::new(false)),
+            io_error: Rc::new(RefCell::new(None)),
         })
     }
 
@@ -217,14 +210,35 @@ impl AdioFile {
         self.atomic.get()
     }
 
+    /// Remember the first I/O error seen on this file (retrievable with
+    /// [`AdioFile::take_io_error`]). Collective operations report
+    /// failure through their exchanged error code; the stored error
+    /// keeps the full cause chain for inspection.
+    pub fn record_io_error(&self, e: Error) {
+        let mut slot = self.io_error.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    /// True if an I/O error has been recorded and not yet taken.
+    pub fn has_io_error(&self) -> bool {
+        self.io_error.borrow().is_some()
+    }
+
+    /// Take the first recorded I/O error, clearing the slot.
+    pub fn take_io_error(&self) -> Option<Error> {
+        self.io_error.borrow_mut().take()
+    }
+
     /// `ADIOI_GEN_WriteContig` / `ADIO_WriteContig`: one contiguous
     /// extent, through the cache when enabled (falling back to the
     /// global file if the cache has degraded).
-    pub async fn write_contig(&self, offset: u64, payload: Payload) {
+    pub async fn write_contig(&self, offset: u64, payload: Payload) -> Result<(), Error> {
         let _t = self.profiler.enter(Phase::Write);
         if let Some(c) = &self.cache {
             match c.write(offset, payload.clone()).await {
-                Ok(true) => return,
+                Ok(true) => return Ok(()),
                 Ok(false) => {} // degraded → global path below
                 Err(_) => {}    // unexpected local error → global path
             }
@@ -242,17 +256,26 @@ impl AdioFile {
         } else {
             None
         };
-        self.global.write(self.comm.node(), offset, payload).await;
+        self.global
+            .write(self.comm.node(), offset, payload)
+            .await
+            .map_err(Error::from)
     }
 
     /// Write disjoint pieces as one spanning I/O (the write half of a
     /// collective-buffer read-modify-write). Only meaningful on the
     /// non-cached path.
-    pub async fn write_span(&self, span_start: u64, span_len: u64, pieces: Vec<(u64, Payload)>) {
+    pub async fn write_span(
+        &self,
+        span_start: u64,
+        span_len: u64,
+        pieces: Vec<(u64, Payload)>,
+    ) -> Result<(), Error> {
         let _t = self.profiler.enter(Phase::Write);
         self.global
             .write_span_pieces(self.comm.node(), span_start, span_len, pieces)
-            .await;
+            .await
+            .map_err(Error::from)
     }
 
     /// Contiguous read from the global file. Reads are not served from
@@ -263,7 +286,7 @@ impl AdioFile {
         &self,
         offset: u64,
         len: u64,
-    ) -> Vec<(std::ops::Range<u64>, Option<e10_storesim::Source>)> {
+    ) -> Result<Vec<(std::ops::Range<u64>, Option<e10_storesim::Source>)>, Error> {
         let _guard = if self.hints.e10_cache == CacheMode::Coherent && len > 0 {
             Some(
                 self.global
@@ -277,7 +300,10 @@ impl AdioFile {
         } else {
             None
         };
-        self.global.read(self.comm.node(), offset, len).await
+        self.global
+            .read(self.comm.node(), offset, len)
+            .await
+            .map_err(Error::from)
     }
 
     /// `MPI_File_sync`: after it returns, all data this process wrote
@@ -334,6 +360,7 @@ impl AdioFile {
             deferred_open: self.deferred_open,
             atomic: Rc::clone(&self.atomic),
             closed: Rc::clone(&self.closed),
+            io_error: Rc::clone(&self.io_error),
         }
     }
 }
@@ -377,7 +404,9 @@ mod tests {
                     .unwrap();
                 assert!(!f.cache_active());
                 let off = ctx.comm.rank() as u64 * 1024;
-                f.write_contig(off, Payload::gen(1, off, 1024)).await;
+                f.write_contig(off, Payload::gen(1, off, 1024))
+                    .await
+                    .unwrap();
                 f.close().await;
                 assert!(f.is_closed());
                 if ctx.comm.rank() == 0 {
@@ -402,7 +431,9 @@ mod tests {
                     .unwrap();
                 assert!(f.cache_active());
                 let off = ctx.comm.rank() as u64 * 4096;
-                f.write_contig(off, Payload::gen(2, off, 4096)).await;
+                f.write_contig(off, Payload::gen(2, off, 4096))
+                    .await
+                    .unwrap();
                 // Not yet visible globally.
                 assert!(!f.global().extents().covered(off, 1));
                 f.close().await;
@@ -424,7 +455,9 @@ mod tests {
                     .await
                     .unwrap();
                 let off = ctx.comm.rank() as u64 * 1000;
-                f.write_contig(off, Payload::gen(3, off, 1000)).await;
+                f.write_contig(off, Payload::gen(3, off, 1000))
+                    .await
+                    .unwrap();
                 f.file_sync().await;
                 assert!(f.global().extents().verify_gen(3, off, 1000).is_ok());
                 f.close().await;
@@ -453,7 +486,9 @@ mod tests {
                             .await
                             .unwrap();
                         let off = ctx.comm.rank() as u64 * 100_000;
-                        f.write_contig(off, Payload::gen(4, off, 100_000)).await;
+                        f.write_contig(off, Payload::gen(4, off, 100_000))
+                            .await
+                            .unwrap();
                         // Data must land in the global file despite the
                         // cache being unusable.
                         f.close().await;
@@ -589,7 +624,9 @@ mod tests {
                 // seeds; atomicity guarantees the result is entirely
                 // one or the other, never interleaved.
                 let seed = 60 + ctx.comm.rank() as u64;
-                f.write_contig(0, Payload::gen(seed, 0, 256 << 10)).await;
+                f.write_contig(0, Payload::gen(seed, 0, 256 << 10))
+                    .await
+                    .unwrap();
                 f.close().await;
                 if ctx.comm.rank() == 0 {
                     let ext = f.global().extents();

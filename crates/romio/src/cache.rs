@@ -15,6 +15,13 @@
 //! lock on the global file (`ADIOI_WRITE_LOCK`) that is only dropped
 //! when the extent is persistent, so no reader can observe in-transit
 //! data.
+//!
+//! With `e10_cache_journal` enabled, every accepted extent is also
+//! recorded in an append-only manifest journal (see [`crate::journal`])
+//! before the write returns, and marked synced once persistent
+//! globally. After a node crash, [`CacheLayer::recover`] replays the
+//! journal against the (durable) cache file and re-queues whatever had
+//! not reached the global file.
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -28,7 +35,146 @@ use e10_simcore::trace::{self, Event, EventKind, Layer};
 use e10_simcore::{channel, JoinHandle, Sender};
 use e10_storesim::Payload;
 
-use crate::hints::{FlushFlag, SyncPolicy};
+use crate::hints::{FlushFlag, RomioHints, SyncPolicy};
+use crate::journal::{self, Record};
+
+/// Everything that shapes one rank's cache layer. Replaces the long
+/// positional argument list of the original `open`; built from resolved
+/// hints via [`CacheConfig::from_hints`] or field by field in tests.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Directory on the node-local file system (`e10_cache_path`).
+    pub cache_path: String,
+    /// Base name of the global file (cache file name component).
+    pub file_basename: String,
+    /// Owning rank (cache file name component).
+    pub rank: usize,
+    /// Compute node hosting the cache.
+    pub node: NodeId,
+    /// Sync chunk size (`ind_wr_buffer_size`).
+    pub ind_wr: u64,
+    /// When extents are pushed to the global file.
+    pub flush_flag: FlushFlag,
+    /// Hold global extent locks until synced (`e10_cache=coherent`).
+    pub coherent: bool,
+    /// Remove the cache file on close (`e10_cache_discard_flag`).
+    pub discard: bool,
+    /// Punch synced chunks out of the cache file (`e10_cache_evict`).
+    pub evict: bool,
+    /// Sync-thread scheduling policy (`e10_sync_policy`).
+    pub sync_policy: SyncPolicy,
+    /// Keep the crash-recovery manifest journal (`e10_cache_journal`).
+    pub journal: bool,
+    /// Journal file override (`e10_cache_journal_path`); `None` puts it
+    /// at `<cache file>.jnl`.
+    pub journal_path: Option<String>,
+}
+
+impl CacheConfig {
+    /// A config with the hint defaults for `rank` on `node`.
+    pub fn new(cache_path: &str, file_basename: &str, rank: usize, node: NodeId) -> CacheConfig {
+        let h = RomioHints::default();
+        CacheConfig {
+            cache_path: cache_path.to_string(),
+            file_basename: file_basename.to_string(),
+            rank,
+            node,
+            ind_wr: h.ind_wr_buffer_size,
+            flush_flag: h.e10_cache_flush_flag,
+            coherent: false,
+            discard: h.e10_cache_discard_flag,
+            evict: h.e10_cache_evict,
+            sync_policy: h.e10_sync_policy,
+            journal: h.e10_cache_journal,
+            journal_path: h.e10_cache_journal_path,
+        }
+    }
+
+    /// The config a resolved hint set asks for.
+    pub fn from_hints(
+        hints: &RomioHints,
+        file_basename: &str,
+        rank: usize,
+        node: NodeId,
+    ) -> CacheConfig {
+        CacheConfig {
+            cache_path: hints.e10_cache_path.clone(),
+            file_basename: file_basename.to_string(),
+            rank,
+            node,
+            ind_wr: hints.ind_wr_buffer_size,
+            flush_flag: hints.e10_cache_flush_flag,
+            coherent: hints.e10_cache == crate::hints::CacheMode::Coherent,
+            discard: hints.e10_cache_discard_flag,
+            evict: hints.e10_cache_evict,
+            sync_policy: hints.e10_sync_policy,
+            journal: hints.e10_cache_journal,
+            journal_path: hints.e10_cache_journal_path.clone(),
+        }
+    }
+
+    /// Path of this rank's cache file.
+    pub fn cache_file_path(&self) -> String {
+        format!(
+            "{}/{}.{}.e10",
+            self.cache_path, self.file_basename, self.rank
+        )
+    }
+
+    /// Path of this rank's manifest journal.
+    pub fn journal_file_path(&self) -> String {
+        self.journal_path
+            .clone()
+            .unwrap_or_else(|| format!("{}.jnl", self.cache_file_path()))
+    }
+}
+
+/// What [`CacheLayer::recover`] found and did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Valid journal records replayed.
+    pub records: usize,
+    /// True if the journal tail was torn by the crash.
+    pub torn_tail: bool,
+    /// Extents re-queued for synchronisation (offset, len).
+    pub requeued: Vec<(u64, u64)>,
+    /// Total re-queued bytes.
+    pub requeued_bytes: u64,
+}
+
+/// Why a cache could not be recovered.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// No journal was kept (or it did not survive): any bytes still in
+    /// the cache file are unaccounted for — report them as data loss.
+    NoJournal {
+        /// Bytes found staged in the cache file with no manifest.
+        cached_bytes: u64,
+    },
+    /// Local file-system failure during recovery.
+    Local(FsError),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::NoJournal { cached_bytes } => write!(
+                f,
+                "cache not recoverable: no manifest journal ({cached_bytes} staged bytes lost)"
+            ),
+            RecoverError::Local(e) => write!(f, "cache recovery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoverError::NoJournal { .. } => None,
+            RecoverError::Local(e) => Some(e),
+        }
+    }
+}
 
 struct SyncMsg {
     offset: u64,
@@ -42,16 +188,12 @@ struct SyncMsg {
 
 struct CacheInner {
     file: LocalFile,
+    journal: Option<LocalFile>,
     cache_file_path: String,
+    journal_file_path: String,
     localfs: LocalFs,
     global: PfsHandle,
-    node: NodeId,
-    ind_wr: u64,
-    flush_flag: FlushFlag,
-    coherent: bool,
-    discard: bool,
-    evict: bool,
-    sync_policy: SyncPolicy,
+    cfg: CacheConfig,
     tx: RefCell<Option<Sender<SyncMsg>>>,
     sync_task: RefCell<Option<JoinHandle<()>>>,
     outstanding: RefCell<Vec<Grequest>>,
@@ -59,6 +201,7 @@ struct CacheInner {
     degraded: Cell<bool>,
     bytes_cached: Cell<u64>,
     bytes_synced: Rc<Cell<u64>>,
+    sync_errors: Rc<Cell<u64>>,
 }
 
 /// One open file's cache state.
@@ -70,48 +213,121 @@ pub struct CacheLayer {
 impl CacheLayer {
     /// Open the cache file and start the sync thread. Fails (so the
     /// caller can revert to the standard path, as the paper requires)
-    /// if the cache file cannot be created.
-    #[allow(clippy::too_many_arguments)] // mirrors the breadth of the e10 hint set
+    /// if the cache file — or, when requested, its journal — cannot be
+    /// created.
     pub async fn open(
         localfs: LocalFs,
-        cache_path: &str,
-        file_basename: &str,
-        rank: usize,
-        node: NodeId,
         global: PfsHandle,
-        ind_wr: u64,
-        flush_flag: FlushFlag,
-        coherent: bool,
-        discard: bool,
-        evict: bool,
-        sync_policy: SyncPolicy,
+        cfg: CacheConfig,
     ) -> Result<CacheLayer, FsError> {
-        let cache_file_path = format!("{cache_path}/{file_basename}.{rank}.e10");
+        let cache_file_path = cfg.cache_file_path();
+        let journal_file_path = cfg.journal_file_path();
         let file = localfs.create(&cache_file_path).await?;
-        let bytes_synced = Rc::new(Cell::new(0u64));
+        let journal = if cfg.journal {
+            Some(localfs.create(&journal_file_path).await?)
+        } else {
+            None
+        };
+        Self::assemble(localfs, global, cfg, file, journal)
+    }
+
+    fn assemble(
+        localfs: LocalFs,
+        global: PfsHandle,
+        mut cfg: CacheConfig,
+        file: LocalFile,
+        journal: Option<LocalFile>,
+    ) -> Result<CacheLayer, FsError> {
+        cfg.ind_wr = cfg.ind_wr.max(1);
         let inner = Rc::new(CacheInner {
+            cache_file_path: cfg.cache_file_path(),
+            journal_file_path: cfg.journal_file_path(),
             file,
-            cache_file_path,
+            journal,
             localfs,
             global,
-            node,
-            ind_wr: ind_wr.max(1),
-            flush_flag,
-            coherent,
-            discard,
-            evict,
-            sync_policy,
+            cfg,
             tx: RefCell::new(None),
             sync_task: RefCell::new(None),
             outstanding: RefCell::new(Vec::new()),
             deferred: RefCell::new(Vec::new()),
             degraded: Cell::new(false),
             bytes_cached: Cell::new(0),
-            bytes_synced,
+            bytes_synced: Rc::new(Cell::new(0)),
+            sync_errors: Rc::new(Cell::new(0)),
         });
         let layer = CacheLayer { inner };
         layer.start_sync_thread();
         Ok(layer)
+    }
+
+    /// Re-open a cache left behind by a crashed process: replay the
+    /// manifest journal, re-queue every extent that never reached the
+    /// global file, and return the running layer plus a report. The
+    /// caller typically follows with [`CacheLayer::flush`] to drive the
+    /// re-queued extents out.
+    ///
+    /// Without a journal the staged bytes cannot be attributed and the
+    /// cache is *not* recoverable: the error reports how many bytes
+    /// were lost.
+    pub async fn recover(
+        localfs: LocalFs,
+        global: PfsHandle,
+        cfg: CacheConfig,
+    ) -> Result<(CacheLayer, RecoveryReport), RecoverError> {
+        let cache_file_path = cfg.cache_file_path();
+        let journal_file_path = cfg.journal_file_path();
+        if !cfg.journal || !localfs.exists(&journal_file_path) {
+            let cached_bytes = match localfs.open(&cache_file_path).await {
+                Ok(f) => f.extents().covered_bytes(),
+                Err(_) => 0,
+            };
+            return Err(RecoverError::NoJournal { cached_bytes });
+        }
+        let journal_file = localfs
+            .open(&journal_file_path)
+            .await
+            .map_err(RecoverError::Local)?;
+        let file = match localfs.open(&cache_file_path).await {
+            Ok(f) => f,
+            // Journal without cache file: nothing unsynced can be
+            // staged (Adds follow data), start from an empty cache.
+            Err(FsError::NotFound(_)) => localfs
+                .create(&cache_file_path)
+                .await
+                .map_err(RecoverError::Local)?,
+            Err(e) => return Err(RecoverError::Local(e)),
+        };
+        let log = journal_file.read_log().await;
+        let rep = journal::replay(&log);
+        let requeued = rep.unsynced();
+        let requeued_bytes: u64 = requeued.iter().map(|&(_, l)| l).sum();
+        let report = RecoveryReport {
+            records: rep.records.len(),
+            torn_tail: rep.torn,
+            requeued: requeued.clone(),
+            requeued_bytes,
+        };
+        let layer = Self::assemble(localfs, global, cfg, file, Some(journal_file))
+            .map_err(RecoverError::Local)?;
+        layer
+            .inner
+            .bytes_cached
+            .set(layer.inner.file.extents().covered_bytes());
+        for &(offset, len) in &requeued {
+            layer.enqueue_sync(offset, len, None, false);
+        }
+        trace::emit(|| {
+            Event::new(Layer::Romio, "cache.recovered", EventKind::Point)
+                .node(layer.inner.cfg.node)
+                .field("records", report.records as u64)
+                .field("torn_tail", report.torn_tail)
+                .field("requeued_extents", report.requeued.len() as u64)
+                .field("requeued_bytes", report.requeued_bytes)
+        });
+        trace::counter("cache.recoveries", 1);
+        trace::counter("cache.recovered_bytes", report.requeued_bytes);
+        Ok((layer, report))
     }
 
     /// `ADIOI_Sync_thread_start`: one dedicated task per open file that
@@ -119,12 +335,14 @@ impl CacheLayer {
     fn start_sync_thread(&self) {
         let (tx, mut rx) = channel::<SyncMsg>();
         let file = self.inner.file.clone();
+        let journal = self.inner.journal.clone();
         let global = self.inner.global.clone();
-        let node = self.inner.node;
-        let ind_wr = self.inner.ind_wr;
-        let evict = self.inner.evict;
-        let policy = self.inner.sync_policy;
+        let node = self.inner.cfg.node;
+        let ind_wr = self.inner.cfg.ind_wr;
+        let evict = self.inner.cfg.evict;
+        let policy = self.inner.cfg.sync_policy;
         let synced = Rc::clone(&self.inner.bytes_synced);
+        let sync_errors = Rc::clone(&self.inner.sync_errors);
         let task = e10_simcore::spawn(async move {
             while let Some(msg) = rx.recv().await {
                 trace::emit(|| {
@@ -155,18 +373,49 @@ impl CacheLayer {
                     // recent data, SSD otherwise)...
                     let pieces = file.read(pos, n).await.unwrap_or_default();
                     // ...and stream to the global file.
+                    let mut chunk_ok = true;
                     for (range, src) in pieces {
                         if let Some(src) = src {
                             let len = range.end - range.start;
-                            global.write(node, range.start, Payload { src, len }).await;
+                            if let Err(e) =
+                                global.write(node, range.start, Payload { src, len }).await
+                            {
+                                // Leave the chunk in the cache (no
+                                // Synced record, no punch): the data is
+                                // still recoverable from here.
+                                chunk_ok = false;
+                                sync_errors.set(sync_errors.get() + 1);
+                                trace::emit(|| {
+                                    Event::new(Layer::Romio, "cache.sync_error", EventKind::Point)
+                                        .node(node)
+                                        .field("offset", range.start)
+                                        .field("error", e.to_string())
+                                });
+                                trace::counter("cache.sync_errors", 1);
+                                break;
+                            }
                         }
                     }
-                    // Streaming space management: drop the chunk from
-                    // the cache as soon as it is persistent globally.
-                    if evict {
-                        file.punch(pos, n).await;
+                    if chunk_ok {
+                        if let Some(jnl) = &journal {
+                            let _ = jnl
+                                .append_bytes(
+                                    &Record::Synced {
+                                        offset: pos,
+                                        len: n,
+                                    }
+                                    .encode(),
+                                )
+                                .await;
+                        }
+                        // Streaming space management: drop the chunk
+                        // from the cache as soon as it is persistent
+                        // globally.
+                        if evict {
+                            file.punch(pos, n).await;
+                        }
+                        synced.set(synced.get() + n);
                     }
-                    synced.set(synced.get() + n);
                     pos += n;
                 }
                 trace::emit(|| {
@@ -199,6 +448,12 @@ impl CacheLayer {
         self.inner.bytes_synced.get()
     }
 
+    /// Global-file write failures hit by the sync thread (the affected
+    /// chunks stay staged in the cache file).
+    pub fn sync_errors(&self) -> u64 {
+        self.inner.sync_errors.get()
+    }
+
     /// Sync requests posted but not yet completed.
     pub fn outstanding(&self) -> usize {
         self.inner
@@ -214,10 +469,28 @@ impl CacheLayer {
         &self.inner.cache_file_path
     }
 
+    /// Path of the manifest journal (whether or not one is kept).
+    pub fn journal_file_path(&self) -> &str {
+        &self.inner.journal_file_path
+    }
+
+    /// True if a manifest journal is being kept.
+    pub fn journal_active(&self) -> bool {
+        self.inner.journal.is_some()
+    }
+
     /// True if `[offset, offset+len)` is fully present in this
-    /// process's cache file (cache-read extension).
+    /// process's cache file (cache-read extension). The empty range is
+    /// only "covered" where the file has data at all: a zero-length
+    /// query beyond the staged extents reports `false`, so callers
+    /// cannot be lured into serving reads at offsets the cache has
+    /// never seen.
     pub fn covers(&self, offset: u64, len: u64) -> bool {
-        self.inner.file.extents().covered(offset, len)
+        let ext = self.inner.file.extents();
+        if len == 0 {
+            return ext.covered_bytes_in(offset, 1) == 1;
+        }
+        ext.covered(offset, len)
     }
 
     /// Read from the cache file (charges local device/page-cache time)
@@ -254,6 +527,11 @@ impl CacheLayer {
             return Ok(false);
         }
         let len = payload.len;
+        // Zero-length writes are accepted trivially: nothing to stage,
+        // journal or sync (and no reason to degrade the cache).
+        if len == 0 {
+            return Ok(true);
+        }
         // ADIOI_Cache_alloc: reserve space first so failure is clean.
         if let Err(e) = self.inner.file.fallocate(offset, len).await {
             match e {
@@ -265,29 +543,40 @@ impl CacheLayer {
             }
         }
         self.inner.file.write(offset, payload).await?;
+        // The manifest Add is appended only after the data write
+        // completed, and the application's write does not return before
+        // the append: every acknowledged byte is in the journal.
+        if let Some(jnl) = &self.inner.journal {
+            jnl.append_bytes(&Record::Add { offset, len }.encode())
+                .await?;
+        }
         self.inner
             .bytes_cached
             .set(self.inner.bytes_cached.get() + len);
         trace::emit(|| {
             Event::new(Layer::Romio, "cache.extent_write", EventKind::Point)
-                .node(self.inner.node)
+                .node(self.inner.cfg.node)
                 .field("offset", offset)
                 .field("bytes", len)
         });
         trace::counter("cache.bytes_cached", len);
         // Coherent mode: hold an exclusive global-file extent lock until
         // this extent is persistent.
-        let lock = if self.inner.coherent && self.inner.flush_flag != FlushFlag::FlushNone {
+        let lock = if self.inner.cfg.coherent && self.inner.cfg.flush_flag != FlushFlag::FlushNone {
             Some(
                 self.inner
                     .global
-                    .lock_extent(self.inner.node, offset..offset + len, LockMode::Exclusive)
+                    .lock_extent(
+                        self.inner.cfg.node,
+                        offset..offset + len,
+                        LockMode::Exclusive,
+                    )
                     .await,
             )
         } else {
             None
         };
-        match self.inner.flush_flag {
+        match self.inner.cfg.flush_flag {
             FlushFlag::FlushImmediate => self.enqueue_sync(offset, len, lock, false),
             FlushFlag::FlushOnClose => {
                 self.inner.deferred.borrow_mut().push((offset, len, lock));
@@ -300,7 +589,7 @@ impl CacheLayer {
     /// `ADIOI_GEN_Flush`: push any deferred extents to the sync thread
     /// and wait for every outstanding request.
     pub async fn flush(&self) {
-        if self.inner.flush_flag == FlushFlag::FlushNone {
+        if self.inner.cfg.flush_flag == FlushFlag::FlushNone {
             return;
         }
         let deferred: Vec<_> = self.inner.deferred.borrow_mut().drain(..).collect();
@@ -311,17 +600,17 @@ impl CacheLayer {
         let reqs: Vec<Grequest> = self.inner.outstanding.borrow_mut().drain(..).collect();
         trace::emit(|| {
             Event::new(Layer::Romio, "cache.flush_wait", EventKind::Begin)
-                .node(self.inner.node)
+                .node(self.inner.cfg.node)
                 .field("outstanding", reqs.iter().filter(|r| !r.test()).count())
         });
         grequest_waitall(&reqs).await;
         trace::emit(|| {
-            Event::new(Layer::Romio, "cache.flush_wait", EventKind::End).node(self.inner.node)
+            Event::new(Layer::Romio, "cache.flush_wait", EventKind::End).node(self.inner.cfg.node)
         });
     }
 
     /// Close-path: flush, stop the sync thread, discard the cache file
-    /// if requested.
+    /// (and journal) if requested.
     pub async fn close(&self) {
         self.flush().await;
         // Dropping the sender lets the sync task drain and exit.
@@ -332,8 +621,15 @@ impl CacheLayer {
         if let Some(t) = task {
             t.await;
         }
-        if self.inner.discard {
+        if self.inner.cfg.discard {
             let _ = self.inner.localfs.unlink(&self.inner.cache_file_path).await;
+            if self.inner.journal.is_some() {
+                let _ = self
+                    .inner
+                    .localfs
+                    .unlink(&self.inner.journal_file_path)
+                    .await;
+            }
         }
     }
 }
@@ -345,22 +641,21 @@ mod tests {
     use e10_pfs::Striping;
     use e10_simcore::run;
 
+    fn cfg(flush: FlushFlag, coherent: bool, discard: bool) -> CacheConfig {
+        let mut c = CacheConfig::new("/scratch", "target", 0, 0);
+        c.flush_flag = flush;
+        c.coherent = coherent;
+        c.discard = discard;
+        c
+    }
+
     async fn setup(flush: FlushFlag, coherent: bool, discard: bool) -> (CacheLayer, PfsHandle) {
         let tb = TestbedSpec::small(2, 1).build();
         let global = tb.pfs.create(0, "/gfs/target", Striping::default()).await;
         let layer = CacheLayer::open(
             tb.localfs[0].clone(),
-            "/scratch",
-            "target",
-            0,
-            0,
             global.clone(),
-            512 << 10,
-            flush,
-            coherent,
-            discard,
-            false,
-            crate::hints::SyncPolicy::Greedy,
+            cfg(flush, coherent, discard),
         )
         .await
         .unwrap();
@@ -377,6 +672,7 @@ mod tests {
             assert_eq!(layer.bytes_synced(), 2 << 20);
             assert!(global.extents().verify_gen(3, 0, 2 << 20).is_ok());
             assert_eq!(layer.outstanding(), 0);
+            assert_eq!(layer.sync_errors(), 0);
         });
     }
 
@@ -412,22 +708,11 @@ mod tests {
             let tb = TestbedSpec::small(2, 1).build();
             let global = tb.pfs.create(0, "/gfs/t", Striping::default()).await;
             for (discard, expect_exists) in [(true, false), (false, true)] {
-                let layer = CacheLayer::open(
-                    tb.localfs[0].clone(),
-                    "/scratch",
-                    "t",
-                    0,
-                    0,
-                    global.clone(),
-                    512 << 10,
-                    FlushFlag::FlushImmediate,
-                    false,
-                    discard,
-                    false,
-                    crate::hints::SyncPolicy::Greedy,
-                )
-                .await
-                .unwrap();
+                let mut c = CacheConfig::new("/scratch", "t", 0, 0);
+                c.discard = discard;
+                let layer = CacheLayer::open(tb.localfs[0].clone(), global.clone(), c)
+                    .await
+                    .unwrap();
                 layer.write(0, Payload::gen(1, 0, 1024)).await.unwrap();
                 let path = layer.cache_file_path().to_string();
                 layer.close().await;
@@ -447,22 +732,11 @@ mod tests {
             spec.localfs.capacity = 1 << 20; // 1 MiB scratch
             let tb = spec.build();
             let global = tb.pfs.create(0, "/gfs/t", Striping::default()).await;
-            let layer = CacheLayer::open(
-                tb.localfs[0].clone(),
-                "/scratch",
-                "t",
-                0,
-                0,
-                global.clone(),
-                512 << 10,
-                FlushFlag::FlushImmediate,
-                false,
-                true,
-                false,
-                crate::hints::SyncPolicy::Greedy,
-            )
-            .await
-            .unwrap();
+            let mut c = CacheConfig::new("/scratch", "t", 0, 0);
+            c.discard = true;
+            let layer = CacheLayer::open(tb.localfs[0].clone(), global.clone(), c)
+                .await
+                .unwrap();
             assert!(layer.write(0, Payload::zero(512 << 10)).await.unwrap());
             // Second write exceeds the partition: degraded, not an error.
             let cached = layer
@@ -520,6 +794,128 @@ mod tests {
             e10_simcore::sleep(e10_simcore::SimDuration::from_secs(60)).await;
             assert_eq!(layer.outstanding(), 0, "background sync must progress");
             assert_eq!(layer.bytes_synced(), 16 << 20);
+        });
+    }
+
+    #[test]
+    fn zero_length_write_is_a_clean_noop() {
+        run(async {
+            let (layer, global) = setup(FlushFlag::FlushImmediate, false, false).await;
+            assert!(layer.write(1234, Payload::zero(0)).await.unwrap());
+            assert_eq!(layer.bytes_cached(), 0);
+            assert_eq!(layer.outstanding(), 0);
+            layer.flush().await;
+            assert_eq!(layer.bytes_synced(), 0);
+            assert!(!global.extents().covered(0, 1));
+            // And it must not have degraded the cache.
+            assert!(!layer.is_degraded());
+        });
+    }
+
+    #[test]
+    fn covers_handles_zero_length_and_adjacent_extents() {
+        run(async {
+            let (layer, _global) = setup(FlushFlag::FlushNone, false, false).await;
+            layer.write(0, Payload::gen(2, 0, 512)).await.unwrap();
+            layer.write(512, Payload::gen(2, 512, 512)).await.unwrap();
+            // Two adjacent extents behave as one covered run.
+            assert!(layer.covers(0, 1024));
+            assert!(layer.covers(511, 2));
+            assert!(!layer.covers(0, 1025));
+            assert!(!layer.covers(1024, 1));
+            // Zero-length queries are anchored to real data: inside the
+            // run they hold, past its end they do not.
+            assert!(layer.covers(0, 0));
+            assert!(layer.covers(1023, 0));
+            assert!(!layer.covers(1024, 0));
+            assert!(!layer.covers(9999, 0));
+        });
+    }
+
+    #[test]
+    fn journal_records_adds_and_synceds() {
+        run(async {
+            let tb = TestbedSpec::small(2, 1).build();
+            let global = tb.pfs.create(0, "/gfs/j", Striping::default()).await;
+            let mut c = CacheConfig::new("/scratch", "j", 0, 0);
+            c.journal = true;
+            let layer = CacheLayer::open(tb.localfs[0].clone(), global.clone(), c)
+                .await
+                .unwrap();
+            assert!(layer.journal_active());
+            layer.write(0, Payload::gen(4, 0, 1 << 20)).await.unwrap();
+            layer.flush().await;
+            let jnl = tb.localfs[0].open(layer.journal_file_path()).await.unwrap();
+            let rep = journal::replay(&jnl.read_log().await);
+            assert!(!rep.torn);
+            assert!(rep.records.contains(&Record::Add {
+                offset: 0,
+                len: 1 << 20
+            }));
+            assert!(rep
+                .records
+                .iter()
+                .any(|r| matches!(r, Record::Synced { .. })));
+            // Everything synced: nothing left to recover.
+            assert!(rep.unsynced().is_empty());
+            layer.close().await;
+        });
+    }
+
+    #[test]
+    fn recover_requeues_unsynced_extents() {
+        run(async {
+            let tb = TestbedSpec::small(2, 1).build();
+            let global = tb.pfs.create(0, "/gfs/r", Striping::default()).await;
+            let mut c = CacheConfig::new("/scratch", "r", 0, 0);
+            c.journal = true;
+            c.flush_flag = FlushFlag::FlushOnClose; // nothing syncs yet
+            let layer = CacheLayer::open(tb.localfs[0].clone(), global.clone(), c.clone())
+                .await
+                .unwrap();
+            layer.write(0, Payload::gen(8, 0, 1 << 20)).await.unwrap();
+            layer
+                .write(4 << 20, Payload::gen(8, 4 << 20, 1 << 20))
+                .await
+                .unwrap();
+            // Simulate the crash by abandoning the layer without flush
+            // or close; the cache + journal files stay on /scratch.
+            drop(layer);
+            assert!(!global.extents().covered(0, 1));
+
+            let (rec, report) = CacheLayer::recover(tb.localfs[0].clone(), global.clone(), c)
+                .await
+                .unwrap();
+            assert_eq!(report.records, 2);
+            assert!(!report.torn_tail);
+            assert_eq!(report.requeued, vec![(0, 1 << 20), (4 << 20, 1 << 20)]);
+            assert_eq!(report.requeued_bytes, 2 << 20);
+            rec.flush().await;
+            assert!(global.extents().verify_gen(8, 0, 1 << 20).is_ok());
+            assert!(global.extents().verify_gen(8, 4 << 20, 1 << 20).is_ok());
+            rec.close().await;
+        });
+    }
+
+    #[test]
+    fn recover_without_journal_reports_data_loss() {
+        run(async {
+            let tb = TestbedSpec::small(2, 1).build();
+            let global = tb.pfs.create(0, "/gfs/l", Striping::default()).await;
+            let mut c = CacheConfig::new("/scratch", "l", 0, 0);
+            c.flush_flag = FlushFlag::FlushOnClose;
+            let layer = CacheLayer::open(tb.localfs[0].clone(), global.clone(), c.clone())
+                .await
+                .unwrap();
+            layer.write(0, Payload::gen(6, 0, 1 << 20)).await.unwrap();
+            drop(layer);
+            match CacheLayer::recover(tb.localfs[0].clone(), global, c).await {
+                Err(RecoverError::NoJournal { cached_bytes }) => {
+                    assert_eq!(cached_bytes, 1 << 20)
+                }
+                Err(e) => panic!("wrong error: {e}"),
+                Ok(_) => panic!("recovery must fail without a journal"),
+            }
         });
     }
 }

@@ -36,6 +36,11 @@ pub struct WriteAllResult {
     pub rounds: u64,
     /// Whether collective buffering was used.
     pub used_collective: bool,
+    /// Global error code from the post-write exchange: 0 on success,
+    /// non-zero if *any* rank failed (every rank sees the same value on
+    /// the collective path). The failing rank's cause is retrievable
+    /// with [`AdioFile::take_io_error`].
+    pub error_code: u32,
 }
 
 /// A maximal contiguous group of shuffled pieces in an aggregator's
@@ -109,6 +114,7 @@ pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> Wr
             bytes: 0,
             rounds: 0,
             used_collective: false,
+            error_code: 0,
         };
     };
     let max_end = st_end.iter().map(|e| e.1).max().unwrap_or(0);
@@ -131,11 +137,12 @@ pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> Wr
         CbMode::Automatic => interleaved,
     };
     if !use_coll {
-        let bytes = crate::sieve::write_strided(fd, view, data).await;
+        let (bytes, error_code) = crate::sieve::write_strided(fd, view, data).await;
         return WriteAllResult {
             bytes,
             rounds: 0,
             used_collective: false,
+            error_code,
         };
     }
 
@@ -158,6 +165,7 @@ pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> Wr
     let my_agg = fd.my_agg_index();
     let net = comm.network();
     let p = comm.size();
+    let mut local_err: u32 = 0;
 
     // --- 4. the two-phase rounds ------------------------------------------
     for round in 0..ntimes {
@@ -246,17 +254,30 @@ pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> Wr
                 let span_end = runs.last().unwrap().end;
                 {
                     let _t = prof.enter(Phase::Write);
-                    fd.global()
+                    if let Err(e) = fd
+                        .global()
                         .read(comm.node(), span_start, span_end - span_start)
-                        .await;
+                        .await
+                    {
+                        local_err = 1;
+                        fd.record_io_error(e.into());
+                    }
                 }
                 let pieces: Vec<(u64, Payload)> = runs.into_iter().flat_map(|r| r.pieces).collect();
-                fd.write_span(span_start, span_end - span_start, pieces)
-                    .await;
+                if let Err(e) = fd
+                    .write_span(span_start, span_end - span_start, pieces)
+                    .await
+                {
+                    local_err = 1;
+                    fd.record_io_error(e);
+                }
             } else {
                 for run in runs {
                     for (off, payload) in merge_continuing(run.pieces) {
-                        fd.write_contig(off, payload).await;
+                        if let Err(e) = fd.write_contig(off, payload).await {
+                            local_err = 1;
+                            fd.record_io_error(e);
+                        }
                     }
                 }
             }
@@ -264,15 +285,16 @@ pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> Wr
     }
 
     // --- 5. post-write error exchange -------------------------------------
-    {
+    let error_code = {
         let _t = prof.enter(Phase::PostWrite);
-        comm.allreduce(0u32, 4, |a, b| (*a).max(*b)).await;
-    }
+        comm.allreduce(local_err, 4, |a, b| (*a).max(*b)).await
+    };
 
     WriteAllResult {
         bytes: my_bytes,
         rounds: ntimes,
         used_collective: true,
+        error_code,
     }
 }
 
@@ -376,7 +398,9 @@ mod tests {
                     .await
                     .unwrap();
                 if ctx.comm.rank() == 0 {
-                    f0.write_contig(0, Payload::gen(7, 0, 80_000)).await;
+                    f0.write_contig(0, Payload::gen(7, 0, 80_000))
+                        .await
+                        .unwrap();
                 }
                 f0.close().await;
 

@@ -49,6 +49,10 @@ pub struct ReadAllResult {
     pub used_collective: bool,
     /// Bytes an aggregator served from its local cache (extension).
     pub cache_hits: u64,
+    /// Global error code from the post-read exchange: 0 on success,
+    /// non-zero if any rank failed. The failing rank's cause is
+    /// retrievable with [`AdioFile::take_io_error`].
+    pub error_code: u32,
 }
 
 impl ReadAllResult {
@@ -134,6 +138,7 @@ pub async fn read_at_all(fd: &AdioFile, view: &FileView) -> ReadAllResult {
     let aggregators: Vec<usize> = fd.aggregators().to_vec();
     let my_agg = fd.my_agg_index();
     let p = comm.size();
+    let mut local_err: u32 = 0;
 
     let mut out = ReadAllResult {
         used_collective: true,
@@ -238,7 +243,17 @@ pub async fn read_at_all(fd: &AdioFile, view: &FileView) -> ReadAllResult {
                             out.cache_hits += l;
                             fd.cache().unwrap().read_local(o, l).await
                         } else {
-                            fd.global().read(comm.node(), o, l).await
+                            match fd.global().read(comm.node(), o, l).await {
+                                Ok(pieces) => pieces,
+                                Err(e) => {
+                                    // Failed reads answer as holes (the
+                                    // requesters read back zeroes) and
+                                    // flag the collective error.
+                                    local_err = 1;
+                                    fd.record_io_error(e.into());
+                                    Vec::new()
+                                }
+                            }
                         };
                         for (r, src) in pieces {
                             let len = r.end - r.start;
@@ -298,7 +313,7 @@ pub async fn read_at_all(fd: &AdioFile, view: &FileView) -> ReadAllResult {
 
     {
         let _t = prof.enter(Phase::PostWrite);
-        comm.allreduce(0u32, 4, |a, b| (*a).max(*b)).await;
+        out.error_code = comm.allreduce(local_err, 4, |a, b| (*a).max(*b)).await;
     }
     out.pieces.sort_by_key(|p| p.buf_off);
     out
@@ -312,7 +327,14 @@ async fn independent_read(fd: &AdioFile, view: &FileView) -> ReadAllResult {
         let mut off = 0;
         while off < vp.len {
             let n = buf.min(vp.len - off);
-            let pieces = fd.read_contig(vp.file_off + off, n).await;
+            let pieces = match fd.read_contig(vp.file_off + off, n).await {
+                Ok(pieces) => pieces,
+                Err(e) => {
+                    out.error_code = 1;
+                    fd.record_io_error(e);
+                    Vec::new()
+                }
+            };
             for (r, s) in pieces {
                 let len = r.end - r.start;
                 out.pieces.push(ReadPiece {
@@ -497,7 +519,9 @@ mod tests {
                     .unwrap();
                 // Disjoint contiguous regions: automatic → independent.
                 let off = ctx.comm.rank() as u64 * 65536;
-                f.write_contig(off, Payload::gen(35, off, 65536)).await;
+                f.write_contig(off, Payload::gen(35, off, 65536))
+                    .await
+                    .unwrap();
                 let view = FileView::new(&FlatType::contiguous(65536), off);
                 let r = read_at_all(&f, &view).await;
                 assert!(!r.used_collective);

@@ -261,6 +261,13 @@ pub struct RomioHints {
     /// `e10_sync_policy` (extension): congestion awareness of the sync
     /// thread.
     pub e10_sync_policy: SyncPolicy,
+    /// `e10_cache_journal` (extension): keep an append-only manifest
+    /// journal next to the cache file so the cache can be recovered
+    /// after a node crash (crash consistency for the staged data).
+    pub e10_cache_journal: bool,
+    /// `e10_cache_journal_path` (extension): explicit journal file
+    /// path; default `None` places it at `<cache file>.jnl`.
+    pub e10_cache_journal_path: Option<String>,
     /// `e10_trace` (extension): structured-trace destination.
     pub e10_trace: TraceMode,
     /// `e10_trace_path` (extension): directory for `jsonl` traces
@@ -289,6 +296,8 @@ impl Default for RomioHints {
             no_indep_rw: false,
             e10_cache_evict: false,
             e10_sync_policy: SyncPolicy::Greedy,
+            e10_cache_journal: false,
+            e10_cache_journal_path: None,
             e10_trace: TraceMode::Off,
             e10_trace_path: "results/traces".to_string(),
         }
@@ -526,6 +535,23 @@ impl RomioHintsBuilder {
         self
     }
 
+    /// `e10_cache_journal`.
+    pub fn e10_cache_journal(mut self, on: bool) -> Self {
+        self.hints.e10_cache_journal = on;
+        self
+    }
+
+    /// `e10_cache_journal_path` (must be non-empty).
+    pub fn e10_cache_journal_path(mut self, path: impl Into<String>) -> Self {
+        let path = path.into();
+        if path.is_empty() {
+            self.invalid("e10_cache_journal_path", path, "non-empty path");
+        } else {
+            self.hints.e10_cache_journal_path = Some(path);
+        }
+        self
+    }
+
     /// `e10_trace`.
     pub fn e10_trace(mut self, mode: TraceMode) -> Self {
         self.hints.e10_trace = mode;
@@ -647,6 +673,16 @@ impl RomioHintsBuilder {
             "e10_sync_policy" => {
                 or_invalid!(SyncPolicy::parse(value), "greedy|backoff", e10_sync_policy)
             }
+            "e10_cache_journal" => or_invalid!(
+                parse_enable_disable(value),
+                "enable|disable",
+                e10_cache_journal
+            ),
+            "e10_cache_journal_path" => or_invalid!(
+                Some(value).filter(|v| !v.is_empty()),
+                "non-empty path",
+                e10_cache_journal_path
+            ),
             "e10_fd_partition" => {
                 or_invalid!(FdStrategy::parse(value), "even|aligned", fd_strategy)
             }
@@ -748,6 +784,13 @@ impl RomioHints {
             "e10_sync_policy".into(),
             self.e10_sync_policy.as_str().into(),
         ));
+        out.push((
+            "e10_cache_journal".into(),
+            onoff(self.e10_cache_journal).into(),
+        ));
+        if let Some(p) = &self.e10_cache_journal_path {
+            out.push(("e10_cache_journal_path".into(), p.clone()));
+        }
         if let Some(n) = self.cb_config_max_per_node {
             out.push(("cb_config_list".into(), format!("*:{n}")));
         }
@@ -923,6 +966,8 @@ mod tests {
             ("romio_no_indep_rw", "true"),
             ("e10_trace", "jsonl"),
             ("e10_trace_path", "results/traces/run1"),
+            ("e10_cache_journal", "enable"),
+            ("e10_cache_journal_path", "/scratch/manifest.jnl"),
         ]);
         let h = RomioHints::parse(&info).unwrap();
         assert!(h.e10_cache_read);
@@ -932,6 +977,11 @@ mod tests {
         assert!(h.no_indep_rw);
         assert_eq!(h.e10_trace, TraceMode::Jsonl);
         assert_eq!(h.e10_trace_path, "results/traces/run1");
+        assert!(h.e10_cache_journal);
+        assert_eq!(
+            h.e10_cache_journal_path.as_deref(),
+            Some("/scratch/manifest.jnl")
+        );
         for (k, v) in [
             ("e10_cache_read", "yes"),
             ("e10_cache_evict", "on"),
@@ -939,6 +989,8 @@ mod tests {
             ("cb_config_list", "2"),
             ("cb_config_list", "*:0"),
             ("romio_no_indep_rw", "1"),
+            ("e10_cache_journal", "on"),
+            ("e10_cache_journal_path", ""),
         ] {
             let info = Info::from_pairs([(k, v)]);
             assert!(RomioHints::parse(&info).is_err(), "{k}={v} must fail");
@@ -948,6 +1000,8 @@ mod tests {
         assert!(!d.e10_cache_read && !d.e10_cache_evict && !d.no_indep_rw);
         assert_eq!(d.e10_sync_policy, SyncPolicy::Greedy);
         assert_eq!(d.cb_config_max_per_node, None);
+        assert!(!d.e10_cache_journal);
+        assert_eq!(d.e10_cache_journal_path, None);
     }
 
     #[test]
@@ -978,6 +1032,8 @@ mod tests {
             .e10_sync_policy(SyncPolicy::Backoff)
             .e10_trace(TraceMode::Jsonl)
             .e10_trace_path("results/traces/x")
+            .e10_cache_journal(true)
+            .e10_cache_journal_path("/scratch/j.jnl")
             .build()
             .unwrap();
         let h2 = RomioHints::from_info(&h.to_info()).unwrap();

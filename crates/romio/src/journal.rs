@@ -1,0 +1,231 @@
+//! Crash-consistent cache manifest journal (`e10_cache_journal`).
+//!
+//! The cache file itself holds the staged data; this journal is the
+//! *manifest* that makes it recoverable. Every extent accepted into the
+//! cache appends an `Add` record *before* the write call returns to the
+//! application, and the sync thread appends a `Synced` record for each
+//! chunk once the global file has acknowledged it. After a node crash
+//! the journal is replayed: `Add \ Synced` is exactly the set of
+//! extents whose data sits in the (durable) cache file but may not have
+//! reached the global file, so recovery re-queues them.
+//!
+//! Records are fixed-size (32 bytes, four little-endian `u64` words:
+//! kind, offset, len, checksum). A power loss can tear the journal's
+//! own tail mid-record; replay stops at the first short or
+//! checksum-invalid record and reports the tail as torn. Because an
+//! `Add` is only written after its cache-file data write completed, a
+//! torn tail can only lose records for extents the application was
+//! never told were accepted — never acknowledged data.
+
+/// Bytes per journal record.
+pub const RECORD_LEN: usize = 32;
+
+/// XOR'd into every checksum so a zeroed region never validates.
+const MAGIC: u64 = 0xe10c_ac4e_0000_0001;
+
+/// One journal record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Record {
+    /// Extent `[offset, offset+len)` was written to the cache file.
+    Add {
+        /// File offset of the extent.
+        offset: u64,
+        /// Extent length in bytes.
+        len: u64,
+    },
+    /// Extent `[offset, offset+len)` is persistent in the global file.
+    Synced {
+        /// File offset of the extent.
+        offset: u64,
+        /// Extent length in bytes.
+        len: u64,
+    },
+}
+
+impl Record {
+    fn words(&self) -> (u64, u64, u64) {
+        match *self {
+            Record::Add { offset, len } => (1, offset, len),
+            Record::Synced { offset, len } => (2, offset, len),
+        }
+    }
+
+    /// Serialise to the fixed 32-byte on-journal form.
+    pub fn encode(&self) -> [u8; RECORD_LEN] {
+        let (kind, offset, len) = self.words();
+        let cksum = MAGIC ^ kind ^ offset ^ len;
+        let mut out = [0u8; RECORD_LEN];
+        for (i, w) in [kind, offset, len, cksum].into_iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse one record; `None` for short input, a bad checksum or an
+    /// unknown kind (all of which mean: torn/corrupt tail, stop).
+    pub fn decode(bytes: &[u8]) -> Option<Record> {
+        if bytes.len() < RECORD_LEN {
+            return None;
+        }
+        let word = |i: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+            u64::from_le_bytes(b)
+        };
+        let (kind, offset, len, cksum) = (word(0), word(1), word(2), word(3));
+        if cksum != MAGIC ^ kind ^ offset ^ len {
+            return None;
+        }
+        match kind {
+            1 => Some(Record::Add { offset, len }),
+            2 => Some(Record::Synced { offset, len }),
+            _ => None,
+        }
+    }
+}
+
+/// Result of scanning a journal image.
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    /// Records up to the first invalid one.
+    pub records: Vec<Record>,
+    /// True if trailing bytes were dropped (torn or corrupt tail).
+    pub torn: bool,
+}
+
+impl Replay {
+    /// Extents added but not (fully) synced, coalesced and sorted —
+    /// the set recovery must push to the global file.
+    pub fn unsynced(&self) -> Vec<(u64, u64)> {
+        let mut map = e10_storesim::ExtentMap::new();
+        for r in &self.records {
+            match *r {
+                Record::Add { offset, len } => map.insert(offset, len, e10_storesim::Source::Zero),
+                Record::Synced { offset, len } => map.remove(offset, len),
+            }
+        }
+        map.iter()
+            .map(|(start, end, _)| (start, end - start))
+            .collect()
+    }
+}
+
+/// Scan a raw journal image, stopping at the first invalid record.
+pub fn replay(log: &[u8]) -> Replay {
+    let mut out = Replay::default();
+    let mut pos = 0;
+    while pos + RECORD_LEN <= log.len() {
+        match Record::decode(&log[pos..pos + RECORD_LEN]) {
+            Some(r) => out.records.push(r),
+            None => {
+                out.torn = true;
+                return out;
+            }
+        }
+        pos += RECORD_LEN;
+    }
+    out.torn = pos < log.len();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for r in [
+            Record::Add { offset: 0, len: 1 },
+            Record::Add {
+                offset: 4 << 20,
+                len: 512 << 10,
+            },
+            Record::Synced {
+                offset: u64::MAX / 2,
+                len: 7,
+            },
+        ] {
+            assert_eq!(Record::decode(&r.encode()), Some(r));
+        }
+    }
+
+    #[test]
+    fn corrupt_or_short_records_are_rejected() {
+        let good = Record::Add {
+            offset: 100,
+            len: 200,
+        }
+        .encode();
+        assert!(Record::decode(&good[..RECORD_LEN - 1]).is_none(), "short");
+        let mut flipped = good;
+        flipped[9] ^= 0x40;
+        assert!(Record::decode(&flipped).is_none(), "bad checksum");
+        assert!(Record::decode(&[0u8; RECORD_LEN]).is_none(), "zeroed");
+    }
+
+    #[test]
+    fn replay_stops_at_torn_tail() {
+        let mut log = Vec::new();
+        log.extend_from_slice(&Record::Add { offset: 0, len: 64 }.encode());
+        log.extend_from_slice(&Record::Synced { offset: 0, len: 64 }.encode());
+        // Torn third record: only half its bytes made it.
+        log.extend_from_slice(
+            &Record::Add {
+                offset: 64,
+                len: 64,
+            }
+            .encode()[..16],
+        );
+        let rep = replay(&log);
+        assert_eq!(rep.records.len(), 2);
+        assert!(rep.torn);
+        assert!(rep.unsynced().is_empty());
+    }
+
+    #[test]
+    fn unsynced_is_add_minus_synced_with_partial_sync() {
+        let mut log = Vec::new();
+        for r in [
+            Record::Add {
+                offset: 0,
+                len: 1024,
+            },
+            Record::Add {
+                offset: 4096,
+                len: 1024,
+            },
+            // First extent synced in two chunks; second untouched.
+            Record::Synced {
+                offset: 0,
+                len: 512,
+            },
+            Record::Synced {
+                offset: 512,
+                len: 512,
+            },
+        ] {
+            log.extend_from_slice(&r.encode());
+        }
+        let rep = replay(&log);
+        assert!(!rep.torn);
+        assert_eq!(rep.unsynced(), vec![(4096, 1024)]);
+    }
+
+    #[test]
+    fn adjacent_adds_coalesce_in_unsynced() {
+        let mut log = Vec::new();
+        for r in [
+            Record::Add {
+                offset: 0,
+                len: 512,
+            },
+            Record::Add {
+                offset: 512,
+                len: 512,
+            },
+        ] {
+            log.extend_from_slice(&r.encode());
+        }
+        assert_eq!(replay(&log).unsynced(), vec![(0, 1024)]);
+    }
+}

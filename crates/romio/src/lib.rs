@@ -33,13 +33,14 @@ pub mod collective_read;
 pub mod error;
 pub mod fd;
 pub mod hints;
+pub mod journal;
 pub mod profile;
 pub mod sieve;
 pub mod testbed;
 
 pub use adio::{AdioError, AdioFile, DataSpec};
 pub use baselines::{group_of, write_at_all_multifile, write_at_all_partitioned};
-pub use cache::CacheLayer;
+pub use cache::{CacheConfig, CacheLayer, RecoverError, RecoveryReport};
 pub use collective::{write_at_all, WriteAllResult};
 pub use collective_read::{read_at_all, ReadAllResult, ReadPiece};
 pub use error::Error;

@@ -12,16 +12,20 @@ use crate::hints::CbMode;
 /// to still pay off (ROMIO uses a similar density heuristic).
 const SIEVE_MAX_HOLE_FRAC: f64 = 0.5;
 
-/// Independent strided write of `view`/`data`. Returns bytes written.
-pub async fn write_strided(fd: &AdioFile, view: &FileView, data: &DataSpec) -> u64 {
+/// Independent strided write of `view`/`data`. Returns `(bytes
+/// written, error code)`; on failure the cause is recorded on `fd`
+/// (see [`AdioFile::take_io_error`]) and the remaining pieces are
+/// still attempted.
+pub async fn write_strided(fd: &AdioFile, view: &FileView, data: &DataSpec) -> (u64, u32) {
     let pieces = view.pieces();
     if pieces.is_empty() {
-        return 0;
+        return (0, 0);
     }
     let buf = fd.hints().ind_wr_buffer_size.max(1);
     let ds = fd.hints().ds_write == CbMode::Enable && !fd.cache_active();
 
     let mut total = 0u64;
+    let mut err: u32 = 0;
     let mut i = 0;
     while i < pieces.len() {
         if ds {
@@ -47,13 +51,19 @@ pub async fn write_strided(fd: &AdioFile, view: &FileView, data: &DataSpec) -> u
                 // Sieved read-modify-write of the whole window.
                 let span_end = pieces[j - 1].file_off + pieces[j - 1].len;
                 let span = span_end - start;
-                fd.global().read(fd.comm.node(), start, span).await;
+                if let Err(e) = fd.global().read(fd.comm.node(), start, span).await {
+                    err = 1;
+                    fd.record_io_error(e.into());
+                }
                 let payload_pieces: Vec<(u64, e10_storesim::Payload)> = pieces[i..j]
                     .iter()
                     .map(|p| (p.file_off, data.piece(p.buf_off, p.file_off, p.len)))
                     .collect();
                 total += covered;
-                fd.write_span(start, span, payload_pieces).await;
+                if let Err(e) = fd.write_span(start, span, payload_pieces).await {
+                    err = 1;
+                    fd.record_io_error(e);
+                }
                 i = j;
                 continue;
             }
@@ -64,13 +74,16 @@ pub async fn write_strided(fd: &AdioFile, view: &FileView, data: &DataSpec) -> u
         while off < p.len {
             let n = buf.min(p.len - off);
             let payload = data.piece(p.buf_off + off, p.file_off + off, n);
-            fd.write_contig(p.file_off + off, payload).await;
+            if let Err(e) = fd.write_contig(p.file_off + off, payload).await {
+                err = 1;
+                fd.record_io_error(e);
+            }
             off += n;
         }
         total += p.len;
         i += 1;
     }
-    total
+    (total, err)
 }
 
 #[cfg(test)]
@@ -91,8 +104,9 @@ mod tests {
                 .unwrap();
             let flat = FlatType::vector(8, 1_000, 10_000);
             let view = FileView::new(&flat, 500);
-            let n = write_strided(&f, &view, &DataSpec::FileGen { seed: 5 }).await;
+            let (n, err) = write_strided(&f, &view, &DataSpec::FileGen { seed: 5 }).await;
             assert_eq!(n, 8_000);
+            assert_eq!(err, 0);
             f.close().await;
             for i in 0..8u64 {
                 f.global()
@@ -135,8 +149,9 @@ mod tests {
             // Dense pattern: 100-byte pieces every 150 bytes.
             let flat = FlatType::vector(64, 100, 150);
             let view = FileView::new(&flat, 0);
-            let n = write_strided(&f, &view, &DataSpec::FileGen { seed: 7 }).await;
+            let (n, err) = write_strided(&f, &view, &DataSpec::FileGen { seed: 7 }).await;
             assert_eq!(n, 6_400);
+            assert_eq!(err, 0);
             f.close().await;
             for i in 0..64u64 {
                 f.global().extents().verify_gen(7, i * 150, 100).unwrap();

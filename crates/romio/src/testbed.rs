@@ -128,6 +128,7 @@ impl TestbedSpec {
                         },
                         SimRng::stream(self.seed, 100_000 + n as u64),
                     );
+                    ssd.set_node(n);
                     let pc = PageCache::new(PageCacheParams {
                         mem_bw: self.pagecache.mem_bw,
                         dirty_limit: ram,
@@ -142,6 +143,7 @@ impl TestbedSpec {
                     self.ssd.clone(),
                     SimRng::stream(self.seed, 100_000 + n as u64),
                 );
+                ssd.set_node(n);
                 let pc = PageCache::new(self.pagecache.clone());
                 LocalFs::new(self.localfs.clone(), ssd, pc)
             })

@@ -94,6 +94,12 @@ pub(crate) struct Kernel {
     ready: Arc<Mutex<VecDeque<TaskId>>>,
     events_fired: u64,
     tasks_spawned: u64,
+    /// Task → crash group. Tasks without an entry belong to group 0
+    /// (the ungrouped pool, which can never be killed).
+    group_of: HashMap<TaskId, u64>,
+    /// Group of the task currently being polled; new spawns inherit it.
+    current_group: u64,
+    next_group: u64,
 }
 
 impl Kernel {
@@ -109,6 +115,9 @@ impl Kernel {
             ready: Arc::new(Mutex::new(VecDeque::new())),
             events_fired: 0,
             tasks_spawned: 0,
+            group_of: HashMap::new(),
+            current_group: 0,
+            next_group: 1,
         }
     }
 
@@ -132,6 +141,9 @@ impl Kernel {
         });
         self.tasks.insert(id, fut);
         self.wakers.insert(id, waker);
+        if self.current_group != 0 {
+            self.group_of.insert(id, self.current_group);
+        }
         self.ready.lock().unwrap().push_back(id);
         id
     }
@@ -269,6 +281,80 @@ where
     JoinHandle { state, id }
 }
 
+/// Allocate a fresh crash-group identifier (never 0).
+///
+/// Groups model a fault domain: every task spawned (transitively) from a
+/// task in group `g` joins `g`, and [`kill_group`] removes the whole tree
+/// at once — the simulated equivalent of a node losing power mid-run.
+pub fn new_group() -> u64 {
+    with_kernel(|k| {
+        let g = k.next_group;
+        k.next_group += 1;
+        g
+    })
+}
+
+/// Group of the currently running task (0 = ungrouped).
+pub fn current_group() -> u64 {
+    with_kernel(|k| k.current_group)
+}
+
+/// Spawn a task rooted in crash group `gid` (see [`new_group`]); its
+/// descendants inherit the group.
+pub fn spawn_in_group<F>(gid: u64, fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    let prev = with_kernel(|k| std::mem::replace(&mut k.current_group, gid));
+    let h = spawn(fut);
+    with_kernel(|k| k.current_group = prev);
+    h
+}
+
+/// Kill every task in crash group `gid`, returning how many were
+/// destroyed. Their futures are dropped immediately, so destructors run
+/// (held locks and semaphore permits are released — a crashed client's
+/// server-side state is revoked). `JoinHandle`s of killed tasks never
+/// complete; a crash harness must not await them. The calling task
+/// itself is never killed, even if it belongs to `gid`.
+pub fn kill_group(gid: u64) -> usize {
+    assert!(
+        gid != 0,
+        "group 0 is the ungrouped pool and cannot be killed"
+    );
+    let victims: Vec<LocalFuture> = with_kernel(|k| {
+        let tids: Vec<TaskId> = k
+            .group_of
+            .iter()
+            .filter(|&(_, g)| *g == gid)
+            .map(|(&t, _)| t)
+            .collect();
+        let mut futs = Vec::new();
+        for t in tids {
+            k.group_of.remove(&t);
+            // A task not in `tasks` is the caller itself (mid-poll); it
+            // survives by construction.
+            if let Some(f) = k.tasks.remove(&t) {
+                k.wakers.remove(&t);
+                futs.push(f);
+            }
+        }
+        futs
+    });
+    let n = victims.len();
+    // Drop outside the kernel borrow: destructors may re-enter the
+    // kernel (cancel events, wake other tasks, release resources).
+    drop(victims);
+    trace::emit(|| {
+        Event::new(Layer::Executor, "group.kill", EventKind::Point)
+            .field("group", gid)
+            .field("tasks", n as u64)
+    });
+    trace::counter("executor.killed_tasks", n as u64);
+    n
+}
+
 /// Future returned by [`sleep`] / [`sleep_until`].
 pub struct Sleep {
     deadline: SimTime,
@@ -391,10 +477,11 @@ where
             let (fut, waker) = {
                 let mut k = kernel.borrow_mut();
                 let Some(fut) = k.tasks.remove(&tid) else {
-                    continue; // task already completed
+                    continue; // task already completed or killed
                 };
                 let w = k.wakers.get(&tid).expect("waker missing").clone();
                 w.queued.store(false, Ordering::Relaxed);
+                k.current_group = k.group_of.get(&tid).copied().unwrap_or(0);
                 (fut, w)
             };
             let mut fut = fut;
@@ -412,13 +499,21 @@ where
                     });
                     let mut k = kernel.borrow_mut();
                     k.wakers.remove(&tid);
+                    k.group_of.remove(&tid);
+                    k.current_group = 0;
                 }
                 Poll::Pending => {
                     trace::emit(|| {
                         Event::new(Layer::Executor, "task.block", EventKind::Point)
                             .field("task", tid)
                     });
-                    kernel.borrow_mut().tasks.insert(tid, fut);
+                    let mut k = kernel.borrow_mut();
+                    // The poll may itself have been the killer of its own
+                    // group: only re-park the task if it wasn't killed.
+                    if k.wakers.contains_key(&tid) {
+                        k.tasks.insert(tid, fut);
+                    }
+                    k.current_group = 0;
                 }
             }
         }
@@ -607,5 +702,88 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn primitives_panic_outside_run() {
         let _ = now();
+    }
+
+    #[test]
+    fn kill_group_removes_whole_task_tree() {
+        let (killed, touched) = run(async {
+            let touched = Rc::new(Cell::new(0u32));
+            let gid = new_group();
+            let t = Rc::clone(&touched);
+            spawn_in_group(gid, async move {
+                assert_eq!(current_group(), gid);
+                // A child spawned inside the group inherits it.
+                let t2 = Rc::clone(&t);
+                spawn(async move {
+                    sleep(SimDuration::from_secs(10)).await;
+                    t2.set(t2.get() + 1);
+                });
+                sleep(SimDuration::from_secs(10)).await;
+                t.set(t.get() + 1);
+            });
+            // An ungrouped bystander keeps running.
+            let t3 = Rc::clone(&touched);
+            let bystander = spawn(async move {
+                sleep(SimDuration::from_secs(2)).await;
+                t3.set(t3.get() + 100);
+            });
+            sleep(SimDuration::from_secs(1)).await;
+            let killed = kill_group(gid);
+            bystander.await;
+            sleep(SimDuration::from_secs(20)).await;
+            (killed, touched.get())
+        });
+        assert_eq!(killed, 2, "parent and child must both die");
+        assert_eq!(touched, 100, "only the bystander may run to completion");
+    }
+
+    #[test]
+    fn killed_tasks_run_their_destructors() {
+        struct Canary(Rc<Cell<bool>>);
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                self.0.set(true);
+            }
+        }
+        let dropped = run(async {
+            let dropped = Rc::new(Cell::new(false));
+            let gid = new_group();
+            let d = Rc::clone(&dropped);
+            spawn_in_group(gid, async move {
+                let _c = Canary(d);
+                sleep(SimDuration::from_secs(100)).await;
+            });
+            sleep(SimDuration::from_secs(1)).await;
+            kill_group(gid);
+            dropped.get()
+        });
+        assert!(dropped, "drop glue of a killed task must run at kill time");
+    }
+
+    #[test]
+    fn stale_wakeups_of_killed_tasks_are_ignored() {
+        run(async {
+            let gid = new_group();
+            spawn_in_group(gid, async {
+                sleep(SimDuration::from_secs(5)).await;
+                unreachable!("killed task must never resume");
+            });
+            sleep(SimDuration::from_secs(1)).await;
+            assert_eq!(kill_group(gid), 1);
+            // The pending sleep event for the dead task still fires at
+            // t=5; the executor must skip it without incident.
+            sleep(SimDuration::from_secs(10)).await;
+        });
+    }
+
+    #[test]
+    fn group_ids_are_unique_and_nonzero() {
+        run(async {
+            let a = new_group();
+            let b = new_group();
+            assert_ne!(a, 0);
+            assert_ne!(a, b);
+            assert_eq!(current_group(), 0);
+        });
     }
 }

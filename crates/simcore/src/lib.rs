@@ -49,8 +49,9 @@ pub mod trace;
 
 pub use channel::{channel, Receiver, Sender};
 pub use executor::{
-    now, run, run_with_stats, schedule_call, schedule_call_at, sleep, sleep_until, spawn,
-    yield_now, EventHandle, JoinHandle, RunStats, TaskId,
+    current_group, kill_group, new_group, now, run, run_with_stats, schedule_call,
+    schedule_call_at, sleep, sleep_until, spawn, spawn_in_group, yield_now, EventHandle,
+    JoinHandle, RunStats, TaskId,
 };
 pub use resource::{FairShare, FifoServer};
 pub use rng::{Jitter, SimRng};

@@ -119,6 +119,7 @@ impl Semaphore {
                 want: n,
                 granted,
                 registered: false,
+                finished: false,
             }
             .await;
         }
@@ -165,6 +166,7 @@ struct AcquireWait {
     want: usize,
     granted: Rc<Cell<bool>>,
     registered: bool,
+    finished: bool,
 }
 
 impl Future for AcquireWait {
@@ -172,23 +174,53 @@ impl Future for AcquireWait {
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if self.granted.get() {
+            self.finished = true;
             return Poll::Ready(());
         }
         if !self.registered {
             self.registered = true;
-            let mut st = self.sem.borrow_mut();
-            st.waiters.push_back(SemWaiter {
-                want: self.want,
-                granted: Rc::clone(&self.granted),
-                waker: cx.waker().clone(),
-            });
-            // We may be at the head with permits already free.
-            st.drain();
+            {
+                let mut st = self.sem.borrow_mut();
+                st.waiters.push_back(SemWaiter {
+                    want: self.want,
+                    granted: Rc::clone(&self.granted),
+                    waker: cx.waker().clone(),
+                });
+                // We may be at the head with permits already free.
+                st.drain();
+            }
             if self.granted.get() {
+                self.finished = true;
                 return Poll::Ready(());
             }
         }
         Poll::Pending
+    }
+}
+
+impl Drop for AcquireWait {
+    /// Cancel safety: a waiter whose task dies (e.g. its crash group is
+    /// killed) must neither leak a queue slot nor swallow permits that
+    /// were already handed to it but never observed.
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        let mut st = self.sem.borrow_mut();
+        if self.granted.get() {
+            // Granted between our last poll and the drop: hand back.
+            st.permits += self.want;
+        } else if let Some(i) = st
+            .waiters
+            .iter()
+            .position(|w| Rc::ptr_eq(&w.granted, &self.granted))
+        {
+            st.waiters.remove(i);
+        } else {
+            return;
+        }
+        // Our departure may unblock smaller requests behind us.
+        st.drain();
     }
 }
 
@@ -406,6 +438,72 @@ mod tests {
                 h.await;
             }
             assert_eq!(now().as_secs_f64(), 12.0);
+        });
+    }
+
+    #[test]
+    fn killed_semaphore_waiter_leaks_nothing() {
+        run(async {
+            let sem = Semaphore::new(1);
+            let holder = sem.acquire().await;
+            // A queued waiter in a crash group dies while parked.
+            let gid = crate::executor::new_group();
+            let s = sem.clone();
+            crate::executor::spawn_in_group(gid, async move {
+                let _g = s.acquire().await;
+                unreachable!("waiter must be killed before acquiring");
+            });
+            sleep(SimDuration::from_secs(1)).await;
+            assert_eq!(sem.queue_len(), 1);
+            crate::executor::kill_group(gid);
+            assert_eq!(sem.queue_len(), 0, "dead waiter must leave the queue");
+            drop(holder);
+            // The permit must still be acquirable afterwards.
+            let _g = sem.acquire().await;
+            assert_eq!(sem.available(), 0);
+        });
+    }
+
+    #[test]
+    fn killed_permit_holder_releases_on_drop() {
+        run(async {
+            let sem = Semaphore::new(1);
+            let gid = crate::executor::new_group();
+            let s = sem.clone();
+            crate::executor::spawn_in_group(gid, async move {
+                let _g = s.acquire().await;
+                sleep(SimDuration::from_secs(100)).await;
+            });
+            sleep(SimDuration::from_secs(1)).await;
+            assert_eq!(sem.available(), 0);
+            crate::executor::kill_group(gid);
+            assert_eq!(sem.available(), 1, "guard drop must return the permit");
+        });
+    }
+
+    #[test]
+    fn dead_waiter_departure_unblocks_smaller_requests() {
+        run(async {
+            let sem = Semaphore::new(2);
+            let holder = sem.acquire_many(2).await;
+            let gid = crate::executor::new_group();
+            let s = sem.clone();
+            // Head of queue wants 2; a later task wants 1.
+            crate::executor::spawn_in_group(gid, async move {
+                let _g = s.acquire_many(2).await;
+                unreachable!();
+            });
+            sleep(SimDuration::from_secs(1)).await;
+            let s2 = sem.clone();
+            let small = spawn(async move {
+                let _g = s2.acquire().await;
+                now().as_secs_f64()
+            });
+            sleep(SimDuration::from_secs(1)).await;
+            drop(holder); // 2 free, but FIFO head still wants 2... then dies:
+            crate::executor::kill_group(gid);
+            let t = small.await;
+            assert_eq!(t, 2.0, "small request must be granted when head dies");
         });
     }
 

@@ -66,6 +66,8 @@ pub enum Layer {
     Romio,
     /// Workload driver (per-phase workflow progress).
     Workload,
+    /// Fault injection: injected faults, retries, recovery.
+    Faultsim,
 }
 
 impl Layer {
@@ -79,6 +81,7 @@ impl Layer {
             Layer::Mpi => "mpi",
             Layer::Romio => "romio",
             Layer::Workload => "workload",
+            Layer::Faultsim => "faultsim",
         }
     }
 }

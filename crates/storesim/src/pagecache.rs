@@ -140,6 +140,17 @@ impl PageCache {
         }
     }
 
+    /// Power-cycle the node: RAM contents are gone. Dirty pages vanish
+    /// (the durability of already-acknowledged writes is the device
+    /// model's concern, not RAM's) and nothing stays resident, so every
+    /// read after the restart is a cold device read.
+    pub fn power_cycle(&self) {
+        self.settle();
+        let mut st = self.state.borrow_mut();
+        st.dirty = 0.0;
+        st.resident = 0.0;
+    }
+
     /// Drop `len` bytes of cached file data (file deleted / truncated).
     pub fn evict(&self, len: u64) {
         self.settle();
@@ -246,6 +257,19 @@ mod tests {
             pc.evict(400);
             assert_eq!(pc.resident(), 0);
             assert_eq!(pc.dirty(), 0);
+        });
+    }
+
+    #[test]
+    fn power_cycle_empties_the_cache() {
+        run(async {
+            let pc = PageCache::new(small());
+            pc.write(400).await;
+            assert!(pc.read_at(0, 100).await, "warm before the cut");
+            pc.power_cycle();
+            assert_eq!(pc.dirty(), 0);
+            assert_eq!(pc.resident(), 0);
+            assert!(!pc.read_at(0, 100).await, "cold after the cut");
         });
     }
 

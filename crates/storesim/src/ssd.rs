@@ -54,6 +54,8 @@ struct SsdState {
     jitter: Jitter,
     write_lat: Tally,
     read_lat: Tally,
+    /// Compute node hosting this device (fault-injection identity).
+    node: usize,
 }
 
 impl Ssd {
@@ -68,13 +70,39 @@ impl Ssd {
                 jitter: Jitter::new(rng, cv),
                 write_lat: Tally::new(),
                 read_lat: Tally::new(),
+                node: 0,
             })),
+        }
+    }
+
+    /// Bind the device to its hosting compute node, so an installed
+    /// fault schedule can target it (`e10_faultsim::ssd_stall`).
+    pub fn set_node(&self, node: usize) {
+        self.state.borrow_mut().node = node;
+    }
+
+    /// Hosting compute node (0 until [`Ssd::set_node`] is called).
+    pub fn node(&self) -> usize {
+        self.state.borrow().node
+    }
+
+    /// Fault-injection hook: if the installed schedule stalls this
+    /// device right now, sleep out the stall. Device-backed paths that
+    /// bypass [`Ssd::read`]/[`Ssd::write`] proper (e.g. a page cache
+    /// whose writeback is modelled as drain bandwidth) call this so a
+    /// planned `ssd_stall` still back-pressures them. With no schedule
+    /// installed this awaits nothing and perturbs nothing.
+    pub async fn stall_point(&self) {
+        let node = self.state.borrow().node;
+        if let Some(stall) = e10_faultsim::ssd_stall(node) {
+            e10_simcore::sleep(stall).await;
         }
     }
 
     /// Write `len` bytes (offset-independent service).
     pub async fn write(&self, len: u64) {
         let t0 = e10_simcore::now();
+        self.stall_point().await;
         let j = self.state.borrow_mut().jitter.sample();
         e10_simcore::sleep(self.params.latency.mul_f64(j)).await;
         self.write_chan.serve(len as f64 * j).await;
@@ -92,6 +120,7 @@ impl Ssd {
     /// Read `len` bytes.
     pub async fn read(&self, len: u64) {
         let t0 = e10_simcore::now();
+        self.stall_point().await;
         let j = self.state.borrow_mut().jitter.sample();
         e10_simcore::sleep(self.params.latency.mul_f64(j)).await;
         self.read_chan.serve(len as f64 * j).await;
@@ -193,6 +222,32 @@ mod tests {
             (s.write_latency().cv(), tally.cv())
         });
         assert!(ssd_cv < disk_cv / 2.0, "ssd cv={ssd_cv}, disk cv={disk_cv}");
+    }
+
+    #[test]
+    fn injected_stall_slows_the_targeted_node_only() {
+        let t_for = |target: usize| {
+            run(async move {
+                let _g = e10_faultsim::FaultSchedule::install(
+                    e10_faultsim::FaultPlan::new(5).ssd_stall(
+                        target,
+                        e10_faultsim::always(),
+                        1.0,
+                        SimDuration::from_secs(3),
+                    ),
+                );
+                let s = Ssd::new(quiet(), SimRng::new(1));
+                s.set_node(7);
+                s.write(500).await;
+                now().as_secs_f64()
+            })
+        };
+        let stalled = t_for(7);
+        let clean = t_for(8);
+        assert!(
+            (stalled - clean - 3.0).abs() < 1e-6,
+            "stalled={stalled} clean={clean}"
+        );
     }
 
     #[test]

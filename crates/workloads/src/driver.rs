@@ -106,6 +106,12 @@ pub struct RunConfig {
     pub compute_jitter_cv: f64,
     /// Structured-trace destination for this run (hints override).
     pub trace: TraceConfig,
+    /// Fault plan installed for the duration of the run (default
+    /// empty: no schedule is installed and the run is bit-identical
+    /// to a build without fault injection). Node-crash specs are not
+    /// executed by this driver — use the [`crate::crash`] harness,
+    /// which owns the kill/power-loss/recovery sequence.
+    pub faults: e10_faultsim::FaultPlan,
 }
 
 impl RunConfig {
@@ -121,6 +127,7 @@ impl RunConfig {
             seed_base: 1000,
             compute_jitter_cv: 0.0,
             trace: TraceConfig::default(),
+            faults: e10_faultsim::FaultPlan::default(),
         }
     }
 }
@@ -157,6 +164,9 @@ pub struct RunOutcome {
     pub metrics: Option<MetricsSnapshot>,
     /// What the trace sink recorded, when the run was traced.
     pub trace: Option<TraceReport>,
+    /// Faults injected by the run's [`RunConfig::faults`] plan (0 when
+    /// the plan was empty or never fired).
+    pub faults_injected: u64,
 }
 
 impl RunOutcome {
@@ -210,6 +220,21 @@ pub async fn run_workload(tb: &Testbed, workload: Rc<dyn Workload>, cfg: &RunCon
                 }
             }
         }
+    };
+
+    // Install the run's fault schedule, if any. Like the trace sink it
+    // is ambient: device and server models sample it at their injection
+    // points. An empty plan installs nothing, so fault-free runs take
+    // only the single disabled-flag branch per query. Crash specs need
+    // a harness that owns the kill/recovery sequence (`crate::crash`).
+    assert!(
+        cfg.faults.crashes().is_empty(),
+        "run_workload cannot execute node crashes; use crash::run_crash_recovery"
+    );
+    let _fault_guard = if cfg.faults.is_empty() {
+        None
+    } else {
+        Some(e10_faultsim::FaultSchedule::install(cfg.faults.clone()))
     };
 
     let pfs = Rc::clone(&tb.pfs);
@@ -389,6 +414,7 @@ pub async fn run_workload(tb: &Testbed, workload: Rc<dyn Workload>, cfg: &RunCon
     } else {
         (None, None)
     };
+    let faults_injected = e10_faultsim::injected_count();
     drop(trace_guard); // restore the previous sink, flush the file
 
     RunOutcome {
@@ -400,5 +426,6 @@ pub async fn run_workload(tb: &Testbed, workload: Rc<dyn Workload>, cfg: &RunCon
         wall_time: now().since(t_start).as_secs_f64(),
         metrics: metrics_snap,
         trace: trace_report,
+        faults_injected,
     }
 }

@@ -12,11 +12,13 @@
 //! a [`e10_romio::Testbed`].
 
 pub mod collperf;
+pub mod crash;
 pub mod driver;
 pub mod flashio;
 pub mod ior;
 
 pub use collperf::CollPerf;
+pub use crash::{run_crash_recovery, CrashConfig, CrashOutcome};
 pub use driver::{run_workload, PhaseOutcome, RunConfig, RunOutcome, TraceConfig, TraceReport};
 pub use flashio::{FlashFile, FlashIo};
 pub use ior::Ior;
@@ -65,6 +67,7 @@ mod tests {
             seed_base: 50,
             compute_jitter_cv: 0.0,
             trace: TraceConfig::default(),
+            faults: e10_faultsim::FaultPlan::default(),
         }
     }
 

@@ -32,7 +32,9 @@ async fn demo(mode: &'static str) {
                     .unwrap();
                 if rank == 0 {
                     // Writer: cache a megabyte, compute a while, close.
-                    f.write_contig(0, Payload::gen(5, 0, 1 << 20)).await;
+                    f.write_contig(0, Payload::gen(5, 0, 1 << 20))
+                        .await
+                        .unwrap();
                     println!(
                         "[{}] writer cached 1 MiB (globally visible bytes: {})",
                         e10_simcore::now(),

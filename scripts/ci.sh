@@ -9,6 +9,9 @@
 #   2. full test suite (unit + integration + property + doc tests)
 #   3. formatting
 #   4. clippy, warnings promoted to errors
+#   5. fault-matrix smoke: stalls/link faults/RPC failures across the
+#      cached and uncached write paths, plus a node crash recovered
+#      from the cache journal (exit != 0 on any data loss)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,5 +26,8 @@ cargo fmt --all --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> fault-matrix smoke"
+cargo run --release -q -p e10-bench --bin fault_sweep -- --smoke
 
 echo "==> ci: all green"

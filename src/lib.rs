@@ -70,6 +70,7 @@
 //! });
 //! ```
 
+pub use e10_faultsim as faultsim;
 pub use e10_localfs as localfs;
 pub use e10_mpisim as mpisim;
 pub use e10_mpiwrap as mpiwrap;
@@ -82,14 +83,17 @@ pub use e10_workloads as workloads;
 
 /// The most common imports for using the library.
 pub mod prelude {
+    pub use e10_faultsim::{always, FaultPlan, FaultSchedule, FaultSpec};
     pub use e10_mpisim::{Comm, FileView, FlatType, Info};
     pub use e10_romio::{
-        write_at_all, AdioFile, CacheMode, DataSpec, Error, FlushFlag, IoCtx, Phase, RomioHints,
-        RomioHintsBuilder, Testbed, TestbedSpec, TraceMode,
+        write_at_all, AdioFile, CacheConfig, CacheLayer, CacheMode, DataSpec, Error, FlushFlag,
+        IoCtx, Phase, RecoverError, RecoveryReport, RomioHints, RomioHintsBuilder, Testbed,
+        TestbedSpec, TraceMode,
     };
     pub use e10_simcore::{SimDuration, SimTime};
     pub use e10_storesim::Payload;
     pub use e10_workloads::{
-        run_workload, CollPerf, FlashIo, Ior, RunConfig, TraceConfig, Workload,
+        run_crash_recovery, run_workload, CollPerf, CrashConfig, CrashOutcome, FlashIo, Ior,
+        RunConfig, TraceConfig, Workload,
     };
 }

@@ -44,7 +44,9 @@ fn visibility_rule_1_flush_immediate_after_sync_completes() {
         let tb = TestbedSpec::small(2, 1).build();
         let files = open_pair(&tb, "/gfs/v1", cache_hints("flush_immediate", "enable")).await;
         let f = &files[0];
-        f.write_contig(0, Payload::gen(1, 0, 256 << 10)).await;
+        f.write_contig(0, Payload::gen(1, 0, 256 << 10))
+            .await
+            .unwrap();
         // Synchronisation was started automatically; after enough time
         // it must complete without any explicit call.
         e10_simcore::sleep(SimDuration::from_secs(60)).await;
@@ -60,7 +62,9 @@ fn visibility_rule_2_flush_onclose_only_after_close() {
         let tb = TestbedSpec::small(2, 1).build();
         let files = open_pair(&tb, "/gfs/v2", cache_hints("flush_onclose", "enable")).await;
         let f = &files[0];
-        f.write_contig(0, Payload::gen(2, 0, 128 << 10)).await;
+        f.write_contig(0, Payload::gen(2, 0, 128 << 10))
+            .await
+            .unwrap();
         // No amount of waiting makes onclose data visible...
         e10_simcore::sleep(SimDuration::from_secs(120)).await;
         assert_eq!(f.global().extents().covered_bytes(), 0);
@@ -80,7 +84,9 @@ fn visibility_rule_3_file_sync() {
         let tb = TestbedSpec::small(2, 1).build();
         let files = open_pair(&tb, "/gfs/v3", cache_hints("flush_onclose", "enable")).await;
         let f = &files[0];
-        f.write_contig(4096, Payload::gen(3, 4096, 64 << 10)).await;
+        f.write_contig(4096, Payload::gen(3, 4096, 64 << 10))
+            .await
+            .unwrap();
         f.file_sync().await;
         // Visible immediately after MPI_File_sync returns.
         f.global().extents().verify_gen(3, 4096, 64 << 10).unwrap();
@@ -97,7 +103,10 @@ fn coherent_reader_never_sees_partial_extents() {
         let reader = files[1].clone();
         let len = 1u64 << 20;
         let w = e10_simcore::spawn(async move {
-            writer.write_contig(0, Payload::gen(4, 0, len)).await;
+            writer
+                .write_contig(0, Payload::gen(4, 0, len))
+                .await
+                .unwrap();
             writer
         });
         let r = e10_simcore::spawn(async move {
@@ -171,7 +180,8 @@ fn discard_flag_controls_cache_file_retention() {
                     f.comm.rank() as u64 * 4096,
                     Payload::gen(5, f.comm.rank() as u64 * 4096, 4096),
                 )
-                .await;
+                .await
+                .unwrap();
             }
             close_all(&files).await;
             let cache_path = files[0].cache().unwrap().cache_file_path().to_string();

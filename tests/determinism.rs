@@ -99,6 +99,132 @@ fn tracing_does_not_perturb_virtual_time() {
     }
 }
 
+/// Run with a full (crash-free) fault plan installed; `fault_seed`
+/// varies the fault luck independently of the testbed seed.
+fn run_once_faulted(seed: u64, fault_seed: u64) -> (Timings, u64) {
+    e10_simcore::run(async move {
+        let mut spec = TestbedSpec::small(8, 4);
+        spec.seed = seed;
+        spec.pfs.disk.jitter_cv = 0.3;
+        spec.pfs.server_jitter_cv = 0.4;
+        let tb = spec.build();
+        let w = Rc::new(CollPerf::tiny([2, 2, 2])) as Rc<dyn Workload>;
+        let hints = Info::from_pairs([
+            ("romio_cb_write", "enable"),
+            ("cb_buffer_size", "8K"),
+            ("striping_unit", "8K"),
+            ("e10_cache", "enable"),
+            ("e10_cache_discard_flag", "enable"),
+        ]);
+        let mut cfg = RunConfig::paper(hints, "/gfs/fdet");
+        cfg.files = 2;
+        cfg.compute_delay = SimDuration::from_secs(2);
+        cfg.include_last_sync = true;
+        cfg.faults = FaultPlan::new(fault_seed)
+            .ssd_stall(1, always(), 0.2, SimDuration::from_micros(300))
+            .link_fault(None, None, always(), 0.05, SimDuration::from_micros(50))
+            .rpc_fail(Some(0), always(), 0.02);
+        let out = run_workload(&tb, w, &cfg).await;
+        (
+            (
+                out.bandwidth,
+                out.phases.iter().map(|p| (p.t_c, p.not_hidden)).collect(),
+            ),
+            out.faults_injected,
+        )
+    })
+}
+
+#[test]
+fn same_fault_seed_is_bit_identical_different_seed_is_not() {
+    let (a, inj_a) = run_once_faulted(123, 5);
+    let (b, inj_b) = run_once_faulted(123, 5);
+    assert_eq!(a.0.to_bits(), b.0.to_bits(), "bandwidth must be exact");
+    assert_eq!(inj_a, inj_b, "identical fault draws");
+    assert!(inj_a > 0, "the plan must actually inject faults");
+    for (pa, pb) in a.1.iter().zip(&b.1) {
+        assert_eq!(pa.0.to_bits(), pb.0.to_bits());
+        assert_eq!(pa.1.to_bits(), pb.1.to_bits());
+    }
+    // Moving only the fault seed moves only the fault luck — timings
+    // shift, file contents stay correct (verified inside run_workload).
+    let (c, _) = run_once_faulted(123, 6);
+    assert_ne!(a.0.to_bits(), c.0.to_bits(), "fault seed must matter");
+}
+
+#[test]
+fn installed_but_silent_fault_plan_leaves_runs_bit_identical() {
+    // A plan whose faults can never fire (window entirely in the past,
+    // zero-probability RPC spec) must not perturb virtual time at all:
+    // the schedule only draws from its own RNG streams at injection
+    // points, and silent specs reach none.
+    let baseline = run_once(123);
+    let (silent, injected) = e10_simcore::run(async move {
+        let mut spec = TestbedSpec::small(8, 4);
+        spec.seed = 123;
+        spec.pfs.disk.jitter_cv = 0.3;
+        spec.pfs.server_jitter_cv = 0.4;
+        let tb = spec.build();
+        let w = Rc::new(CollPerf::tiny([2, 2, 2])) as Rc<dyn Workload>;
+        let hints = Info::from_pairs([
+            ("romio_cb_write", "enable"),
+            ("cb_buffer_size", "8K"),
+            ("striping_unit", "8K"),
+            ("e10_cache", "enable"),
+            ("e10_cache_discard_flag", "enable"),
+        ]);
+        let mut cfg = RunConfig::paper(hints, "/gfs/det");
+        cfg.files = 2;
+        cfg.compute_delay = SimDuration::from_secs(2);
+        cfg.include_last_sync = true;
+        let never = SimTime::ZERO..SimTime::ZERO; // empty window
+        cfg.faults = FaultPlan::new(9)
+            .ssd_stall(0, never.clone(), 1.0, SimDuration::from_secs(1))
+            .rpc_fail(None, always(), 0.0);
+        let out = run_workload(&tb, w, &cfg).await;
+        let timings: Timings = (
+            out.bandwidth,
+            out.phases.iter().map(|p| (p.t_c, p.not_hidden)).collect(),
+        );
+        (timings, out.faults_injected)
+    });
+    assert_eq!(injected, 0, "silent plan must inject nothing");
+    assert_eq!(baseline.0.to_bits(), silent.0.to_bits());
+    for (pa, pb) in baseline.1.iter().zip(&silent.1) {
+        assert_eq!(pa.0.to_bits(), pb.0.to_bits());
+        assert_eq!(pa.1.to_bits(), pb.1.to_bits());
+    }
+}
+
+#[test]
+fn crash_recovery_is_deterministic() {
+    use e10_repro::workloads::run_crash_recovery;
+    let once = |n: u64| {
+        e10_simcore::run(async move {
+            let w = Rc::new(CollPerf::tiny([2, 2, 2]));
+            let tb = TestbedSpec::small(w.procs(), 2).build();
+            let hints = Info::from_pairs([
+                ("cb_buffer_size", "4096"),
+                ("striping_unit", "8192"),
+                ("e10_cache", "enable"),
+                ("e10_cache_flush_flag", "flush_onclose"),
+                ("e10_cache_journal", "enable"),
+            ]);
+            let cfg = CrashConfig::after_writes(hints, "/gfs/cdet", 31, 1);
+            let out = run_crash_recovery(&tb, w as Rc<dyn Workload>, &cfg).await;
+            out.verified.as_ref().unwrap();
+            let _ = n;
+            (
+                out.crash_time,
+                out.killed_tasks,
+                out.requeued_bytes(),
+                out.written_bytes,
+            )
+        })
+    };
+    assert_eq!(once(0), once(1));
+}
+
 #[test]
 fn event_counts_are_reproducible() {
     let count = |seed: u64| {

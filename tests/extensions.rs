@@ -44,7 +44,9 @@ fn evict_turns_cache_into_streaming_stage() {
                         let r = ctx.comm.rank() as u64;
                         for i in 0..16u64 {
                             let off = (r * 16 + i) * (64 << 10);
-                            f.write_contig(off, Payload::gen(80, off, 64 << 10)).await;
+                            f.write_contig(off, Payload::gen(80, off, 64 << 10))
+                                .await
+                                .unwrap();
                             f.file_sync().await;
                         }
                         let active = f.cache_active();
@@ -91,7 +93,9 @@ fn backoff_policy_yields_to_foreground_traffic() {
                             // Cached writer: 16 MiB to sync in background.
                             let info = base_hints(&[("e10_sync_policy", policy)]);
                             let f = AdioFile::open(&ctx, "/gfs/bg", &info, true).await.unwrap();
-                            f.write_contig(0, Payload::gen(81, 0, 16 << 20)).await;
+                            f.write_contig(0, Payload::gen(81, 0, 16 << 20))
+                                .await
+                                .unwrap();
                             // Sample sync progress mid-burst.
                             e10_simcore::sleep(SimDuration::from_millis(400)).await;
                             let progressed = f.cache().unwrap().bytes_synced();
@@ -109,7 +113,9 @@ fn backoff_policy_yields_to_foreground_traffic() {
                             let t_end = e10_simcore::now() + SimDuration::from_millis(500);
                             let mut off = 0u64;
                             while e10_simcore::now() < t_end {
-                                f.write_contig(off, Payload::gen(82, off, 8 << 20)).await;
+                                f.write_contig(off, Payload::gen(82, off, 8 << 20))
+                                    .await
+                                    .unwrap();
                                 off += 8 << 20;
                             }
                             f.close().await;
@@ -149,7 +155,9 @@ fn backoff_policy_drains_urgently_on_flush() {
                         .await
                         .unwrap();
                     let off = ctx.comm.rank() as u64 * (1 << 20);
-                    f.write_contig(off, Payload::gen(83, off, 1 << 20)).await;
+                    f.write_contig(off, Payload::gen(83, off, 1 << 20))
+                        .await
+                        .unwrap();
                     // Close must not stall behind the backoff loop.
                     let t0 = e10_simcore::now();
                     f.close().await;

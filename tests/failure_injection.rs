@@ -93,7 +93,9 @@ fn tiny_scratch_reverts_to_standard_path_entirely() {
                         .await
                         .unwrap();
                     let off = ctx.comm.rank() as u64 * 65536;
-                    f.write_contig(off, Payload::gen(22, off, 65536)).await;
+                    f.write_contig(off, Payload::gen(22, off, 65536))
+                        .await
+                        .unwrap();
                     f.close().await;
                     f.global().extents().clone()
                 })
@@ -124,7 +126,8 @@ fn repeated_runs_on_same_cluster_reuse_scratch() {
                             .unwrap();
                         let off = ctx.comm.rank() as u64 * (100 << 10);
                         f.write_contig(off, Payload::gen(round, off, 100 << 10))
-                            .await;
+                            .await
+                            .unwrap();
                         f.close().await;
                         assert!(f.cache_active(), "round {round} must still cache");
                     })

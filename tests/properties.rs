@@ -272,6 +272,8 @@ proptest! {
         fd in 0usize..2,
         max_per_node in prop::option::of(1usize..8),
         trace in 0usize..3,
+        journal in any::<bool>(),
+        journal_path in prop::option::of(0usize..3),
     ) {
         use e10_repro::romio::{CacheMode, CbMode, FlushFlag, SyncPolicy, TraceMode};
 
@@ -287,6 +289,7 @@ proptest! {
         let fd_strs = ["even", "aligned"];
         let traces = [TraceMode::Off, TraceMode::Ring, TraceMode::Jsonl];
         let trace_strs = ["off", "ring", "jsonl"];
+        let jpaths = ["/scratch/a.jnl", "/scratch/deep/b.jnl", "/j"];
         let onoff = |b: bool| if b { "enable" } else { "disable" };
 
         let mut b = RomioHints::builder()
@@ -302,7 +305,9 @@ proptest! {
             .no_indep_rw(no_indep)
             .e10_sync_policy(sync_pols[sync_pol])
             .fd_strategy(fds[fd])
-            .e10_trace(traces[trace]);
+            .e10_trace(traces[trace])
+            .e10_cache_journal(journal);
+        if let Some(p) = journal_path { b = b.e10_cache_journal_path(jpaths[p]); }
         if let Some(n) = cb_nodes { b = b.cb_nodes(n); }
         if let Some(n) = striping_factor { b = b.striping_factor(n); }
         if let Some(n) = striping_unit { b = b.striping_unit(n); }
@@ -324,6 +329,8 @@ proptest! {
         info.set("e10_sync_policy", sync_strs[sync_pol]);
         info.set("e10_fd_partition", fd_strs[fd]);
         info.set("e10_trace", trace_strs[trace]);
+        info.set("e10_cache_journal", onoff(journal));
+        if let Some(p) = journal_path { info.set("e10_cache_journal_path", jpaths[p]); }
         if let Some(n) = cb_nodes { info.set("cb_nodes", &n.to_string()); }
         if let Some(n) = striping_factor { info.set("striping_factor", &n.to_string()); }
         if let Some(n) = striping_unit { info.set("striping_unit", &n.to_string()); }
@@ -335,5 +342,51 @@ proptest! {
         // to_info is the inverse of from_info.
         let back = RomioHints::from_info(&typed.to_info()).unwrap();
         prop_assert_eq!(typed.to_pairs(), back.to_pairs());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Whatever faults a random schedule throws — a node crash at a
+    /// random spot, SSD stalls, link delays, occasional RPC failures —
+    /// the journal recovery must restore the global file to the exact
+    /// generator bytes. Faults may slow the run down arbitrarily; they
+    /// may never corrupt recovered data.
+    #[test]
+    fn random_fault_schedules_never_corrupt_recovered_file(
+        fault_seed in 0u64..1_000,
+        crash_node in 0usize..2,
+        stall_prob in 0.0f64..0.8,
+        link_prob in 0.0f64..0.4,
+        rpc_prob in 0.0f64..0.05,
+    ) {
+        use e10_repro::workloads::run_crash_recovery;
+        use std::rc::Rc;
+        e10_simcore::run(async move {
+            let w = Rc::new(CollPerf::tiny([2, 2, 2]));
+            let tb = TestbedSpec::small(w.procs(), 2).build();
+            let hints = Info::from_pairs([
+                ("cb_buffer_size", "4096"),
+                ("striping_unit", "8192"),
+                ("e10_cache", "enable"),
+                ("e10_cache_flush_flag", "flush_onclose"),
+                ("e10_cache_journal", "enable"),
+            ]);
+            let mut cfg = CrashConfig::after_writes(hints, "/gfs/fprop", 555, crash_node);
+            cfg.faults = FaultPlan::new(fault_seed)
+                .node_crash(crash_node, SimTime::ZERO)
+                .ssd_stall(
+                    crash_node,
+                    always(),
+                    stall_prob,
+                    SimDuration::from_micros(200),
+                )
+                .link_fault(None, None, always(), link_prob, SimDuration::from_micros(50))
+                .rpc_fail(None, always(), rpc_prob);
+            let out = run_crash_recovery(&tb, w as Rc<dyn Workload>, &cfg).await;
+            assert!(out.lost.is_empty() && out.failed.is_empty());
+            out.verified.expect("recovered file must match the generator");
+        });
     }
 }
