@@ -6,11 +6,12 @@
 //! bandwidth achievable". With per-rank compute jitter, every rank
 //! arrives at the next collective staggered; the arrival spread is a
 //! fixed absolute cost, so the faster the I/O itself, the larger the
-//! *relative* damage. This sweep quantifies that.
+//! *relative* damage. This sweep quantifies that. `--json` for
+//! machine output.
 
 use std::rc::Rc;
 
-use e10_bench::{hints_for, Case, Scale};
+use e10_bench::{hints_for, json_mode, Case, Json, Scale};
 use e10_romio::TestbedSpec;
 use e10_workloads::{run_workload, RunConfig, Workload};
 
@@ -33,24 +34,55 @@ fn run_one(scale: Scale, case: Case, cv: f64) -> f64 {
 
 fn main() {
     let scale = Scale::from_env();
+    let base_enabled = run_one(scale, Case::Enabled, 0.0);
+    let base_disabled = run_one(scale, Case::Disabled, 0.0);
+    let rows: Vec<(f64, f64, f64)> = [0.0, 0.05, 0.15, 0.3]
+        .into_iter()
+        .map(|cv| {
+            let dis = if cv == 0.0 {
+                base_disabled
+            } else {
+                run_one(scale, Case::Disabled, cv)
+            };
+            let en = if cv == 0.0 {
+                base_enabled
+            } else {
+                run_one(scale, Case::Enabled, cv)
+            };
+            (cv, dis, en)
+        })
+        .collect();
+
+    if json_mode() {
+        let doc = Json::obj([
+            ("figure", Json::str("ablation_compute_jitter")),
+            ("scale", Json::str(scale.name())),
+            (
+                "rows",
+                Json::arr(rows.iter().map(|&(cv, dis, en)| {
+                    Json::obj([
+                        ("jitter_cv", Json::F64(cv)),
+                        ("disabled_gb_s", Json::F64(dis)),
+                        (
+                            "disabled_retained_pct",
+                            Json::F64(100.0 * dis / base_disabled),
+                        ),
+                        ("enabled_gb_s", Json::F64(en)),
+                        ("enabled_retained_pct", Json::F64(100.0 * en / base_enabled)),
+                    ])
+                })),
+            ),
+        ]);
+        println!("{}", doc.render());
+        return;
+    }
+
     println!("Compute-jitter ablation, coll_perf, max aggregators:");
     println!(
         "{:<10} {:>15} {:>13} {:>15} {:>13}",
         "jitter cv", "disabled [GB/s]", "retained [%]", "enabled [GB/s]", "retained [%]"
     );
-    let base_enabled = run_one(scale, Case::Enabled, 0.0);
-    let base_disabled = run_one(scale, Case::Disabled, 0.0);
-    for cv in [0.0, 0.05, 0.15, 0.3] {
-        let dis = if cv == 0.0 {
-            base_disabled
-        } else {
-            run_one(scale, Case::Disabled, cv)
-        };
-        let en = if cv == 0.0 {
-            base_enabled
-        } else {
-            run_one(scale, Case::Enabled, cv)
-        };
+    for (cv, dis, en) in rows {
         println!(
             "{:<10} {:>15.2} {:>12.1}% {:>15.2} {:>12.1}%",
             cv,

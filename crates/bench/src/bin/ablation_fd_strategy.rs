@@ -12,16 +12,128 @@
 //! partitioning is accidentally aligned there. This ablation uses a
 //! 5 MB stripe unit, which no power-of-two domain size divides, to
 //! expose the contention class the aligned strategy removes.
+//! `--json` for machine output.
 
 use std::rc::Rc;
 
-use e10_bench::{paper_base_hints, Scale};
+use e10_bench::{json_mode, paper_base_hints, Json, Scale};
 use e10_romio::TestbedSpec;
 use e10_workloads::Workload;
 use e10_workloads::{run_workload, RunConfig};
 
+fn run_strategy(scale: Scale, aggs: usize, strategy: &'static str) -> (f64, u64, u64) {
+    e10_simcore::run(async move {
+        let w = Rc::new(scale.collperf());
+        let mut spec = TestbedSpec::deep_er();
+        spec.procs = w.procs();
+        spec.nodes = scale.nodes();
+        let tb = spec.build();
+        let hints = paper_base_hints();
+        hints.set("cb_nodes", &aggs.to_string());
+        // One round per file domain: cb >= fd size.
+        hints.set("cb_buffer_size", &(64u64 << 30).to_string());
+        hints.set("e10_fd_partition", strategy);
+        // A stripe size that does NOT divide the even domain size
+        // (see module docs).
+        hints.set("striping_unit", "5242880");
+        let mut cfg = RunConfig::paper(hints, "/gfs/abl_fd");
+        cfg.files = 2;
+        cfg.compute_delay = scale.compute_delay();
+        let out = run_workload(&tb, w, &cfg).await;
+        let (grants, contended) = tb.pfs.lock_contention();
+        (out.gb_s(), grants, contended)
+    })
+}
+
+/// A 64-rank stress case where boundary-stripe lock contention is
+/// visible: at 32 GB scale the fair-share fabric disperses the
+/// differently-sized boundary partials so far apart in time that their
+/// lock intervals no longer overlap, which is why the main sweep shows
+/// zero contention either way.
+fn run_stress(strategy: &'static str) -> (f64, u64) {
+    e10_simcore::run(async move {
+        let w = Rc::new(e10_workloads::CollPerf {
+            grid: [4, 4, 4],
+            side: 4,
+            chunk: 64 << 10,
+        });
+        let mut spec = TestbedSpec::deep_er();
+        spec.procs = w.procs();
+        spec.nodes = 8;
+        let tb = spec.build();
+        let hints = paper_base_hints();
+        hints.set("cb_nodes", "8");
+        hints.set("cb_buffer_size", &(64u64 << 30).to_string());
+        hints.set("e10_fd_partition", strategy);
+        hints.set("striping_unit", "5242880");
+        let mut cfg = RunConfig::paper(hints, "/gfs/abl_stress");
+        cfg.files = 2;
+        cfg.compute_delay = e10_simcore::SimDuration::from_secs(2);
+        let out = run_workload(&tb, w, &cfg).await;
+        let (_, contended) = tb.pfs.lock_contention();
+        (out.gb_s(), contended)
+    })
+}
+
 fn main() {
     let scale = Scale::from_env();
+    let mut agg_sweep = scale.aggregators();
+    // Beyond the paper's sweep: denser aggregator sets shrink the file
+    // domains, making shared boundary stripes a larger fraction of the
+    // work.
+    agg_sweep.push(scale.procs() / 2);
+    agg_sweep.push(scale.procs());
+
+    type StrategyRow = (f64, u64, u64);
+    let rows: Vec<(usize, StrategyRow, StrategyRow)> = agg_sweep
+        .iter()
+        .map(|&aggs| {
+            (
+                aggs,
+                run_strategy(scale, aggs, "even"),
+                run_strategy(scale, aggs, "aligned"),
+            )
+        })
+        .collect();
+    let stress: Vec<(&'static str, f64, u64)> = ["even", "aligned"]
+        .into_iter()
+        .map(|s| {
+            let (bw, contended) = run_stress(s);
+            (s, bw, contended)
+        })
+        .collect();
+
+    if json_mode() {
+        let doc = Json::obj([
+            ("figure", Json::str("ablation_fd_strategy")),
+            ("scale", Json::str(scale.name())),
+            (
+                "rows",
+                Json::arr(rows.iter().map(|&(aggs, even, aligned)| {
+                    Json::obj([
+                        ("aggregators", Json::U64(aggs as u64)),
+                        ("even_gb_s", Json::F64(even.0)),
+                        ("aligned_gb_s", Json::F64(aligned.0)),
+                        ("even_contended_locks", Json::U64(even.2)),
+                        ("aligned_contended_locks", Json::U64(aligned.2)),
+                    ])
+                })),
+            ),
+            (
+                "contention_stress",
+                Json::arr(stress.iter().map(|&(s, bw, contended)| {
+                    Json::obj([
+                        ("strategy", Json::str(s)),
+                        ("gb_s", Json::F64(bw)),
+                        ("contended_locks", Json::U64(contended)),
+                    ])
+                })),
+            ),
+        ]);
+        println!("{}", doc.render());
+        return;
+    }
+
     println!("FD-strategy ablation, coll_perf, cache disabled");
     println!(
         "(single-round configuration: collective buffer covers the whole\n\
@@ -32,88 +144,22 @@ fn main() {
         "{:<10} {:>14} {:>14} {:>22}",
         "combo", "even [GB/s]", "aligned [GB/s]", "lock contention even/aligned"
     );
-    let mut agg_sweep = scale.aggregators();
-    // Beyond the paper's sweep: denser aggregator sets shrink the file
-    // domains, making shared boundary stripes a larger fraction of the
-    // work.
-    agg_sweep.push(scale.procs() / 2);
-    agg_sweep.push(scale.procs());
-    for aggs in agg_sweep {
-        // One round per file domain: cb >= fd size.
-        {
-            let cb: u64 = 64 << 30;
-            let mut row = Vec::new();
-            for strategy in ["even", "aligned"] {
-                let out = e10_simcore::run(async move {
-                    let w = Rc::new(scale.collperf());
-                    let mut spec = TestbedSpec::deep_er();
-                    spec.procs = w.procs();
-                    spec.nodes = scale.nodes();
-                    let tb = spec.build();
-                    let hints = paper_base_hints();
-                    hints.set("cb_nodes", &aggs.to_string());
-                    hints.set("cb_buffer_size", &cb.to_string());
-                    hints.set("e10_fd_partition", strategy);
-                    // A stripe size that does NOT divide the even
-                    // domain size (see module docs).
-                    hints.set("striping_unit", "5242880");
-                    let mut cfg = RunConfig::paper(hints, "/gfs/abl_fd");
-                    cfg.files = 2;
-                    cfg.compute_delay = scale.compute_delay();
-                    let out = run_workload(&tb, w, &cfg).await;
-                    let (grants, contended) = tb.pfs.lock_contention();
-                    (out.gb_s(), grants, contended)
-                });
-                row.push(out);
-            }
-            println!(
-                "{:<10} {:>14.2} {:>14.2} {:>12}/{:<12}",
-                format!("{aggs}_1round"),
-                row[0].0,
-                row[1].0,
-                row[0].2,
-                row[1].2
-            );
-        }
+    for (aggs, even, aligned) in rows {
+        println!(
+            "{:<10} {:>14.2} {:>14.2} {:>12}/{:<12}",
+            format!("{aggs}_1round"),
+            even.0,
+            aligned.0,
+            even.2,
+            aligned.2
+        );
     }
-
-    contention_stress();
-}
-
-/// A 64-rank stress case where boundary-stripe lock contention is
-/// visible: at 32 GB scale the fair-share fabric disperses the
-/// differently-sized boundary partials so far apart in time that their
-/// lock intervals no longer overlap, which is why the sweep above shows
-/// zero contention either way.
-fn contention_stress() {
     println!("\ncontention stress (64 ranks, 256 MB, 8 aggregators):");
     println!(
         "{:<10} {:>12} {:>24}",
         "strategy", "BW [GB/s]", "lock grants contended"
     );
-    for strategy in ["even", "aligned"] {
-        let (bw, contended) = e10_simcore::run(async move {
-            let w = Rc::new(e10_workloads::CollPerf {
-                grid: [4, 4, 4],
-                side: 4,
-                chunk: 64 << 10,
-            });
-            let mut spec = TestbedSpec::deep_er();
-            spec.procs = w.procs();
-            spec.nodes = 8;
-            let tb = spec.build();
-            let hints = paper_base_hints();
-            hints.set("cb_nodes", "8");
-            hints.set("cb_buffer_size", &(64u64 << 30).to_string());
-            hints.set("e10_fd_partition", strategy);
-            hints.set("striping_unit", "5242880");
-            let mut cfg = RunConfig::paper(hints, "/gfs/abl_stress");
-            cfg.files = 2;
-            cfg.compute_delay = e10_simcore::SimDuration::from_secs(2);
-            let out = run_workload(&tb, w, &cfg).await;
-            let (_, contended) = tb.pfs.lock_contention();
-            (out.gb_s(), contended)
-        });
-        println!("{:<10} {:>12.2} {:>24}", strategy, bw, contended);
+    for (s, bw, contended) in stress {
+        println!("{:<10} {:>12.2} {:>24}", s, bw, contended);
     }
 }

@@ -129,20 +129,51 @@ fn run_grouped_variant(scale: Scale, variant: &'static str, aggs: usize) -> f64 
 
 fn main() {
     let scale = Scale::from_env();
+    let rows: Vec<(usize, [f64; 5])> = scale
+        .aggregators()
+        .into_iter()
+        .map(|aggs| {
+            let plain = run_driver_variant(scale, "plain", aggs);
+            let parcoll = run_grouped_variant(scale, "parcoll", aggs);
+            let multifile = run_grouped_variant(scale, "multifile", aggs);
+            let ram = run_driver_variant(scale, "ram_staging", aggs);
+            let e10 = run_driver_variant(scale, "e10_cache", aggs);
+            (aggs, [plain, parcoll, multifile, ram, e10])
+        })
+        .collect();
+
+    if e10_bench::json_mode() {
+        use e10_bench::Json;
+        let doc = Json::obj([
+            ("figure", Json::str("baseline_comparison")),
+            ("scale", Json::str(scale.name())),
+            (
+                "rows",
+                Json::arr(rows.iter().map(|&(aggs, bw)| {
+                    Json::obj([
+                        ("aggregators", Json::U64(aggs as u64)),
+                        ("plain_gb_s", Json::F64(bw[0])),
+                        ("parcoll_gb_s", Json::F64(bw[1])),
+                        ("multifile_gb_s", Json::F64(bw[2])),
+                        ("ram_staging_gb_s", Json::F64(bw[3])),
+                        ("e10_cache_gb_s", Json::F64(bw[4])),
+                    ])
+                })),
+            ),
+        ]);
+        println!("{}", doc.render());
+        return;
+    }
+
     println!("Baseline comparison (IOR-shaped workload, Eq. 2 GB/s):");
     println!(
         "{:<8} {:>10} {:>10} {:>11} {:>13} {:>11}",
         "aggs", "plain", "parcoll", "multifile", "ram_staging", "e10_cache"
     );
-    for aggs in scale.aggregators() {
-        let plain = run_driver_variant(scale, "plain", aggs);
-        let parcoll = run_grouped_variant(scale, "parcoll", aggs);
-        let multifile = run_grouped_variant(scale, "multifile", aggs);
-        let ram = run_driver_variant(scale, "ram_staging", aggs);
-        let e10 = run_driver_variant(scale, "e10_cache", aggs);
+    for (aggs, bw) in rows {
         println!(
             "{:<8} {:>10.2} {:>10.2} {:>11.2} {:>13.2} {:>11.2}",
-            aggs, plain, parcoll, multifile, ram, e10
+            aggs, bw[0], bw[1], bw[2], bw[3], bw[4]
         );
     }
     println!(

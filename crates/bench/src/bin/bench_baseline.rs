@@ -1,0 +1,196 @@
+//! Machine-readable performance baseline for the sweep engine.
+//!
+//! Runs the fig4-shaped coll_perf sweep twice — once on a single
+//! worker (`E10_JOBS=1` equivalent) and once on the full worker pool —
+//! and emits `BENCH_sweep.json` with host wall-clock per grid point,
+//! the parallel speedup, and the sim-time invariants (every point's
+//! virtual wall time and bandwidth must be bit-identical across job
+//! counts, and the rendered figure byte-identical).
+//!
+//! `bench_baseline [--smoke] [--json] [--out PATH] [--jobs N]`
+//!
+//! * `--smoke` — test scale, used by `scripts/ci.sh` as the
+//!   parallel-vs-sequential divergence gate (exit 1 on divergence).
+//! * `--out PATH` — where to write the JSON (default
+//!   `BENCH_sweep.json`; `-` skips the file).
+//! * `--jobs N` — parallel worker count (default `E10_JOBS` /
+//!   available parallelism).
+//! * `--json` — also print the document to stdout.
+//!
+//! Scale follows `E10_SCALE` but defaults to `quick` (not `full`):
+//! this is a perf probe, not a figure regeneration.
+
+use std::time::Instant;
+
+use e10_bench::{format_bandwidth_figure, json_mode, run_point, Json, Scale, SweepPoint};
+use e10_simcore::pool::{run_jobs_on, worker_threads};
+use e10_simcore::Job;
+
+/// One timed grid job per fig4 point, in sequential order.
+fn make_jobs(scale: Scale) -> Vec<Job<(SweepPoint, f64)>> {
+    let mut jobs: Vec<Job<(SweepPoint, f64)>> = Vec::new();
+    for case in e10_bench::Case::ALL {
+        for aggs in scale.aggregators() {
+            for cb in scale.cb_sizes() {
+                jobs.push(Box::new(move || {
+                    let t0 = Instant::now();
+                    let p = run_point(scale, move || scale.collperf(), case, aggs, cb, false);
+                    (p, t0.elapsed().as_secs_f64())
+                }));
+            }
+        }
+    }
+    jobs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let jobs_n = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(worker_threads)
+        .max(1);
+    let scale = if smoke {
+        Scale::Test
+    } else if std::env::var("E10_SCALE").is_ok() {
+        Scale::from_env()
+    } else {
+        Scale::Quick
+    };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!(
+        "bench_baseline: scale={} jobs={jobs_n} host_cpus={host_cpus}",
+        scale.name()
+    );
+    let t_seq = Instant::now();
+    let seq = run_jobs_on(1, make_jobs(scale));
+    let seq_secs = t_seq.elapsed().as_secs_f64();
+    let t_par = Instant::now();
+    let par = run_jobs_on(jobs_n, make_jobs(scale));
+    let par_secs = t_par.elapsed().as_secs_f64();
+
+    let (seq_points, seq_times): (Vec<SweepPoint>, Vec<f64>) = seq.into_iter().unzip();
+    let (par_points, par_times): (Vec<SweepPoint>, Vec<f64>) = par.into_iter().unzip();
+
+    // Invariants: virtual time must not depend on host threading.
+    let mut sim_time_equal = true;
+    for (a, b) in seq_points.iter().zip(par_points.iter()) {
+        if a.outcome.wall_time.to_bits() != b.outcome.wall_time.to_bits()
+            || a.outcome.gb_s().to_bits() != b.outcome.gb_s().to_bits()
+        {
+            sim_time_equal = false;
+            eprintln!(
+                "DIVERGENCE at {} {}: seq wall={} bw={} vs par wall={} bw={}",
+                a.combo,
+                a.case.label(),
+                a.outcome.wall_time,
+                a.outcome.gb_s(),
+                b.outcome.wall_time,
+                b.outcome.gb_s()
+            );
+        }
+    }
+    let title = "bench_baseline coll_perf sweep";
+    let byte_identical =
+        format_bandwidth_figure(title, &seq_points) == format_bandwidth_figure(title, &par_points);
+
+    // Single-run probe: the hot-path cost of one simulation, immune to
+    // sweep-level parallelism — guards against single-run slowdowns.
+    let single_point = |_: usize| {
+        let aggs = *scale.aggregators().last().unwrap();
+        let cb = scale.cb_sizes()[0];
+        let t0 = Instant::now();
+        let p = run_point(
+            scale,
+            move || scale.collperf(),
+            e10_bench::Case::Enabled,
+            aggs,
+            cb,
+            false,
+        );
+        (t0.elapsed().as_secs_f64(), p.outcome.wall_time)
+    };
+    let mut singles: Vec<f64> = (0..3).map(|i| single_point(i).0).collect();
+    singles.sort_by(f64::total_cmp);
+    let single_median = singles[singles.len() / 2];
+
+    let speedup = if par_secs > 0.0 {
+        seq_secs / par_secs
+    } else {
+        0.0
+    };
+    let doc = Json::obj([
+        ("bench", Json::str("sweep_baseline")),
+        ("workload", Json::str("coll_perf")),
+        ("scale", Json::str(scale.name())),
+        ("host_cpus", Json::U64(host_cpus as u64)),
+        ("jobs", Json::U64(jobs_n as u64)),
+        ("sequential_host_secs", Json::F64(seq_secs)),
+        ("parallel_host_secs", Json::F64(par_secs)),
+        ("speedup", Json::F64(speedup)),
+        (
+            "invariants",
+            Json::obj([
+                ("figure_byte_identical", Json::Bool(byte_identical)),
+                ("sim_time_equal", Json::Bool(sim_time_equal)),
+            ]),
+        ),
+        (
+            "single_run",
+            Json::obj([
+                ("samples", Json::U64(singles.len() as u64)),
+                ("median_host_secs", Json::F64(single_median)),
+            ]),
+        ),
+        (
+            "points",
+            Json::arr(
+                seq_points
+                    .iter()
+                    .zip(seq_times.iter().zip(par_times.iter()))
+                    .map(|(p, (s_secs, p_secs))| {
+                        Json::obj([
+                            ("combo", Json::str(&p.combo)),
+                            ("case", Json::str(p.case.label())),
+                            ("gb_s", Json::F64(p.outcome.gb_s())),
+                            ("sim_wall_secs", Json::F64(p.outcome.wall_time)),
+                            ("seq_host_secs", Json::F64(*s_secs)),
+                            ("par_host_secs", Json::F64(*p_secs)),
+                        ])
+                    }),
+            ),
+        ),
+    ]);
+    let rendered = doc.pretty();
+    if out_path != "-" {
+        std::fs::write(&out_path, format!("{rendered}\n")).expect("write baseline json");
+        eprintln!("bench_baseline: wrote {out_path}");
+    }
+    if json_mode() {
+        println!("{rendered}");
+    } else {
+        println!(
+            "sequential {seq_secs:.2}s, parallel ({jobs_n} jobs) {par_secs:.2}s, \
+             speedup {speedup:.2}x on {host_cpus} cpu(s); single run median {single_median:.3}s"
+        );
+        println!(
+            "figure byte-identical: {byte_identical}; sim time bit-equal: {sim_time_equal} \
+             ({} points)",
+            seq_points.len()
+        );
+    }
+    if !byte_identical || !sim_time_equal {
+        eprintln!("bench_baseline: parallel sweep DIVERGED from sequential");
+        std::process::exit(1);
+    }
+}

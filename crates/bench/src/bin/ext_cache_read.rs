@@ -79,14 +79,42 @@ fn run_variant(scale: Scale, aggs: usize, cache_read: bool) -> f64 {
 
 fn main() {
     let scale = Scale::from_env();
+    let rows: Vec<(usize, f64, f64)> = scale
+        .aggregators()
+        .into_iter()
+        .map(|aggs| {
+            let global = run_variant(scale, aggs, false);
+            let cached = run_variant(scale, aggs, true);
+            (aggs, global, cached)
+        })
+        .collect();
+
+    if e10_bench::json_mode() {
+        use e10_bench::Json;
+        let doc = Json::obj([
+            ("figure", Json::str("ext_cache_read")),
+            ("scale", Json::str(scale.name())),
+            (
+                "rows",
+                Json::arr(rows.iter().map(|&(aggs, global, cached)| {
+                    Json::obj([
+                        ("aggregators", Json::U64(aggs as u64)),
+                        ("global_read_gb_s", Json::F64(global)),
+                        ("cache_served_read_gb_s", Json::F64(cached)),
+                    ])
+                })),
+            ),
+        ]);
+        println!("{}", doc.render());
+        return;
+    }
+
     println!("Cache-read extension: collective re-read of a cached checkpoint");
     println!(
         "{:<8} {:>22} {:>24}",
         "aggs", "global read [GB/s]", "cache-served read [GB/s]"
     );
-    for aggs in scale.aggregators() {
-        let global = run_variant(scale, aggs, false);
-        let cached = run_variant(scale, aggs, true);
+    for (aggs, global, cached) in rows {
         println!("{:<8} {:>22.2} {:>24.2}", aggs, global, cached);
     }
 }

@@ -3,11 +3,15 @@
 //! node-crash + journal-recovery case. Not part of the figure set —
 //! this is the resilience probe behind `scripts/ci.sh`'s smoke gate.
 //!
-//! `fault_sweep [--smoke]` — `--smoke` (or `E10_SCALE=quick`) shrinks
-//! the sweep to seconds for CI. Exit status is non-zero if any faulted
+//! `fault_sweep [--smoke] [--json]` — `--smoke` (or `E10_SCALE=quick`)
+//! shrinks the sweep to seconds for CI. The 2×4 cache × fault matrix
+//! runs on the `E10_JOBS` worker pool (each cell is an independent
+//! simulation; the fault plan is built inside the job so `Rc`-based
+//! state stays on its thread). Exit status is non-zero if any faulted
 //! run fails verification or the crash recovery loses data.
 use std::rc::Rc;
 
+use e10_bench::{json_mode, Json};
 use e10_faultsim::{always, FaultPlan};
 use e10_mpisim::Info;
 use e10_romio::TestbedSpec;
@@ -40,10 +44,26 @@ fn plan(kind: &str, fault_seed: u64) -> FaultPlan {
     }
 }
 
-fn sweep_once(smoke: bool, cache: bool, faults: FaultPlan, path: &str) -> (f64, f64, u64) {
+/// One matrix cell. `kind = None` is the fault-free baseline; the
+/// plan is constructed inside the simulation's own thread.
+fn sweep_once(
+    smoke: bool,
+    cache: bool,
+    kind: Option<&'static str>,
+    fault_seed: u64,
+) -> (f64, f64, u64) {
     let files = if smoke { 1 } else { 4 };
-    let path = path.to_string();
+    let path = if kind.is_some() {
+        "/gfs/fsweep"
+    } else {
+        "/gfs/fsweep_ff"
+    }
+    .to_string();
     let out = e10_simcore::run(async move {
+        let faults = match kind {
+            Some(k) => plan(k, fault_seed),
+            None => FaultPlan::default(),
+        };
         let w = Rc::new(CollPerf::tiny([2, 2, 2])) as Rc<dyn Workload>;
         let mut spec = TestbedSpec::small(8, 4);
         // Keep the page cache small enough that cached writes drain to
@@ -61,9 +81,18 @@ fn sweep_once(smoke: bool, cache: bool, faults: FaultPlan, path: &str) -> (f64, 
     (out.gb_s(), out.wall_time, out.faults_injected)
 }
 
+struct CrashOutcome {
+    ok: bool,
+    crash_secs: f64,
+    recovery_secs: f64,
+    requeued: u64,
+    killed: usize,
+    base_wall: f64,
+}
+
 /// Crash + journal recovery: virtual cost of the recovery pass against
 /// the wall time of a fault-free run of the same workload.
-fn crash_case(fault_seed: u64) -> bool {
+fn crash_case(fault_seed: u64) -> CrashOutcome {
     // Fault-free wall of the exact write sequence the crash harness
     // replays (collective writes + per-rank sync).
     let base_wall = e10_simcore::run(async move {
@@ -110,14 +139,14 @@ fn crash_case(fault_seed: u64) -> bool {
             out.killed_tasks,
         )
     });
-    println!(
-        "crash+recovery: killed_tasks={killed} requeued_kib={} recovery_s={recovery_secs:.4} \
-         wall_s={crash_secs:.3} fault_free_s={base_wall:.3} overhead_pct={:.1} verified={}",
-        requeued / 1024,
-        100.0 * (crash_secs - base_wall) / base_wall,
-        if ok { "ok" } else { "FAILED" },
-    );
-    ok
+    CrashOutcome {
+        ok,
+        crash_secs,
+        recovery_secs,
+        requeued,
+        killed,
+        base_wall,
+    }
 }
 
 fn crash_hints() -> Info {
@@ -126,6 +155,8 @@ fn crash_hints() -> Info {
     h.set("e10_cache_journal", "enable");
     h
 }
+
+const KINDS: [&str; 3] = ["ssd_stall", "link_fault", "rpc_fail"];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -137,29 +168,98 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
-    println!(
-        "# fault_sweep mode={} seed={fault_seed}",
-        if smoke { "smoke" } else { "full" }
-    );
+    let json = json_mode();
+    if !json {
+        println!(
+            "# fault_sweep mode={} seed={fault_seed}",
+            if smoke { "smoke" } else { "full" }
+        );
+    }
     let host0 = std::time::Instant::now();
+    // The whole matrix as pool jobs, submitted cache-major so the
+    // results come back in the printing order.
+    let mut jobs: Vec<e10_simcore::Job<(f64, f64, u64)>> = Vec::new();
     for cache in [false, true] {
-        let label = if cache { "e10_cache" } else { "no_cache" };
-        let (base_bw, base_wall, _) =
-            sweep_once(smoke, cache, FaultPlan::default(), "/gfs/fsweep_ff");
-        println!("{label:>9} fault_free: bw_gbs={base_bw:.3} wall={base_wall:.3}s");
-        for kind in ["ssd_stall", "link_fault", "rpc_fail"] {
-            let (bw, wall, injected) =
-                sweep_once(smoke, cache, plan(kind, fault_seed), "/gfs/fsweep");
-            println!(
-                "{label:>9} {kind:>10}: bw_gbs={bw:.3} wall={wall:.3}s injected={injected} \
-                 overhead_pct={:.1}",
-                100.0 * (wall - base_wall) / base_wall,
-            );
+        for kind in std::iter::once(None).chain(KINDS.into_iter().map(Some)) {
+            jobs.push(Box::new(move || sweep_once(smoke, cache, kind, fault_seed)));
         }
     }
-    let ok = crash_case(fault_seed);
-    println!("host_secs={:.1}", host0.elapsed().as_secs_f64());
-    if !ok {
+    let results = e10_simcore::run_jobs(jobs);
+
+    let mut rows = Vec::new();
+    for (c, cache) in [false, true].into_iter().enumerate() {
+        let per_cache = &results[c * (KINDS.len() + 1)..(c + 1) * (KINDS.len() + 1)];
+        let (base_bw, base_wall, _) = per_cache[0];
+        rows.push((cache, None, base_bw, base_wall, 0u64, 0.0));
+        for (k, kind) in KINDS.into_iter().enumerate() {
+            let (bw, wall, injected) = per_cache[k + 1];
+            let overhead = 100.0 * (wall - base_wall) / base_wall;
+            rows.push((cache, Some(kind), bw, wall, injected, overhead));
+        }
+    }
+    let crash = crash_case(fault_seed);
+    let host_secs = host0.elapsed().as_secs_f64();
+
+    if json {
+        let doc = Json::obj([
+            ("figure", Json::str("fault_sweep")),
+            ("mode", Json::str(if smoke { "smoke" } else { "full" })),
+            ("seed", Json::U64(fault_seed)),
+            ("host_secs", Json::F64(host_secs)),
+            (
+                "rows",
+                Json::arr(
+                    rows.iter()
+                        .map(|&(cache, kind, bw, wall, injected, overhead)| {
+                            Json::obj([
+                                ("cache", Json::Bool(cache)),
+                                ("fault", kind.map_or(Json::Null, Json::str)),
+                                ("gb_s", Json::F64(bw)),
+                                ("sim_wall_secs", Json::F64(wall)),
+                                ("injected", Json::U64(injected)),
+                                ("overhead_pct", Json::F64(overhead)),
+                            ])
+                        }),
+                ),
+            ),
+            (
+                "crash_recovery",
+                Json::obj([
+                    ("verified", Json::Bool(crash.ok)),
+                    ("killed_tasks", Json::U64(crash.killed as u64)),
+                    ("requeued_bytes", Json::U64(crash.requeued)),
+                    ("recovery_secs", Json::F64(crash.recovery_secs)),
+                    ("wall_secs", Json::F64(crash.crash_secs)),
+                    ("fault_free_secs", Json::F64(crash.base_wall)),
+                ]),
+            ),
+        ]);
+        println!("{}", doc.render());
+    } else {
+        for &(cache, kind, bw, wall, injected, overhead) in &rows {
+            let label = if cache { "e10_cache" } else { "no_cache" };
+            match kind {
+                None => println!("{label:>9} fault_free: bw_gbs={bw:.3} wall={wall:.3}s"),
+                Some(kind) => println!(
+                    "{label:>9} {kind:>10}: bw_gbs={bw:.3} wall={wall:.3}s injected={injected} \
+                     overhead_pct={overhead:.1}",
+                ),
+            }
+        }
+        println!(
+            "crash+recovery: killed_tasks={} requeued_kib={} recovery_s={:.4} \
+             wall_s={:.3} fault_free_s={:.3} overhead_pct={:.1} verified={}",
+            crash.killed,
+            crash.requeued / 1024,
+            crash.recovery_secs,
+            crash.crash_secs,
+            crash.base_wall,
+            100.0 * (crash.crash_secs - crash.base_wall) / crash.base_wall,
+            if crash.ok { "ok" } else { "FAILED" },
+        );
+        println!("host_secs={host_secs:.1}");
+    }
+    if !crash.ok {
         eprintln!("fault_sweep: crash recovery FAILED");
         std::process::exit(1);
     }

@@ -1,10 +1,11 @@
 //! Figure 10: IOR collective-I/O contribution breakdown with the cache
 //! enabled — the `not_hidden_sync` term of the final write phase is
 //! clearly visible (the `T_s(k) - C(k+1)` of Eq. 1 with C = 0).
-use e10_bench::{print_breakdown_figure, run_sweep, Case, Scale};
+//! `--json` for machine output.
+use e10_bench::{emit_breakdown_figure, run_sweep, Case, Scale};
 
 fn main() {
     let scale = Scale::from_env();
     let points = run_sweep(scale, move || scale.ior(), Case::Enabled, true);
-    print_breakdown_figure("Fig. 10 — IOR breakdown, cache ENABLED", &points);
+    emit_breakdown_figure("fig10", "Fig. 10 — IOR breakdown, cache ENABLED", &points);
 }

@@ -1,15 +1,15 @@
 //! Figure 4: coll_perf perceived write bandwidth for all
 //! `<aggregators>_<coll_bufsize>` combinations, three cases.
-use e10_bench::{print_bandwidth_figure, run_sweep, Case, Scale};
+//!
+//! Grid points run on the `E10_JOBS` worker pool; `--json` emits the
+//! machine-readable form.
+use e10_bench::{emit_bandwidth_figure, run_full_sweep, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    let mut points = Vec::new();
-    for case in Case::ALL {
-        eprintln!("case {} ...", case.label());
-        points.extend(run_sweep(scale, move || scale.collperf(), case, false));
-    }
-    print_bandwidth_figure(
+    let points = run_full_sweep(scale, move || scale.collperf(), false);
+    emit_bandwidth_figure(
+        "fig4",
         "Fig. 4 — coll_perf perceived bandwidth (aggregators_collbuf)",
         &points,
     );

@@ -1,9 +1,14 @@
 //! Figure 6: coll_perf collective-I/O contribution breakdown with the
 //! cache disabled (writes straight to the global file system).
-use e10_bench::{print_breakdown_figure, run_sweep, Case, Scale};
+//! `--json` for machine output.
+use e10_bench::{emit_breakdown_figure, run_sweep, Case, Scale};
 
 fn main() {
     let scale = Scale::from_env();
     let points = run_sweep(scale, move || scale.collperf(), Case::Disabled, false);
-    print_breakdown_figure("Fig. 6 — coll_perf breakdown, cache DISABLED", &points);
+    emit_breakdown_figure(
+        "fig6",
+        "Fig. 6 — coll_perf breakdown, cache DISABLED",
+        &points,
+    );
 }

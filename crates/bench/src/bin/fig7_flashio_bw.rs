@@ -1,14 +1,12 @@
 //! Figure 7: Flash-IO perceived write bandwidth for all combinations.
-use e10_bench::{print_bandwidth_figure, run_sweep, Case, Scale};
+//! Runs on the `E10_JOBS` worker pool; `--json` for machine output.
+use e10_bench::{emit_bandwidth_figure, run_full_sweep, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    let mut points = Vec::new();
-    for case in Case::ALL {
-        eprintln!("case {} ...", case.label());
-        points.extend(run_sweep(scale, move || scale.flashio(), case, false));
-    }
-    print_bandwidth_figure(
+    let points = run_full_sweep(scale, move || scale.flashio(), false);
+    emit_bandwidth_figure(
+        "fig7",
         "Fig. 7 — Flash-IO perceived bandwidth (aggregators_collbuf)",
         &points,
     );

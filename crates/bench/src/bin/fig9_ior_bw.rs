@@ -1,16 +1,14 @@
 //! Figure 9: IOR perceived write bandwidth. Unlike coll_perf and
 //! Flash-IO, IOR charges the non-hidden synchronisation of the LAST
 //! write phase (paper §IV-D), which caps the cache-enabled peak.
-use e10_bench::{print_bandwidth_figure, run_sweep, Case, Scale};
+//! Runs on the `E10_JOBS` worker pool; `--json` for machine output.
+use e10_bench::{emit_bandwidth_figure, run_full_sweep, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    let mut points = Vec::new();
-    for case in Case::ALL {
-        eprintln!("case {} ...", case.label());
-        points.extend(run_sweep(scale, move || scale.ior(), case, true));
-    }
-    print_bandwidth_figure(
+    let points = run_full_sweep(scale, move || scale.ior(), true);
+    emit_bandwidth_figure(
+        "fig9",
         "Fig. 9 — IOR perceived bandwidth, incl. last-phase sync",
         &points,
     );

@@ -3,7 +3,9 @@
 //!
 //! `probe [aggs] [cb_mb] [case] [trace]` — `trace` is `off` (default),
 //! `ring` or `jsonl`; `jsonl` writes `results/traces/collperf.jsonl`
-//! and both modes print the run's metrics snapshot.
+//! and both modes print the run's metrics snapshot. `--json` prints a
+//! machine-readable summary instead of the tables.
+use e10_bench::{json_mode, Json};
 use e10_mpisim::Info;
 use e10_romio::TestbedSpec;
 use e10_simcore::SimDuration;
@@ -11,7 +13,7 @@ use e10_workloads::{run_workload, CollPerf, RunConfig};
 use std::rc::Rc;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args: Vec<String> = std::env::args().filter(|a| a != "--json").collect();
     let aggs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
     let cb_mb: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
     let case = args
@@ -20,6 +22,7 @@ fn main() {
         .unwrap_or("disabled")
         .to_string();
     let trace = args.get(4).map(|s| s.as_str()).unwrap_or("off").to_string();
+    let case_name = case.clone();
     let host0 = std::time::Instant::now();
     let out = e10_simcore::run(async move {
         let w = Rc::new(CollPerf::paper_512());
@@ -56,7 +59,33 @@ fn main() {
         }
         run_workload(&tb, w, &cfg).await
     });
-    println!("host_secs={:.1}", host0.elapsed().as_secs_f64());
+    let host_secs = host0.elapsed().as_secs_f64();
+
+    if json_mode() {
+        let doc = Json::obj([
+            ("figure", Json::str("probe")),
+            ("aggregators", Json::U64(aggs as u64)),
+            ("cb_size", Json::U64(cb_mb << 20)),
+            ("case", Json::str(case_name)),
+            ("host_secs", Json::F64(host_secs)),
+            ("gb_s", Json::F64(out.gb_s())),
+            ("sim_wall_secs", Json::F64(out.wall_time)),
+            ("total_bytes", Json::U64(out.total_bytes)),
+            (
+                "phases",
+                Json::arr(out.phases.iter().map(|p| {
+                    Json::obj([
+                        ("t_c_secs", Json::F64(p.t_c)),
+                        ("not_hidden_secs", Json::F64(p.not_hidden)),
+                    ])
+                })),
+            ),
+        ]);
+        println!("{}", doc.render());
+        return;
+    }
+
+    println!("host_secs={host_secs:.1}");
     println!("bw_gbs={:.3} wall={:.1}s", out.gb_s(), out.wall_time);
     for (i, p) in out.phases.iter().enumerate() {
         println!(

@@ -40,19 +40,57 @@ fn main() {
     // Chunks that cube-divide 64 MiB: side ∈ {16, 8, 4} → 16 KiB,
     // 128 KiB, 1 MiB.
     let chunks: &[(u64, &str)] = &[(16 << 10, "16K"), (128 << 10, "128K"), (1 << 20, "1M")];
+    let points = [
+        ("disabled 64_4M", Case::Disabled, 64usize),
+        ("enabled 64_4M", Case::Enabled, 64),
+        ("enabled 8_4M", Case::Enabled, 8),
+    ];
+    let rows: Vec<(&str, Vec<(u64, f64)>)> = points
+        .into_iter()
+        .map(|(label, case, aggs)| {
+            let bws = chunks
+                .iter()
+                .map(|&(chunk, _)| (chunk, run_one(scale, chunk, case, aggs)))
+                .collect();
+            (label, bws)
+        })
+        .collect();
+
+    if e10_bench::json_mode() {
+        use e10_bench::Json;
+        let doc = Json::obj([
+            ("figure", Json::str("sensitivity_granularity")),
+            ("scale", Json::str(scale.name())),
+            (
+                "rows",
+                Json::arr(rows.iter().map(|(label, bws)| {
+                    Json::obj([
+                        ("point", Json::str(*label)),
+                        (
+                            "chunks",
+                            Json::arr(bws.iter().map(|&(chunk, bw)| {
+                                Json::obj([
+                                    ("chunk_bytes", Json::U64(chunk)),
+                                    ("gb_s", Json::F64(bw)),
+                                ])
+                            })),
+                        ),
+                    ])
+                })),
+            ),
+        ]);
+        println!("{}", doc.render());
+        return;
+    }
+
     println!("coll_perf granularity sensitivity (Fig. 4 anchor points, GB/s):");
     println!(
         "{:<22} {:>10} {:>10} {:>10}",
         "point", "16K chunks", "128K (used)", "1M chunks"
     );
-    for (label, case, aggs) in [
-        ("disabled 64_4M", Case::Disabled, 64usize),
-        ("enabled 64_4M", Case::Enabled, 64),
-        ("enabled 8_4M", Case::Enabled, 8),
-    ] {
+    for (label, bws) in rows {
         print!("{label:<22}");
-        for &(chunk, _) in chunks {
-            let bw = run_one(scale, chunk, case, aggs);
+        for (_, bw) in bws {
             print!(" {bw:>10.2}");
         }
         println!();

@@ -10,10 +10,21 @@
 //! Set `E10_SCALE=quick` to run a reduced sweep (64 ranks, smaller
 //! files) for smoke testing; the default regenerates the full
 //! 512-rank, 32 GB-per-file experiments.
+//!
+//! Sweeps run their grid points on a host-side worker pool
+//! ([`e10_simcore::pool`]): every point is an independent,
+//! deterministic simulation, so `E10_JOBS=N` runs N of them on
+//! separate OS threads while `E10_JOBS=1` forces the old sequential
+//! path. Results are keyed by grid index, so the printed figures are
+//! byte-identical regardless of the job count. Every binary also
+//! accepts `--json` for a machine-readable rendition of its output.
 
 pub mod harness;
+pub mod json;
 
 use std::rc::Rc;
+
+pub use json::{json_mode, Json};
 
 use e10_mpisim::Info;
 use e10_romio::TestbedSpec;
@@ -62,6 +73,9 @@ pub enum Scale {
     /// 64 ranks, 8 nodes, small files — minutes instead of tens of
     /// minutes; shapes still hold.
     Quick,
+    /// 8 ranks, 2 nodes, kilobyte files — seconds; for the test suite
+    /// and the `bench_baseline --smoke` CI gate.
+    Test,
 }
 
 impl Scale {
@@ -69,7 +83,17 @@ impl Scale {
     pub fn from_env() -> Scale {
         match std::env::var("E10_SCALE").as_deref() {
             Ok("quick") => Scale::Quick,
+            Ok("test") => Scale::Test,
             _ => Scale::Full,
+        }
+    }
+
+    /// Lowercase name (matches the `E10_SCALE` values).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Full => "full",
+            Scale::Quick => "quick",
+            Scale::Test => "test",
         }
     }
 
@@ -78,6 +102,7 @@ impl Scale {
         match self {
             Scale::Full => 512,
             Scale::Quick => 64,
+            Scale::Test => 8,
         }
     }
 
@@ -86,6 +111,7 @@ impl Scale {
         match self {
             Scale::Full => 64,
             Scale::Quick => 8,
+            Scale::Test => 2,
         }
     }
 
@@ -94,6 +120,7 @@ impl Scale {
         match self {
             Scale::Full => vec![8, 16, 32, 64],
             Scale::Quick => vec![2, 4, 8],
+            Scale::Test => vec![2, 4],
         }
     }
 
@@ -102,12 +129,16 @@ impl Scale {
         match self {
             Scale::Full => vec![4 << 20, 16 << 20, 64 << 20],
             Scale::Quick => vec![1 << 20, 4 << 20],
+            Scale::Test => vec![8 << 10, 32 << 10],
         }
     }
 
     /// Files per run (the paper writes 4).
     pub fn files(&self) -> usize {
-        4
+        match self {
+            Scale::Test => 2,
+            _ => 4,
+        }
     }
 
     /// Compute delay between phases.
@@ -115,6 +146,7 @@ impl Scale {
         match self {
             Scale::Full => SimDuration::from_secs(30),
             Scale::Quick => SimDuration::from_secs(4),
+            Scale::Test => SimDuration::from_secs(1),
         }
     }
 
@@ -127,6 +159,7 @@ impl Scale {
                 side: 4,
                 chunk: 64 << 10, // 4 MB per rank, 256 MB files
             },
+            Scale::Test => CollPerf::tiny([2, 2, 2]),
         }
     }
 
@@ -141,6 +174,7 @@ impl Scale {
                 nvars: 6,
                 file: e10_workloads::FlashFile::Checkpoint,
             },
+            Scale::Test => FlashIo::tiny(8),
         }
     }
 
@@ -154,6 +188,7 @@ impl Scale {
                 transfer_size: 1 << 20,
                 segments: 4,
             },
+            Scale::Test => Ior::tiny(8),
         }
     }
 }
@@ -190,9 +225,14 @@ pub fn hints_for(case: Case, aggregators: usize, cb_size: u64) -> Info {
     info
 }
 
-/// The label the paper uses on its x axes.
+/// The label the paper uses on its x axes (`K` below 1 MB, used only
+/// by the reduced test scale).
 pub fn combo_label(aggregators: usize, cb_size: u64) -> String {
-    format!("{aggregators}_{}M", cb_size >> 20)
+    if cb_size >= 1 << 20 {
+        format!("{aggregators}_{}M", cb_size >> 20)
+    } else {
+        format!("{aggregators}_{}K", cb_size >> 10)
+    }
 }
 
 /// One measured configuration.
@@ -210,6 +250,10 @@ pub struct SweepPoint {
 }
 
 /// Run one configuration of `workload` in a fresh simulated cluster.
+///
+/// `Send` because sweep points run as worker-pool jobs; the workload
+/// itself is constructed *inside* the job's simulation, so the
+/// `Rc`-based sim state never crosses a thread.
 pub fn run_point<W, F>(
     scale: Scale,
     make_workload: F,
@@ -220,7 +264,7 @@ pub fn run_point<W, F>(
 ) -> SweepPoint
 where
     W: Workload + 'static,
-    F: FnOnce() -> W + 'static,
+    F: FnOnce() -> W + Send + 'static,
 {
     let outcome = e10_simcore::run(async move {
         let workload = Rc::new(make_workload());
@@ -247,7 +291,8 @@ where
     }
 }
 
-/// Run the full `<aggregators>_<coll_bufsize>` sweep for one case.
+/// Run the full `<aggregators>_<coll_bufsize>` sweep for one case on
+/// the `E10_JOBS` worker pool.
 pub fn run_sweep<W, F>(
     scale: Scale,
     make_workload: F,
@@ -256,35 +301,127 @@ pub fn run_sweep<W, F>(
 ) -> Vec<SweepPoint>
 where
     W: Workload + 'static,
-    F: Fn() -> W + Copy + 'static,
+    F: Fn() -> W + Copy + Send + Sync + 'static,
 {
-    let mut out = Vec::new();
-    for aggs in scale.aggregators() {
-        for cb in scale.cb_sizes() {
-            eprintln!("  running {} {} ...", combo_label(aggs, cb), case.label());
-            out.push(run_point(
-                scale,
-                make_workload,
-                case,
-                aggs,
-                cb,
-                include_last_sync,
-            ));
-        }
-    }
-    out
+    run_sweep_on(
+        e10_simcore::pool::worker_threads(),
+        scale,
+        make_workload,
+        case,
+        include_last_sync,
+    )
 }
 
-/// Print a Fig. 4/7/9-style bandwidth table: one row per combo, one
-/// column per case.
-pub fn print_bandwidth_figure(title: &str, points: &[SweepPoint]) {
-    println!("\n{title}");
-    println!("{}", "=".repeat(title.len()));
-    print!("{:<10}", "combo");
-    for case in Case::ALL {
-        print!(" {:>20}", case.label());
+/// [`run_sweep`] with an explicit worker count (`1` forces the
+/// sequential path; tests use this to compare job counts without
+/// touching the environment).
+pub fn run_sweep_on<W, F>(
+    jobs: usize,
+    scale: Scale,
+    make_workload: F,
+    case: Case,
+    include_last_sync: bool,
+) -> Vec<SweepPoint>
+where
+    W: Workload + 'static,
+    F: Fn() -> W + Copy + Send + Sync + 'static,
+{
+    run_grid(jobs, scale, make_workload, &[case], include_last_sync)
+}
+
+/// Run all three cases of a Fig. 4/7/9-style figure on the `E10_JOBS`
+/// worker pool. Points come back in the sequential order (case, then
+/// aggregators, then buffer size), so figures print byte-identically
+/// at any job count.
+pub fn run_full_sweep<W, F>(
+    scale: Scale,
+    make_workload: F,
+    include_last_sync: bool,
+) -> Vec<SweepPoint>
+where
+    W: Workload + 'static,
+    F: Fn() -> W + Copy + Send + Sync + 'static,
+{
+    run_full_sweep_on(
+        e10_simcore::pool::worker_threads(),
+        scale,
+        make_workload,
+        include_last_sync,
+    )
+}
+
+/// [`run_full_sweep`] with an explicit worker count.
+pub fn run_full_sweep_on<W, F>(
+    jobs: usize,
+    scale: Scale,
+    make_workload: F,
+    include_last_sync: bool,
+) -> Vec<SweepPoint>
+where
+    W: Workload + 'static,
+    F: Fn() -> W + Copy + Send + Sync + 'static,
+{
+    run_grid(jobs, scale, make_workload, &Case::ALL, include_last_sync)
+}
+
+/// Shared sweep driver: one pool job per grid point, submitted in the
+/// sequential iteration order. [`e10_simcore::pool::run_jobs_on`]
+/// returns results keyed by submission index, which keeps the output
+/// order — and therefore every printed byte — independent of how the
+/// jobs interleave across threads.
+fn run_grid<W, F>(
+    jobs: usize,
+    scale: Scale,
+    make_workload: F,
+    cases: &[Case],
+    include_last_sync: bool,
+) -> Vec<SweepPoint>
+where
+    W: Workload + 'static,
+    F: Fn() -> W + Copy + Send + Sync + 'static,
+{
+    let mut grid: Vec<e10_simcore::Job<SweepPoint>> = Vec::new();
+    for &case in cases {
+        for aggs in scale.aggregators() {
+            for cb in scale.cb_sizes() {
+                grid.push(Box::new(move || {
+                    eprintln!("  running {} {} ...", combo_label(aggs, cb), case.label());
+                    run_point(scale, make_workload, case, aggs, cb, include_last_sync)
+                }));
+            }
+        }
     }
-    println!("   [GB/s, Eq. 2]");
+    e10_simcore::pool::run_jobs_on(jobs, grid)
+}
+
+/// The breakdown phases the Fig. 5/6/8/10 figures report, in column
+/// order.
+pub fn breakdown_phases() -> [e10_romio::Phase; 6] {
+    use e10_romio::Phase;
+    [
+        Phase::ShuffleAlltoall,
+        Phase::ShuffleWaitall,
+        Phase::CollBufAssembly,
+        Phase::Write,
+        Phase::PostWrite,
+        Phase::NotHiddenSync,
+    ]
+}
+
+/// Format a Fig. 4/7/9-style bandwidth table: one row per combo, one
+/// column per case. Returns exactly the bytes the sequential harness
+/// has always printed, so job-count determinism can be asserted on
+/// the string.
+pub fn format_bandwidth_figure(title: &str, points: &[SweepPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n{title}");
+    let _ = writeln!(out, "{}", "=".repeat(title.len()));
+    let _ = write!(out, "{:<10}", "combo");
+    for case in Case::ALL {
+        let _ = write!(out, " {:>20}", case.label());
+    }
+    let _ = writeln!(out, "   [GB/s, Eq. 2]");
     let mut combos: Vec<String> = Vec::new();
     for p in points {
         if !combos.contains(&p.combo) {
@@ -292,46 +429,107 @@ pub fn print_bandwidth_figure(title: &str, points: &[SweepPoint]) {
         }
     }
     for combo in combos {
-        print!("{combo:<10}");
+        let _ = write!(out, "{combo:<10}");
         for case in Case::ALL {
             let gb = points
                 .iter()
                 .find(|p| p.combo == combo && p.case == case)
                 .map(|p| p.outcome.gb_s());
             match gb {
-                Some(v) => print!(" {v:>19.2}"),
-                None => print!(" {:>20}", "-"),
+                Some(v) => {
+                    let _ = write!(out, " {v:>19.2}");
+                }
+                None => {
+                    let _ = write!(out, " {:>20}", "-");
+                }
             }
         }
-        println!();
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Format a Fig. 5/6/8/10-style breakdown: per combo, the aggregator-
+/// rank mean seconds in every collective-write phase.
+pub fn format_breakdown_figure(title: &str, points: &[SweepPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n{title}");
+    let _ = writeln!(out, "{}", "=".repeat(title.len()));
+    let _ = write!(out, "{:<10}", "combo");
+    for ph in breakdown_phases() {
+        let _ = write!(out, " {:>16}", ph.label());
+    }
+    let _ = writeln!(out, "   [aggregator-mean seconds]");
+    for p in points {
+        let _ = write!(out, "{:<10}", p.combo);
+        for ph in breakdown_phases() {
+            let _ = write!(out, " {:>16.3}", p.outcome.breakdown_aggs.mean(ph));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Print a Fig. 4/7/9-style bandwidth table.
+pub fn print_bandwidth_figure(title: &str, points: &[SweepPoint]) {
+    print!("{}", format_bandwidth_figure(title, points));
+}
+
+/// Print a Fig. 5/6/8/10-style breakdown table.
+pub fn print_breakdown_figure(title: &str, points: &[SweepPoint]) {
+    print!("{}", format_breakdown_figure(title, points));
+}
+
+impl SweepPoint {
+    /// Machine-readable form of this point (used by `--json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("combo", Json::str(&self.combo)),
+            ("aggregators", Json::U64(self.aggregators as u64)),
+            ("cb_size", Json::U64(self.cb_size)),
+            ("case", Json::str(self.case.label())),
+            ("gb_s", Json::F64(self.outcome.gb_s())),
+            ("sim_wall_secs", Json::F64(self.outcome.wall_time)),
+            ("total_bytes", Json::U64(self.outcome.total_bytes)),
+            (
+                "breakdown_aggs_mean_secs",
+                Json::obj(
+                    breakdown_phases()
+                        .iter()
+                        .map(|ph| (ph.label(), Json::F64(self.outcome.breakdown_aggs.mean(*ph)))),
+                ),
+            ),
+        ])
     }
 }
 
-/// Print a Fig. 5/6/8/10-style breakdown: per combo, the aggregator-
-/// rank mean seconds in every collective-write phase.
-pub fn print_breakdown_figure(title: &str, points: &[SweepPoint]) {
-    use e10_romio::Phase;
-    println!("\n{title}");
-    println!("{}", "=".repeat(title.len()));
-    let phases = [
-        Phase::ShuffleAlltoall,
-        Phase::ShuffleWaitall,
-        Phase::CollBufAssembly,
-        Phase::Write,
-        Phase::PostWrite,
-        Phase::NotHiddenSync,
-    ];
-    print!("{:<10}", "combo");
-    for ph in phases {
-        print!(" {:>16}", ph.label());
+/// The `--json` document for a figure: `{figure, title, points}`.
+pub fn figure_json(figure: &str, title: &str, points: &[SweepPoint]) -> Json {
+    Json::obj([
+        ("figure", Json::str(figure)),
+        ("title", Json::str(title)),
+        ("points", Json::arr(points.iter().map(SweepPoint::to_json))),
+    ])
+}
+
+/// Emit a bandwidth figure: JSON when `--json` was passed, the table
+/// otherwise.
+pub fn emit_bandwidth_figure(figure: &str, title: &str, points: &[SweepPoint]) {
+    if json_mode() {
+        println!("{}", figure_json(figure, title, points).render());
+    } else {
+        print_bandwidth_figure(title, points);
     }
-    println!("   [aggregator-mean seconds]");
-    for p in points {
-        print!("{:<10}", p.combo);
-        for ph in phases {
-            print!(" {:>16.3}", p.outcome.breakdown_aggs.mean(ph));
-        }
-        println!();
+}
+
+/// Emit a breakdown figure: JSON when `--json` was passed, the table
+/// otherwise.
+pub fn emit_breakdown_figure(figure: &str, title: &str, points: &[SweepPoint]) {
+    if json_mode() {
+        println!("{}", figure_json(figure, title, points).render());
+    } else {
+        print_breakdown_figure(title, points);
     }
 }
 
@@ -360,15 +558,17 @@ mod tests {
     fn combo_labels_match_paper_format() {
         assert_eq!(combo_label(8, 4 << 20), "8_4M");
         assert_eq!(combo_label(64, 64 << 20), "64_64M");
+        assert_eq!(combo_label(2, 8 << 10), "2_8K");
     }
 
     #[test]
-    fn quick_scale_is_consistent() {
-        let s = Scale::Quick;
-        assert_eq!(s.collperf().procs(), s.procs());
-        assert_eq!(s.flashio().procs(), s.procs());
-        assert_eq!(s.ior().procs(), s.procs());
-        assert!(s.aggregators().iter().all(|&a| a <= s.procs()));
+    fn reduced_scales_are_consistent() {
+        for s in [Scale::Quick, Scale::Test] {
+            assert_eq!(s.collperf().procs(), s.procs());
+            assert_eq!(s.flashio().procs(), s.procs());
+            assert_eq!(s.ior().procs(), s.procs());
+            assert!(s.aggregators().iter().all(|&a| a <= s.procs()));
+        }
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! The parallel sweep engine's core guarantee: job count changes
+//! wall-clock time only. Every simulation is constructed and run
+//! entirely inside its worker thread and results are keyed by grid
+//! index, so the figures must come out byte-identical whether the
+//! sweep ran on one thread (`E10_JOBS=1`) or many (`E10_JOBS=8`).
+//! The explicit-worker-count entry points are the same code path the
+//! env var selects, minus the process-global env mutation that would
+//! race with other tests.
+
+use e10_bench::{
+    format_bandwidth_figure, format_breakdown_figure, run_full_sweep_on, run_sweep_on, Case, Scale,
+};
+
+#[test]
+fn fig4_output_is_byte_identical_at_1_and_8_jobs() {
+    let scale = Scale::Test;
+    let title = "Fig. 4 — coll_perf perceived bandwidth (aggregators_collbuf)";
+    let sweep = |jobs| {
+        let points = run_full_sweep_on(jobs, scale, move || scale.collperf(), false);
+        format_bandwidth_figure(title, &points)
+    };
+    let sequential = sweep(1);
+    let parallel = sweep(8);
+    // Sanity: the figure actually contains the full grid.
+    for combo in ["2_8K", "2_32K", "4_8K", "4_32K"] {
+        assert!(sequential.contains(combo), "missing combo {combo}");
+    }
+    assert_eq!(sequential, parallel, "fig4 output depends on job count");
+}
+
+#[test]
+fn breakdown_output_is_byte_identical_at_1_and_8_jobs() {
+    let scale = Scale::Test;
+    let sweep = |jobs| {
+        let points = run_sweep_on(jobs, scale, move || scale.collperf(), Case::Enabled, false);
+        format_breakdown_figure("breakdown", &points)
+    };
+    assert_eq!(sweep(1), sweep(8), "breakdown output depends on job count");
+}

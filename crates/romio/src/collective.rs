@@ -54,7 +54,9 @@ struct Run {
 /// Coalesce sorted pieces into contiguous runs.
 fn coalesce_runs(mut pieces: Vec<(u64, Payload)>) -> Vec<Run> {
     pieces.sort_by_key(|&(off, _)| off);
-    let mut runs: Vec<Run> = Vec::new();
+    // Pre-sized for the worst case (every piece its own run) so the
+    // per-round assembly never reallocates mid-build.
+    let mut runs: Vec<Run> = Vec::with_capacity(pieces.len());
     for (off, p) in pieces {
         let end = off + p.len;
         match runs.last_mut() {
@@ -76,7 +78,7 @@ fn coalesce_runs(mut pieces: Vec<(u64, Payload)>) -> Vec<Run> {
 /// assembled collective buffer becomes a handful of `write_contig`
 /// calls instead of thousands.
 fn merge_continuing(pieces: Vec<(u64, Payload)>) -> Vec<(u64, Payload)> {
-    let mut out: Vec<(u64, Payload)> = Vec::new();
+    let mut out: Vec<(u64, Payload)> = Vec::with_capacity(pieces.len());
     for (off, p) in pieces {
         if let Some((loff, lp)) = out.last_mut() {
             if *loff + lp.len == off && lp.src.continues(lp.len, &p.src) {
@@ -161,32 +163,42 @@ pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> Wr
         let ntimes = fds.max_size().div_ceil(cb);
         (fds, cb, ntimes)
     };
-    let aggregators: Vec<usize> = fd.aggregators().to_vec();
+    // Borrow the aggregator set for the whole collective — the
+    // historical per-call `to_vec()` cost one Vec per collective and
+    // carried no exclusivity the slice doesn't.
+    let aggregators: &[usize] = fd.aggregators();
+    let naggs = aggregators.len();
     let my_agg = fd.my_agg_index();
     let net = comm.network();
     let p = comm.size();
     let mut local_err: u32 = 0;
 
+    // Per-round scratch, allocated once: the alltoall size vector is
+    // moved into the exchange and the received vector is reclaimed as
+    // the next round's buffer, so steady-state rounds allocate no size
+    // vectors at all.
+    let mut size_buf = vec![0u64; p];
+    let mut windows: Vec<(u64, u64)> = Vec::with_capacity(naggs);
+
     // --- 4. the two-phase rounds ------------------------------------------
     for round in 0..ntimes {
         let tag = DATA_TAG_BASE + (round % 4096) as Tag;
         // Per-aggregator window of this round.
-        let windows: Vec<(u64, u64)> = (0..aggregators.len())
-            .map(|a| {
-                let ws = (fds.starts[a] + round * cb).min(fds.ends[a]);
-                let we = (fds.starts[a] + (round + 1) * cb).min(fds.ends[a]);
-                (ws, we)
-            })
-            .collect();
+        windows.clear();
+        windows.extend((0..naggs).map(|a| {
+            let ws = (fds.starts[a] + round * cb).min(fds.ends[a]);
+            let we = (fds.starts[a] + (round + 1) * cb).min(fds.ends[a]);
+            (ws, we)
+        }));
 
         // My contribution to each aggregator this round.
-        let mut send_sizes = vec![0u64; p];
+        size_buf.fill(0);
         let mut per_agg_pieces: Vec<Vec<(u64, Payload)>> = Vec::with_capacity(windows.len());
         if my_bytes > 0 {
             for (a, &(ws, we)) in windows.iter().enumerate() {
                 let pieces = view.pieces_in_window(ws, we);
                 let bytes: u64 = pieces.iter().map(|vp| vp.len).sum();
-                send_sizes[aggregators[a]] = bytes;
+                size_buf[aggregators[a]] = bytes;
                 per_agg_pieces.push(
                     pieces
                         .into_iter()
@@ -199,10 +211,10 @@ pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> Wr
         }
 
         // Size dissemination: the per-round MPI_Alltoall
-        // ("shuffle_all2all").
+        // ("shuffle_all2all"). The send vector is moved, not cloned.
         let recv_sizes: Vec<u64> = {
             let _t = prof.enter(Phase::ShuffleAlltoall);
-            comm.alltoall(send_sizes.clone(), 8).await
+            comm.alltoall(std::mem::take(&mut size_buf), 8).await
         };
 
         // Data shuffle: post sends, post receives, wait for all.
@@ -229,6 +241,8 @@ pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> Wr
                 }
             }
         }
+        // Reclaim the received size vector as next round's send buffer.
+        size_buf = recv_sizes;
         let mut recvd: Vec<(u64, Payload)> = local_pieces;
         {
             let _t = prof.enter(Phase::ShuffleWaitall);

@@ -135,7 +135,11 @@ pub async fn read_at_all(fd: &AdioFile, view: &FileView) -> ReadAllResult {
         let ntimes = fds.max_size().div_ceil(cb);
         (fds, cb, ntimes)
     };
-    let aggregators: Vec<usize> = fd.aggregators().to_vec();
+    // Mirrors the write path: borrow the aggregator set instead of the
+    // historical per-call `to_vec()`, and reuse the alltoall size
+    // buffer across rounds.
+    let aggregators: &[usize] = fd.aggregators();
+    let naggs = aggregators.len();
     let my_agg = fd.my_agg_index();
     let p = comm.size();
     let mut local_err: u32 = 0;
@@ -146,24 +150,27 @@ pub async fn read_at_all(fd: &AdioFile, view: &FileView) -> ReadAllResult {
         ..Default::default()
     };
 
+    let mut size_buf = vec![0u64; p];
+    let mut windows: Vec<(u64, u64)> = Vec::with_capacity(naggs);
+    let mut asked: Vec<bool> = Vec::with_capacity(naggs);
+
     for round in 0..ntimes {
         let req_tag = READ_REQ_TAG_BASE + (round % 4096) as Tag;
         let data_tag = READ_DATA_TAG_BASE + (round % 4096) as Tag;
-        let windows: Vec<(u64, u64)> = (0..aggregators.len())
-            .map(|a| {
-                let ws = (fds.starts[a] + round * cb).min(fds.ends[a]);
-                let we = (fds.starts[a] + (round + 1) * cb).min(fds.ends[a]);
-                (ws, we)
-            })
-            .collect();
+        windows.clear();
+        windows.extend((0..naggs).map(|a| {
+            let ws = (fds.starts[a] + round * cb).min(fds.ends[a]);
+            let we = (fds.starts[a] + (round + 1) * cb).min(fds.ends[a]);
+            (ws, we)
+        }));
 
         // What I want from each aggregator this round.
-        let mut want_sizes = vec![0u64; p];
+        size_buf.fill(0);
         let mut per_agg_reqs: Vec<Vec<ReqPiece>> = Vec::with_capacity(windows.len());
         for (a, &(ws, we)) in windows.iter().enumerate() {
             let pieces = view.pieces_in_window(ws, we);
             let bytes: u64 = pieces.iter().map(|vp| vp.len).sum();
-            want_sizes[aggregators[a]] = bytes;
+            size_buf[aggregators[a]] = bytes;
             per_agg_reqs.push(
                 pieces
                     .into_iter()
@@ -174,22 +181,25 @@ pub async fn read_at_all(fd: &AdioFile, view: &FileView) -> ReadAllResult {
 
         let req_sizes: Vec<u64> = {
             let _t = prof.enter(Phase::ShuffleAlltoall);
-            comm.alltoall(want_sizes.clone(), 8).await
+            comm.alltoall(std::mem::take(&mut size_buf), 8).await
         };
 
-        // Send request lists; keep my own local.
+        // Send request lists; keep my own local. The lists are moved
+        // into the sends (the historical path cloned each one).
         let mut local_req: Vec<ReqPiece> = Vec::new();
         let mut sreqs = Vec::new();
-        for (a, reqs) in per_agg_reqs.iter().enumerate() {
+        asked.clear();
+        for (a, reqs) in per_agg_reqs.into_iter().enumerate() {
+            asked.push(!reqs.is_empty());
             if reqs.is_empty() {
                 continue;
             }
             let dst = aggregators[a];
             if dst == me {
-                local_req = reqs.clone();
+                local_req = reqs;
             } else {
                 let bytes = 32 + 24 * reqs.len() as u64;
-                sreqs.push(comm.isend(dst, req_tag, bytes, reqs.clone()));
+                sreqs.push(comm.isend(dst, req_tag, bytes, reqs));
             }
         }
 
@@ -198,7 +208,7 @@ pub async fn read_at_all(fd: &AdioFile, view: &FileView) -> ReadAllResult {
         if my_agg.is_some() {
             let mut requests: Vec<(usize, Vec<ReqPiece>)> = Vec::new();
             if !local_req.is_empty() {
-                requests.push((me, local_req.clone()));
+                requests.push((me, local_req));
             }
             {
                 let _t = prof.enter(Phase::ShuffleWaitall);
@@ -291,12 +301,15 @@ pub async fn read_at_all(fd: &AdioFile, view: &FileView) -> ReadAllResult {
             }
         }
 
+        // Reclaim the received size vector as next round's send buffer.
+        size_buf = req_sizes;
+
         // Everyone: wait for requested data.
         {
             let _t = prof.enter(Phase::ShuffleWaitall);
             let mut rreqs = Vec::new();
-            for (a, reqs) in per_agg_reqs.iter().enumerate() {
-                if !reqs.is_empty() && aggregators[a] != me {
+            for (a, &was_asked) in asked.iter().enumerate() {
+                if was_asked && aggregators[a] != me {
                     rreqs.push(comm.irecv(SourceSel::Rank(aggregators[a]), data_tag));
                 }
             }

@@ -1,0 +1,97 @@
+//! Heap-allocation regression guard for the two-phase hot paths.
+//!
+//! The simulation is deterministic and single-threaded, so the number
+//! of allocator calls for a fixed scenario is a stable, reproducible
+//! metric. The test prints the count (for the perf trajectory) and
+//! asserts a generous ceiling so an accidental per-round or per-piece
+//! allocation regression fails loudly rather than silently eating the
+//! sweep speedup.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+/// Count allocator calls across `f`.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    f();
+    COUNTING.store(false, Ordering::Relaxed);
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// A fixed 8-rank interleaved collective write, multiple rounds.
+fn collective_write_scenario() {
+    use e10_mpisim::{FlatType, Info};
+    e10_simcore::run(async {
+        let tb = e10_romio::TestbedSpec::small(8, 4).build();
+        let handles: Vec<_> = tb
+            .ctxs()
+            .into_iter()
+            .map(|ctx| {
+                e10_simcore::spawn(async move {
+                    let info = Info::from_pairs([
+                        ("romio_cb_write", "enable"),
+                        ("cb_buffer_size", "65536"),
+                    ]);
+                    let f = e10_romio::AdioFile::open(&ctx, "/gfs/alloc", &info, true)
+                        .await
+                        .unwrap();
+                    let rank = ctx.comm.rank();
+                    let blocks: Vec<(u64, u64)> = (0..16)
+                        .map(|i| ((i * 8 + rank as u64) * 10_000, 10_000))
+                        .collect();
+                    let view = e10_mpisim::FileView::new(&FlatType::indexed(blocks), 0);
+                    let r = e10_romio::write_at_all(
+                        &f,
+                        &view,
+                        &e10_romio::DataSpec::FileGen { seed: 77 },
+                    )
+                    .await;
+                    assert_eq!(r.error_code, 0);
+                    assert!(r.rounds > 1);
+                    f.close().await;
+                })
+            })
+            .collect();
+        e10_simcore::join_all(handles).await;
+    });
+}
+
+#[test]
+fn collective_write_allocation_budget() {
+    // Warm-up outside the counted window (lazy statics, first-touch
+    // buffers), then the measured run.
+    collective_write_scenario();
+    let n = count_allocs(collective_write_scenario);
+    println!("collective_write_scenario allocator calls: {n}");
+    // Seed (pre-optimisation) count: see CHANGES.md. The ceiling is
+    // ~15% above the optimised count; a reintroduced per-round clone
+    // or per-collective to_vec() blows well past it.
+    assert!(n < 80_000, "allocation regression: {n} allocator calls");
+}

@@ -20,7 +20,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
@@ -41,22 +41,54 @@ enum EventAction {
 }
 
 struct ScheduledEvent {
+    /// Sequence number of the calendar entry pointing at this slot.
+    /// A popped heap entry whose seq doesn't match is stale (the slot
+    /// was freed by a cancel and possibly reused) and is skipped.
+    seq: u64,
     action: EventAction,
     cancelled: Option<Rc<Cell<bool>>>,
 }
+
+/// Distinguishes kernels across nested/sequential/parallel runs so an
+/// [`EventHandle`] outliving its simulation can never free a slot of a
+/// different kernel that happens to reuse the same indices.
+static KERNEL_IDS: AtomicU64 = AtomicU64::new(1);
 
 /// Handle to a scheduled callback; dropping it does NOT cancel the event,
 /// call [`EventHandle::cancel`] explicitly.
 #[derive(Clone)]
 pub struct EventHandle {
     cancelled: Rc<Cell<bool>>,
+    kernel: u64,
+    slot: u32,
+    seq: u64,
 }
 
 impl EventHandle {
     /// Prevent the event from firing. Idempotent; has no effect if the
     /// event already fired.
+    ///
+    /// The event body (boxed callback and its captures) is dropped
+    /// *now*, not when the calendar reaches the event's time — a
+    /// cancelled timeout scheduled far in the future costs one stale
+    /// 24-byte heap entry instead of retaining its closure for the
+    /// rest of the run.
     pub fn cancel(&self) {
-        self.cancelled.set(true);
+        if self.cancelled.replace(true) {
+            return;
+        }
+        // Take the body out under the kernel borrow, drop it after:
+        // captured values may re-enter the kernel from their own Drop.
+        let body = CTX.with(|ctx| {
+            let guard = ctx.borrow();
+            let rc = guard.as_ref()?;
+            let mut k = rc.borrow_mut();
+            if k.id != self.kernel {
+                return None;
+            }
+            k.free_event(self.slot, self.seq)
+        });
+        drop(body);
     }
 
     /// True if [`cancel`](Self::cancel) has been called.
@@ -84,10 +116,19 @@ impl Wake for TaskWaker {
 }
 
 pub(crate) struct Kernel {
+    id: u64,
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
-    events: HashMap<u64, ScheduledEvent>,
+    /// The calendar: `(time, seq, slot)` min-entries. `(time, seq)` is
+    /// the deterministic total order (identical to the pre-slab
+    /// executor); `slot` indexes the event body in `slots`.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    /// Slab of event bodies; `free_slots` recycles vacancies so the
+    /// slab's length is bounded by the peak number of *live* events,
+    /// not by the number ever scheduled.
+    slots: Vec<Option<ScheduledEvent>>,
+    free_slots: Vec<u32>,
+    live_events: usize,
     tasks: HashMap<TaskId, LocalFuture>,
     wakers: HashMap<TaskId, Arc<TaskWaker>>,
     next_task: TaskId,
@@ -105,10 +146,13 @@ pub(crate) struct Kernel {
 impl Kernel {
     fn new() -> Self {
         Kernel {
+            id: KERNEL_IDS.fetch_add(1, Ordering::Relaxed),
             now: SimTime::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
-            events: HashMap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            live_events: 0,
             tasks: HashMap::new(),
             wakers: HashMap::new(),
             next_task: 0,
@@ -121,13 +165,45 @@ impl Kernel {
         }
     }
 
-    fn schedule(&mut self, at: SimTime, ev: ScheduledEvent) -> u64 {
+    fn schedule(
+        &mut self,
+        at: SimTime,
+        action: EventAction,
+        cancelled: Option<Rc<Cell<bool>>>,
+    ) -> (u64, u32) {
         debug_assert!(at >= self.now, "event scheduled in the past");
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse((at, seq)));
-        self.events.insert(seq, ev);
-        seq
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                assert!(self.slots.len() < u32::MAX as usize, "event slab overflow");
+                self.slots.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.slots[slot as usize] = Some(ScheduledEvent {
+            seq,
+            action,
+            cancelled,
+        });
+        self.live_events += 1;
+        self.heap.push(Reverse((at, seq, slot)));
+        (seq, slot)
+    }
+
+    /// Vacate `slot` if it still holds the event scheduled as `seq`,
+    /// returning the body for the caller to drop outside any borrow.
+    fn free_event(&mut self, slot: u32, seq: u64) -> Option<ScheduledEvent> {
+        match self.slots.get(slot as usize)? {
+            Some(ev) if ev.seq == seq => {
+                let ev = self.slots[slot as usize].take();
+                self.free_slots.push(slot);
+                self.live_events -= 1;
+                ev
+            }
+            _ => None,
+        }
     }
 
     fn spawn_raw(&mut self, fut: LocalFuture) -> TaskId {
@@ -180,16 +256,22 @@ pub fn try_now() -> Option<SimTime> {
 /// Returns a handle that can cancel the callback before it fires.
 pub fn schedule_call_at(at: SimTime, f: impl FnOnce() + 'static) -> EventHandle {
     let cancelled = Rc::new(Cell::new(false));
-    with_kernel(|k| {
-        k.schedule(
-            at,
-            ScheduledEvent {
-                action: EventAction::Call(Box::new(f)),
-                cancelled: Some(Rc::clone(&cancelled)),
-            },
+    let (kernel, (seq, slot)) = with_kernel(|k| {
+        (
+            k.id,
+            k.schedule(
+                at,
+                EventAction::Call(Box::new(f)),
+                Some(Rc::clone(&cancelled)),
+            ),
         )
     });
-    EventHandle { cancelled }
+    EventHandle {
+        cancelled,
+        kernel,
+        slot,
+        seq,
+    }
 }
 
 /// Schedule `f` to run after `delay`.
@@ -199,15 +281,7 @@ pub fn schedule_call(delay: SimDuration, f: impl FnOnce() + 'static) -> EventHan
 }
 
 pub(crate) fn schedule_wake_at(at: SimTime, waker: Waker) {
-    with_kernel(|k| {
-        k.schedule(
-            at,
-            ScheduledEvent {
-                action: EventAction::Wake(waker),
-                cancelled: None,
-            },
-        )
-    });
+    with_kernel(|k| k.schedule(at, EventAction::Wake(waker), None));
 }
 
 struct JoinState<T> {
@@ -418,6 +492,33 @@ impl Future for YieldNow {
     }
 }
 
+/// Live-object counts of the ambient kernel — the executor's memory
+/// footprint in objects. Used by leak-regression tests and the bench
+/// baseline's invariant checks; panics outside of [`run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveCounts {
+    /// Scheduled events whose bodies are still held. Cancelled events
+    /// are vacated eagerly and do not count (their stale calendar
+    /// entries do not retain the body).
+    pub events: usize,
+    /// Parked tasks (the currently-polled task is not parked).
+    pub tasks: usize,
+    /// Registered task wakers (parked tasks + the one being polled).
+    pub wakers: usize,
+    /// Tasks carrying a crash-group membership entry.
+    pub grouped_tasks: usize,
+}
+
+/// Snapshot the ambient kernel's [`LiveCounts`].
+pub fn live_counts() -> LiveCounts {
+    with_kernel(|k| LiveCounts {
+        events: k.live_events,
+        tasks: k.tasks.len(),
+        wakers: k.wakers.len(),
+        grouped_tasks: k.group_of.len(),
+    })
+}
+
 /// Statistics about a completed simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunStats {
@@ -522,25 +623,34 @@ where
             break;
         }
 
-        // Advance virtual time to the next live event.
-        let next = loop {
-            let popped = {
-                let mut k = kernel.borrow_mut();
+        // Advance virtual time to the next live event, skipping stale
+        // calendar entries (events cancelled since they were pushed).
+        // Skipped bodies are dropped outside the kernel borrow: their
+        // captures' destructors may re-enter the kernel.
+        let mut skipped: Vec<ScheduledEvent> = Vec::new();
+        let next = {
+            let mut k = kernel.borrow_mut();
+            loop {
                 match k.heap.pop() {
-                    Some(Reverse((t, seq))) => {
-                        let ev = k.events.remove(&seq).expect("event body missing");
+                    Some(Reverse((t, seq, slot))) => {
+                        let Some(ev) = k.free_event(slot, seq) else {
+                            continue; // cancelled and already vacated
+                        };
                         if ev.cancelled.as_ref().is_some_and(|c| c.get()) {
+                            // Flagged but not vacated (cancel happened
+                            // outside this kernel's ambient context).
+                            skipped.push(ev);
                             continue;
                         }
                         k.now = t;
                         k.events_fired += 1;
-                        Some(ev)
+                        break Some(ev);
                     }
-                    None => None,
+                    None => break None,
                 }
-            };
-            break popped;
+            }
         };
+        drop(skipped);
 
         match next {
             Some(ev) => match ev.action {
@@ -774,6 +884,101 @@ mod tests {
             // t=5; the executor must skip it without incident.
             sleep(SimDuration::from_secs(10)).await;
         });
+    }
+
+    #[test]
+    fn cancelled_far_future_event_is_vacated_immediately() {
+        run(async {
+            let h = schedule_call(SimDuration::from_secs(1_000_000), || {
+                unreachable!("cancelled event must never fire")
+            });
+            assert_eq!(live_counts().events, 1);
+            h.cancel();
+            assert_eq!(
+                live_counts().events,
+                0,
+                "cancel must drop the event body eagerly"
+            );
+            h.cancel(); // idempotent
+            sleep(SimDuration::from_secs(1)).await;
+        });
+    }
+
+    #[test]
+    fn slot_reuse_preserves_cancel_and_reschedule_ordering() {
+        // A (t=10) is cancelled, so B (t=5) reuses A's slot and C
+        // (t=20) extends the slab. A's stale calendar entry must be
+        // skipped without disturbing B or C, in time order.
+        let order = run(async {
+            let order = Rc::new(RefCell::new(Vec::new()));
+            let o = Rc::clone(&order);
+            let a = schedule_call(SimDuration::from_secs(10), move || o.borrow_mut().push("a"));
+            a.cancel();
+            let o = Rc::clone(&order);
+            schedule_call(SimDuration::from_secs(5), move || o.borrow_mut().push("b"));
+            let o = Rc::clone(&order);
+            schedule_call(SimDuration::from_secs(20), move || o.borrow_mut().push("c"));
+            sleep(SimDuration::from_secs(30)).await;
+            Rc::try_unwrap(order).unwrap().into_inner()
+        });
+        assert_eq!(order, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn cancel_reschedule_cycle_does_not_accumulate_bodies() {
+        // The long-fault-sweep pattern: a timeout armed and re-armed
+        // thousands of times. Only the live body may be retained.
+        run(async {
+            let mut h = schedule_call(SimDuration::from_secs(100), || {});
+            for _ in 0..10_000 {
+                h.cancel();
+                h = schedule_call(SimDuration::from_secs(100), || {});
+            }
+            assert_eq!(live_counts().events, 1);
+            sleep(SimDuration::from_secs(200)).await;
+            assert_eq!(live_counts().events, 0);
+        });
+    }
+
+    #[test]
+    fn completed_tasks_leave_no_kernel_residue() {
+        run(async {
+            let gid = new_group();
+            for _ in 0..50 {
+                spawn_in_group(gid, async {
+                    sleep(SimDuration::from_secs(1)).await;
+                });
+            }
+            sleep(SimDuration::from_secs(2)).await;
+            let c = live_counts();
+            assert_eq!(c.tasks, 0, "all children completed");
+            assert_eq!(c.wakers, 1, "only the running main task remains");
+            assert_eq!(c.grouped_tasks, 0, "group entries purged on completion");
+        });
+    }
+
+    #[test]
+    fn cancel_outside_run_only_flags() {
+        let h = run(async { schedule_call(SimDuration::from_secs(1), || {}) });
+        h.cancel();
+        assert!(h.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_from_a_different_simulation_is_inert() {
+        // The foreign handle's (slot, seq) coordinates collide with the
+        // second simulation's first event; only the kernel id check
+        // keeps the cancel from vacating the wrong body.
+        let h = run(async { schedule_call(SimDuration::from_secs(5), || {}) });
+        let fired = run(async move {
+            let fired = Rc::new(Cell::new(false));
+            let f = Rc::clone(&fired);
+            let _mine = schedule_call(SimDuration::from_secs(5), move || f.set(true));
+            h.cancel();
+            sleep(SimDuration::from_secs(10)).await;
+            fired.get()
+        });
+        assert!(fired, "a foreign cancel must not touch this kernel");
     }
 
     #[test]

@@ -40,6 +40,7 @@
 pub mod chacha;
 pub mod channel;
 pub mod executor;
+pub mod pool;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -49,10 +50,11 @@ pub mod trace;
 
 pub use channel::{channel, Receiver, Sender};
 pub use executor::{
-    current_group, kill_group, new_group, now, run, run_with_stats, schedule_call,
+    current_group, kill_group, live_counts, new_group, now, run, run_with_stats, schedule_call,
     schedule_call_at, sleep, sleep_until, spawn, spawn_in_group, yield_now, EventHandle,
-    JoinHandle, RunStats, TaskId,
+    JoinHandle, LiveCounts, RunStats, TaskId,
 };
+pub use pool::{run_jobs, run_jobs_on, worker_threads, Job};
 pub use resource::{FairShare, FifoServer};
 pub use rng::{Jitter, SimRng};
 pub use stats::{LogHistogram, Tally};

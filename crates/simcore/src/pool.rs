@@ -1,0 +1,208 @@
+//! A dependency-free scoped worker pool for *host-parallel* execution
+//! of independent simulations.
+//!
+//! The discrete-event kernel itself is strictly single-threaded and
+//! `Rc`-based; what IS embarrassingly parallel is a *sweep*: dozens of
+//! independent, deterministic runs whose only shared state is the
+//! grid description. This module executes `Box<dyn FnOnce() -> T +
+//! Send>` jobs across [`worker_threads`] OS threads (`std::thread` +
+//! `std::sync::mpsc` only — the workspace is offline). Each job
+//! constructs its simulation *inside* its worker thread, so no
+//! `Rc`-based sim state ever crosses a thread boundary; only the
+//! job's `Send` result does.
+//!
+//! Determinism: results are keyed by submission index and returned in
+//! submission order, so a parallel sweep is indistinguishable from a
+//! sequential one to everything downstream. `E10_JOBS=1` bypasses
+//! thread spawning entirely and runs the jobs inline, byte-identical
+//! to the historical sequential path.
+//!
+//! Panics: a panicking job does not poison the pool — remaining jobs
+//! still run — but the first panic (in submission order) is re-raised
+//! on the caller's thread once every worker has drained, preserving
+//! `cargo test` / CI failure semantics.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// A unit of work: built on the caller's thread, executed on a worker.
+pub type Job<T> = Box<dyn FnOnce() -> T + Send>;
+
+/// Worker-thread count: `E10_JOBS` if set (minimum 1), otherwise the
+/// host's available parallelism. `E10_JOBS=1` forces the sequential
+/// inline path.
+pub fn worker_threads() -> usize {
+    match std::env::var("E10_JOBS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Run `jobs` across [`worker_threads`] threads; results are returned
+/// in submission order. See [`run_jobs_on`].
+pub fn run_jobs<T: Send>(jobs: Vec<Job<T>>) -> Vec<T> {
+    run_jobs_on(worker_threads(), jobs)
+}
+
+/// Run `jobs` across at most `threads` worker threads and return the
+/// results keyed by submission index.
+///
+/// With `threads <= 1` (or fewer than two jobs) the jobs run inline on
+/// the calling thread in submission order — the exact historical
+/// sequential path, with no threads spawned at all.
+pub fn run_jobs_on<T: Send>(threads: usize, jobs: Vec<Job<T>>) -> Vec<T> {
+    let n = jobs.len();
+    if threads <= 1 || n <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let threads = threads.min(n);
+
+    // Job dispatch is a shared atomic cursor over the job list; result
+    // collection is a channel back to the caller. Workers are scoped,
+    // so jobs may borrow the caller's stack (no `'static` needed on T).
+    let next = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Job<T>>>> = jobs
+        .into_iter()
+        .map(|j| std::sync::Mutex::new(Some(j)))
+        .collect();
+    let (tx, rx) = mpsc::channel::<(usize, thread::Result<T>)>();
+
+    thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let slots = &slots;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = slots[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("job dispatched twice");
+                let result = catch_unwind(AssertUnwindSafe(job));
+                // The receiver only disappears if the caller's thread is
+                // itself unwinding; dropping the result is fine then.
+                let _ = tx.send((i, result));
+            });
+        }
+        drop(tx);
+
+        let mut out: Vec<Option<thread::Result<T>>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        let mut results = Vec::with_capacity(n);
+        let mut first_panic = None;
+        for (i, slot) in out.into_iter().enumerate() {
+            match slot.expect("worker dropped a job result") {
+                Ok(v) => results.push(v),
+                Err(p) => {
+                    if first_panic.is_none() {
+                        first_panic = Some((i, p));
+                    }
+                }
+            }
+        }
+        if let Some((_, p)) = first_panic {
+            resume_unwind(p);
+        }
+        results
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs_squaring(n: usize) -> Vec<Job<usize>> {
+        (0..n)
+            .map(|i| Box::new(move || i * i) as Job<usize>)
+            .collect()
+    }
+
+    #[test]
+    fn results_are_keyed_by_submission_index() {
+        for threads in [1, 2, 4, 8] {
+            let out = run_jobs_on(threads, jobs_squaring(23));
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn sequential_path_runs_inline() {
+        // Jobs returning the executing thread id: with threads=1 every
+        // job must run on the caller's thread.
+        let me = thread::current().id();
+        let jobs: Vec<Job<thread::ThreadId>> = (0..5)
+            .map(|_| Box::new(|| thread::current().id()) as Job<thread::ThreadId>)
+            .collect();
+        let out = run_jobs_on(1, jobs);
+        assert!(out.iter().all(|id| *id == me));
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let out = run_jobs_on(64, jobs_squaring(3));
+        assert_eq!(out, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let out: Vec<u32> = run_jobs_on(4, Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn jobs_can_run_simulations_in_parallel() {
+        // Each job builds its own single-threaded sim inside its worker.
+        let jobs: Vec<Job<f64>> = (1..=6u64)
+            .map(|secs| {
+                Box::new(move || {
+                    crate::run(async move {
+                        crate::sleep(crate::SimDuration::from_secs(secs)).await;
+                        crate::now().as_secs_f64()
+                    })
+                }) as Job<f64>
+            })
+            .collect();
+        let out = run_jobs_on(3, jobs);
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn panicking_job_propagates_after_drain() {
+        let finished = std::sync::Arc::new(AtomicUsize::new(0));
+        let f2 = std::sync::Arc::clone(&finished);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Job<u32>> = vec![
+                Box::new(|| 1),
+                Box::new(|| panic!("boom in job 1")),
+                Box::new(move || {
+                    f2.fetch_add(1, Ordering::Relaxed);
+                    3
+                }),
+            ];
+            run_jobs_on(2, jobs)
+        }));
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("(non-str payload)");
+        assert!(msg.contains("boom"), "unexpected payload {msg:?}");
+        // The pool drained the remaining jobs before re-raising.
+        assert_eq!(finished.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_threads_env_contract() {
+        // Do not mutate the real environment (tests run concurrently);
+        // just pin the default floor.
+        assert!(worker_threads() >= 1);
+    }
+}

@@ -11,23 +11,39 @@
 #   4. clippy, warnings promoted to errors
 #   5. fault-matrix smoke: stalls/link faults/RPC failures across the
 #      cached and uncached write paths, plus a node crash recovered
-#      from the cache journal (exit != 0 on any data loss)
+#      from the cache journal (exit != 0 on any data loss); runs with
+#      E10_JOBS=4 so the worker-pool path is exercised under CI
+#   6. bench_baseline smoke: the parallel sweep must produce
+#      byte-identical figures and bit-identical sim times vs the
+#      sequential path (exit != 0 on divergence)
+#
+# Each step prints its wall-clock seconds.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --workspace"
-cargo build --release --workspace
+step() {
+  echo "==> $*"
+  local t0=$SECONDS
+  "$@"
+  echo "    [$(($SECONDS - t0))s] $1 ${2-}"
+}
 
-echo "==> cargo test -q --workspace"
-cargo test -q --workspace
+step cargo build --release --workspace
 
-echo "==> cargo fmt --all --check"
-cargo fmt --all --check
+step cargo test -q --workspace
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+step cargo fmt --all --check
 
-echo "==> fault-matrix smoke"
-cargo run --release -q -p e10-bench --bin fault_sweep -- --smoke
+step cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> fault-matrix smoke (E10_JOBS=4)"
+t0=$SECONDS
+E10_JOBS=4 cargo run --release -q -p e10-bench --bin fault_sweep -- --smoke
+echo "    [$(($SECONDS - t0))s] fault-matrix smoke"
+
+echo "==> bench_baseline smoke (parallel vs sequential divergence gate)"
+t0=$SECONDS
+cargo run --release -q -p e10-bench --bin bench_baseline -- --smoke --jobs 4 --out -
+echo "    [$(($SECONDS - t0))s] bench_baseline smoke"
 
 echo "==> ci: all green"
