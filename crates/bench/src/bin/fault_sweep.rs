@@ -128,7 +128,9 @@ fn crash_case(fault_seed: u64) -> CrashOutcome {
         let w = Rc::new(CollPerf::tiny([2, 2, 2]));
         let tb = TestbedSpec::small(w.procs(), 2).build();
         let cfg = CrashConfig::after_writes(crash_hints(), "/gfs/fsweep_crash", fault_seed, 1);
-        let out = run_crash_recovery(&tb, w as Rc<dyn Workload>, &cfg).await;
+        let out = run_crash_recovery(&tb, w as Rc<dyn Workload>, &cfg)
+            .await
+            .expect("crash plan is well-formed");
         let ok = out.verified.is_ok() && out.lost.is_empty() && out.failed.is_empty();
         let wall = e10_simcore::now().since(SimTime::ZERO).as_secs_f64();
         (

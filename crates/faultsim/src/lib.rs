@@ -87,6 +87,71 @@ pub enum FaultSpec {
         /// Per-RPC failure probability in `[0, 1]`.
         prob: f64,
     },
+    /// Silent single-bit corruption in the SSD cache file of `node`:
+    /// each write has probability `prob` of landing with one flipped
+    /// bit at a sampled offset.
+    CacheBitFlip {
+        /// Affected compute node.
+        node: usize,
+        /// Active window of virtual time.
+        window: Range<SimTime>,
+        /// Per-write corruption probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Torn-sector corruption in the SSD cache file of `node`: each
+    /// write has probability `prob` of losing one `sector`-aligned run
+    /// (it reads back as zeroes).
+    CacheTorn {
+        /// Affected compute node.
+        node: usize,
+        /// Active window of virtual time.
+        window: Range<SimTime>,
+        /// Per-write corruption probability in `[0, 1]`.
+        prob: f64,
+        /// Sector size in bytes (the torn unit).
+        sector: u64,
+    },
+    /// Payload corruption on fabric messages `src`→`dst` (`None` = any
+    /// endpoint): each data-carrying transfer has probability `prob` of
+    /// delivering one flipped bit.
+    LinkCorrupt {
+        /// Source node filter.
+        src: Option<usize>,
+        /// Destination node filter.
+        dst: Option<usize>,
+        /// Active window of virtual time.
+        window: Range<SimTime>,
+        /// Per-transfer corruption probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Lazy corruption of PFS objects: each server-side read has
+    /// probability `prob` of exposing one flipped bit that has silently
+    /// rotted on the target's media.
+    PfsCorrupt {
+        /// Active window of virtual time.
+        window: Range<SimTime>,
+        /// Per-read corruption probability in `[0, 1]`.
+        prob: f64,
+    },
+}
+
+/// One sampled corruption, relative to the I/O it was drawn for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Corruption {
+    /// Flip `mask` into the byte at relative `offset`.
+    BitFlip {
+        /// Offset within the I/O, bytes.
+        offset: u64,
+        /// Non-zero bit mask to XOR in.
+        mask: u8,
+    },
+    /// The `len` bytes at relative `offset` read back as zeroes.
+    TornSector {
+        /// Sector-aligned offset within the I/O, bytes.
+        offset: u64,
+        /// Torn run length, bytes.
+        len: u64,
+    },
 }
 
 /// A declarative, reproducible set of faults for one run.
@@ -167,6 +232,54 @@ impl FaultPlan {
             window,
             prob,
         });
+        self
+    }
+
+    /// Declare cache-file bit-flip corruption (builder style).
+    pub fn cache_bitflip(mut self, node: usize, window: Range<SimTime>, prob: f64) -> Self {
+        self.specs
+            .push(FaultSpec::CacheBitFlip { node, window, prob });
+        self
+    }
+
+    /// Declare cache-file torn-sector corruption (builder style).
+    pub fn cache_torn(
+        mut self,
+        node: usize,
+        window: Range<SimTime>,
+        prob: f64,
+        sector: u64,
+    ) -> Self {
+        assert!(sector > 0, "torn sector size must be positive");
+        self.specs.push(FaultSpec::CacheTorn {
+            node,
+            window,
+            prob,
+            sector,
+        });
+        self
+    }
+
+    /// Declare link payload corruption (builder style).
+    pub fn link_corrupt(
+        mut self,
+        src: Option<usize>,
+        dst: Option<usize>,
+        window: Range<SimTime>,
+        prob: f64,
+    ) -> Self {
+        self.specs.push(FaultSpec::LinkCorrupt {
+            src,
+            dst,
+            window,
+            prob,
+        });
+        self
+    }
+
+    /// Declare lazy PFS object corruption (builder style).
+    pub fn pfs_corrupt(mut self, window: Range<SimTime>, prob: f64) -> Self {
+        self.specs.push(FaultSpec::PfsCorrupt { window, prob });
         self
     }
 
@@ -332,6 +445,128 @@ pub fn link_fault(src: usize, dst: usize) -> Option<SimDuration> {
     }
 }
 
+/// Sample a bit flip for an I/O of `len` bytes from `rng`.
+fn sample_bitflip(rng: &mut SimRng, len: u64) -> Corruption {
+    Corruption::BitFlip {
+        offset: rng.below(len),
+        mask: 1u8 << rng.below(8),
+    }
+}
+
+/// Corruptions hitting a `len`-byte write to the cache file on `node`.
+///
+/// Bit flips land anywhere in the write; torn sectors zero one
+/// `sector`-aligned run (clamped to the write). Deterministic per plan
+/// seed: each spec draws from its own stream.
+pub fn ssd_corruption(node: usize, len: u64) -> Vec<Corruption> {
+    if !active() || len == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    ACTIVE.with(|a| {
+        let guard = a.borrow();
+        let inst = guard.as_ref().expect("enabled without schedule");
+        for (spec, rng) in inst.plan.specs.iter().zip(&inst.rngs) {
+            match spec {
+                FaultSpec::CacheBitFlip {
+                    node: n,
+                    window,
+                    prob,
+                } if *n == node && in_window(window) => {
+                    let mut rng = rng.borrow_mut();
+                    if rng.uniform() < *prob {
+                        out.push(sample_bitflip(&mut rng, len));
+                    }
+                }
+                FaultSpec::CacheTorn {
+                    node: n,
+                    window,
+                    prob,
+                    sector,
+                } if *n == node && in_window(window) => {
+                    let mut rng = rng.borrow_mut();
+                    if rng.uniform() < *prob {
+                        let offset = rng.below(len.div_ceil(*sector)) * *sector;
+                        out.push(Corruption::TornSector {
+                            offset,
+                            len: (*sector).min(len - offset),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    });
+    for c in &out {
+        let kind = match c {
+            Corruption::BitFlip { .. } => "cache_bitflip",
+            Corruption::TornSector { .. } => "cache_torn",
+        };
+        record(kind, node, 0);
+    }
+    out
+}
+
+/// Corruptions hitting a `len`-byte payload on the link `src → dst`.
+pub fn link_corrupt(src: usize, dst: usize, len: u64) -> Vec<Corruption> {
+    if !active() || len == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    ACTIVE.with(|a| {
+        let guard = a.borrow();
+        let inst = guard.as_ref().expect("enabled without schedule");
+        for (spec, rng) in inst.plan.specs.iter().zip(&inst.rngs) {
+            if let FaultSpec::LinkCorrupt {
+                src: s,
+                dst: d,
+                window,
+                prob,
+            } = spec
+            {
+                let hit = s.is_none_or(|s| s == src) && d.is_none_or(|d| d == dst);
+                if hit && in_window(window) {
+                    let mut rng = rng.borrow_mut();
+                    if rng.uniform() < *prob {
+                        out.push(sample_bitflip(&mut rng, len));
+                    }
+                }
+            }
+        }
+    });
+    for _ in &out {
+        record("link_corrupt", src, 0);
+    }
+    out
+}
+
+/// Corruptions exposed by a `len`-byte read of a PFS object (lazy media
+/// rot, materialised at read time).
+pub fn pfs_corrupt(len: u64) -> Vec<Corruption> {
+    if !active() || len == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    ACTIVE.with(|a| {
+        let guard = a.borrow();
+        let inst = guard.as_ref().expect("enabled without schedule");
+        for (spec, rng) in inst.plan.specs.iter().zip(&inst.rngs) {
+            if let FaultSpec::PfsCorrupt { window, prob } = spec {
+                if in_window(window) {
+                    let mut rng = rng.borrow_mut();
+                    if rng.uniform() < *prob {
+                        out.push(sample_bitflip(&mut rng, len));
+                    }
+                }
+            }
+        }
+    });
+    for _ in &out {
+        record("pfs_corrupt", 0, 0);
+    }
+    out
+}
+
 /// True if the next PFS RPC served by data target `target` must fail.
 pub fn rpc_fails(target: usize) -> bool {
     if !active() {
@@ -444,6 +679,72 @@ mod tests {
             assert!(link_fault(1, 3).is_none());
             assert_eq!(injected_count(), 1);
         });
+    }
+
+    #[test]
+    fn corruption_kinds_sample_within_bounds() {
+        run(async {
+            let _g = FaultSchedule::install(
+                FaultPlan::new(11)
+                    .cache_bitflip(0, always(), 1.0)
+                    .cache_torn(0, always(), 1.0, 512),
+            );
+            for _ in 0..32 {
+                let hits = ssd_corruption(0, 4096);
+                assert_eq!(hits.len(), 2);
+                for c in hits {
+                    match c {
+                        Corruption::BitFlip { offset, mask } => {
+                            assert!(offset < 4096);
+                            assert!(mask != 0);
+                        }
+                        Corruption::TornSector { offset, len } => {
+                            assert_eq!(offset % 512, 0);
+                            assert!(offset + len <= 4096);
+                            assert!(len > 0 && len <= 512);
+                        }
+                    }
+                }
+            }
+            assert!(injected_count() >= 64);
+        });
+    }
+
+    #[test]
+    fn corruption_respects_filters_and_zero_len() {
+        run(async {
+            let _g = FaultSchedule::install(
+                FaultPlan::new(11)
+                    .cache_bitflip(2, secs(10)..secs(20), 1.0)
+                    .link_corrupt(Some(0), None, always(), 1.0)
+                    .pfs_corrupt(always(), 1.0),
+            );
+            assert!(ssd_corruption(2, 100).is_empty(), "before window");
+            assert!(ssd_corruption(0, 100).is_empty(), "wrong node");
+            e10_simcore::sleep(SimDuration::from_secs(15)).await;
+            assert!(!ssd_corruption(2, 100).is_empty(), "inside window");
+            assert!(ssd_corruption(2, 0).is_empty(), "zero-length write");
+            assert!(!link_corrupt(0, 3, 64).is_empty());
+            assert!(link_corrupt(1, 3, 64).is_empty(), "src filter");
+            assert!(!pfs_corrupt(64).is_empty());
+            assert!(pfs_corrupt(0).is_empty());
+        });
+    }
+
+    #[test]
+    fn corruption_sampling_is_reproducible_per_seed() {
+        let draws = |seed: u64| {
+            run(async move {
+                let _g = FaultSchedule::install(
+                    FaultPlan::new(seed)
+                        .cache_bitflip(0, always(), 0.5)
+                        .cache_torn(0, always(), 0.5, 256),
+                );
+                (0..64).map(|_| ssd_corruption(0, 8192)).collect::<Vec<_>>()
+            })
+        };
+        assert_eq!(draws(3), draws(3));
+        assert_ne!(draws(3), draws(4));
     }
 
     #[test]

@@ -404,6 +404,28 @@ impl LocalFile {
             .borrow_mut()
             .data
             .insert(offset, len, payload.src);
+        // Injected silent corruption: the device acks the write but the
+        // medium holds a flipped bit or a torn sector. The extent map
+        // mutation breaks generator identity and structural digests,
+        // exactly like real bit rot under a checksumming reader.
+        for c in e10_faultsim::ssd_corruption(self.fs.ssd.node(), len) {
+            let mut st = self.state.borrow_mut();
+            match c {
+                e10_faultsim::Corruption::BitFlip { offset: rel, mask } => {
+                    let pos = offset + rel;
+                    if let Some(b) = st.data.byte_at(pos) {
+                        st.data.insert(pos, 1, Source::literal(vec![b ^ mask]));
+                    }
+                }
+                e10_faultsim::Corruption::TornSector {
+                    offset: rel,
+                    len: tlen,
+                } => {
+                    st.data
+                        .insert(offset + rel, tlen.min(len - rel), Source::Zero);
+                }
+            }
+        }
         Ok(())
     }
 

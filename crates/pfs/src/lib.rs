@@ -195,6 +195,14 @@ pub enum PfsError {
         /// The final failure.
         source: RpcError,
     },
+    /// The bulk-payload checksum of a write kept mismatching on every
+    /// allowed retransmission — the link is persistently corrupting.
+    WireChecksum {
+        /// Data target the payload was bound for.
+        target: usize,
+        /// Transfer attempts, including the initial one.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for PfsError {
@@ -210,6 +218,11 @@ impl std::fmt::Display for PfsError {
                 f,
                 "{op} rpc to data target {target} failed after {attempts} attempts"
             ),
+            PfsError::WireChecksum { target, attempts } => write!(
+                f,
+                "write payload to data target {target} failed its checksum on \
+                 {attempts} consecutive transfers"
+            ),
         }
     }
 }
@@ -219,6 +232,7 @@ impl std::error::Error for PfsError {
         match self {
             PfsError::NotFound(_) => None,
             PfsError::RpcExhausted { source, .. } => Some(source),
+            PfsError::WireChecksum { .. } => None,
         }
     }
 }
@@ -566,6 +580,34 @@ impl PfsHandle {
         // injected RPC failures.
         pfs.submit_rpc(client, chunk.target, "write", chunk.len + 128)
             .await?;
+        // Bulk-payload checksum (as in Lustre's bulk RPC checksums):
+        // injected wire corruption is caught by the server, which asks
+        // the client to retransmit the payload. The netsim layer moves
+        // only byte counts, so the write path consumes the fault here
+        // and pays the extra transfer. A link that corrupts every
+        // retransmission surfaces as a typed error — never as silently
+        // rotten object data.
+        let mut attempts: u32 = 1;
+        while !e10_faultsim::link_corrupt(client, t.node, chunk.len).is_empty() {
+            trace::emit(|| {
+                Event::new(Layer::Pfs, "wire.retransmit", EventKind::Point)
+                    .node(client)
+                    .field("target", chunk.target)
+                    .field("bytes", chunk.len)
+                    .field("attempt", attempts)
+            });
+            trace::counter("pfs.wire_retransmits", 1);
+            attempts += 1;
+            if attempts > pfs.params.max_retries + 1 {
+                return Err(PfsError::WireChecksum {
+                    target: chunk.target,
+                    attempts,
+                });
+            }
+            // Error reply back, then the payload travels again.
+            pfs.net.transfer(t.node, client, 64).await;
+            pfs.net.transfer(client, t.node, chunk.len + 128).await;
+        }
         // Stripe-granular extent lock (the file-system locking
         // protocol): taken when the server starts processing the
         // request, so conflicting writers serialise for the whole
@@ -600,6 +642,15 @@ impl PfsHandle {
         });
         trace::sample("pfs.write_chunk_latency_s", latency);
         Ok(())
+    }
+
+    /// Apply lazy media-rot bit flips to the stored object.
+    fn apply_corruption(st: &mut PfsFileState, hits: Vec<(u64, u8)>) {
+        for (pos, mask) in hits {
+            if let Some(b) = st.data.byte_at(pos) {
+                st.data.insert(pos, 1, Source::literal(vec![b ^ mask]));
+            }
+        }
     }
 
     /// Write `payload` at `offset`; returns when all stripe chunks are
@@ -717,6 +768,20 @@ impl PfsHandle {
         }
         for r in join_all(hs).await {
             r?;
+        }
+        // Lazy media rot: corruption of the stored object materialises
+        // at read time (undetected until somebody looks), and persists.
+        let rot: Vec<(u64, u8)> = e10_faultsim::pfs_corrupt(len)
+            .into_iter()
+            .filter_map(|c| match c {
+                e10_faultsim::Corruption::BitFlip { offset: rel, mask } => {
+                    Some((offset + rel, mask))
+                }
+                e10_faultsim::Corruption::TornSector { .. } => None,
+            })
+            .collect();
+        if !rot.is_empty() {
+            Self::apply_corruption(&mut self.state.borrow_mut(), rot);
         }
         Ok(self.state.borrow().data.lookup(offset, len))
     }
@@ -1089,6 +1154,59 @@ mod tests {
             // Nothing may be recorded for a failed write.
             assert_eq!(f.size(), 0);
             assert!(f.extents().holes(0, 4096).len() == 1);
+        });
+    }
+
+    #[test]
+    fn wire_corruption_is_caught_and_retransmitted() {
+        let (injected, verified) = run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs
+                .create(
+                    0,
+                    "/gfs/w",
+                    Striping {
+                        unit: Some(1 << 20),
+                        count: Some(2),
+                    },
+                )
+                .await;
+            let _g =
+                e10_faultsim::FaultSchedule::install(e10_faultsim::FaultPlan::new(9).link_corrupt(
+                    None,
+                    None,
+                    e10_faultsim::always(),
+                    0.3,
+                ));
+            f.write(0, 0, Payload::gen(4, 0, 8 << 20)).await.unwrap();
+            (
+                e10_faultsim::injected_count(),
+                f.extents().verify_gen(4, 0, 8 << 20).is_ok(),
+            )
+        });
+        assert!(injected >= 1, "at least one transfer must corrupt");
+        assert!(verified, "retransmission must deliver intact data");
+    }
+
+    #[test]
+    fn persistently_corrupting_link_surfaces_a_typed_error() {
+        run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs.create(0, "/gfs/wx", Striping::default()).await;
+            let _g =
+                e10_faultsim::FaultSchedule::install(e10_faultsim::FaultPlan::new(9).link_corrupt(
+                    None,
+                    None,
+                    e10_faultsim::always(),
+                    1.0,
+                ));
+            let err = f
+                .write(0, 0, Payload::gen(4, 0, 4096))
+                .await
+                .expect_err("every retransmission corrupts");
+            assert!(matches!(err, PfsError::WireChecksum { .. }), "{err:?}");
+            // Nothing may be recorded for the failed write.
+            assert_eq!(f.size(), 0);
         });
     }
 

@@ -311,7 +311,12 @@ impl AdioFile {
     pub async fn file_sync(&self) {
         let _t = self.profiler.enter(Phase::FlushWait);
         if let Some(c) = &self.cache {
-            c.flush().await;
+            if let Err(e) = c.flush().await {
+                // Unrepairable integrity failure or flush-after-close:
+                // surface to the application through the file's error
+                // slot rather than losing it in the background.
+                self.record_io_error(e);
+            }
         }
     }
 
@@ -325,7 +330,9 @@ impl AdioFile {
         {
             let _t = self.profiler.enter(Phase::FlushWait);
             if let Some(c) = &self.cache {
-                c.close().await;
+                if let Err(e) = c.close().await {
+                    self.record_io_error(e);
+                }
             }
         }
         let _t = self.profiler.enter(Phase::Close);

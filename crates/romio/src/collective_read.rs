@@ -15,6 +15,7 @@
 //!   exactly the safe case the paper describes.
 
 use e10_mpisim::{waitall, FileView, SourceSel, Tag};
+use e10_simcore::trace;
 use e10_storesim::{ExtentMap, Payload, Source};
 
 use crate::adio::AdioFile;
@@ -249,9 +250,24 @@ pub async fn read_at_all(fd: &AdioFile, view: &FileView) -> ReadAllResult {
                                 .cache()
                                 .filter(|c| !c.is_degraded())
                                 .is_some_and(|c| c.covers(o, l));
-                        let pieces = if cached {
-                            out.cache_hits += l;
-                            fd.cache().unwrap().read_local(o, l).await
+                        // A cache hit is served only if its bytes pass
+                        // digest verification (`e10_integrity`); on an
+                        // unrepairable mismatch the read falls through
+                        // to the global file instead of propagating
+                        // corrupt bytes.
+                        let verified = if cached {
+                            let p = fd.cache().unwrap().read_verified(o, l).await;
+                            if p.is_some() {
+                                out.cache_hits += l;
+                            } else {
+                                trace::counter("integrity.read_fallthrough", 1);
+                            }
+                            p
+                        } else {
+                            None
+                        };
+                        let pieces = if let Some(p) = verified {
+                            p
                         } else {
                             match fd.global().read(comm.node(), o, l).await {
                                 Ok(pieces) => pieces,

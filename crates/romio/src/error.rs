@@ -22,6 +22,32 @@ pub enum Error {
     Pfs(PfsError),
     /// Local (cache) file-system error.
     Local(FsError),
+    /// Data integrity violation: a checksummed cache extent failed
+    /// verification and could not be repaired from any copy. The
+    /// affected bytes were NOT propagated; the cache degraded to
+    /// write-through.
+    Integrity {
+        /// File offset of the failing extent.
+        offset: u64,
+        /// Extent length in bytes.
+        len: u64,
+        /// Pipeline stage that detected the mismatch
+        /// (`"flush"`, `"scrub"`, `"read"` or `"recover"`).
+        stage: &'static str,
+    },
+    /// The cache sync thread is not running (flush after close or
+    /// after a degrade already tore it down) — the operation is
+    /// recoverable by going through the global file directly.
+    SyncStopped,
+    /// The sync thread could not push every staged extent to the
+    /// global file (RPC retries or wire-checksum retransmissions were
+    /// exhausted). The affected extents remain staged in the cache
+    /// file and its journal — nothing is lost, but the global file is
+    /// incomplete and the caller must not treat the flush as durable.
+    SyncFailed {
+        /// Global-file write failures since the previous flush.
+        failures: u64,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -30,6 +56,18 @@ impl std::fmt::Display for Error {
             Error::Hint(e) => write!(f, "hint error: {e}"),
             Error::Pfs(e) => write!(f, "global fs error: {e}"),
             Error::Local(e) => write!(f, "local fs error: {e}"),
+            Error::Integrity { offset, len, stage } => write!(
+                f,
+                "integrity error: cache extent [{offset}, {}) failed {stage} verification \
+                 and could not be repaired",
+                offset + len
+            ),
+            Error::SyncStopped => write!(f, "cache sync thread is not running"),
+            Error::SyncFailed { failures } => write!(
+                f,
+                "cache sync failed: {failures} global-file write(s) could not be \
+                 completed; the extents remain staged in the cache"
+            ),
         }
     }
 }
@@ -40,6 +78,7 @@ impl std::error::Error for Error {
             Error::Hint(e) => Some(e),
             Error::Pfs(e) => Some(e),
             Error::Local(e) => Some(e),
+            Error::Integrity { .. } | Error::SyncStopped | Error::SyncFailed { .. } => None,
         }
     }
 }
@@ -88,21 +127,34 @@ mod tests {
 
     #[test]
     fn hint_errors_collapse_to_first() {
-        let errs = HintErrors(vec![
+        let errs = HintErrors::new(
             HintError {
                 key: "a".into(),
                 value: "1".into(),
                 expected: "x",
             },
-            HintError {
+            vec![HintError {
                 key: "b".into(),
                 value: "2".into(),
                 expected: "y",
-            },
-        ]);
+            }],
+        );
         match Error::from(errs) {
             Error::Hint(e) => assert_eq!(e.key, "a"),
             other => panic!("wrong variant: {other}"),
         }
+    }
+
+    #[test]
+    fn integrity_and_sync_stopped_display() {
+        let e = Error::Integrity {
+            offset: 4096,
+            len: 512,
+            stage: "flush",
+        };
+        assert!(e.to_string().contains("[4096, 4608)"));
+        assert!(e.to_string().contains("flush"));
+        assert!(std::error::Error::source(&e).is_none());
+        assert!(Error::SyncStopped.to_string().contains("sync thread"));
     }
 }

@@ -268,6 +268,20 @@ pub struct RomioHints {
     /// `e10_cache_journal_path` (extension): explicit journal file
     /// path; default `None` places it at `<cache file>.jnl`.
     pub e10_cache_journal_path: Option<String>,
+    /// `e10_integrity` (extension): end-to-end data integrity for the
+    /// cache path. Each extent accepted into the cache is digested at
+    /// write time; the sync thread verifies the cache-file bytes
+    /// against the digest before pushing them to the global file, and
+    /// cached reads verify before serving. Default off: with the hint
+    /// disabled no digest is ever computed, so the fast path is
+    /// byte-identical to previous releases.
+    pub e10_integrity: bool,
+    /// `e10_integrity_scrub_ms` (extension): interval, in simulated
+    /// milliseconds, at which the sync thread opportunistically
+    /// re-verifies resident cache extents between flush rounds.
+    /// `0` (the default) disables scrubbing; ignored unless
+    /// `e10_integrity` is enabled.
+    pub e10_integrity_scrub_ms: u64,
     /// `e10_trace` (extension): structured-trace destination.
     pub e10_trace: TraceMode,
     /// `e10_trace_path` (extension): directory for `jsonl` traces
@@ -298,6 +312,8 @@ impl Default for RomioHints {
             e10_sync_policy: SyncPolicy::Greedy,
             e10_cache_journal: false,
             e10_cache_journal_path: None,
+            e10_integrity: false,
+            e10_integrity_scrub_ms: 0,
             e10_trace: TraceMode::Off,
             e10_trace_path: "results/traces".to_string(),
         }
@@ -329,19 +345,51 @@ impl std::error::Error for HintError {}
 
 /// Every violation found while building a hint set — the builder keeps
 /// going after the first bad value so a caller sees the whole list.
+///
+/// The first violation is a separate field, so an empty error set is
+/// unrepresentable by construction: extracting the first error can
+/// never fail.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct HintErrors(pub Vec<HintError>);
+pub struct HintErrors {
+    first: HintError,
+    rest: Vec<HintError>,
+}
 
 impl HintErrors {
+    /// Build from the first violation plus any further ones.
+    pub fn new(first: HintError, rest: Vec<HintError>) -> Self {
+        HintErrors { first, rest }
+    }
+
     /// The first violation (MPI callers usually report just one).
     pub fn first(&self) -> &HintError {
-        &self.0[0]
+        &self.first
+    }
+
+    /// Consume, keeping only the first violation.
+    pub fn into_first(self) -> HintError {
+        self.first
+    }
+
+    /// All violations, in the order they were recorded.
+    pub fn iter(&self) -> impl Iterator<Item = &HintError> {
+        std::iter::once(&self.first).chain(self.rest.iter())
+    }
+
+    /// Number of violations (always at least one).
+    pub fn len(&self) -> usize {
+        1 + self.rest.len()
+    }
+
+    /// Always false — the type cannot hold zero violations.
+    pub fn is_empty(&self) -> bool {
+        false
     }
 }
 
 impl std::fmt::Display for HintErrors {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        for (i, e) in self.0.iter().enumerate() {
+        for (i, e) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, "; ")?;
             }
@@ -355,7 +403,7 @@ impl std::error::Error for HintErrors {}
 
 impl From<HintErrors> for HintError {
     fn from(e: HintErrors) -> HintError {
-        e.0.into_iter().next().expect("HintErrors is never empty")
+        e.into_first()
     }
 }
 
@@ -552,6 +600,18 @@ impl RomioHintsBuilder {
         self
     }
 
+    /// `e10_integrity`.
+    pub fn e10_integrity(mut self, on: bool) -> Self {
+        self.hints.e10_integrity = on;
+        self
+    }
+
+    /// `e10_integrity_scrub_ms` (`0` disables scrubbing).
+    pub fn e10_integrity_scrub_ms(mut self, ms: u64) -> Self {
+        self.hints.e10_integrity_scrub_ms = ms;
+        self
+    }
+
     /// `e10_trace`.
     pub fn e10_trace(mut self, mode: TraceMode) -> Self {
         self.hints.e10_trace = mode;
@@ -686,6 +746,14 @@ impl RomioHintsBuilder {
             "e10_fd_partition" => {
                 or_invalid!(FdStrategy::parse(value), "even|aligned", fd_strategy)
             }
+            "e10_integrity" => {
+                or_invalid!(parse_enable_disable(value), "enable|disable", e10_integrity)
+            }
+            "e10_integrity_scrub_ms" => or_invalid!(
+                value.trim().parse::<u64>().ok(),
+                "non-negative integer milliseconds",
+                e10_integrity_scrub_ms
+            ),
             "e10_trace" => or_invalid!(TraceMode::parse(value), "off|ring|jsonl", e10_trace),
             "e10_trace_path" => or_invalid!(
                 Some(value).filter(|v| !v.is_empty()),
@@ -698,11 +766,12 @@ impl RomioHintsBuilder {
     }
 
     /// Finish: the hints, or every violation recorded along the way.
-    pub fn build(self) -> Result<RomioHints, HintErrors> {
+    pub fn build(mut self) -> Result<RomioHints, HintErrors> {
         if self.errors.is_empty() {
             Ok(self.hints)
         } else {
-            Err(HintErrors(self.errors))
+            let first = self.errors.remove(0);
+            Err(HintErrors::new(first, self.errors))
         }
     }
 }
@@ -798,6 +867,11 @@ impl RomioHints {
             "romio_no_indep_rw".into(),
             if self.no_indep_rw { "true" } else { "false" }.into(),
         ));
+        out.push(("e10_integrity".into(), onoff(self.e10_integrity).into()));
+        out.push((
+            "e10_integrity_scrub_ms".into(),
+            self.e10_integrity_scrub_ms.to_string(),
+        ));
         out.push(("e10_trace".into(), self.e10_trace.as_str().into()));
         out.push(("e10_trace_path".into(), self.e10_trace_path.clone()));
         out
@@ -836,6 +910,8 @@ mod tests {
         assert_eq!(h.e10_cache_path, "/scratch");
         assert_eq!(h.e10_trace, TraceMode::Off);
         assert_eq!(h.e10_trace_path, "results/traces");
+        assert!(!h.e10_integrity);
+        assert_eq!(h.e10_integrity_scrub_ms, 0);
     }
 
     #[test]
@@ -906,9 +982,10 @@ mod tests {
             .e10_cache_path("")
             .build()
             .unwrap_err();
-        assert_eq!(err.0.len(), 3);
+        assert_eq!(err.len(), 3);
+        assert!(!err.is_empty());
         assert_eq!(err.first().key, "cb_buffer_size");
-        let keys: Vec<&str> = err.0.iter().map(|e| e.key.as_str()).collect();
+        let keys: Vec<&str> = err.iter().map(|e| e.key.as_str()).collect();
         assert_eq!(keys, ["cb_buffer_size", "cb_nodes", "e10_cache_path"]);
         // Display joins all of them.
         let msg = err.to_string();
@@ -919,7 +996,7 @@ mod tests {
     fn from_info_reports_all_bad_values() {
         let info = Info::from_pairs([("cb_buffer_size", "0"), ("e10_cache", "maybe")]);
         let err = RomioHints::from_info(&info).unwrap_err();
-        assert_eq!(err.0.len(), 2);
+        assert_eq!(err.len(), 2);
         // `parse` keeps the old single-error surface.
         let first = RomioHints::parse(&info).unwrap_err();
         assert_eq!(&first, err.first());
@@ -968,8 +1045,12 @@ mod tests {
             ("e10_trace_path", "results/traces/run1"),
             ("e10_cache_journal", "enable"),
             ("e10_cache_journal_path", "/scratch/manifest.jnl"),
+            ("e10_integrity", "enable"),
+            ("e10_integrity_scrub_ms", "250"),
         ]);
         let h = RomioHints::parse(&info).unwrap();
+        assert!(h.e10_integrity);
+        assert_eq!(h.e10_integrity_scrub_ms, 250);
         assert!(h.e10_cache_read);
         assert!(h.e10_cache_evict);
         assert_eq!(h.e10_sync_policy, SyncPolicy::Backoff);
@@ -991,6 +1072,8 @@ mod tests {
             ("romio_no_indep_rw", "1"),
             ("e10_cache_journal", "on"),
             ("e10_cache_journal_path", ""),
+            ("e10_integrity", "yes"),
+            ("e10_integrity_scrub_ms", "-1"),
         ] {
             let info = Info::from_pairs([(k, v)]);
             assert!(RomioHints::parse(&info).is_err(), "{k}={v} must fail");

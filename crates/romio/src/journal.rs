@@ -40,6 +40,17 @@ pub enum Record {
         /// Extent length in bytes.
         len: u64,
     },
+    /// Structural data digest of the extent added at `offset` (format
+    /// version 2, `e10_integrity`): recovery verifies the cache-file
+    /// bytes against it before re-queueing. Journals written without
+    /// integrity checking simply contain no `Cksum` records, so both
+    /// formats replay with the same code path.
+    Cksum {
+        /// File offset of the digested extent.
+        offset: u64,
+        /// [`e10_storesim::ExtentMap::digest`] over the extent.
+        digest: u64,
+    },
 }
 
 impl Record {
@@ -47,6 +58,7 @@ impl Record {
         match *self {
             Record::Add { offset, len } => (1, offset, len),
             Record::Synced { offset, len } => (2, offset, len),
+            Record::Cksum { offset, digest } => (3, offset, digest),
         }
     }
 
@@ -79,6 +91,10 @@ impl Record {
         match kind {
             1 => Some(Record::Add { offset, len }),
             2 => Some(Record::Synced { offset, len }),
+            3 => Some(Record::Cksum {
+                offset,
+                digest: len,
+            }),
             _ => None,
         }
     }
@@ -102,11 +118,24 @@ impl Replay {
             match *r {
                 Record::Add { offset, len } => map.insert(offset, len, e10_storesim::Source::Zero),
                 Record::Synced { offset, len } => map.remove(offset, len),
+                Record::Cksum { .. } => {}
             }
         }
         map.iter()
             .map(|(start, end, _)| (start, end - start))
             .collect()
+    }
+
+    /// Latest recorded data digest per extent offset (format v2; empty
+    /// for journals written without `e10_integrity`).
+    pub fn digests(&self) -> std::collections::BTreeMap<u64, u64> {
+        let mut out = std::collections::BTreeMap::new();
+        for r in &self.records {
+            if let Record::Cksum { offset, digest } = *r {
+                out.insert(offset, digest);
+            }
+        }
+        out
     }
 }
 
@@ -209,6 +238,61 @@ mod tests {
         let rep = replay(&log);
         assert!(!rep.torn);
         assert_eq!(rep.unsynced(), vec![(4096, 1024)]);
+    }
+
+    #[test]
+    fn cksum_records_roundtrip_and_collect() {
+        let r = Record::Cksum {
+            offset: 4096,
+            digest: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        assert_eq!(Record::decode(&r.encode()), Some(r));
+        let mut log = Vec::new();
+        for r in [
+            Record::Add {
+                offset: 4096,
+                len: 512,
+            },
+            Record::Cksum {
+                offset: 4096,
+                digest: 7,
+            },
+            // A re-write of the same extent supersedes the digest.
+            Record::Cksum {
+                offset: 4096,
+                digest: 9,
+            },
+        ] {
+            log.extend_from_slice(&r.encode());
+        }
+        let rep = replay(&log);
+        assert!(!rep.torn);
+        assert_eq!(rep.digests().get(&4096), Some(&9));
+        assert_eq!(rep.unsynced(), vec![(4096, 512)]);
+    }
+
+    #[test]
+    fn v1_journals_without_cksum_records_still_replay() {
+        // Format-version compatibility: a journal written before data
+        // checksumming existed (only Add/Synced records) must replay
+        // identically — no digests, same unsynced set.
+        let mut log = Vec::new();
+        for r in [
+            Record::Add {
+                offset: 0,
+                len: 1024,
+            },
+            Record::Synced {
+                offset: 0,
+                len: 256,
+            },
+        ] {
+            log.extend_from_slice(&r.encode());
+        }
+        let rep = replay(&log);
+        assert!(!rep.torn);
+        assert!(rep.digests().is_empty());
+        assert_eq!(rep.unsynced(), vec![(256, 768)]);
     }
 
     #[test]

@@ -2,6 +2,12 @@
 //! taken when collective buffering is disabled or the accesses are not
 //! interleaved: each process writes its own pieces, optionally with
 //! data sieving (`romio_ds_write`).
+//!
+//! Integrity note (`e10_integrity`): sieving's read-modify-write reads
+//! go to the *global* file (sieving is disabled while the cache is
+//! active, see `cache_active` below), so they sit outside the cache
+//! checksum domain; cached reads are verified in
+//! [`crate::collective_read`] and on the flush path instead.
 
 use e10_mpisim::FileView;
 

@@ -7,9 +7,48 @@
 //! other are merged, which keeps maps small even after a two-phase run
 //! writes a 32 GB file in millions of pieces.
 
-use crate::pattern::Source;
+use crate::pattern::{splitmix64, Source};
 use std::collections::BTreeMap;
 use std::ops::Range;
+
+/// Fold `v` into the running digest `h`.
+fn mix(h: u64, v: u64) -> u64 {
+    splitmix64(h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Structural digest of an ordered piece tiling (as returned by
+/// [`ExtentMap::lookup`]), relative to `base`.
+///
+/// The digest covers the *content identity* of the range: piece
+/// boundaries plus, per piece, the source descriptor (`Zero`, `Gen`
+/// seed/origin) or — for literals — the actual bytes. Two maps built by
+/// the same insert sequence produce the same canonical tiling and hence
+/// the same digest; any descriptor mutation (a flipped bit stored as a
+/// literal patch, a torn sector stored as zeroes, a hole) changes it.
+/// O(#pieces) except for literal pieces, which hash their bytes.
+pub fn pieces_digest(base: u64, pieces: &[(Range<u64>, Option<Source>)]) -> u64 {
+    let mut h: u64 = 0xE10D_16E5_7C4E_C551;
+    for (r, src) in pieces {
+        h = mix(h, r.start - base);
+        h = mix(h, r.end - r.start);
+        match src {
+            None => h = mix(h, 0),
+            Some(Source::Zero) => h = mix(h, 1),
+            Some(Source::Gen { seed, origin }) => {
+                h = mix(h, 2);
+                h = mix(h, *seed);
+                h = mix(h, *origin);
+            }
+            Some(lit @ Source::Literal { .. }) => {
+                h = mix(h, 3);
+                for i in 0..(r.end - r.start) {
+                    h = mix(h, lit.byte_at(i) as u64);
+                }
+            }
+        }
+    }
+    h
+}
 
 /// An extent map storing `(range → Source)` with overwrite semantics.
 #[derive(Clone, Debug, Default)]
@@ -277,6 +316,14 @@ impl ExtentMap {
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64, &Source)> {
         self.map.iter().map(|(&s, (e, src))| (s, *e, src))
     }
+
+    /// Structural digest of `[start, start + len)` — see
+    /// [`pieces_digest`]. The digest is relative to `start`, so the
+    /// same content at a different absolute offset digests the same
+    /// only if its sources translate accordingly.
+    pub fn digest(&self, start: u64, len: u64) -> u64 {
+        pieces_digest(start, &self.lookup(start, len))
+    }
 }
 
 #[cfg(test)]
@@ -399,5 +446,61 @@ mod tests {
         m.insert(0, 10, Source::gen_at(2, 0));
         assert_eq!(m.extent_count(), 1);
         assert_eq!(m.byte_at(3), Some(crate::pattern::gen_byte(2, 3)));
+    }
+
+    #[test]
+    fn digest_agrees_for_identical_insert_sequences() {
+        let mut a = ExtentMap::new();
+        let mut b = ExtentMap::new();
+        for m in [&mut a, &mut b] {
+            m.insert(0, 64, Source::gen_at(3, 0));
+            m.insert(16, 8, Source::Zero);
+            m.insert(40, 4, Source::literal(vec![1u8, 2, 3, 4]));
+        }
+        assert_eq!(a.digest(0, 64), b.digest(0, 64));
+        assert_eq!(a.digest(8, 32), b.digest(8, 32));
+    }
+
+    #[test]
+    fn digest_detects_bit_flip_and_torn_sector() {
+        let mut clean = ExtentMap::new();
+        clean.insert(0, 128, Source::gen_at(5, 0));
+        let base = clean.digest(0, 128);
+        // Bit flip: one byte replaced by a literal patch.
+        let mut flipped = clean.clone();
+        let b = flipped.byte_at(77).unwrap();
+        flipped.insert(77, 1, Source::literal(vec![b ^ 0x10]));
+        assert_ne!(flipped.digest(0, 128), base);
+        // Torn sector: a run zeroed out.
+        let mut torn = clean.clone();
+        torn.insert(64, 32, Source::Zero);
+        assert_ne!(torn.digest(0, 128), base);
+        // A hole differs from zeroes.
+        let mut holed = clean.clone();
+        holed.remove(64, 32);
+        assert_ne!(holed.digest(0, 128), torn.digest(0, 128));
+    }
+
+    #[test]
+    fn digest_of_subrange_ignores_outside_content() {
+        let mut a = ExtentMap::new();
+        a.insert(100, 50, Source::gen_at(9, 100));
+        let d = a.digest(100, 50);
+        a.insert(0, 50, Source::Zero);
+        a.insert(200, 10, Source::gen_at(1, 0));
+        assert_eq!(a.digest(100, 50), d);
+    }
+
+    #[test]
+    fn literal_digest_hashes_content_not_identity() {
+        let mut a = ExtentMap::new();
+        let mut b = ExtentMap::new();
+        a.insert(0, 4, Source::literal(vec![9u8, 8, 7, 6]));
+        // Same bytes, different backing allocation and offset.
+        b.insert(0, 4, Source::literal(vec![0u8, 9, 8, 7, 6]).advance(1));
+        assert_eq!(a.digest(0, 4), b.digest(0, 4));
+        let mut c = ExtentMap::new();
+        c.insert(0, 4, Source::literal(vec![9u8, 8, 7, 5]));
+        assert_ne!(c.digest(0, 4), a.digest(0, 4));
     }
 }

@@ -24,7 +24,7 @@ pub mod ssd;
 
 pub use bytes::Bytes;
 pub use disk::{Disk, DiskParams};
-pub use extent::{ExtentMap, VerifyError};
+pub use extent::{pieces_digest, ExtentMap, VerifyError};
 pub use pagecache::{PageCache, PageCacheParams};
 pub use pattern::{gen_byte, Payload, Source};
 pub use raid::{Raid, RaidParams};

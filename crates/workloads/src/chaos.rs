@@ -1,0 +1,468 @@
+//! Chaos-soak harness: long randomized, seeded fault schedules against
+//! a fault-free oracle.
+//!
+//! Each soak case replays one of the paper's write kernels twice on
+//! identical testbeds: once fault-free (the **oracle**) and once under
+//! a [`random_plan`] of corruption/stall/RPC faults drawn from the
+//! case seed. The gold invariant is then checked structurally:
+//!
+//! > the final global file is byte-identical to the oracle's, **or** a
+//! > typed error was surfaced to the affected ranks.
+//!
+//! A run that diverges *silently* — bytes differ and nobody was told —
+//! is the one outcome the integrity pipeline must make impossible;
+//! [`ChaosVerdict::Diverged`] reports it, and [`shrink_plan`] bisects
+//! the failing schedule down to a minimal set of fault specs that
+//! still reproduces the divergence, so a soak failure arrives as a
+//! small deterministic repro instead of a 4-spec haystack.
+//!
+//! Everything is seed-deterministic: the same [`ChaosCase`] produces
+//! bit-identical verdicts regardless of how many soak jobs run in
+//! parallel (each case builds its own testbed on its own thread).
+
+use std::rc::Rc;
+
+use e10_faultsim::{always, injected_count, FaultPlan, FaultSchedule, FaultSpec};
+use e10_mpisim::Info;
+use e10_romio::{write_at_all, AdioFile, DataSpec, IoCtx, Testbed, TestbedSpec};
+use e10_simcore::trace;
+use e10_simcore::{sleep, SimDuration, SimRng};
+
+use crate::{CollPerf, FlashIo, Ior, Workload};
+
+/// Which write kernel a chaos case replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosWorkload {
+    /// IOR segmented collective pattern, 4 ranks.
+    Ior,
+    /// MPICH coll_perf 3-D block pattern, 8 ranks.
+    CollPerf,
+    /// FLASH checkpoint kernel, 4 ranks.
+    FlashIo,
+}
+
+impl ChaosWorkload {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosWorkload::Ior => "ior",
+            ChaosWorkload::CollPerf => "collperf",
+            ChaosWorkload::FlashIo => "flashio",
+        }
+    }
+
+    fn build(&self) -> Rc<dyn Workload> {
+        match self {
+            ChaosWorkload::Ior => Rc::new(Ior::tiny(4)),
+            ChaosWorkload::CollPerf => Rc::new(CollPerf::tiny([2, 2, 2])),
+            ChaosWorkload::FlashIo => Rc::new(FlashIo::tiny(4)),
+        }
+    }
+}
+
+/// One soak case: a kernel, a cluster shape and the seed that drives
+/// both the fault schedule and the generated data.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosCase {
+    /// The kernel to replay.
+    pub workload: ChaosWorkload,
+    /// Compute nodes in the testbed.
+    pub nodes: usize,
+    /// Files written back-to-back (flush rounds between which the
+    /// scrubber gets a chance to run).
+    pub files: usize,
+    /// Seed for [`random_plan`] and the data generator.
+    pub seed: u64,
+    /// `e10_integrity_scrub_ms` hint for the run (0 disables).
+    pub scrub_ms: u64,
+    /// `e10_integrity` hint. Soaks run with it on; turning it off
+    /// exists so the harness can prove to itself that the oracle
+    /// *does* flag silent corruption when nothing defends against it.
+    pub integrity: bool,
+}
+
+impl ChaosCase {
+    /// Default soak shape for `seed`: IOR on 2 nodes, two files, with
+    /// integrity and the scrubber on.
+    pub fn new(seed: u64) -> ChaosCase {
+        ChaosCase {
+            workload: ChaosWorkload::Ior,
+            nodes: 2,
+            files: 2,
+            seed,
+            scrub_ms: 20,
+            integrity: true,
+        }
+    }
+}
+
+/// The oracle-invariant verdict of one soak run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosVerdict {
+    /// Final bytes identical to the oracle; no errors reported. Any
+    /// injected corruption was repaired in place.
+    Clean,
+    /// A typed error reached at least one rank — the pipeline refused
+    /// to pretend the run was healthy (bytes may or may not match).
+    Detected,
+    /// **Silent corruption**: the final bytes differ from the oracle
+    /// and no rank was told. This is the failure the soak exists to
+    /// catch.
+    Diverged,
+}
+
+impl ChaosVerdict {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosVerdict::Clean => "clean",
+            ChaosVerdict::Detected => "detected",
+            ChaosVerdict::Diverged => "diverged",
+        }
+    }
+}
+
+/// What one soak case did and found.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The case seed.
+    pub seed: u64,
+    /// Kernel name.
+    pub workload: &'static str,
+    /// The verdict against the gold invariant.
+    pub verdict: ChaosVerdict,
+    /// Fault specs in the schedule.
+    pub plan_specs: usize,
+    /// Faults actually injected during the faulted run.
+    pub injected: u64,
+    /// Typed errors surfaced per rank, as `(rank, message)`.
+    pub rank_errors: Vec<(usize, String)>,
+    /// File indices whose final bytes differ from the oracle.
+    pub mismatched_files: Vec<usize>,
+    /// On divergence: the kind names of the shrunken minimal schedule
+    /// that still reproduces it.
+    pub minimal: Option<Vec<String>>,
+}
+
+/// Draw a randomized fault schedule from `seed`: 1–4 specs over the
+/// corruption/stall/RPC kinds (never node crashes — those need the
+/// [`crate::crash`] harness). Probabilities are bounded so retries and
+/// retransmissions *usually* absorb the faults, which is exactly the
+/// regime where silent corruption would hide.
+pub fn random_plan(seed: u64, nodes: usize) -> FaultPlan {
+    let mut rng = SimRng::stream(seed, 990_000);
+    let count = 1 + rng.below(4);
+    let mut plan = FaultPlan::new(seed);
+    for _ in 0..count {
+        let node = rng.below(nodes.max(1) as u64) as usize;
+        let prob = 0.05 + 0.5 * rng.uniform();
+        plan = match rng.below(6) {
+            0 => plan.cache_bitflip(node, always(), prob),
+            1 => plan.cache_torn(node, always(), prob, 512 << rng.below(3)),
+            2 => plan.link_corrupt(None, None, always(), 0.05 + 0.25 * rng.uniform()),
+            3 => plan.pfs_corrupt(always(), prob),
+            4 => plan.ssd_stall(node, always(), prob, SimDuration::from_micros(200)),
+            _ => plan.rpc_fail(None, always(), 0.3 * rng.uniform()),
+        };
+    }
+    plan
+}
+
+/// Kind name of one fault spec, for reports.
+pub fn spec_kind(spec: &FaultSpec) -> &'static str {
+    match spec {
+        FaultSpec::NodeCrash { .. } => "node_crash",
+        FaultSpec::SsdStall { .. } => "ssd_stall",
+        FaultSpec::LinkFault { .. } => "link_fault",
+        FaultSpec::RpcFail { .. } => "rpc_fail",
+        FaultSpec::CacheBitFlip { .. } => "cache_bitflip",
+        FaultSpec::CacheTorn { .. } => "cache_torn",
+        FaultSpec::LinkCorrupt { .. } => "link_corrupt",
+        FaultSpec::PfsCorrupt { .. } => "pfs_corrupt",
+    }
+}
+
+fn chaos_hints(case: &ChaosCase) -> Info {
+    let h = Info::from_pairs([
+        ("cb_buffer_size", "4096"),
+        ("striping_unit", "8192"),
+        ("e10_cache", "enable"),
+        ("e10_cache_journal", "enable"),
+    ]);
+    h.set(
+        "e10_integrity",
+        if case.integrity { "enable" } else { "disable" },
+    );
+    h.set("e10_integrity_scrub_ms", &case.scrub_ms.to_string());
+    h
+}
+
+/// Per-file digests plus per-rank error strings of one run. `None`
+/// digest means the file is missing entirely.
+struct RunDigest {
+    digests: Vec<Option<u64>>,
+    errors: Vec<(usize, String)>,
+    injected: u64,
+}
+
+/// The soak's own non-panicking mini-driver: unlike
+/// [`crate::run_workload`] it must survive corrupted final state (the
+/// whole point is to *observe* divergence, not die on it), so nothing
+/// here asserts on verification.
+async fn run_once(tb: &Testbed, case: &ChaosCase, plan: Option<FaultPlan>) -> RunDigest {
+    let workload = case.workload.build();
+    let hints = chaos_hints(case);
+    if workload.force_collective() && hints.get("romio_cb_write").is_none() {
+        hints.set("romio_cb_write", "enable");
+    }
+    let _guard = plan.map(FaultSchedule::install);
+    let pfs = Rc::clone(&tb.pfs);
+    let localfs = Rc::clone(&tb.localfs);
+    let files = case.files;
+    let seed = case.seed;
+    let per_rank: Vec<Vec<String>> = tb
+        .world
+        .run_ranks(move |comm| {
+            let ctx = IoCtx {
+                comm,
+                pfs: Rc::clone(&pfs),
+                localfs: Rc::clone(&localfs),
+            };
+            let wl = Rc::clone(&workload);
+            let hints = hints.clone();
+            async move {
+                let rank = ctx.comm.rank();
+                let views = wl.writes(rank);
+                let mut errors: Vec<String> = Vec::new();
+                for k in 0..files {
+                    let path = format!("/gfs/chaos.{}.{k}", seed);
+                    match AdioFile::open(&ctx, &path, &hints, true).await {
+                        Ok(fd) => {
+                            for view in &views {
+                                let r = write_at_all(
+                                    &fd,
+                                    view,
+                                    &DataSpec::FileGen {
+                                        seed: 1000 + seed + k as u64,
+                                    },
+                                )
+                                .await;
+                                if r.error_code != 0 {
+                                    errors.push(match fd.take_io_error() {
+                                        Some(e) => e.to_string(),
+                                        None => format!("collective error code {}", r.error_code),
+                                    });
+                                }
+                            }
+                            // Idle gap before the close-flush: lets the
+                            // background sync (and the scrubber between
+                            // its rounds) touch staged extents.
+                            sleep(SimDuration::from_millis(50)).await;
+                            fd.close().await;
+                            if let Some(e) = fd.take_io_error() {
+                                errors.push(e.to_string());
+                            }
+                        }
+                        Err(e) => errors.push(e.to_string()),
+                    }
+                }
+                errors
+            }
+        })
+        .await;
+
+    let file_bytes = case.workload.build().file_size();
+    let digests = (0..case.files)
+        .map(|k| {
+            tb.pfs
+                .file_extents(&format!("/gfs/chaos.{}.{k}", case.seed))
+                .map(|ext| ext.digest(0, file_bytes))
+        })
+        .collect();
+    RunDigest {
+        digests,
+        errors: per_rank
+            .into_iter()
+            .enumerate()
+            .flat_map(|(rank, errs)| errs.into_iter().map(move |e| (rank, e)))
+            .collect(),
+        injected: injected_count(),
+    }
+}
+
+fn verdict_of(oracle: &RunDigest, faulted: &RunDigest) -> (ChaosVerdict, Vec<usize>) {
+    let mismatched: Vec<usize> = oracle
+        .digests
+        .iter()
+        .zip(&faulted.digests)
+        .enumerate()
+        .filter_map(|(k, (o, f))| (o != f).then_some(k))
+        .collect();
+    let verdict = if !faulted.errors.is_empty() {
+        ChaosVerdict::Detected
+    } else if mismatched.is_empty() {
+        ChaosVerdict::Clean
+    } else {
+        ChaosVerdict::Diverged
+    };
+    (verdict, mismatched)
+}
+
+/// Run one soak probe of `case` under an explicit `plan` (both the
+/// oracle and the faulted run execute inside fresh simulations) and
+/// judge it against the gold invariant. Does not shrink.
+pub fn probe_with_plan(case: &ChaosCase, plan: &FaultPlan) -> ChaosReport {
+    let oracle = {
+        let case = *case;
+        e10_simcore::run(async move {
+            let tb = TestbedSpec::small(case.workload.build().procs(), case.nodes).build();
+            run_once(&tb, &case, None).await
+        })
+    };
+    let faulted = {
+        let case = *case;
+        let plan = plan.clone();
+        e10_simcore::run(async move {
+            let tb = TestbedSpec::small(case.workload.build().procs(), case.nodes).build();
+            run_once(&tb, &case, Some(plan)).await
+        })
+    };
+    let (verdict, mismatched_files) = verdict_of(&oracle, &faulted);
+    trace::counter("chaos.runs", 1);
+    match verdict {
+        ChaosVerdict::Clean => trace::counter("chaos.clean", 1),
+        ChaosVerdict::Detected => trace::counter("chaos.detected", 1),
+        ChaosVerdict::Diverged => trace::counter("chaos.diverged", 1),
+    }
+    ChaosReport {
+        seed: case.seed,
+        workload: case.workload.name(),
+        verdict,
+        plan_specs: plan.specs.len(),
+        injected: faulted.injected,
+        rank_errors: faulted.errors,
+        mismatched_files,
+        minimal: None,
+    }
+}
+
+/// Shrink a failing (diverging) schedule to a minimal fault set:
+/// repeatedly drop one spec at a time, keeping any removal after which
+/// the case still diverges, until no single removal reproduces — the
+/// classic greedy delta-debug fix point. Each probe is a full
+/// deterministic re-run, so the result is an exact repro recipe.
+pub fn shrink_plan(case: &ChaosCase, plan: &FaultPlan) -> FaultPlan {
+    let mut current = plan.clone();
+    'outer: while current.specs.len() > 1 {
+        for i in 0..current.specs.len() {
+            let mut candidate = current.clone();
+            candidate.specs.remove(i);
+            if probe_with_plan(case, &candidate).verdict == ChaosVerdict::Diverged {
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    current
+}
+
+/// Run one complete soak case: draw [`random_plan`] from the case
+/// seed, probe the gold invariant, and on divergence shrink the
+/// schedule to its minimal failing form (recorded in
+/// [`ChaosReport::minimal`]).
+pub fn chaos_case(case: &ChaosCase) -> ChaosReport {
+    let plan = random_plan(case.seed, case.nodes);
+    let mut report = probe_with_plan(case, &plan);
+    if report.verdict == ChaosVerdict::Diverged {
+        let minimal = shrink_plan(case, &plan);
+        report.minimal = Some(
+            minimal
+                .specs
+                .iter()
+                .map(|s| spec_kind(s).to_string())
+                .collect(),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_seeded_and_crash_free() {
+        for seed in 0..32u64 {
+            let a = random_plan(seed, 2);
+            let b = random_plan(seed, 2);
+            assert_eq!(a.specs.len(), b.specs.len(), "seed {seed} not stable");
+            assert!((1..=4).contains(&a.specs.len()));
+            assert!(
+                a.crashes().is_empty(),
+                "soak plans must not declare crashes"
+            );
+            for (x, y) in a.specs.iter().zip(&b.specs) {
+                assert_eq!(spec_kind(x), spec_kind(y), "seed {seed} kind drift");
+            }
+        }
+    }
+
+    #[test]
+    fn soak_holds_the_oracle_invariant_over_a_seed_range() {
+        // The CI-grade slice of the soak: every seed must end Clean or
+        // Detected — Diverged is the defect this harness exists for.
+        for seed in 0..6u64 {
+            let report = chaos_case(&ChaosCase::new(seed));
+            assert_ne!(
+                report.verdict,
+                ChaosVerdict::Diverged,
+                "seed {seed}: silent corruption (minimal repro {:?})",
+                report.minimal
+            );
+        }
+    }
+
+    #[test]
+    fn verdicts_are_deterministic_for_a_given_seed() {
+        let a = chaos_case(&ChaosCase::new(3));
+        let b = chaos_case(&ChaosCase::new(3));
+        assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.injected, b.injected);
+        assert_eq!(a.mismatched_files, b.mismatched_files);
+        assert_eq!(a.rank_errors, b.rank_errors);
+    }
+
+    #[test]
+    fn shrinker_reduces_a_diverging_schedule_to_its_culprit() {
+        // A schedule whose only destructive spec is a guaranteed cache
+        // bit-flip, padded with benign stalls. Run WITHOUT integrity it
+        // must diverge (this validates the oracle itself), and the
+        // shrinker must isolate the single corrupting spec.
+        let mut case = ChaosCase {
+            workload: ChaosWorkload::Ior,
+            nodes: 2,
+            files: 1,
+            seed: 424_242,
+            scrub_ms: 0,
+            integrity: false,
+        };
+        let plan = FaultPlan::new(7)
+            .ssd_stall(0, always(), 0.2, SimDuration::from_micros(100))
+            .cache_bitflip(0, always(), 1.0)
+            .ssd_stall(1, always(), 0.2, SimDuration::from_micros(100));
+        let bare = probe_with_plan(&case, &plan);
+        assert_eq!(
+            bare.verdict,
+            ChaosVerdict::Diverged,
+            "without integrity the flip must slip through silently"
+        );
+        let minimal = shrink_plan(&case, &plan);
+        assert_eq!(minimal.specs.len(), 1, "padding stalls must be shed");
+        assert_eq!(spec_kind(&minimal.specs[0]), "cache_bitflip");
+        // The same schedule with integrity ON must be caught.
+        case.integrity = true;
+        let caught = probe_with_plan(&case, &plan);
+        assert_ne!(caught.verdict, ChaosVerdict::Diverged);
+    }
+}

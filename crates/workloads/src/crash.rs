@@ -72,6 +72,7 @@ impl CrashConfig {
 }
 
 /// What a crash/recovery run did and found.
+#[derive(Debug)]
 pub struct CrashOutcome {
     /// The node that lost power.
     pub crashed_node: usize,
@@ -96,6 +97,35 @@ pub struct CrashOutcome {
     pub verified: Result<(), String>,
 }
 
+/// A [`CrashConfig`] that cannot be executed as declared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrashConfigError {
+    /// The fault plan contains no `node_crash` spec to execute.
+    NoCrashDeclared,
+    /// The declared crash node hosts no rank of the workload — the
+    /// crash would be a no-op and the experiment meaningless.
+    NoRankOnNode {
+        /// The empty node.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for CrashConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashConfigError::NoCrashDeclared => {
+                write!(f, "crash config error: fault plan declares no node crash")
+            }
+            CrashConfigError::NoRankOnNode { node } => write!(
+                f,
+                "crash config error: no rank of the workload lives on node {node}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CrashConfigError {}
+
 impl CrashOutcome {
     /// Total bytes re-queued from journals during recovery.
     pub fn requeued_bytes(&self) -> u64 {
@@ -114,13 +144,14 @@ impl CrashOutcome {
 /// The crash fires once every rank has finished its collective writes
 /// (event trigger) and no earlier than the plan's declared instant
 /// (time trigger) — acknowledged data is exactly the data a recovery
-/// must reproduce. Panics if the plan declares no node crash or the
-/// crashed node hosts no rank.
+/// must reproduce. Returns a [`CrashConfigError`] (instead of
+/// panicking) if the plan declares no node crash or the crashed node
+/// hosts no rank.
 pub async fn run_crash_recovery(
     tb: &Testbed,
     workload: Rc<dyn Workload>,
     cfg: &CrashConfig,
-) -> CrashOutcome {
+) -> Result<CrashOutcome, CrashConfigError> {
     let procs = workload.procs();
     assert_eq!(
         tb.world.comms.len(),
@@ -128,11 +159,15 @@ pub async fn run_crash_recovery(
         "testbed rank count must match the workload"
     );
     let crashes = cfg.faults.crashes();
-    let (crash_node, crash_at) = *crashes.first().expect("plan declares no node crash");
+    let Some(&(crash_node, crash_at)) = crashes.first() else {
+        return Err(CrashConfigError::NoCrashDeclared);
+    };
     let victims: Vec<usize> = (0..procs)
         .filter(|&r| tb.world.comms[r].node() == crash_node)
         .collect();
-    assert!(!victims.is_empty(), "no rank lives on node {crash_node}");
+    if victims.is_empty() {
+        return Err(CrashConfigError::NoRankOnNode { node: crash_node });
+    }
 
     let _guard = FaultSchedule::install(cfg.faults.clone());
     let crash_gid = new_group();
@@ -223,9 +258,16 @@ pub async fn run_crash_recovery(
         let global = tb.pfs.attach(&cfg.path).expect("global file exists");
         match CacheLayer::recover(tb.localfs[crash_node].clone(), global, ccfg).await {
             Ok((layer, report)) => {
-                layer.flush().await;
-                layer.close().await;
-                recovered.push((rank, report));
+                // A recovery-stage integrity failure (staged bytes that
+                // rotted while the node was down) surfaces here as a
+                // typed error and counts as a failed rank.
+                match layer.close().await {
+                    Ok(()) => recovered.push((rank, report)),
+                    Err(e) => {
+                        failed.push((rank, e.to_string()));
+                        recovered.push((rank, report));
+                    }
+                }
             }
             Err(RecoverError::NoJournal { cached_bytes }) => lost.push((rank, cached_bytes)),
             Err(e) => failed.push((rank, e.to_string())),
@@ -241,7 +283,7 @@ pub async fn run_crash_recovery(
         None => Err(format!("global file {} missing", cfg.path)),
     };
 
-    CrashOutcome {
+    Ok(CrashOutcome {
         crashed_node: crash_node,
         crash_time,
         killed_tasks,
@@ -251,7 +293,7 @@ pub async fn run_crash_recovery(
         failed,
         recovery_secs,
         verified,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -282,7 +324,7 @@ mod tests {
             let w = Rc::new(CollPerf::tiny([2, 2, 2]));
             let tb = TestbedSpec::small(w.procs(), 2).build();
             let cfg = CrashConfig::after_writes(crash_hints(true), "/gfs/crash_j", 77, 1);
-            let out = run_crash_recovery(&tb, w, &cfg).await;
+            let out = run_crash_recovery(&tb, w, &cfg).await.unwrap();
             assert!(out.killed_tasks > 0, "crash must kill the node's tasks");
             assert!(!out.recovered.is_empty());
             assert!(out.lost.is_empty() && out.failed.is_empty());
@@ -292,12 +334,38 @@ mod tests {
     }
 
     #[test]
+    fn plan_without_a_crash_is_a_config_error() {
+        run(async {
+            let w = Rc::new(CollPerf::tiny([2, 2, 2]));
+            let tb = TestbedSpec::small(w.procs(), 2).build();
+            let mut cfg = CrashConfig::after_writes(crash_hints(true), "/gfs/crash_none", 79, 1);
+            cfg.faults = FaultPlan::new(79); // no node_crash spec
+            let err = run_crash_recovery(&tb, w, &cfg).await.unwrap_err();
+            assert_eq!(err, CrashConfigError::NoCrashDeclared);
+            assert!(err.to_string().contains("declares no node crash"));
+        });
+    }
+
+    #[test]
+    fn crash_on_an_unpopulated_node_is_a_config_error() {
+        run(async {
+            let w = Rc::new(CollPerf::tiny([2, 2, 2]));
+            // 2 nodes host ranks; node 7 exists in no placement.
+            let tb = TestbedSpec::small(w.procs(), 2).build();
+            let cfg = CrashConfig::after_writes(crash_hints(true), "/gfs/crash_empty", 80, 7);
+            let err = run_crash_recovery(&tb, w, &cfg).await.unwrap_err();
+            assert_eq!(err, CrashConfigError::NoRankOnNode { node: 7 });
+            assert!(err.to_string().contains("node 7"));
+        });
+    }
+
+    #[test]
     fn journal_disabled_crash_is_reported_as_data_loss() {
         run(async {
             let w = Rc::new(CollPerf::tiny([2, 2, 2]));
             let tb = TestbedSpec::small(w.procs(), 2).build();
             let cfg = CrashConfig::after_writes(crash_hints(false), "/gfs/crash_nj", 78, 1);
-            let out = run_crash_recovery(&tb, w, &cfg).await;
+            let out = run_crash_recovery(&tb, w, &cfg).await.unwrap();
             assert!(out.recovered.is_empty());
             assert!(!out.lost.is_empty(), "loss must be attributed per rank");
             assert!(out.lost_bytes() > 0, "stranded bytes must be counted");

@@ -11,14 +11,18 @@
 //! one file; the driver replays it for each of the run's files against
 //! a [`e10_romio::Testbed`].
 
+pub mod chaos;
 pub mod collperf;
 pub mod crash;
 pub mod driver;
 pub mod flashio;
 pub mod ior;
 
+pub use chaos::{
+    chaos_case, random_plan, shrink_plan, ChaosCase, ChaosReport, ChaosVerdict, ChaosWorkload,
+};
 pub use collperf::CollPerf;
-pub use crash::{run_crash_recovery, CrashConfig, CrashOutcome};
+pub use crash::{run_crash_recovery, CrashConfig, CrashConfigError, CrashOutcome};
 pub use driver::{run_workload, PhaseOutcome, RunConfig, RunOutcome, TraceConfig, TraceReport};
 pub use flashio::{FlashFile, FlashIo};
 pub use ior::Ior;
@@ -158,6 +162,43 @@ mod tests {
             assert!(out.bandwidth > 0.0);
             let ext = tb.pfs.file_extents("/gfs/tbw.0").unwrap();
             assert_eq!(ext.covered_bytes(), 0);
+        });
+    }
+
+    #[test]
+    fn full_ssd_degrades_to_write_through_and_stays_correct() {
+        run(async {
+            let w = Rc::new(Ior::tiny(4));
+            // Each node's SSD partition holds 16 KiB while one file
+            // stages ~24 KiB per node: the cache must fill mid-file,
+            // degrade to write-through and still produce a
+            // byte-identical global file (run_workload verifies).
+            let mut spec = TestbedSpec::small(4, 2);
+            spec.localfs.capacity = 16 << 10;
+            let tb = spec.build();
+            let hints = Info::from_pairs([
+                ("cb_buffer_size", "4096"),
+                ("striping_unit", "4096"),
+                ("e10_cache", "enable"),
+                ("e10_cache_flush_flag", "flush_onclose"),
+                ("e10_cache_journal", "enable"),
+                ("e10_integrity", "enable"),
+            ]);
+            let mut cfg = quick_cfg(hints, "/gfs/degrade", 2);
+            cfg.trace.mode = e10_romio::TraceMode::Ring;
+            let out = run_workload(&tb, Rc::clone(&w) as Rc<dyn Workload>, &cfg).await;
+            let metrics = out.metrics.expect("ring mode records metrics");
+            let cached = metrics
+                .counters
+                .iter()
+                .find(|(k, _)| *k == "cache.bytes_cached")
+                .map_or(0, |(_, v)| *v);
+            let total = w.file_size() * cfg.files as u64;
+            assert!(cached > 0, "cache must absorb extents before filling");
+            assert!(
+                cached < total,
+                "cache must degrade mid-job: cached {cached} of {total}"
+            );
         });
     }
 

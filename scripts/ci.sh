@@ -16,6 +16,12 @@
 #   6. bench_baseline smoke: the parallel sweep must produce
 #      byte-identical figures and bit-identical sim times vs the
 #      sequential path (exit != 0 on divergence)
+#   7. chaos-soak smoke: fixed-seed randomized corruption schedules
+#      (SSD bit-flips/torn sectors, wire corruption, lazy PFS rot,
+#      stalls, RPC failures) against the fault-free oracle; exit != 0
+#      if any seed silently diverges from the oracle's bytes. Journal
+#      format-version compat is covered by the test suite in step 2
+#      (v1 journals without Cksum records must still replay).
 #
 # Each step prints its wall-clock seconds.
 set -euo pipefail
@@ -45,5 +51,10 @@ echo "==> bench_baseline smoke (parallel vs sequential divergence gate)"
 t0=$SECONDS
 cargo run --release -q -p e10-bench --bin bench_baseline -- --smoke --jobs 4 --out -
 echo "    [$(($SECONDS - t0))s] bench_baseline smoke"
+
+echo "==> chaos-soak smoke (E10_JOBS=4, fixed seeds, divergence gate)"
+t0=$SECONDS
+E10_JOBS=4 cargo run --release -q -p e10-bench --bin chaos_soak -- --smoke --json
+echo "    [$(($SECONDS - t0))s] chaos-soak smoke"
 
 echo "==> ci: all green"

@@ -63,7 +63,9 @@ fn crashed_run_recovers_to_fault_free_bytes() {
         let w = Rc::new(CollPerf::tiny([2, 2, 2]));
         let tb = TestbedSpec::small(w.procs(), 2).build();
         let cfg = CrashConfig::after_writes(crash_hints(true), "/gfs/crashrec", seed, 1);
-        let out = run_crash_recovery(&tb, Rc::clone(&w) as Rc<dyn Workload>, &cfg).await;
+        let out = run_crash_recovery(&tb, Rc::clone(&w) as Rc<dyn Workload>, &cfg)
+            .await
+            .unwrap();
         assert!(out.killed_tasks > 0);
         assert!(out.lost.is_empty() && out.failed.is_empty());
         assert!(
@@ -89,7 +91,7 @@ fn crash_without_journal_is_detected_data_loss() {
         let w = Rc::new(CollPerf::tiny([2, 2, 2]));
         let tb = TestbedSpec::small(w.procs(), 2).build();
         let cfg = CrashConfig::after_writes(crash_hints(false), "/gfs/crashloss", 99, 0);
-        let out = run_crash_recovery(&tb, w, &cfg).await;
+        let out = run_crash_recovery(&tb, w, &cfg).await.unwrap();
         assert!(out.recovered.is_empty(), "no journal, nothing to replay");
         assert!(out.lost_bytes() > 0, "stranded cache bytes must be counted");
         assert!(
@@ -108,7 +110,7 @@ fn crash_run_emits_fault_and_recovery_telemetry() {
         let w = Rc::new(CollPerf::tiny([2, 2, 2]));
         let tb = TestbedSpec::small(w.procs(), 2).build();
         let cfg = CrashConfig::after_writes(crash_hints(true), "/gfs/crashtrace", 7, 1);
-        let out = run_crash_recovery(&tb, w, &cfg).await;
+        let out = run_crash_recovery(&tb, w, &cfg).await.unwrap();
         out.verified.unwrap();
         let events = sink.events();
         let spans: std::collections::BTreeSet<&'static str> =

@@ -211,7 +211,9 @@ fn crash_recovery_is_deterministic() {
                 ("e10_cache_journal", "enable"),
             ]);
             let cfg = CrashConfig::after_writes(hints, "/gfs/cdet", 31, 1);
-            let out = run_crash_recovery(&tb, w as Rc<dyn Workload>, &cfg).await;
+            let out = run_crash_recovery(&tb, w as Rc<dyn Workload>, &cfg)
+                .await
+                .unwrap();
             out.verified.as_ref().unwrap();
             let _ = n;
             (

@@ -384,7 +384,9 @@ proptest! {
                 )
                 .link_fault(None, None, always(), link_prob, SimDuration::from_micros(50))
                 .rpc_fail(None, always(), rpc_prob);
-            let out = run_crash_recovery(&tb, w as Rc<dyn Workload>, &cfg).await;
+            let out = run_crash_recovery(&tb, w as Rc<dyn Workload>, &cfg)
+                .await
+                .unwrap();
             assert!(out.lost.is_empty() && out.failed.is_empty());
             out.verified.expect("recovered file must match the generator");
         });
