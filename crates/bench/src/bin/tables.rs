@@ -1,119 +1,15 @@
 //! Tables I and II: the ROMIO collective-I/O hints and the proposed
 //! E10 MPI-IO hint extensions, as resolved by this implementation.
 //! `--json` for machine output.
-use e10_bench::{json_mode, Json};
-use e10_mpisim::Info;
-use e10_romio::RomioHints;
-
-const TABLE1: [(&str, &str); 4] = [
-    ("romio_cb_write", "enable or disable collective writes"),
-    ("romio_cb_read", "enable or disable collective reads"),
-    ("cb_buffer_size", "set the collective buffer size [bytes]"),
-    ("cb_nodes", "set the number of aggregator processes"),
-];
-
-const TABLE2: [(&str, &str); 5] = [
-    ("e10_cache", "enable, disable, coherent"),
-    ("e10_cache_path", "cache directory pathname"),
-    ("e10_cache_flush_flag", "flush_immediate, flush_onclose"),
-    ("e10_cache_discard_flag", "enable, disable"),
-    ("ind_wr_buffer_size", "synchronisation buffer size [bytes]"),
-];
-
-const EXTENSIONS: [(&str, &str); 7] = [
-    (
-        "e10_cache_read",
-        "enable, disable (§VI future work: cache reads)",
-    ),
-    (
-        "e10_cache_evict",
-        "enable, disable (§III: streaming space management)",
-    ),
-    (
-        "e10_sync_policy",
-        "greedy, backoff (§III: congestion-aware sync)",
-    ),
-    (
-        "e10_fd_partition",
-        "even, aligned (footnote 1: BeeGFS driver alignment)",
-    ),
-    ("cb_config_list", "\"*:N\" (aggregators per node)"),
-    ("romio_no_indep_rw", "true, false (deferred open)"),
-    (
-        "romio_ds_write",
-        "enable, disable, automatic (data sieving)",
-    ),
-];
-
-fn paper_info() -> Info {
-    Info::from_pairs([
-        ("romio_cb_write", "enable"),
-        ("cb_nodes", "64"),
-        ("cb_buffer_size", "4M"),
-        ("striping_unit", "4M"),
-        ("striping_factor", "4"),
-        ("ind_wr_buffer_size", "512K"),
-        ("e10_cache", "enable"),
-        ("e10_cache_path", "/scratch"),
-        ("e10_cache_flush_flag", "flush_immediate"),
-        ("e10_cache_discard_flag", "enable"),
-    ])
-}
+//!
+//! Rendering lives in [`e10_bench::tables`] so the golden regression
+//! test pins the same bytes this binary prints.
+use e10_bench::json_mode;
 
 fn main() {
-    let defaults = RomioHints::parse(&Info::new()).expect("defaults must parse");
-    let paper = RomioHints::parse(&paper_info()).expect("paper hints must parse");
-
     if json_mode() {
-        let hint_table = |rows: &[(&str, &str)]| {
-            Json::arr(rows.iter().map(|&(hint, desc)| {
-                Json::obj([("hint", Json::str(hint)), ("description", Json::str(desc))])
-            }))
-        };
-        let resolved = |h: &RomioHints| {
-            Json::obj(
-                h.to_pairs()
-                    .into_iter()
-                    .map(|(k, v)| (k, Json::Str(v)))
-                    .collect::<Vec<_>>(),
-            )
-        };
-        let doc = Json::obj([
-            ("figure", Json::str("tables")),
-            ("table1_romio_hints", hint_table(&TABLE1)),
-            ("table2_e10_hints", hint_table(&TABLE2)),
-            ("implementation_extensions", hint_table(&EXTENSIONS)),
-            ("resolved_defaults", resolved(&defaults)),
-            ("resolved_paper_config", resolved(&paper)),
-        ]);
-        println!("{}", doc.render());
-        return;
-    }
-
-    println!("TABLE I: Collective I/O hints in ROMIO");
-    println!("{:<24} Description", "Hint");
-    for (hint, desc) in TABLE1 {
-        println!("{hint:<24} {desc}");
-    }
-
-    println!("\nTABLE II: Proposed MPI-IO hints extensions");
-    println!("{:<24} Value", "Hint");
-    for (hint, vals) in TABLE2 {
-        println!("{hint:<24} {vals}");
-    }
-
-    println!("\nImplementation extensions beyond the paper's tables:");
-    for (hint, vals) in EXTENSIONS {
-        println!("{hint:<24} {vals}");
-    }
-
-    println!("\nResolved defaults (MPI_File_get_info on an empty Info):");
-    for (k, v) in defaults.to_pairs() {
-        println!("  {k:<24} = {v}");
-    }
-
-    println!("\nPaper configuration resolved:");
-    for (k, v) in paper.to_pairs() {
-        println!("  {k:<24} = {v}");
+        println!("{}", e10_bench::tables::tables_json().render());
+    } else {
+        print!("{}", e10_bench::tables::tables_text());
     }
 }

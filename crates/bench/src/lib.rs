@@ -21,6 +21,7 @@
 
 pub mod harness;
 pub mod json;
+pub mod tables;
 
 use std::rc::Rc;
 

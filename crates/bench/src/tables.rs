@@ -1,0 +1,194 @@
+//! Tables I and II (the ROMIO collective-I/O hints and the proposed
+//! E10 MPI-IO hint extensions) as resolved by this implementation.
+//!
+//! The content lives in the library so the `tables` binary and the
+//! golden-figure regression test render the same bytes: the binary
+//! prints what [`tables_text`] / [`tables_json`] produce, and the test
+//! pins that output against the committed `results/tables.txt`.
+
+use crate::Json;
+use e10_mpisim::Info;
+use e10_romio::RomioHints;
+use std::fmt::Write as _;
+
+/// TABLE I rows: the standard ROMIO collective hints.
+pub const TABLE1: [(&str, &str); 4] = [
+    ("romio_cb_write", "enable or disable collective writes"),
+    ("romio_cb_read", "enable or disable collective reads"),
+    ("cb_buffer_size", "set the collective buffer size [bytes]"),
+    ("cb_nodes", "set the number of aggregator processes"),
+];
+
+/// TABLE II rows: the paper's proposed E10 hint extensions.
+pub const TABLE2: [(&str, &str); 5] = [
+    ("e10_cache", "enable, disable, coherent"),
+    ("e10_cache_path", "cache directory pathname"),
+    ("e10_cache_flush_flag", "flush_immediate, flush_onclose"),
+    ("e10_cache_discard_flag", "enable, disable"),
+    ("ind_wr_buffer_size", "synchronisation buffer size [bytes]"),
+];
+
+/// Hints this implementation adds beyond the paper's two tables.
+pub const EXTENSIONS: [(&str, &str); 9] = [
+    (
+        "e10_cache_read",
+        "enable, disable (§VI future work: cache reads)",
+    ),
+    (
+        "e10_cache_evict",
+        "enable, disable (§III: streaming space management)",
+    ),
+    (
+        "e10_cache_hiwater",
+        "0..=100 percent (§III: multi-job admission high watermark)",
+    ),
+    (
+        "e10_cache_lowater",
+        "0..=100 percent (§III: eviction drains occupancy to here)",
+    ),
+    (
+        "e10_sync_policy",
+        "greedy, backoff (§III: congestion-aware sync)",
+    ),
+    (
+        "e10_fd_partition",
+        "even, aligned (footnote 1: BeeGFS driver alignment)",
+    ),
+    ("cb_config_list", "\"*:N\" (aggregators per node)"),
+    ("romio_no_indep_rw", "true, false (deferred open)"),
+    (
+        "romio_ds_write",
+        "enable, disable, automatic (data sieving)",
+    ),
+];
+
+/// The paper's experiment configuration (§IV) as an Info object.
+pub fn paper_info() -> Info {
+    Info::from_pairs([
+        ("romio_cb_write", "enable"),
+        ("cb_nodes", "64"),
+        ("cb_buffer_size", "4M"),
+        ("striping_unit", "4M"),
+        ("striping_factor", "4"),
+        ("ind_wr_buffer_size", "512K"),
+        ("e10_cache", "enable"),
+        ("e10_cache_path", "/scratch"),
+        ("e10_cache_flush_flag", "flush_immediate"),
+        ("e10_cache_discard_flag", "enable"),
+    ])
+}
+
+fn resolve() -> (RomioHints, RomioHints) {
+    let defaults = RomioHints::parse(&Info::new()).expect("defaults must parse");
+    let paper = RomioHints::parse(&paper_info()).expect("paper hints must parse");
+    (defaults, paper)
+}
+
+/// The complete text rendition — exactly the bytes committed as
+/// `results/tables.txt`.
+pub fn tables_text() -> String {
+    let (defaults, paper) = resolve();
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE I: Collective I/O hints in ROMIO");
+    let _ = writeln!(out, "{:<24} Description", "Hint");
+    for (hint, desc) in TABLE1 {
+        let _ = writeln!(out, "{hint:<24} {desc}");
+    }
+
+    let _ = writeln!(out, "\nTABLE II: Proposed MPI-IO hints extensions");
+    let _ = writeln!(out, "{:<24} Value", "Hint");
+    for (hint, vals) in TABLE2 {
+        let _ = writeln!(out, "{hint:<24} {vals}");
+    }
+
+    let _ = writeln!(
+        out,
+        "\nImplementation extensions beyond the paper's tables:"
+    );
+    for (hint, vals) in EXTENSIONS {
+        let _ = writeln!(out, "{hint:<24} {vals}");
+    }
+
+    let _ = writeln!(
+        out,
+        "\nResolved defaults (MPI_File_get_info on an empty Info):"
+    );
+    for (k, v) in defaults.to_pairs() {
+        let _ = writeln!(out, "  {k:<24} = {v}");
+    }
+
+    let _ = writeln!(out, "\nPaper configuration resolved:");
+    for (k, v) in paper.to_pairs() {
+        let _ = writeln!(out, "  {k:<24} = {v}");
+    }
+    out
+}
+
+/// The `--json` document.
+pub fn tables_json() -> Json {
+    let (defaults, paper) = resolve();
+    let hint_table = |rows: &[(&str, &str)]| {
+        Json::arr(rows.iter().map(|&(hint, desc)| {
+            Json::obj([("hint", Json::str(hint)), ("description", Json::str(desc))])
+        }))
+    };
+    let resolved = |h: &RomioHints| {
+        Json::obj(
+            h.to_pairs()
+                .into_iter()
+                .map(|(k, v)| (k, Json::Str(v)))
+                .collect::<Vec<_>>(),
+        )
+    };
+    Json::obj([
+        ("figure", Json::str("tables")),
+        ("table1_romio_hints", hint_table(&TABLE1)),
+        ("table2_e10_hints", hint_table(&TABLE2)),
+        ("implementation_extensions", hint_table(&EXTENSIONS)),
+        ("resolved_defaults", resolved(&defaults)),
+        ("resolved_paper_config", resolved(&paper)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_extension_hint_is_resolvable() {
+        // Each advertised extension must be a hint the parser actually
+        // understands (set it to a plausible value and parse).
+        for (hint, _) in EXTENSIONS {
+            let value = match hint {
+                "cb_config_list" => "*:2",
+                "romio_no_indep_rw" => "true",
+                "romio_ds_write" => "automatic",
+                "e10_sync_policy" => "backoff",
+                "e10_fd_partition" => "even",
+                "e10_cache_hiwater" | "e10_cache_lowater" => "50",
+                _ => "enable",
+            };
+            let info = Info::from_pairs([(hint, value)]);
+            RomioHints::parse(&info)
+                .unwrap_or_else(|e| panic!("extension hint {hint} rejected: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn text_and_json_agree_on_resolved_hints() {
+        let text = tables_text();
+        let doc = tables_json();
+        let Some(Json::Obj(pairs)) = doc.get("resolved_defaults").cloned() else {
+            panic!("resolved_defaults must be an object");
+        };
+        for (k, v) in pairs {
+            let Json::Str(v) = v else {
+                panic!("hint values are strings")
+            };
+            assert!(
+                text.contains(&format!("{k:<24} = {v}")),
+                "default {k} = {v} missing from the text table"
+            );
+        }
+    }
+}

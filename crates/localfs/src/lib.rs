@@ -18,6 +18,7 @@
 //!   fails with `NoSpace` when it fills, which ROMIO must handle by
 //!   falling back to the non-cached path.
 
+use std::any::Any;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Range;
@@ -160,6 +161,8 @@ pub struct LocalFs {
     ssd: Ssd,
     cache: PageCache,
     vol: Rc<RefCell<VolumeState>>,
+    /// Volume-wide attachment slot (see [`LocalFs::attachment`]).
+    attachment: Rc<RefCell<Option<Rc<dyn Any>>>>,
 }
 
 /// An open file on a [`LocalFs`].
@@ -184,7 +187,24 @@ impl LocalFs {
                 in_flight: BTreeMap::new(),
                 next_ticket: 0,
             })),
+            attachment: Rc::new(RefCell::new(None)),
         }
+    }
+
+    /// Get-or-create the volume-wide attachment of type `T`, shared by
+    /// every clone of this `LocalFs`. Higher layers use this to keep
+    /// exactly one piece of per-volume state (e.g. a cache arbiter)
+    /// without the volume knowing its type; the slot holds one value,
+    /// and asking for a different type replaces it.
+    pub fn attachment<T: Any>(&self, make: impl FnOnce() -> T) -> Rc<T> {
+        if let Some(existing) = self.attachment.borrow().as_ref() {
+            if let Ok(t) = Rc::clone(existing).downcast::<T>() {
+                return t;
+            }
+        }
+        let made = Rc::new(make());
+        *self.attachment.borrow_mut() = Some(Rc::clone(&made) as Rc<dyn Any>);
+        made
     }
 
     /// Create (or truncate-open) a file.

@@ -387,6 +387,128 @@ file: /gfs/plain.dat
         });
     }
 
+    /// Two independent deferred-close families for the conformance
+    /// tests below.
+    const TWO_FAMILY_CONFIG: &str = "\
+file: /gfs/chk*
+  e10_cache enable
+  e10_cache_flush_flag flush_onclose
+  e10_cache_discard_flag enable
+  deferred_close true
+
+file: /gfs/log*
+  e10_cache enable
+  e10_cache_flush_flag flush_onclose
+  e10_cache_discard_flag enable
+  deferred_close true
+";
+
+    #[test]
+    fn reopen_really_closes_the_old_handle_first() {
+        // Fig. 3 conformance: the deferred close of file k must have
+        // *actually completed* — handle closed, data synced — by the
+        // time the open of file k+1 returns, not merely be scheduled.
+        run(async {
+            let tb = TestbedSpec::small(1, 1).build();
+            let wrap = MpiWrap::new(tb.ctx(0), WrapConfig::parse(TWO_FAMILY_CONFIG).unwrap());
+            let f0 = wrap
+                .file_open("/gfs/chk.0", &Info::new(), true)
+                .await
+                .unwrap();
+            f0.write_contig(0, Payload::gen(80, 0, 4096)).await.unwrap();
+            let watch = f0.clone(); // shares the closed flag
+            let g0 = f0.global().clone();
+            wrap.file_close(f0).await;
+            // Deferred: success was reported but nothing closed.
+            assert!(!watch.is_closed());
+            assert_eq!(wrap.outstanding_count(), 1);
+            assert_eq!(g0.extents().covered_bytes(), 0);
+
+            let f1 = wrap
+                .file_open("/gfs/chk.1", &Info::new(), true)
+                .await
+                .unwrap();
+            // The old handle is really closed and its bytes persistent
+            // before the new open completes.
+            assert!(watch.is_closed());
+            assert_eq!(wrap.outstanding_count(), 0);
+            g0.extents().verify_gen(80, 0, 4096).unwrap();
+            wrap.file_close(f1).await;
+            wrap.finalize().await;
+        });
+    }
+
+    #[test]
+    fn finalize_drains_every_outstanding_family() {
+        // Two families defer closes independently; MPI_Finalize must
+        // really close both, syncing their caches.
+        run(async {
+            let tb = TestbedSpec::small(1, 1).build();
+            let wrap = MpiWrap::new(tb.ctx(0), WrapConfig::parse(TWO_FAMILY_CONFIG).unwrap());
+            let fc = wrap
+                .file_open("/gfs/chk.0", &Info::new(), true)
+                .await
+                .unwrap();
+            fc.write_contig(0, Payload::gen(81, 0, 2048)).await.unwrap();
+            let fl = wrap
+                .file_open("/gfs/log.0", &Info::new(), true)
+                .await
+                .unwrap();
+            fl.write_contig(0, Payload::gen(82, 0, 2048)).await.unwrap();
+            let (wc, wl) = (fc.clone(), fl.clone());
+            let (gc, gl) = (fc.global().clone(), fl.global().clone());
+            wrap.file_close(fc).await;
+            wrap.file_close(fl).await;
+            assert_eq!(wrap.outstanding_count(), 2);
+            assert!(!wc.is_closed() && !wl.is_closed());
+
+            wrap.finalize().await;
+            assert_eq!(wrap.outstanding_count(), 0);
+            assert!(wc.is_closed() && wl.is_closed());
+            gc.extents().verify_gen(81, 0, 2048).unwrap();
+            gl.extents().verify_gen(82, 0, 2048).unwrap();
+            let (deferred, real) = wrap.close_stats();
+            assert_eq!((deferred, real), (2, 2));
+        });
+    }
+
+    #[test]
+    fn open_of_other_family_leaves_outstanding_handle_untouched() {
+        // Only a same-family open flushes the deferred handle; files
+        // of other families (or none) must not disturb it.
+        run(async {
+            let tb = TestbedSpec::small(1, 1).build();
+            let wrap = MpiWrap::new(tb.ctx(0), WrapConfig::parse(TWO_FAMILY_CONFIG).unwrap());
+            let f0 = wrap
+                .file_open("/gfs/chk.0", &Info::new(), true)
+                .await
+                .unwrap();
+            let watch = f0.clone();
+            wrap.file_close(f0).await;
+            assert_eq!(wrap.outstanding_count(), 1);
+
+            // A different deferred family and an unconfigured file:
+            // neither touches the outstanding chk handle.
+            let fl = wrap
+                .file_open("/gfs/log.0", &Info::new(), true)
+                .await
+                .unwrap();
+            let fo = wrap
+                .file_open("/gfs/other.dat", &Info::new(), true)
+                .await
+                .unwrap();
+            assert!(!watch.is_closed());
+            wrap.file_close(fo).await; // unconfigured: closes for real
+            wrap.file_close(fl).await; // deferred alongside chk
+            assert!(!watch.is_closed());
+            assert_eq!(wrap.outstanding_count(), 2);
+
+            wrap.finalize().await;
+            assert!(watch.is_closed());
+            assert_eq!(wrap.outstanding_count(), 0);
+        });
+    }
+
     #[test]
     fn user_hints_are_overridden_by_config() {
         run(async {

@@ -35,6 +35,7 @@ use e10_simcore::trace::{self, Event, EventKind, Layer};
 use e10_simcore::{channel, JoinHandle, Sender, SimDuration};
 use e10_storesim::{pieces_digest, ExtentMap, Payload, Source};
 
+use crate::arbiter::{Admission, CacheArbiter};
 use crate::error::Error;
 use crate::hints::{FlushFlag, RomioHints, SyncPolicy};
 use crate::journal::{self, Record};
@@ -78,6 +79,16 @@ pub struct CacheConfig {
     /// Scrub resident extents this often, in simulated milliseconds;
     /// `0` disables scrubbing (`e10_integrity_scrub_ms`).
     pub scrub_ms: u64,
+    /// Arbiter tenant identity: files of one application stream share
+    /// a job. Defaults to the basename's family (trailing `.<digits>`
+    /// phase suffix stripped).
+    pub job: String,
+    /// Arbiter high watermark, percent of node-local capacity
+    /// (`e10_cache_hiwater`); 0 leaves this job unmanaged.
+    pub hiwater: u64,
+    /// Arbiter low watermark, percent (`e10_cache_lowater`); 0
+    /// resolves to `hiwater` (no hysteresis band).
+    pub lowater: u64,
 }
 
 impl CacheConfig {
@@ -99,6 +110,9 @@ impl CacheConfig {
             journal_path: h.e10_cache_journal_path,
             integrity: h.e10_integrity,
             scrub_ms: h.e10_integrity_scrub_ms,
+            job: crate::arbiter::job_family(file_basename).to_string(),
+            hiwater: h.e10_cache_hiwater,
+            lowater: h.e10_cache_lowater,
         }
     }
 
@@ -124,6 +138,9 @@ impl CacheConfig {
             journal_path: hints.e10_cache_journal_path.clone(),
             integrity: hints.e10_integrity,
             scrub_ms: hints.e10_integrity_scrub_ms,
+            job: crate::arbiter::job_family(file_basename).to_string(),
+            hiwater: hints.e10_cache_hiwater,
+            lowater: hints.e10_cache_lowater,
         }
     }
 
@@ -204,7 +221,14 @@ struct SyncMsg {
     /// Set when the application is blocked waiting (flush/close):
     /// overrides the backoff policy.
     urgent: bool,
+    /// Cache-file write epoch when the extent was posted (see
+    /// [`CacheArbiter::note_write`]); 0 for unmanaged jobs.
+    epoch: u64,
 }
+
+/// A write staged under `flush_onclose`, awaiting the close-time
+/// flush: `(offset, len, held range lock, write epoch)`.
+type DeferredExtent = (u64, u64, Option<RangeLockGuard>, u64);
 
 struct CacheInner {
     file: LocalFile,
@@ -214,10 +238,12 @@ struct CacheInner {
     localfs: LocalFs,
     global: PfsHandle,
     cfg: CacheConfig,
+    /// The node's shared multi-tenant arbiter (one per volume).
+    arbiter: Rc<CacheArbiter>,
     tx: RefCell<Option<Sender<SyncMsg>>>,
     sync_task: RefCell<Option<JoinHandle<()>>>,
     outstanding: RefCell<Vec<Grequest>>,
-    deferred: RefCell<Vec<(u64, u64, Option<RangeLockGuard>)>>,
+    deferred: RefCell<Vec<DeferredExtent>>,
     degraded: Rc<Cell<bool>>,
     bytes_cached: Cell<u64>,
     bytes_synced: Rc<Cell<u64>>,
@@ -383,6 +409,8 @@ impl CacheLayer {
         journal: Option<LocalFile>,
     ) -> Result<CacheLayer, FsError> {
         cfg.ind_wr = cfg.ind_wr.max(1);
+        let arbiter = CacheArbiter::of(&localfs);
+        arbiter.register(&cfg.job, cfg.hiwater, cfg.lowater, cfg.ind_wr, cfg.node);
         let inner = Rc::new(CacheInner {
             cache_file_path: cfg.cache_file_path(),
             journal_file_path: cfg.journal_file_path(),
@@ -391,6 +419,7 @@ impl CacheLayer {
             localfs,
             global,
             cfg,
+            arbiter,
             tx: RefCell::new(None),
             sync_task: RefCell::new(None),
             outstanding: RefCell::new(Vec::new()),
@@ -521,7 +550,7 @@ impl CacheLayer {
         for &(offset, len) in &requeued {
             // The sync thread was started by `assemble` just above and
             // cannot have stopped yet.
-            let _ = layer.enqueue_sync(offset, len, None, false);
+            let _ = layer.enqueue_sync(offset, len, None, false, 0);
         }
         trace::emit(|| {
             Event::new(Layer::Romio, "cache.recovered", EventKind::Point)
@@ -556,6 +585,9 @@ impl CacheLayer {
         let int_err = Rc::clone(&self.inner.integrity_error);
         let mismatches = Rc::clone(&self.inner.integrity_mismatches);
         let repairs = Rc::clone(&self.inner.integrity_repairs);
+        let arbiter = Rc::clone(&self.inner.arbiter);
+        let job = self.inner.cfg.job.clone();
+        let managed = self.inner.cfg.hiwater > 0;
         let task = e10_simcore::spawn(async move {
             let mut last_scrub = e10_simcore::now();
             while let Some(msg) = rx.recv().await {
@@ -590,6 +622,15 @@ impl CacheLayer {
                         }
                     }
                     let n = ind_wr.min(end - pos);
+                    // Fair flush scheduling: with two or more
+                    // watermark-managed jobs on the node, each chunk
+                    // takes a deficit-round-robin turn so one job
+                    // cannot monopolise the sync path.
+                    let metered = if managed {
+                        arbiter.flush_begin(&job, n).await
+                    } else {
+                        false
+                    };
                     // Read back from the cache file (page-cache hit for
                     // recent data, SSD otherwise)...
                     let mut pieces = file.read(pos, n).await.unwrap_or_default();
@@ -689,6 +730,11 @@ impl CacheLayer {
                         // from the cache as soon as it is persistent
                         // globally.
                         if evict {
+                            let freed = if managed {
+                                file.extents().covered_bytes_in(pos, n)
+                            } else {
+                                0
+                            };
                             file.punch(pos, n).await;
                             if integrity {
                                 // Keep the mirror in lock-step with the
@@ -696,10 +742,31 @@ impl CacheLayer {
                                 // like with like.
                                 resident.borrow_mut().remove(pos, n);
                             }
+                            if managed {
+                                arbiter.note_freed(&job, freed);
+                            }
+                        } else if managed {
+                            // The chunk stays resident but is globally
+                            // persistent: offer it to the arbiter as an
+                            // eviction candidate under pressure.
+                            arbiter.note_synced(
+                                &job,
+                                &file,
+                                pos,
+                                n,
+                                msg.epoch,
+                                if integrity {
+                                    Some(Rc::clone(&resident))
+                                } else {
+                                    None
+                                },
+                                journal.clone(),
+                            );
                         }
                         synced.set(synced.get() + n);
                     }
                     pos += n;
+                    arbiter.flush_end(metered);
                 }
                 trace::emit(|| {
                     Event::new(Layer::Romio, "cache.sync", EventKind::End)
@@ -858,6 +925,7 @@ impl CacheLayer {
         len: u64,
         lock: Option<RangeLockGuard>,
         urgent: bool,
+        epoch: u64,
     ) -> Result<(), Error> {
         let tx = self.inner.tx.borrow();
         let Some(tx) = tx.as_ref() else {
@@ -871,6 +939,7 @@ impl CacheLayer {
             completer,
             lock,
             urgent,
+            epoch,
         })
         .ok();
         Ok(())
@@ -889,8 +958,39 @@ impl CacheLayer {
         if len == 0 {
             return Ok(true);
         }
+        // Multi-tenant admission. Unmanaged jobs (no watermark hints)
+        // skip every arbiter check and pay nothing on this path.
+        let managed = self.inner.cfg.hiwater > 0;
+        let mut epoch = 0;
+        let mut grow = 0;
+        if managed {
+            match self.inner.arbiter.admit(&self.inner.cfg.job, len).await {
+                Admission::Granted => {}
+                // Watermark pressure: write through this extent only.
+                Admission::Refused => return Ok(false),
+                // Reservation exhausted: the job degrades for good.
+                Admission::Exhausted => {
+                    self.inner.degraded.set(true);
+                    return Ok(false);
+                }
+            }
+            epoch = self.inner.arbiter.note_write(&self.inner.cache_file_path);
+            // A rewrite makes overlapping synced extents dirty again —
+            // they must stop being eviction candidates right now.
+            self.inner
+                .arbiter
+                .invalidate(&self.inner.cache_file_path, offset, len);
+            // Admission pre-charged the full write; only the hole
+            // bytes this write actually allocates stay charged
+            // (computed before the fallocate await so no concurrent
+            // task can skew it).
+            grow = len - self.inner.file.extents().covered_bytes_in(offset, len);
+        }
         // ADIOI_Cache_alloc: reserve space first so failure is clean.
         if let Err(e) = self.inner.file.fallocate(offset, len).await {
+            if managed {
+                self.inner.arbiter.note_freed(&self.inner.cfg.job, len);
+            }
             match e {
                 FsError::NoSpace { .. } => {
                     self.inner.degraded.set(true);
@@ -898,6 +998,13 @@ impl CacheLayer {
                 }
                 other => return Err(other),
             }
+        }
+        if managed {
+            // Rewrites of already-resident bytes were double-charged
+            // at admission; release the overlap.
+            self.inner
+                .arbiter
+                .note_freed(&self.inner.cfg.job, len - grow);
         }
         // Capture the intended content before the device sees it: the
         // mirror is the ground truth later verification compares
@@ -952,7 +1059,7 @@ impl CacheLayer {
         };
         match self.inner.cfg.flush_flag {
             FlushFlag::FlushImmediate => {
-                if self.enqueue_sync(offset, len, lock, false).is_err() {
+                if self.enqueue_sync(offset, len, lock, false, epoch).is_err() {
                     // Sync thread already gone (write raced a close):
                     // degrade so the caller re-issues this extent
                     // through the global file.
@@ -961,7 +1068,10 @@ impl CacheLayer {
                 }
             }
             FlushFlag::FlushOnClose => {
-                self.inner.deferred.borrow_mut().push((offset, len, lock));
+                self.inner
+                    .deferred
+                    .borrow_mut()
+                    .push((offset, len, lock, epoch));
             }
             FlushFlag::FlushNone => {}
         }
@@ -995,9 +1105,9 @@ impl CacheLayer {
     pub async fn flush(&self) -> Result<(), Error> {
         if self.inner.cfg.flush_flag != FlushFlag::FlushNone {
             let deferred: Vec<_> = self.inner.deferred.borrow_mut().drain(..).collect();
-            for (offset, len, lock) in deferred {
+            for (offset, len, lock, epoch) in deferred {
                 // The caller is about to wait: drain at full speed.
-                self.enqueue_sync(offset, len, lock, true)?;
+                self.enqueue_sync(offset, len, lock, true, epoch)?;
             }
             let reqs: Vec<Grequest> = self.inner.outstanding.borrow_mut().drain(..).collect();
             trace::emit(|| {
@@ -1040,7 +1150,18 @@ impl CacheLayer {
             t.await;
         }
         if self.inner.cfg.discard {
+            // Candidates must go before the unlink: punching an extent
+            // of an unlinked file would double-free volume accounting.
+            self.inner.arbiter.release_file(&self.inner.cache_file_path);
+            let remaining = if self.inner.cfg.hiwater > 0 {
+                self.inner.file.extents().covered_bytes()
+            } else {
+                0
+            };
             let _ = self.inner.localfs.unlink(&self.inner.cache_file_path).await;
+            self.inner
+                .arbiter
+                .note_freed(&self.inner.cfg.job, remaining);
             if self.inner.journal.is_some() {
                 let _ = self
                     .inner
@@ -1049,6 +1170,7 @@ impl CacheLayer {
                     .await;
             }
         }
+        self.inner.arbiter.unregister(&self.inner.cfg.job);
         flushed
     }
 }
@@ -1167,6 +1289,105 @@ mod tests {
             // Later writes keep reporting degraded.
             assert!(!layer.write(0, Payload::zero(1)).await.unwrap());
             layer.close().await.unwrap();
+        });
+    }
+
+    #[test]
+    fn reservation_exhaustion_degrades_managed_job_only() {
+        run(async {
+            let mut spec = TestbedSpec::small(2, 1);
+            spec.localfs.capacity = 1 << 20; // 1 MiB scratch
+            let tb = spec.build();
+            let ga = tb.pfs.create(0, "/gfs/joba", Striping::default()).await;
+            let gb = tb.pfs.create(0, "/gfs/jobb", Striping::default()).await;
+            let mk = |name: &str| {
+                let mut c = CacheConfig::new("/scratch", name, 0, 0);
+                c.hiwater = 80;
+                c.lowater = 50;
+                c
+            };
+            let la = CacheLayer::open(tb.localfs[0].clone(), ga.clone(), mk("joba"))
+                .await
+                .unwrap();
+            let lb = CacheLayer::open(tb.localfs[0].clone(), gb.clone(), mk("jobb"))
+                .await
+                .unwrap();
+            // hi = 838860 bytes over two managed jobs → 419430 each.
+            assert!(la.write(0, Payload::gen(1, 0, 400 << 10)).await.unwrap());
+            // This write would take job a past its reservation: the
+            // job degrades to write-through, exactly like ENOSPC.
+            assert!(!la
+                .write(400 << 10, Payload::gen(1, 400 << 10, 64 << 10))
+                .await
+                .unwrap());
+            assert!(la.is_degraded());
+            // The other tenant keeps its own reservation.
+            assert!(lb.write(0, Payload::gen(2, 0, 64 << 10)).await.unwrap());
+            assert!(!lb.is_degraded());
+            la.close().await.unwrap();
+            lb.close().await.unwrap();
+            assert!(ga.extents().verify_gen(1, 0, 400 << 10).is_ok());
+            assert!(gb.extents().verify_gen(2, 0, 64 << 10).is_ok());
+        });
+    }
+
+    #[test]
+    fn watermark_pressure_evicts_synced_extents_across_jobs() {
+        run(async {
+            let mut spec = TestbedSpec::small(2, 1);
+            spec.localfs.capacity = 1 << 20; // 1 MiB scratch
+            let tb = spec.build();
+            let mk = |name: &str| {
+                let mut c = CacheConfig::new("/scratch", name, 0, 0);
+                c.hiwater = 80;
+                c.lowater = 50;
+                c
+            };
+            let mut layers = Vec::new();
+            for name in ["joba", "jobb", "jobc"] {
+                let g = tb
+                    .pfs
+                    .create(0, &format!("/gfs/{name}"), Striping::default())
+                    .await;
+                layers.push((
+                    CacheLayer::open(tb.localfs[0].clone(), g.clone(), mk(name))
+                        .await
+                        .unwrap(),
+                    g,
+                ));
+            }
+            // Jobs a and b each stage 270 KiB and flush: synced bytes
+            // stay resident (no per-file evict flag) but become
+            // arbiter eviction candidates.
+            for (i, (layer, _)) in layers.iter().take(2).enumerate() {
+                assert!(layer
+                    .write(0, Payload::gen(i as u64, 0, 270 << 10))
+                    .await
+                    .unwrap());
+                layer.flush().await.unwrap();
+            }
+            let used_before = tb.localfs[0].statfs().1;
+            assert_eq!(used_before, 2 * (270 << 10));
+            // 128 KiB of non-tenant data (another application, no
+            // watermark hints) shares the volume.
+            let junk = tb.localfs[0].create("/scratch/other.dat").await.unwrap();
+            junk.fallocate(0, 128 << 10).await.unwrap();
+            // Job c's 270 KiB would push occupancy past the high
+            // watermark (838860): pressure trips, both synced extents
+            // are evicted, and the write is then admitted.
+            let (lc, gc) = &layers[2];
+            assert!(lc.write(0, Payload::gen(9, 0, 270 << 10)).await.unwrap());
+            let arb = CacheArbiter::of(&tb.localfs[0]);
+            let (_, _, evicted, _) = arb.stats();
+            assert_eq!(evicted, 2 * (270 << 10));
+            assert_eq!(tb.localfs[0].statfs().1, (128 << 10) + (270 << 10));
+            // Every job's bytes are intact in the global files.
+            for (i, (layer, g)) in layers.iter().enumerate() {
+                layer.close().await.unwrap();
+                let seed = if i == 2 { 9 } else { i as u64 };
+                assert!(g.extents().verify_gen(seed, 0, 270 << 10).is_ok());
+            }
+            let _ = gc;
         });
     }
 

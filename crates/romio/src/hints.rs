@@ -282,6 +282,17 @@ pub struct RomioHints {
     /// `0` (the default) disables scrubbing; ignored unless
     /// `e10_integrity` is enabled.
     pub e10_integrity_scrub_ms: u64,
+    /// `e10_cache_hiwater` (extension): cache-volume occupancy, in
+    /// percent, at which the per-node arbiter trips into pressure and
+    /// stops admitting new extents. `0` (the default) disables
+    /// watermark management entirely, leaving the single-tenant
+    /// behaviour of the paper.
+    pub e10_cache_hiwater: u64,
+    /// `e10_cache_lowater` (extension): occupancy, in percent, the
+    /// arbiter must drain to (by evicting fully-synced extents) before
+    /// admitting again after a high-watermark trip. `0` means "same as
+    /// hiwater" (no hysteresis). Must not exceed `e10_cache_hiwater`.
+    pub e10_cache_lowater: u64,
     /// `e10_trace` (extension): structured-trace destination.
     pub e10_trace: TraceMode,
     /// `e10_trace_path` (extension): directory for `jsonl` traces
@@ -314,6 +325,8 @@ impl Default for RomioHints {
             e10_cache_journal_path: None,
             e10_integrity: false,
             e10_integrity_scrub_ms: 0,
+            e10_cache_hiwater: 0,
+            e10_cache_lowater: 0,
             e10_trace: TraceMode::Off,
             e10_trace_path: "results/traces".to_string(),
         }
@@ -612,6 +625,26 @@ impl RomioHintsBuilder {
         self
     }
 
+    /// `e10_cache_hiwater` in percent (`0` disables watermarks).
+    pub fn e10_cache_hiwater(mut self, pct: u64) -> Self {
+        if pct > 100 {
+            self.invalid("e10_cache_hiwater", pct, "percentage 0..=100");
+        } else {
+            self.hints.e10_cache_hiwater = pct;
+        }
+        self
+    }
+
+    /// `e10_cache_lowater` in percent (`0` means "same as hiwater").
+    pub fn e10_cache_lowater(mut self, pct: u64) -> Self {
+        if pct > 100 {
+            self.invalid("e10_cache_lowater", pct, "percentage 0..=100");
+        } else {
+            self.hints.e10_cache_lowater = pct;
+        }
+        self
+    }
+
     /// `e10_trace`.
     pub fn e10_trace(mut self, mode: TraceMode) -> Self {
         self.hints.e10_trace = mode;
@@ -754,6 +787,16 @@ impl RomioHintsBuilder {
                 "non-negative integer milliseconds",
                 e10_integrity_scrub_ms
             ),
+            "e10_cache_hiwater" => or_invalid!(
+                value.trim().parse::<u64>().ok().filter(|&n| n <= 100),
+                "percentage 0..=100",
+                e10_cache_hiwater
+            ),
+            "e10_cache_lowater" => or_invalid!(
+                value.trim().parse::<u64>().ok().filter(|&n| n <= 100),
+                "percentage 0..=100",
+                e10_cache_lowater
+            ),
             "e10_trace" => or_invalid!(TraceMode::parse(value), "off|ring|jsonl", e10_trace),
             "e10_trace_path" => or_invalid!(
                 Some(value).filter(|v| !v.is_empty()),
@@ -767,6 +810,16 @@ impl RomioHintsBuilder {
 
     /// Finish: the hints, or every violation recorded along the way.
     pub fn build(mut self) -> Result<RomioHints, HintErrors> {
+        // Cross-field check: a low watermark above the high watermark
+        // would make the hysteresis band negative. Only meaningful once
+        // both are set; `0` keeps its sentinel meaning.
+        if self.hints.e10_cache_lowater > 0
+            && self.hints.e10_cache_hiwater > 0
+            && self.hints.e10_cache_lowater > self.hints.e10_cache_hiwater
+        {
+            let v = self.hints.e10_cache_lowater;
+            self.invalid("e10_cache_lowater", v, "at most e10_cache_hiwater");
+        }
         if self.errors.is_empty() {
             Ok(self.hints)
         } else {
@@ -872,6 +925,14 @@ impl RomioHints {
             "e10_integrity_scrub_ms".into(),
             self.e10_integrity_scrub_ms.to_string(),
         ));
+        out.push((
+            "e10_cache_hiwater".into(),
+            self.e10_cache_hiwater.to_string(),
+        ));
+        out.push((
+            "e10_cache_lowater".into(),
+            self.e10_cache_lowater.to_string(),
+        ));
         out.push(("e10_trace".into(), self.e10_trace.as_str().into()));
         out.push(("e10_trace_path".into(), self.e10_trace_path.clone()));
         out
@@ -892,6 +953,23 @@ impl RomioHints {
     /// True if any E10 cache behaviour is requested.
     pub fn cache_requested(&self) -> bool {
         self.e10_cache != CacheMode::Disable
+    }
+
+    /// The effective watermark pair `(hiwater, lowater)` in percent,
+    /// or `None` when watermark management is disabled
+    /// (`e10_cache_hiwater = 0`). A zero low watermark resolves to the
+    /// high watermark (admission resumes as soon as occupancy falls
+    /// below the trip point — no hysteresis band).
+    pub fn watermarks(&self) -> Option<(u64, u64)> {
+        if self.e10_cache_hiwater == 0 {
+            return None;
+        }
+        let lo = if self.e10_cache_lowater == 0 {
+            self.e10_cache_hiwater
+        } else {
+            self.e10_cache_lowater
+        };
+        Some((self.e10_cache_hiwater, lo))
     }
 }
 
@@ -1088,6 +1166,45 @@ mod tests {
     }
 
     #[test]
+    fn watermark_hints_parse_validate_and_resolve() {
+        let info = Info::from_pairs([("e10_cache_hiwater", "90"), ("e10_cache_lowater", "70")]);
+        let h = RomioHints::parse(&info).unwrap();
+        assert_eq!(h.e10_cache_hiwater, 90);
+        assert_eq!(h.e10_cache_lowater, 70);
+        assert_eq!(h.watermarks(), Some((90, 70)));
+
+        // Defaults: watermark management off.
+        let d = RomioHints::default();
+        assert_eq!((d.e10_cache_hiwater, d.e10_cache_lowater), (0, 0));
+        assert_eq!(d.watermarks(), None);
+
+        // Zero lowater resolves to the hiwater (no hysteresis band).
+        let h = RomioHints::builder().e10_cache_hiwater(80).build().unwrap();
+        assert_eq!(h.watermarks(), Some((80, 80)));
+
+        // Out-of-range and inverted pairs are rejected with context.
+        for (k, v) in [
+            ("e10_cache_hiwater", "101"),
+            ("e10_cache_hiwater", "-1"),
+            ("e10_cache_lowater", "200"),
+            ("e10_cache_hiwater", "lots"),
+        ] {
+            let info = Info::from_pairs([(k, v)]);
+            assert!(RomioHints::parse(&info).is_err(), "{k}={v} must fail");
+        }
+        let err = RomioHints::builder()
+            .e10_cache_hiwater(60)
+            .e10_cache_lowater(80)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.first().key, "e10_cache_lowater");
+        assert!(err.first().to_string().contains("at most"));
+        // The same inversion through the string surface.
+        let info = Info::from_pairs([("e10_cache_hiwater", "60"), ("e10_cache_lowater", "80")]);
+        assert!(RomioHints::from_info(&info).is_err());
+    }
+
+    #[test]
     fn unknown_hints_are_ignored() {
         let info = Info::from_pairs([("some_vendor_hint", "whatever")]);
         assert!(RomioHints::parse(&info).is_ok());
@@ -1117,6 +1234,8 @@ mod tests {
             .e10_trace_path("results/traces/x")
             .e10_cache_journal(true)
             .e10_cache_journal_path("/scratch/j.jnl")
+            .e10_cache_hiwater(85)
+            .e10_cache_lowater(65)
             .build()
             .unwrap();
         let h2 = RomioHints::from_info(&h.to_info()).unwrap();

@@ -51,6 +51,16 @@ pub enum Record {
         /// [`e10_storesim::ExtentMap::digest`] over the extent.
         digest: u64,
     },
+    /// Extent `[offset, offset+len)` was punched from the cache file by
+    /// the arbiter under watermark pressure (format version 3,
+    /// advisory: only synced extents are evictable, so the preceding
+    /// `Synced` record already keeps it out of the unsynced set).
+    Evicted {
+        /// File offset of the punched extent.
+        offset: u64,
+        /// Punched length in bytes.
+        len: u64,
+    },
 }
 
 impl Record {
@@ -59,6 +69,7 @@ impl Record {
             Record::Add { offset, len } => (1, offset, len),
             Record::Synced { offset, len } => (2, offset, len),
             Record::Cksum { offset, digest } => (3, offset, digest),
+            Record::Evicted { offset, len } => (4, offset, len),
         }
     }
 
@@ -95,6 +106,7 @@ impl Record {
                 offset,
                 digest: len,
             }),
+            4 => Some(Record::Evicted { offset, len }),
             _ => None,
         }
     }
@@ -118,7 +130,7 @@ impl Replay {
             match *r {
                 Record::Add { offset, len } => map.insert(offset, len, e10_storesim::Source::Zero),
                 Record::Synced { offset, len } => map.remove(offset, len),
-                Record::Cksum { .. } => {}
+                Record::Cksum { .. } | Record::Evicted { .. } => {}
             }
         }
         map.iter()
@@ -293,6 +305,37 @@ mod tests {
         assert!(!rep.torn);
         assert!(rep.digests().is_empty());
         assert_eq!(rep.unsynced(), vec![(256, 768)]);
+    }
+
+    #[test]
+    fn evicted_records_roundtrip_and_do_not_resurrect_extents() {
+        let r = Record::Evicted {
+            offset: 8192,
+            len: 512,
+        };
+        assert_eq!(Record::decode(&r.encode()), Some(r));
+        // An evicted extent was synced first; the advisory Evicted
+        // record must not change the unsynced set either way.
+        let mut log = Vec::new();
+        for r in [
+            Record::Add {
+                offset: 8192,
+                len: 512,
+            },
+            Record::Synced {
+                offset: 8192,
+                len: 512,
+            },
+            Record::Evicted {
+                offset: 8192,
+                len: 512,
+            },
+        ] {
+            log.extend_from_slice(&r.encode());
+        }
+        let rep = replay(&log);
+        assert!(!rep.torn);
+        assert!(rep.unsynced().is_empty());
     }
 
     #[test]

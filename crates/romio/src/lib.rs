@@ -19,12 +19,15 @@
 //! * [`cache`] — the E10 cache layer: cache file, `fallocate`
 //!   allocation, sync thread, generalized-request completion, coherent
 //!   locking, discard policy.
+//! * [`arbiter`] — per-node multi-tenant admission, watermark eviction
+//!   and fair flush scheduling across jobs sharing the cache device.
 //! * [`fd`] — file-domain partitioning and aggregator selection.
 //! * [`profile`] — MPE-style phase accounting (the breakdown figures).
 //! * [`bwmodel`] — Equations 1 and 2 (perceived bandwidth).
 //! * [`testbed`] — the simulated DEEP-ER cluster assembly.
 
 pub mod adio;
+pub mod arbiter;
 pub mod baselines;
 pub mod bwmodel;
 pub mod cache;
@@ -39,6 +42,7 @@ pub mod sieve;
 pub mod testbed;
 
 pub use adio::{AdioError, AdioFile, DataSpec};
+pub use arbiter::{job_family, Admission, CacheArbiter};
 pub use baselines::{group_of, write_at_all_multifile, write_at_all_partitioned};
 pub use cache::{CacheConfig, CacheLayer, RecoverError, RecoveryReport};
 pub use collective::{write_at_all, WriteAllResult};

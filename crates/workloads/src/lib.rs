@@ -17,6 +17,7 @@ pub mod crash;
 pub mod driver;
 pub mod flashio;
 pub mod ior;
+pub mod multi_job;
 
 pub use chaos::{
     chaos_case, random_plan, shrink_plan, ChaosCase, ChaosReport, ChaosVerdict, ChaosWorkload,
@@ -26,6 +27,7 @@ pub use crash::{run_crash_recovery, CrashConfig, CrashConfigError, CrashOutcome}
 pub use driver::{run_workload, PhaseOutcome, RunConfig, RunOutcome, TraceConfig, TraceReport};
 pub use flashio::{FlashFile, FlashIo};
 pub use ior::Ior;
+pub use multi_job::{run_multi_job, JobOutcome, MultiJobOutcome, MultiJobSpec};
 
 use e10_mpisim::FileView;
 

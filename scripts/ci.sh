@@ -6,7 +6,9 @@
 #
 # Steps:
 #   1. release build of every crate, bins included
-#   2. full test suite (unit + integration + property + doc tests)
+#   2. full test suite (unit + integration + property + doc tests),
+#      with a per-suite/total test-count summary from the harness
+#      "test result:" lines
 #   3. formatting
 #   4. clippy, warnings promoted to errors
 #   5. fault-matrix smoke: stalls/link faults/RPC failures across the
@@ -16,7 +18,12 @@
 #   6. bench_baseline smoke: the parallel sweep must produce
 #      byte-identical figures and bit-identical sim times vs the
 #      sequential path (exit != 0 on divergence)
-#   7. chaos-soak smoke: fixed-seed randomized corruption schedules
+#   7. multi_job smoke: the fixed-seed multi-tenant cache arms; the
+#      binary itself gates on the contended arm degrading + evicting
+#      while the control arms stay clean, and the JSON output (minus
+#      the host_secs wall-clock field) must be byte-identical at
+#      E10_JOBS=1 and E10_JOBS=8
+#   8. chaos-soak smoke: fixed-seed randomized corruption schedules
 #      (SSD bit-flips/torn sectors, wire corruption, lazy PFS rot,
 #      stalls, RPC failures) against the fault-free oracle; exit != 0
 #      if any seed silently diverges from the oracle's bytes. Journal
@@ -36,7 +43,18 @@ step() {
 
 step cargo build --release --workspace
 
-step cargo test -q --workspace
+echo "==> cargo test -q --workspace"
+t0=$SECONDS
+mkdir -p target
+cargo test -q --workspace 2>&1 | tee target/ci-test.log
+awk '/^test result:/ {
+       suites += 1; passed += $4; failed += $6
+     }
+     END {
+       printf "    test summary: %d suites, %d passed, %d failed\n",
+              suites, passed, failed
+     }' target/ci-test.log
+echo "    [$(($SECONDS - t0))s] cargo test"
 
 step cargo fmt --all --check
 
@@ -51,6 +69,21 @@ echo "==> bench_baseline smoke (parallel vs sequential divergence gate)"
 t0=$SECONDS
 cargo run --release -q -p e10-bench --bin bench_baseline -- --smoke --jobs 4 --out -
 echo "    [$(($SECONDS - t0))s] bench_baseline smoke"
+
+echo "==> multi_job smoke (arbiter gate + E10_JOBS=1 vs 8 byte-identity)"
+t0=$SECONDS
+E10_JOBS=1 cargo run --release -q -p e10-bench --bin multi_job -- --json \
+  > target/ci-multi-job-1.json
+E10_JOBS=8 cargo run --release -q -p e10-bench --bin multi_job -- --json \
+  > target/ci-multi-job-8.json
+# host_secs is the only wall-clock (non-simulated) field; everything
+# else must not depend on the worker count.
+sed 's/"host_secs":[^,]*,//' target/ci-multi-job-1.json \
+  > target/ci-multi-job-1.stripped.json
+sed 's/"host_secs":[^,]*,//' target/ci-multi-job-8.json \
+  > target/ci-multi-job-8.stripped.json
+cmp target/ci-multi-job-1.stripped.json target/ci-multi-job-8.stripped.json
+echo "    [$(($SECONDS - t0))s] multi_job smoke"
 
 echo "==> chaos-soak smoke (E10_JOBS=4, fixed seeds, divergence gate)"
 t0=$SECONDS

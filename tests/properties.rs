@@ -4,10 +4,19 @@
 
 use proptest::prelude::*;
 
+use e10_repro::localfs::LocalFs;
 use e10_repro::prelude::*;
-use e10_repro::romio::{FdStrategy, FileDomains, RomioHints};
+use e10_repro::romio::{Admission, CacheArbiter, FdStrategy, FileDomains, RomioHints};
 use e10_repro::simcore::resource::water_fill;
-use e10_repro::storesim::{ExtentMap, Source};
+use e10_repro::storesim::{ExtentMap, Payload, Source};
+
+/// A one-node testbed's local volume with the given cache capacity —
+/// the arbiter property tests drive [`CacheArbiter`] directly on it.
+fn arbiter_fs(capacity: u64) -> LocalFs {
+    let mut spec = TestbedSpec::small(1, 1);
+    spec.localfs.capacity = capacity;
+    spec.build().localfs[0].clone()
+}
 
 /// Partition `[0, total)` into segments with random owners; returns
 /// per-rank sorted block lists that tile the range exactly.
@@ -346,6 +355,148 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Watermark eviction may only ever punch fully-synced extents:
+    /// whatever mix of synced and unsynced staging a schedule builds,
+    /// after any eviction pass every unsynced extent is still fully
+    /// resident in its cache file.
+    #[test]
+    fn eviction_never_drops_an_unsynced_extent(
+        ops in prop::collection::vec((1u64..40_000, any::<bool>()), 1..16),
+        target in 0u64..800_000,
+    ) {
+        e10_simcore::run(async move {
+            let fs = arbiter_fs(1 << 20);
+            let arb = CacheArbiter::of(&fs);
+            arb.register("a", 80, 50, 4096, 0);
+            let file = fs.create("/scratch/a.0.e10").await.unwrap();
+            // Disjoint slots so the whole-extent candidate model stays
+            // exact: extent i lives at i * 50_000.
+            let mut unsynced: Vec<(u64, u64)> = Vec::new();
+            let mut unsynced_total = 0u64;
+            for (i, &(len, synced)) in ops.iter().enumerate() {
+                let off = i as u64 * 50_000;
+                file.fallocate(off, len).await.unwrap();
+                file.write(off, Payload::gen(9, off, len)).await.unwrap();
+                arb.note_staged("a", len);
+                if synced {
+                    arb.note_synced("a", &file, off, len, 0, None, None);
+                } else {
+                    unsynced.push((off, len));
+                    unsynced_total += len;
+                }
+            }
+            let used_before = fs.statfs().1;
+            let (_, _, evicted_before, _) = arb.stats();
+            arb.evict_down_to(target).await;
+            let used_after = fs.statfs().1;
+            // Only synced bytes went, and the pass stopped either at
+            // the target or when candidates ran out.
+            assert!(used_after >= unsynced_total);
+            assert!(used_after <= target.max(unsynced_total));
+            let (_, _, evicted_after, _) = arb.stats();
+            assert_eq!(evicted_after - evicted_before, used_before - used_after);
+            for &(off, len) in &unsynced {
+                assert_eq!(
+                    file.extents().covered_bytes_in(off, len),
+                    len,
+                    "unsynced extent [{off}, +{len}) lost bytes"
+                );
+            }
+            // Even a drain-to-zero keeps exactly the unsynced bytes.
+            arb.evict_down_to(0).await;
+            assert_eq!(fs.statfs().1, unsynced_total);
+        });
+    }
+
+    /// Per-job staged-byte accounting is exact under random admit /
+    /// free schedules: the arbiter's count matches a naive model, and
+    /// reservation exhaustion fires exactly when the model says.
+    #[test]
+    fn staged_accounting_matches_model(
+        ops in prop::collection::vec(
+            (0usize..3, 1u64..150_000, any::<bool>()),
+            1..40,
+        ),
+    ) {
+        e10_simcore::run(async move {
+            let fs = arbiter_fs(1_000_000);
+            let arb = CacheArbiter::of(&fs);
+            let names = ["a", "b", "c"];
+            for n in names {
+                arb.register(n, 80, 50, 4096, 0);
+            }
+            let reservation = (1_000_000 * 80 / 100) / 3;
+            let mut model = [0u64; 3];
+            let mut exhausted = 0u64;
+            for (j, len, is_free) in ops {
+                if is_free {
+                    arb.note_freed(names[j], len);
+                    model[j] = model[j].saturating_sub(len);
+                } else if model[j] + len > reservation {
+                    assert_eq!(arb.admit(names[j], len).await, Admission::Exhausted);
+                    exhausted += 1;
+                } else {
+                    assert_eq!(arb.admit(names[j], len).await, Admission::Granted);
+                    model[j] += len;
+                }
+                for (k, n) in names.iter().enumerate() {
+                    assert_eq!(arb.staged(n), model[k], "job {n} accounting drifted");
+                }
+            }
+            let (_, _, _, degrades) = arb.stats();
+            assert_eq!(degrades, exhausted);
+        });
+    }
+
+    /// Watermark hysteresis: once the high watermark trips and the
+    /// drain target cannot be reached (non-evictable occupancy), every
+    /// admit is refused — no admission sneaks in between the trip and
+    /// the drain below the low watermark — and refusals never leak
+    /// staged-byte charges.
+    #[test]
+    fn hysteresis_admits_nothing_between_trip_and_drain(
+        junk_len in 810_000u64..950_000,
+        synced_len in 1u64..50_000,
+        admits in prop::collection::vec(1_000u64..50_000, 1..10),
+    ) {
+        e10_simcore::run(async move {
+            let fs = arbiter_fs(1_000_000);
+            let arb = CacheArbiter::of(&fs);
+            arb.register("a", 80, 50, 4096, 0);
+            arb.register("b", 80, 50, 4096, 0);
+            // Job a holds a small synced (evictable) extent; the rest
+            // of the volume is non-tenant occupancy the arbiter cannot
+            // punch, parked above the 800k high watermark.
+            let fa = fs.create("/scratch/a.0.e10").await.unwrap();
+            fa.fallocate(0, synced_len).await.unwrap();
+            arb.note_staged("a", synced_len);
+            arb.note_synced("a", &fa, 0, synced_len, 0, None, None);
+            let junk = fs.create("/scratch/junk.dat").await.unwrap();
+            junk.fallocate(0, junk_len).await.unwrap();
+
+            for &len in &admits {
+                assert_eq!(arb.admit("b", len).await, Admission::Refused);
+                assert!(arb.under_pressure("b"));
+                assert_eq!(arb.staged("b"), 0, "refusal leaked a charge");
+            }
+            // The first refusal already drained everything evictable.
+            assert_eq!(arb.staged("a"), 0);
+            assert_eq!(fs.statfs().1, junk_len);
+
+            // Occupancy drops below the low watermark: the latched
+            // retry admits again and the pressure flag clears.
+            junk.punch(0, junk_len).await;
+            let len = admits[0];
+            assert_eq!(arb.admit("b", len).await, Admission::Granted);
+            assert!(!arb.under_pressure("b"));
+            assert_eq!(arb.staged("b"), len);
+        });
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
 
     /// Whatever faults a random schedule throws — a node crash at a
@@ -390,5 +541,30 @@ proptest! {
             assert!(out.lost.is_empty() && out.failed.is_empty());
             out.verified.expect("recovered file must match the generator");
         });
+    }
+}
+
+/// Promoted from `tests/properties.proptest-regressions`: the shrunk
+/// counterexample proptest once found for [`file_domains_invariants`]
+/// (an unaligned interior boundary with a stripe-aligned strategy).
+/// Running it unconditionally keeps the regression covered even when
+/// the seed file is ignored (e.g. `PROPTEST_CASES=0` or a checkout
+/// that drops dotfile-adjacent artifacts).
+#[test]
+fn promoted_seed_file_domains_stripe_aligned_interior_boundaries() {
+    let (min_st, len, naggs) = (297_613u64, 5_993_844u64, 3usize);
+    let unit = 1u64 << 12;
+    let fds = FileDomains::compute(min_st, min_st + len, naggs, FdStrategy::StripeAligned, unit);
+    fds.validate(min_st, min_st + len).unwrap();
+    for probe in [min_st, min_st + len / 2, min_st + len - 1] {
+        let a = fds.aggregator_of(probe).expect("offset inside range");
+        assert!(fds.starts[a] <= probe && probe < fds.ends[a]);
+    }
+    assert_eq!(fds.aggregator_of(min_st + len), None);
+    for a in 0..fds.len() - 1 {
+        let b = fds.ends[a];
+        if b != min_st && b != min_st + len {
+            assert_eq!(b % unit, 0, "interior boundary {b} unaligned");
+        }
     }
 }
