@@ -4,10 +4,11 @@
 //! Grid points run on the `E10_JOBS` worker pool; `--json` emits the
 //! machine-readable form.
 use e10_bench::{emit_bandwidth_figure, run_full_sweep, Scale};
+use e10_workloads::CollPerf;
 
 fn main() {
     let scale = Scale::from_env();
-    let points = run_full_sweep(scale, move || scale.collperf(), false);
+    let points = run_full_sweep(scale, move || scale.workload::<CollPerf>(), false);
     emit_bandwidth_figure(
         "fig4",
         "Fig. 4 — coll_perf perceived bandwidth (aggregators_collbuf)",

@@ -1,10 +1,11 @@
 //! Figure 7: Flash-IO perceived write bandwidth for all combinations.
 //! Runs on the `E10_JOBS` worker pool; `--json` for machine output.
 use e10_bench::{emit_bandwidth_figure, run_full_sweep, Scale};
+use e10_workloads::FlashIo;
 
 fn main() {
     let scale = Scale::from_env();
-    let points = run_full_sweep(scale, move || scale.flashio(), false);
+    let points = run_full_sweep(scale, move || scale.workload::<FlashIo>(), false);
     emit_bandwidth_figure(
         "fig7",
         "Fig. 7 — Flash-IO perceived bandwidth (aggregators_collbuf)",

@@ -3,10 +3,11 @@
 //! write phase (paper §IV-D), which caps the cache-enabled peak.
 //! Runs on the `E10_JOBS` worker pool; `--json` for machine output.
 use e10_bench::{emit_bandwidth_figure, run_full_sweep, Scale};
+use e10_workloads::Ior;
 
 fn main() {
     let scale = Scale::from_env();
-    let points = run_full_sweep(scale, move || scale.ior(), true);
+    let points = run_full_sweep(scale, move || scale.workload::<Ior>(), true);
     emit_bandwidth_figure(
         "fig9",
         "Fig. 9 — IOR perceived bandwidth, incl. last-phase sync",

@@ -30,7 +30,9 @@ pub use json::{json_mode, Json};
 use e10_mpisim::Info;
 use e10_romio::TestbedSpec;
 use e10_simcore::SimDuration;
-use e10_workloads::{run_workload, CollPerf, FlashIo, Ior, RunConfig, RunOutcome, Workload};
+use e10_workloads::{
+    run_workload, CollPerf, FlashIo, Ior, RunConfig, RunOutcome, Workload, WorkloadSpec,
+};
 
 /// The three measurement cases of Fig. 4/7/9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,46 +153,30 @@ impl Scale {
         }
     }
 
+    /// Any paper workload at this scale, via its [`WorkloadSpec`]
+    /// constructors (full → `paper()`, quick → `quick(procs)`, test →
+    /// `tiny_for(procs)`).
+    pub fn workload<W: WorkloadSpec>(&self) -> W {
+        match self {
+            Scale::Full => W::paper(),
+            Scale::Quick => W::quick(self.procs()),
+            Scale::Test => W::tiny_for(self.procs()),
+        }
+    }
+
     /// The coll_perf workload at this scale.
     pub fn collperf(&self) -> CollPerf {
-        match self {
-            Scale::Full => CollPerf::paper_512(),
-            Scale::Quick => CollPerf {
-                grid: [4, 4, 4],
-                side: 4,
-                chunk: 64 << 10, // 4 MB per rank, 256 MB files
-            },
-            Scale::Test => CollPerf::tiny([2, 2, 2]),
-        }
+        self.workload()
     }
 
     /// The Flash-IO checkpoint workload at this scale.
     pub fn flashio(&self) -> FlashIo {
-        match self {
-            Scale::Full => FlashIo::paper_checkpoint_512(),
-            Scale::Quick => FlashIo {
-                nprocs: 64,
-                blocks_per_proc: 8,
-                zones: 8,
-                nvars: 6,
-                file: e10_workloads::FlashFile::Checkpoint,
-            },
-            Scale::Test => FlashIo::tiny(8),
-        }
+        self.workload()
     }
 
     /// The IOR workload at this scale.
     pub fn ior(&self) -> Ior {
-        match self {
-            Scale::Full => Ior::paper_512(),
-            Scale::Quick => Ior {
-                nprocs: 64,
-                block_size: 1 << 20,
-                transfer_size: 1 << 20,
-                segments: 4,
-            },
-            Scale::Test => Ior::tiny(8),
-        }
+        self.workload()
     }
 }
 

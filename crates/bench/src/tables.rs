@@ -29,7 +29,11 @@ pub const TABLE2: [(&str, &str); 5] = [
 ];
 
 /// Hints this implementation adds beyond the paper's two tables.
-pub const EXTENSIONS: [(&str, &str); 9] = [
+pub const EXTENSIONS: [(&str, &str); 10] = [
+    (
+        "e10_two_phase",
+        "stock, extended, node_agg (collective-write algorithm)",
+    ),
     (
         "e10_cache_read",
         "enable, disable (§VI future work: cache reads)",
@@ -165,6 +169,7 @@ mod tests {
                 "romio_ds_write" => "automatic",
                 "e10_sync_policy" => "backoff",
                 "e10_fd_partition" => "even",
+                "e10_two_phase" => "node_agg",
                 "e10_cache_hiwater" | "e10_cache_lowater" => "50",
                 _ => "enable",
             };

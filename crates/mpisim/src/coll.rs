@@ -474,6 +474,15 @@ impl Comm {
         }
     }
 
+    /// `MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)`: split into
+    /// intra-node sub-communicators — ranks sharing a compute node form
+    /// one communicator, ordered by their rank in `self`. Rank 0 of
+    /// each sub-communicator (the node's lowest parent rank) is the
+    /// natural node leader. Collective over the parent communicator.
+    pub async fn split_by_node(&self) -> Comm {
+        self.split(self.node() as u32, self.rank() as u64).await
+    }
+
     /// `MPI_Gather` to `root`: returns `Some(vec)` on the root, `None`
     /// elsewhere.
     pub async fn gather<T: Clone + 'static>(

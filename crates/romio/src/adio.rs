@@ -64,6 +64,9 @@ pub struct AdioFile {
     atomic: Rc<Cell<bool>>,
     closed: Rc<Cell<bool>>,
     io_error: Rc<RefCell<Option<Error>>>,
+    /// Intra-node subcommunicator, created lazily by the first
+    /// node-agg collective and cached for the file's lifetime.
+    node_comm: Rc<RefCell<Option<Comm>>>,
 }
 
 impl AdioFile {
@@ -145,7 +148,23 @@ impl AdioFile {
             atomic: Rc::new(Cell::new(false)),
             closed: Rc::new(Cell::new(false)),
             io_error: Rc::new(RefCell::new(None)),
+            node_comm: Rc::new(RefCell::new(None)),
         })
+    }
+
+    /// The intra-node subcommunicator
+    /// (`MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)`), used by the
+    /// `e10_two_phase = node_agg` pre-phase. Collective on first call
+    /// (every rank of the file's communicator must participate);
+    /// cached afterwards.
+    pub async fn node_comm(&self) -> Comm {
+        let cached = self.node_comm.borrow().clone();
+        if let Some(c) = cached {
+            return c;
+        }
+        let c = self.comm.split_by_node().await;
+        *self.node_comm.borrow_mut() = Some(c.clone());
+        c
     }
 
     /// The resolved hints (`MPI_File_get_info`).
@@ -368,6 +387,8 @@ impl AdioFile {
             atomic: Rc::clone(&self.atomic),
             closed: Rc::clone(&self.closed),
             io_error: Rc::clone(&self.io_error),
+            // Node split depends on the communicator: never shared.
+            node_comm: Rc::new(RefCell::new(None)),
         }
     }
 }

@@ -1,4 +1,4 @@
-//! The extended two-phase collective write
+//! The two-phase collective write
 //! (`ADIOI_GEN_WriteStridedColl` → `ADIOI_Exch_and_write` →
 //! `ADIOI_W_Exchange_data`, Fig. 2 of the paper).
 //!
@@ -16,16 +16,28 @@
 //! 5. a final `MPI_Allreduce` exchanging error codes — the
 //!    "post_write" global synchronisation, bottlenecked by the slowest
 //!    writer.
+//!
+//! The `e10_two_phase` hint selects the algorithm ([`TwoPhaseAlgo`]):
+//! `stock` buffers an entire file domain per aggregator in a single
+//! round (the original del Rosario/Bordawekar/Choudhary protocol with
+//! an unbounded collective buffer); `extended` (the default) bounds
+//! memory with `cb_buffer_size` rounds; `node_agg` prepends the
+//! intra-node request-aggregation pre-phase of [`crate::node_agg`].
+//! All three share the round engine [`exchange_and_write`], which is
+//! parameterised over a per-window contribution source so the reduced
+//! (leader-only) request set of `node_agg` flows through the exact
+//! machinery the flat variants use.
 
 use e10_mpisim::{waitall, FileView, SourceSel, Tag};
+use e10_simcore::trace::counter;
 use e10_storesim::Payload;
 
 use crate::adio::{AdioFile, DataSpec};
 use crate::fd::FileDomains;
-use crate::hints::CbMode;
+use crate::hints::{CbMode, TwoPhaseAlgo};
 use crate::profile::Phase;
 
-const DATA_TAG_BASE: Tag = 0x2000_0000;
+pub(crate) const DATA_TAG_BASE: Tag = 0x2000_0000;
 
 /// Outcome of a collective write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,14 +57,14 @@ pub struct WriteAllResult {
 
 /// A maximal contiguous group of shuffled pieces in an aggregator's
 /// collective buffer.
-struct Run {
-    start: u64,
-    end: u64,
-    pieces: Vec<(u64, Payload)>,
+pub(crate) struct Run {
+    pub(crate) start: u64,
+    pub(crate) end: u64,
+    pub(crate) pieces: Vec<(u64, Payload)>,
 }
 
 /// Coalesce sorted pieces into contiguous runs.
-fn coalesce_runs(mut pieces: Vec<(u64, Payload)>) -> Vec<Run> {
+pub(crate) fn coalesce_runs(mut pieces: Vec<(u64, Payload)>) -> Vec<Run> {
     pieces.sort_by_key(|&(off, _)| off);
     // Pre-sized for the worst case (every piece its own run) so the
     // per-round assembly never reallocates mid-build.
@@ -77,7 +89,7 @@ fn coalesce_runs(mut pieces: Vec<(u64, Payload)>) -> Vec<Run> {
 /// Merge adjacent pieces whose sources continue each other, so one
 /// assembled collective buffer becomes a handful of `write_contig`
 /// calls instead of thousands.
-fn merge_continuing(pieces: Vec<(u64, Payload)>) -> Vec<(u64, Payload)> {
+pub(crate) fn merge_continuing(pieces: Vec<(u64, Payload)>) -> Vec<(u64, Payload)> {
     let mut out: Vec<(u64, Payload)> = Vec::with_capacity(pieces.len());
     for (off, p) in pieces {
         if let Some((loff, lp)) = out.last_mut() {
@@ -91,12 +103,57 @@ fn merge_continuing(pieces: Vec<(u64, Payload)>) -> Vec<(u64, Payload)> {
     out
 }
 
-/// `MPI_File_write_all`: collective write of this rank's buffer
-/// (described by `data`) through its file `view`.
-pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> WriteAllResult {
+/// What one rank contributes to a single aggregator window, together
+/// with the provenance the shuffle counters need: how many separate
+/// messages (`origin_msgs`) and raw pieces (`origin_pieces`) the same
+/// data would occupy *without* intra-node aggregation. The flat
+/// two-phase paths contribute their own pieces unmodified, so their
+/// provenance equals the contribution itself and the node-agg savings
+/// counter stays at zero.
+pub(crate) struct WindowContribution {
+    /// `(file_offset, payload)` pieces, sorted by offset.
+    pub(crate) pieces: Vec<(u64, Payload)>,
+    /// Shuffle messages this contribution replaces (1 for flat paths).
+    pub(crate) origin_msgs: u64,
+    /// Piece count before intra-node merging.
+    pub(crate) origin_pieces: u64,
+}
+
+impl WindowContribution {
+    /// No data for this window.
+    pub(crate) fn empty() -> WindowContribution {
+        WindowContribution {
+            pieces: Vec::new(),
+            origin_msgs: 0,
+            origin_pieces: 0,
+        }
+    }
+
+    /// A contribution that stands for itself (no pre-aggregation).
+    pub(crate) fn plain(pieces: Vec<(u64, Payload)>) -> WindowContribution {
+        let n = pieces.len() as u64;
+        WindowContribution {
+            pieces,
+            origin_msgs: u64::from(n > 0),
+            origin_pieces: n,
+        }
+    }
+}
+
+/// Outcome of the pre-steps (offset exchange and the collective-vs-
+/// independent decision) shared by every two-phase variant.
+pub(crate) enum Prepared {
+    /// The write already completed on a non-collective path (nothing
+    /// to write anywhere, or data sieving took it).
+    Done(WriteAllResult),
+    /// Proceed with collective buffering over `[min_st, max_end)`.
+    Collective { min_st: u64, max_end: u64 },
+}
+
+/// Steps 1–2: offset exchange, then decide collective vs independent.
+pub(crate) async fn prepare(fd: &AdioFile, view: &FileView, data: &DataSpec) -> Prepared {
     let comm = fd.comm.clone();
     let prof = fd.profiler().clone();
-    let me = comm.rank();
     let my_bytes = view.total_bytes();
 
     // --- 1. offset exchange --------------------------------------------
@@ -112,12 +169,12 @@ pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> Wr
     let min_st = st_end.iter().filter(|e| e.0 != u64::MAX).map(|e| e.0).min();
     let Some(min_st) = min_st else {
         // Nobody wrote anything.
-        return WriteAllResult {
+        return Prepared::Done(WriteAllResult {
             bytes: 0,
             rounds: 0,
             used_collective: false,
             error_code: 0,
-        };
+        });
     };
     let max_end = st_end.iter().map(|e| e.1).max().unwrap_or(0);
 
@@ -140,29 +197,113 @@ pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> Wr
     };
     if !use_coll {
         let (bytes, error_code) = crate::sieve::write_strided(fd, view, data).await;
-        return WriteAllResult {
+        return Prepared::Done(WriteAllResult {
             bytes,
             rounds: 0,
             used_collective: false,
             error_code,
-        };
+        });
     }
+    Prepared::Collective { min_st, max_end }
+}
 
-    // --- 3. file domains -------------------------------------------------
-    let (fds, cb, ntimes) = {
-        let _t = prof.enter(Phase::FdCalc);
-        let naggs = fd.aggregators().len();
-        let fds = FileDomains::compute(
-            min_st,
-            max_end,
-            naggs,
-            fd.hints().fd_strategy,
-            fd.stripe_unit(),
-        );
-        let cb = fd.hints().cb_buffer_size;
-        let ntimes = fds.max_size().div_ceil(cb);
-        (fds, cb, ntimes)
+/// Step 3: split `[min_st, max_end)` into file domains and size the
+/// rounds. [`TwoPhaseAlgo::Stock`] models the original two-phase
+/// protocol, which buffers a whole file domain per aggregator: a
+/// single round with the effective collective buffer as large as the
+/// biggest domain. The extended algorithm (and the node-agg variant
+/// layered on it) bounds aggregator memory with `cb_buffer_size`
+/// rounds.
+pub(crate) fn compute_domains(
+    fd: &AdioFile,
+    min_st: u64,
+    max_end: u64,
+    algo: TwoPhaseAlgo,
+) -> (FileDomains, u64, u64) {
+    let _t = fd.profiler().enter(Phase::FdCalc);
+    let naggs = fd.aggregators().len();
+    let fds = FileDomains::compute(
+        min_st,
+        max_end,
+        naggs,
+        fd.hints().fd_strategy,
+        fd.stripe_unit(),
+    );
+    let cb = match algo {
+        TwoPhaseAlgo::Stock => fds.max_size().max(1),
+        TwoPhaseAlgo::Extended | TwoPhaseAlgo::NodeAgg => fd.hints().cb_buffer_size,
     };
+    let ntimes = fds.max_size().div_ceil(cb);
+    (fds, cb, ntimes)
+}
+
+/// `MPI_File_write_all`: collective write of this rank's buffer
+/// (described by `data`) through its file `view`, dispatched on the
+/// `e10_two_phase` hint.
+pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> WriteAllResult {
+    match fd.hints().two_phase {
+        TwoPhaseAlgo::NodeAgg => crate::node_agg::write_at_all_node_agg(fd, view, data).await,
+        algo => write_at_all_flat(fd, view, data, algo).await,
+    }
+}
+
+/// The flat (per-rank) two-phase write: every rank ships its own
+/// window pieces to the aggregators. Serves both the stock and the
+/// extended algorithm — they differ only in round sizing.
+async fn write_at_all_flat(
+    fd: &AdioFile,
+    view: &FileView,
+    data: &DataSpec,
+    algo: TwoPhaseAlgo,
+) -> WriteAllResult {
+    let my_bytes = view.total_bytes();
+    let (min_st, max_end) = match prepare(fd, view, data).await {
+        Prepared::Done(r) => return r,
+        Prepared::Collective { min_st, max_end } => (min_st, max_end),
+    };
+    let (fds, cb, ntimes) = compute_domains(fd, min_st, max_end, algo);
+    let error_code = exchange_and_write(fd, &fds, cb, ntimes, |ws, we| {
+        if my_bytes == 0 {
+            return WindowContribution::empty();
+        }
+        WindowContribution::plain(
+            view.pieces_in_window(ws, we)
+                .into_iter()
+                .map(|vp| (vp.file_off, data.piece(vp.buf_off, vp.file_off, vp.len)))
+                .collect(),
+        )
+    })
+    .await;
+    WriteAllResult {
+        bytes: my_bytes,
+        rounds: ntimes,
+        used_collective: true,
+        error_code,
+    }
+}
+
+/// Steps 4–5, the round engine shared by all algorithms: per-round
+/// `MPI_Alltoall` size dissemination, point-to-point data shuffle,
+/// collective-buffer assembly and write, then the final error-code
+/// `MPI_Allreduce`. `contribution(ws, we)` yields what this rank sends
+/// into aggregator window `[ws, we)` — the rank's own pieces on the
+/// flat paths, the node-merged request list on the node-agg path (and
+/// nothing at all on its non-leader ranks). Returns the global error
+/// code.
+pub(crate) async fn exchange_and_write<S>(
+    fd: &AdioFile,
+    fds: &FileDomains,
+    cb: u64,
+    ntimes: u64,
+    mut contribution: S,
+) -> u32
+where
+    S: FnMut(u64, u64) -> WindowContribution,
+{
+    let comm = fd.comm.clone();
+    let prof = fd.profiler().clone();
+    let me = comm.rank();
+    let my_node = comm.node();
     // Borrow the aggregator set for the whole collective — the
     // historical per-call `to_vec()` cost one Vec per collective and
     // carried no exclusivity the slice doesn't.
@@ -193,21 +334,11 @@ pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> Wr
 
         // My contribution to each aggregator this round.
         size_buf.fill(0);
-        let mut per_agg_pieces: Vec<Vec<(u64, Payload)>> = Vec::with_capacity(windows.len());
-        if my_bytes > 0 {
-            for (a, &(ws, we)) in windows.iter().enumerate() {
-                let pieces = view.pieces_in_window(ws, we);
-                let bytes: u64 = pieces.iter().map(|vp| vp.len).sum();
-                size_buf[aggregators[a]] = bytes;
-                per_agg_pieces.push(
-                    pieces
-                        .into_iter()
-                        .map(|vp| (vp.file_off, data.piece(vp.buf_off, vp.file_off, vp.len)))
-                        .collect(),
-                );
-            }
-        } else {
-            per_agg_pieces.resize_with(windows.len(), Vec::new);
+        let mut per_agg: Vec<WindowContribution> = Vec::with_capacity(windows.len());
+        for (a, &(ws, we)) in windows.iter().enumerate() {
+            let c = contribution(ws, we);
+            size_buf[aggregators[a]] = c.pieces.iter().map(|(_, p)| p.len).sum();
+            per_agg.push(c);
         }
 
         // Size dissemination: the per-round MPI_Alltoall
@@ -217,20 +348,35 @@ pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> Wr
             comm.alltoall(std::mem::take(&mut size_buf), 8).await
         };
 
-        // Data shuffle: post sends, post receives, wait for all.
+        // Data shuffle: post sends, post receives, wait for all. The
+        // wire size of a shuffle message is its payload plus a 32-byte
+        // envelope and a 16-byte (offset, length) header per piece —
+        // the footprint the node-agg pre-phase shrinks.
         let mut local_pieces: Vec<(u64, Payload)> = Vec::new();
         let mut sreqs = Vec::new();
-        for (a, pieces) in per_agg_pieces.into_iter().enumerate() {
-            if pieces.is_empty() {
+        for (a, c) in per_agg.into_iter().enumerate() {
+            if c.pieces.is_empty() {
                 continue;
             }
             let dst = aggregators[a];
             if dst == me {
-                local_pieces = pieces;
+                local_pieces = c.pieces;
             } else {
+                let npieces = c.pieces.len() as u64;
                 let bytes: u64 =
-                    pieces.iter().map(|(_, p)| p.len).sum::<u64>() + 32 + 16 * pieces.len() as u64;
-                sreqs.push(comm.isend(dst, tag, bytes, pieces));
+                    c.pieces.iter().map(|(_, p)| p.len).sum::<u64>() + 32 + 16 * npieces;
+                counter("coll.shuffle.msgs", 1);
+                counter("coll.shuffle.bytes", bytes);
+                if comm.node_of(dst) != my_node {
+                    counter("coll.shuffle.remote_msgs", 1);
+                    counter("coll.shuffle.remote_bytes", bytes);
+                    let saved = 32 * c.origin_msgs.saturating_sub(1)
+                        + 16 * c.origin_pieces.saturating_sub(npieces);
+                    if saved > 0 {
+                        counter("coll.node_agg.shuffle_bytes_saved", saved);
+                    }
+                }
+                sreqs.push(comm.isend(dst, tag, bytes, c.pieces));
             }
         }
         let mut rreqs = Vec::new();
@@ -299,16 +445,9 @@ pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> Wr
     }
 
     // --- 5. post-write error exchange -------------------------------------
-    let error_code = {
+    {
         let _t = prof.enter(Phase::PostWrite);
         comm.allreduce(local_err, 4, |a, b| (*a).max(*b)).await
-    };
-
-    WriteAllResult {
-        bytes: my_bytes,
-        rounds: ntimes,
-        used_collective: true,
-        error_code,
     }
 }
 
@@ -364,6 +503,37 @@ mod tests {
                 let res = write_at_all(&f, &view, &DataSpec::FileGen { seed: 11 }).await;
                 assert!(res.used_collective);
                 assert!(res.rounds > 1, "must take multiple rounds");
+                assert_eq!(res.bytes, 160_000);
+                f.close().await;
+                if ctx.comm.rank() == 0 {
+                    f.global()
+                        .extents()
+                        .verify_gen(11, 0, 8 * 16 * 10_000)
+                        .unwrap();
+                }
+            })
+            .await;
+        });
+    }
+
+    /// `e10_two_phase = stock`: one round regardless of
+    /// `cb_buffer_size`, same bytes on disk.
+    #[test]
+    fn stock_algorithm_takes_one_round_and_matches() {
+        run(async {
+            on_testbed(8, 4, |ctx| async move {
+                let f = crate::adio::AdioFile::open(
+                    &ctx,
+                    "/gfs/stock",
+                    &paper_info(&[("e10_two_phase", "stock")]),
+                    true,
+                )
+                .await
+                .unwrap();
+                let view = strided_view(ctx.comm.rank(), 8, 10_000, 16);
+                let res = write_at_all(&f, &view, &DataSpec::FileGen { seed: 11 }).await;
+                assert!(res.used_collective);
+                assert_eq!(res.rounds, 1, "stock buffers a whole file domain");
                 assert_eq!(res.bytes, 160_000);
                 f.close().await;
                 if ctx.comm.rank() == 0 {

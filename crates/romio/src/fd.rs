@@ -161,9 +161,34 @@ pub fn select_aggregators_capped(
     aggs
 }
 
+/// The node-leader rank of every node — the lowest rank mapped to it,
+/// which is rank 0 of the node's intra-node subcommunicator
+/// ([`e10_mpisim::Comm::split_by_node`] orders by rank). Indexed by
+/// node id; the `e10_two_phase = node_agg` pre-phase gathers to these
+/// ranks.
+pub fn node_leaders(node_of: &[usize]) -> Vec<usize> {
+    let nnodes = node_of.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut leaders = vec![usize::MAX; nnodes];
+    for (rank, &n) in node_of.iter().enumerate() {
+        if leaders[n] == usize::MAX {
+            leaders[n] = rank;
+        }
+    }
+    leaders
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn node_leaders_are_lowest_rank_per_node() {
+        // Blocked placement: 2 nodes × 3 ranks.
+        assert_eq!(node_leaders(&[0, 0, 0, 1, 1, 1]), vec![0, 3]);
+        // Round-robin placement.
+        assert_eq!(node_leaders(&[0, 1, 0, 1]), vec![0, 1]);
+        assert!(node_leaders(&[]).is_empty());
+    }
 
     #[test]
     fn even_partition_covers_range() {

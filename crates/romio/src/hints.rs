@@ -146,6 +146,46 @@ impl SyncPolicy {
     }
 }
 
+/// `e10_two_phase` values: which collective-write algorithm
+/// `MPI_File_write_all` runs. Replaces the per-variant boolean toggles
+/// older revisions would have needed — one typed knob selects the
+/// algorithm, and the dispatch in [`crate::collective`] switches on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TwoPhaseAlgo {
+    /// The original two-phase algorithm (del Rosario et al.): one
+    /// exchange round buffering each aggregator's whole file domain.
+    Stock,
+    /// ROMIO's extended two-phase (`ADIOI_Exch_and_write`): rounds
+    /// bounded by `cb_buffer_size`. Default.
+    #[default]
+    Extended,
+    /// Intra-node request aggregation (Kang et al.): ranks sharing a
+    /// node merge their requests at a node leader before the
+    /// inter-node exchange, cutting shuffle messages by the
+    /// ranks-per-node factor.
+    NodeAgg,
+}
+
+impl TwoPhaseAlgo {
+    fn parse(s: &str) -> Option<TwoPhaseAlgo> {
+        match s {
+            "stock" => Some(TwoPhaseAlgo::Stock),
+            "extended" => Some(TwoPhaseAlgo::Extended),
+            "node_agg" => Some(TwoPhaseAlgo::NodeAgg),
+            _ => None,
+        }
+    }
+
+    /// The hint-string spelling of this algorithm.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TwoPhaseAlgo::Stock => "stock",
+            TwoPhaseAlgo::Extended => "extended",
+            TwoPhaseAlgo::NodeAgg => "node_agg",
+        }
+    }
+}
+
 /// File-domain partitioning strategy for the two-phase algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FdStrategy {
@@ -293,6 +333,9 @@ pub struct RomioHints {
     /// admitting again after a high-watermark trip. `0` means "same as
     /// hiwater" (no hysteresis). Must not exceed `e10_cache_hiwater`.
     pub e10_cache_lowater: u64,
+    /// `e10_two_phase` (extension): which collective-write algorithm
+    /// runs — `stock`, `extended` (default) or `node_agg`.
+    pub two_phase: TwoPhaseAlgo,
     /// `e10_trace` (extension): structured-trace destination.
     pub e10_trace: TraceMode,
     /// `e10_trace_path` (extension): directory for `jsonl` traces
@@ -327,6 +370,7 @@ impl Default for RomioHints {
             e10_integrity_scrub_ms: 0,
             e10_cache_hiwater: 0,
             e10_cache_lowater: 0,
+            two_phase: TwoPhaseAlgo::Extended,
             e10_trace: TraceMode::Off,
             e10_trace_path: "results/traces".to_string(),
         }
@@ -413,6 +457,27 @@ impl std::fmt::Display for HintErrors {
 }
 
 impl std::error::Error for HintErrors {}
+
+impl IntoIterator for HintErrors {
+    type Item = HintError;
+    type IntoIter = std::iter::Chain<std::iter::Once<HintError>, std::vec::IntoIter<HintError>>;
+
+    /// Every violation by value, first one included — `for e in errs`
+    /// just works.
+    fn into_iter(self) -> Self::IntoIter {
+        std::iter::once(self.first).chain(self.rest)
+    }
+}
+
+impl<'a> IntoIterator for &'a HintErrors {
+    type Item = &'a HintError;
+    type IntoIter =
+        std::iter::Chain<std::iter::Once<&'a HintError>, std::slice::Iter<'a, HintError>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        std::iter::once(&self.first).chain(self.rest.iter())
+    }
+}
 
 impl From<HintErrors> for HintError {
     fn from(e: HintErrors) -> HintError {
@@ -645,6 +710,12 @@ impl RomioHintsBuilder {
         self
     }
 
+    /// `e10_two_phase`.
+    pub fn e10_two_phase(mut self, algo: TwoPhaseAlgo) -> Self {
+        self.hints.two_phase = algo;
+        self
+    }
+
     /// `e10_trace`.
     pub fn e10_trace(mut self, mode: TraceMode) -> Self {
         self.hints.e10_trace = mode;
@@ -797,6 +868,11 @@ impl RomioHintsBuilder {
                 "percentage 0..=100",
                 e10_cache_lowater
             ),
+            "e10_two_phase" => or_invalid!(
+                TwoPhaseAlgo::parse(value),
+                "stock|extended|node_agg",
+                e10_two_phase
+            ),
             "e10_trace" => or_invalid!(TraceMode::parse(value), "off|ring|jsonl", e10_trace),
             "e10_trace_path" => or_invalid!(
                 Some(value).filter(|v| !v.is_empty()),
@@ -826,6 +902,15 @@ impl RomioHintsBuilder {
             let first = self.errors.remove(0);
             Err(HintErrors::new(first, self.errors))
         }
+    }
+
+    /// Like [`build`], but non-consuming: the builder stays usable, so
+    /// a caller can report every violation at once and keep layering
+    /// hints (or retry) on the same builder.
+    ///
+    /// [`build`]: RomioHintsBuilder::build
+    pub fn try_build(&self) -> Result<RomioHints, HintErrors> {
+        self.clone().build()
     }
 }
 
@@ -933,6 +1018,7 @@ impl RomioHints {
             "e10_cache_lowater".into(),
             self.e10_cache_lowater.to_string(),
         ));
+        out.push(("e10_two_phase".into(), self.two_phase.as_str().into()));
         out.push(("e10_trace".into(), self.e10_trace.as_str().into()));
         out.push(("e10_trace_path".into(), self.e10_trace_path.clone()));
         out
@@ -1202,6 +1288,66 @@ mod tests {
         // The same inversion through the string surface.
         let info = Info::from_pairs([("e10_cache_hiwater", "60"), ("e10_cache_lowater", "80")]);
         assert!(RomioHints::from_info(&info).is_err());
+    }
+
+    #[test]
+    fn two_phase_algo_parses_and_roundtrips() {
+        assert_eq!(RomioHints::default().two_phase, TwoPhaseAlgo::Extended);
+        for (s, algo) in [
+            ("stock", TwoPhaseAlgo::Stock),
+            ("extended", TwoPhaseAlgo::Extended),
+            ("node_agg", TwoPhaseAlgo::NodeAgg),
+        ] {
+            let info = Info::from_pairs([("e10_two_phase", s)]);
+            let h = RomioHints::parse(&info).unwrap();
+            assert_eq!(h.two_phase, algo);
+            assert_eq!(algo.as_str(), s);
+            // The typed setter and the string surface agree.
+            let typed = RomioHints::builder().e10_two_phase(algo).build().unwrap();
+            assert_eq!(typed.to_pairs(), h.to_pairs());
+            // And `to_info` round-trips the algorithm.
+            let h2 = RomioHints::from_info(&h.to_info()).unwrap();
+            assert_eq!(h2.two_phase, algo);
+        }
+        for bad in ["", "nodeagg", "two_phase", "enable"] {
+            let info = Info::from_pairs([("e10_two_phase", bad)]);
+            let e = RomioHints::from_info(&info).unwrap_err();
+            assert_eq!(e.first().key, "e10_two_phase");
+            assert!(e.first().to_string().contains("node_agg"));
+        }
+    }
+
+    #[test]
+    fn hint_errors_into_iterator_yields_every_violation() {
+        let err = RomioHints::builder()
+            .cb_buffer_size(0)
+            .cb_nodes(0)
+            .build()
+            .unwrap_err();
+        // By reference.
+        let keys: Vec<&str> = (&err).into_iter().map(|e| e.key.as_str()).collect();
+        assert_eq!(keys, ["cb_buffer_size", "cb_nodes"]);
+        // By value (and `for` loops work).
+        let mut n = 0;
+        for e in err {
+            assert!(!e.key.is_empty());
+            n += 1;
+        }
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn try_build_leaves_the_builder_usable() {
+        let b = RomioHints::builder().cb_nodes(0);
+        let err = b.try_build().unwrap_err();
+        assert_eq!(err.len(), 1);
+        // The builder is still alive: layering more hints accumulates.
+        let err2 = b.cb_buffer_size(0).try_build().unwrap_err();
+        assert_eq!(err2.len(), 2);
+        // And a clean builder try_builds Ok repeatedly.
+        let ok = RomioHints::builder().cb_nodes(4);
+        assert!(ok.try_build().is_ok());
+        assert_eq!(ok.try_build().unwrap().cb_nodes, Some(4));
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   (`ADIOI_Exch_and_write`): offset exchange, file domains, per-round
 //!   `Alltoall` + data shuffle + collective-buffer write, final error
 //!   `Allreduce`.
+//! * [`node_agg`] — the intra-node request-aggregation pre-phase
+//!   (`e10_two_phase = node_agg`): node leaders merge their node's
+//!   requests before the inter-node exchange.
 //! * [`sieve`] — independent strided writes with optional data sieving.
 //! * [`cache`] — the E10 cache layer: cache file, `fallocate`
 //!   allocation, sync thread, generalized-request completion, coherent
@@ -37,6 +40,7 @@ pub mod error;
 pub mod fd;
 pub mod hints;
 pub mod journal;
+pub mod node_agg;
 pub mod profile;
 pub mod sieve;
 pub mod testbed;
@@ -48,10 +52,11 @@ pub use cache::{CacheConfig, CacheLayer, RecoverError, RecoveryReport};
 pub use collective::{write_at_all, WriteAllResult};
 pub use collective_read::{read_at_all, ReadAllResult, ReadPiece};
 pub use error::Error;
-pub use fd::{select_aggregators, select_aggregators_capped, FileDomains};
+pub use fd::{node_leaders, select_aggregators, select_aggregators_capped, FileDomains};
 pub use hints::{
     CacheMode, CbMode, FdStrategy, FlushFlag, HintError, HintErrors, RomioHints, RomioHintsBuilder,
-    SyncPolicy, TraceMode,
+    SyncPolicy, TraceMode, TwoPhaseAlgo,
 };
+pub use node_agg::write_at_all_node_agg;
 pub use profile::{Breakdown, Phase, Profiler};
 pub use testbed::{IoCtx, Testbed, TestbedSpec};

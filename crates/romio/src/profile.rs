@@ -23,6 +23,10 @@ pub enum Phase {
     OffsetExchange,
     /// File-domain and aggregator-mapping computation.
     FdCalc,
+    /// The intra-node request-aggregation pre-phase of
+    /// `e10_two_phase = node_agg`: gathering the node's piece lists to
+    /// the node leader (and staging them into the node-local cache).
+    NodeAggGather,
     /// The per-round size dissemination `MPI_Alltoall`
     /// ("shuffle_all2all" in the paper's figures).
     ShuffleAlltoall,
@@ -47,10 +51,11 @@ pub enum Phase {
 
 impl Phase {
     /// All phases in display order.
-    pub const ALL: [Phase; 11] = [
+    pub const ALL: [Phase; 12] = [
         Phase::OpenColl,
         Phase::OffsetExchange,
         Phase::FdCalc,
+        Phase::NodeAggGather,
         Phase::ShuffleAlltoall,
         Phase::ShuffleWaitall,
         Phase::CollBufAssembly,
@@ -67,6 +72,7 @@ impl Phase {
             Phase::OpenColl => "open",
             Phase::OffsetExchange => "offset_exch",
             Phase::FdCalc => "fd_calc",
+            Phase::NodeAggGather => "node_agg_gather",
             Phase::ShuffleAlltoall => "shuffle_all2all",
             Phase::ShuffleWaitall => "shuffle_waitall",
             Phase::CollBufAssembly => "buf_assembly",

@@ -15,7 +15,7 @@
 
 use e10_mpisim::{FileView, FlatType};
 
-use crate::Workload;
+use crate::{Workload, WorkloadSpec};
 
 /// coll_perf parameters.
 #[derive(Debug, Clone)]
@@ -48,12 +48,60 @@ impl CollPerf {
         }
     }
 
+    /// A near-cubic process grid with `gx × gy × gz = nprocs`
+    /// (`MPI_Dims_create` for three dimensions): repeatedly peel the
+    /// smallest factor that keeps the remaining product splittable.
+    pub fn grid_for(nprocs: usize) -> [u64; 3] {
+        let mut grid = [1u64; 3];
+        let mut rest = nprocs.max(1) as u64;
+        for (slot, g) in grid.iter_mut().enumerate() {
+            let dims_left = (3 - slot) as u32;
+            // The smallest divisor of `rest` that is at least its
+            // dims_left-th root keeps the remainder near-cubic.
+            let mut pick = rest;
+            let mut d = 1;
+            while d * d <= rest {
+                if rest.is_multiple_of(d) {
+                    for cand in [rest / d, d] {
+                        let root_ok = cand.pow(dims_left) >= rest;
+                        if root_ok && cand < pick {
+                            pick = cand;
+                        }
+                    }
+                }
+                d += 1;
+            }
+            *g = pick;
+            rest /= pick;
+        }
+        grid.sort_unstable();
+        grid
+    }
+
     fn gsizes(&self) -> [u64; 3] {
         [
             self.grid[2] * self.side,
             self.grid[1] * self.side,
             self.grid[0] * self.side,
         ]
+    }
+}
+
+impl WorkloadSpec for CollPerf {
+    fn paper() -> Self {
+        CollPerf::paper_512()
+    }
+
+    fn quick(nprocs: usize) -> Self {
+        CollPerf {
+            grid: CollPerf::grid_for(nprocs),
+            side: 4,
+            chunk: 64 << 10, // 4 MB per rank at side 4
+        }
+    }
+
+    fn tiny_for(nprocs: usize) -> Self {
+        CollPerf::tiny(CollPerf::grid_for(nprocs))
     }
 }
 

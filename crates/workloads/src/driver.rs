@@ -187,7 +187,12 @@ pub async fn run_workload(tb: &Testbed, workload: Rc<dyn Workload>, cfg: &RunCon
     let t_start = now();
     let file_bytes = workload.file_size();
     let hints = cfg.hints.dup();
-    if workload.force_collective() && hints.get("romio_cb_write").is_none() {
+    // Intra-node aggregation only exists on the collective path: a run
+    // that asks for `e10_two_phase = node_agg` without deciding
+    // `romio_cb_write` means collective buffering, like the benchmarks
+    // that force it.
+    let wants_node_agg = hints.get("e10_two_phase").as_deref() == Some("node_agg");
+    if (workload.force_collective() || wants_node_agg) && hints.get("romio_cb_write").is_none() {
         hints.set("romio_cb_write", "enable");
     }
 

@@ -12,7 +12,7 @@
 
 use e10_mpisim::{FileView, FlatType};
 
-use crate::Workload;
+use crate::{Workload, WorkloadSpec};
 
 /// Which FLASH file is being produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +89,26 @@ impl FlashIo {
 
     fn dataset_bytes(&self) -> u64 {
         self.nprocs as u64 * self.blocks_per_proc * self.block_var_bytes()
+    }
+}
+
+impl WorkloadSpec for FlashIo {
+    fn paper() -> Self {
+        FlashIo::paper_checkpoint_512()
+    }
+
+    fn quick(nprocs: usize) -> Self {
+        FlashIo {
+            nprocs,
+            blocks_per_proc: 8,
+            zones: 8,
+            nvars: 6,
+            file: FlashFile::Checkpoint,
+        }
+    }
+
+    fn tiny_for(nprocs: usize) -> Self {
+        FlashIo::tiny(nprocs)
     }
 }
 

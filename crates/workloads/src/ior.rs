@@ -8,7 +8,7 @@
 
 use e10_mpisim::{FileView, FlatType};
 
-use crate::Workload;
+use crate::{Workload, WorkloadSpec};
 
 /// IOR parameters.
 #[derive(Debug, Clone)]
@@ -46,6 +46,25 @@ impl Ior {
 
     fn segment_bytes(&self) -> u64 {
         self.nprocs as u64 * self.block_size
+    }
+}
+
+impl WorkloadSpec for Ior {
+    fn paper() -> Self {
+        Ior::paper_512()
+    }
+
+    fn quick(nprocs: usize) -> Self {
+        Ior {
+            nprocs,
+            block_size: 1 << 20,
+            transfer_size: 1 << 20,
+            segments: 4,
+        }
+    }
+
+    fn tiny_for(nprocs: usize) -> Self {
+        Ior::tiny(nprocs)
     }
 }
 

@@ -31,6 +31,68 @@ pub use multi_job::{run_multi_job, JobOutcome, MultiJobOutcome, MultiJobSpec};
 
 use e10_mpisim::FileView;
 
+#[cfg(test)]
+mod spec_tests {
+    use super::*;
+
+    #[test]
+    fn workload_spec_matches_legacy_constructors() {
+        // The trait constructors must reproduce the exact historical
+        // configurations the sweeps were generated with.
+        let c = <CollPerf as WorkloadSpec>::paper();
+        assert_eq!((c.grid, c.side, c.chunk), ([8, 8, 8], 8, 128 << 10));
+        let c = <CollPerf as WorkloadSpec>::tiny_for(8);
+        assert_eq!((c.grid, c.side, c.chunk), ([2, 2, 2], 2, 1 << 10));
+        let c = <CollPerf as WorkloadSpec>::quick(64);
+        assert_eq!((c.grid, c.side, c.chunk), ([4, 4, 4], 4, 64 << 10));
+
+        let f = <FlashIo as WorkloadSpec>::paper();
+        assert_eq!(f.procs(), 512);
+        assert_eq!(f.blocks_per_proc, 80);
+        let f = <FlashIo as WorkloadSpec>::quick(64);
+        assert_eq!(
+            (f.nprocs, f.blocks_per_proc, f.zones, f.nvars),
+            (64, 8, 8, 6)
+        );
+
+        let i = <Ior as WorkloadSpec>::paper();
+        assert_eq!(i.file_size(), 32 << 30);
+        let i = <Ior as WorkloadSpec>::quick(64);
+        assert_eq!(
+            (i.nprocs, i.block_size, i.transfer_size, i.segments),
+            (64, 1 << 20, 1 << 20, 4)
+        );
+        let i = <Ior as WorkloadSpec>::tiny_for(4);
+        assert_eq!(
+            (i.block_size, i.transfer_size, i.segments),
+            (4 << 10, 2 << 10, 3)
+        );
+    }
+
+    #[test]
+    fn collperf_grid_for_balances_factors() {
+        assert_eq!(CollPerf::grid_for(8), [2, 2, 2]);
+        assert_eq!(CollPerf::grid_for(64), [4, 4, 4]);
+        assert_eq!(CollPerf::grid_for(512), [8, 8, 8]);
+        assert_eq!(CollPerf::grid_for(1), [1, 1, 1]);
+        // Non-cubes still multiply out to nprocs.
+        for n in [2usize, 4, 6, 12, 24, 96] {
+            let g = CollPerf::grid_for(n);
+            assert_eq!((g[0] * g[1] * g[2]) as usize, n, "grid_for({n}) = {g:?}");
+        }
+    }
+
+    #[test]
+    fn generic_construction_is_usable_behind_the_trait() {
+        fn build<W: WorkloadSpec>(n: usize) -> W {
+            W::tiny_for(n)
+        }
+        assert_eq!(build::<CollPerf>(8).procs(), 8);
+        assert_eq!(build::<FlashIo>(8).procs(), 8);
+        assert_eq!(build::<Ior>(8).procs(), 8);
+    }
+}
+
 /// A benchmark's access pattern for one file.
 pub trait Workload {
     /// Short name (used in file paths and reports).
@@ -52,6 +114,26 @@ pub trait Workload {
     fn force_collective(&self) -> bool {
         false
     }
+}
+
+/// The scale-indexed constructors every paper workload provides,
+/// unifying the formerly duplicated `paper_512()` / `tiny()` pairs of
+/// [`CollPerf`], [`FlashIo`] and [`Ior`] so harnesses (the bench
+/// `Scale` type, sweep bins) can build any workload generically
+/// instead of matching on concrete types.
+pub trait WorkloadSpec: Workload + Sized {
+    /// The paper's 512-rank evaluation configuration.
+    fn paper() -> Self;
+
+    /// A reduced configuration for `nprocs` ranks that keeps the
+    /// paper's access-pattern shape at sweepable cost (the
+    /// `E10_SCALE=quick` shapes: megabytes per rank, minutes per
+    /// sweep).
+    fn quick(nprocs: usize) -> Self;
+
+    /// A miniature configuration for `nprocs` ranks (kilobytes per
+    /// rank; the test suite and CI smoke gates).
+    fn tiny_for(nprocs: usize) -> Self;
 }
 
 #[cfg(test)]

@@ -23,7 +23,12 @@
 #      while the control arms stay clean, and the JSON output (minus
 #      the host_secs wall-clock field) must be byte-identical at
 #      E10_JOBS=1 and E10_JOBS=8
-#   8. chaos-soak smoke: fixed-seed randomized corruption schedules
+#   8. node_agg smoke: the three collective-write algorithms on the
+#      test-scale grid; the binary gates on intra-node aggregation
+#      strictly reducing inter-node shuffle bytes AND messages vs the
+#      extended algorithm on every cell (exit != 0 otherwise), with
+#      every run byte-verified
+#   9. chaos-soak smoke: fixed-seed randomized corruption schedules
 #      (SSD bit-flips/torn sectors, wire corruption, lazy PFS rot,
 #      stalls, RPC failures) against the fault-free oracle; exit != 0
 #      if any seed silently diverges from the oracle's bytes. Journal
@@ -84,6 +89,12 @@ sed 's/"host_secs":[^,]*,//' target/ci-multi-job-8.json \
   > target/ci-multi-job-8.stripped.json
 cmp target/ci-multi-job-1.stripped.json target/ci-multi-job-8.stripped.json
 echo "    [$(($SECONDS - t0))s] multi_job smoke"
+
+echo "==> node_agg smoke (inter-node traffic reduction gate)"
+t0=$SECONDS
+cargo run --release -q -p e10-bench --bin node_agg -- --smoke --jobs 4 \
+  --out target/ci-node-agg.json
+echo "    [$(($SECONDS - t0))s] node_agg smoke"
 
 echo "==> chaos-soak smoke (E10_JOBS=4, fixed seeds, divergence gate)"
 t0=$SECONDS

@@ -92,6 +92,60 @@ proptest! {
         });
     }
 
+    /// The three collective-write algorithms (`e10_two_phase = stock |
+    /// extended | node_agg`) are interchangeable for correctness:
+    /// whatever the partition, rank count or node packing, each must
+    /// produce the exact generator bytes — so all three files are
+    /// byte-identical.
+    #[test]
+    fn three_algorithms_agree_for_random_patterns(
+        seg_lens in prop::collection::vec(1u64..2500, 3..10),
+        owners in prop::collection::vec(0usize..8, 4..30),
+        procs in 2usize..8,
+        cache in any::<bool>(),
+        cb_shift in 11u32..15, // 2K..16K collective buffer
+    ) {
+        let total = 150_000u64;
+        let per_rank = random_partition(total, procs, &seg_lens, &owners);
+        for algo in ["stock", "extended", "node_agg"] {
+            let per_rank = per_rank.clone();
+            e10_simcore::run(async move {
+                let tb = TestbedSpec::small(procs, (procs / 2).max(1)).build();
+                let handles: Vec<_> = tb
+                    .ctxs()
+                    .into_iter()
+                    .map(|ctx| {
+                        let blocks = per_rank[ctx.comm.rank()].clone();
+                        let cb = 1u64 << cb_shift;
+                        e10_simcore::spawn(async move {
+                            let info = Info::from_pairs([
+                                ("romio_cb_write", "enable"),
+                                ("striping_unit", "8192"),
+                                ("e10_two_phase", algo),
+                            ]);
+                            info.set("cb_buffer_size", &cb.to_string());
+                            if cache {
+                                info.set("e10_cache", "enable");
+                                info.set("e10_cache_discard_flag", "enable");
+                            }
+                            let f = AdioFile::open(&ctx, "/gfs/tri", &info, true)
+                                .await
+                                .unwrap();
+                            let view = FileView::new(&FlatType::indexed(blocks), 0);
+                            write_at_all(&f, &view, &DataSpec::FileGen { seed: 91 }).await;
+                            f.close().await;
+                            f.global().extents().clone()
+                        })
+                    })
+                    .collect();
+                let exts = e10_simcore::join_all(handles).await;
+                exts[0]
+                    .verify_gen(91, 0, total)
+                    .unwrap_or_else(|e| panic!("{algo} wrote wrong bytes: {e}"));
+            });
+        }
+    }
+
     /// A collective read of what a collective write produced returns
     /// exactly the written bytes, with and without the cache-read
     /// extension.
