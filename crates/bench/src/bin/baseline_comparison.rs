@@ -70,6 +70,7 @@ fn run_grouped_variant(scale: Scale, variant: &'static str, aggs: usize) -> f64 
         let ngroups = (aggs / 2).clamp(1, procs);
         let pfs = Rc::clone(&tb.pfs);
         let localfs = Rc::clone(&tb.localfs);
+        let nvmfs = Rc::clone(&tb.nvmfs);
 
         let handles: Vec<_> = tb
             .world
@@ -80,6 +81,7 @@ fn run_grouped_variant(scale: Scale, variant: &'static str, aggs: usize) -> f64 
                     comm: comm.clone(),
                     pfs: Rc::clone(&pfs),
                     localfs: Rc::clone(&localfs),
+                    nvmfs: Rc::clone(&nvmfs),
                 };
                 let hints = hints.clone();
                 spawn(async move {

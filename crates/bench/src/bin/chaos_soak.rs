@@ -14,7 +14,13 @@
 //! harness shrinks the schedule to a minimal reproducing set and
 //! reports it.
 use e10_bench::{json_mode, Json};
+use e10_romio::CacheClass;
 use e10_workloads::{chaos_case, ChaosCase, ChaosReport, ChaosVerdict};
+
+/// Each seed soaks one cache class, cycling through all three so every
+/// staging tier (SSD extents, byte-granular NVM front, hybrid split)
+/// gets arms at any seed count.
+const CLASSES: [CacheClass; 3] = [CacheClass::Ssd, CacheClass::Nvm, CacheClass::Hybrid];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -36,21 +42,23 @@ fn main() {
         );
     }
     let host0 = std::time::Instant::now();
-    let jobs: Vec<e10_simcore::Job<ChaosReport>> = (0..seeds)
+    let jobs: Vec<e10_simcore::Job<(CacheClass, ChaosReport)>> = (0..seeds)
         .map(|i| {
-            Box::new(move || chaos_case(&ChaosCase::new(base + i))) as e10_simcore::Job<ChaosReport>
+            let class = CLASSES[(i % 3) as usize];
+            Box::new(move || (class, chaos_case(&ChaosCase::with_class(base + i, class))))
+                as e10_simcore::Job<(CacheClass, ChaosReport)>
         })
         .collect();
-    let reports = e10_simcore::run_jobs(jobs);
+    let reports: Vec<(CacheClass, ChaosReport)> = e10_simcore::run_jobs(jobs);
     let host_secs = host0.elapsed().as_secs_f64();
 
-    let count = |v: ChaosVerdict| reports.iter().filter(|r| r.verdict == v).count() as u64;
+    let count = |v: ChaosVerdict| reports.iter().filter(|(_, r)| r.verdict == v).count() as u64;
     let (clean, detected, diverged) = (
         count(ChaosVerdict::Clean),
         count(ChaosVerdict::Detected),
         count(ChaosVerdict::Diverged),
     );
-    let injected: u64 = reports.iter().map(|r| r.injected).sum();
+    let injected: u64 = reports.iter().map(|(_, r)| r.injected).sum();
 
     if json {
         let doc = Json::obj([
@@ -65,10 +73,11 @@ fn main() {
             ("host_secs", Json::F64(host_secs)),
             (
                 "rows",
-                Json::arr(reports.iter().map(|r| {
+                Json::arr(reports.iter().map(|(class, r)| {
                     Json::obj([
                         ("seed", Json::U64(r.seed)),
                         ("workload", Json::str(r.workload)),
+                        ("cache_class", Json::str(class.as_str())),
                         ("verdict", Json::str(r.verdict.name())),
                         ("plan_specs", Json::U64(r.plan_specs as u64)),
                         ("injected", Json::U64(r.injected)),
@@ -89,7 +98,7 @@ fn main() {
         ]);
         println!("{}", doc.render());
     } else {
-        for r in &reports {
+        for (class, r) in &reports {
             let errs = r
                 .rank_errors
                 .first()
@@ -99,9 +108,10 @@ fn main() {
                 .as_ref()
                 .map_or(String::new(), |m| format!(" minimal=[{}]", m.join(",")));
             println!(
-                "seed={:>4} {:>8} {:>9} specs={} injected={:>4}{errs}{min}",
+                "seed={:>4} {:>8} {:>6} {:>9} specs={} injected={:>4}{errs}{min}",
                 r.seed,
                 r.workload,
+                class.as_str(),
                 r.verdict.name(),
                 r.plan_specs,
                 r.injected,

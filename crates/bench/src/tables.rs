@@ -29,7 +29,7 @@ pub const TABLE2: [(&str, &str); 5] = [
 ];
 
 /// Hints this implementation adds beyond the paper's two tables.
-pub const EXTENSIONS: [(&str, &str); 10] = [
+pub const EXTENSIONS: [(&str, &str); 13] = [
     (
         "e10_two_phase",
         "stock, extended, node_agg (collective-write algorithm)",
@@ -57,6 +57,18 @@ pub const EXTENSIONS: [(&str, &str); 10] = [
     (
         "e10_fd_partition",
         "even, aligned (footnote 1: BeeGFS driver alignment)",
+    ),
+    (
+        "e10_cache_class",
+        "ssd, nvm, hybrid (device class backing the cache)",
+    ),
+    (
+        "e10_nvm_capacity",
+        "bytes (hybrid: NVM front-tier budget; 0 = whole mount)",
+    ),
+    (
+        "e10_nvm_threshold",
+        "bytes (writes at most this take the byte-granular NVM path)",
     ),
     ("cb_config_list", "\"*:N\" (aggregators per node)"),
     ("romio_no_indep_rw", "true, false (deferred open)"),
@@ -170,6 +182,9 @@ mod tests {
                 "e10_sync_policy" => "backoff",
                 "e10_fd_partition" => "even",
                 "e10_two_phase" => "node_agg",
+                "e10_cache_class" => "hybrid",
+                "e10_nvm_capacity" => "64M",
+                "e10_nvm_threshold" => "16K",
                 "e10_cache_hiwater" | "e10_cache_lowater" => "50",
                 _ => "enable",
             };

@@ -25,7 +25,7 @@ use std::ops::Range;
 use std::rc::Rc;
 
 use e10_simcore::{SimDuration, SimRng};
-use e10_storesim::{ExtentMap, PageCache, Payload, Source, Ssd};
+use e10_storesim::{DeviceModel, ExtentMap, PageCache, Payload, Source, Ssd};
 
 /// Errors from local file-system operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,7 +158,7 @@ impl Drop for InFlightGuard {
 #[derive(Clone)]
 pub struct LocalFs {
     params: LocalFsParams,
-    ssd: Ssd,
+    dev: DeviceModel,
     cache: PageCache,
     vol: Rc<RefCell<VolumeState>>,
     /// Volume-wide attachment slot (see [`LocalFs::attachment`]).
@@ -176,9 +176,15 @@ pub struct LocalFile {
 impl LocalFs {
     /// Mount a volume over the given SSD and page cache.
     pub fn new(params: LocalFsParams, ssd: Ssd, cache: PageCache) -> Self {
+        Self::with_device(params, DeviceModel::Ssd(ssd), cache)
+    }
+
+    /// Mount a volume over any backing device (SSD or byte-addressable
+    /// NVM) and page cache.
+    pub fn with_device(params: LocalFsParams, dev: DeviceModel, cache: PageCache) -> Self {
         LocalFs {
             params,
-            ssd,
+            dev,
             cache,
             vol: Rc::new(RefCell::new(VolumeState {
                 files: HashMap::new(),
@@ -189,6 +195,11 @@ impl LocalFs {
             })),
             attachment: Rc::new(RefCell::new(None)),
         }
+    }
+
+    /// The backing device of this volume.
+    pub fn device(&self) -> &DeviceModel {
+        &self.dev
     }
 
     /// Get-or-create the volume-wide attachment of type `T`, shared by
@@ -417,7 +428,7 @@ impl LocalFile {
             payload: payload.clone(),
         });
         // A stalled device back-pressures the page cache it drains into.
-        self.fs.ssd.stall_point().await;
+        self.fs.dev.stall_point().await;
         self.fs.cache.write(len).await;
         self.write_extent_bookkeeping(offset, len);
         self.state
@@ -428,7 +439,7 @@ impl LocalFile {
         // medium holds a flipped bit or a torn sector. The extent map
         // mutation breaks generator identity and structural digests,
         // exactly like real bit rot under a checksumming reader.
-        for c in e10_faultsim::ssd_corruption(self.fs.ssd.node(), len) {
+        for c in e10_faultsim::ssd_corruption(self.fs.dev.node(), len) {
             let mut st = self.state.borrow_mut();
             match c {
                 e10_faultsim::Corruption::BitFlip { offset: rel, mask } => {
@@ -449,6 +460,76 @@ impl LocalFile {
         Ok(())
     }
 
+    /// Byte-granular direct write: the payload goes straight to the
+    /// backing device at its exact length — no page-cache staging, no
+    /// prior `fallocate` required (allocation grows here, charged at
+    /// byte granularity). This is the write shape of a byte-addressable
+    /// NVM front-end; on a block SSD it would be `O_DIRECT` and slow,
+    /// so callers gate it on [`DeviceModel::byte_granular`]. Durability
+    /// and corruption semantics match [`write`](Self::write): completed
+    /// calls survive power loss, in-flight calls are torn, injected
+    /// device corruption lands in the extent map.
+    pub async fn write_direct(&self, offset: u64, payload: Payload) -> Result<(), FsError> {
+        let len = payload.len;
+        if len == 0 {
+            return Ok(());
+        }
+        let grow = {
+            let st = self.state.borrow();
+            len - st.data.covered_bytes_in(offset, len)
+        };
+        if grow > 0 {
+            self.fs.reserve(grow)?;
+        }
+        let _in_flight = self.fs.register_in_flight(InFlight::Write {
+            state: Rc::clone(&self.state),
+            offset,
+            payload: payload.clone(),
+        });
+        self.fs.dev.stall_point().await;
+        self.fs.dev.write(len).await;
+        self.state
+            .borrow_mut()
+            .data
+            .insert(offset, len, payload.src);
+        for c in e10_faultsim::ssd_corruption(self.fs.dev.node(), len) {
+            let mut st = self.state.borrow_mut();
+            match c {
+                e10_faultsim::Corruption::BitFlip { offset: rel, mask } => {
+                    let pos = offset + rel;
+                    if let Some(b) = st.data.byte_at(pos) {
+                        st.data.insert(pos, 1, Source::literal(vec![b ^ mask]));
+                    }
+                }
+                e10_faultsim::Corruption::TornSector {
+                    offset: rel,
+                    len: tlen,
+                } => {
+                    st.data
+                        .insert(offset + rel, tlen.min(len - rel), Source::Zero);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Byte-granular direct read of `[offset, offset+len)`: always
+    /// charges the backing device (direct writes never populate the
+    /// page cache, so classifying them through the write-stream
+    /// residency model would be wrong). Returns covered pieces like
+    /// [`read`](Self::read).
+    pub async fn read_direct(
+        &self,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<(Range<u64>, Option<Source>)>, FsError> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        self.fs.dev.read(len).await;
+        Ok(self.state.borrow().data.lookup(offset, len))
+    }
+
     /// Append raw bytes to the file's byte log (journal substrate).
     /// Charges the same page-cache/partition costs as [`write`](Self::write);
     /// the log offset of the appended record is returned. Unlike extent
@@ -466,7 +547,7 @@ impl LocalFile {
         });
         let at = self.state.borrow().append_log.len() as u64;
         self.write_extent_bookkeeping(at, len);
-        self.fs.ssd.stall_point().await;
+        self.fs.dev.stall_point().await;
         self.fs.cache.write(len).await;
         self.state.borrow_mut().append_log.extend_from_slice(bytes);
         Ok(at)
@@ -479,7 +560,7 @@ impl LocalFile {
             let stream_pos = self.state.borrow().stream_pos(0);
             let hit = self.fs.cache.read_at(stream_pos, len).await;
             if !hit {
-                self.fs.ssd.read(len).await;
+                self.fs.dev.read(len).await;
             }
         }
         self.state.borrow().append_log.clone()
@@ -503,7 +584,7 @@ impl LocalFile {
         let stream_pos = self.state.borrow().stream_pos(offset);
         let hit = self.fs.cache.read_at(stream_pos, len).await;
         if !hit {
-            self.fs.ssd.read(len).await;
+            self.fs.dev.read(len).await;
         }
         Ok(self.state.borrow().data.lookup(offset, len))
     }
@@ -511,7 +592,7 @@ impl LocalFile {
     /// fsync: wait for writeback of all dirty node data.
     pub async fn sync(&self) {
         // Writeback drains through the device; a planned stall delays it.
-        self.fs.ssd.stall_point().await;
+        self.fs.dev.stall_point().await;
         self.fs.cache.flush().await;
     }
 
@@ -550,7 +631,8 @@ mod tests {
             SsdParams {
                 read_bw: 1000.0,
                 write_bw: 500.0,
-                latency: SimDuration::ZERO,
+                read_latency: SimDuration::ZERO,
+                write_latency: SimDuration::ZERO,
                 jitter_cv: 0.0,
             },
             SimRng::new(1),
@@ -813,5 +895,91 @@ mod tests {
 
     async fn sleep_quarter() {
         e10_simcore::sleep(SimDuration::from_millis(250)).await;
+    }
+
+    fn small_nvm_fs() -> LocalFs {
+        let dev = e10_storesim::Nvm::new(
+            e10_storesim::NvmParams {
+                read_bw: 1000.0,
+                write_bw: 500.0,
+                read_latency: SimDuration::ZERO,
+                write_latency: SimDuration::ZERO,
+                channels: 2,
+                jitter_cv: 0.0,
+            },
+            SimRng::new(2),
+        );
+        let (_, pc) = fast_node();
+        LocalFs::with_device(
+            LocalFsParams {
+                capacity: 10_000,
+                supports_fallocate: true,
+                meta_op: SimDuration::ZERO,
+            },
+            DeviceModel::Nvm(dev),
+            pc,
+        )
+    }
+
+    #[test]
+    fn direct_write_charges_the_device_not_the_page_cache() {
+        run(async {
+            let fs = small_nvm_fs();
+            assert!(fs.device().byte_granular());
+            let f = fs.create("/nvm/cache.0").await.unwrap();
+            f.write_direct(100, Payload::gen(7, 100, 50)).await.unwrap();
+            assert_eq!(fs.page_cache().dirty(), 0, "direct writes skip the cache");
+            assert_eq!(fs.statfs().1, 50, "allocation is byte-granular");
+            assert!(f.extents().verify_gen(7, 100, 50).is_ok());
+            let pieces = f.read_direct(100, 50).await.unwrap();
+            assert_eq!(pieces.len(), 1);
+            assert!(pieces[0].1.is_some());
+        });
+    }
+
+    #[test]
+    fn direct_write_enforces_capacity() {
+        run(async {
+            let fs = small_nvm_fs();
+            let f = fs.create("/nvm/cache.0").await.unwrap();
+            f.write_direct(0, Payload::zero(9000)).await.unwrap();
+            let err = f.write_direct(9000, Payload::zero(2000)).await.unwrap_err();
+            assert!(matches!(err, FsError::NoSpace { .. }));
+        });
+    }
+
+    #[test]
+    fn completed_direct_writes_survive_power_loss() {
+        run(async {
+            let fs = small_nvm_fs();
+            let f = fs.create("/nvm/cache.0").await.unwrap();
+            f.write_direct(0, Payload::gen(3, 0, 1000)).await.unwrap();
+            fs.power_loss(512, &mut SimRng::new(1));
+            assert!(f.extents().verify_gen(3, 0, 1000).is_ok());
+            assert_eq!(fs.statfs().1, 1000);
+        });
+    }
+
+    #[test]
+    fn in_flight_direct_write_is_torn_like_a_staged_one() {
+        run(async {
+            let fs = small_nvm_fs();
+            let f = fs.create("/a").await.unwrap();
+            let gid = e10_simcore::new_group();
+            let f2 = f.clone();
+            e10_simcore::spawn_in_group(gid, async move {
+                // 5000 B at 500 B/s aggregate (250 B/s per channel,
+                // single stream): 20 s in flight.
+                f2.write_direct(0, Payload::gen(9, 0, 5000)).await.unwrap();
+                unreachable!("the node dies before the write completes");
+            });
+            sleep_quarter().await;
+            fs.power_loss(512, &mut SimRng::new(7));
+            e10_simcore::kill_group(gid);
+            let kept = f.extents().covered_bytes();
+            assert!(kept < 5000, "a torn direct write must not be complete");
+            assert_eq!(kept % 512, 0, "tear must respect the atomicity unit");
+            assert_eq!(fs.statfs().1, kept);
+        });
     }
 }

@@ -12,7 +12,8 @@ fn fast_fs(capacity: u64) -> LocalFs {
         SsdParams {
             read_bw: 1e9,
             write_bw: 1e9,
-            latency: SimDuration::ZERO,
+            read_latency: SimDuration::ZERO,
+            write_latency: SimDuration::ZERO,
             jitter_cv: 0.0,
         },
         SimRng::new(1),

@@ -73,6 +73,7 @@ pub async fn write_at_all_multifile(
         comm: sub,
         pfs: std::rc::Rc::clone(&ctx.pfs),
         localfs: std::rc::Rc::clone(&ctx.localfs),
+        nvmfs: std::rc::Rc::clone(&ctx.nvmfs),
     };
     let fd = AdioFile::open(&sub_ctx, &path, info, true).await?;
     let res = write_at_all(&fd, view, data).await;

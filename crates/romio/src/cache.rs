@@ -37,7 +37,7 @@ use e10_storesim::{pieces_digest, ExtentMap, Payload, Source};
 
 use crate::arbiter::{Admission, CacheArbiter};
 use crate::error::Error;
-use crate::hints::{FlushFlag, RomioHints, SyncPolicy};
+use crate::hints::{CacheClass, FlushFlag, RomioHints, SyncPolicy};
 use crate::journal::{self, Record};
 
 /// The stored pieces returned by cache reads.
@@ -89,6 +89,16 @@ pub struct CacheConfig {
     /// Arbiter low watermark, percent (`e10_cache_lowater`); 0
     /// resolves to `hiwater` (no hysteresis band).
     pub lowater: u64,
+    /// Device class backing the cache (`e10_cache_class`). The layer
+    /// itself only records it for introspection — the caller picks the
+    /// backing [`LocalFs`] (and, for `hybrid`, the front store).
+    pub class: CacheClass,
+    /// Byte budget of the hybrid NVM front tier (`e10_nvm_capacity`);
+    /// 0 means "whatever the front mount holds".
+    pub nvm_capacity: u64,
+    /// Writes of at most this many bytes take the byte-granular
+    /// front-end (`e10_nvm_threshold`); 0 disables it.
+    pub nvm_threshold: u64,
 }
 
 impl CacheConfig {
@@ -113,6 +123,9 @@ impl CacheConfig {
             job: crate::arbiter::job_family(file_basename).to_string(),
             hiwater: h.e10_cache_hiwater,
             lowater: h.e10_cache_lowater,
+            class: h.e10_cache_class,
+            nvm_capacity: h.e10_nvm_capacity,
+            nvm_threshold: h.e10_nvm_threshold,
         }
     }
 
@@ -141,6 +154,9 @@ impl CacheConfig {
             job: crate::arbiter::job_family(file_basename).to_string(),
             hiwater: hints.e10_cache_hiwater,
             lowater: hints.e10_cache_lowater,
+            class: hints.e10_cache_class,
+            nvm_capacity: hints.e10_nvm_capacity,
+            nvm_threshold: hints.e10_nvm_threshold,
         }
     }
 
@@ -157,6 +173,15 @@ impl CacheConfig {
         self.journal_path
             .clone()
             .unwrap_or_else(|| format!("{}.jnl", self.cache_file_path()))
+    }
+
+    /// Path of this rank's hybrid front file (on the front store's own
+    /// namespace).
+    pub fn front_file_path(&self) -> String {
+        format!(
+            "{}/{}.{}.front.e10",
+            self.cache_path, self.file_basename, self.rank
+        )
     }
 }
 
@@ -230,8 +255,117 @@ struct SyncMsg {
 /// flush: `(offset, len, held range lock, write epoch)`.
 type DeferredExtent = (u64, u64, Option<RangeLockGuard>, u64);
 
+/// The byte-granular front tier. For the pure `nvm` class this wraps
+/// the cache file itself (small writes hit the same file through the
+/// direct, non-staged path); for `hybrid` it is a distinct file on the
+/// NVM store while the block tier keeps the main cache file.
+///
+/// Invariant: `map` records exactly which byte ranges are owned by the
+/// byte-granular path, and (for `hybrid`) a byte lives in exactly one
+/// of the two files — overlapping writes punch the loser.
+struct Front {
+    file: LocalFile,
+    fs: LocalFs,
+    path: String,
+    /// True for `hybrid`: `file` is distinct from the block-tier file.
+    separate: bool,
+    /// Ranges whose current bytes live in the byte-granular tier.
+    map: RefCell<ExtentMap>,
+    /// Remaining front budget in bytes (`u64::MAX` = unlimited).
+    budget: Cell<u64>,
+}
+
+impl Front {
+    /// Reserve `n` budget bytes; false leaves the budget untouched.
+    fn take_budget(&self, n: u64) -> bool {
+        let b = self.budget.get();
+        if b == u64::MAX {
+            return true;
+        }
+        if b < n {
+            return false;
+        }
+        self.budget.set(b - n);
+        true
+    }
+
+    /// Return `n` budget bytes.
+    fn give_budget(&self, n: u64) {
+        let b = self.budget.get();
+        if b != u64::MAX {
+            self.budget.set(b + n);
+        }
+    }
+
+    /// Drop `[offset, offset+len)` from the front tier (overwrite by
+    /// the block tier, eviction, repair routing) and refund its budget.
+    async fn release(&self, offset: u64, len: u64) {
+        let owned = self.map.borrow().covered_bytes_in(offset, len);
+        if owned == 0 {
+            return;
+        }
+        self.map.borrow_mut().remove(offset, len);
+        self.give_budget(owned);
+        if self.separate {
+            self.file.punch(offset, len).await;
+        }
+    }
+}
+
+/// Read `[pos, pos+n)` from the right tier(s): front-owned ranges come
+/// through the byte-granular direct path (direct writes never populate
+/// the page cache), everything else through the block tier's normal
+/// read path. Pieces come back in offset order, holes as `None`.
+async fn tier_read(main: &LocalFile, front: Option<&Rc<Front>>, pos: u64, n: u64) -> Pieces {
+    let Some(f) = front else {
+        return main.read(pos, n).await.unwrap_or_default();
+    };
+    let split = f.map.borrow().lookup(pos, n);
+    if split.iter().all(|(_, s)| s.is_none()) {
+        return main.read(pos, n).await.unwrap_or_default();
+    }
+    let mut out: Pieces = Vec::new();
+    for (range, owned) in split {
+        let len = range.end - range.start;
+        let part = if owned.is_some() {
+            f.file
+                .read_direct(range.start, len)
+                .await
+                .unwrap_or_default()
+        } else {
+            main.read(range.start, len).await.unwrap_or_default()
+        };
+        out.extend(part);
+    }
+    out
+}
+
+/// Write one repair piece to the tier that owns it. Ranges straddling
+/// the tier boundary are split along the front map so each byte is
+/// rewritten in place.
+async fn tier_write(main: &LocalFile, front: Option<&Rc<Front>>, offset: u64, payload: Payload) {
+    let len = payload.len;
+    let Some(f) = front else {
+        let _ = main.write(offset, payload).await;
+        return;
+    };
+    let split = f.map.borrow().lookup(offset, len);
+    for (range, owned) in split {
+        let plen = range.end - range.start;
+        let piece = payload.slice(range.start - offset, plen);
+        if owned.is_some() {
+            let _ = f.file.write_direct(range.start, piece).await;
+        } else {
+            let _ = main.write(range.start, piece).await;
+        }
+    }
+}
+
 struct CacheInner {
     file: LocalFile,
+    /// Byte-granular front tier (`nvm` and `hybrid` classes); `None`
+    /// on block-only stores or with `e10_nvm_threshold = 0`.
+    front: Option<Rc<Front>>,
     journal: Option<LocalFile>,
     cache_file_path: String,
     journal_file_path: String,
@@ -284,6 +418,7 @@ enum Verdict {
 /// digests were already checked at recovery, nothing to compare here).
 async fn verify_chunk(
     file: &LocalFile,
+    front: Option<&Rc<Front>>,
     resident: &RefCell<ExtentMap>,
     pos: u64,
     n: u64,
@@ -302,29 +437,31 @@ async fn verify_chunk(
     // Bounded re-read: rules out a transient read-path glitch before
     // blaming the stored bytes.
     for _ in 0..2 {
-        let again = file.read(pos, n).await.unwrap_or_default();
+        let again = tier_read(file, front, pos, n).await;
         if pieces_digest(pos, &again) == expected {
             return Some(Verdict::Clean(Some(again)));
         }
     }
-    // The stored bytes are wrong: rewrite them from the mirror, then
-    // check the device accepted the repair.
+    // The stored bytes are wrong: rewrite them from the mirror (each
+    // piece to the tier that owns it), then check the device accepted
+    // the repair.
     let truth: Pieces = resident.borrow().lookup(pos, n);
     for (range, src) in &truth {
         if let Some(src) = src {
             let len = range.end - range.start;
-            let _ = file
-                .write(
-                    range.start,
-                    Payload {
-                        src: src.clone(),
-                        len,
-                    },
-                )
-                .await;
+            tier_write(
+                file,
+                front,
+                range.start,
+                Payload {
+                    src: src.clone(),
+                    len,
+                },
+            )
+            .await;
         }
     }
-    let reread = file.read(pos, n).await.unwrap_or_default();
+    let reread = tier_read(file, front, pos, n).await;
     if pieces_digest(pos, &reread) == expected {
         Some(Verdict::Repaired(reread))
     } else {
@@ -335,6 +472,7 @@ async fn verify_chunk(
 /// One scrubber pass: re-verify (and repair) every resident extent.
 async fn scrub_pass(
     file: &LocalFile,
+    front: Option<&Rc<Front>>,
     resident: &RefCell<ExtentMap>,
     mismatches: &Cell<u64>,
     repairs: &Cell<u64>,
@@ -347,8 +485,8 @@ async fn scrub_pass(
         .collect();
     let mut scrubbed = 0;
     for (o, l) in extents {
-        let pieces = file.read(o, l).await.unwrap_or_default();
-        match verify_chunk(file, resident, o, l, &pieces).await {
+        let pieces = tier_read(file, front, o, l).await;
+        match verify_chunk(file, front, resident, o, l, &pieces).await {
             Some(Verdict::Clean(_)) | None => {}
             Some(Verdict::Repaired(_)) => {
                 mismatches.set(mismatches.get() + 1);
@@ -390,6 +528,24 @@ impl CacheLayer {
         global: PfsHandle,
         cfg: CacheConfig,
     ) -> Result<CacheLayer, FsError> {
+        Self::open_with_front(localfs, None, global, cfg).await
+    }
+
+    /// Like [`open`](Self::open), with an optional distinct front
+    /// store (the `hybrid` class): the main cache file stays on
+    /// `localfs` (typically the block SSD) while writes up to
+    /// `e10_nvm_threshold` bytes go to a byte-granular front file on
+    /// `front_fs`, bounded by `e10_nvm_capacity`.
+    ///
+    /// With `front_fs = None` and a byte-granular `localfs` device
+    /// (the pure `nvm` class), small writes take the direct path into
+    /// the cache file itself.
+    pub async fn open_with_front(
+        localfs: LocalFs,
+        front_fs: Option<LocalFs>,
+        global: PfsHandle,
+        cfg: CacheConfig,
+    ) -> Result<CacheLayer, FsError> {
         let cache_file_path = cfg.cache_file_path();
         let journal_file_path = cfg.journal_file_path();
         let file = localfs.create(&cache_file_path).await?;
@@ -398,7 +554,36 @@ impl CacheLayer {
         } else {
             None
         };
-        Self::assemble(localfs, global, cfg, file, journal)
+        let front = if cfg.nvm_threshold == 0 {
+            None
+        } else if let Some(ffs) = front_fs {
+            let front_path = cfg.front_file_path();
+            let ffile = ffs.create(&front_path).await?;
+            Some(Rc::new(Front {
+                file: ffile,
+                fs: ffs,
+                path: front_path,
+                separate: true,
+                map: RefCell::new(ExtentMap::new()),
+                budget: Cell::new(if cfg.nvm_capacity > 0 {
+                    cfg.nvm_capacity
+                } else {
+                    u64::MAX
+                }),
+            }))
+        } else if localfs.device().byte_granular() {
+            Some(Rc::new(Front {
+                file: file.clone(),
+                fs: localfs.clone(),
+                path: cache_file_path.clone(),
+                separate: false,
+                map: RefCell::new(ExtentMap::new()),
+                budget: Cell::new(u64::MAX),
+            }))
+        } else {
+            None
+        };
+        Self::assemble(localfs, global, cfg, file, journal, front)
     }
 
     fn assemble(
@@ -407,6 +592,7 @@ impl CacheLayer {
         mut cfg: CacheConfig,
         file: LocalFile,
         journal: Option<LocalFile>,
+        front: Option<Rc<Front>>,
     ) -> Result<CacheLayer, FsError> {
         cfg.ind_wr = cfg.ind_wr.max(1);
         let arbiter = CacheArbiter::of(&localfs);
@@ -415,6 +601,7 @@ impl CacheLayer {
             cache_file_path: cfg.cache_file_path(),
             journal_file_path: cfg.journal_file_path(),
             file,
+            front,
             journal,
             localfs,
             global,
@@ -453,13 +640,34 @@ impl CacheLayer {
         global: PfsHandle,
         cfg: CacheConfig,
     ) -> Result<(CacheLayer, RecoveryReport), RecoverError> {
+        Self::recover_with_front(localfs, None, global, cfg).await
+    }
+
+    /// [`recover`](Self::recover) for a `hybrid` cache: also re-opens
+    /// the byte-granular front file on `front_fs` (when it survived)
+    /// and re-queues front-resident extents from there. The front
+    /// file's own extent map is the recovery-time source of truth for
+    /// which bytes the front tier owns — every completed direct write
+    /// is durable there, and overwrites by the block tier punched the
+    /// stale copy before acknowledging.
+    pub async fn recover_with_front(
+        localfs: LocalFs,
+        front_fs: Option<LocalFs>,
+        global: PfsHandle,
+        cfg: CacheConfig,
+    ) -> Result<(CacheLayer, RecoveryReport), RecoverError> {
         let cache_file_path = cfg.cache_file_path();
         let journal_file_path = cfg.journal_file_path();
         if !cfg.journal || !localfs.exists(&journal_file_path) {
-            let cached_bytes = match localfs.open(&cache_file_path).await {
+            let mut cached_bytes = match localfs.open(&cache_file_path).await {
                 Ok(f) => f.extents().covered_bytes(),
                 Err(_) => 0,
             };
+            if let Some(ffs) = &front_fs {
+                if let Ok(f) = ffs.open(&cfg.front_file_path()).await {
+                    cached_bytes += f.extents().covered_bytes();
+                }
+            }
             return Err(RecoverError::NoJournal { cached_bytes });
         }
         let journal_file = localfs
@@ -475,6 +683,52 @@ impl CacheLayer {
                 .await
                 .map_err(RecoverError::Local)?,
             Err(e) => return Err(RecoverError::Local(e)),
+        };
+        // Re-attach the byte-granular front tier. Hybrid: the front
+        // file's surviving extents say exactly which ranges it owns.
+        // Pure nvm (byte-granular main device): start with an empty
+        // ownership map — staged bytes read fine through the block
+        // path on a cold page cache, and new writes re-engage the
+        // direct path.
+        let front = if cfg.nvm_threshold == 0 {
+            None
+        } else if let Some(ffs) = front_fs {
+            let front_path = cfg.front_file_path();
+            let ffile = match ffs.open(&front_path).await {
+                Ok(f) => f,
+                Err(FsError::NotFound(_)) => {
+                    ffs.create(&front_path).await.map_err(RecoverError::Local)?
+                }
+                Err(e) => return Err(RecoverError::Local(e)),
+            };
+            let mut map = ExtentMap::new();
+            for (s, e, _) in ffile.extents().iter() {
+                map.insert(s, e - s, Source::Zero);
+            }
+            let owned = map.covered_bytes();
+            Some(Rc::new(Front {
+                file: ffile,
+                fs: ffs,
+                path: front_path,
+                separate: true,
+                map: RefCell::new(map),
+                budget: Cell::new(if cfg.nvm_capacity > 0 {
+                    cfg.nvm_capacity.saturating_sub(owned)
+                } else {
+                    u64::MAX
+                }),
+            }))
+        } else if localfs.device().byte_granular() {
+            Some(Rc::new(Front {
+                file: file.clone(),
+                fs: localfs.clone(),
+                path: cache_file_path.clone(),
+                separate: false,
+                map: RefCell::new(ExtentMap::new()),
+                budget: Cell::new(u64::MAX),
+            }))
+        } else {
+            None
         };
         let log = journal_file.read_log().await;
         let rep = journal::replay(&log);
@@ -501,6 +755,10 @@ impl CacheLayer {
                 unsynced_map.insert(o, l, Source::Zero);
             }
             let ext = file.extents();
+            let front_ext = front
+                .as_ref()
+                .filter(|f| f.separate)
+                .map(|f| f.file.extents());
             for (o, l) in adds {
                 let Some(&digest) = digests.get(&o) else {
                     continue;
@@ -508,7 +766,14 @@ impl CacheLayer {
                 // Only fully-staged, fully-unsynced extents are
                 // checkable: partially synced (possibly evicted) ones
                 // no longer match a write-time digest by construction.
-                if unsynced_map.covered(o, l) && ext.covered(o, l) && ext.digest(o, l) != digest {
+                // Front-resident extents are checked against the front
+                // file, everything else against the block-tier file.
+                let owner = match &front_ext {
+                    Some(fe) if fe.covered(o, l) => fe,
+                    _ => &ext,
+                };
+                if unsynced_map.covered(o, l) && owner.covered(o, l) && owner.digest(o, l) != digest
+                {
                     corrupt.push((o, l));
                 }
             }
@@ -529,12 +794,19 @@ impl CacheLayer {
             corrupt: corrupt.clone(),
             corrupt_bytes,
         };
-        let layer = Self::assemble(localfs, global, cfg, file, Some(journal_file))
+        let layer = Self::assemble(localfs, global, cfg, file, Some(journal_file), front)
             .map_err(RecoverError::Local)?;
+        let front_bytes = layer
+            .inner
+            .front
+            .as_ref()
+            .filter(|f| f.separate)
+            .map(|f| f.map.borrow().covered_bytes())
+            .unwrap_or(0);
         layer
             .inner
             .bytes_cached
-            .set(layer.inner.file.extents().covered_bytes());
+            .set(layer.inner.file.extents().covered_bytes() + front_bytes);
         if let Some(&(o, l)) = corrupt.first() {
             // Never silently drop data: the affected ranges surface as
             // a typed error on the next flush/close.
@@ -570,6 +842,7 @@ impl CacheLayer {
     fn start_sync_thread(&self) {
         let (tx, mut rx) = channel::<SyncMsg>();
         let file = self.inner.file.clone();
+        let front = self.inner.front.clone();
         let journal = self.inner.journal.clone();
         let global = self.inner.global.clone();
         let node = self.inner.cfg.node;
@@ -596,7 +869,15 @@ impl CacheLayer {
                     && e10_simcore::now() >= last_scrub + SimDuration::from_millis(scrub_ms)
                 {
                     last_scrub = e10_simcore::now();
-                    scrub_pass(&file, &resident, &mismatches, &repairs, node).await;
+                    scrub_pass(
+                        &file,
+                        front.as_ref(),
+                        &resident,
+                        &mismatches,
+                        &repairs,
+                        node,
+                    )
+                    .await;
                 }
                 trace::emit(|| {
                     Event::new(Layer::Romio, "cache.sync", EventKind::Begin)
@@ -631,9 +912,10 @@ impl CacheLayer {
                     } else {
                         false
                     };
-                    // Read back from the cache file (page-cache hit for
-                    // recent data, SSD otherwise)...
-                    let mut pieces = file.read(pos, n).await.unwrap_or_default();
+                    // Read back from the owning tier(s): page-cache or
+                    // block device for staged chunks, the byte-granular
+                    // direct path for front-resident ranges...
+                    let mut pieces = tier_read(&file, front.as_ref(), pos, n).await;
                     // Verify-on-flush: never push unchecked bytes to
                     // the global file. A mismatch walks the re-read →
                     // repair-from-memory ladder; if the device keeps
@@ -641,7 +923,8 @@ impl CacheLayer {
                     // in-memory copy but the cache degrades and the
                     // failure surfaces as a typed error at flush.
                     if integrity {
-                        match verify_chunk(&file, &resident, pos, n, &pieces).await {
+                        match verify_chunk(&file, front.as_ref(), &resident, pos, n, &pieces).await
+                        {
                             None | Some(Verdict::Clean(None)) => {}
                             Some(Verdict::Clean(Some(again))) => {
                                 mismatches.set(mismatches.get() + 1);
@@ -736,6 +1019,9 @@ impl CacheLayer {
                                 0
                             };
                             file.punch(pos, n).await;
+                            if let Some(f) = &front {
+                                f.release(pos, n).await;
+                            }
                             if integrity {
                                 // Keep the mirror in lock-step with the
                                 // cache file so later verifies compare
@@ -829,6 +1115,21 @@ impl CacheLayer {
         self.inner.journal.is_some()
     }
 
+    /// True if a byte-granular front tier is active (pure `nvm` on a
+    /// byte-granular device, or `hybrid` with a distinct front store).
+    pub fn front_active(&self) -> bool {
+        self.inner.front.is_some()
+    }
+
+    /// Bytes currently owned by the byte-granular front tier.
+    pub fn front_bytes(&self) -> u64 {
+        self.inner
+            .front
+            .as_ref()
+            .map(|f| f.map.borrow().covered_bytes())
+            .unwrap_or(0)
+    }
+
     /// True if `[offset, offset+len)` is fully present in this
     /// process's cache file (cache-read extension). The empty range is
     /// only "covered" where the file has data at all: a zero-length
@@ -837,10 +1138,21 @@ impl CacheLayer {
     /// never seen.
     pub fn covers(&self, offset: u64, len: u64) -> bool {
         let ext = self.inner.file.extents();
+        let Some(f) = &self.inner.front else {
+            if len == 0 {
+                return ext.covered_bytes_in(offset, 1) == 1;
+            }
+            return ext.covered(offset, len);
+        };
+        // Union of the two tiers: front-owned ranges plus whatever the
+        // block tier holds in the gaps.
+        let fm = f.map.borrow();
         if len == 0 {
-            return ext.covered_bytes_in(offset, 1) == 1;
+            return ext.covered_bytes_in(offset, 1) == 1 || fm.covered_bytes_in(offset, 1) == 1;
         }
-        ext.covered(offset, len)
+        fm.lookup(offset, len).iter().all(|(range, owned)| {
+            owned.is_some() || ext.covered(range.start, range.end - range.start)
+        })
     }
 
     /// Read from the cache file (charges local device/page-cache time)
@@ -850,7 +1162,7 @@ impl CacheLayer {
         offset: u64,
         len: u64,
     ) -> Vec<(std::ops::Range<u64>, Option<e10_storesim::Source>)> {
-        self.inner.file.read(offset, len).await.unwrap_or_default()
+        tier_read(&self.inner.file, self.inner.front.as_ref(), offset, len).await
     }
 
     /// Read from the cache file with digest verification
@@ -861,11 +1173,20 @@ impl CacheLayer {
     /// through to the global file. With integrity disabled this is
     /// exactly [`CacheLayer::read_local`].
     pub async fn read_verified(&self, offset: u64, len: u64) -> Option<Pieces> {
-        let pieces = self.inner.file.read(offset, len).await.unwrap_or_default();
+        let pieces = tier_read(&self.inner.file, self.inner.front.as_ref(), offset, len).await;
         if !self.inner.cfg.integrity {
             return Some(pieces);
         }
-        match verify_chunk(&self.inner.file, &self.inner.resident, offset, len, &pieces).await {
+        match verify_chunk(
+            &self.inner.file,
+            self.inner.front.as_ref(),
+            &self.inner.resident,
+            offset,
+            len,
+            &pieces,
+        )
+        .await
+        {
             // No in-memory copy to compare against (recovered cache):
             // serve as-is — recovery already verified journal digests.
             None | Some(Verdict::Clean(None)) => Some(pieces),
@@ -949,6 +1270,23 @@ impl CacheLayer {
     /// if the cache is (or just became) degraded and the caller must
     /// write to the global file instead.
     pub async fn write(&self, offset: u64, payload: Payload) -> Result<bool, FsError> {
+        // The caller is stalled for exactly the duration of this call:
+        // that is the cache-write stall time the NVM front-end exists
+        // to shrink, so meter it as a counter the benches can gate on.
+        let len = payload.len;
+        let t0 = e10_simcore::now();
+        let out = self.write_inner(offset, payload).await;
+        let stalled = e10_simcore::now().since(t0).as_nanos();
+        if stalled > 0 {
+            trace::counter("cache.write_stall_ns", stalled);
+        }
+        if matches!(out, Ok(true)) {
+            trace::counter("cache.write_bytes", len);
+        }
+        out
+    }
+
+    async fn write_inner(&self, offset: u64, payload: Payload) -> Result<bool, FsError> {
         if self.inner.degraded.get() {
             return Ok(false);
         }
@@ -986,37 +1324,87 @@ impl CacheLayer {
             // task can skew it).
             grow = len - self.inner.file.extents().covered_bytes_in(offset, len);
         }
-        // ADIOI_Cache_alloc: reserve space first so failure is clean.
-        if let Err(e) = self.inner.file.fallocate(offset, len).await {
-            if managed {
-                self.inner.arbiter.note_freed(&self.inner.cfg.job, len);
-            }
-            match e {
-                FsError::NoSpace { .. } => {
-                    self.inner.degraded.set(true);
-                    return Ok(false);
+        // Byte-granular front-end: extents up to `e10_nvm_threshold`
+        // go straight to the byte-addressable device — no fallocate,
+        // no page-cache staging. Watermark-managed jobs keep the block
+        // path so the arbiter's volume accounting and eviction
+        // candidates stay exact.
+        let mut staged_front = false;
+        if !managed {
+            if let Some(f) = &self.inner.front {
+                if len <= self.inner.cfg.nvm_threshold {
+                    let fgrow = len - f.map.borrow().covered_bytes_in(offset, len);
+                    if f.take_budget(fgrow) {
+                        match f.file.write_direct(offset, payload.clone()).await {
+                            Ok(()) => staged_front = true,
+                            // Front mount full: overflow to the block
+                            // tier below instead of degrading.
+                            Err(FsError::NoSpace { .. }) => f.give_budget(fgrow),
+                            Err(other) => {
+                                f.give_budget(fgrow);
+                                return Err(other);
+                            }
+                        }
+                    }
                 }
-                other => return Err(other),
             }
         }
-        if managed {
-            // Rewrites of already-resident bytes were double-charged
-            // at admission; release the overlap.
-            self.inner
-                .arbiter
-                .note_freed(&self.inner.cfg.job, len - grow);
+        if staged_front {
+            let f = self.inner.front.as_ref().expect("front staged");
+            // The mirror is the ground truth verification compares
+            // against; `payload.src` describes the intended bytes
+            // independent of what the device stored.
+            if self.inner.cfg.integrity {
+                self.inner
+                    .resident
+                    .borrow_mut()
+                    .insert(offset, len, payload.src.clone());
+            }
+            f.map.borrow_mut().insert(offset, len, Source::Zero);
+            // Each byte lives in exactly one tier: drop any stale
+            // block-tier copy this write supersedes.
+            if f.separate && self.inner.file.extents().covered_bytes_in(offset, len) > 0 {
+                self.inner.file.punch(offset, len).await;
+            }
+            trace::counter("cache.front_write_bytes", len);
+        } else {
+            // ADIOI_Cache_alloc: reserve space first so failure is
+            // clean.
+            if let Err(e) = self.inner.file.fallocate(offset, len).await {
+                if managed {
+                    self.inner.arbiter.note_freed(&self.inner.cfg.job, len);
+                }
+                match e {
+                    FsError::NoSpace { .. } => {
+                        self.inner.degraded.set(true);
+                        return Ok(false);
+                    }
+                    other => return Err(other),
+                }
+            }
+            if managed {
+                // Rewrites of already-resident bytes were double-charged
+                // at admission; release the overlap.
+                self.inner
+                    .arbiter
+                    .note_freed(&self.inner.cfg.job, len - grow);
+            }
+            // Capture the intended content before the device sees it:
+            // the mirror is the ground truth later verification
+            // compares against, so it must never pass through the
+            // (corruptible) cache file.
+            if self.inner.cfg.integrity {
+                self.inner
+                    .resident
+                    .borrow_mut()
+                    .insert(offset, len, payload.src.clone());
+            }
+            self.inner.file.write(offset, payload).await?;
+            // A block-tier overwrite supersedes any front-tier copy.
+            if let Some(f) = &self.inner.front {
+                f.release(offset, len).await;
+            }
         }
-        // Capture the intended content before the device sees it: the
-        // mirror is the ground truth later verification compares
-        // against, so it must never pass through the (corruptible)
-        // cache file.
-        if self.inner.cfg.integrity {
-            self.inner
-                .resident
-                .borrow_mut()
-                .insert(offset, len, payload.src.clone());
-        }
-        self.inner.file.write(offset, payload).await?;
         // The manifest Add is appended only after the data write
         // completed, and the application's write does not return before
         // the append: every acknowledged byte is in the journal.
@@ -1168,6 +1556,11 @@ impl CacheLayer {
                     .localfs
                     .unlink(&self.inner.journal_file_path)
                     .await;
+            }
+            if let Some(f) = &self.inner.front {
+                if f.separate {
+                    let _ = f.fs.unlink(&f.path).await;
+                }
             }
         }
         self.inner.arbiter.unregister(&self.inner.cfg.job);
@@ -1857,6 +2250,207 @@ mod tests {
                 Err(e) => panic!("wrong error: {e}"),
                 Ok(_) => panic!("recovery must fail without a journal"),
             }
+        });
+    }
+
+    #[test]
+    fn nvm_class_stages_small_writes_byte_granular() {
+        run(async {
+            let tb = TestbedSpec::small(2, 1).build();
+            let global = tb.pfs.create(0, "/gfs/n", Striping::default()).await;
+            let c = CacheConfig::new("/pmem", "n", 0, 0);
+            // Pure nvm class: the cache lives on the byte-granular
+            // mount, so small writes skip the block staging path.
+            let layer = CacheLayer::open(tb.nvmfs[0].clone(), global.clone(), c)
+                .await
+                .unwrap();
+            assert!(layer.front_active());
+            layer.write(0, Payload::gen(4, 0, 64 << 10)).await.unwrap();
+            assert_eq!(layer.front_bytes(), 64 << 10);
+            // Above the threshold (default 1 MiB) the extent path runs.
+            layer
+                .write(1 << 20, Payload::gen(4, 1 << 20, 2 << 20))
+                .await
+                .unwrap();
+            assert_eq!(layer.front_bytes(), 64 << 10);
+            assert_eq!(layer.bytes_cached(), (64 << 10) + (2 << 20));
+            assert!(layer.covers(0, 64 << 10));
+            assert!(layer.covers(1 << 20, 2 << 20));
+            layer.flush().await.unwrap();
+            assert!(global.extents().verify_gen(4, 0, 64 << 10).is_ok());
+            assert!(global.extents().verify_gen(4, 1 << 20, 2 << 20).is_ok());
+            layer.close().await.unwrap();
+        });
+    }
+
+    #[test]
+    fn hybrid_routes_small_to_nvm_and_large_to_ssd() {
+        run(async {
+            let tb = TestbedSpec::small(2, 1).build();
+            let global = tb.pfs.create(0, "/gfs/h", Striping::default()).await;
+            let mut c = CacheConfig::new("/scratch", "h", 0, 0);
+            c.discard = true;
+            let front_path = c.front_file_path();
+            let layer = CacheLayer::open_with_front(
+                tb.localfs[0].clone(),
+                Some(tb.nvmfs[0].clone()),
+                global.clone(),
+                c,
+            )
+            .await
+            .unwrap();
+            assert!(layer.front_active());
+            layer.write(0, Payload::gen(5, 0, 16 << 10)).await.unwrap();
+            layer
+                .write(4 << 20, Payload::gen(5, 4 << 20, 2 << 20))
+                .await
+                .unwrap();
+            // The small piece lives on the NVM mount, the big one on
+            // the SSD partition; `covers` sees the union.
+            assert_eq!(layer.front_bytes(), 16 << 10);
+            assert!(tb.nvmfs[0].exists(&front_path));
+            assert_eq!(tb.nvmfs[0].statfs().1, 16 << 10);
+            assert_eq!(tb.localfs[0].statfs().1 % (1 << 20), 0); // extent-rounded
+            assert!(layer.covers(0, 16 << 10));
+            assert!(layer.covers(4 << 20, 2 << 20));
+            assert!(!layer.covers(0, 32 << 10));
+            layer.flush().await.unwrap();
+            assert!(global.extents().verify_gen(5, 0, 16 << 10).is_ok());
+            assert!(global.extents().verify_gen(5, 4 << 20, 2 << 20).is_ok());
+            layer.close().await.unwrap();
+            // Discard removes the front file along with the cache file.
+            assert!(!tb.nvmfs[0].exists(&front_path));
+        });
+    }
+
+    #[test]
+    fn hybrid_overwrite_migrates_ownership_between_tiers() {
+        run(async {
+            let tb = TestbedSpec::small(2, 1).build();
+            let global = tb.pfs.create(0, "/gfs/m", Striping::default()).await;
+            let c = CacheConfig::new("/scratch", "m", 0, 0);
+            let layer = CacheLayer::open_with_front(
+                tb.localfs[0].clone(),
+                Some(tb.nvmfs[0].clone()),
+                global.clone(),
+                c,
+            )
+            .await
+            .unwrap();
+            // Small write owns [0, 64K) on the front tier...
+            layer.write(0, Payload::gen(1, 0, 64 << 10)).await.unwrap();
+            assert_eq!(layer.front_bytes(), 64 << 10);
+            // ...a large overwrite moves the range to the block tier
+            // (the stale front copy is punched, not left to shadow it).
+            layer.write(0, Payload::gen(2, 0, 2 << 20)).await.unwrap();
+            assert_eq!(layer.front_bytes(), 0);
+            assert_eq!(tb.nvmfs[0].statfs().1, 0);
+            // ...and a later small overwrite claims its bytes back.
+            layer.write(0, Payload::gen(3, 0, 4 << 10)).await.unwrap();
+            assert_eq!(layer.front_bytes(), 4 << 10);
+            layer.flush().await.unwrap();
+            assert!(global.extents().verify_gen(3, 0, 4 << 10).is_ok());
+            assert!(global
+                .extents()
+                .verify_gen(2, 4 << 10, (2 << 20) - (4 << 10))
+                .is_ok());
+            layer.close().await.unwrap();
+        });
+    }
+
+    #[test]
+    fn hybrid_capacity_budget_overflows_to_block_tier() {
+        run(async {
+            let tb = TestbedSpec::small(2, 1).build();
+            let global = tb.pfs.create(0, "/gfs/b", Striping::default()).await;
+            let mut c = CacheConfig::new("/scratch", "b", 0, 0);
+            c.nvm_capacity = 64 << 10;
+            let layer = CacheLayer::open_with_front(
+                tb.localfs[0].clone(),
+                Some(tb.nvmfs[0].clone()),
+                global.clone(),
+                c,
+            )
+            .await
+            .unwrap();
+            layer.write(0, Payload::gen(9, 0, 48 << 10)).await.unwrap();
+            assert_eq!(layer.front_bytes(), 48 << 10);
+            // Only 16 KiB of budget remains: the next small write spills
+            // to the SSD block tier instead of failing.
+            layer
+                .write(1 << 20, Payload::gen(9, 1 << 20, 48 << 10))
+                .await
+                .unwrap();
+            assert_eq!(layer.front_bytes(), 48 << 10);
+            assert!(layer.covers(1 << 20, 48 << 10));
+            layer.flush().await.unwrap();
+            assert!(global.extents().verify_gen(9, 0, 48 << 10).is_ok());
+            assert!(global.extents().verify_gen(9, 1 << 20, 48 << 10).is_ok());
+            layer.close().await.unwrap();
+        });
+    }
+
+    #[test]
+    fn hybrid_recover_requeues_both_tiers() {
+        run(async {
+            let tb = TestbedSpec::small(2, 1).build();
+            let global = tb.pfs.create(0, "/gfs/hr", Striping::default()).await;
+            let mut c = CacheConfig::new("/scratch", "hr", 0, 0);
+            c.journal = true;
+            c.flush_flag = FlushFlag::FlushOnClose;
+            let layer = CacheLayer::open_with_front(
+                tb.localfs[0].clone(),
+                Some(tb.nvmfs[0].clone()),
+                global.clone(),
+                c.clone(),
+            )
+            .await
+            .unwrap();
+            layer.write(0, Payload::gen(7, 0, 32 << 10)).await.unwrap();
+            layer
+                .write(4 << 20, Payload::gen(7, 4 << 20, 2 << 20))
+                .await
+                .unwrap();
+            drop(layer);
+
+            let (rec, report) = CacheLayer::recover_with_front(
+                tb.localfs[0].clone(),
+                Some(tb.nvmfs[0].clone()),
+                global.clone(),
+                c,
+            )
+            .await
+            .unwrap();
+            assert_eq!(report.records, 2);
+            assert_eq!(report.requeued, vec![(0, 32 << 10), (4 << 20, 2 << 20)]);
+            // The front map is rebuilt from the NVM file itself, so the
+            // small extent flushes from the byte-granular tier.
+            assert_eq!(rec.front_bytes(), 32 << 10);
+            rec.flush().await.unwrap();
+            assert!(global.extents().verify_gen(7, 0, 32 << 10).is_ok());
+            assert!(global.extents().verify_gen(7, 4 << 20, 2 << 20).is_ok());
+            rec.close().await.unwrap();
+        });
+    }
+
+    #[test]
+    fn zero_threshold_disables_front_on_byte_granular_mount() {
+        run(async {
+            let tb = TestbedSpec::small(2, 1).build();
+            let global = tb.pfs.create(0, "/gfs/z", Striping::default()).await;
+            let mut c = CacheConfig::new("/pmem", "z", 0, 0);
+            c.nvm_threshold = 0;
+            let layer = CacheLayer::open(tb.nvmfs[0].clone(), global.clone(), c)
+                .await
+                .unwrap();
+            // With the front disabled the nvm class runs the exact SSD
+            // code path (the determinism anchor depends on this).
+            assert!(!layer.front_active());
+            layer.write(0, Payload::gen(2, 0, 64 << 10)).await.unwrap();
+            assert_eq!(layer.front_bytes(), 0);
+            layer.flush().await.unwrap();
+            assert!(global.extents().verify_gen(2, 0, 64 << 10).is_ok());
+            layer.close().await.unwrap();
         });
     }
 }

@@ -80,6 +80,44 @@ impl CacheMode {
     }
 }
 
+/// `e10_cache_class` values (extension): which node-local device class
+/// backs the E10 cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheClass {
+    /// The paper's setup: the block SSD `/scratch` partition (default).
+    #[default]
+    Ssd,
+    /// Byte-addressable NVM mount: asymmetric latency, byte-granular
+    /// commands, channel-level concurrency. Small cache writes (at most
+    /// `e10_nvm_threshold` bytes) take the byte-granular front-end,
+    /// skipping the fallocate/page-cache staging path.
+    Nvm,
+    /// Two-tier cache: pieces at most `e10_nvm_threshold` bytes go to
+    /// an NVM front file (capped by `e10_nvm_capacity`), everything
+    /// else — and the overflow — to the SSD cache file.
+    Hybrid,
+}
+
+impl CacheClass {
+    fn parse(s: &str) -> Option<CacheClass> {
+        match s {
+            "ssd" => Some(CacheClass::Ssd),
+            "nvm" => Some(CacheClass::Nvm),
+            "hybrid" => Some(CacheClass::Hybrid),
+            _ => None,
+        }
+    }
+
+    /// The hint-string spelling of this class.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CacheClass::Ssd => "ssd",
+            CacheClass::Nvm => "nvm",
+            CacheClass::Hybrid => "hybrid",
+        }
+    }
+}
+
 /// `e10_cache_flush_flag` values (Table II), plus the `flush_none`
 /// measurement mode used to obtain the paper's "TBW Cache Enabled"
 /// series (cache writes without any synchronisation to the global
@@ -251,7 +289,7 @@ impl TraceMode {
 }
 
 /// All hints relevant to this implementation, resolved with defaults.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RomioHints {
     /// `romio_cb_write` (Table I).
     pub cb_write: CbMode,
@@ -333,6 +371,21 @@ pub struct RomioHints {
     /// admitting again after a high-watermark trip. `0` means "same as
     /// hiwater" (no hysteresis). Must not exceed `e10_cache_hiwater`.
     pub e10_cache_lowater: u64,
+    /// `e10_cache_class` (extension): device class backing the cache —
+    /// `ssd` (default), `nvm`, or `hybrid`.
+    pub e10_cache_class: CacheClass,
+    /// `e10_nvm_capacity` (extension): byte budget of the NVM front
+    /// tier in `hybrid` mode. `0` (the default) means "whatever the
+    /// NVM mount holds" — the mount's own capacity is the only limit.
+    /// Ignored for the pure classes.
+    pub e10_nvm_capacity: u64,
+    /// `e10_nvm_threshold` (extension): cache writes of at most this
+    /// many bytes take the byte-granular NVM path (`nvm` class: direct
+    /// device writes; `hybrid`: routed to the front tier). Default
+    /// 1 MiB. `0` disables the byte-granular front entirely, making
+    /// the nvm class operation-for-operation identical to ssd (the
+    /// determinism anchor relies on this).
+    pub e10_nvm_threshold: u64,
     /// `e10_two_phase` (extension): which collective-write algorithm
     /// runs — `stock`, `extended` (default) or `node_agg`.
     pub two_phase: TwoPhaseAlgo,
@@ -370,6 +423,9 @@ impl Default for RomioHints {
             e10_integrity_scrub_ms: 0,
             e10_cache_hiwater: 0,
             e10_cache_lowater: 0,
+            e10_cache_class: CacheClass::Ssd,
+            e10_nvm_capacity: 0,
+            e10_nvm_threshold: 1 << 20,
             two_phase: TwoPhaseAlgo::Extended,
             e10_trace: TraceMode::Off,
             e10_trace_path: "results/traces".to_string(),
@@ -710,6 +766,25 @@ impl RomioHintsBuilder {
         self
     }
 
+    /// `e10_cache_class`.
+    pub fn e10_cache_class(mut self, class: CacheClass) -> Self {
+        self.hints.e10_cache_class = class;
+        self
+    }
+
+    /// `e10_nvm_capacity` in bytes (`0` means "the whole NVM mount").
+    pub fn e10_nvm_capacity(mut self, bytes: u64) -> Self {
+        self.hints.e10_nvm_capacity = bytes;
+        self
+    }
+
+    /// `e10_nvm_threshold` in bytes (`0` disables the byte-granular
+    /// front-end).
+    pub fn e10_nvm_threshold(mut self, bytes: u64) -> Self {
+        self.hints.e10_nvm_threshold = bytes;
+        self
+    }
+
     /// `e10_two_phase`.
     pub fn e10_two_phase(mut self, algo: TwoPhaseAlgo) -> Self {
         self.hints.two_phase = algo;
@@ -873,6 +948,19 @@ impl RomioHintsBuilder {
                 "stock|extended|node_agg",
                 e10_two_phase
             ),
+            "e10_cache_class" => {
+                or_invalid!(CacheClass::parse(value), "ssd|nvm|hybrid", e10_cache_class)
+            }
+            "e10_nvm_capacity" => or_invalid!(
+                parse_size(value),
+                "byte count (k/m/g suffixes allowed)",
+                e10_nvm_capacity
+            ),
+            "e10_nvm_threshold" => or_invalid!(
+                parse_size(value),
+                "byte count (k/m/g suffixes allowed)",
+                e10_nvm_threshold
+            ),
             "e10_trace" => or_invalid!(TraceMode::parse(value), "off|ring|jsonl", e10_trace),
             "e10_trace_path" => or_invalid!(
                 Some(value).filter(|v| !v.is_empty()),
@@ -1019,6 +1107,15 @@ impl RomioHints {
             self.e10_cache_lowater.to_string(),
         ));
         out.push(("e10_two_phase".into(), self.two_phase.as_str().into()));
+        out.push((
+            "e10_cache_class".into(),
+            self.e10_cache_class.as_str().into(),
+        ));
+        out.push(("e10_nvm_capacity".into(), self.e10_nvm_capacity.to_string()));
+        out.push((
+            "e10_nvm_threshold".into(),
+            self.e10_nvm_threshold.to_string(),
+        ));
         out.push(("e10_trace".into(), self.e10_trace.as_str().into()));
         out.push(("e10_trace_path".into(), self.e10_trace_path.clone()));
         out
@@ -1318,6 +1415,62 @@ mod tests {
     }
 
     #[test]
+    fn cache_class_parses_and_roundtrips() {
+        assert_eq!(RomioHints::default().e10_cache_class, CacheClass::Ssd);
+        assert_eq!(RomioHints::default().e10_nvm_capacity, 0);
+        assert_eq!(RomioHints::default().e10_nvm_threshold, 1 << 20);
+        for (s, class) in [
+            ("ssd", CacheClass::Ssd),
+            ("nvm", CacheClass::Nvm),
+            ("hybrid", CacheClass::Hybrid),
+        ] {
+            let info = Info::from_pairs([("e10_cache_class", s)]);
+            let h = RomioHints::parse(&info).unwrap();
+            assert_eq!(h.e10_cache_class, class);
+            assert_eq!(class.as_str(), s);
+            let typed = RomioHints::builder()
+                .e10_cache_class(class)
+                .build()
+                .unwrap();
+            assert_eq!(typed.to_pairs(), h.to_pairs());
+            let h2 = RomioHints::from_info(&h.to_info()).unwrap();
+            assert_eq!(h2, h);
+        }
+        for bad in ["", "NVM", "optane", "enable"] {
+            let info = Info::from_pairs([("e10_cache_class", bad)]);
+            let e = RomioHints::from_info(&info).unwrap_err();
+            assert_eq!(e.first().key, "e10_cache_class");
+            assert!(e.first().to_string().contains("hybrid"));
+        }
+    }
+
+    #[test]
+    fn nvm_size_hints_parse_with_suffixes() {
+        let info = Info::from_pairs([
+            ("e10_cache_class", "hybrid"),
+            ("e10_nvm_capacity", "2g"),
+            ("e10_nvm_threshold", "256K"),
+        ]);
+        let h = RomioHints::parse(&info).unwrap();
+        assert_eq!(h.e10_cache_class, CacheClass::Hybrid);
+        assert_eq!(h.e10_nvm_capacity, 2 << 30);
+        assert_eq!(h.e10_nvm_threshold, 256 << 10);
+        assert_eq!(RomioHints::from_info(&h.to_info()).unwrap(), h);
+        // Threshold 0 (the anchor-test setting) is legal and sticky.
+        let info = Info::from_pairs([("e10_nvm_threshold", "0")]);
+        assert_eq!(RomioHints::parse(&info).unwrap().e10_nvm_threshold, 0);
+        for (k, bad) in [
+            ("e10_nvm_capacity", "lots"),
+            ("e10_nvm_capacity", "-1"),
+            ("e10_nvm_threshold", "4q"),
+        ] {
+            let info = Info::from_pairs([(k, bad)]);
+            let e = RomioHints::from_info(&info).unwrap_err();
+            assert_eq!(e.first().key, k);
+        }
+    }
+
+    #[test]
     fn hint_errors_into_iterator_yields_every_violation() {
         let err = RomioHints::builder()
             .cb_buffer_size(0)
@@ -1382,9 +1535,13 @@ mod tests {
             .e10_cache_journal_path("/scratch/j.jnl")
             .e10_cache_hiwater(85)
             .e10_cache_lowater(65)
+            .e10_cache_class(CacheClass::Hybrid)
+            .e10_nvm_capacity(1 << 30)
+            .e10_nvm_threshold(64 << 10)
             .build()
             .unwrap();
         let h2 = RomioHints::from_info(&h.to_info()).unwrap();
+        assert_eq!(h2, h);
         assert_eq!(h2.to_pairs(), h.to_pairs());
     }
 }

@@ -54,8 +54,8 @@ pub use collective_read::{read_at_all, ReadAllResult, ReadPiece};
 pub use error::Error;
 pub use fd::{node_leaders, select_aggregators, select_aggregators_capped, FileDomains};
 pub use hints::{
-    CacheMode, CbMode, FdStrategy, FlushFlag, HintError, HintErrors, RomioHints, RomioHintsBuilder,
-    SyncPolicy, TraceMode, TwoPhaseAlgo,
+    CacheClass, CacheMode, CbMode, FdStrategy, FlushFlag, HintError, HintErrors, RomioHints,
+    RomioHintsBuilder, SyncPolicy, TraceMode, TwoPhaseAlgo,
 };
 pub use node_agg::write_at_all_node_agg;
 pub use profile::{Breakdown, Phase, Profiler};

@@ -14,7 +14,7 @@ use e10_mpisim::{CollBackend, Comm, World, WorldSpec};
 use e10_netsim::NetConfig;
 use e10_pfs::{Pfs, PfsParams};
 use e10_simcore::SimRng;
-use e10_storesim::{PageCache, PageCacheParams, Ssd, SsdParams};
+use e10_storesim::{DeviceModel, Nvm, NvmParams, PageCache, PageCacheParams, Ssd, SsdParams};
 
 /// Everything an ADIO file operation needs from the environment, bound
 /// to one rank.
@@ -24,14 +24,22 @@ pub struct IoCtx {
     pub comm: Comm,
     /// The global parallel file system.
     pub pfs: Rc<Pfs>,
-    /// Node-local file systems, indexed by compute node.
+    /// Node-local file systems (SSD `/scratch`), indexed by compute node.
     pub localfs: Rc<Vec<LocalFs>>,
+    /// Node-local NVM mounts (`/pmem`), indexed by compute node. Used
+    /// only when `e10_cache_class` selects the nvm or hybrid tier.
+    pub nvmfs: Rc<Vec<LocalFs>>,
 }
 
 impl IoCtx {
     /// The local file system of this rank's node.
     pub fn my_localfs(&self) -> &LocalFs {
         &self.localfs[self.comm.node()]
+    }
+
+    /// The NVM mount of this rank's node.
+    pub fn my_nvmfs(&self) -> &LocalFs {
+        &self.nvmfs[self.comm.node()]
     }
 }
 
@@ -52,6 +60,18 @@ pub struct TestbedSpec {
     pub ssd: SsdParams,
     /// Node `/scratch` parameters.
     pub localfs: LocalFsParams,
+    /// Node NVM device parameters (`e10_cache_class = nvm | hybrid`).
+    pub nvm: NvmParams,
+    /// Node `/pmem` mount parameters. Persistent-memory modules are an
+    /// order of magnitude smaller than the SSD partition: the default
+    /// is 2 GiB per node, which is the capacity pressure that makes the
+    /// hybrid tier's overflow-to-SSD routing matter.
+    pub nvm_localfs: LocalFsParams,
+    /// Base of the per-node NVM jitter RNG streams (`seed`-relative).
+    /// The determinism anchor test sets this to the SSD's base
+    /// (100 000) so an NVM device with SSD-equal parameters draws the
+    /// identical jitter sequence and the simulations are bit-identical.
+    pub nvm_stream_base: u64,
     /// Node page-cache parameters.
     pub pagecache: PageCacheParams,
     /// Fabric override (None → IB QDR).
@@ -76,6 +96,15 @@ impl TestbedSpec {
             pfs: PfsParams::deep_er(),
             ssd,
             localfs: LocalFsParams::scratch_30g(),
+            nvm: NvmParams::optane_scratch(),
+            nvm_localfs: LocalFsParams {
+                capacity: 2 << 30,
+                supports_fallocate: true,
+                // DAX-style mount: metadata updates do not queue behind
+                // a block layer.
+                meta_op: e10_simcore::SimDuration::from_micros(3),
+            },
+            nvm_stream_base: 130_000,
             pagecache,
             net_cfg: None,
             ram_scratch: None,
@@ -123,7 +152,8 @@ impl TestbedSpec {
                         SsdParams {
                             read_bw: self.pagecache.mem_bw,
                             write_bw: self.pagecache.mem_bw,
-                            latency: e10_simcore::SimDuration::from_nanos(500),
+                            read_latency: e10_simcore::SimDuration::from_nanos(500),
+                            write_latency: e10_simcore::SimDuration::from_nanos(500),
                             jitter_cv: 0.0,
                         },
                         SimRng::stream(self.seed, 100_000 + n as u64),
@@ -148,10 +178,26 @@ impl TestbedSpec {
                 LocalFs::new(self.localfs.clone(), ssd, pc)
             })
             .collect();
+        // The NVM mounts exist on every node but draw from their RNG
+        // streams only when commands are issued, so runs that never
+        // select the nvm/hybrid cache class are bit-identical to builds
+        // without them.
+        let nvmfs: Vec<LocalFs> = (0..self.nodes)
+            .map(|n| {
+                let nvm = Nvm::new(
+                    self.nvm.clone(),
+                    SimRng::stream(self.seed, self.nvm_stream_base + n as u64),
+                );
+                nvm.set_node(n);
+                let pc = PageCache::new(self.pagecache.clone());
+                LocalFs::with_device(self.nvm_localfs.clone(), DeviceModel::Nvm(nvm), pc)
+            })
+            .collect();
         Testbed {
             world,
             pfs,
             localfs: Rc::new(localfs),
+            nvmfs: Rc::new(nvmfs),
         }
     }
 }
@@ -164,6 +210,8 @@ pub struct Testbed {
     pub pfs: Rc<Pfs>,
     /// Per-compute-node local file systems.
     pub localfs: Rc<Vec<LocalFs>>,
+    /// Per-compute-node NVM mounts.
+    pub nvmfs: Rc<Vec<LocalFs>>,
 }
 
 impl Testbed {
@@ -173,6 +221,7 @@ impl Testbed {
             comm: self.world.comms[rank].clone(),
             pfs: Rc::clone(&self.pfs),
             localfs: Rc::clone(&self.localfs),
+            nvmfs: Rc::clone(&self.nvmfs),
         }
     }
 

@@ -11,12 +11,17 @@
 //!   variance that drives collective I/O's global-sync cost).
 //! * [`raid`] — chunked RAID with parity and partial-stripe RMW.
 //! * [`ssd`] — node-local SATA SSD with low-variance service.
+//! * [`nvm`] — byte-addressable persistent memory: asymmetric
+//!   read/write latency, byte-granular commands, N-channel internal
+//!   concurrency; shares the faultsim stall hook with the SSD via the
+//!   [`nvm::Device`] trait / [`nvm::DeviceModel`] enum.
 //! * [`pagecache`] — dirty-limit write absorption and writeback, which
 //!   gives the cache-enabled runs their memory-speed burst behaviour.
 
 pub mod bytes;
 pub mod disk;
 pub mod extent;
+pub mod nvm;
 pub mod pagecache;
 pub mod pattern;
 pub mod raid;
@@ -25,6 +30,7 @@ pub mod ssd;
 pub use bytes::Bytes;
 pub use disk::{Disk, DiskParams};
 pub use extent::{pieces_digest, ExtentMap, VerifyError};
+pub use nvm::{Device, DeviceModel, Nvm, NvmParams};
 pub use pagecache::{PageCache, PageCacheParams};
 pub use pattern::{gen_byte, Payload, Source};
 pub use raid::{Raid, RaidParams};

@@ -1,0 +1,465 @@
+//! Byte-addressable persistent-memory device model (Optane-class NVM
+//! on the node's memory bus or an NVMe-attached byte-addressable DIMM).
+//!
+//! Three properties distinguish it from the block SSD model:
+//!
+//! * **latency asymmetry** — reads complete in hundreds of nanoseconds
+//!   while writes pay the media's persist cost (about a microsecond),
+//!   so the model carries independent `read_latency` / `write_latency`;
+//! * **byte granularity** — commands are served at their exact byte
+//!   length with no block rounding, which is what makes a byte-granular
+//!   cache front-end (small strided writes going straight to the
+//!   device) worthwhile;
+//! * **internal concurrency** — the media is organised as N independent
+//!   channels, each a fair-share bandwidth server of `bw / N`. A single
+//!   stream sees one channel's bandwidth; N concurrent streams see the
+//!   full device. Commands pick channels round-robin in issue order,
+//!   which is deterministic under the simulator's run-to-completion
+//!   scheduling.
+//!
+//! Fault injection reuses the SSD stall hook (`e10_faultsim::ssd_stall`
+//! keyed by hosting node), so an installed schedule back-pressures both
+//! device classes identically.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use e10_simcore::rng::Jitter;
+use e10_simcore::trace::{self, Event, EventKind, Layer};
+use e10_simcore::{FairShare, SimRng};
+use e10_simcore::{SimDuration, Tally};
+
+use crate::ssd::Ssd;
+
+/// NVM performance parameters.
+#[derive(Debug, Clone)]
+pub struct NvmParams {
+    /// Aggregate sustained read bandwidth across all channels, bytes/s.
+    pub read_bw: f64,
+    /// Aggregate sustained write bandwidth across all channels, bytes/s.
+    pub write_bw: f64,
+    /// Per-command read latency (media access, no persist).
+    pub read_latency: SimDuration,
+    /// Per-command write latency (persist to media).
+    pub write_latency: SimDuration,
+    /// Independent internal channels; each serves `bw / channels`.
+    pub channels: usize,
+    /// Coefficient of variation of per-command jitter.
+    pub jitter_cv: f64,
+}
+
+impl NvmParams {
+    /// An Optane-class DC persistent-memory module: ~6.6 GB/s read,
+    /// ~2.3 GB/s write, ~300 ns read / ~1 µs write command latency,
+    /// four interleaved channels (Liu et al., arXiv:1705.03598 report
+    /// this latency asymmetry and concurrency shape for byte-
+    /// addressable NVM under HPC I/O loads).
+    pub fn optane_scratch() -> Self {
+        NvmParams {
+            read_bw: 6.6e9,
+            write_bw: 2.3e9,
+            read_latency: SimDuration::from_nanos(300),
+            write_latency: SimDuration::from_micros(1),
+            channels: 4,
+            jitter_cv: 0.03,
+        }
+    }
+
+    /// Parameters that make the NVM model behave exactly like `ssd`:
+    /// same latencies, same bandwidth, a single channel. Used by the
+    /// determinism anchor test — with equal parameters the two device
+    /// classes must produce bit-identical simulations.
+    pub fn matching_ssd(ssd: &crate::SsdParams) -> Self {
+        NvmParams {
+            read_bw: ssd.read_bw,
+            write_bw: ssd.write_bw,
+            read_latency: ssd.read_latency,
+            write_latency: ssd.write_latency,
+            channels: 1,
+            jitter_cv: ssd.jitter_cv,
+        }
+    }
+}
+
+/// A simulated byte-addressable NVM device.
+#[derive(Clone)]
+pub struct Nvm {
+    params: NvmParams,
+    read_chans: Rc<Vec<FairShare>>,
+    write_chans: Rc<Vec<FairShare>>,
+    state: Rc<RefCell<NvmState>>,
+}
+
+struct NvmState {
+    jitter: Jitter,
+    write_lat: Tally,
+    read_lat: Tally,
+    /// Round-robin cursors (deterministic issue-order channel pick).
+    next_read: usize,
+    next_write: usize,
+    /// Compute node hosting this device (fault-injection identity).
+    node: usize,
+}
+
+impl Nvm {
+    /// Create an NVM device; `rng` drives its jitter stream.
+    pub fn new(params: NvmParams, rng: SimRng) -> Self {
+        let n = params.channels.max(1);
+        let cv = params.jitter_cv;
+        let per_chan = |bw: f64| (0..n).map(|_| FairShare::new(bw / n as f64)).collect();
+        Nvm {
+            read_chans: Rc::new(per_chan(params.read_bw)),
+            write_chans: Rc::new(per_chan(params.write_bw)),
+            params,
+            state: Rc::new(RefCell::new(NvmState {
+                jitter: Jitter::new(rng, cv),
+                write_lat: Tally::new(),
+                read_lat: Tally::new(),
+                next_read: 0,
+                next_write: 0,
+                node: 0,
+            })),
+        }
+    }
+
+    /// Bind the device to its hosting compute node, so an installed
+    /// fault schedule can target it.
+    pub fn set_node(&self, node: usize) {
+        self.state.borrow_mut().node = node;
+    }
+
+    /// Hosting compute node (0 until [`Nvm::set_node`] is called).
+    pub fn node(&self) -> usize {
+        self.state.borrow().node
+    }
+
+    /// Fault-injection hook, shared with [`Ssd::stall_point`]: a
+    /// planned device stall on this node sleeps the caller out.
+    pub async fn stall_point(&self) {
+        let node = self.state.borrow().node;
+        if let Some(stall) = e10_faultsim::ssd_stall(node) {
+            e10_simcore::sleep(stall).await;
+        }
+    }
+
+    /// Write `len` bytes at byte granularity (no block rounding).
+    pub async fn write(&self, len: u64) {
+        let t0 = e10_simcore::now();
+        self.stall_point().await;
+        let (j, chan) = {
+            let mut st = self.state.borrow_mut();
+            let c = st.next_write;
+            st.next_write = (c + 1) % self.write_chans.len();
+            (st.jitter.sample(), c)
+        };
+        e10_simcore::sleep(self.params.write_latency.mul_f64(j)).await;
+        self.write_chans[chan].serve(len as f64 * j).await;
+        let lat = e10_simcore::now().since(t0).as_secs_f64();
+        self.state.borrow_mut().write_lat.push(lat);
+        trace::emit(|| {
+            Event::new(Layer::Storesim, "nvm.write", EventKind::Point)
+                .field("bytes", len)
+                .field("latency_s", lat)
+        });
+        trace::counter("nvm.write_bytes", len);
+        trace::sample("nvm.write_latency_s", lat);
+    }
+
+    /// Read `len` bytes at byte granularity.
+    pub async fn read(&self, len: u64) {
+        let t0 = e10_simcore::now();
+        self.stall_point().await;
+        let (j, chan) = {
+            let mut st = self.state.borrow_mut();
+            let c = st.next_read;
+            st.next_read = (c + 1) % self.read_chans.len();
+            (st.jitter.sample(), c)
+        };
+        e10_simcore::sleep(self.params.read_latency.mul_f64(j)).await;
+        self.read_chans[chan].serve(len as f64 * j).await;
+        let lat = e10_simcore::now().since(t0).as_secs_f64();
+        self.state.borrow_mut().read_lat.push(lat);
+        trace::emit(|| {
+            Event::new(Layer::Storesim, "nvm.read", EventKind::Point)
+                .field("bytes", len)
+                .field("latency_s", lat)
+        });
+        trace::counter("nvm.read_bytes", len);
+        trace::sample("nvm.read_latency_s", lat);
+    }
+
+    /// Device parameters.
+    pub fn params(&self) -> &NvmParams {
+        &self.params
+    }
+
+    /// Service-time statistics for writes.
+    pub fn write_latency(&self) -> Tally {
+        self.state.borrow().write_lat.clone()
+    }
+
+    /// Service-time statistics for reads.
+    pub fn read_latency(&self) -> Tally {
+        self.state.borrow().read_lat.clone()
+    }
+}
+
+/// The device interface a node-local file system needs: node binding
+/// for fault injection, stall back-pressure, and offset-independent
+/// read/write service. Both [`Ssd`] and [`Nvm`] implement it; code
+/// that must *own* a device generically holds a [`DeviceModel`].
+///
+/// The whole simulator is single-threaded (`Rc` task graph), so the
+/// futures returned here are intentionally not `Send`.
+#[allow(async_fn_in_trait)]
+pub trait Device {
+    /// Bind to the hosting compute node.
+    fn set_node(&self, node: usize);
+    /// Hosting compute node.
+    fn node(&self) -> usize;
+    /// Sleep out a planned stall of this node's device, if any.
+    async fn stall_point(&self);
+    /// Serve a write of `len` bytes.
+    async fn write(&self, len: u64);
+    /// Serve a read of `len` bytes.
+    async fn read(&self, len: u64);
+}
+
+impl Device for Ssd {
+    fn set_node(&self, node: usize) {
+        Ssd::set_node(self, node)
+    }
+    fn node(&self) -> usize {
+        Ssd::node(self)
+    }
+    async fn stall_point(&self) {
+        Ssd::stall_point(self).await
+    }
+    async fn write(&self, len: u64) {
+        Ssd::write(self, len).await
+    }
+    async fn read(&self, len: u64) {
+        Ssd::read(self, len).await
+    }
+}
+
+impl Device for Nvm {
+    fn set_node(&self, node: usize) {
+        Nvm::set_node(self, node)
+    }
+    fn node(&self) -> usize {
+        Nvm::node(self)
+    }
+    async fn stall_point(&self) {
+        Nvm::stall_point(self).await
+    }
+    async fn write(&self, len: u64) {
+        Nvm::write(self, len).await
+    }
+    async fn read(&self, len: u64) {
+        Nvm::read(self, len).await
+    }
+}
+
+/// A concrete, clonable device chosen at testbed-construction time.
+/// `LocalFs` holds one of these: trait objects don't work for async
+/// trait methods without boxing every command, and the closed set of
+/// device classes makes an enum the cheaper dispatch.
+#[derive(Clone)]
+pub enum DeviceModel {
+    /// Block SSD ([`crate::ssd`]).
+    Ssd(Ssd),
+    /// Byte-addressable NVM ([`crate::nvm`]).
+    Nvm(Nvm),
+}
+
+impl DeviceModel {
+    /// Bind to the hosting compute node.
+    pub fn set_node(&self, node: usize) {
+        match self {
+            DeviceModel::Ssd(d) => d.set_node(node),
+            DeviceModel::Nvm(d) => d.set_node(node),
+        }
+    }
+
+    /// Hosting compute node.
+    pub fn node(&self) -> usize {
+        match self {
+            DeviceModel::Ssd(d) => d.node(),
+            DeviceModel::Nvm(d) => d.node(),
+        }
+    }
+
+    /// Sleep out a planned stall of this node's device, if any.
+    pub async fn stall_point(&self) {
+        match self {
+            DeviceModel::Ssd(d) => d.stall_point().await,
+            DeviceModel::Nvm(d) => d.stall_point().await,
+        }
+    }
+
+    /// Serve a write of `len` bytes.
+    pub async fn write(&self, len: u64) {
+        match self {
+            DeviceModel::Ssd(d) => d.write(len).await,
+            DeviceModel::Nvm(d) => d.write(len).await,
+        }
+    }
+
+    /// Serve a read of `len` bytes.
+    pub async fn read(&self, len: u64) {
+        match self {
+            DeviceModel::Ssd(d) => d.read(len).await,
+            DeviceModel::Nvm(d) => d.read(len).await,
+        }
+    }
+
+    /// Whether commands are served at byte granularity (no block
+    /// rounding, no page-cache staging required for efficiency).
+    pub fn byte_granular(&self) -> bool {
+        matches!(self, DeviceModel::Nvm(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use e10_simcore::{join_all, now, run, spawn};
+
+    fn quiet(channels: usize) -> NvmParams {
+        NvmParams {
+            read_bw: 1000.0,
+            write_bw: 1000.0,
+            read_latency: SimDuration::ZERO,
+            write_latency: SimDuration::ZERO,
+            channels,
+            jitter_cv: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_stream_sees_one_channel() {
+        let t = run(async {
+            let d = Nvm::new(quiet(4), SimRng::new(1));
+            d.write(1000).await;
+            now().as_secs_f64()
+        });
+        // One channel serves 1000/4 = 250 B/s → 4 s for 1000 B.
+        assert!((t - 4.0).abs() < 1e-6, "t={t}");
+    }
+
+    #[test]
+    fn concurrent_streams_fill_all_channels() {
+        let t = run(async {
+            let d = Nvm::new(quiet(4), SimRng::new(1));
+            let mut hs = Vec::new();
+            for _ in 0..4 {
+                let d = d.clone();
+                hs.push(spawn(async move { d.write(1000).await }));
+            }
+            join_all(hs).await;
+            now().as_secs_f64()
+        });
+        // Round-robin puts each write on its own channel: all four run
+        // in parallel at 250 B/s each.
+        assert!((t - 4.0).abs() < 1e-6, "t={t}");
+    }
+
+    #[test]
+    fn oversubscribed_streams_queue_per_channel() {
+        let t = run(async {
+            let d = Nvm::new(quiet(2), SimRng::new(1));
+            let mut hs = Vec::new();
+            for _ in 0..4 {
+                let d = d.clone();
+                hs.push(spawn(async move { d.write(1000).await }));
+            }
+            join_all(hs).await;
+            now().as_secs_f64()
+        });
+        // 4 writes on 2 channels: each channel fair-shares two 1000-B
+        // commands at 500 B/s → 4 s.
+        assert!((t - 4.0).abs() < 1e-6, "t={t}");
+    }
+
+    #[test]
+    fn read_write_latency_asymmetry() {
+        let (r, w) = run(async {
+            let mut p = quiet(1);
+            p.read_latency = SimDuration::from_nanos(300);
+            p.write_latency = SimDuration::from_micros(1);
+            p.read_bw = 1e12;
+            p.write_bw = 1e12;
+            let d = Nvm::new(p, SimRng::new(1));
+            let t0 = now();
+            d.read(8).await;
+            let r = now().since(t0).as_secs_f64();
+            let t0 = now();
+            d.write(8).await;
+            (r, now().since(t0).as_secs_f64())
+        });
+        // Tolerance: the clock ticks in nanoseconds, and the bandwidth
+        // serve adds a sub-nanosecond term that may round up.
+        assert!((r - 300e-9).abs() < 2e-9, "read lat={r}");
+        assert!((w - 1e-6).abs() < 2e-9, "write lat={w}");
+    }
+
+    #[test]
+    fn injected_stall_applies_to_nvm_too() {
+        let t_for = |target: usize| {
+            run(async move {
+                let _g = e10_faultsim::FaultSchedule::install(
+                    e10_faultsim::FaultPlan::new(5).ssd_stall(
+                        target,
+                        e10_faultsim::always(),
+                        1.0,
+                        SimDuration::from_secs(3),
+                    ),
+                );
+                let d = Nvm::new(quiet(1), SimRng::new(1));
+                d.set_node(7);
+                d.write(500).await;
+                now().as_secs_f64()
+            })
+        };
+        let stalled = t_for(7);
+        let clean = t_for(8);
+        assert!(
+            (stalled - clean - 3.0).abs() < 1e-6,
+            "stalled={stalled} clean={clean}"
+        );
+    }
+
+    #[test]
+    fn matching_ssd_params_time_identically() {
+        let ssd_p = crate::SsdParams::sata_scratch();
+        let t_ssd = run(async {
+            let s = Ssd::new(crate::SsdParams::sata_scratch(), SimRng::new(9));
+            for _ in 0..20 {
+                s.write(65536).await;
+                s.read(4096).await;
+            }
+            now().as_secs_f64()
+        });
+        let t_nvm = run(async move {
+            let d = Nvm::new(NvmParams::matching_ssd(&ssd_p), SimRng::new(9));
+            for _ in 0..20 {
+                d.write(65536).await;
+                d.read(4096).await;
+            }
+            now().as_secs_f64()
+        });
+        assert_eq!(t_ssd.to_bits(), t_nvm.to_bits(), "must be bit-identical");
+    }
+
+    #[test]
+    fn latency_statistics_recorded() {
+        run(async {
+            let d = Nvm::new(quiet(2), SimRng::new(1));
+            d.write(100).await;
+            d.read(100).await;
+            assert_eq!(d.write_latency().count(), 1);
+            assert_eq!(d.read_latency().count(), 1);
+        });
+    }
+}

@@ -20,8 +20,13 @@ pub struct SsdParams {
     pub read_bw: f64,
     /// Sustained write bandwidth, bytes/s.
     pub write_bw: f64,
-    /// Per-command latency.
-    pub latency: SimDuration,
+    /// Per-command read latency.
+    pub read_latency: SimDuration,
+    /// Per-command write latency. SATA-era flash is close to symmetric
+    /// at the command level (the asymmetry lives in bandwidth), so the
+    /// presets keep both equal; the split exists because byte-
+    /// addressable devices ([`crate::nvm`]) are strongly asymmetric.
+    pub write_latency: SimDuration,
     /// Coefficient of variation of per-command jitter (small for SSDs).
     pub jitter_cv: f64,
 }
@@ -35,7 +40,8 @@ impl SsdParams {
         SsdParams {
             read_bw: 270e6,
             write_bw: 220e6,
-            latency: SimDuration::from_micros(80),
+            read_latency: SimDuration::from_micros(80),
+            write_latency: SimDuration::from_micros(80),
             jitter_cv: 0.03,
         }
     }
@@ -104,7 +110,7 @@ impl Ssd {
         let t0 = e10_simcore::now();
         self.stall_point().await;
         let j = self.state.borrow_mut().jitter.sample();
-        e10_simcore::sleep(self.params.latency.mul_f64(j)).await;
+        e10_simcore::sleep(self.params.write_latency.mul_f64(j)).await;
         self.write_chan.serve(len as f64 * j).await;
         let lat = e10_simcore::now().since(t0).as_secs_f64();
         self.state.borrow_mut().write_lat.push(lat);
@@ -122,7 +128,7 @@ impl Ssd {
         let t0 = e10_simcore::now();
         self.stall_point().await;
         let j = self.state.borrow_mut().jitter.sample();
-        e10_simcore::sleep(self.params.latency.mul_f64(j)).await;
+        e10_simcore::sleep(self.params.read_latency.mul_f64(j)).await;
         self.read_chan.serve(len as f64 * j).await;
         let lat = e10_simcore::now().since(t0).as_secs_f64();
         self.state.borrow_mut().read_lat.push(lat);
@@ -159,7 +165,8 @@ mod tests {
     fn quiet() -> SsdParams {
         SsdParams {
             jitter_cv: 0.0,
-            latency: SimDuration::ZERO,
+            read_latency: SimDuration::ZERO,
+            write_latency: SimDuration::ZERO,
             read_bw: 1000.0,
             write_bw: 500.0,
         }

@@ -24,7 +24,7 @@ use std::rc::Rc;
 
 use e10_faultsim::{always, injected_count, FaultPlan, FaultSchedule, FaultSpec};
 use e10_mpisim::Info;
-use e10_romio::{write_at_all, AdioFile, DataSpec, IoCtx, Testbed, TestbedSpec};
+use e10_romio::{write_at_all, AdioFile, CacheClass, DataSpec, IoCtx, Testbed, TestbedSpec};
 use e10_simcore::trace;
 use e10_simcore::{sleep, SimDuration, SimRng};
 
@@ -79,6 +79,11 @@ pub struct ChaosCase {
     /// exists so the harness can prove to itself that the oracle
     /// *does* flag silent corruption when nothing defends against it.
     pub integrity: bool,
+    /// `e10_cache_class` hint: which device tier stages the cache.
+    /// Soaking every class runs the scrub/verify/repair ladder over
+    /// the byte-granular NVM front and the hybrid split as well as the
+    /// default SSD extent path.
+    pub cache_class: CacheClass,
 }
 
 impl ChaosCase {
@@ -92,7 +97,15 @@ impl ChaosCase {
             seed,
             scrub_ms: 20,
             integrity: true,
+            cache_class: CacheClass::Ssd,
         }
+    }
+
+    /// The same soak shape staged on `class` instead of the SSD.
+    pub fn with_class(seed: u64, class: CacheClass) -> ChaosCase {
+        let mut c = ChaosCase::new(seed);
+        c.cache_class = class;
+        c
     }
 }
 
@@ -194,6 +207,13 @@ fn chaos_hints(case: &ChaosCase) -> Info {
         if case.integrity { "enable" } else { "disable" },
     );
     h.set("e10_integrity_scrub_ms", &case.scrub_ms.to_string());
+    h.set("e10_cache_class", case.cache_class.as_str());
+    if case.cache_class == CacheClass::Hybrid {
+        // A tight front budget forces every soak run to straddle both
+        // tiers (the 4 KiB collective buffers would otherwise all fit
+        // on the NVM side).
+        h.set("e10_nvm_capacity", "8K");
+    }
     h
 }
 
@@ -218,6 +238,7 @@ async fn run_once(tb: &Testbed, case: &ChaosCase, plan: Option<FaultPlan>) -> Ru
     let _guard = plan.map(FaultSchedule::install);
     let pfs = Rc::clone(&tb.pfs);
     let localfs = Rc::clone(&tb.localfs);
+    let nvmfs = Rc::clone(&tb.nvmfs);
     let files = case.files;
     let seed = case.seed;
     let per_rank: Vec<Vec<String>> = tb
@@ -227,6 +248,7 @@ async fn run_once(tb: &Testbed, case: &ChaosCase, plan: Option<FaultPlan>) -> Ru
                 comm,
                 pfs: Rc::clone(&pfs),
                 localfs: Rc::clone(&localfs),
+                nvmfs: Rc::clone(&nvmfs),
             };
             let wl = Rc::clone(&workload);
             let hints = hints.clone();
@@ -424,6 +446,26 @@ mod tests {
     }
 
     #[test]
+    fn soak_holds_the_oracle_invariant_on_nvm_and_hybrid_tiers() {
+        // One arm per cache class: the scrub/verify/repair ladder must
+        // hold the gold invariant when staged bytes live on the
+        // byte-granular NVM front and when they straddle both hybrid
+        // tiers, not just on the SSD extent path.
+        for class in [CacheClass::Nvm, CacheClass::Hybrid] {
+            for seed in 0..3u64 {
+                let report = chaos_case(&ChaosCase::with_class(seed, class));
+                assert_ne!(
+                    report.verdict,
+                    ChaosVerdict::Diverged,
+                    "class {:?} seed {seed}: silent corruption (minimal repro {:?})",
+                    class,
+                    report.minimal
+                );
+            }
+        }
+    }
+
+    #[test]
     fn verdicts_are_deterministic_for_a_given_seed() {
         let a = chaos_case(&ChaosCase::new(3));
         let b = chaos_case(&ChaosCase::new(3));
@@ -446,6 +488,7 @@ mod tests {
             seed: 424_242,
             scrub_ms: 0,
             integrity: false,
+            cache_class: CacheClass::Ssd,
         };
         let plan = FaultPlan::new(7)
             .ssd_stall(0, always(), 0.2, SimDuration::from_micros(100))

@@ -244,6 +244,7 @@ pub async fn run_workload(tb: &Testbed, workload: Rc<dyn Workload>, cfg: &RunCon
 
     let pfs = Rc::clone(&tb.pfs);
     let localfs = Rc::clone(&tb.localfs);
+    let nvmfs = Rc::clone(&tb.nvmfs);
     let cfg_shared = Rc::new(cfg.clone());
 
     let per_rank = tb
@@ -253,6 +254,7 @@ pub async fn run_workload(tb: &Testbed, workload: Rc<dyn Workload>, cfg: &RunCon
                 comm,
                 pfs: Rc::clone(&pfs),
                 localfs: Rc::clone(&localfs),
+                nvmfs: Rc::clone(&nvmfs),
             };
             let wl = Rc::clone(&workload);
             let cfg = Rc::clone(&cfg_shared);

@@ -200,12 +200,14 @@ pub fn run_multi_job(spec: &MultiJobSpec) -> MultiJobOutcome {
 
         let pfs = Rc::clone(&tb.pfs);
         let localfs = Rc::clone(&tb.localfs);
+        let nvmfs = Rc::clone(&tb.nvmfs);
         let sp = spec.clone();
         let per_rank = tb
             .world
             .run_ranks(move |comm| {
                 let pfs = Rc::clone(&pfs);
                 let localfs = Rc::clone(&localfs);
+                let nvmfs = Rc::clone(&nvmfs);
                 let sp = sp.clone();
                 async move {
                     let world_rank = comm.rank();
@@ -218,6 +220,7 @@ pub fn run_multi_job(spec: &MultiJobSpec) -> MultiJobOutcome {
                         comm: sub,
                         pfs,
                         localfs,
+                        nvmfs,
                     };
                     sleep(sp.stagger * job as u64).await;
                     let t0 = now();

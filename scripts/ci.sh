@@ -31,9 +31,17 @@
 #   9. chaos-soak smoke: fixed-seed randomized corruption schedules
 #      (SSD bit-flips/torn sectors, wire corruption, lazy PFS rot,
 #      stalls, RPC failures) against the fault-free oracle; exit != 0
-#      if any seed silently diverges from the oracle's bytes. Journal
-#      format-version compat is covered by the test suite in step 2
-#      (v1 journals without Cksum records must still replay).
+#      if any seed silently diverges from the oracle's bytes; the seeds
+#      cycle through all three cache classes so the NVM front and the
+#      hybrid split sit under the same oracle. Journal format-version
+#      compat is covered by the test suite in step 2 (v1 journals
+#      without Cksum records must still replay).
+#  10. nvm_sweep smoke: the SSD/NVM/hybrid cache-tier grid; the binary
+#      gates on the nvm class strictly reducing cache-write stall per
+#      cached byte on small-buffer cells and on hybrid bandwidth never
+#      losing to the better pure class (exit != 0 otherwise), and the
+#      JSON (minus the worker-count field) must be byte-identical at
+#      E10_JOBS=1 and E10_JOBS=8
 #
 # Each step prints its wall-clock seconds.
 set -euo pipefail
@@ -100,5 +108,20 @@ echo "==> chaos-soak smoke (E10_JOBS=4, fixed seeds, divergence gate)"
 t0=$SECONDS
 E10_JOBS=4 cargo run --release -q -p e10-bench --bin chaos_soak -- --smoke --json
 echo "    [$(($SECONDS - t0))s] chaos-soak smoke"
+
+echo "==> nvm_sweep smoke (cache-tier gate + E10_JOBS=1 vs 8 byte-identity)"
+t0=$SECONDS
+E10_JOBS=1 cargo run --release -q -p e10-bench --bin nvm_sweep -- --smoke --json \
+  --out - > target/ci-nvm-sweep-1.json
+E10_JOBS=8 cargo run --release -q -p e10-bench --bin nvm_sweep -- --smoke --json \
+  --out - > target/ci-nvm-sweep-8.json
+# The worker count is recorded in the document; everything else —
+# stall counters, front bytes, bandwidth — must not depend on it.
+sed 's/"jobs":[^,]*,//' target/ci-nvm-sweep-1.json \
+  > target/ci-nvm-sweep-1.stripped.json
+sed 's/"jobs":[^,]*,//' target/ci-nvm-sweep-8.json \
+  > target/ci-nvm-sweep-8.stripped.json
+cmp target/ci-nvm-sweep-1.stripped.json target/ci-nvm-sweep-8.stripped.json
+echo "    [$(($SECONDS - t0))s] nvm_sweep smoke"
 
 echo "==> ci: all green"

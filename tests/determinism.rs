@@ -227,6 +227,61 @@ fn crash_recovery_is_deterministic() {
     assert_eq!(once(0), once(1));
 }
 
+/// The determinism anchor for the NVM device model: an `nvm` cache
+/// class whose device is parameterised exactly like the SSD (same
+/// bandwidths/latencies, one channel, same mount geometry, same RNG
+/// stream base) and whose byte-granular front is disabled
+/// (`e10_nvm_threshold = 0`) runs the identical operation sequence —
+/// bandwidth and phase timings must match the `ssd` class bit for bit.
+#[test]
+fn nvm_class_with_ssd_equal_parameters_matches_ssd_bitwise() {
+    use e10_storesim::NvmParams;
+    let run_class = |class: &'static str| -> Timings {
+        e10_simcore::run(async move {
+            let mut spec = TestbedSpec::small(8, 4);
+            spec.pfs.disk.jitter_cv = 0.3;
+            spec.pfs.server_jitter_cv = 0.4;
+            spec.nvm = NvmParams::matching_ssd(&spec.ssd);
+            spec.nvm_localfs = spec.localfs.clone();
+            spec.nvm_stream_base = 100_000; // the SSD streams' base
+            let tb = spec.build();
+            let w = Rc::new(CollPerf::tiny([2, 2, 2])) as Rc<dyn Workload>;
+            let hints = Info::from_pairs([
+                ("romio_cb_write", "enable"),
+                ("cb_buffer_size", "8K"),
+                ("striping_unit", "8K"),
+                ("e10_cache", "enable"),
+                ("e10_cache_discard_flag", "enable"),
+                ("e10_cache_class", class),
+                ("e10_nvm_threshold", "0"),
+            ]);
+            let mut cfg = RunConfig::paper(hints, "/gfs/anchor");
+            cfg.files = 2;
+            cfg.compute_delay = SimDuration::from_secs(2);
+            cfg.include_last_sync = true;
+            let out = run_workload(&tb, w, &cfg).await;
+            (
+                out.bandwidth,
+                out.phases.iter().map(|p| (p.t_c, p.not_hidden)).collect(),
+            )
+        })
+    };
+    let ssd = run_class("ssd");
+    let nvm = run_class("nvm");
+    assert_eq!(
+        ssd.0.to_bits(),
+        nvm.0.to_bits(),
+        "ssd vs nvm bandwidth: {} vs {}",
+        ssd.0,
+        nvm.0
+    );
+    assert_eq!(ssd.1.len(), nvm.1.len());
+    for (pa, pb) in ssd.1.iter().zip(&nvm.1) {
+        assert_eq!(pa.0.to_bits(), pb.0.to_bits());
+        assert_eq!(pa.1.to_bits(), pb.1.to_bits());
+    }
+}
+
 #[test]
 fn event_counts_are_reproducible() {
     let count = |seed: u64| {

@@ -88,6 +88,7 @@ fn backoff_policy_yields_to_foreground_traffic() {
                             comm: sub,
                             pfs: Rc::clone(&ctx.pfs),
                             localfs: Rc::clone(&ctx.localfs),
+                            nvmfs: Rc::clone(&ctx.nvmfs),
                         };
                         if rank == 0 {
                             // Cached writer: 16 MiB to sync in background.
