@@ -29,7 +29,7 @@ pub const TABLE2: [(&str, &str); 5] = [
 ];
 
 /// Hints this implementation adds beyond the paper's two tables.
-pub const EXTENSIONS: [(&str, &str); 13] = [
+pub const EXTENSIONS: [(&str, &str); 14] = [
     (
         "e10_two_phase",
         "stock, extended, node_agg (collective-write algorithm)",
@@ -69,6 +69,10 @@ pub const EXTENSIONS: [(&str, &str); 13] = [
     (
         "e10_nvm_threshold",
         "bytes (writes at most this take the byte-granular NVM path)",
+    ),
+    (
+        "e10_cache_sync_depth",
+        "extent count (bound on queued sync extents; 0 = unbounded)",
     ),
     ("cb_config_list", "\"*:N\" (aggregators per node)"),
     ("romio_no_indep_rw", "true, false (deferred open)"),
@@ -185,6 +189,7 @@ mod tests {
                 "e10_cache_class" => "hybrid",
                 "e10_nvm_capacity" => "64M",
                 "e10_nvm_threshold" => "16K",
+                "e10_cache_sync_depth" => "8",
                 "e10_cache_hiwater" | "e10_cache_lowater" => "50",
                 _ => "enable",
             };

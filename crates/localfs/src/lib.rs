@@ -377,8 +377,10 @@ impl LocalFile {
     /// physically writes zeroes (the paper's fallback, "at the cost of
     /// time efficiency").
     pub async fn fallocate(&self, offset: u64, len: u64) -> Result<(), FsError> {
-        let holes = self.state.borrow().data.holes(offset, len);
-        let grow: u64 = holes.iter().map(|h| h.end - h.start).sum();
+        let grow = {
+            let st = self.state.borrow();
+            len - st.data.covered_bytes_in(offset, len)
+        };
         if grow > 0 {
             self.fs.reserve(grow)?;
         }
@@ -390,12 +392,20 @@ impl LocalFile {
             // Zero-fill fallback: real writes through the page cache.
             self.fs.cache.write(grow).await;
         }
-        for h in holes {
+        // Fill the holes one at a time (each fill is covered afterwards,
+        // so the scan resumes past it) — no scratch list on this path.
+        let end = offset + len;
+        let mut pos = offset;
+        while let Some(h) = {
+            let st = self.state.borrow();
+            st.data.next_hole(pos, end)
+        } {
             self.write_extent_bookkeeping(h.start, h.end - h.start);
             self.state
                 .borrow_mut()
                 .data
                 .insert(h.start, h.end - h.start, Source::Zero);
+            pos = h.end;
         }
         Ok(())
     }
@@ -578,15 +588,30 @@ impl LocalFile {
         offset: u64,
         len: u64,
     ) -> Result<Vec<(Range<u64>, Option<Source>)>, FsError> {
+        let mut out = Vec::new();
+        self.read_into(offset, len, &mut out).await?;
+        Ok(out)
+    }
+
+    /// [`read`](Self::read) appending into a caller-provided buffer, so
+    /// steady-state readers (the cache sync path) can reuse one
+    /// allocation across calls.
+    pub async fn read_into(
+        &self,
+        offset: u64,
+        len: u64,
+        out: &mut Vec<(Range<u64>, Option<Source>)>,
+    ) -> Result<(), FsError> {
         if len == 0 {
-            return Ok(Vec::new());
+            return Ok(());
         }
         let stream_pos = self.state.borrow().stream_pos(offset);
         let hit = self.fs.cache.read_at(stream_pos, len).await;
         if !hit {
             self.fs.dev.read(len).await;
         }
-        Ok(self.state.borrow().data.lookup(offset, len))
+        self.state.borrow().data.lookup_into(offset, len, out);
+        Ok(())
     }
 
     /// fsync: wait for writeback of all dirty node data.
@@ -608,7 +633,16 @@ impl LocalFile {
         if freed == 0 {
             return;
         }
-        self.state.borrow_mut().data.remove(offset, len);
+        {
+            let mut st = self.state.borrow_mut();
+            st.data.remove(offset, len);
+            // Drop stream-position records for the punched range so the
+            // log stays bounded under streaming eviction (punch → write
+            // → punch forever must not grow any index).
+            while let Some((&k, _)) = st.stream_log.range(offset..offset + len).next() {
+                st.stream_log.remove(&k);
+            }
+        }
         let mut vol = self.fs.vol.borrow_mut();
         vol.used = vol.used.saturating_sub(freed);
         self.fs.cache.evict(freed);

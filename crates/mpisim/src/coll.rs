@@ -191,7 +191,8 @@ impl Comm {
                     let tag = self.op_tag(opid, k);
                     let s = self.isend(dst, tag, 0, ());
                     let r = self.irecv(SourceSel::Rank(src), tag);
-                    waitall(vec![s, r]).await;
+                    s.wait().await;
+                    r.wait().await;
                     step <<= 1;
                     k += 1;
                 }
@@ -418,6 +419,43 @@ impl Comm {
                 waitall(reqs).await;
                 out.into_iter().map(|x| x.expect("alltoall hole")).collect()
             }
+        }
+    }
+
+    /// Allocation-free `MPI_Alltoall` of one `u64` per rank, the shape
+    /// of the two-phase round loop's size dissemination: `buf[i]` is
+    /// sent to rank `i` and replaced in place by the value received
+    /// *from* rank `i`. `sreqs` is caller-owned scratch (drained on
+    /// return) so steady-state rounds touch the allocator zero times.
+    /// Wire behaviour — send order, per-message size, matching — is
+    /// identical to `alltoall(v, bytes_each)`.
+    pub async fn alltoall_u64_inplace(
+        &self,
+        buf: &mut [u64],
+        bytes_each: u64,
+        sreqs: &mut Vec<crate::comm::Request>,
+    ) {
+        let p = self.size();
+        assert_eq!(buf.len(), p, "alltoall needs one element per rank");
+        if self.coll().backend == CollBackend::Analytic {
+            let out = self.alltoall(buf.to_vec(), bytes_each).await;
+            buf.copy_from_slice(&out);
+            return;
+        }
+        let opid = self.next_op();
+        let tag = self.op_tag(opid, 0);
+        debug_assert!(sreqs.is_empty());
+        for s in 1..p {
+            let dst = (self.rank + s) % p;
+            sreqs.push(self.isend(dst, tag, bytes_each, buf[dst]));
+        }
+        for _ in 1..p {
+            let m = self.recv(SourceSel::Any, tag).await;
+            let src = m.src;
+            buf[src] = m.into_data::<u64>();
+        }
+        for r in sreqs.drain(..) {
+            r.wait().await;
         }
     }
 

@@ -174,25 +174,34 @@ impl FileView {
     /// The (possibly clipped) pieces intersecting file window
     /// `[lo, hi)` — the core two-phase round query. `O(log n + k)`.
     pub fn pieces_in_window(&self, lo: u64, hi: u64) -> Vec<ViewPiece> {
+        let mut out = Vec::new();
+        self.for_each_piece_in_window(lo, hi, |p| out.push(p));
+        out
+    }
+
+    /// Allocation-free variant of
+    /// [`pieces_in_window`](Self::pieces_in_window): visit each clipped
+    /// piece in order instead of collecting them. The two-phase round
+    /// loop calls this once per aggregator per round, so the collecting
+    /// form would dominate its steady-state allocation count.
+    pub fn for_each_piece_in_window(&self, lo: u64, hi: u64, mut f: impl FnMut(ViewPiece)) {
         if lo >= hi || self.pieces.is_empty() {
-            return Vec::new();
+            return;
         }
         // First piece that could overlap: binary search by end offset.
         let start = self.pieces.partition_point(|p| p.file_off + p.len <= lo);
-        let mut out = Vec::new();
         for p in &self.pieces[start..] {
             if p.file_off >= hi {
                 break;
             }
             let s = p.file_off.max(lo);
             let e = (p.file_off + p.len).min(hi);
-            out.push(ViewPiece {
+            f(ViewPiece {
                 file_off: s,
                 len: e - s,
                 buf_off: p.buf_off + (s - p.file_off),
             });
         }
-        out
     }
 }
 

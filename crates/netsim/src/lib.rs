@@ -16,8 +16,55 @@
 //! memory bus resource instead (the paper's point (e): collective I/O
 //! stresses node memory bandwidth during the shuffle).
 
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use e10_simcore::resource::FsServe;
 use e10_simcore::trace::{self, Event, EventKind, Layer};
-use e10_simcore::{join_all, spawn, FairShare, SimDuration};
+use e10_simcore::{FairShare, SimDuration};
+
+/// Inline join over the (at most five) bandwidth streams a transfer
+/// occupies concurrently: TX NIC, RX NIC, switch core and the two leaf
+/// uplinks. Replaces one spawned task per stream + `join_all`: the
+/// serve futures are polled in place from the transfer's own task, so
+/// a message costs no heap allocation and no task churn. Streams
+/// register with their resources in push order at the first poll —
+/// the same order the spawned couriers used to register in.
+#[derive(Default)]
+struct StreamJoin {
+    streams: [Option<FsServe>; 5],
+    len: usize,
+}
+
+impl StreamJoin {
+    fn push(&mut self, f: FsServe) {
+        self.streams[self.len] = Some(f);
+        self.len += 1;
+    }
+}
+
+impl Future for StreamJoin {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        let mut pending = false;
+        for slot in this.streams[..this.len].iter_mut() {
+            if let Some(f) = slot {
+                match Pin::new(f).poll(cx) {
+                    Poll::Ready(()) => *slot = None,
+                    Poll::Pending => pending = true,
+                }
+            }
+        }
+        if pending {
+            Poll::Pending
+        } else {
+            Poll::Ready(())
+        }
+    }
+}
 
 /// Index of a node in the cluster.
 pub type NodeId = usize;
@@ -163,23 +210,18 @@ impl Network {
         // it crosses leaf switches, the two uplinks — concurrently;
         // completion is gated by the slowest.
         let work = bytes as f64;
-        let mut hs = Vec::with_capacity(5);
-        let t = self.tx[src].clone();
-        hs.push(spawn(async move { t.serve(work).await }));
-        let r = self.rx[dst].clone();
-        hs.push(spawn(async move { r.serve(work).await }));
+        let mut join = StreamJoin::default();
+        join.push(self.tx[src].serve(work));
+        join.push(self.rx[dst].serve(work));
         let (sl, dl) = (self.leaf_of(src), self.leaf_of(dst));
         if self.leaves.is_empty() || sl != dl {
-            let c = self.core.clone();
-            hs.push(spawn(async move { c.serve(work).await }));
+            join.push(self.core.serve(work));
             if !self.leaves.is_empty() {
-                let up = self.leaves[sl].0.clone();
-                hs.push(spawn(async move { up.serve(work).await }));
-                let down = self.leaves[dl].1.clone();
-                hs.push(spawn(async move { down.serve(work).await }));
+                join.push(self.leaves[sl].0.serve(work));
+                join.push(self.leaves[dl].1.serve(work));
             }
         }
-        join_all(hs).await;
+        join.await;
     }
 
     /// Charge a local memory copy of `bytes` on `node` (e.g. packing
@@ -208,7 +250,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use e10_simcore::{now, run, spawn};
+    use e10_simcore::{join_all, now, run, spawn};
 
     fn test_cfg() -> NetConfig {
         NetConfig {

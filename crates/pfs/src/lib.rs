@@ -24,8 +24,11 @@ pub mod lock;
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::future::Future;
 use std::ops::Range;
+use std::pin::Pin;
 use std::rc::Rc;
+use std::task::{Context, Poll};
 
 use e10_netsim::{Network, NodeId};
 use e10_simcore::rng::Jitter;
@@ -151,6 +154,10 @@ pub struct Pfs {
     /// Jitter stream for client retry backoff (decorrelates retries of
     /// concurrent clients after a correlated server failure).
     retry_rng: RefCell<SimRng>,
+    /// Recycled chunk-list buffers: striped requests split into chunks
+    /// every round, and the split must not touch the allocator in
+    /// steady state.
+    chunk_pool: RefCell<Vec<Vec<Chunk>>>,
 }
 
 /// Striping overrides at create time.
@@ -296,6 +303,7 @@ impl Pfs {
             files: RefCell::new(HashMap::new()),
             files_created: RefCell::new(0),
             retry_rng: RefCell::new(SimRng::stream(seed, 20_000)),
+            chunk_pool: RefCell::new(Vec::new()),
         })
     }
 
@@ -489,12 +497,73 @@ impl Pfs {
 }
 
 /// A chunk of a file request routed to one target.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Chunk {
     target: usize,
     dev_offset: u64,
     file_offset: u64,
     len: u64,
+}
+
+/// Striped requests fan out to this many chunks before the per-chunk
+/// futures fall back to spawned tasks (which allocate).
+const CHUNK_JOIN_SLOTS: usize = 8;
+
+/// Join up to `N` same-typed futures without allocating — the shape of
+/// a striped request's per-chunk fan-out, which historically spawned
+/// one task per chunk (several allocator calls each). Slots are polled
+/// in push order, matching the ready-queue order the spawned chunk
+/// tasks used to start in.
+struct FixedJoin<F: Future, const N: usize> {
+    slots: [Option<F>; N],
+    results: [Option<F::Output>; N],
+    len: usize,
+}
+
+impl<F: Future, const N: usize> FixedJoin<F, N> {
+    fn new() -> Self {
+        FixedJoin {
+            slots: std::array::from_fn(|_| None),
+            results: std::array::from_fn(|_| None),
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, f: F) {
+        self.slots[self.len] = Some(f);
+        self.len += 1;
+    }
+}
+
+impl<F: Future, const N: usize> Future for FixedJoin<F, N> {
+    type Output = [Option<F::Output>; N];
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Structural pinning of `slots`: the futures are never moved
+        // once the join is pinned; completed slots are dropped in
+        // place by the `None` assignment.
+        let this = unsafe { self.get_unchecked_mut() };
+        let mut pending = false;
+        for i in 0..this.len {
+            if let Some(f) = &mut this.slots[i] {
+                match unsafe { Pin::new_unchecked(f) }.poll(cx) {
+                    Poll::Ready(v) => {
+                        this.results[i] = Some(v);
+                        this.slots[i] = None;
+                    }
+                    Poll::Pending => pending = true,
+                }
+            }
+        }
+        if pending {
+            Poll::Pending
+        } else {
+            Poll::Ready(std::mem::replace(
+                &mut this.results,
+                std::array::from_fn(|_| None),
+            ))
+        }
+    }
 }
 
 /// An open file handle.
@@ -526,9 +595,30 @@ impl PfsHandle {
         self.state.borrow().size
     }
 
+    /// Take a recycled chunk buffer from the instance pool (returned
+    /// by [`put_chunk_buf`](Self::put_chunk_buf) after the request).
+    fn take_chunk_buf(&self) -> Vec<Chunk> {
+        self.pfs.chunk_pool.borrow_mut().pop().unwrap_or_default()
+    }
+
+    fn put_chunk_buf(&self, mut buf: Vec<Chunk>) {
+        buf.clear();
+        self.pfs.chunk_pool.borrow_mut().push(buf);
+    }
+
     /// Split `[offset, offset+len)` into per-target chunks following
-    /// the striping layout (contiguous same-target pieces merged).
+    /// the striping layout (contiguous same-target pieces merged),
+    /// filling `out` (cleared first).
+    /// Test convenience: allocate-and-return form of [`Self::chunks_into`].
+    #[cfg(test)]
     fn chunks(&self, offset: u64, len: u64) -> Vec<Chunk> {
+        let mut out = Vec::new();
+        self.chunks_into(offset, len, &mut out);
+        out
+    }
+
+    fn chunks_into(&self, offset: u64, len: u64, out: &mut Vec<Chunk>) {
+        out.clear();
         let st = self.state.borrow();
         let unit = st.stripe_unit;
         let count = st.stripe_count as u64;
@@ -536,7 +626,6 @@ impl PfsHandle {
         // Disjoint per-file device regions, aligned to the stripe unit
         // so lock-range rounding never couples unrelated chunks.
         let base = st.file_index * (1u64 << 40).div_ceil(unit) * unit;
-        let mut out: Vec<Chunk> = Vec::new();
         let mut pos = offset;
         let end = offset + len;
         while pos < end {
@@ -560,7 +649,32 @@ impl PfsHandle {
             });
             pos += take;
         }
-        out
+    }
+
+    /// Run every chunk's I/O concurrently (chunks on different targets
+    /// proceed in parallel) and return the first error in chunk order.
+    /// Small fan-outs — the steady-state case — join inline without
+    /// allocating; oversized ones fall back to spawned tasks.
+    async fn run_write_chunks(&self, client: NodeId, chunks: &[Chunk]) -> Result<(), PfsError> {
+        if chunks.len() <= CHUNK_JOIN_SLOTS {
+            let mut join: FixedJoin<_, CHUNK_JOIN_SLOTS> = FixedJoin::new();
+            for &chunk in chunks {
+                join.push(self.write_chunk(client, chunk));
+            }
+            for r in std::pin::pin!(join).await.into_iter().flatten() {
+                r?;
+            }
+        } else {
+            let mut hs = Vec::with_capacity(chunks.len());
+            for &chunk in chunks {
+                let this = self.clone();
+                hs.push(spawn(async move { this.write_chunk(client, chunk).await }));
+            }
+            for r in join_all(hs).await {
+                r?;
+            }
+        }
+        Ok(())
     }
 
     async fn write_chunk(&self, client: NodeId, chunk: Chunk) -> Result<(), PfsError> {
@@ -644,6 +758,62 @@ impl PfsHandle {
         Ok(())
     }
 
+    /// Read-side analogue of [`Self::run_write_chunks`].
+    async fn run_read_chunks(&self, client: NodeId, chunks: &[Chunk]) -> Result<(), PfsError> {
+        if chunks.len() <= CHUNK_JOIN_SLOTS {
+            let mut join: FixedJoin<_, CHUNK_JOIN_SLOTS> = FixedJoin::new();
+            for &chunk in chunks {
+                join.push(self.read_chunk(client, chunk));
+            }
+            for r in std::pin::pin!(join).await.into_iter().flatten() {
+                r?;
+            }
+        } else {
+            let mut hs = Vec::with_capacity(chunks.len());
+            for &chunk in chunks {
+                let this = self.clone();
+                hs.push(spawn(async move { this.read_chunk(client, chunk).await }));
+            }
+            for r in join_all(hs).await {
+                r?;
+            }
+        }
+        Ok(())
+    }
+
+    async fn read_chunk(&self, client: NodeId, chunk: Chunk) -> Result<(), PfsError> {
+        let pfs = &self.pfs;
+        let t = &pfs.targets[chunk.target];
+        trace::emit(|| {
+            Event::new(Layer::Pfs, "read_chunk", EventKind::Begin)
+                .node(client)
+                .field("target", chunk.target)
+                .field("bytes", chunk.len)
+                .field("queue_depth", t.handler.queue_len())
+        });
+        trace::counter("pfs.read_chunks", 1);
+        trace::counter("pfs.read_bytes", chunk.len);
+        pfs.submit_rpc(client, chunk.target, "read", 128).await?;
+        let unit = self.state.borrow().stripe_unit;
+        let lstart = (chunk.dev_offset / unit) * unit;
+        let lend = (chunk.dev_offset + chunk.len).div_ceil(unit) * unit;
+        let _lock = t.stripe_locks.lock(lstart..lend, LockMode::Shared).await;
+        t.handler.serve(pfs.params.rpc_overhead).await;
+        let raid = t.raid.clone();
+        let (off, l) = (chunk.dev_offset, chunk.len);
+        let h = spawn(async move { raid.read(off, l).await });
+        pfs.backend.serve(chunk.len as f64).await;
+        h.await;
+        pfs.net.transfer(t.node, client, chunk.len + 64).await;
+        trace::emit(|| {
+            Event::new(Layer::Pfs, "read_chunk", EventKind::End)
+                .node(client)
+                .field("target", chunk.target)
+                .field("bytes", chunk.len)
+        });
+        Ok(())
+    }
+
     /// Apply lazy media-rot bit flips to the stored object.
     fn apply_corruption(st: &mut PfsFileState, hits: Vec<(u64, u8)>) {
         for (pos, mask) in hits {
@@ -667,15 +837,11 @@ impl PfsHandle {
         if len == 0 {
             return Ok(());
         }
-        let chunks = self.chunks(offset, len);
-        let mut hs = Vec::new();
-        for chunk in chunks {
-            let this = self.clone();
-            hs.push(spawn(async move { this.write_chunk(client, chunk).await }));
-        }
-        for r in join_all(hs).await {
-            r?;
-        }
+        let mut chunks = self.take_chunk_buf();
+        self.chunks_into(offset, len, &mut chunks);
+        let outcome = self.run_write_chunks(client, &chunks).await;
+        self.put_chunk_buf(chunks);
+        outcome?;
         let mut st = self.state.borrow_mut();
         st.data.insert(offset, len, payload.src);
         st.size = st.size.max(offset + len);
@@ -698,15 +864,11 @@ impl PfsHandle {
         if span_len == 0 {
             return Ok(());
         }
-        let chunks = self.chunks(span_start, span_len);
-        let mut hs = Vec::new();
-        for chunk in chunks {
-            let this = self.clone();
-            hs.push(spawn(async move { this.write_chunk(client, chunk).await }));
-        }
-        for r in join_all(hs).await {
-            r?;
-        }
+        let mut chunks = self.take_chunk_buf();
+        self.chunks_into(span_start, span_len, &mut chunks);
+        let outcome = self.run_write_chunks(client, &chunks).await;
+        self.put_chunk_buf(chunks);
+        outcome?;
         let mut st = self.state.borrow_mut();
         for (off, p) in pieces {
             debug_assert!(off >= span_start && off + p.len <= span_start + span_len);
@@ -729,46 +891,11 @@ impl PfsHandle {
         if len == 0 {
             return Ok(Vec::new());
         }
-        let chunks = self.chunks(offset, len);
-        let mut hs = Vec::new();
-        for chunk in chunks {
-            let this = self.clone();
-            hs.push(spawn(async move {
-                let pfs = &this.pfs;
-                let t = &pfs.targets[chunk.target];
-                trace::emit(|| {
-                    Event::new(Layer::Pfs, "read_chunk", EventKind::Begin)
-                        .node(client)
-                        .field("target", chunk.target)
-                        .field("bytes", chunk.len)
-                        .field("queue_depth", t.handler.queue_len())
-                });
-                trace::counter("pfs.read_chunks", 1);
-                trace::counter("pfs.read_bytes", chunk.len);
-                pfs.submit_rpc(client, chunk.target, "read", 128).await?;
-                let unit = this.state.borrow().stripe_unit;
-                let lstart = (chunk.dev_offset / unit) * unit;
-                let lend = (chunk.dev_offset + chunk.len).div_ceil(unit) * unit;
-                let _lock = t.stripe_locks.lock(lstart..lend, LockMode::Shared).await;
-                t.handler.serve(pfs.params.rpc_overhead).await;
-                let raid = t.raid.clone();
-                let (off, l) = (chunk.dev_offset, chunk.len);
-                let h = spawn(async move { raid.read(off, l).await });
-                pfs.backend.serve(chunk.len as f64).await;
-                h.await;
-                pfs.net.transfer(t.node, client, chunk.len + 64).await;
-                trace::emit(|| {
-                    Event::new(Layer::Pfs, "read_chunk", EventKind::End)
-                        .node(client)
-                        .field("target", chunk.target)
-                        .field("bytes", chunk.len)
-                });
-                Ok::<(), PfsError>(())
-            }));
-        }
-        for r in join_all(hs).await {
-            r?;
-        }
+        let mut chunks = self.take_chunk_buf();
+        self.chunks_into(offset, len, &mut chunks);
+        let outcome = self.run_read_chunks(client, &chunks).await;
+        self.put_chunk_buf(chunks);
+        outcome?;
         // Lazy media rot: corruption of the stored object materialises
         // at read time (undetected until somebody looks), and persists.
         let rot: Vec<(u64, u8)> = e10_faultsim::pfs_corrupt(len)
@@ -922,8 +1049,8 @@ mod tests {
                     },
                 )
                 .await;
-            let ca = a.chunks(0, 100)[0].clone();
-            let cb = b.chunks(0, 100)[0].clone();
+            let ca = a.chunks(0, 100)[0];
+            let cb = b.chunks(0, 100)[0];
             assert_ne!(ca.target, cb.target);
             assert_ne!(ca.dev_offset, cb.dev_offset);
         });

@@ -90,6 +90,34 @@ impl RangeLock {
     /// conflicting holders and earlier conflicting waiters.
     pub async fn lock(&self, range: Range<u64>, mode: LockMode) -> RangeLockGuard {
         assert!(range.start < range.end, "empty lock range");
+        {
+            // Uncontended fast path: the queue only ever holds blocked
+            // waiters (try_grant drains grantable ones eagerly), so a
+            // request conflicting with neither holders nor the queue is
+            // exactly what try_grant would grant on the spot — take the
+            // lock without allocating a wait flag. A set flag resolves
+            // `wait()` without yielding, so skipping it is invisible to
+            // event ordering.
+            let mut st = self.inner.borrow_mut();
+            let free = !st
+                .held
+                .iter()
+                .any(|h| overlaps(&h.range, &range) && conflicts(h.mode, mode))
+                && !st
+                    .queue
+                    .iter()
+                    .any(|w| overlaps(&w.range, &range) && conflicts(w.mode, mode));
+            if free {
+                let id = st.next_id;
+                st.next_id += 1;
+                st.grants += 1;
+                st.held.push(Held { id, range, mode });
+                return RangeLockGuard {
+                    inner: Rc::clone(&self.inner),
+                    id,
+                };
+            }
+        }
         let (id, flag, contended) = {
             let mut st = self.inner.borrow_mut();
             let id = st.next_id;

@@ -27,12 +27,11 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use e10_localfs::{FsError, LocalFile, LocalFs};
-use e10_mpisim::{grequest_waitall, Grequest, GrequestCompleter};
 use e10_netsim::NodeId;
 use e10_pfs::lock::{LockMode, RangeLockGuard};
 use e10_pfs::PfsHandle;
 use e10_simcore::trace::{self, Event, EventKind, Layer};
-use e10_simcore::{channel, JoinHandle, Sender, SimDuration};
+use e10_simcore::{channel, Flag, JoinHandle, Semaphore, SemaphoreGuard, Sender, SimDuration};
 use e10_storesim::{pieces_digest, ExtentMap, Payload, Source};
 
 use crate::arbiter::{Admission, CacheArbiter};
@@ -99,6 +98,9 @@ pub struct CacheConfig {
     /// Writes of at most this many bytes take the byte-granular
     /// front-end (`e10_nvm_threshold`); 0 disables it.
     pub nvm_threshold: u64,
+    /// Bound on extents queued to the sync thread at once
+    /// (`e10_cache_sync_depth`); 0 leaves the queue unbounded.
+    pub sync_depth: u64,
 }
 
 impl CacheConfig {
@@ -126,6 +128,7 @@ impl CacheConfig {
             class: h.e10_cache_class,
             nvm_capacity: h.e10_nvm_capacity,
             nvm_threshold: h.e10_nvm_threshold,
+            sync_depth: h.e10_cache_sync_depth,
         }
     }
 
@@ -157,6 +160,7 @@ impl CacheConfig {
             class: hints.e10_cache_class,
             nvm_capacity: hints.e10_nvm_capacity,
             nvm_threshold: hints.e10_nvm_threshold,
+            sync_depth: hints.e10_cache_sync_depth,
         }
     }
 
@@ -241,8 +245,11 @@ impl std::error::Error for RecoverError {
 struct SyncMsg {
     offset: u64,
     len: u64,
-    completer: GrequestCompleter,
     lock: Option<RangeLockGuard>,
+    /// Bounded-queue slot (`e10_cache_sync_depth`), held only for its
+    /// drop: releasing it after the extent is drained readmits one
+    /// waiting writer.
+    _slot: Option<SemaphoreGuard>,
     /// Set when the application is blocked waiting (flush/close):
     /// overrides the backoff policy.
     urgent: bool,
@@ -317,27 +324,47 @@ impl Front {
 /// the page cache), everything else through the block tier's normal
 /// read path. Pieces come back in offset order, holes as `None`.
 async fn tier_read(main: &LocalFile, front: Option<&Rc<Front>>, pos: u64, n: u64) -> Pieces {
+    let mut out = Vec::new();
+    tier_read_into(main, front, pos, n, &mut out).await;
+    out
+}
+
+/// [`tier_read`] into a caller-provided buffer: the sync thread calls
+/// this once per chunk forever, so the steady state must not allocate.
+async fn tier_read_into(
+    main: &LocalFile,
+    front: Option<&Rc<Front>>,
+    pos: u64,
+    n: u64,
+    out: &mut Pieces,
+) {
+    out.clear();
     let Some(f) = front else {
-        return main.read(pos, n).await.unwrap_or_default();
+        if main.read_into(pos, n, out).await.is_err() {
+            out.clear();
+        }
+        return;
     };
     let split = f.map.borrow().lookup(pos, n);
     if split.iter().all(|(_, s)| s.is_none()) {
-        return main.read(pos, n).await.unwrap_or_default();
+        if main.read_into(pos, n, out).await.is_err() {
+            out.clear();
+        }
+        return;
     }
-    let mut out: Pieces = Vec::new();
     for (range, owned) in split {
         let len = range.end - range.start;
-        let part = if owned.is_some() {
-            f.file
+        if owned.is_some() {
+            let part = f
+                .file
                 .read_direct(range.start, len)
                 .await
-                .unwrap_or_default()
+                .unwrap_or_default();
+            out.extend(part);
         } else {
-            main.read(range.start, len).await.unwrap_or_default()
-        };
-        out.extend(part);
+            let _ = main.read_into(range.start, len, out).await;
+        }
     }
-    out
 }
 
 /// Write one repair piece to the tier that owns it. Ranges straddling
@@ -376,7 +403,17 @@ struct CacheInner {
     arbiter: Rc<CacheArbiter>,
     tx: RefCell<Option<Sender<SyncMsg>>>,
     sync_task: RefCell<Option<JoinHandle<()>>>,
-    outstanding: RefCell<Vec<Grequest>>,
+    /// Sync requests posted but not yet pushed to the global file.
+    /// A counter (not a request list) so the steady-state enqueue →
+    /// complete cycle allocates nothing; `flush` waits for it to reach
+    /// zero via `sync_idle`.
+    pending_syncs: Rc<Cell<u64>>,
+    /// Armed by a waiting `flush`; the sync thread sets it when
+    /// `pending_syncs` drains to zero.
+    sync_idle: Rc<RefCell<Option<Flag>>>,
+    /// Slot pool bounding the sync queue (`e10_cache_sync_depth`);
+    /// `None` when the queue is unbounded.
+    sync_slots: Option<Semaphore>,
     deferred: RefCell<Vec<DeferredExtent>>,
     degraded: Rc<Cell<bool>>,
     bytes_cached: Cell<u64>,
@@ -597,6 +634,7 @@ impl CacheLayer {
         cfg.ind_wr = cfg.ind_wr.max(1);
         let arbiter = CacheArbiter::of(&localfs);
         arbiter.register(&cfg.job, cfg.hiwater, cfg.lowater, cfg.ind_wr, cfg.node);
+        let sync_slots = (cfg.sync_depth > 0).then(|| Semaphore::new(cfg.sync_depth as usize));
         let inner = Rc::new(CacheInner {
             cache_file_path: cfg.cache_file_path(),
             journal_file_path: cfg.journal_file_path(),
@@ -609,7 +647,9 @@ impl CacheLayer {
             arbiter,
             tx: RefCell::new(None),
             sync_task: RefCell::new(None),
-            outstanding: RefCell::new(Vec::new()),
+            pending_syncs: Rc::new(Cell::new(0)),
+            sync_idle: Rc::new(RefCell::new(None)),
+            sync_slots,
             deferred: RefCell::new(Vec::new()),
             degraded: Rc::new(Cell::new(false)),
             bytes_cached: Cell::new(0),
@@ -822,7 +862,7 @@ impl CacheLayer {
         for &(offset, len) in &requeued {
             // The sync thread was started by `assemble` just above and
             // cannot have stopped yet.
-            let _ = layer.enqueue_sync(offset, len, None, false, 0);
+            let _ = layer.enqueue_sync(offset, len, None, false, 0, None);
         }
         trace::emit(|| {
             Event::new(Layer::Romio, "cache.recovered", EventKind::Point)
@@ -861,8 +901,13 @@ impl CacheLayer {
         let arbiter = Rc::clone(&self.inner.arbiter);
         let job = self.inner.cfg.job.clone();
         let managed = self.inner.cfg.hiwater > 0;
+        let pending = Rc::clone(&self.inner.pending_syncs);
+        let idle = Rc::clone(&self.inner.sync_idle);
         let task = e10_simcore::spawn(async move {
             let mut last_scrub = e10_simcore::now();
+            // Scratch for the per-chunk read-back; reaches its high-water
+            // mark during warm-up and is reused for every later chunk.
+            let mut pieces_buf: Pieces = Vec::new();
             while let Some(msg) = rx.recv().await {
                 if integrity
                     && scrub_ms > 0
@@ -915,7 +960,7 @@ impl CacheLayer {
                     // Read back from the owning tier(s): page-cache or
                     // block device for staged chunks, the byte-granular
                     // direct path for front-resident ranges...
-                    let mut pieces = tier_read(&file, front.as_ref(), pos, n).await;
+                    tier_read_into(&file, front.as_ref(), pos, n, &mut pieces_buf).await;
                     // Verify-on-flush: never push unchecked bytes to
                     // the global file. A mismatch walks the re-read →
                     // repair-from-memory ladder; if the device keeps
@@ -923,13 +968,14 @@ impl CacheLayer {
                     // in-memory copy but the cache degrades and the
                     // failure surfaces as a typed error at flush.
                     if integrity {
-                        match verify_chunk(&file, front.as_ref(), &resident, pos, n, &pieces).await
+                        match verify_chunk(&file, front.as_ref(), &resident, pos, n, &pieces_buf)
+                            .await
                         {
                             None | Some(Verdict::Clean(None)) => {}
                             Some(Verdict::Clean(Some(again))) => {
                                 mismatches.set(mismatches.get() + 1);
                                 trace::counter("integrity.mismatch", 1);
-                                pieces = again;
+                                pieces_buf = again;
                             }
                             Some(Verdict::Repaired(truth)) => {
                                 mismatches.set(mismatches.get() + 1);
@@ -946,7 +992,7 @@ impl CacheLayer {
                                     .field("offset", pos)
                                     .field("bytes", n)
                                 });
-                                pieces = truth;
+                                pieces_buf = truth;
                             }
                             Some(Verdict::Failing(truth)) => {
                                 mismatches.set(mismatches.get() + 1);
@@ -969,13 +1015,13 @@ impl CacheLayer {
                                         .field("bytes", n)
                                         .field("stage", "flush")
                                 });
-                                pieces = truth;
+                                pieces_buf = truth;
                             }
                         }
                     }
                     // ...and stream to the global file.
                     let mut chunk_ok = true;
-                    for (range, src) in pieces {
+                    for (range, src) in pieces_buf.drain(..) {
                         if let Some(src) = src {
                             let len = range.end - range.start;
                             if let Err(e) =
@@ -1061,7 +1107,12 @@ impl CacheLayer {
                         .field("bytes", msg.len)
                 });
                 trace::counter("cache.bytes_synced", msg.len);
-                msg.completer.complete();
+                pending.set(pending.get() - 1);
+                if pending.get() == 0 {
+                    if let Some(f) = idle.borrow_mut().take() {
+                        f.set();
+                    }
+                }
                 drop(msg.lock);
             }
         });
@@ -1092,12 +1143,7 @@ impl CacheLayer {
 
     /// Sync requests posted but not yet completed.
     pub fn outstanding(&self) -> usize {
-        self.inner
-            .outstanding
-            .borrow()
-            .iter()
-            .filter(|r| !r.test())
-            .count()
+        self.inner.pending_syncs.get() as usize
     }
 
     /// Path of the cache file on `/scratch`.
@@ -1247,23 +1293,37 @@ impl CacheLayer {
         lock: Option<RangeLockGuard>,
         urgent: bool,
         epoch: u64,
+        slot: Option<SemaphoreGuard>,
     ) -> Result<(), Error> {
         let tx = self.inner.tx.borrow();
         let Some(tx) = tx.as_ref() else {
             return Err(Error::SyncStopped);
         };
-        let (req, completer) = Grequest::start();
-        self.inner.outstanding.borrow_mut().push(req);
+        self.inner
+            .pending_syncs
+            .set(self.inner.pending_syncs.get() + 1);
         tx.send(SyncMsg {
             offset,
             len,
-            completer,
             lock,
+            _slot: slot,
             urgent,
             epoch,
         })
         .ok();
         Ok(())
+    }
+
+    /// Reserve a bounded-queue slot (`e10_cache_sync_depth`), waiting
+    /// while the sync thread is `sync_depth` extents behind. `None`
+    /// when the queue is unbounded. Callers must not hold range locks
+    /// across this wait — a throttled writer blocking the drain path
+    /// would deadlock the queue it is waiting on.
+    async fn reserve_sync_slot(&self) -> Option<SemaphoreGuard> {
+        match &self.inner.sync_slots {
+            Some(sem) => Some(sem.acquire().await),
+            None => None,
+        }
     }
 
     /// Write one contiguous extent through the cache. Returns `false`
@@ -1429,6 +1489,14 @@ impl CacheLayer {
                 .field("bytes", len)
         });
         trace::counter("cache.bytes_cached", len);
+        // Bounded sync queue: claim the slot before taking the coherent
+        // lock, so a throttled writer never blocks the drain path it is
+        // waiting on.
+        let slot = if self.inner.cfg.flush_flag == FlushFlag::FlushImmediate {
+            self.reserve_sync_slot().await
+        } else {
+            None
+        };
         // Coherent mode: hold an exclusive global-file extent lock until
         // this extent is persistent.
         let lock = if self.inner.cfg.coherent && self.inner.cfg.flush_flag != FlushFlag::FlushNone {
@@ -1447,7 +1515,10 @@ impl CacheLayer {
         };
         match self.inner.cfg.flush_flag {
             FlushFlag::FlushImmediate => {
-                if self.enqueue_sync(offset, len, lock, false, epoch).is_err() {
+                if self
+                    .enqueue_sync(offset, len, lock, false, epoch, slot)
+                    .is_err()
+                {
                     // Sync thread already gone (write raced a close):
                     // degrade so the caller re-issues this extent
                     // through the global file.
@@ -1494,16 +1565,21 @@ impl CacheLayer {
         if self.inner.cfg.flush_flag != FlushFlag::FlushNone {
             let deferred: Vec<_> = self.inner.deferred.borrow_mut().drain(..).collect();
             for (offset, len, lock, epoch) in deferred {
-                // The caller is about to wait: drain at full speed.
-                self.enqueue_sync(offset, len, lock, true, epoch)?;
+                // The caller is about to wait: drain at full speed
+                // (still honouring the bounded-queue depth).
+                let slot = self.reserve_sync_slot().await;
+                self.enqueue_sync(offset, len, lock, true, epoch, slot)?;
             }
-            let reqs: Vec<Grequest> = self.inner.outstanding.borrow_mut().drain(..).collect();
             trace::emit(|| {
                 Event::new(Layer::Romio, "cache.flush_wait", EventKind::Begin)
                     .node(self.inner.cfg.node)
-                    .field("outstanding", reqs.iter().filter(|r| !r.test()).count())
+                    .field("outstanding", self.inner.pending_syncs.get())
             });
-            grequest_waitall(&reqs).await;
+            while self.inner.pending_syncs.get() > 0 {
+                let f = Flag::new();
+                *self.inner.sync_idle.borrow_mut() = Some(f.clone());
+                f.wait().await;
+            }
             trace::emit(|| {
                 Event::new(Layer::Romio, "cache.flush_wait", EventKind::End)
                     .node(self.inner.cfg.node)

@@ -28,7 +28,7 @@
 //! (leader-only) request set of `node_agg` flows through the exact
 //! machinery the flat variants use.
 
-use e10_mpisim::{waitall, FileView, SourceSel, Tag};
+use e10_mpisim::{FileView, Request, SourceSel, Tag};
 use e10_simcore::trace::counter;
 use e10_storesim::Payload;
 
@@ -56,18 +56,20 @@ pub struct WriteAllResult {
 }
 
 /// A maximal contiguous group of shuffled pieces in an aggregator's
-/// collective buffer.
+/// collective buffer. Test-only oracle: the round engine detects runs
+/// inline over its sorted scratch buffer without building them.
+#[cfg(test)]
 pub(crate) struct Run {
     pub(crate) start: u64,
     pub(crate) end: u64,
     pub(crate) pieces: Vec<(u64, Payload)>,
 }
 
-/// Coalesce sorted pieces into contiguous runs.
+/// Coalesce sorted pieces into contiguous runs (test-only oracle for
+/// the engine's inline run detection).
+#[cfg(test)]
 pub(crate) fn coalesce_runs(mut pieces: Vec<(u64, Payload)>) -> Vec<Run> {
     pieces.sort_by_key(|&(off, _)| off);
-    // Pre-sized for the worst case (every piece its own run) so the
-    // per-round assembly never reallocates mid-build.
     let mut runs: Vec<Run> = Vec::with_capacity(pieces.len());
     for (off, p) in pieces {
         let end = off + p.len;
@@ -103,39 +105,31 @@ pub(crate) fn merge_continuing(pieces: Vec<(u64, Payload)>) -> Vec<(u64, Payload
     out
 }
 
-/// What one rank contributes to a single aggregator window, together
-/// with the provenance the shuffle counters need: how many separate
-/// messages (`origin_msgs`) and raw pieces (`origin_pieces`) the same
-/// data would occupy *without* intra-node aggregation. The flat
-/// two-phase paths contribute their own pieces unmodified, so their
-/// provenance equals the contribution itself and the node-agg savings
-/// counter stays at zero.
-pub(crate) struct WindowContribution {
-    /// `(file_offset, payload)` pieces, sorted by offset.
-    pub(crate) pieces: Vec<(u64, Payload)>,
+/// Provenance of one rank's contribution to a single aggregator
+/// window: how many separate messages (`msgs`) and raw pieces
+/// (`pieces`) the same data would occupy *without* intra-node
+/// aggregation. The flat two-phase paths contribute their own pieces
+/// unmodified, so their provenance equals the contribution itself and
+/// the node-agg savings counter stays at zero.
+///
+/// A contribution source fills its `(file_offset, payload)` pieces —
+/// sorted by offset — into a caller-provided buffer and returns the
+/// provenance, so the round loop reuses one buffer per aggregator
+/// instead of allocating a fresh contribution per window per round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct Provenance {
     /// Shuffle messages this contribution replaces (1 for flat paths).
-    pub(crate) origin_msgs: u64,
+    pub(crate) msgs: u64,
     /// Piece count before intra-node merging.
-    pub(crate) origin_pieces: u64,
+    pub(crate) pieces: u64,
 }
 
-impl WindowContribution {
-    /// No data for this window.
-    pub(crate) fn empty() -> WindowContribution {
-        WindowContribution {
-            pieces: Vec::new(),
-            origin_msgs: 0,
-            origin_pieces: 0,
-        }
-    }
-
+impl Provenance {
     /// A contribution that stands for itself (no pre-aggregation).
-    pub(crate) fn plain(pieces: Vec<(u64, Payload)>) -> WindowContribution {
-        let n = pieces.len() as u64;
-        WindowContribution {
-            pieces,
-            origin_msgs: u64::from(n > 0),
-            origin_pieces: n,
+    pub(crate) fn plain(npieces: u64) -> Provenance {
+        Provenance {
+            msgs: u64::from(npieces > 0),
+            pieces: npieces,
         }
     }
 }
@@ -262,16 +256,14 @@ async fn write_at_all_flat(
         Prepared::Collective { min_st, max_end } => (min_st, max_end),
     };
     let (fds, cb, ntimes) = compute_domains(fd, min_st, max_end, algo);
-    let error_code = exchange_and_write(fd, &fds, cb, ntimes, |ws, we| {
+    let error_code = exchange_and_write(fd, &fds, cb, ntimes, |ws, we, out| {
         if my_bytes == 0 {
-            return WindowContribution::empty();
+            return Provenance::default();
         }
-        WindowContribution::plain(
-            view.pieces_in_window(ws, we)
-                .into_iter()
-                .map(|vp| (vp.file_off, data.piece(vp.buf_off, vp.file_off, vp.len)))
-                .collect(),
-        )
+        view.for_each_piece_in_window(ws, we, |vp| {
+            out.push((vp.file_off, data.piece(vp.buf_off, vp.file_off, vp.len)));
+        });
+        Provenance::plain(out.len() as u64)
     })
     .await;
     WriteAllResult {
@@ -285,11 +277,18 @@ async fn write_at_all_flat(
 /// Steps 4–5, the round engine shared by all algorithms: per-round
 /// `MPI_Alltoall` size dissemination, point-to-point data shuffle,
 /// collective-buffer assembly and write, then the final error-code
-/// `MPI_Allreduce`. `contribution(ws, we)` yields what this rank sends
-/// into aggregator window `[ws, we)` — the rank's own pieces on the
-/// flat paths, the node-merged request list on the node-agg path (and
-/// nothing at all on its non-leader ranks). Returns the global error
-/// code.
+/// `MPI_Allreduce`. `contribution(ws, we, out)` fills what this rank
+/// sends into aggregator window `[ws, we)` — the rank's own pieces on
+/// the flat paths, the node-merged request list on the node-agg path
+/// (and nothing at all on its non-leader ranks) — and returns its
+/// pre-aggregation provenance. Returns the global error code.
+///
+/// Steady-state rounds are allocation-free (asserted by `e10-romio`'s
+/// `alloc_count` test): every per-round buffer is hoisted scratch that
+/// reaches its high-water capacity in the first rounds, shuffled
+/// payload vectors circulate through the communicator's recycling pool
+/// ([`e10_mpisim::Comm::send_buf`]), and assembly sorts/merges in
+/// place instead of building run structures.
 pub(crate) async fn exchange_and_write<S>(
     fd: &AdioFile,
     fds: &FileDomains,
@@ -298,7 +297,7 @@ pub(crate) async fn exchange_and_write<S>(
     mut contribution: S,
 ) -> u32
 where
-    S: FnMut(u64, u64) -> WindowContribution,
+    S: FnMut(u64, u64, &mut Vec<(u64, Payload)>) -> Provenance,
 {
     let comm = fd.comm.clone();
     let prof = fd.profiler().clone();
@@ -314,12 +313,19 @@ where
     let p = comm.size();
     let mut local_err: u32 = 0;
 
-    // Per-round scratch, allocated once: the alltoall size vector is
-    // moved into the exchange and the received vector is reclaimed as
-    // the next round's buffer, so steady-state rounds allocate no size
-    // vectors at all.
+    // Per-round scratch, allocated once and reused across rounds.
     let mut size_buf = vec![0u64; p];
     let mut windows: Vec<(u64, u64)> = Vec::with_capacity(naggs);
+    let mut agg_bufs: Vec<Vec<(u64, Payload)>> = (0..naggs).map(|_| Vec::new()).collect();
+    let mut provenance: Vec<Provenance> = vec![Provenance::default(); naggs];
+    let mut sreqs: Vec<Request> = Vec::new();
+    let mut rreqs: Vec<Request> = Vec::new();
+    let mut recvd: Vec<(u64, Payload)> = Vec::new();
+    // Assembly scratch: offsets decorated with arrival index so an
+    // unstable (allocation-free) sort reproduces the stable order the
+    // historical `coalesce_runs` sort gave overlapping pieces.
+    let mut order: Vec<(u64, u32)> = Vec::new();
+    let mut sorted: Vec<(u64, Payload)> = Vec::new();
 
     // --- 4. the two-phase rounds ------------------------------------------
     for round in 0..ntimes {
@@ -334,84 +340,112 @@ where
 
         // My contribution to each aggregator this round.
         size_buf.fill(0);
-        let mut per_agg: Vec<WindowContribution> = Vec::with_capacity(windows.len());
         for (a, &(ws, we)) in windows.iter().enumerate() {
-            let c = contribution(ws, we);
-            size_buf[aggregators[a]] = c.pieces.iter().map(|(_, p)| p.len).sum();
-            per_agg.push(c);
+            agg_bufs[a].clear();
+            provenance[a] = contribution(ws, we, &mut agg_bufs[a]);
+            size_buf[aggregators[a]] = agg_bufs[a].iter().map(|(_, p)| p.len).sum();
         }
 
         // Size dissemination: the per-round MPI_Alltoall
-        // ("shuffle_all2all"). The send vector is moved, not cloned.
-        let recv_sizes: Vec<u64> = {
+        // ("shuffle_all2all"), in place — `size_buf` now holds the
+        // per-source byte counts this rank will receive.
+        {
             let _t = prof.enter(Phase::ShuffleAlltoall);
-            comm.alltoall(std::mem::take(&mut size_buf), 8).await
-        };
+            comm.alltoall_u64_inplace(&mut size_buf, 8, &mut sreqs)
+                .await;
+        }
 
         // Data shuffle: post sends, post receives, wait for all. The
         // wire size of a shuffle message is its payload plus a 32-byte
         // envelope and a 16-byte (offset, length) header per piece —
         // the footprint the node-agg pre-phase shrinks.
-        let mut local_pieces: Vec<(u64, Payload)> = Vec::new();
-        let mut sreqs = Vec::new();
-        for (a, c) in per_agg.into_iter().enumerate() {
-            if c.pieces.is_empty() {
+        recvd.clear();
+        for (a, c) in agg_bufs.iter_mut().enumerate() {
+            if c.is_empty() {
                 continue;
             }
             let dst = aggregators[a];
             if dst == me {
-                local_pieces = c.pieces;
+                recvd.append(c);
             } else {
-                let npieces = c.pieces.len() as u64;
-                let bytes: u64 =
-                    c.pieces.iter().map(|(_, p)| p.len).sum::<u64>() + 32 + 16 * npieces;
+                let npieces = c.len() as u64;
+                let bytes: u64 = c.iter().map(|(_, p)| p.len).sum::<u64>() + 32 + 16 * npieces;
                 counter("coll.shuffle.msgs", 1);
                 counter("coll.shuffle.bytes", bytes);
                 if comm.node_of(dst) != my_node {
                     counter("coll.shuffle.remote_msgs", 1);
                     counter("coll.shuffle.remote_bytes", bytes);
-                    let saved = 32 * c.origin_msgs.saturating_sub(1)
-                        + 16 * c.origin_pieces.saturating_sub(npieces);
+                    let saved = 32 * provenance[a].msgs.saturating_sub(1)
+                        + 16 * provenance[a].pieces.saturating_sub(npieces);
                     if saved > 0 {
                         counter("coll.node_agg.shuffle_bytes_saved", saved);
                     }
                 }
-                sreqs.push(comm.isend(dst, tag, bytes, c.pieces));
+                // Ship a pooled vector so the receiver's recycle refills
+                // the next sender.
+                let mut payload = comm.send_buf::<(u64, Payload)>();
+                payload.append(c);
+                sreqs.push(comm.isend(dst, tag, bytes, payload));
             }
         }
-        let mut rreqs = Vec::new();
         if my_agg.is_some() {
-            for (src, &sz) in recv_sizes.iter().enumerate() {
+            for (src, &sz) in size_buf.iter().enumerate() {
                 if sz > 0 && src != me {
                     rreqs.push(comm.irecv(SourceSel::Rank(src), tag));
                 }
             }
         }
-        // Reclaim the received size vector as next round's send buffer.
-        size_buf = recv_sizes;
-        let mut recvd: Vec<(u64, Payload)> = local_pieces;
         {
             let _t = prof.enter(Phase::ShuffleWaitall);
-            for m in waitall(rreqs).await.into_iter().flatten() {
-                recvd.extend(m.into_data::<Vec<(u64, Payload)>>());
+            for r in rreqs.drain(..) {
+                if let Some(m) = r.wait().await {
+                    let mut v = m.into_data::<Vec<(u64, Payload)>>();
+                    recvd.append(&mut v);
+                    comm.recycle_buf(v);
+                }
             }
-            waitall(sreqs).await;
+            for r in sreqs.drain(..) {
+                r.wait().await;
+            }
         }
 
         // Collective-buffer assembly + write (aggregators only).
         if my_agg.is_some() && !recvd.is_empty() {
             let total: u64 = recvd.iter().map(|(_, p)| p.len).sum();
-            let runs = {
+            {
                 let _t = prof.enter(Phase::CollBufAssembly);
                 net.local_copy(comm.node(), total).await;
-                coalesce_runs(recvd)
-            };
-            let holes = runs.len() > 1;
+            }
+            // Sort by offset, ties by arrival order (matching the
+            // stable sort the run-building assembly used), then detect
+            // holes in one pass over the sorted pieces.
+            order.clear();
+            order.extend(
+                recvd
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(off, _))| (off, i as u32)),
+            );
+            order.sort_unstable();
+            sorted.clear();
+            sorted.extend(
+                order.iter().map(|&(_, i)| {
+                    std::mem::replace(&mut recvd[i as usize], (0, Payload::zero(0)))
+                }),
+            );
+            let mut holes = false;
+            let mut run_end = 0u64;
+            for (i, &(off, ref pl)) in sorted.iter().enumerate() {
+                if i > 0 && off > run_end {
+                    holes = true;
+                }
+                run_end = run_end.max(off + pl.len);
+            }
             if holes && !fd.cache_active() {
                 // Data sieving in the collective buffer: read the whole
                 // window span, then write it back in one spanning I/O.
-                let span_start = runs.first().unwrap().start;
-                let span_end = runs.last().unwrap().end;
+                let span_start = sorted.first().unwrap().0;
+                let span_end = run_end;
                 {
                     let _t = prof.enter(Phase::Write);
                     if let Err(e) = fd
@@ -423,27 +457,43 @@ where
                         fd.record_io_error(e.into());
                     }
                 }
-                let pieces: Vec<(u64, Payload)> = runs.into_iter().flat_map(|r| r.pieces).collect();
                 if let Err(e) = fd
-                    .write_span(span_start, span_end - span_start, pieces)
+                    .write_span(
+                        span_start,
+                        span_end - span_start,
+                        std::mem::take(&mut sorted),
+                    )
                     .await
                 {
                     local_err = 1;
                     fd.record_io_error(e);
                 }
             } else {
-                for run in runs {
-                    for (off, payload) in merge_continuing(run.pieces) {
-                        if let Err(e) = fd.write_contig(off, payload).await {
-                            local_err = 1;
-                            fd.record_io_error(e);
+                // Merge continuing neighbours on the fly (run gaps can
+                // never satisfy the contiguity test, so per-run merging
+                // and whole-buffer merging write identical sequences).
+                let mut it = sorted.drain(..);
+                if let Some((mut coff, mut cp)) = it.next() {
+                    for (off, pl) in it {
+                        if coff + cp.len == off && cp.src.continues(cp.len, &pl.src) {
+                            cp.len += pl.len;
+                        } else {
+                            if let Err(e) = fd.write_contig(coff, cp).await {
+                                local_err = 1;
+                                fd.record_io_error(e);
+                            }
+                            coff = off;
+                            cp = pl;
                         }
+                    }
+                    if let Err(e) = fd.write_contig(coff, cp).await {
+                        local_err = 1;
+                        fd.record_io_error(e);
                     }
                 }
             }
         }
     }
-
     // --- 5. post-write error exchange -------------------------------------
     {
         let _t = prof.enter(Phase::PostWrite);

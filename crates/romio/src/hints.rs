@@ -386,6 +386,13 @@ pub struct RomioHints {
     /// the nvm class operation-for-operation identical to ssd (the
     /// determinism anchor relies on this).
     pub e10_nvm_threshold: u64,
+    /// `e10_cache_sync_depth` (extension): bound on the number of
+    /// extents queued to the sync thread at once. A writer that would
+    /// exceed it waits for a slot, so staging can never run unboundedly
+    /// ahead of the global-file drain (bounded-memory steady state).
+    /// `0` (the default) leaves the queue unbounded — the paper's
+    /// original fire-and-forget behaviour.
+    pub e10_cache_sync_depth: u64,
     /// `e10_two_phase` (extension): which collective-write algorithm
     /// runs — `stock`, `extended` (default) or `node_agg`.
     pub two_phase: TwoPhaseAlgo,
@@ -426,6 +433,7 @@ impl Default for RomioHints {
             e10_cache_class: CacheClass::Ssd,
             e10_nvm_capacity: 0,
             e10_nvm_threshold: 1 << 20,
+            e10_cache_sync_depth: 0,
             two_phase: TwoPhaseAlgo::Extended,
             e10_trace: TraceMode::Off,
             e10_trace_path: "results/traces".to_string(),
@@ -785,6 +793,12 @@ impl RomioHintsBuilder {
         self
     }
 
+    /// `e10_cache_sync_depth` (`0` leaves the sync queue unbounded).
+    pub fn e10_cache_sync_depth(mut self, depth: u64) -> Self {
+        self.hints.e10_cache_sync_depth = depth;
+        self
+    }
+
     /// `e10_two_phase`.
     pub fn e10_two_phase(mut self, algo: TwoPhaseAlgo) -> Self {
         self.hints.two_phase = algo;
@@ -961,6 +975,11 @@ impl RomioHintsBuilder {
                 "byte count (k/m/g suffixes allowed)",
                 e10_nvm_threshold
             ),
+            "e10_cache_sync_depth" => or_invalid!(
+                value.parse::<u64>().ok(),
+                "non-negative extent count",
+                e10_cache_sync_depth
+            ),
             "e10_trace" => or_invalid!(TraceMode::parse(value), "off|ring|jsonl", e10_trace),
             "e10_trace_path" => or_invalid!(
                 Some(value).filter(|v| !v.is_empty()),
@@ -1115,6 +1134,10 @@ impl RomioHints {
         out.push((
             "e10_nvm_threshold".into(),
             self.e10_nvm_threshold.to_string(),
+        ));
+        out.push((
+            "e10_cache_sync_depth".into(),
+            self.e10_cache_sync_depth.to_string(),
         ));
         out.push(("e10_trace".into(), self.e10_trace.as_str().into()));
         out.push(("e10_trace_path".into(), self.e10_trace_path.clone()));

@@ -42,7 +42,7 @@ use e10_storesim::Payload;
 
 use crate::adio::{AdioFile, DataSpec};
 use crate::collective::{
-    compute_domains, exchange_and_write, merge_continuing, prepare, Prepared, WindowContribution,
+    compute_domains, exchange_and_write, merge_continuing, prepare, Prepared, Provenance,
     WriteAllResult,
 };
 use crate::hints::TwoPhaseAlgo;
@@ -91,15 +91,22 @@ impl MergedNode {
         self.pieces.iter().map(|(_, p)| p.len).sum()
     }
 
-    /// The aggregated pieces intersecting `[lo, hi)`, clipped to it,
-    /// plus the pre-aggregation message/piece counts for the same
-    /// window: how many distinct ranks (= shuffle messages under the
-    /// extended algorithm) and raw pieces the window's data came from.
-    fn window(&self, lo: u64, hi: u64) -> WindowContribution {
+    /// Fill `out` with the aggregated pieces intersecting `[lo, hi)`,
+    /// clipped to it, and return the pre-aggregation provenance for the
+    /// same window: how many distinct ranks (= shuffle messages under
+    /// the extended algorithm) and raw pieces the window's data came
+    /// from. `origins` is caller-owned scratch for the distinct-rank
+    /// count, so per-round window queries allocate nothing.
+    fn window_into(
+        &self,
+        lo: u64,
+        hi: u64,
+        out: &mut Vec<(u64, Payload)>,
+        origins: &mut Vec<usize>,
+    ) -> Provenance {
         if lo >= hi {
-            return WindowContribution::empty();
+            return Provenance::default();
         }
-        let mut out: Vec<(u64, Payload)> = Vec::new();
         let start = self.pmax.partition_point(|&e| e <= lo);
         for &(off, ref p) in &self.pieces[start..] {
             if off >= hi {
@@ -114,7 +121,7 @@ impl MergedNode {
             out.push((s, p.slice(s - off, e - s)));
         }
         let mut origin_pieces = 0u64;
-        let mut origins: Vec<usize> = Vec::new();
+        origins.clear();
         let start = self.rmax.partition_point(|&e| e <= lo);
         for &(off, len, who) in &self.raw[start..] {
             if off >= hi {
@@ -128,10 +135,9 @@ impl MergedNode {
                 origins.push(who);
             }
         }
-        WindowContribution {
-            pieces: out,
-            origin_msgs: origins.len() as u64,
-            origin_pieces,
+        Provenance {
+            msgs: origins.len() as u64,
+            pieces: origin_pieces,
         }
     }
 }
@@ -236,9 +242,10 @@ pub async fn write_at_all_node_agg(
     // Inter-node exchange over the reduced request set: only leaders
     // contribute pieces; everyone still joins the collectives.
     let (fds, cb, ntimes) = compute_domains(fd, min_st, max_end, TwoPhaseAlgo::NodeAgg);
-    let error_code = exchange_and_write(fd, &fds, cb, ntimes, |ws, we| match &merged {
-        Some(m) => m.window(ws, we),
-        None => WindowContribution::empty(),
+    let mut origins_scratch: Vec<usize> = Vec::new();
+    let error_code = exchange_and_write(fd, &fds, cb, ntimes, |ws, we, out| match &merged {
+        Some(m) => m.window_into(ws, we, out, &mut origins_scratch),
+        None => Provenance::default(),
     })
     .await;
 
@@ -372,16 +379,19 @@ mod tests {
         let pieces = vec![(0u64, Payload::gen(5, 0, 20))];
         let raw = vec![(0u64, 10u64, 0usize), (10, 10, 1)];
         let m = MergedNode::new(pieces, raw);
-        let w = m.window(5, 15);
-        assert_eq!(w.pieces.len(), 1);
-        assert_eq!(w.pieces[0].0, 5);
-        assert_eq!(w.pieces[0].1.len, 10);
-        assert_eq!(w.origin_msgs, 2, "both ranks' extents touch the window");
-        assert_eq!(w.origin_pieces, 2);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let w = m.window_into(5, 15, &mut out, &mut scratch);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 5);
+        assert_eq!(out[0].1.len, 10);
+        assert_eq!(w.msgs, 2, "both ranks' extents touch the window");
+        assert_eq!(w.pieces, 2);
         // A window past the data is empty.
-        let e = m.window(25, 40);
-        assert!(e.pieces.is_empty());
-        assert_eq!(e.origin_msgs, 0);
+        out.clear();
+        let e = m.window_into(25, 40, &mut out, &mut scratch);
+        assert!(out.is_empty());
+        assert_eq!(e.msgs, 0);
     }
 
     /// Byte-identity oracle at module level: the same interleaved

@@ -2,68 +2,77 @@
 //!
 //! The simulation is deterministic and single-threaded, so the number
 //! of allocator calls for a fixed scenario is a stable, reproducible
-//! metric. The test prints the count (for the perf trajectory) and
-//! asserts a generous ceiling so an accidental per-round or per-piece
-//! allocation regression fails loudly rather than silently eating the
-//! sweep speedup.
+//! metric. The counting allocator itself lives in
+//! `e10_simcore::alloc_gauge`; this test installs it and gates two
+//! properties:
+//!
+//! 1. an absolute budget on the fixed 8-rank scenario (a reintroduced
+//!    per-piece clone or per-collective `to_vec()` blows the ceiling), and
+//! 2. **zero marginal allocations per steady-state round**: doubling
+//!    the number of two-phase rounds must not change the allocator-call
+//!    count at all. Warm-up rounds may grow scratch buffers to their
+//!    high-water mark; after that, every round reuses them.
+//!
+//! Debug aid: set `E10_ALLOC_BT=lo:hi` (plus `RUST_BACKTRACE=1`) to
+//! print a backtrace for every counted allocation whose ordinal falls
+//! in `[lo, hi)` — see `alloc_gauge::trace_range`.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-static COUNTING: AtomicBool = AtomicBool::new(false);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
-        }
-        System.alloc(layout)
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
-        }
-        System.realloc(ptr, layout, new_size)
-    }
-}
+use e10_simcore::alloc_gauge::{self, CountingAlloc};
 
 #[global_allocator]
 static A: CountingAlloc = CountingAlloc;
 
-/// Count allocator calls across `f`.
-fn count_allocs(f: impl FnOnce()) -> u64 {
-    ALLOCS.store(0, Ordering::Relaxed);
-    COUNTING.store(true, Ordering::Relaxed);
-    f();
-    COUNTING.store(false, Ordering::Relaxed);
-    ALLOCS.load(Ordering::Relaxed)
+fn install_bt_hook() {
+    if let Ok(spec) = std::env::var("E10_ALLOC_BT") {
+        if let Some((lo, hi)) = spec.split_once(':') {
+            if let (Ok(lo), Ok(hi)) = (lo.parse(), hi.parse()) {
+                alloc_gauge::trace_range(lo, hi);
+            }
+        }
+    }
 }
 
-/// A fixed 8-rank interleaved collective write, multiple rounds.
-fn collective_write_scenario() {
+/// A fixed 8-rank interleaved collective write; `blocks` interleaved
+/// 10 KB blocks per rank (rounds scale with it). Returns rounds.
+fn collective_write_scenario(blocks: u64, cache: bool) -> u64 {
     use e10_mpisim::{FlatType, Info};
-    e10_simcore::run(async {
+    use std::cell::Cell;
+    use std::rc::Rc;
+    let rounds = Rc::new(Cell::new(0u64));
+    let rounds2 = Rc::clone(&rounds);
+    e10_simcore::run(async move {
         let tb = e10_romio::TestbedSpec::small(8, 4).build();
         let handles: Vec<_> = tb
             .ctxs()
             .into_iter()
             .map(|ctx| {
+                let rounds = Rc::clone(&rounds2);
                 e10_simcore::spawn(async move {
                     let info = Info::from_pairs([
                         ("romio_cb_write", "enable"),
                         ("cb_buffer_size", "65536"),
                     ]);
+                    if cache {
+                        info.set("e10_cache", "enable");
+                        info.set("e10_cache_flush_flag", "flush_immediate");
+                        // Streaming eviction keeps the cache-file extent
+                        // index and stream log bounded; without it the
+                        // cache metadata grows with every round and no
+                        // zero-allocation steady state can exist.
+                        info.set("e10_cache_evict", "enable");
+                        // Bounded sync queue: without it the staging
+                        // backlog (queued extents, in-flight messages,
+                        // cache-file extent churn) grows with run
+                        // length and its containers keep doubling —
+                        // bounded backlog is what makes a
+                        // zero-allocation steady state well-defined.
+                        info.set("e10_cache_sync_depth", "4");
+                    }
                     let f = e10_romio::AdioFile::open(&ctx, "/gfs/alloc", &info, true)
                         .await
                         .unwrap();
                     let rank = ctx.comm.rank();
-                    let blocks: Vec<(u64, u64)> = (0..16)
+                    let blocks: Vec<(u64, u64)> = (0..blocks)
                         .map(|i| ((i * 8 + rank as u64) * 10_000, 10_000))
                         .collect();
                     let view = e10_mpisim::FileView::new(&FlatType::indexed(blocks), 0);
@@ -75,23 +84,49 @@ fn collective_write_scenario() {
                     .await;
                     assert_eq!(r.error_code, 0);
                     assert!(r.rounds > 1);
+                    rounds.set(r.rounds as u64);
                     f.close().await;
                 })
             })
             .collect();
         e10_simcore::join_all(handles).await;
     });
+    rounds.get()
 }
 
 #[test]
 fn collective_write_allocation_budget() {
     // Warm-up outside the counted window (lazy statics, first-touch
     // buffers), then the measured run.
-    collective_write_scenario();
-    let n = count_allocs(collective_write_scenario);
+    collective_write_scenario(16, false);
+    let (n, _) = alloc_gauge::count(|| collective_write_scenario(16, false));
     println!("collective_write_scenario allocator calls: {n}");
     // Seed (pre-optimisation) count: see CHANGES.md. The ceiling is
-    // ~15% above the optimised count; a reintroduced per-round clone
+    // well above the optimised count; a reintroduced per-round clone
     // or per-collective to_vec() blows well past it.
     assert!(n < 80_000, "allocation regression: {n} allocator calls");
+}
+
+/// The 8-rank steady-state probe: marginal allocations per collective
+/// round must be exactly zero (scratch reaches its high-water mark
+/// during warm-up rounds and is reused thereafter).
+#[test]
+fn steady_state_rounds_allocate_nothing() {
+    install_bt_hook();
+    for cache in [false, true] {
+        // Warm-up run (lazy statics, thread-locals).
+        collective_write_scenario(16, cache);
+        let (a1, r1) = alloc_gauge::count(|| collective_write_scenario(16, cache));
+        let (a2, r2) = alloc_gauge::count(|| collective_write_scenario(32, cache));
+        assert!(r2 > r1, "round doubling failed: {r1} vs {r2}");
+        let marginal = (a2 as i64 - a1 as i64) as f64 / (r2 - r1) as f64;
+        println!(
+            "cache={cache}: rounds {r1}->{r2}, allocs {a1}->{a2}, marginal {marginal:.2}/round"
+        );
+        assert_eq!(
+            a2, a1,
+            "steady-state rounds must not allocate (cache={cache}): \
+             {a1} allocs over {r1} rounds vs {a2} over {r2} ({marginal:.2}/round)"
+        );
+    }
 }

@@ -1,0 +1,155 @@
+//! A counting global allocator for allocation-regression gates.
+//!
+//! The simulation is deterministic and single-threaded, so the number
+//! of allocator calls for a fixed scenario is a stable, reproducible
+//! metric — and "zero allocations per steady-state round" is a property
+//! a test can assert exactly. This module promotes the PR-3 counting
+//! allocator (formerly private to `e10-romio/tests/alloc_count.rs`)
+//! into a reusable gauge that any bin or test can install:
+//!
+//! ```ignore
+//! use e10_simcore::alloc_gauge::{self, CountingAlloc};
+//!
+//! #[global_allocator]
+//! static A: CountingAlloc = CountingAlloc;
+//!
+//! let (n, _) = alloc_gauge::count(|| expensive_scenario());
+//! println!("allocator calls: {n}");
+//! ```
+//!
+//! Counting covers `alloc` and `realloc` (a `realloc` is a fresh
+//! allocator round-trip even when it resizes in place); `dealloc` is
+//! free. The counter is atomic and process-global, so it also works
+//! under the bench worker pool — but per-scenario counts are only
+//! meaningful when exactly one simulation thread runs inside the
+//! counted window (`E10_JOBS=1`), which is how the gates invoke it.
+//!
+//! When `CountingAlloc` is *not* installed as the global allocator the
+//! helpers still run the closure; they just report 0 — callers that
+//! require real numbers can check [`is_installed`].
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+static BT_LO: AtomicU64 = AtomicU64::new(u64::MAX);
+static BT_HI: AtomicU64 = AtomicU64::new(u64::MAX);
+
+thread_local! {
+    static IN_HOOK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Debug aid for allocation hunts: print a backtrace for every counted
+/// allocation whose ordinal falls in `[lo, hi)`. `RUST_BACKTRACE=1`
+/// must be set for symbols. Disabled (the default) it costs one atomic
+/// load per counted allocation.
+pub fn trace_range(lo: u64, hi: u64) {
+    BT_LO.store(lo, Ordering::Relaxed);
+    BT_HI.store(hi, Ordering::Relaxed);
+}
+
+fn note_alloc() {
+    let n = ALLOCS.fetch_add(1, Ordering::Relaxed);
+    if n >= BT_LO.load(Ordering::Relaxed) && n < BT_HI.load(Ordering::Relaxed) {
+        IN_HOOK.with(|f| {
+            if !f.get() {
+                f.set(true);
+                eprintln!(
+                    "alloc #{n} at:\n{}",
+                    std::backtrace::Backtrace::force_capture()
+                );
+                f.set(false);
+            }
+        });
+    }
+}
+
+/// A `System`-backed allocator that counts `alloc`/`realloc` calls
+/// while counting is enabled. Install with `#[global_allocator]`.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            note_alloc();
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            note_alloc();
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+impl CountingAlloc {
+    /// `const` constructor so the static can note its installation.
+    /// (Installation detection relies on the first `alloc` call; this
+    /// exists for symmetry and future flags.)
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        CountingAlloc::new()
+    }
+}
+
+/// Record that a `CountingAlloc` is the process allocator. Called by
+/// [`count`]'s self-check; bins may call it once at startup.
+pub fn mark_installed() {
+    INSTALLED.store(true, Ordering::Relaxed);
+}
+
+/// Whether counting observed any traffic yet (a proxy for "the gauge
+/// allocator is really installed").
+pub fn is_installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// Allocator calls observed since the last [`reset`], regardless of
+/// whether counting is currently enabled.
+pub fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Zero the counter.
+pub fn reset() {
+    ALLOCS.store(0, Ordering::Relaxed);
+}
+
+/// Enable counting (idempotent).
+pub fn enable() {
+    COUNTING.store(true, Ordering::Relaxed);
+}
+
+/// Disable counting (idempotent).
+pub fn disable() {
+    COUNTING.store(false, Ordering::Relaxed);
+}
+
+/// Count allocator calls across `f`, returning `(calls, f())`.
+///
+/// Resets the counter, so it measures `f` alone; nesting is not
+/// supported (the inner `count` would clobber the outer window).
+pub fn count<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    reset();
+    enable();
+    let out = f();
+    disable();
+    let n = allocs();
+    if n > 0 {
+        mark_installed();
+    }
+    (n, out)
+}

@@ -16,7 +16,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -32,15 +32,21 @@ pub type TaskId = u64;
 
 type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
 
-enum EventAction {
+pub(crate) enum EventAction {
     /// Wake a parked future.
     Wake(Waker),
-    /// Run an arbitrary callback (used by queueing resources to complete
-    /// service and reschedule themselves).
+    /// Run an arbitrary callback.
     Call(Box<dyn FnOnce()>),
+    /// A [`crate::resource::FairShare`] completion timer. A dedicated
+    /// variant (instead of a boxed closure) so the hottest reschedule
+    /// path in the simulator — cancel + re-arm on every job join and
+    /// leave — costs two slab operations and an `Rc` clone, no heap
+    /// allocation. Staleness is detected by the owner comparing the
+    /// firing seq against its recorded pending seq.
+    FsTimer(Rc<RefCell<crate::resource::FsState>>),
 }
 
-struct ScheduledEvent {
+pub(crate) struct ScheduledEvent {
     /// Sequence number of the calendar entry pointing at this slot.
     /// A popped heap entry whose seq doesn't match is stale (the slot
     /// was freed by a cancel and possibly reused) and is skipped.
@@ -101,6 +107,10 @@ struct TaskWaker {
     id: TaskId,
     ready: Arc<Mutex<VecDeque<TaskId>>>,
     queued: AtomicBool,
+    /// Shared run-wide tally of redundant wakes (wake on an
+    /// already-queued task): the waker is the only place that can see
+    /// the coalescing happen.
+    coalesced: Arc<AtomicU64>,
 }
 
 impl Wake for TaskWaker {
@@ -111,8 +121,32 @@ impl Wake for TaskWaker {
     fn wake_by_ref(self: &Arc<Self>) {
         if !self.queued.swap(true, Ordering::Relaxed) {
             self.ready.lock().unwrap().push_back(self.id);
+        } else {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
         }
     }
+}
+
+/// A spawned task's kernel-side state. Tasks live in a slab indexed by
+/// the low 32 bits of their [`TaskId`]; the high 32 bits carry the
+/// slot's generation so stale ready-queue entries and wakers of
+/// completed tasks are detected by a mismatch instead of a hash lookup.
+struct TaskSlot {
+    generation: u32,
+    /// The parked future. `None` while the task is being polled (the
+    /// run loop takes it out) — and permanently for a slot being freed.
+    fut: Option<LocalFuture>,
+    waker: Arc<TaskWaker>,
+    /// Crash group (0 = ungrouped pool, which can never be killed).
+    group: u64,
+}
+
+fn task_id(slot: u32, generation: u32) -> TaskId {
+    ((generation as u64) << 32) | slot as u64
+}
+
+fn task_slot(id: TaskId) -> (u32, u32) {
+    (id as u32, (id >> 32) as u32)
 }
 
 pub(crate) struct Kernel {
@@ -129,15 +163,15 @@ pub(crate) struct Kernel {
     slots: Vec<Option<ScheduledEvent>>,
     free_slots: Vec<u32>,
     live_events: usize,
-    tasks: HashMap<TaskId, LocalFuture>,
-    wakers: HashMap<TaskId, Arc<TaskWaker>>,
-    next_task: TaskId,
+    /// Task slab + free list (see [`TaskSlot`]).
+    tasks: Vec<Option<TaskSlot>>,
+    free_tasks: Vec<u32>,
     ready: Arc<Mutex<VecDeque<TaskId>>>,
     events_fired: u64,
+    events_batched: u64,
+    heap_peak: usize,
+    wakes_coalesced: Arc<AtomicU64>,
     tasks_spawned: u64,
-    /// Task → crash group. Tasks without an entry belong to group 0
-    /// (the ungrouped pool, which can never be killed).
-    group_of: HashMap<TaskId, u64>,
     /// Group of the task currently being polled; new spawns inherit it.
     current_group: u64,
     next_group: u64,
@@ -153,13 +187,14 @@ impl Kernel {
             slots: Vec::new(),
             free_slots: Vec::new(),
             live_events: 0,
-            tasks: HashMap::new(),
-            wakers: HashMap::new(),
-            next_task: 0,
+            tasks: Vec::new(),
+            free_tasks: Vec::new(),
             ready: Arc::new(Mutex::new(VecDeque::new())),
             events_fired: 0,
+            events_batched: 0,
+            heap_peak: 0,
+            wakes_coalesced: Arc::new(AtomicU64::new(0)),
             tasks_spawned: 0,
-            group_of: HashMap::new(),
             current_group: 0,
             next_group: 1,
         }
@@ -189,6 +224,9 @@ impl Kernel {
         });
         self.live_events += 1;
         self.heap.push(Reverse((at, seq, slot)));
+        if self.heap.len() > self.heap_peak {
+            self.heap_peak = self.heap.len();
+        }
         (seq, slot)
     }
 
@@ -206,22 +244,101 @@ impl Kernel {
         }
     }
 
+    /// Drop lazily-deleted (stale) calendar entries when they dominate
+    /// the heap, so `heap_peak` reflects live load — without this, a
+    /// cancel-heavy fault schedule grows the heap without bound even
+    /// though every body was vacated eagerly.
+    fn purge_stale_heap_entries(&mut self) {
+        if self.heap.len() <= 64 || self.heap.len() <= 2 * self.live_events {
+            return;
+        }
+        let slots = &self.slots;
+        self.heap.retain(|&Reverse((_, seq, slot))| {
+            slots
+                .get(slot as usize)
+                .and_then(|s| s.as_ref())
+                .is_some_and(|ev| ev.seq == seq)
+        });
+    }
+
     fn spawn_raw(&mut self, fut: LocalFuture) -> TaskId {
-        let id = self.next_task;
-        self.next_task += 1;
         self.tasks_spawned += 1;
+        let slot = match self.free_tasks.pop() {
+            Some(s) => s,
+            None => {
+                assert!(self.tasks.len() < u32::MAX as usize, "task slab overflow");
+                self.tasks.push(None);
+                (self.tasks.len() - 1) as u32
+            }
+        };
+        // The generation only needs to differ from any id a previous
+        // occupant of this slot may have left in the ready queue; the
+        // strictly-increasing spawn counter guarantees that.
+        let generation = (self.tasks_spawned - 1) as u32;
+        let id = task_id(slot, generation);
         let waker = Arc::new(TaskWaker {
             id,
             ready: Arc::clone(&self.ready),
             queued: AtomicBool::new(true),
+            coalesced: Arc::clone(&self.wakes_coalesced),
         });
-        self.tasks.insert(id, fut);
-        self.wakers.insert(id, waker);
-        if self.current_group != 0 {
-            self.group_of.insert(id, self.current_group);
-        }
+        self.tasks[slot as usize] = Some(TaskSlot {
+            generation,
+            fut: Some(fut),
+            waker,
+            group: self.current_group,
+        });
         self.ready.lock().unwrap().push_back(id);
         id
+    }
+
+    /// The slot's occupant, if `id`'s generation still matches.
+    fn task_mut(&mut self, id: TaskId) -> Option<&mut TaskSlot> {
+        let (slot, generation) = task_slot(id);
+        self.tasks
+            .get_mut(slot as usize)?
+            .as_mut()
+            .filter(|t| t.generation == generation)
+    }
+
+    /// Schedule a [`FairShare`](crate::resource::FairShare) completion
+    /// timer, returning `(kernel id, seq, slot)` for the owner's
+    /// staleness bookkeeping.
+    pub(crate) fn schedule_fs_timer(
+        &mut self,
+        at: SimTime,
+        fs: Rc<RefCell<crate::resource::FsState>>,
+    ) -> (u64, u64, u32) {
+        let (seq, slot) = self.schedule(at, EventAction::FsTimer(fs), None);
+        (self.id, seq, slot)
+    }
+
+    /// Cancel a fair-share timer scheduled by this kernel; inert for a
+    /// foreign kernel id (a resource outliving its simulation). The
+    /// returned body is just an `Rc` clone — safe to drop anywhere.
+    pub(crate) fn cancel_fs_timer(
+        &mut self,
+        kernel: u64,
+        seq: u64,
+        slot: u32,
+    ) -> Option<ScheduledEvent> {
+        if self.id != kernel {
+            return None;
+        }
+        self.free_event(slot, seq)
+    }
+
+    /// Free a task slot (completion or kill).
+    fn free_task(&mut self, id: TaskId) -> Option<TaskSlot> {
+        let (slot, generation) = task_slot(id);
+        match self.tasks.get(slot as usize) {
+            Some(Some(t)) if t.generation == generation => {
+                let t = self.tasks[slot as usize].take();
+                self.free_tasks.push(slot);
+                t
+            }
+            _ => None,
+        }
     }
 }
 
@@ -398,22 +515,26 @@ pub fn kill_group(gid: u64) -> usize {
         "group 0 is the ungrouped pool and cannot be killed"
     );
     let victims: Vec<LocalFuture> = with_kernel(|k| {
-        let tids: Vec<TaskId> = k
-            .group_of
-            .iter()
-            .filter(|&(_, g)| *g == gid)
-            .map(|(&t, _)| t)
-            .collect();
         let mut futs = Vec::new();
-        for t in tids {
-            k.group_of.remove(&t);
-            // A task not in `tasks` is the caller itself (mid-poll); it
-            // survives by construction.
-            if let Some(f) = k.tasks.remove(&t) {
-                k.wakers.remove(&t);
-                futs.push(f);
+        let mut freed: Vec<u32> = Vec::new();
+        for (slot, entry) in k.tasks.iter_mut().enumerate() {
+            let Some(t) = entry else { continue };
+            if t.group != gid {
+                continue;
+            }
+            // A slot without a parked future is the caller itself
+            // (mid-poll); it survives by construction but leaves the
+            // group.
+            match t.fut.take() {
+                Some(f) => {
+                    futs.push(f);
+                    *entry = None;
+                    freed.push(slot as u32);
+                }
+                None => t.group = 0,
             }
         }
+        k.free_tasks.extend(freed);
         futs
     });
     let n = victims.len();
@@ -511,11 +632,25 @@ pub struct LiveCounts {
 
 /// Snapshot the ambient kernel's [`LiveCounts`].
 pub fn live_counts() -> LiveCounts {
-    with_kernel(|k| LiveCounts {
-        events: k.live_events,
-        tasks: k.tasks.len(),
-        wakers: k.wakers.len(),
-        grouped_tasks: k.group_of.len(),
+    with_kernel(|k| {
+        let mut tasks = 0;
+        let mut wakers = 0;
+        let mut grouped_tasks = 0;
+        for t in k.tasks.iter().flatten() {
+            wakers += 1;
+            if t.fut.is_some() {
+                tasks += 1;
+            }
+            if t.group != 0 {
+                grouped_tasks += 1;
+            }
+        }
+        LiveCounts {
+            events: k.live_events,
+            tasks,
+            wakers,
+            grouped_tasks,
+        }
     })
 }
 
@@ -528,6 +663,14 @@ pub struct RunStats {
     pub events_fired: u64,
     /// Number of tasks spawned over the whole run.
     pub tasks_spawned: u64,
+    /// Events delivered as part of a same-instant batch of ≥ 2 (a
+    /// measure of how much heap traffic batching amortised).
+    pub events_batched: u64,
+    /// High-water mark of calendar entries (live + lazily-deleted).
+    pub heap_peak: u64,
+    /// Wakes that found their task already queued and were absorbed
+    /// without touching the ready queue.
+    pub wakes_coalesced: u64,
 }
 
 /// Run `main` to completion inside a fresh simulation and return its output.
@@ -570,6 +713,13 @@ where
     let main_handle = spawn(main);
     let ready = kernel.borrow().ready.clone();
 
+    // Reusable dispatch buffers: `batch` holds the bodies of every
+    // event sharing the current instant (in reverse seq order, so
+    // `pop()` yields FIFO); `skipped` holds cancelled-but-unvacated
+    // bodies until they can be dropped outside the kernel borrow.
+    let mut batch: Vec<ScheduledEvent> = Vec::new();
+    let mut skipped: Vec<ScheduledEvent> = Vec::new();
+
     loop {
         // Drain all tasks runnable at the current instant.
         loop {
@@ -577,12 +727,16 @@ where
             let Some(tid) = tid else { break };
             let (fut, waker) = {
                 let mut k = kernel.borrow_mut();
-                let Some(fut) = k.tasks.remove(&tid) else {
+                let Some(t) = k.task_mut(tid) else {
                     continue; // task already completed or killed
                 };
-                let w = k.wakers.get(&tid).expect("waker missing").clone();
+                let Some(fut) = t.fut.take() else {
+                    continue; // stale duplicate entry
+                };
+                let w = Arc::clone(&t.waker);
+                let group = t.group;
                 w.queued.store(false, Ordering::Relaxed);
-                k.current_group = k.group_of.get(&tid).copied().unwrap_or(0);
+                k.current_group = group;
                 (fut, w)
             };
             let mut fut = fut;
@@ -599,8 +753,7 @@ where
                             .field("task", tid)
                     });
                     let mut k = kernel.borrow_mut();
-                    k.wakers.remove(&tid);
-                    k.group_of.remove(&tid);
+                    k.free_task(tid);
                     k.current_group = 0;
                 }
                 Poll::Pending => {
@@ -611,8 +764,8 @@ where
                     let mut k = kernel.borrow_mut();
                     // The poll may itself have been the killer of its own
                     // group: only re-park the task if it wasn't killed.
-                    if k.wakers.contains_key(&tid) {
-                        k.tasks.insert(tid, fut);
+                    if let Some(t) = k.task_mut(tid) {
+                        t.fut = Some(fut);
                     }
                     k.current_group = 0;
                 }
@@ -623,48 +776,82 @@ where
             break;
         }
 
-        // Advance virtual time to the next live event, skipping stale
-        // calendar entries (events cancelled since they were pushed).
-        // Skipped bodies are dropped outside the kernel borrow: their
-        // captures' destructors may re-enter the kernel.
-        let mut skipped: Vec<ScheduledEvent> = Vec::new();
-        let next = {
-            let mut k = kernel.borrow_mut();
-            loop {
-                match k.heap.pop() {
-                    Some(Reverse((t, seq, slot))) => {
-                        let Some(ev) = k.free_event(slot, seq) else {
-                            continue; // cancelled and already vacated
-                        };
-                        if ev.cancelled.as_ref().is_some_and(|c| c.get()) {
-                            // Flagged but not vacated (cancel happened
-                            // outside this kernel's ambient context).
-                            skipped.push(ev);
-                            continue;
-                        }
-                        k.now = t;
-                        k.events_fired += 1;
-                        break Some(ev);
+        // Deliver the next batched event, if the current instant still
+        // has undelivered ones. Every event is re-checked against its
+        // cancel flag at fire time: a task woken earlier in the batch
+        // may have cancelled an event whose body is already buffered.
+        if let Some(ev) = batch.pop() {
+            if ev.cancelled.as_ref().is_some_and(|c| c.get()) {
+                drop(ev);
+                continue;
+            }
+            match ev.action {
+                EventAction::Wake(w) => {
+                    kernel.borrow_mut().events_fired += 1;
+                    w.wake();
+                }
+                EventAction::Call(f) => {
+                    kernel.borrow_mut().events_fired += 1;
+                    f();
+                }
+                // A superseded fair-share timer (stale seq) must not
+                // count as fired: the unbatched executor would have
+                // found its slot vacated and skipped it silently.
+                EventAction::FsTimer(fs) => {
+                    if crate::resource::fs_timer_fired(fs, ev.seq) {
+                        kernel.borrow_mut().events_fired += 1;
                     }
-                    None => break None,
                 }
             }
-        };
-        drop(skipped);
+            continue;
+        }
 
-        match next {
-            Some(ev) => match ev.action {
-                EventAction::Wake(w) => w.wake(),
-                EventAction::Call(f) => f(),
-            },
-            None => {
-                let blocked = kernel.borrow().tasks.len();
-                panic!(
-                    "simulation deadlock at {}: main task incomplete, \
-                     {blocked} task(s) blocked, no pending events",
-                    kernel.borrow().now
-                );
+        // Refill: advance virtual time to the next live event and drain
+        // every event sharing that instant into the dispatch buffer in
+        // one heap pass, skipping stale calendar entries (events
+        // cancelled since they were pushed). Skipped bodies are dropped
+        // outside the kernel borrow: their captures' destructors may
+        // re-enter the kernel.
+        {
+            let mut k = kernel.borrow_mut();
+            k.purge_stale_heap_entries();
+            let mut batch_time: Option<SimTime> = None;
+            while let Some(&Reverse((t, seq, slot))) = k.heap.peek() {
+                if batch_time.is_some_and(|bt| t != bt) {
+                    break;
+                }
+                k.heap.pop();
+                let Some(ev) = k.free_event(slot, seq) else {
+                    continue; // cancelled and already vacated
+                };
+                if ev.cancelled.as_ref().is_some_and(|c| c.get()) {
+                    // Flagged but not vacated (cancel happened outside
+                    // this kernel's ambient context).
+                    skipped.push(ev);
+                    continue;
+                }
+                if batch_time.is_none() {
+                    batch_time = Some(t);
+                    k.now = t;
+                }
+                batch.push(ev);
             }
+            if batch.len() >= 2 {
+                k.events_batched += batch.len() as u64;
+            }
+            // `pop()` must yield ascending seq order.
+            batch.reverse();
+        }
+        skipped.clear();
+
+        if batch.is_empty() {
+            let k = kernel.borrow();
+            let blocked = k.tasks.iter().flatten().filter(|t| t.fut.is_some()).count();
+            panic!(
+                "simulation deadlock at {}: main task incomplete, \
+                 {blocked} task(s) blocked, no pending events",
+                k.now
+            );
         }
     }
 
@@ -674,8 +861,19 @@ where
             end_time: k.now,
             events_fired: k.events_fired,
             tasks_spawned: k.tasks_spawned,
+            events_batched: k.events_batched,
+            heap_peak: k.heap_peak as u64,
+            wakes_coalesced: k.wakes_coalesced.load(Ordering::Relaxed),
         }
     };
+    // Mirror the run's calendar statistics into the ambient metrics
+    // registry (no-ops without an installed trace sink), so trace
+    // consumers see the executor counters next to the I/O ones.
+    trace::counter("executor.events_fired", stats.events_fired);
+    trace::counter("executor.tasks_spawned", stats.tasks_spawned);
+    trace::counter("executor.events_batched", stats.events_batched);
+    trace::counter("executor.heap_peak", stats.heap_peak);
+    trace::counter("executor.wakes_coalesced", stats.wakes_coalesced);
     let out = {
         let mut st = main_handle.state.borrow_mut();
         st.result.take().expect("main task finished without result")

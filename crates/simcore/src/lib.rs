@@ -37,6 +37,7 @@
 //! assert_eq!(end, 3.0);
 //! ```
 
+pub mod alloc_gauge;
 pub mod chacha;
 pub mod channel;
 pub mod executor;
@@ -55,10 +56,10 @@ pub use executor::{
     JoinHandle, LiveCounts, RunStats, TaskId,
 };
 pub use pool::{run_jobs, run_jobs_on, worker_threads, Job};
-pub use resource::{FairShare, FifoServer};
+pub use resource::{water_fill, FairShare, FifoServer, RoundRobin};
 pub use rng::{Jitter, SimRng};
 pub use stats::{LogHistogram, Tally};
-pub use sync::{Barrier, Flag, Semaphore};
+pub use sync::{Barrier, Flag, Semaphore, SemaphoreGuard};
 pub use time::{transfer_time, SimDuration, SimTime};
 
 /// Await all join handles in a vector, returning their outputs in order.

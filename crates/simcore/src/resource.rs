@@ -10,11 +10,14 @@
 //!   water-filling. Matches links and storage targets where concurrent
 //!   streams split bandwidth.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::future::Future;
+use std::pin::Pin;
 use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
 
-use crate::executor::{now, schedule_call_at, EventHandle};
-use crate::sync::{Flag, Semaphore};
+use crate::executor::{now, with_kernel};
+use crate::sync::Semaphore;
 use crate::time::{SimDuration, SimTime};
 
 /// A station of `k` identical FIFO servers.
@@ -83,19 +86,39 @@ impl FifoServer {
 const WORK_EPS: f64 = 1e-6;
 
 struct FsJob {
+    /// Per-resource identifier; the serving [`FsServe`] future finds
+    /// its job by id (the job may move as earlier completions shift
+    /// the order-preserving `jobs` vector).
+    id: u64,
     remaining: f64,
     cap: Option<f64>,
-    done: Flag,
+    /// Waker of the serving task, stored intrusively — no per-job
+    /// `Flag` (and its `Rc<RefCell<..>>` + waiter vector) is allocated.
+    /// Waking a task that was killed mid-transfer is a harmless stale
+    /// wake; the job itself keeps consuming bandwidth to completion,
+    /// matching real hardware draining a DMA a crashed client posted.
+    waker: Waker,
 }
 
-struct FsState {
+pub(crate) struct FsState {
     rate: f64,
     jobs: Vec<FsJob>,
     last_settle: SimTime,
-    pending: Option<EventHandle>,
+    /// `(kernel id, seq, slot)` of the armed completion timer (an
+    /// unboxed `EventAction::FsTimer` calendar entry). A firing timer
+    /// whose seq no longer matches is stale — superseded by a
+    /// reschedule after its body was already drained into the
+    /// executor's same-instant dispatch batch.
+    pending: Option<(u64, u64, u32)>,
+    next_job: u64,
     /// Total work units completed (stats).
     work_done: f64,
     jobs_done: u64,
+    /// Scratch for the general (mixed-caps) water-fill; reused across
+    /// settles so the steady state allocates nothing.
+    rates: Vec<f64>,
+    open: Vec<u32>,
+    open_next: Vec<u32>,
 }
 
 /// A processor-sharing resource of fixed total capacity (work units per
@@ -118,36 +141,36 @@ impl FairShare {
                 jobs: Vec::new(),
                 last_settle: SimTime::ZERO,
                 pending: None,
+                next_job: 0,
                 work_done: 0.0,
                 jobs_done: 0,
+                rates: Vec::new(),
+                open: Vec::new(),
+                open_next: Vec::new(),
             })),
         }
     }
 
     /// Process `work` units, sharing capacity with concurrent jobs.
-    pub async fn serve(&self, work: f64) {
-        self.serve_capped(work, None).await;
+    pub fn serve(&self, work: f64) -> FsServe {
+        self.serve_capped(work, None)
     }
 
     /// Process `work` units, never exceeding `cap` units/second for this
     /// job even when spare capacity exists.
-    pub async fn serve_capped(&self, work: f64, cap: Option<f64>) {
-        if work <= 0.0 {
-            return;
+    ///
+    /// The returned future registers the job at its first poll (like
+    /// any lazy future) and completes when the job's work has drained.
+    /// Dropping the future after the first poll does *not* withdraw the
+    /// job: the transfer keeps consuming bandwidth to completion, which
+    /// is how crash-kill of a client mid-transfer is modelled.
+    pub fn serve_capped(&self, work: f64, cap: Option<f64>) -> FsServe {
+        FsServe {
+            fs: Rc::clone(&self.inner),
+            work,
+            cap,
+            job: None,
         }
-        let done = Flag::new();
-        {
-            let mut st = self.inner.borrow_mut();
-            let t = now();
-            st.settle(t);
-            st.jobs.push(FsJob {
-                remaining: work,
-                cap,
-                done: done.clone(),
-            });
-            st.reschedule(&self.inner, t);
-        }
-        done.wait().await;
     }
 
     /// Number of in-flight jobs.
@@ -173,11 +196,71 @@ impl FairShare {
 
 impl FsState {
     /// Per-job service rates under water-filling fair sharing.
-    fn rates(&self) -> Vec<f64> {
-        water_fill(
-            self.rate,
-            &self.jobs.iter().map(|j| j.cap).collect::<Vec<_>>(),
-        )
+    ///
+    /// Returns `Some(r)` — the **bulk fast path** — when every active
+    /// job has the same cap, which is the shape every collective
+    /// shuffle round produces (N identical streams joining and leaving
+    /// together): the allocation is then the single analytic value
+    /// `min(cap, rate/n)` instead of an O(active) water-fill. The
+    /// expressions are the very ones [`water_fill`]'s first round
+    /// evaluates, so the fast path is bit-identical to the oracle.
+    ///
+    /// Returns `None` for mixed caps, with `self.rates` filled by a
+    /// scratch-buffer water-fill (same arithmetic, same order, no
+    /// allocation in steady state).
+    fn compute_rates(&mut self) -> Option<f64> {
+        let n = self.jobs.len();
+        debug_assert!(n > 0);
+        let share = self.rate / n as f64;
+        let cap0 = self.jobs[0].cap;
+        if self.jobs.iter().all(|j| j.cap == cap0) {
+            return Some(match cap0 {
+                Some(c) if c < share => c,
+                _ => share,
+            });
+        }
+        let FsState {
+            rate,
+            jobs,
+            rates,
+            open,
+            open_next,
+            ..
+        } = self;
+        rates.clear();
+        rates.resize(n, 0.0);
+        open.clear();
+        open.extend(0..n as u32);
+        let mut remaining = *rate;
+        loop {
+            let share = remaining / open.len() as f64;
+            open_next.clear();
+            let mut any_capped = false;
+            // Cap everyone whose limit is below the current equal
+            // share; subtraction order matches `water_fill`'s
+            // partition order (both preserve job order).
+            for &i in open.iter() {
+                match jobs[i as usize].cap {
+                    Some(c) if c < share => {
+                        rates[i as usize] = c;
+                        remaining -= c;
+                        any_capped = true;
+                    }
+                    _ => open_next.push(i),
+                }
+            }
+            if !any_capped {
+                for &i in open_next.iter() {
+                    rates[i as usize] = share;
+                }
+                break;
+            }
+            if open_next.is_empty() {
+                break;
+            }
+            std::mem::swap(open, open_next);
+        }
+        None
     }
 
     /// Advance job progress from `last_settle` to `to`, completing any
@@ -186,12 +269,32 @@ impl FsState {
         let dt = to.since(self.last_settle).as_secs_f64();
         self.last_settle = to;
         if dt > 0.0 && !self.jobs.is_empty() {
-            let rates = self.rates();
-            for (job, r) in self.jobs.iter_mut().zip(&rates) {
-                let step = r * dt;
-                let used = step.min(job.remaining);
-                job.remaining -= used;
-                self.work_done += used;
+            match self.compute_rates() {
+                Some(r) => {
+                    let FsState {
+                        jobs, work_done, ..
+                    } = self;
+                    for job in jobs.iter_mut() {
+                        let step = r * dt;
+                        let used = step.min(job.remaining);
+                        job.remaining -= used;
+                        *work_done += used;
+                    }
+                }
+                None => {
+                    let FsState {
+                        jobs,
+                        rates,
+                        work_done,
+                        ..
+                    } = self;
+                    for (job, r) in jobs.iter_mut().zip(rates.iter()) {
+                        let step = r * dt;
+                        let used = step.min(job.remaining);
+                        job.remaining -= used;
+                        *work_done += used;
+                    }
+                }
             }
         }
         // Complete finished jobs (preserving order for determinism).
@@ -200,26 +303,43 @@ impl FsState {
             if self.jobs[i].remaining <= WORK_EPS {
                 let job = self.jobs.remove(i);
                 self.jobs_done += 1;
-                job.done.set();
+                job.waker.wake();
             } else {
                 i += 1;
             }
         }
     }
 
-    /// Schedule the next completion event.
+    /// Schedule the next completion event. The cancel + re-arm cycle
+    /// runs on every job join/leave, so it is allocation-free: the
+    /// timer body is an `Rc` clone carried by a dedicated calendar
+    /// variant, and cancellation is a direct slab vacate.
     fn reschedule(&mut self, me: &Rc<RefCell<FsState>>, t: SimTime) {
-        if let Some(h) = self.pending.take() {
-            h.cancel();
+        if let Some((kernel, seq, slot)) = self.pending.take() {
+            // The returned body is just an `Rc<RefCell<FsState>>`
+            // clone; dropping it under our own borrow is fine (no
+            // destructor re-enters this RefCell).
+            let stale = with_kernel(|k| k.cancel_fs_timer(kernel, seq, slot));
+            drop(stale);
         }
         if self.jobs.is_empty() {
             return;
         }
-        let rates = self.rates();
         let mut horizon = f64::INFINITY;
-        for (job, r) in self.jobs.iter().zip(&rates) {
-            if *r > 0.0 {
-                horizon = horizon.min(job.remaining / r);
+        match self.compute_rates() {
+            Some(r) => {
+                if r > 0.0 {
+                    for job in self.jobs.iter() {
+                        horizon = horizon.min(job.remaining / r);
+                    }
+                }
+            }
+            None => {
+                for (job, r) in self.jobs.iter().zip(self.rates.iter()) {
+                    if *r > 0.0 {
+                        horizon = horizon.min(job.remaining / r);
+                    }
+                }
             }
         }
         assert!(
@@ -232,13 +352,133 @@ impl FsState {
             dt = SimDuration::from_nanos(1);
         }
         let at = t + dt;
-        let inner = Rc::clone(me);
-        self.pending = Some(schedule_call_at(at, move || {
-            let mut st = inner.borrow_mut();
-            let t = now();
-            st.settle(t);
-            st.reschedule(&inner, t);
-        }));
+        self.pending = Some(with_kernel(|k| k.schedule_fs_timer(at, Rc::clone(me))));
+    }
+}
+
+/// Executor hook: a [`FsState`] completion timer fired. Returns whether
+/// the timer was still live (a stale seq means a reschedule superseded
+/// it after its body was drained into the dispatch batch — the event
+/// must not count as fired, matching the unbatched executor, which
+/// skipped vacated slots before delivery).
+pub(crate) fn fs_timer_fired(fs: Rc<RefCell<FsState>>, seq: u64) -> bool {
+    let t = now();
+    let mut st = fs.borrow_mut();
+    match st.pending {
+        Some((_, s, _)) if s == seq => {}
+        _ => return false,
+    }
+    st.pending = None;
+    st.settle(t);
+    st.reschedule(&fs, t);
+    true
+}
+
+/// Future returned by [`FairShare::serve`] / [`FairShare::serve_capped`].
+pub struct FsServe {
+    fs: Rc<RefCell<FsState>>,
+    work: f64,
+    cap: Option<f64>,
+    /// Id of the registered job; `None` until first poll.
+    job: Option<u64>,
+}
+
+impl Future for FsServe {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        match this.job {
+            None => {
+                if this.work <= 0.0 {
+                    return Poll::Ready(());
+                }
+                let t = now();
+                let mut st = this.fs.borrow_mut();
+                st.settle(t);
+                let id = st.next_job;
+                st.next_job += 1;
+                st.jobs.push(FsJob {
+                    id,
+                    remaining: this.work,
+                    cap: this.cap,
+                    waker: cx.waker().clone(),
+                });
+                st.reschedule(&this.fs, t);
+                drop(st);
+                this.job = Some(id);
+                Poll::Pending
+            }
+            Some(id) => {
+                let mut st = this.fs.borrow_mut();
+                match st.jobs.iter_mut().find(|j| j.id == id) {
+                    Some(j) => {
+                        // Keep the stored waker current (a cheap
+                        // vtable-aware clone_from; no allocation).
+                        j.waker.clone_from(cx.waker());
+                        Poll::Pending
+                    }
+                    None => Poll::Ready(()),
+                }
+            }
+        }
+    }
+}
+
+/// A precomputed round-robin dispatch schedule over a channel group.
+///
+/// Multi-channel device models pick a channel per command in issue
+/// order. The cycle is laid out once at construction (today the
+/// identity rotation `0..n`; the table is the extension point for
+/// weighted or striped schedules), so the steady-state pick is a table
+/// read plus a compare-and-wrap — no modulo and no `RefCell` borrow on
+/// the hot path. Clones share the cursor, matching device handles that
+/// share the underlying hardware.
+#[derive(Clone)]
+pub struct RoundRobin {
+    inner: Rc<RrInner>,
+}
+
+struct RrInner {
+    schedule: Box<[u32]>,
+    cursor: Cell<u32>,
+}
+
+impl RoundRobin {
+    /// The identity rotation over `n` channels.
+    pub fn new(n: usize) -> Self {
+        Self::from_schedule((0..n as u32).collect())
+    }
+
+    /// A custom dispatch cycle (entries are channel indices).
+    pub fn from_schedule(schedule: Vec<u32>) -> Self {
+        assert!(!schedule.is_empty(), "empty dispatch schedule");
+        RoundRobin {
+            inner: Rc::new(RrInner {
+                schedule: schedule.into_boxed_slice(),
+                cursor: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Next channel in the cycle.
+    pub fn next(&self) -> usize {
+        let c = self.inner.cursor.get();
+        let pick = self.inner.schedule[c as usize];
+        let c1 = c + 1;
+        self.inner
+            .cursor
+            .set(if c1 as usize == self.inner.schedule.len() {
+                0
+            } else {
+                c1
+            });
+        pick as usize
+    }
+
+    /// Length of the dispatch cycle.
+    pub fn cycle_len(&self) -> usize {
+        self.inner.schedule.len()
     }
 }
 
@@ -421,6 +661,142 @@ mod tests {
             assert_eq!(now(), SimTime::ZERO);
             assert_eq!(link.jobs_done(), 0);
         });
+    }
+
+    /// Build a probe state with the given caps (work amounts are
+    /// irrelevant to rate computation).
+    fn probe_state(rate: f64, caps: &[Option<f64>]) -> FsState {
+        FsState {
+            rate,
+            jobs: caps
+                .iter()
+                .enumerate()
+                .map(|(i, &cap)| FsJob {
+                    id: i as u64,
+                    remaining: 1.0,
+                    cap,
+                    waker: Waker::noop().clone(),
+                })
+                .collect(),
+            last_settle: SimTime::ZERO,
+            pending: None,
+            next_job: caps.len() as u64,
+            work_done: 0.0,
+            jobs_done: 0,
+            rates: Vec::new(),
+            open: Vec::new(),
+            open_next: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn compute_rates_is_bit_identical_to_water_fill_oracle() {
+        // Random join/leave sequences over a mixed cap population: at
+        // every step the incremental computation (fast path or scratch
+        // water-fill) must match the allocating oracle bit for bit —
+        // this is the property that keeps every committed golden
+        // byte-identical across the fast-path rewrite.
+        let mut rng = crate::rng::SimRng::new(0xE10);
+        let mut caps: Vec<Option<f64>> = Vec::new();
+        let total = 256.0;
+        let mut fast = 0u32;
+        let mut general = 0u32;
+        // Phase 1: uniform populations — the shape every shuffle round
+        // produces — must take the O(1) path and still match the oracle.
+        for step in 0..300 {
+            let n = 1 + rng.below(32) as usize;
+            let cap = match rng.below(4) {
+                0 => None,
+                1 => Some(64.0),
+                2 => Some(1e9),
+                _ => Some(rng.uniform_range(0.1, 90.0)),
+            };
+            let uniform = vec![cap; n];
+            let oracle = water_fill(total, &uniform);
+            let mut st = probe_state(total, &uniform);
+            let r = st
+                .compute_rates()
+                .unwrap_or_else(|| panic!("uniform caps {cap:?} x{n} must take the fast path"));
+            fast += 1;
+            for (i, o) in oracle.iter().enumerate() {
+                assert_eq!(
+                    r.to_bits(),
+                    o.to_bits(),
+                    "fast path diverged at uniform step {step}, job {i}: {r} vs {o}"
+                );
+            }
+        }
+        // Phase 2: random join/leave walk over a mixed cap population.
+        for step in 0..2_000 {
+            if caps.is_empty() || rng.below(100) < 55 {
+                caps.push(match rng.below(4) {
+                    0 => None,
+                    // A uniform candidate below and above the share.
+                    1 => Some(64.0),
+                    2 => Some(1e9),
+                    _ => Some(rng.uniform_range(0.1, 90.0)),
+                });
+            } else {
+                let i = rng.below(caps.len() as u64) as usize;
+                caps.remove(i);
+            }
+            if caps.is_empty() {
+                continue;
+            }
+            let oracle = water_fill(total, &caps);
+            let mut st = probe_state(total, &caps);
+            match st.compute_rates() {
+                Some(r) => {
+                    fast += 1;
+                    for (i, o) in oracle.iter().enumerate() {
+                        assert_eq!(
+                            r.to_bits(),
+                            o.to_bits(),
+                            "fast path diverged at step {step}, job {i}: {r} vs {o} (caps {caps:?})"
+                        );
+                    }
+                }
+                None => {
+                    general += 1;
+                    assert_eq!(st.rates.len(), oracle.len());
+                    for (i, (a, o)) in st.rates.iter().zip(&oracle).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            o.to_bits(),
+                            "water-fill scratch diverged at step {step}, job {i}: {a} vs {o} (caps {caps:?})"
+                        );
+                    }
+                }
+            }
+        }
+        // The sequence must actually exercise both paths.
+        assert!(fast > 100, "fast path untested ({fast})");
+        assert!(general > 100, "general path untested ({general})");
+    }
+
+    #[test]
+    fn uniform_caps_fast_path_applies_to_identical_streams() {
+        // The shape every shuffle round produces: N identical streams.
+        for cap in [None, Some(10.0), Some(1e9)] {
+            let mut st = probe_state(100.0, &[cap; 8]);
+            assert!(
+                st.compute_rates().is_some(),
+                "identical caps {cap:?} must take the O(1) path"
+            );
+        }
+        let mut st = probe_state(100.0, &[Some(10.0), None]);
+        assert!(st.compute_rates().is_none(), "mixed caps need water-fill");
+    }
+
+    #[test]
+    fn round_robin_cycles_deterministically_and_shares_cursor() {
+        let rr = RoundRobin::new(3);
+        let rr2 = rr.clone();
+        let picks: Vec<usize> = (0..7)
+            .map(|i| if i % 2 == 0 { rr.next() } else { rr2.next() })
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(rr.cycle_len(), 3);
     }
 
     #[test]

@@ -82,6 +82,10 @@ pub struct Semaphore {
 struct SemState {
     permits: usize,
     waiters: VecDeque<SemWaiter>,
+    /// Recycled grant flags: a contended acquire needs an
+    /// `Rc<Cell<bool>>` shared with its queue entry; reusing retired
+    /// ones keeps steady-state contention allocation-free.
+    spare: Vec<Rc<Cell<bool>>>,
 }
 
 struct SemWaiter {
@@ -97,6 +101,7 @@ impl Semaphore {
             inner: Rc::new(RefCell::new(SemState {
                 permits,
                 waiters: VecDeque::new(),
+                spare: Vec::new(),
             })),
         }
     }
@@ -110,7 +115,9 @@ impl Semaphore {
                 st.permits -= n;
                 None
             } else {
-                Some(Rc::new(Cell::new(false)))
+                let g = st.spare.pop().unwrap_or_else(|| Rc::new(Cell::new(false)));
+                g.set(false);
+                Some(g)
             }
         };
         if let Some(granted) = wait {
@@ -204,6 +211,11 @@ impl Drop for AcquireWait {
     /// were already handed to it but never observed.
     fn drop(&mut self) {
         if self.finished {
+            // Retired cleanly: the queue entry's clone is gone, so the
+            // flag can be recycled for the next contended acquire.
+            if Rc::strong_count(&self.granted) == 1 {
+                self.sem.borrow_mut().spare.push(Rc::clone(&self.granted));
+            }
             return;
         }
         let mut st = self.sem.borrow_mut();

@@ -1,0 +1,207 @@
+//! Edge-case tests for batched same-instant event delivery.
+//!
+//! The executor drains every calendar event sharing the current
+//! `SimTime` into a reusable dispatch buffer in one heap pass, then
+//! fires them one at a time with a full ready-queue drain between
+//! fires — so the observable interleaving is byte-identical to the
+//! unbatched executor. These tests pin the hazards of that design:
+//! FIFO tie-breaks, cancels landing *after* a body is buffered, stale
+//! calendar entries under cancel storms, and the counters `RunStats`
+//! grew for the batching work.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::task::Waker;
+
+use e10_simcore::{
+    now, run, run_with_stats, schedule_call, schedule_call_at, sleep, sleep_until, spawn,
+    EventHandle, FairShare, SimDuration,
+};
+
+#[test]
+fn duplicate_deadlines_fire_in_seq_order_across_event_kinds() {
+    // Ten callbacks scheduled synchronously by main, then ten tasks
+    // whose sleeps register later (they first run once main parks):
+    // at the shared deadline, all twenty events fire in scheduling-seq
+    // order — callbacks first, then the task wakes, each FIFO.
+    let order = run(async {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let t = now() + SimDuration::from_secs(1);
+        for i in 0..10u32 {
+            let o = Rc::clone(&order);
+            schedule_call_at(t, move || o.borrow_mut().push(i));
+        }
+        for i in 10..20u32 {
+            let o = Rc::clone(&order);
+            spawn(async move {
+                sleep_until(t).await;
+                o.borrow_mut().push(i);
+            });
+        }
+        sleep(SimDuration::from_secs(2)).await;
+        Rc::try_unwrap(order).unwrap().into_inner()
+    });
+    assert_eq!(order, (0..20).collect::<Vec<_>>());
+}
+
+#[test]
+fn same_instant_cancel_of_an_already_batched_body_is_honoured() {
+    // Both events share one instant, so the second body is already in
+    // the dispatch buffer when the first fires and cancels it. The
+    // fire-time flag re-check must suppress it.
+    let fired = run(async {
+        let fired = Rc::new(Cell::new(0u32));
+        let holder: Rc<RefCell<Option<EventHandle>>> = Rc::new(RefCell::new(None));
+        let h = Rc::clone(&holder);
+        schedule_call(SimDuration::from_secs(1), move || {
+            if let Some(h2) = h.borrow_mut().take() {
+                h2.cancel();
+            }
+        });
+        let f = Rc::clone(&fired);
+        let h2 = schedule_call(SimDuration::from_secs(1), move || f.set(f.get() + 1));
+        *holder.borrow_mut() = Some(h2);
+        sleep(SimDuration::from_secs(2)).await;
+        fired.get()
+    });
+    assert_eq!(fired, 0, "a mid-batch cancel must still suppress the body");
+}
+
+#[test]
+fn cancel_storm_interleaved_with_batched_pops_keeps_heap_bounded() {
+    // 50 rounds × 100 armed-then-cancelled timeouts leave 5000 stale
+    // calendar entries behind; the batched-drain purge must keep the
+    // heap near the live population instead of accumulating them.
+    let ((), stats) = run_with_stats(async {
+        for round in 0..50u64 {
+            let handles: Vec<EventHandle> = (0..100)
+                .map(|i| {
+                    schedule_call(SimDuration::from_secs(1_000 + round * 100 + i), || {
+                        unreachable!("cancelled timeout must never fire")
+                    })
+                })
+                .collect();
+            for h in &handles {
+                h.cancel();
+            }
+            sleep(SimDuration::from_secs(1)).await;
+        }
+    });
+    assert!(
+        stats.heap_peak < 300,
+        "stale entries must be purged: heap_peak={}",
+        stats.heap_peak
+    );
+}
+
+#[test]
+fn run_stats_count_batched_events() {
+    let ((), stats) = run_with_stats(async {
+        let hs: Vec<_> = (0..10)
+            .map(|_| spawn(async { sleep(SimDuration::from_secs(1)).await }))
+            .collect();
+        for h in hs {
+            h.await;
+        }
+    });
+    // All ten sleep wakes share t=1s and form one batch.
+    assert!(
+        stats.events_batched >= 10,
+        "expected a batch of >= 10, stats={stats:?}"
+    );
+    assert!(stats.heap_peak >= 10, "stats={stats:?}");
+}
+
+#[test]
+fn run_stats_count_coalesced_wakes() {
+    // A callback that wakes the same parked task twice in one instant:
+    // the second wake finds the task already queued and is absorbed.
+    struct Park {
+        done: Rc<Cell<bool>>,
+        waker_out: Rc<RefCell<Option<Waker>>>,
+    }
+    impl std::future::Future for Park {
+        type Output = ();
+        fn poll(
+            self: std::pin::Pin<&mut Self>,
+            cx: &mut std::task::Context<'_>,
+        ) -> std::task::Poll<()> {
+            if self.done.get() {
+                std::task::Poll::Ready(())
+            } else {
+                *self.waker_out.borrow_mut() = Some(cx.waker().clone());
+                std::task::Poll::Pending
+            }
+        }
+    }
+    let ((), stats) = run_with_stats(async {
+        let done = Rc::new(Cell::new(false));
+        let stash: Rc<RefCell<Option<Waker>>> = Rc::new(RefCell::new(None));
+        let d = Rc::clone(&done);
+        let s = Rc::clone(&stash);
+        let h = spawn(Park {
+            done: d,
+            waker_out: s,
+        });
+        let d2 = Rc::clone(&done);
+        schedule_call(SimDuration::from_secs(1), move || {
+            d2.set(true);
+            let w = stash.borrow_mut().take().unwrap();
+            w.wake_by_ref();
+            w.wake();
+        });
+        h.await;
+    });
+    assert!(stats.wakes_coalesced >= 1, "stats={stats:?}");
+}
+
+#[test]
+fn fair_share_timer_superseded_mid_batch_is_inert() {
+    // Task B's sleep wake (earlier seq) and A's completion timer (later
+    // seq) share t=1s. B fires first, joins the resource, and its
+    // reschedule supersedes the buffered timer; the stale body must be
+    // a no-op. A bug here double-settles or re-arms a ghost timer.
+    let (ta, tb) = run(async {
+        let link = FairShare::new(100.0);
+        let l2 = link.clone();
+        let hb = spawn(async move {
+            sleep(SimDuration::from_secs(1)).await;
+            l2.serve(100.0).await;
+            now().as_secs_f64()
+        });
+        let l1 = link.clone();
+        let ha = spawn(async move {
+            l1.serve(100.0).await;
+            now().as_secs_f64()
+        });
+        (ha.await, hb.await)
+    });
+    assert!((ta - 1.0).abs() < 1e-9, "ta={ta}");
+    assert!((tb - 2.0).abs() < 1e-9, "tb={tb}");
+}
+
+#[test]
+fn batched_runs_remain_reproducible() {
+    // Belt-and-braces determinism anchor over a mixed workload:
+    // identical inputs, identical event trace statistics.
+    fn experiment() -> (f64, u64, u64) {
+        let (end, stats) = run_with_stats(async {
+            let link = FairShare::new(1e6);
+            let hs: Vec<_> = (0..32)
+                .map(|i| {
+                    let l = link.clone();
+                    spawn(async move {
+                        sleep(SimDuration::from_millis(i % 7)).await;
+                        l.serve(1e4 * (i + 1) as f64).await;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.await;
+            }
+            now().as_secs_f64()
+        });
+        (end, stats.events_fired, stats.events_batched)
+    }
+    assert_eq!(experiment(), experiment());
+}

@@ -114,11 +114,20 @@ impl ExtentMap {
 
     /// Bytes of `[start, start + len)` that are covered.
     pub fn covered_bytes_in(&self, start: u64, len: u64) -> u64 {
-        self.lookup(start, len)
-            .into_iter()
-            .filter(|(_, s)| s.is_some())
-            .map(|(r, _)| r.end - r.start)
-            .sum()
+        if len == 0 {
+            return 0;
+        }
+        let end = start + len;
+        let mut covered = 0;
+        if let Some((&s, &(e, _))) = self.map.range(..=start).next_back() {
+            if e > start && s < start {
+                covered += e.min(end) - start;
+            }
+        }
+        for (&s, &(e, _)) in self.map.range(start..end) {
+            covered += e.min(end) - s;
+        }
+        covered
     }
 
     /// Write `src` over `[start, start + len)`.
@@ -127,20 +136,22 @@ impl ExtentMap {
             return;
         }
         let end = start + len;
-        // Collect every extent overlapping [start, end).
-        let mut touched: Vec<u64> = Vec::new();
-        // The first candidate may begin before `start`.
-        if let Some((&s, &(e, _))) = self.map.range(..=start).next_back() {
-            if e > start {
-                touched.push(s);
+        // Remove every extent overlapping [start, end), one re-seek at
+        // a time (no scratch list — the hot write path must not
+        // allocate). A split-off left remainder ends at `start` and a
+        // right remainder begins at `end`, so neither is found again.
+        loop {
+            let mut hit = None;
+            // The first candidate may begin before `start`.
+            if let Some((&s, &(e, _))) = self.map.range(..=start).next_back() {
+                if e > start {
+                    hit = Some(s);
+                }
             }
-        }
-        for (&s, _) in self.map.range(start..end) {
-            if !touched.contains(&s) {
-                touched.push(s);
+            if hit.is_none() {
+                hit = self.map.range(start..end).next().map(|(&s, _)| s);
             }
-        }
-        for s in touched {
+            let Some(s) = hit else { break };
             let (e, old) = self.map.remove(&s).expect("extent vanished");
             if s < start {
                 // Left remainder keeps its prefix.
@@ -192,18 +203,20 @@ impl ExtentMap {
             return;
         }
         let end = start + len;
-        let mut touched: Vec<u64> = Vec::new();
-        if let Some((&s, &(e, _))) = self.map.range(..=start).next_back() {
-            if e > start {
-                touched.push(s);
+        // Remove overlapped extents one at a time: re-seek after each
+        // removal instead of collecting the touched keys first, so the
+        // common punch (one whole extent) allocates nothing.
+        loop {
+            let mut hit = None;
+            if let Some((&s, &(e, _))) = self.map.range(..=start).next_back() {
+                if e > start {
+                    hit = Some(s);
+                }
             }
-        }
-        for (&s, _) in self.map.range(start..end) {
-            if !touched.contains(&s) {
-                touched.push(s);
+            if hit.is_none() {
+                hit = self.map.range(start..end).next().map(|(&s, _)| s);
             }
-        }
-        for s in touched {
+            let Some(s) = hit else { break };
             let (e, old) = self.map.remove(&s).expect("extent vanished");
             if s < start {
                 self.map.insert(s, (start, old.clone()));
@@ -218,40 +231,48 @@ impl ExtentMap {
     /// source for holes. Pieces are returned in order and exactly tile
     /// the requested range.
     pub fn lookup(&self, start: u64, len: u64) -> Vec<(Range<u64>, Option<Source>)> {
-        let end = start + len;
         let mut out = Vec::new();
+        self.lookup_into(start, len, &mut out);
+        out
+    }
+
+    /// [`Self::lookup`], appending into a caller-provided buffer
+    /// (allocation-free once the buffer reached its high-water mark).
+    pub fn lookup_into(&self, start: u64, len: u64, out: &mut Vec<(Range<u64>, Option<Source>)>) {
+        let end = start + len;
         if len == 0 {
-            return out;
+            return;
         }
         let mut pos = start;
+        let mut clip = |s: u64, e: u64, src: &Source, pos: &mut u64| {
+            let cs = s.max(start);
+            let ce = e.min(end);
+            if cs > *pos {
+                out.push((*pos..cs, None));
+            }
+            out.push((cs..ce, Some(src.advance(cs - s))));
+            *pos = ce;
+        };
         // Candidate extents: the one possibly straddling `start`, plus
-        // everything beginning inside the range.
-        let mut cands: Vec<(u64, u64, Source)> = Vec::new();
+        // everything beginning inside the range (skipping the straddler
+        // if it begins exactly at `start`).
+        let mut straddler = None;
         if let Some((&s, &(e, _))) = self.map.range(..=start).next_back() {
             if e > start {
                 let (_, src) = self.map.get(&s).unwrap();
-                cands.push((s, e, src.clone()));
+                clip(s, e, src, &mut pos);
+                straddler = Some(s);
             }
         }
         for (&s, &(e, _)) in self.map.range(start..end) {
-            if cands.last().map(|c| c.0) != Some(s) {
+            if straddler != Some(s) {
                 let (_, src) = self.map.get(&s).unwrap();
-                cands.push((s, e, src.clone()));
+                clip(s, e, src, &mut pos);
             }
-        }
-        for (s, e, src) in cands {
-            let cs = s.max(start);
-            let ce = e.min(end);
-            if cs > pos {
-                out.push((pos..cs, None));
-            }
-            out.push((cs..ce, Some(src.advance(cs - s))));
-            pos = ce;
         }
         if pos < end {
             out.push((pos..end, None));
         }
-        out
     }
 
     /// True if every byte of `[start, start + len)` is covered.
@@ -265,6 +286,37 @@ impl ExtentMap {
             .into_iter()
             .filter_map(|(r, s)| if s.is_none() { Some(r) } else { None })
             .collect()
+    }
+
+    /// The first uncovered sub-range of `[start, end)` at or after
+    /// `start`, without allocating. Callers that fill holes one at a
+    /// time loop on this (each fill moves `start` past the hole).
+    pub fn next_hole(&self, start: u64, end: u64) -> Option<Range<u64>> {
+        let mut pos = start;
+        if pos >= end {
+            return None;
+        }
+        // Skip a straddling extent.
+        if let Some((&s, &(e, _))) = self.map.range(..=pos).next_back() {
+            if e > pos && s <= pos {
+                pos = e;
+            }
+        }
+        if pos >= end {
+            return None;
+        }
+        // Walk covered extents until a gap appears.
+        for (&s, &(e, _)) in self.map.range(pos..end) {
+            if s > pos {
+                return Some(pos..s.min(end));
+            }
+            pos = e;
+        }
+        if pos < end {
+            Some(pos..end)
+        } else {
+            None
+        }
     }
 
     /// The byte at `pos`, if covered.

@@ -26,7 +26,7 @@ use std::rc::Rc;
 
 use e10_simcore::rng::Jitter;
 use e10_simcore::trace::{self, Event, EventKind, Layer};
-use e10_simcore::{FairShare, SimRng};
+use e10_simcore::{FairShare, RoundRobin, SimRng};
 use e10_simcore::{SimDuration, Tally};
 
 use crate::ssd::Ssd;
@@ -87,6 +87,10 @@ pub struct Nvm {
     params: NvmParams,
     read_chans: Rc<Vec<FairShare>>,
     write_chans: Rc<Vec<FairShare>>,
+    /// Precomputed round-robin dispatch schedules (deterministic
+    /// issue-order channel pick; clones share the cursor).
+    read_rr: RoundRobin,
+    write_rr: RoundRobin,
     state: Rc<RefCell<NvmState>>,
 }
 
@@ -94,9 +98,6 @@ struct NvmState {
     jitter: Jitter,
     write_lat: Tally,
     read_lat: Tally,
-    /// Round-robin cursors (deterministic issue-order channel pick).
-    next_read: usize,
-    next_write: usize,
     /// Compute node hosting this device (fault-injection identity).
     node: usize,
 }
@@ -110,13 +111,13 @@ impl Nvm {
         Nvm {
             read_chans: Rc::new(per_chan(params.read_bw)),
             write_chans: Rc::new(per_chan(params.write_bw)),
+            read_rr: RoundRobin::new(n),
+            write_rr: RoundRobin::new(n),
             params,
             state: Rc::new(RefCell::new(NvmState {
                 jitter: Jitter::new(rng, cv),
                 write_lat: Tally::new(),
                 read_lat: Tally::new(),
-                next_read: 0,
-                next_write: 0,
                 node: 0,
             })),
         }
@@ -146,12 +147,8 @@ impl Nvm {
     pub async fn write(&self, len: u64) {
         let t0 = e10_simcore::now();
         self.stall_point().await;
-        let (j, chan) = {
-            let mut st = self.state.borrow_mut();
-            let c = st.next_write;
-            st.next_write = (c + 1) % self.write_chans.len();
-            (st.jitter.sample(), c)
-        };
+        let chan = self.write_rr.next();
+        let j = self.state.borrow_mut().jitter.sample();
         e10_simcore::sleep(self.params.write_latency.mul_f64(j)).await;
         self.write_chans[chan].serve(len as f64 * j).await;
         let lat = e10_simcore::now().since(t0).as_secs_f64();
@@ -169,12 +166,8 @@ impl Nvm {
     pub async fn read(&self, len: u64) {
         let t0 = e10_simcore::now();
         self.stall_point().await;
-        let (j, chan) = {
-            let mut st = self.state.borrow_mut();
-            let c = st.next_read;
-            st.next_read = (c + 1) % self.read_chans.len();
-            (st.jitter.sample(), c)
-        };
+        let chan = self.read_rr.next();
+        let j = self.state.borrow_mut().jitter.sample();
         e10_simcore::sleep(self.params.read_latency.mul_f64(j)).await;
         self.read_chans[chan].serve(len as f64 * j).await;
         let lat = e10_simcore::now().since(t0).as_secs_f64();

@@ -42,6 +42,13 @@
 #      losing to the better pure class (exit != 0 otherwise), and the
 #      JSON (minus the worker-count field) must be byte-identical at
 #      E10_JOBS=1 and E10_JOBS=8
+#  11. bench_perf smoke: the quick-scale perf baseline vs the
+#      committed BENCH_perf.json — events and allocator-call counts
+#      must match exactly (the sim is deterministic), the densest
+#      cell's median wall-clock per event must stay within the
+#      baseline's tolerance factor, and the JSON minus the
+#      wall-clock/host fields must be byte-identical at --jobs 1
+#      and --jobs 8
 #
 # Each step prints its wall-clock seconds.
 set -euo pipefail
@@ -123,5 +130,22 @@ sed 's/"jobs":[^,]*,//' target/ci-nvm-sweep-8.json \
   > target/ci-nvm-sweep-8.stripped.json
 cmp target/ci-nvm-sweep-1.stripped.json target/ci-nvm-sweep-8.stripped.json
 echo "    [$(($SECONDS - t0))s] nvm_sweep smoke"
+
+echo "==> bench_perf smoke (perf-baseline gate + E10_JOBS=1 vs 8 byte-identity)"
+t0=$SECONDS
+cargo run --release -q -p e10-bench --bin bench_perf -- --jobs 1 \
+  --check BENCH_perf.json --out target/ci-bench-perf-1.json
+cargo run --release -q -p e10-bench --bin bench_perf -- --jobs 8 \
+  --check BENCH_perf.json --out target/ci-bench-perf-8.json
+# Events, sim times, bandwidth and allocator-call counts are
+# deterministic; only the wall-clock / host fields may differ between
+# job counts (and vs the committed baseline's host).
+STRIP='"host_secs"|"wall_ns_per_event"|"jobs"|"host_cpus"|"wall_densest_median_ns_per_event"'
+grep -Ev "$STRIP" target/ci-bench-perf-1.json \
+  > target/ci-bench-perf-1.stripped.json
+grep -Ev "$STRIP" target/ci-bench-perf-8.json \
+  > target/ci-bench-perf-8.stripped.json
+cmp target/ci-bench-perf-1.stripped.json target/ci-bench-perf-8.stripped.json
+echo "    [$(($SECONDS - t0))s] bench_perf smoke"
 
 echo "==> ci: all green"
