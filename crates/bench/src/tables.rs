@@ -29,7 +29,7 @@ pub const TABLE2: [(&str, &str); 5] = [
 ];
 
 /// Hints this implementation adds beyond the paper's two tables.
-pub const EXTENSIONS: [(&str, &str); 14] = [
+pub const EXTENSIONS: [(&str, &str); 17] = [
     (
         "e10_two_phase",
         "stock, extended, node_agg (collective-write algorithm)",
@@ -73,6 +73,18 @@ pub const EXTENSIONS: [(&str, &str); 14] = [
     (
         "e10_cache_sync_depth",
         "extent count (bound on queued sync extents; 0 = unbounded)",
+    ),
+    (
+        "e10_coll_timeout",
+        "milliseconds (crash-tolerant collectives; 0 = off)",
+    ),
+    (
+        "e10_pfs_max_retries",
+        "count (client I/O RPC retries; unset = PFS default)",
+    ),
+    (
+        "e10_pfs_retry_base_us",
+        "microseconds (client retry backoff base; unset = PFS default)",
     ),
     ("cb_config_list", "\"*:N\" (aggregators per node)"),
     ("romio_no_indep_rw", "true, false (deferred open)"),
@@ -190,6 +202,9 @@ mod tests {
                 "e10_nvm_capacity" => "64M",
                 "e10_nvm_threshold" => "16K",
                 "e10_cache_sync_depth" => "8",
+                "e10_coll_timeout" => "40",
+                "e10_pfs_max_retries" => "4",
+                "e10_pfs_retry_base_us" => "2000",
                 "e10_cache_hiwater" | "e10_cache_lowater" => "50",
                 _ => "enable",
             };

@@ -133,6 +133,38 @@ pub enum FaultSpec {
         /// Per-read corruption probability in `[0, 1]`.
         prob: f64,
     },
+    /// Permanent failure of the `class` device on `node` from instant
+    /// `at`: every subsequent command on that device returns a typed
+    /// I/O error instead of succeeding. Unlike stalls this is not
+    /// sampled — it is a deterministic time trigger, so adding the spec
+    /// never shifts the draws of probabilistic specs.
+    DeviceFail {
+        /// Affected compute node.
+        node: usize,
+        /// Which local device class dies (SSD partition or NVM mount).
+        class: DeviceClass,
+        /// Virtual instant after which every command fails.
+        at: SimTime,
+    },
+    /// Death of the node-local cache sync thread on `node` at instant
+    /// `at`: the thread stops draining staged extents. Deterministic
+    /// time trigger, queried by the sync loop itself.
+    SyncThreadKill {
+        /// Affected compute node.
+        node: usize,
+        /// Virtual instant of the kill.
+        at: SimTime,
+    },
+}
+
+/// Device class of a node-local mount, as seen by the fault surface.
+/// Mirrors `e10-localfs`'s device model without depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceClass {
+    /// The block SSD `/scratch` partition.
+    Ssd,
+    /// The byte-granular NVM mount.
+    Nvm,
 }
 
 /// One sampled corruption, relative to the I/O it was drawn for.
@@ -283,12 +315,36 @@ impl FaultPlan {
         self
     }
 
+    /// Declare a permanent device failure (builder style).
+    pub fn device_fail(mut self, node: usize, class: DeviceClass, at: SimTime) -> Self {
+        self.specs.push(FaultSpec::DeviceFail { node, class, at });
+        self
+    }
+
+    /// Declare a sync-thread kill (builder style).
+    pub fn sync_thread_kill(mut self, node: usize, at: SimTime) -> Self {
+        self.specs.push(FaultSpec::SyncThreadKill { node, at });
+        self
+    }
+
     /// The declared node crashes as `(node, at)` pairs, in plan order.
     pub fn crashes(&self) -> Vec<(usize, SimTime)> {
         self.specs
             .iter()
             .filter_map(|s| match s {
                 FaultSpec::NodeCrash { node, at } => Some((*node, *at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The declared device failures as `(node, class, at)` triples, in
+    /// plan order.
+    pub fn device_fails(&self) -> Vec<(usize, DeviceClass, SimTime)> {
+        self.specs
+            .iter()
+            .filter_map(|s| match s {
+                FaultSpec::DeviceFail { node, class, at } => Some((*node, *class, *at)),
                 _ => None,
             })
             .collect()
@@ -358,6 +414,16 @@ pub fn active() -> bool {
 /// Number of faults injected so far by the installed schedule.
 pub fn injected_count() -> u64 {
     ACTIVE.with(|a| a.borrow().as_ref().map_or(0, |i| i.injected.get()))
+}
+
+/// Record an externally-executed fault in the installed schedule's
+/// injection count and the trace. The sampling hooks below call
+/// [`record`] themselves; this is for faults that need an *owner*
+/// outside the hooks — e.g. the crash harnesses, which cut power and
+/// kill the task tree themselves and would otherwise leave the
+/// schedule's `node_crash` specs invisible to [`injected_count`].
+pub fn note_injected(kind: &'static str, node: usize) {
+    record(kind, node, 0);
 }
 
 fn record(kind: &'static str, node: usize, extra_ns: u64) {
@@ -567,6 +633,53 @@ pub fn pfs_corrupt(len: u64) -> Vec<Corruption> {
     out
 }
 
+/// True if the `class` device on `node` has permanently failed (a
+/// [`FaultSpec::DeviceFail`] whose instant has passed). The caller —
+/// the device's command entry points — turns a hit into a typed I/O
+/// error. Deterministic: a pure time comparison, no stream draw, so
+/// querying it never perturbs the probabilistic specs.
+pub fn device_failed(node: usize, class: DeviceClass) -> bool {
+    if !active() {
+        return false;
+    }
+    let hit = ACTIVE.with(|a| {
+        let guard = a.borrow();
+        let inst = guard.as_ref().expect("enabled without schedule");
+        inst.plan.specs.iter().any(|spec| {
+            matches!(spec, FaultSpec::DeviceFail { node: n, class: c, at }
+                if *n == node && *c == class && e10_simcore::now() >= *at)
+        })
+    });
+    if hit {
+        record("device_fail", node, 0);
+        trace::counter("fault.device_fail", 1);
+    }
+    hit
+}
+
+/// True if the cache sync thread on `node` has been killed (a
+/// [`FaultSpec::SyncThreadKill`] whose instant has passed). Queried by
+/// the sync loop itself; like [`device_failed`] this is a pure time
+/// trigger.
+pub fn sync_thread_killed(node: usize) -> bool {
+    if !active() {
+        return false;
+    }
+    let hit = ACTIVE.with(|a| {
+        let guard = a.borrow();
+        let inst = guard.as_ref().expect("enabled without schedule");
+        inst.plan.specs.iter().any(|spec| {
+            matches!(spec, FaultSpec::SyncThreadKill { node: n, at }
+                if *n == node && e10_simcore::now() >= *at)
+        })
+    });
+    if hit {
+        record("sync_thread_kill", node, 0);
+        trace::counter("fault.sync_thread_kill", 1);
+    }
+    hit
+}
+
 /// True if the next PFS RPC served by data target `target` must fail.
 pub fn rpc_fails(target: usize) -> bool {
     if !active() {
@@ -745,6 +858,68 @@ mod tests {
         };
         assert_eq!(draws(3), draws(3));
         assert_ne!(draws(3), draws(4));
+    }
+
+    #[test]
+    fn device_fail_is_a_deterministic_time_trigger() {
+        run(async {
+            let _g = FaultSchedule::install(FaultPlan::new(1).device_fail(
+                1,
+                DeviceClass::Ssd,
+                secs(10),
+            ));
+            assert!(!device_failed(1, DeviceClass::Ssd), "before the instant");
+            assert!(!device_failed(0, DeviceClass::Ssd), "wrong node");
+            e10_simcore::sleep(SimDuration::from_secs(10)).await;
+            assert!(device_failed(1, DeviceClass::Ssd), "at the instant");
+            assert!(!device_failed(1, DeviceClass::Nvm), "wrong class");
+            e10_simcore::sleep(SimDuration::from_secs(100)).await;
+            assert!(device_failed(1, DeviceClass::Ssd), "failure is permanent");
+            // Every refused command counts as an injection.
+            assert_eq!(injected_count(), 2);
+        });
+    }
+
+    #[test]
+    fn sync_thread_kill_fires_after_its_instant() {
+        run(async {
+            let _g = FaultSchedule::install(FaultPlan::new(1).sync_thread_kill(0, secs(5)));
+            assert!(!sync_thread_killed(0), "before the instant");
+            e10_simcore::sleep(SimDuration::from_secs(6)).await;
+            assert!(sync_thread_killed(0));
+            assert!(!sync_thread_killed(1), "wrong node");
+        });
+    }
+
+    #[test]
+    fn device_fail_never_shifts_probabilistic_streams() {
+        // The same seed with and without a DeviceFail spec must draw
+        // identical RPC-failure sequences: the trigger is time-based.
+        let draws = |with_fail: bool| {
+            run(async move {
+                let mut plan = FaultPlan::new(9).rpc_fail(None, always(), 0.5);
+                if with_fail {
+                    plan = plan.device_fail(0, DeviceClass::Nvm, secs(0));
+                }
+                let _g = FaultSchedule::install(plan);
+                (0..64)
+                    .map(|_| {
+                        device_failed(0, DeviceClass::Nvm);
+                        rpc_fails(0)
+                    })
+                    .collect::<Vec<bool>>()
+            })
+        };
+        assert_eq!(draws(false), draws(true));
+    }
+
+    #[test]
+    fn device_fails_accessor_reports_declared_specs() {
+        let plan = FaultPlan::new(1)
+            .device_fail(2, DeviceClass::Nvm, secs(3))
+            .node_crash(1, secs(5));
+        assert_eq!(plan.device_fails(), vec![(2, DeviceClass::Nvm, secs(3))]);
+        assert_eq!(plan.crashes(), vec![(1, secs(5))]);
     }
 
     #[test]

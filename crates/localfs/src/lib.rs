@@ -41,6 +41,14 @@ pub enum FsError {
     NotFound(String),
     /// File already exists (exclusive create).
     Exists(String),
+    /// The backing device has permanently failed (a planned
+    /// `DeviceFail` fault): every data command is refused.
+    DeviceFailed {
+        /// Hosting compute node.
+        node: usize,
+        /// Device class that died.
+        class: e10_faultsim::DeviceClass,
+    },
 }
 
 impl std::fmt::Display for FsError {
@@ -57,6 +65,12 @@ impl std::fmt::Display for FsError {
             }
             FsError::NotFound(p) => write!(f, "not found: {p}"),
             FsError::Exists(p) => write!(f, "already exists: {p}"),
+            FsError::DeviceFailed { node, class } => {
+                write!(
+                    f,
+                    "device failed: {class:?} device on node {node} is offline"
+                )
+            }
         }
     }
 }
@@ -287,6 +301,21 @@ impl LocalFs {
         &self.cache
     }
 
+    /// Refuse the command if the backing device has permanently failed.
+    /// Injected at the top of every *data* command (writes, reads,
+    /// preallocation, journal appends); metadata ops (create/open/
+    /// unlink/punch) stay available so the layer above can tear down a
+    /// retired volume's bookkeeping.
+    fn check_device(&self) -> Result<(), FsError> {
+        if self.dev.failed() {
+            return Err(FsError::DeviceFailed {
+                node: self.dev.node(),
+                class: self.dev.fault_class(),
+            });
+        }
+        Ok(())
+    }
+
     fn reserve(&self, bytes: u64) -> Result<(), FsError> {
         let mut vol = self.vol.borrow_mut();
         let available = self.params.capacity.saturating_sub(vol.used);
@@ -377,6 +406,7 @@ impl LocalFile {
     /// physically writes zeroes (the paper's fallback, "at the cost of
     /// time efficiency").
     pub async fn fallocate(&self, offset: u64, len: u64) -> Result<(), FsError> {
+        self.fs.check_device()?;
         let grow = {
             let st = self.state.borrow();
             len - st.data.covered_bytes_in(offset, len)
@@ -421,6 +451,7 @@ impl LocalFile {
     /// the extent map; grows the allocation (and fails with `NoSpace`)
     /// as needed.
     pub async fn write(&self, offset: u64, payload: Payload) -> Result<(), FsError> {
+        self.fs.check_device()?;
         let len = payload.len;
         if len == 0 {
             return Ok(());
@@ -480,6 +511,7 @@ impl LocalFile {
     /// calls survive power loss, in-flight calls are torn, injected
     /// device corruption lands in the extent map.
     pub async fn write_direct(&self, offset: u64, payload: Payload) -> Result<(), FsError> {
+        self.fs.check_device()?;
         let len = payload.len;
         if len == 0 {
             return Ok(());
@@ -533,6 +565,7 @@ impl LocalFile {
         offset: u64,
         len: u64,
     ) -> Result<Vec<(Range<u64>, Option<Source>)>, FsError> {
+        self.fs.check_device()?;
         if len == 0 {
             return Ok(Vec::new());
         }
@@ -546,6 +579,7 @@ impl LocalFile {
     /// writes, these bytes keep their literal contents across a
     /// [`LocalFs::power_loss`] (modulo tearing of the in-flight tail).
     pub async fn append_bytes(&self, bytes: &[u8]) -> Result<u64, FsError> {
+        self.fs.check_device()?;
         let len = bytes.len() as u64;
         if len == 0 {
             return Ok(self.state.borrow().append_log.len() as u64);
@@ -602,6 +636,7 @@ impl LocalFile {
         len: u64,
         out: &mut Vec<(Range<u64>, Option<Source>)>,
     ) -> Result<(), FsError> {
+        self.fs.check_device()?;
         if len == 0 {
             return Ok(());
         }
@@ -904,6 +939,61 @@ mod tests {
             // A second power loss with nothing in flight changes nothing.
             fs.power_loss(512, &mut SimRng::new(8));
             assert_eq!(f.extents().covered_bytes(), kept);
+        });
+    }
+
+    #[test]
+    fn dead_device_refuses_data_commands_with_a_typed_error() {
+        run(async {
+            let fs = small_fs();
+            fs.device().set_node(3);
+            let f = fs.create("/a").await.unwrap();
+            f.write(0, Payload::gen(1, 0, 100)).await.unwrap();
+            let _g =
+                e10_faultsim::FaultSchedule::install(e10_faultsim::FaultPlan::new(1).device_fail(
+                    3,
+                    e10_faultsim::DeviceClass::Ssd,
+                    e10_simcore::SimTime::ZERO,
+                ));
+            let err = f.write(100, Payload::zero(100)).await.unwrap_err();
+            assert!(matches!(
+                err,
+                FsError::DeviceFailed {
+                    node: 3,
+                    class: e10_faultsim::DeviceClass::Ssd
+                }
+            ));
+            assert!(err.to_string().contains("node 3"));
+            // Every data command is refused...
+            assert!(f.read(0, 100).await.is_err());
+            assert!(f.fallocate(0, 200).await.is_err());
+            assert!(f.append_bytes(b"x").await.is_err());
+            assert!(f.read_direct(0, 100).await.is_err());
+            // ...while metadata stays available for teardown, and data
+            // written before the failure is still accounted.
+            assert!(fs.exists("/a"));
+            assert_eq!(fs.statfs().1, 100);
+            fs.unlink("/a").await.unwrap();
+        });
+    }
+
+    #[test]
+    fn nvm_device_fail_spares_the_ssd_class() {
+        run(async {
+            let fs = small_fs(); // SSD-backed
+            let f = fs.create("/a").await.unwrap();
+            let _g =
+                e10_faultsim::FaultSchedule::install(e10_faultsim::FaultPlan::new(1).device_fail(
+                    0,
+                    e10_faultsim::DeviceClass::Nvm,
+                    e10_simcore::SimTime::ZERO,
+                ));
+            // The SSD partition on the same node is unaffected.
+            f.write(0, Payload::gen(1, 0, 100)).await.unwrap();
+            let nfs = small_nvm_fs();
+            let nf = nfs.create("/nvm/a").await.unwrap();
+            let err = nf.write_direct(0, Payload::zero(10)).await.unwrap_err();
+            assert!(matches!(err, FsError::DeviceFailed { .. }));
         });
     }
 

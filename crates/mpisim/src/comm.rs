@@ -379,6 +379,17 @@ pub(crate) struct CommState {
     reqs: ReqTable,
     couriers: Couriers,
     pool: Rc<AnyPool>,
+    /// Ranks suspected dead (ULFM-style failure knowledge, see
+    /// [`crate::ft`]). Shared communicator state plays the role of a
+    /// perfect failure detector: once any rank's timeout convicts a
+    /// peer, every rank of the communicator observes it — the agreement
+    /// protocol still exchanges real timed messages, so the *cost* of
+    /// consensus is modelled even though suspicion propagates for free.
+    pub(crate) dead: RefCell<Vec<bool>>,
+    /// Shrunken survivor communicators, keyed by their sorted live-rank
+    /// list ([`Comm::shrink`] is non-blocking: the first survivor to
+    /// ask builds the state, the rest share it).
+    pub(crate) shrunk: RefCell<HashMap<Vec<usize>, Rc<CommState>>>,
 }
 
 /// A communicator handle bound to one rank.
@@ -428,6 +439,37 @@ impl Request {
             Some(st) => st.reqs.test(self.slot, self.gen),
         }
     }
+
+    /// Wait for completion, giving up after `d`: `Some(result)` if the
+    /// operation completed (a receive yields `Some(Some(msg))`), `None`
+    /// on timeout. A timed-out request is abandoned — a late completion
+    /// is discarded, never delivered. This is the detection primitive
+    /// of the ULFM-shaped crash tolerance ([`crate::ft`]): a peer that
+    /// stays silent past the timeout is suspected dead.
+    pub async fn wait_timeout(mut self, d: e10_simcore::SimDuration) -> Option<Option<Message>> {
+        use std::future::Future;
+        let Some(st) = self.st.clone() else {
+            return Some(None);
+        };
+        let mut timer = Box::pin(e10_simcore::sleep(d));
+        let out = poll_fn(|cx| {
+            // The request wins ties with the timer: a completion at the
+            // deadline instant is still a completion.
+            if let Poll::Ready(m) = st.reqs.poll_wait(self.slot, self.gen, cx) {
+                return Poll::Ready(Some(m));
+            }
+            match timer.as_mut().poll(cx) {
+                Poll::Ready(()) => Poll::Ready(None),
+                Poll::Pending => Poll::Pending,
+            }
+        })
+        .await;
+        if out.is_some() {
+            // Slot already freed by poll_wait; disarm the Drop abandon.
+            self.st = None;
+        }
+        out
+    }
 }
 
 impl Drop for Request {
@@ -470,6 +512,10 @@ impl CommState {
             reqs: ReqTable::default(),
             couriers: Couriers::default(),
             pool: Rc::new(AnyPool::new()),
+            // Lazily sized on the first conviction: the default
+            // (tolerance off) path must not allocate per communicator.
+            dead: RefCell::new(Vec::new()),
+            shrunk: RefCell::new(HashMap::new()),
         })
     }
 }
@@ -710,6 +756,18 @@ impl Comm {
             slot,
             gen,
         }
+    }
+
+    /// Blocking receive with a deadline: `Some(msg)` if a matching
+    /// message arrives within `d`, `None` on timeout (the posted
+    /// receive is withdrawn; a later match is discarded).
+    pub async fn recv_timeout(
+        &self,
+        src: SourceSel,
+        tag: Tag,
+        d: e10_simcore::SimDuration,
+    ) -> Option<Message> {
+        self.irecv(src, tag).wait_timeout(d).await.flatten()
     }
 
     /// Blocking receive.

@@ -1,0 +1,347 @@
+//! ULFM-shaped fault tolerance primitives.
+//!
+//! Models the User-Level Failure Mitigation proposal's core triad on
+//! the simulated MPI: **detection** (timeout-raced receives,
+//! [`Comm::recv_timeout`]), **agreement** ([`Comm::agree`], the
+//! `MPI_Comm_agree` shape: all live ranks settle on a combined flag
+//! and a consistent failure set) and **revocation/shrink**
+//! ([`Comm::shrink`], the `MPI_Comm_shrink` shape: a survivor
+//! communicator over the live ranks).
+//!
+//! Failure knowledge lives on the shared communicator state
+//! ([`Comm::mark_failed`]): once one rank's timeout convicts a peer,
+//! every rank observes the conviction. This makes the simulated
+//! detector *perfect* — suspicion propagates for free — while the
+//! agreement protocol still exchanges real timed messages so the
+//! latency and message cost of consensus are modelled faithfully.
+//!
+//! The control collectives here are star-shaped with coordinator
+//! failover: every live rank sends its contribution to the lowest live
+//! rank, which combines and re-broadcasts; if the coordinator itself
+//! dies, participants time out, convict it and retry with the next
+//! live rank. O(P) messages per operation — fine for the control
+//! plane (failure handling is rare), not a data path.
+//!
+//! Accuracy caveat: a live-but-slow rank whose contribution misses the
+//! timeout is convicted like a dead one. Detection is accurate when
+//! the timeout dominates the collective's message latency; callers
+//! (the `e10_coll_timeout` hint) pick timeouts accordingly.
+
+use std::rc::Rc;
+
+use e10_simcore::trace::{self, Event, EventKind, Layer};
+use e10_simcore::SimDuration;
+
+use crate::comm::{Comm, CommState, SourceSel, Tag};
+
+impl Comm {
+    /// Convict `rank` as failed on this communicator. Idempotent.
+    pub fn mark_failed(&self, rank: usize) {
+        let mut dead = self.state.dead.borrow_mut();
+        if dead.is_empty() {
+            dead.resize(self.state.size, false);
+        }
+        if !dead[rank] {
+            dead[rank] = true;
+            trace::emit(|| {
+                Event::new(Layer::Mpi, "ft.convict", EventKind::Point)
+                    .node(self.state.node_of[self.rank])
+                    .field("rank", rank as u64)
+            });
+            trace::counter("ft.convictions", 1);
+        }
+    }
+
+    /// True if `rank` has been convicted as failed.
+    pub fn is_failed(&self, rank: usize) -> bool {
+        self.state.dead.borrow().get(rank) == Some(&true)
+    }
+
+    /// The convicted ranks, ascending.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        let dead = self.state.dead.borrow();
+        (0..self.state.size)
+            .filter(|&r| dead.get(r) == Some(&true))
+            .collect()
+    }
+
+    /// The ranks not convicted, ascending.
+    pub fn live_ranks(&self) -> Vec<usize> {
+        let dead = self.state.dead.borrow();
+        (0..self.state.size)
+            .filter(|&r| dead.get(r) != Some(&true))
+            .collect()
+    }
+
+    /// Fault-tolerant gather-and-broadcast over the live ranks — the
+    /// building block under [`Comm::agree`] and the crash-tolerant
+    /// collective-write coordination.
+    ///
+    /// Every live rank contributes `v`; the lowest live rank collects
+    /// (with `timeout` per missing contributor, convicting silent
+    /// peers), applies `combine` to the per-rank contributions (`None`
+    /// for ranks that failed to arrive — their absence is the caller's
+    /// abort signal) and sends the result to every surviving
+    /// contributor. If the coordinator itself dies, participants time
+    /// out on the result, convict it and fail over to the next live
+    /// rank. `tag_base` must be unique per logical operation and leave
+    /// `2 * size` tag values free above it (the failover tags are
+    /// derived from the coordinator's rank — shared failure knowledge
+    /// keeps them consistent even when ranks enter the operation with
+    /// different conviction histories).
+    pub async fn ft_coordinate<T, R>(
+        &self,
+        tag_base: Tag,
+        v: T,
+        bytes: u64,
+        timeout: SimDuration,
+        combine: impl Fn(&mut [Option<T>]) -> R,
+    ) -> R
+    where
+        T: Clone + 'static,
+        R: Clone + 'static,
+    {
+        let p = self.state.size;
+        loop {
+            let coord = (0..p)
+                .find(|&r| !self.is_failed(r))
+                .expect("every rank of the communicator convicted");
+            let ctag = tag_base + 2 * coord as Tag;
+            let rtag = ctag + 1;
+            if self.rank == coord {
+                let mut contribs: Vec<Option<T>> = (0..p).map(|_| None).collect();
+                contribs[self.rank] = Some(v.clone());
+                // `r` is both the peer rank (recv source, conviction
+                // target) and the contribution slot; an enumerate()
+                // rewrite would obscure that.
+                #[allow(clippy::needless_range_loop)]
+                for r in 0..p {
+                    if r == self.rank || self.is_failed(r) {
+                        continue;
+                    }
+                    // Double the detection window: a live contributor
+                    // may enter this operation up to one timeout after
+                    // us (it spent its own timeout convicting a peer in
+                    // the preceding phase).
+                    match self
+                        .recv_timeout(SourceSel::Rank(r), ctag, timeout * 2)
+                        .await
+                    {
+                        Some(m) => contribs[r] = Some(m.into_data::<T>()),
+                        None => self.mark_failed(r),
+                    }
+                }
+                let res = combine(&mut contribs);
+                for r in 0..p {
+                    if r != self.rank && !self.is_failed(r) {
+                        // Fire and forget: completion on arrival, and a
+                        // dead recipient's mailbox harmlessly swallows it.
+                        drop(self.isend(r, rtag, bytes, res.clone()));
+                    }
+                }
+                return res;
+            }
+            drop(self.isend(coord, ctag, bytes, v.clone()));
+            // The coordinator may spend up to two timeouts per silent
+            // contributor before answering; wait out the worst case
+            // with margin for its own reply.
+            let result_wait = timeout * (2 * p as u64 + 4);
+            match self
+                .recv_timeout(SourceSel::Rank(coord), rtag, result_wait)
+                .await
+            {
+                Some(m) => return m.into_data::<R>(),
+                None => self.mark_failed(coord),
+            }
+        }
+    }
+
+    /// `MPI_Comm_agree` (ULFM): all live ranks agree on the bitwise
+    /// AND of their `flag` contributions and on a consistent failure
+    /// set, which is returned (and installed locally). Ranks that die
+    /// during the agreement are convicted and excluded; the operation
+    /// always terminates within a bounded number of timeouts.
+    pub async fn agree(&self, tag_base: Tag, flag: u64, timeout: SimDuration) -> (u64, Vec<usize>) {
+        let and = self
+            .ft_coordinate(tag_base, flag, 16, timeout, |contribs| {
+                contribs.iter().flatten().fold(u64::MAX, |acc, &f| acc & f)
+            })
+            .await;
+        (and, self.failed_ranks())
+    }
+
+    /// `MPI_Comm_shrink` (ULFM): a communicator over `live` (sorted
+    /// parent ranks, which must include this rank), with ranks
+    /// renumbered by position. Non-blocking by construction: the first
+    /// survivor to ask builds the shared state, later survivors join
+    /// it — callers synchronise beforehand ([`Comm::agree`]) so every
+    /// survivor asks with the same list. Repeated shrinks to the same
+    /// list share one communicator (collective op counters continue,
+    /// as with a reused MPI context).
+    pub fn shrink(&self, live: &[usize]) -> Comm {
+        assert!(
+            live.windows(2).all(|w| w[0] < w[1]),
+            "shrink wants a sorted, duplicate-free live list"
+        );
+        let rank = live
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("shrinking rank must be in the live list");
+        assert!(
+            live.last().is_none_or(|&r| r < self.state.size),
+            "live rank out of range"
+        );
+        let state = {
+            let mut m = self.state.shrunk.borrow_mut();
+            match m.get(live) {
+                Some(st) => Rc::clone(st),
+                None => {
+                    let node_of = live.iter().map(|&r| self.state.node_of[r]).collect();
+                    let coll = crate::coll::CollShared::new(self.state.coll.backend, live.len());
+                    let st = CommState::new_shared(
+                        live.len(),
+                        node_of,
+                        Rc::clone(&self.state.net),
+                        coll,
+                    );
+                    m.insert(live.to_vec(), Rc::clone(&st));
+                    st
+                }
+            }
+        };
+        Comm { state, rank }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{launch, WorldSpec};
+    use e10_simcore::run;
+
+    const T: Tag = 0x5800_0000;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    #[test]
+    fn recv_timeout_expires_without_a_sender_and_passes_with_one() {
+        run(async {
+            launch(WorldSpec::for_tests(2, 2), |comm| async move {
+                if comm.rank() == 0 {
+                    // Nobody ever sends on tag 9: timeout.
+                    assert!(comm
+                        .recv_timeout(SourceSel::Rank(1), 9, ms(5))
+                        .await
+                        .is_none());
+                    // Rank 1 sends on tag 10 after 1ms: arrives in time.
+                    let m = comm
+                        .recv_timeout(SourceSel::Rank(1), 10, ms(50))
+                        .await
+                        .expect("message within deadline");
+                    assert_eq!(m.into_data::<u32>(), 7);
+                } else {
+                    e10_simcore::sleep(ms(6)).await;
+                    comm.send(0, 10, 16, 7u32).await;
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn agree_convicts_a_silent_rank_and_settles_the_failure_set() {
+        run(async {
+            let outs = launch(WorldSpec::for_tests(4, 2), |comm| async move {
+                if comm.rank() == 2 {
+                    // Rank 2 "dies": it never joins the agreement.
+                    return (0, vec![]);
+                }
+                comm.agree(T, !(1 << comm.rank()), ms(10)).await
+            })
+            .await;
+            for (r, (and, dead)) in outs.iter().enumerate() {
+                if r == 2 {
+                    continue;
+                }
+                // AND over live contributors 0, 1, 3.
+                assert_eq!(*and, !(1u64 | (1 << 1) | (1 << 3)));
+                assert_eq!(dead, &vec![2], "rank {r} must convict exactly rank 2");
+            }
+        });
+    }
+
+    #[test]
+    fn agree_fails_over_when_the_coordinator_dies() {
+        run(async {
+            let outs = launch(WorldSpec::for_tests(4, 2), |comm| async move {
+                if comm.rank() == 0 {
+                    // The would-be coordinator is dead.
+                    return (0, vec![]);
+                }
+                comm.agree(T, u64::MAX, ms(10)).await
+            })
+            .await;
+            for (r, (and, dead)) in outs.iter().enumerate() {
+                if r == 0 {
+                    continue;
+                }
+                assert_eq!(*and, u64::MAX);
+                assert_eq!(dead, &vec![0], "rank {r} must fail over past rank 0");
+            }
+        });
+    }
+
+    #[test]
+    fn shrink_builds_a_working_survivor_communicator() {
+        run(async {
+            launch(WorldSpec::for_tests(4, 2), |comm| async move {
+                if comm.rank() == 1 {
+                    return;
+                }
+                comm.mark_failed(1);
+                let live = comm.live_ranks();
+                assert_eq!(live, vec![0, 2, 3]);
+                let sub = comm.shrink(&live);
+                assert_eq!(sub.size(), 3);
+                assert_eq!(
+                    sub.rank(),
+                    live.iter().position(|&r| r == comm.rank()).unwrap()
+                );
+                // Nodes carry over from the parent mapping.
+                assert_eq!(sub.node(), comm.node());
+                // Collectives work among the survivors.
+                let members = sub.allgather(comm.rank(), 8).await;
+                assert_eq!(members, vec![0, 2, 3]);
+                // p2p works in shrunk numbering.
+                if sub.rank() == 0 {
+                    sub.send(2, 4, 32, 99u8).await;
+                } else if sub.rank() == 2 {
+                    assert_eq!(sub.recv_from::<u8>(0, 4).await, 99);
+                }
+            })
+            .await;
+        });
+    }
+
+    #[test]
+    fn shrink_to_the_same_list_shares_one_communicator() {
+        run(async {
+            launch(WorldSpec::for_tests(3, 1), |comm| async move {
+                comm.mark_failed(2);
+                if comm.rank() == 2 {
+                    return;
+                }
+                let a = comm.shrink(&[0, 1]);
+                let b = comm.shrink(&[0, 1]);
+                // Same shared state: a barrier split across the two
+                // handles still pairs up.
+                let h = e10_simcore::spawn(async move { a.barrier().await });
+                b.barrier().await;
+                h.await;
+            })
+            .await;
+        });
+    }
+}

@@ -22,6 +22,7 @@
 pub mod coll;
 pub mod comm;
 pub mod datatype;
+pub mod ft;
 pub mod grequest;
 pub mod info;
 

@@ -139,6 +139,12 @@ struct PfsFileState {
     size: u64,
     range_lock: RangeLock,
     open_handles: usize,
+    /// Write-epoch fence: writes from handles whose epoch is below
+    /// this watermark complete (they already paid their I/O time) but
+    /// record nothing — the crash-tolerance redo path raises the fence
+    /// before re-running a collective round so a straggling write from
+    /// the failed round can never clobber the redone data.
+    fence: u64,
 }
 
 /// The file system instance (one per simulated cluster).
@@ -315,14 +321,17 @@ impl Pfs {
     /// Client side of one I/O RPC submission: ship the request to the
     /// target and, if the server fails it (injected via
     /// `e10_faultsim::rpc_fails`), back off exponentially with jitter
-    /// and retry up to [`PfsParams::max_retries`] times.
+    /// and retry per `policy` — `(max_retries, retry_base)`, normally
+    /// the [`PfsParams`] defaults unless the handle overrides them.
     async fn submit_rpc(
         &self,
         client: NodeId,
         target: usize,
         op: &'static str,
         req_bytes: u64,
+        policy: (u32, SimDuration),
     ) -> Result<(), PfsError> {
+        let (max_retries, retry_base) = policy;
         let t = &self.targets[target];
         let mut attempt: u32 = 0;
         loop {
@@ -338,7 +347,7 @@ impl Pfs {
             t.handler.serve(self.params.rpc_overhead).await;
             self.net.transfer(t.node, client, 64).await;
             attempt += 1;
-            if attempt > self.params.max_retries {
+            if attempt > max_retries {
                 return Err(PfsError::RpcExhausted {
                     op,
                     target,
@@ -347,10 +356,7 @@ impl Pfs {
                 });
             }
             let stretch = 1.0 + self.retry_rng.borrow_mut().uniform();
-            let backoff = self
-                .params
-                .retry_base
-                .mul_f64((1u64 << (attempt - 1)) as f64 * stretch);
+            let backoff = retry_base.mul_f64((1u64 << (attempt - 1)) as f64 * stretch);
             trace::emit(|| {
                 Event::new(Layer::Pfs, "rpc.retry", EventKind::Point)
                     .node(client)
@@ -394,6 +400,7 @@ impl Pfs {
             size: 0,
             range_lock: RangeLock::new(),
             open_handles: 1,
+            fence: 0,
         }));
         self.files
             .borrow_mut()
@@ -402,6 +409,9 @@ impl Pfs {
             pfs: Rc::clone(self),
             path: path.to_string(),
             state: st,
+            epoch: std::cell::Cell::new(0),
+            retry: std::cell::Cell::new(None),
+            fence_exempt: std::cell::Cell::new(false),
         }
     }
 
@@ -419,6 +429,9 @@ impl Pfs {
             pfs: Rc::clone(self),
             path: path.to_string(),
             state: st,
+            epoch: std::cell::Cell::new(0),
+            retry: std::cell::Cell::new(None),
+            fence_exempt: std::cell::Cell::new(false),
         })
     }
 
@@ -439,6 +452,9 @@ impl Pfs {
             pfs: Rc::clone(self),
             path: path.to_string(),
             state: st,
+            epoch: std::cell::Cell::new(0),
+            retry: std::cell::Cell::new(None),
+            fence_exempt: std::cell::Cell::new(false),
         })
     }
 
@@ -572,12 +588,66 @@ pub struct PfsHandle {
     pfs: Rc<Pfs>,
     path: String,
     state: Rc<RefCell<PfsFileState>>,
+    /// Write epoch this handle stamps on its requests (see
+    /// [`PfsFileState::fence`]). Clones inherit the current value.
+    epoch: std::cell::Cell<u64>,
+    /// Per-handle retry-policy override (`e10_pfs_max_retries` /
+    /// `e10_pfs_retry_base_us` hints); `None` uses [`PfsParams`].
+    retry: std::cell::Cell<Option<(u32, SimDuration)>>,
+    /// Exempt this handle (and its clones) from the write-epoch fence.
+    /// Set by the cache layer before spawning sync threads: a cached
+    /// byte was acked to the application and its content is stable, so
+    /// replaying it to the PFS is sound in any epoch — fencing it
+    /// would silently drop durable data.
+    fence_exempt: std::cell::Cell<bool>,
 }
 
 impl PfsHandle {
     /// File path.
     pub fn path(&self) -> &str {
         &self.path
+    }
+
+    /// Override the client retry policy for I/O RPCs issued through
+    /// this handle (and handles cloned from it afterwards).
+    pub fn set_retry_policy(&self, max_retries: u32, retry_base: SimDuration) {
+        self.retry.set(Some((max_retries, retry_base)));
+    }
+
+    /// Effective `(max_retries, retry_base)` for this handle.
+    fn retry_policy(&self) -> (u32, SimDuration) {
+        self.retry
+            .get()
+            .unwrap_or((self.pfs.params.max_retries, self.pfs.params.retry_base))
+    }
+
+    /// The write epoch this handle stamps on its requests.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// Set the handle's write epoch (crash-tolerance redo path).
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.set(epoch);
+    }
+
+    /// Exempt this handle (and handles cloned from it afterwards) from
+    /// the write-epoch fence. The cache layer sets this before spawning
+    /// sync threads: cached bytes were already acked with stable
+    /// content, so their background replay must land regardless of any
+    /// fence raised by a collective redo.
+    pub fn set_fence_exempt(&self, exempt: bool) {
+        self.fence_exempt.set(exempt);
+    }
+
+    /// Raise the file's write-epoch fence to at least `epoch`: every
+    /// write stamped with an older epoch still completes (its I/O time
+    /// is already spent) but records nothing in the file, making a
+    /// redone two-phase round idempotent against stragglers from the
+    /// failed round. Monotonic — a lower value never lowers the fence.
+    pub fn raise_fence(&self, epoch: u64) {
+        let mut st = self.state.borrow_mut();
+        st.fence = st.fence.max(epoch);
     }
 
     /// Stripe unit of this file.
@@ -690,9 +760,10 @@ impl PfsHandle {
         });
         trace::counter("pfs.write_chunks", 1);
         trace::counter("pfs.write_bytes", chunk.len);
+        let policy = self.retry_policy();
         // Client → server wire transfer (data + header), with retry on
         // injected RPC failures.
-        pfs.submit_rpc(client, chunk.target, "write", chunk.len + 128)
+        pfs.submit_rpc(client, chunk.target, "write", chunk.len + 128, policy)
             .await?;
         // Bulk-payload checksum (as in Lustre's bulk RPC checksums):
         // injected wire corruption is caught by the server, which asks
@@ -712,7 +783,7 @@ impl PfsHandle {
             });
             trace::counter("pfs.wire_retransmits", 1);
             attempts += 1;
-            if attempts > pfs.params.max_retries + 1 {
+            if attempts > policy.0 + 1 {
                 return Err(PfsError::WireChecksum {
                     target: chunk.target,
                     attempts,
@@ -793,7 +864,8 @@ impl PfsHandle {
         });
         trace::counter("pfs.read_chunks", 1);
         trace::counter("pfs.read_bytes", chunk.len);
-        pfs.submit_rpc(client, chunk.target, "read", 128).await?;
+        pfs.submit_rpc(client, chunk.target, "read", 128, self.retry_policy())
+            .await?;
         let unit = self.state.borrow().stripe_unit;
         let lstart = (chunk.dev_offset / unit) * unit;
         let lend = (chunk.dev_offset + chunk.len).div_ceil(unit) * unit;
@@ -843,6 +915,10 @@ impl PfsHandle {
         self.put_chunk_buf(chunks);
         outcome?;
         let mut st = self.state.borrow_mut();
+        if !self.fence_exempt.get() && self.epoch.get() < st.fence {
+            trace::counter("pfs.fenced_writes", 1);
+            return Ok(());
+        }
         st.data.insert(offset, len, payload.src);
         st.size = st.size.max(offset + len);
         Ok(())
@@ -870,6 +946,10 @@ impl PfsHandle {
         self.put_chunk_buf(chunks);
         outcome?;
         let mut st = self.state.borrow_mut();
+        if !self.fence_exempt.get() && self.epoch.get() < st.fence {
+            trace::counter("pfs.fenced_writes", 1);
+            return Ok(());
+        }
         for (off, p) in pieces {
             debug_assert!(off >= span_start && off + p.len <= span_start + span_len);
             let len = p.len;
@@ -1390,6 +1470,75 @@ mod tests {
             elapsed >= floor,
             "elapsed={elapsed} must include exponential backoff >= {floor}"
         );
+    }
+
+    #[test]
+    fn retry_policy_override_changes_the_exhaustion_point() {
+        run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs.create(0, "/gfs/rp", Striping::default()).await;
+            f.set_retry_policy(1, SimDuration::from_micros(100));
+            let _g = e10_faultsim::FaultSchedule::install(
+                e10_faultsim::FaultPlan::new(3).rpc_fail(None, e10_faultsim::always(), 1.0),
+            );
+            let err = f
+                .write(0, 0, Payload::gen(1, 0, 4096))
+                .await
+                .expect_err("retries must be exhausted");
+            let PfsError::RpcExhausted { attempts, .. } = err else {
+                panic!("unexpected error {err:?}");
+            };
+            assert_eq!(attempts, 2, "override allows one retry, not the default 4");
+        });
+    }
+
+    #[test]
+    fn retry_policy_survives_handle_clones() {
+        run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs.create(0, "/gfs/rpc2", Striping::default()).await;
+            f.set_retry_policy(0, SimDuration::from_micros(50));
+            let clone = f.clone();
+            assert_eq!(clone.retry_policy(), (0, SimDuration::from_micros(50)));
+        });
+    }
+
+    #[test]
+    fn write_epoch_fence_discards_stale_writes() {
+        run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs.create(0, "/gfs/fence", Striping::default()).await;
+            f.write(0, 0, Payload::gen(1, 0, 4096)).await.unwrap();
+            // A redo begins: the fence rises to epoch 1. The straggler
+            // handle still stamps epoch 0, so its write lands nowhere.
+            f.raise_fence(1);
+            f.write(0, 0, Payload::gen(9, 0, 4096)).await.unwrap();
+            assert!(
+                f.extents().verify_gen(1, 0, 4096).is_ok(),
+                "stale write must not clobber the pre-fence contents"
+            );
+            // The redoing handle adopts epoch 1 and its write sticks.
+            f.set_epoch(1);
+            f.write(0, 0, Payload::gen(9, 0, 4096)).await.unwrap();
+            assert!(f.extents().verify_gen(9, 0, 4096).is_ok());
+            // Fences are monotonic: raising to an older epoch is a no-op.
+            f.raise_fence(0);
+            assert_eq!(f.state.borrow().fence, 1);
+        });
+    }
+
+    #[test]
+    fn fenced_span_pieces_complete_without_recording() {
+        run(async {
+            let (_net, pfs) = small_cluster();
+            let f = pfs.create(0, "/gfs/fsp", Striping::default()).await;
+            f.raise_fence(1);
+            f.write_span_pieces(0, 0, 8192, vec![(0, Payload::gen(3, 0, 4096))])
+                .await
+                .unwrap();
+            assert_eq!(f.size(), 0, "fenced span must record neither data nor size");
+            assert_eq!(f.extents().holes(0, 4096).len(), 1);
+        });
     }
 
     #[test]

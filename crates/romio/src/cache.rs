@@ -42,6 +42,39 @@ use crate::journal::{self, Record};
 /// The stored pieces returned by cache reads.
 type Pieces = Vec<(std::ops::Range<u64>, Option<Source>)>;
 
+/// Cache-volume health: the device-failure state machine.
+///
+/// A permanent device failure (`FaultSpec::DeviceFail`) or a killed
+/// sync pipeline (`FaultSpec::SyncThreadKill`) moves the volume
+/// `Healthy → Draining`: the foreground degrades to write-through and
+/// every queued extent is replayed straight to the global file — from
+/// the checksummed resident mirror when the device can no longer be
+/// read. Once nothing is pending the volume is `Retired` and a
+/// [`Record::Retired`] mark is appended to the journal (best-effort:
+/// the journal may share the dead device) so recovery after a later
+/// power loss knows the tier is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Normal operation.
+    Healthy,
+    /// A failure was detected; acked-but-unsynced extents are being
+    /// replayed to the global file.
+    Draining,
+    /// The drain finished and the tier was abandoned for good.
+    Retired,
+}
+
+/// Volume-wide state shared between the foreground layer and the sync
+/// thread under a single `Rc`: the write-through gate, the
+/// device-failure state machine, and the cache-file path the arbiter
+/// keys reservations on. One allocation per layer — the hot open path
+/// must not grow per-field `Rc`s for the failure machinery.
+struct VolState {
+    degraded: Cell<bool>,
+    health: Cell<Health>,
+    cache_file_path: String,
+}
+
 /// Everything that shapes one rank's cache layer. Replaces the long
 /// positional argument list of the original `open`; built from resolved
 /// hints via [`CacheConfig::from_hints`] or field by field in tests.
@@ -206,6 +239,10 @@ pub struct RecoveryReport {
     pub corrupt: Vec<(u64, u64)>,
     /// Total dropped bytes.
     pub corrupt_bytes: u64,
+    /// True if the journal carries a [`Record::Retired`] mark: the
+    /// tier was drained to the global file before it was abandoned,
+    /// so there is nothing to re-queue.
+    pub retired: bool,
 }
 
 /// Why a cache could not be recovered.
@@ -280,6 +317,9 @@ struct Front {
     map: RefCell<ExtentMap>,
     /// Remaining front budget in bytes (`u64::MAX` = unlimited).
     budget: Cell<u64>,
+    /// Set when the front device failed and its bytes were spilled to
+    /// the block tier: the byte-granular path disengages for good.
+    dead: Cell<bool>,
 }
 
 impl Front {
@@ -339,6 +379,7 @@ async fn tier_read_into(
     out: &mut Pieces,
 ) {
     out.clear();
+    let front = front.filter(|f| !f.dead.get());
     let Some(f) = front else {
         if main.read_into(pos, n, out).await.is_err() {
             out.clear();
@@ -372,6 +413,7 @@ async fn tier_read_into(
 /// rewritten in place.
 async fn tier_write(main: &LocalFile, front: Option<&Rc<Front>>, offset: u64, payload: Payload) {
     let len = payload.len;
+    let front = front.filter(|f| !f.dead.get());
     let Some(f) = front else {
         let _ = main.write(offset, payload).await;
         return;
@@ -394,7 +436,6 @@ struct CacheInner {
     /// on block-only stores or with `e10_nvm_threshold = 0`.
     front: Option<Rc<Front>>,
     journal: Option<LocalFile>,
-    cache_file_path: String,
     journal_file_path: String,
     localfs: LocalFs,
     global: PfsHandle,
@@ -415,7 +456,12 @@ struct CacheInner {
     /// `None` when the queue is unbounded.
     sync_slots: Option<Semaphore>,
     deferred: RefCell<Vec<DeferredExtent>>,
-    degraded: Rc<Cell<bool>>,
+    /// Shared write-through gate + device-failure state machine (see
+    /// [`Health`]): `vol.degraded` stays the write-through gate;
+    /// `vol.health` additionally distinguishes a volume that is
+    /// replaying its unsynced extents from one that has merely stopped
+    /// admitting new ones.
+    vol: Rc<VolState>,
     bytes_cached: Cell<u64>,
     bytes_synced: Rc<Cell<u64>>,
     sync_errors: Rc<Cell<u64>>,
@@ -549,6 +595,82 @@ async fn scrub_pass(
     trace::counter("integrity.scrubbed_bytes", scrubbed);
 }
 
+/// First half of the `Healthy → Draining` transition, shared by the
+/// foreground write path and the sync thread. The foreground degrades
+/// to write-through immediately and the arbiter forgets the volume's
+/// reservations and eviction candidates — the tier is gone.
+fn begin_retire(
+    vol: &VolState,
+    arbiter: &CacheArbiter,
+    job: &str,
+    managed: bool,
+    file: &LocalFile,
+    node: NodeId,
+    cause: &'static str,
+) {
+    if vol.health.get() != Health::Healthy {
+        return;
+    }
+    vol.health.set(Health::Draining);
+    vol.degraded.set(true);
+    arbiter.release_file(&vol.cache_file_path);
+    if managed {
+        arbiter.note_freed(job, file.extents().covered_bytes());
+    }
+    trace::counter("cache.draining", 1);
+    trace::emit(|| {
+        Event::new(Layer::Romio, "cache.retire", EventKind::Begin)
+            .node(node)
+            .field("cause", cause)
+    });
+}
+
+/// Second half, `Draining → Retired`: nothing is pending any more.
+/// The journal gains a [`Record::Retired`] mark — best-effort, since
+/// the journal may live on the very device that failed — so recovery
+/// after a later power loss knows there is nothing to re-queue.
+async fn finish_retire(health: &Cell<Health>, journal: Option<&LocalFile>, node: NodeId) {
+    if health.get() != Health::Draining {
+        return;
+    }
+    if let Some(jnl) = journal {
+        let _ = jnl.append_bytes(&Record::Retired.encode()).await;
+    }
+    health.set(Health::Retired);
+    trace::counter("cache.retired", 1);
+    trace::emit(|| Event::new(Layer::Romio, "cache.retire", EventKind::End).node(node));
+}
+
+/// Move every front-owned byte to the block tier after the NVM front
+/// device of a `hybrid` cache failed. The front itself can no longer
+/// be read, so the bytes are replayed from the resident mirror (the
+/// caller guarantees integrity mode). The front is marked dead and
+/// the volume stays healthy on its block tier.
+async fn spill_front(f: &Rc<Front>, file: &LocalFile, resident: &RefCell<ExtentMap>, node: NodeId) {
+    f.dead.set(true);
+    f.budget.set(0);
+    let owned: Vec<(u64, u64)> = f.map.borrow().iter().map(|(s, e, _)| (s, e - s)).collect();
+    *f.map.borrow_mut() = ExtentMap::new();
+    let mut moved = 0u64;
+    for (o, l) in owned {
+        let truth: Pieces = resident.borrow().lookup(o, l);
+        let _ = file.fallocate(o, l).await;
+        for (range, src) in truth {
+            if let Some(src) = src {
+                let len = range.end - range.start;
+                let _ = file.write(range.start, Payload { src, len }).await;
+            }
+        }
+        moved += l;
+    }
+    trace::counter("cache.front_spill_bytes", moved);
+    trace::emit(|| {
+        Event::new(Layer::Romio, "cache.front_spill", EventKind::Point)
+            .node(node)
+            .field("bytes", moved)
+    });
+}
+
 /// One open file's cache state.
 #[derive(Clone)]
 pub struct CacheLayer {
@@ -607,6 +729,7 @@ impl CacheLayer {
                 } else {
                     u64::MAX
                 }),
+                dead: Cell::new(false),
             }))
         } else if localfs.device().byte_granular() {
             Some(Rc::new(Front {
@@ -616,6 +739,7 @@ impl CacheLayer {
                 separate: false,
                 map: RefCell::new(ExtentMap::new()),
                 budget: Cell::new(u64::MAX),
+                dead: Cell::new(false),
             }))
         } else {
             None
@@ -632,11 +756,20 @@ impl CacheLayer {
         front: Option<Rc<Front>>,
     ) -> Result<CacheLayer, FsError> {
         cfg.ind_wr = cfg.ind_wr.max(1);
+        // The cache's private handle (and every sync-thread clone of
+        // it) bypasses the collective write-epoch fence: cached bytes
+        // were acked with stable content, so their background replay
+        // must land even while a crash-tolerant redo has the fence up.
+        global.set_fence_exempt(true);
         let arbiter = CacheArbiter::of(&localfs);
         arbiter.register(&cfg.job, cfg.hiwater, cfg.lowater, cfg.ind_wr, cfg.node);
         let sync_slots = (cfg.sync_depth > 0).then(|| Semaphore::new(cfg.sync_depth as usize));
-        let inner = Rc::new(CacheInner {
+        let vol = Rc::new(VolState {
+            degraded: Cell::new(false),
+            health: Cell::new(Health::Healthy),
             cache_file_path: cfg.cache_file_path(),
+        });
+        let inner = Rc::new(CacheInner {
             journal_file_path: cfg.journal_file_path(),
             file,
             front,
@@ -651,7 +784,7 @@ impl CacheLayer {
             sync_idle: Rc::new(RefCell::new(None)),
             sync_slots,
             deferred: RefCell::new(Vec::new()),
-            degraded: Rc::new(Cell::new(false)),
+            vol,
             bytes_cached: Cell::new(0),
             bytes_synced: Rc::new(Cell::new(0)),
             sync_errors: Rc::new(Cell::new(0)),
@@ -757,6 +890,7 @@ impl CacheLayer {
                 } else {
                     u64::MAX
                 }),
+                dead: Cell::new(false),
             }))
         } else if localfs.device().byte_granular() {
             Some(Rc::new(Front {
@@ -766,6 +900,7 @@ impl CacheLayer {
                 separate: false,
                 map: RefCell::new(ExtentMap::new()),
                 budget: Cell::new(u64::MAX),
+                dead: Cell::new(false),
             }))
         } else {
             None
@@ -833,6 +968,7 @@ impl CacheLayer {
             requeued_bytes,
             corrupt: corrupt.clone(),
             corrupt_bytes,
+            retired: rep.retired(),
         };
         let layer = Self::assemble(localfs, global, cfg, file, Some(journal_file), front)
             .map_err(RecoverError::Local)?;
@@ -894,7 +1030,8 @@ impl CacheLayer {
         let integrity = self.inner.cfg.integrity;
         let scrub_ms = self.inner.cfg.scrub_ms;
         let resident = Rc::clone(&self.inner.resident);
-        let degraded = Rc::clone(&self.inner.degraded);
+        let vol = Rc::clone(&self.inner.vol);
+        let localfs = self.inner.localfs.clone();
         let int_err = Rc::clone(&self.inner.integrity_error);
         let mismatches = Rc::clone(&self.inner.integrity_mismatches);
         let repairs = Rc::clone(&self.inner.integrity_repairs);
@@ -904,12 +1041,15 @@ impl CacheLayer {
         let pending = Rc::clone(&self.inner.pending_syncs);
         let idle = Rc::clone(&self.inner.sync_idle);
         let task = e10_simcore::spawn(async move {
+            let health = &vol.health;
+            let degraded = &vol.degraded;
             let mut last_scrub = e10_simcore::now();
             // Scratch for the per-chunk read-back; reaches its high-water
             // mark during warm-up and is reused for every later chunk.
             let mut pieces_buf: Pieces = Vec::new();
             while let Some(msg) = rx.recv().await {
                 if integrity
+                    && health.get() == Health::Healthy
                     && scrub_ms > 0
                     && e10_simcore::now() >= last_scrub + SimDuration::from_millis(scrub_ms)
                 {
@@ -934,13 +1074,47 @@ impl CacheLayer {
                 let end = msg.offset + msg.len;
                 let mut pos = msg.offset;
                 while pos < end {
+                    // Degraded-mode survivability: notice a dead cache
+                    // device or a killed sync pipeline before touching
+                    // the chunk — from here on queued extents replay
+                    // from the resident mirror instead of the device.
+                    if health.get() == Health::Healthy
+                        && (localfs.device().failed() || e10_faultsim::sync_thread_killed(node))
+                    {
+                        begin_retire(&vol, &arbiter, &job, managed, &file, node, "device_fail");
+                    }
+                    // A dead hybrid front spills to the block tier when
+                    // the mirror can replay it; without the mirror its
+                    // bytes are unrecoverable and the volume drains.
+                    if health.get() == Health::Healthy {
+                        if let Some(f) = front.as_ref().filter(|f| f.separate && !f.dead.get()) {
+                            if f.fs.device().failed() {
+                                if integrity {
+                                    spill_front(f, &file, &resident, node).await;
+                                } else {
+                                    begin_retire(
+                                        &vol,
+                                        &arbiter,
+                                        &job,
+                                        managed,
+                                        &file,
+                                        node,
+                                        "front_fail",
+                                    );
+                                }
+                            }
+                        }
+                    }
                     // Congestion-aware policy (§III's "synchronisation
                     // could take into account the level of congestion
                     // of the I/O servers"): back off while the storage
                     // targets are saturated by foreground traffic,
                     // unless the application is already waiting on
                     // this request (then drain greedily).
-                    if policy == SyncPolicy::Backoff && !msg.urgent {
+                    if policy == SyncPolicy::Backoff
+                        && !msg.urgent
+                        && health.get() == Health::Healthy
+                    {
                         let mut backoffs = 0;
                         while global.server_load() > 0.7 && backoffs < 1_000 {
                             e10_simcore::sleep(e10_simcore::SimDuration::from_millis(20)).await;
@@ -961,13 +1135,50 @@ impl CacheLayer {
                     // block device for staged chunks, the byte-granular
                     // direct path for front-resident ranges...
                     tier_read_into(&file, front.as_ref(), pos, n, &mut pieces_buf).await;
+                    // Degraded drain: with the volume Draining/Retired
+                    // the device read above cannot be trusted (a dead
+                    // device returns nothing at all). Replay the chunk
+                    // from the checksummed resident mirror when it
+                    // covers the range; whatever neither the mirror nor
+                    // a still-readable tier can produce is genuinely
+                    // lost and is accounted as a sync error — never
+                    // silently skipped.
+                    let mut lost = 0u64;
+                    if health.get() != Health::Healthy {
+                        let covered = integrity && resident.borrow().covered(pos, n);
+                        if covered {
+                            let truth: Pieces = resident.borrow().lookup(pos, n);
+                            pieces_buf.clear();
+                            pieces_buf.extend(truth);
+                            trace::counter("cache.drain_bytes", n);
+                        } else {
+                            let have: u64 = pieces_buf
+                                .iter()
+                                .filter(|(_, s)| s.is_some())
+                                .map(|(r, _)| r.end - r.start)
+                                .sum();
+                            lost = n - have;
+                        }
+                    }
+                    if lost > 0 {
+                        sync_errors.set(sync_errors.get() + 1);
+                        trace::counter("cache.drain_lost_bytes", lost);
+                        trace::emit(|| {
+                            Event::new(Layer::Romio, "cache.drain_loss", EventKind::Point)
+                                .node(node)
+                                .field("offset", pos)
+                                .field("bytes", lost)
+                        });
+                    }
                     // Verify-on-flush: never push unchecked bytes to
                     // the global file. A mismatch walks the re-read →
                     // repair-from-memory ladder; if the device keeps
                     // corrupting, this chunk is still streamed from the
                     // in-memory copy but the cache degrades and the
-                    // failure surfaces as a typed error at flush.
-                    if integrity {
+                    // failure surfaces as a typed error at flush. While
+                    // draining the ladder is moot: the mirror pieces
+                    // *are* the ground truth and the device is gone.
+                    if integrity && health.get() == Health::Healthy {
                         match verify_chunk(&file, front.as_ref(), &resident, pos, n, &pieces_buf)
                             .await
                         {
@@ -1020,7 +1231,7 @@ impl CacheLayer {
                         }
                     }
                     // ...and stream to the global file.
-                    let mut chunk_ok = true;
+                    let mut chunk_ok = lost == 0;
                     for (range, src) in pieces_buf.drain(..) {
                         if let Some(src) = src {
                             let len = range.end - range.start;
@@ -1077,7 +1288,7 @@ impl CacheLayer {
                             if managed {
                                 arbiter.note_freed(&job, freed);
                             }
-                        } else if managed {
+                        } else if managed && health.get() == Health::Healthy {
                             // The chunk stays resident but is globally
                             // persistent: offer it to the arbiter as an
                             // eviction candidate under pressure.
@@ -1109,6 +1320,11 @@ impl CacheLayer {
                 trace::counter("cache.bytes_synced", msg.len);
                 pending.set(pending.get() - 1);
                 if pending.get() == 0 {
+                    // Drain complete: the tier is formally retired and
+                    // the journal (best-effort) records it.
+                    if health.get() == Health::Draining {
+                        finish_retire(health, journal.as_ref(), node).await;
+                    }
                     if let Some(f) = idle.borrow_mut().take() {
                         f.set();
                     }
@@ -1122,7 +1338,33 @@ impl CacheLayer {
 
     /// True once the cache has failed and writes go to the global file.
     pub fn is_degraded(&self) -> bool {
-        self.inner.degraded.get()
+        self.inner.vol.degraded.get()
+    }
+
+    /// Where the volume stands in the device-failure state machine.
+    pub fn health(&self) -> Health {
+        self.inner.vol.health.get()
+    }
+
+    /// Foreground half of the `Healthy → Draining → Retired` walk:
+    /// called when a write-path operation hit a dead device (or
+    /// noticed the sync pipeline was killed). Queued extents keep
+    /// draining in the sync thread; if nothing is pending the tier
+    /// retires on the spot.
+    async fn retire(&self, cause: &'static str) {
+        let i = &self.inner;
+        begin_retire(
+            &i.vol,
+            &i.arbiter,
+            &i.cfg.job,
+            i.cfg.hiwater > 0,
+            &i.file,
+            i.cfg.node,
+            cause,
+        );
+        if i.pending_syncs.get() == 0 {
+            finish_retire(&i.vol.health, i.journal.as_ref(), i.cfg.node).await;
+        }
     }
 
     /// Bytes accepted into the cache so far.
@@ -1148,7 +1390,7 @@ impl CacheLayer {
 
     /// Path of the cache file on `/scratch`.
     pub fn cache_file_path(&self) -> &str {
-        &self.inner.cache_file_path
+        &self.inner.vol.cache_file_path
     }
 
     /// Path of the manifest journal (whether or not one is kept).
@@ -1183,8 +1425,13 @@ impl CacheLayer {
     /// cannot be lured into serving reads at offsets the cache has
     /// never seen.
     pub fn covers(&self, offset: u64, len: u64) -> bool {
+        // A draining/retired tier serves nothing: readers must go to
+        // the global file, which the drain is making complete.
+        if self.inner.vol.health.get() != Health::Healthy {
+            return false;
+        }
         let ext = self.inner.file.extents();
-        let Some(f) = &self.inner.front else {
+        let Some(f) = self.inner.front.as_ref().filter(|f| !f.dead.get()) else {
             if len == 0 {
                 return ext.covered_bytes_in(offset, 1) == 1;
             }
@@ -1253,7 +1500,7 @@ impl CacheLayer {
                 // ground truth this time, but degrade and surface a
                 // typed error so the caller learns the cache is gone.
                 self.note_mismatch("read");
-                self.inner.degraded.set(true);
+                self.inner.vol.degraded.set(true);
                 trace::counter("integrity.degraded", 1);
                 let mut cell = self.inner.integrity_error.borrow_mut();
                 if cell.is_none() {
@@ -1347,7 +1594,7 @@ impl CacheLayer {
     }
 
     async fn write_inner(&self, offset: u64, payload: Payload) -> Result<bool, FsError> {
-        if self.inner.degraded.get() {
+        if self.inner.vol.degraded.get() {
             return Ok(false);
         }
         let len = payload.len;
@@ -1355,6 +1602,15 @@ impl CacheLayer {
         // journal or sync (and no reason to degrade the cache).
         if len == 0 {
             return Ok(true);
+        }
+        // A killed sync pipeline is only observable through the fault
+        // surface (no device op fails): notice it here so the volume
+        // degrades before accepting bytes it could never push.
+        if e10_faultsim::sync_thread_killed(self.inner.cfg.node)
+            && self.inner.vol.health.get() == Health::Healthy
+        {
+            self.retire("sync_thread_kill").await;
+            return Ok(false);
         }
         // Multi-tenant admission. Unmanaged jobs (no watermark hints)
         // skip every arbiter check and pay nothing on this path.
@@ -1368,16 +1624,19 @@ impl CacheLayer {
                 Admission::Refused => return Ok(false),
                 // Reservation exhausted: the job degrades for good.
                 Admission::Exhausted => {
-                    self.inner.degraded.set(true);
+                    self.inner.vol.degraded.set(true);
                     return Ok(false);
                 }
             }
-            epoch = self.inner.arbiter.note_write(&self.inner.cache_file_path);
+            epoch = self
+                .inner
+                .arbiter
+                .note_write(&self.inner.vol.cache_file_path);
             // A rewrite makes overlapping synced extents dirty again —
             // they must stop being eviction candidates right now.
             self.inner
                 .arbiter
-                .invalidate(&self.inner.cache_file_path, offset, len);
+                .invalidate(&self.inner.vol.cache_file_path, offset, len);
             // Admission pre-charged the full write; only the hole
             // bytes this write actually allocates stay charged
             // (computed before the fallocate await so no concurrent
@@ -1391,7 +1650,7 @@ impl CacheLayer {
         // candidates stay exact.
         let mut staged_front = false;
         if !managed {
-            if let Some(f) = &self.inner.front {
+            if let Some(f) = self.inner.front.as_ref().filter(|f| !f.dead.get()) {
                 if len <= self.inner.cfg.nvm_threshold {
                     let fgrow = len - f.map.borrow().covered_bytes_in(offset, len);
                     if f.take_budget(fgrow) {
@@ -1400,6 +1659,28 @@ impl CacheLayer {
                             // Front mount full: overflow to the block
                             // tier below instead of degrading.
                             Err(FsError::NoSpace { .. }) => f.give_budget(fgrow),
+                            // Front device gone. Hybrid with a mirror:
+                            // spill its bytes to the still-healthy
+                            // block tier and stage there. Otherwise
+                            // the front bytes are unrecoverable — the
+                            // whole volume drains.
+                            Err(FsError::DeviceFailed { .. })
+                                if f.separate && self.inner.cfg.integrity =>
+                            {
+                                f.give_budget(fgrow);
+                                spill_front(
+                                    f,
+                                    &self.inner.file,
+                                    &self.inner.resident,
+                                    self.inner.cfg.node,
+                                )
+                                .await;
+                            }
+                            Err(FsError::DeviceFailed { .. }) => {
+                                f.give_budget(fgrow);
+                                self.retire("device_fail").await;
+                                return Ok(false);
+                            }
                             Err(other) => {
                                 f.give_budget(fgrow);
                                 return Err(other);
@@ -1436,7 +1717,14 @@ impl CacheLayer {
                 }
                 match e {
                     FsError::NoSpace { .. } => {
-                        self.inner.degraded.set(true);
+                        self.inner.vol.degraded.set(true);
+                        return Ok(false);
+                    }
+                    // Permanent device failure: drain and degrade to
+                    // write-through — the caller re-issues this extent
+                    // through the global file.
+                    FsError::DeviceFailed { .. } => {
+                        self.retire("device_fail").await;
                         return Ok(false);
                     }
                     other => return Err(other),
@@ -1459,9 +1747,15 @@ impl CacheLayer {
                     .borrow_mut()
                     .insert(offset, len, payload.src.clone());
             }
-            self.inner.file.write(offset, payload).await?;
+            if let Err(e) = self.inner.file.write(offset, payload).await {
+                if matches!(e, FsError::DeviceFailed { .. }) {
+                    self.retire("device_fail").await;
+                    return Ok(false);
+                }
+                return Err(e);
+            }
             // A block-tier overwrite supersedes any front-tier copy.
-            if let Some(f) = &self.inner.front {
+            if let Some(f) = self.inner.front.as_ref().filter(|f| !f.dead.get()) {
                 f.release(offset, len).await;
             }
         }
@@ -1469,14 +1763,26 @@ impl CacheLayer {
         // completed, and the application's write does not return before
         // the append: every acknowledged byte is in the journal.
         if let Some(jnl) = &self.inner.journal {
-            jnl.append_bytes(&Record::Add { offset, len }.encode())
-                .await?;
+            let mut recs = jnl
+                .append_bytes(&Record::Add { offset, len }.encode())
+                .await;
             // Format v2: pair the Add with the extent's write-time
             // digest so post-crash recovery can verify staged bytes.
-            if self.inner.cfg.integrity {
+            if recs.is_ok() && self.inner.cfg.integrity {
                 let digest = self.inner.resident.borrow().digest(offset, len);
-                jnl.append_bytes(&Record::Cksum { offset, digest }.encode())
-                    .await?;
+                recs = jnl
+                    .append_bytes(&Record::Cksum { offset, digest }.encode())
+                    .await;
+            }
+            if let Err(e) = recs {
+                // A dead journal device leaves the acked byte un-
+                // manifested: stop trusting the tier and have the
+                // caller re-issue through the global file.
+                if matches!(e, FsError::DeviceFailed { .. }) {
+                    self.retire("device_fail").await;
+                    return Ok(false);
+                }
+                return Err(e);
             }
         }
         self.inner
@@ -1522,7 +1828,7 @@ impl CacheLayer {
                     // Sync thread already gone (write raced a close):
                     // degrade so the caller re-issues this extent
                     // through the global file.
-                    self.inner.degraded.set(true);
+                    self.inner.vol.degraded.set(true);
                     return Ok(false);
                 }
             }
@@ -1616,13 +1922,19 @@ impl CacheLayer {
         if self.inner.cfg.discard {
             // Candidates must go before the unlink: punching an extent
             // of an unlinked file would double-free volume accounting.
-            self.inner.arbiter.release_file(&self.inner.cache_file_path);
+            self.inner
+                .arbiter
+                .release_file(&self.inner.vol.cache_file_path);
             let remaining = if self.inner.cfg.hiwater > 0 {
                 self.inner.file.extents().covered_bytes()
             } else {
                 0
             };
-            let _ = self.inner.localfs.unlink(&self.inner.cache_file_path).await;
+            let _ = self
+                .inner
+                .localfs
+                .unlink(&self.inner.vol.cache_file_path)
+                .await;
             self.inner
                 .arbiter
                 .note_freed(&self.inner.cfg.job, remaining);
@@ -2507,6 +2819,212 @@ mod tests {
             assert!(global.extents().verify_gen(7, 4 << 20, 2 << 20).is_ok());
             rec.close().await.unwrap();
         });
+    }
+
+    fn failover_cfg(name: &str) -> CacheConfig {
+        let mut c = CacheConfig::new("/scratch", name, 0, 0);
+        c.integrity = true;
+        c.journal = true;
+        c.flush_flag = FlushFlag::FlushOnClose;
+        c
+    }
+
+    fn fail_ssd_at(ms: u64) -> e10_faultsim::FaultGuard {
+        e10_faultsim::FaultSchedule::install(e10_faultsim::FaultPlan::new(1).device_fail(
+            0,
+            e10_faultsim::DeviceClass::Ssd,
+            e10_simcore::SimTime::ZERO + SimDuration::from_millis(ms),
+        ))
+    }
+
+    #[test]
+    fn device_failure_drains_unsynced_to_global_and_retires() {
+        run(async {
+            let _g = fail_ssd_at(500);
+            let tb = TestbedSpec::small(2, 1).build();
+            let global = tb.pfs.create(0, "/gfs/df", Striping::default()).await;
+            let layer = CacheLayer::open(tb.localfs[0].clone(), global.clone(), failover_cfg("df"))
+                .await
+                .unwrap();
+            layer.write(0, Payload::gen(31, 0, 1 << 20)).await.unwrap();
+            layer
+                .write(4 << 20, Payload::gen(31, 4 << 20, 1 << 20))
+                .await
+                .unwrap();
+            assert_eq!(layer.health(), Health::Healthy);
+            // The SSD goes dark with both extents acked but unsynced.
+            e10_simcore::sleep(SimDuration::from_secs(1)).await;
+            // Flush replays them straight from the resident mirror:
+            // nothing is lost, so the flush itself succeeds.
+            layer.flush().await.unwrap();
+            assert_eq!(layer.health(), Health::Retired);
+            assert!(layer.is_degraded());
+            assert!(global.extents().verify_gen(31, 0, 1 << 20).is_ok());
+            assert!(global.extents().verify_gen(31, 4 << 20, 1 << 20).is_ok());
+            // The retired tier serves nothing and admits nothing.
+            assert!(!layer.covers(0, 1));
+            assert!(!layer.write(8 << 20, Payload::zero(4096)).await.unwrap());
+            layer.close().await.unwrap();
+        });
+    }
+
+    #[test]
+    fn device_failure_without_mirror_surfaces_sync_failed() {
+        run(async {
+            let _g = fail_ssd_at(500);
+            let tb = TestbedSpec::small(2, 1).build();
+            let global = tb.pfs.create(0, "/gfs/dl", Striping::default()).await;
+            let mut c = CacheConfig::new("/scratch", "dl", 0, 0);
+            c.flush_flag = FlushFlag::FlushOnClose; // staged, unsynced
+            let layer = CacheLayer::open(tb.localfs[0].clone(), global.clone(), c)
+                .await
+                .unwrap();
+            layer.write(0, Payload::gen(32, 0, 1 << 20)).await.unwrap();
+            e10_simcore::sleep(SimDuration::from_secs(1)).await;
+            // No integrity mirror: the staged bytes are unrecoverable.
+            // The flush must say so — a typed error, not a silent skip.
+            match layer.flush().await {
+                Err(Error::SyncFailed { failures }) => assert!(failures >= 1),
+                other => panic!("expected SyncFailed, got {other:?}"),
+            }
+            assert_eq!(layer.health(), Health::Retired);
+            assert!(!global.extents().covered(0, 1));
+        });
+    }
+
+    #[test]
+    fn sync_thread_kill_drains_live_device_and_journals_retired() {
+        run(async {
+            let _g = e10_faultsim::FaultSchedule::install(
+                e10_faultsim::FaultPlan::new(1).sync_thread_kill(
+                    0,
+                    e10_simcore::SimTime::ZERO + SimDuration::from_millis(500),
+                ),
+            );
+            let tb = TestbedSpec::small(2, 1).build();
+            let global = tb.pfs.create(0, "/gfs/sk", Striping::default()).await;
+            let mut c = CacheConfig::new("/scratch", "sk", 0, 0);
+            c.journal = true;
+            c.flush_flag = FlushFlag::FlushOnClose;
+            let layer = CacheLayer::open(tb.localfs[0].clone(), global.clone(), c.clone())
+                .await
+                .unwrap();
+            layer.write(0, Payload::gen(33, 0, 1 << 20)).await.unwrap();
+            e10_simcore::sleep(SimDuration::from_secs(1)).await;
+            // The kill is noticed on the next write, which degrades to
+            // write-through before accepting bytes it could never push.
+            assert!(!layer.write(4 << 20, Payload::zero(4096)).await.unwrap());
+            // The device itself is fine, so the drain reads the staged
+            // extent back and pushes it: nothing is lost.
+            layer.flush().await.unwrap();
+            assert_eq!(layer.health(), Health::Retired);
+            assert!(global.extents().verify_gen(33, 0, 1 << 20).is_ok());
+            // The journal device is alive too: the Retired mark is
+            // durable, so a later power-loss recovery re-queues nothing.
+            drop(layer);
+            let (rec, report) = CacheLayer::recover(tb.localfs[0].clone(), global.clone(), c)
+                .await
+                .unwrap();
+            assert!(report.retired);
+            assert!(report.requeued.is_empty());
+            rec.close().await.unwrap();
+        });
+    }
+
+    #[test]
+    fn hybrid_front_failure_spills_to_block_tier_and_stays_healthy() {
+        run(async {
+            let _g =
+                e10_faultsim::FaultSchedule::install(e10_faultsim::FaultPlan::new(1).device_fail(
+                    0,
+                    e10_faultsim::DeviceClass::Nvm,
+                    e10_simcore::SimTime::ZERO + SimDuration::from_millis(500),
+                ));
+            let tb = TestbedSpec::small(2, 1).build();
+            let global = tb.pfs.create(0, "/gfs/fs", Striping::default()).await;
+            let mut c = CacheConfig::new("/scratch", "fs", 0, 0);
+            c.integrity = true;
+            let layer = CacheLayer::open_with_front(
+                tb.localfs[0].clone(),
+                Some(tb.nvmfs[0].clone()),
+                global.clone(),
+                c,
+            )
+            .await
+            .unwrap();
+            layer.write(0, Payload::gen(34, 0, 64 << 10)).await.unwrap();
+            assert_eq!(layer.front_bytes(), 64 << 10);
+            e10_simcore::sleep(SimDuration::from_secs(1)).await;
+            // The next small write finds the NVM front dead, spills the
+            // front-owned bytes to the SSD block tier from the mirror,
+            // and stages there — the volume keeps caching.
+            assert!(layer
+                .write(1 << 20, Payload::gen(34, 1 << 20, 16 << 10))
+                .await
+                .unwrap());
+            assert_eq!(layer.front_bytes(), 0);
+            assert_eq!(layer.health(), Health::Healthy);
+            assert!(!layer.is_degraded());
+            assert!(layer.covers(0, 64 << 10));
+            layer.flush().await.unwrap();
+            assert!(global.extents().verify_gen(34, 0, 64 << 10).is_ok());
+            assert!(global.extents().verify_gen(34, 1 << 20, 16 << 10).is_ok());
+            layer.close().await.unwrap();
+        });
+    }
+
+    /// Satellite property: **Draining never drops an acked-but-unsynced
+    /// byte.** Across seeded failure instants that land before, between
+    /// and after a stream of cached writes, the union of what the sync
+    /// path pushed and what the caller re-issued write-through equals
+    /// the full write history — verified byte-exactly in the global
+    /// file. The mirror (integrity mode) is what makes the staged
+    /// extents replayable once the device is gone.
+    #[test]
+    fn property_draining_never_drops_an_acked_unsynced_byte() {
+        for seed in 0..8u64 {
+            e10_simcore::run(async move {
+                // Failure instants sweep the whole write window.
+                let fail_ms = 1 + (seed * 41) % 260;
+                let _g = fail_ssd_at(fail_ms);
+                let tb = TestbedSpec::small(2, 1).build();
+                let global = tb.pfs.create(0, "/gfs/pd", Striping::default()).await;
+                let mut c = failover_cfg("pd");
+                c.flush_flag = FlushFlag::FlushImmediate;
+                let layer = CacheLayer::open(tb.localfs[0].clone(), global.clone(), c)
+                    .await
+                    .unwrap();
+                let mut extents = Vec::new();
+                for i in 0..12u64 {
+                    let off = i * (1 << 20);
+                    let len = (32 << 10) + (((seed + i) % 4) << 16);
+                    extents.push((off, len));
+                    let cached = layer.write(off, Payload::gen(35, off, len)).await.unwrap();
+                    if !cached {
+                        // What AdioFile does on a degraded cache: the
+                        // acked byte goes straight to the global file.
+                        global
+                            .write(0, off, Payload::gen(35, off, len))
+                            .await
+                            .unwrap();
+                    }
+                    e10_simcore::sleep(SimDuration::from_millis(17 + seed)).await;
+                }
+                // Every queued extent is mirror-covered, so the drain
+                // loses nothing and the flush reports clean.
+                layer.flush().await.unwrap();
+                layer.close().await.unwrap();
+                assert_ne!(layer.health(), Health::Draining, "seed {seed}: drain stuck");
+                for (off, len) in extents {
+                    global
+                        .extents()
+                        .verify_gen(35, off, len)
+                        .unwrap_or_else(|e| {
+                            panic!("seed {seed} fail_ms {fail_ms}: lost acked bytes: {e:?}")
+                        });
+                }
+            });
+        }
     }
 
     #[test]

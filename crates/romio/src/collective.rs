@@ -235,6 +235,12 @@ pub(crate) fn compute_domains(
 /// (described by `data`) through its file `view`, dispatched on the
 /// `e10_two_phase` hint.
 pub async fn write_at_all(fd: &AdioFile, view: &FileView, data: &DataSpec) -> WriteAllResult {
+    if fd.hints().e10_coll_timeout > 0 {
+        // Crash tolerance requested: the ULFM-shaped engine, which
+        // handles all two-phase variants itself. The default (0) stays
+        // on this single comparison — stock behaviour, stock goldens.
+        return crate::tolerant::write_at_all_tolerant(fd, view, data).await;
+    }
     match fd.hints().two_phase {
         TwoPhaseAlgo::NodeAgg => crate::node_agg::write_at_all_node_agg(fd, view, data).await,
         algo => write_at_all_flat(fd, view, data, algo).await,

@@ -396,6 +396,23 @@ pub struct RomioHints {
     /// `e10_two_phase` (extension): which collective-write algorithm
     /// runs — `stock`, `extended` (default) or `node_agg`.
     pub two_phase: TwoPhaseAlgo,
+    /// `e10_coll_timeout` (extension): send/recv timeout, in simulated
+    /// milliseconds, after which a rank participating in a collective
+    /// declares its peer dead and enters the shrink/agree recovery
+    /// protocol. `0` (the default) disables mid-collective crash
+    /// tolerance entirely — a dead peer hangs the collective, exactly
+    /// the pre-tolerance behaviour (the determinism anchor relies on
+    /// this).
+    pub e10_coll_timeout: u64,
+    /// `e10_pfs_max_retries` (extension): client-side retries after a
+    /// failed PFS I/O RPC before the operation surfaces a typed error.
+    /// `None` (the default) uses the file system's own configuration.
+    pub e10_pfs_max_retries: Option<u32>,
+    /// `e10_pfs_retry_base_us` (extension): base client backoff, in
+    /// simulated microseconds, after a failed PFS RPC (doubles per
+    /// attempt, jitter-stretched). `None` (the default) uses the file
+    /// system's own configuration.
+    pub e10_pfs_retry_base_us: Option<u64>,
     /// `e10_trace` (extension): structured-trace destination.
     pub e10_trace: TraceMode,
     /// `e10_trace_path` (extension): directory for `jsonl` traces
@@ -435,6 +452,9 @@ impl Default for RomioHints {
             e10_nvm_threshold: 1 << 20,
             e10_cache_sync_depth: 0,
             two_phase: TwoPhaseAlgo::Extended,
+            e10_coll_timeout: 0,
+            e10_pfs_max_retries: None,
+            e10_pfs_retry_base_us: None,
             e10_trace: TraceMode::Off,
             e10_trace_path: "results/traces".to_string(),
         }
@@ -805,6 +825,30 @@ impl RomioHintsBuilder {
         self
     }
 
+    /// `e10_coll_timeout` in milliseconds (`0` disables crash
+    /// tolerance).
+    pub fn e10_coll_timeout(mut self, ms: u64) -> Self {
+        self.hints.e10_coll_timeout = ms;
+        self
+    }
+
+    /// `e10_pfs_max_retries` (retries after the initial attempt).
+    pub fn e10_pfs_max_retries(mut self, retries: u32) -> Self {
+        self.hints.e10_pfs_max_retries = Some(retries);
+        self
+    }
+
+    /// `e10_pfs_retry_base_us` in microseconds (must be positive — a
+    /// zero base would collapse the exponential backoff).
+    pub fn e10_pfs_retry_base_us(mut self, us: u64) -> Self {
+        if us == 0 {
+            self.invalid("e10_pfs_retry_base_us", us, "positive integer microseconds");
+        } else {
+            self.hints.e10_pfs_retry_base_us = Some(us);
+        }
+        self
+    }
+
     /// `e10_trace`.
     pub fn e10_trace(mut self, mode: TraceMode) -> Self {
         self.hints.e10_trace = mode;
@@ -980,6 +1024,21 @@ impl RomioHintsBuilder {
                 "non-negative extent count",
                 e10_cache_sync_depth
             ),
+            "e10_coll_timeout" => or_invalid!(
+                value.trim().parse::<u64>().ok(),
+                "non-negative integer milliseconds",
+                e10_coll_timeout
+            ),
+            "e10_pfs_max_retries" => or_invalid!(
+                value.trim().parse::<u32>().ok(),
+                "non-negative retry count",
+                e10_pfs_max_retries
+            ),
+            "e10_pfs_retry_base_us" => or_invalid!(
+                value.trim().parse::<u64>().ok().filter(|&n| n > 0),
+                "positive integer microseconds",
+                e10_pfs_retry_base_us
+            ),
             "e10_trace" => or_invalid!(TraceMode::parse(value), "off|ring|jsonl", e10_trace),
             "e10_trace_path" => or_invalid!(
                 Some(value).filter(|v| !v.is_empty()),
@@ -1139,6 +1198,13 @@ impl RomioHints {
             "e10_cache_sync_depth".into(),
             self.e10_cache_sync_depth.to_string(),
         ));
+        out.push(("e10_coll_timeout".into(), self.e10_coll_timeout.to_string()));
+        if let Some(n) = self.e10_pfs_max_retries {
+            out.push(("e10_pfs_max_retries".into(), n.to_string()));
+        }
+        if let Some(n) = self.e10_pfs_retry_base_us {
+            out.push(("e10_pfs_retry_base_us".into(), n.to_string()));
+        }
         out.push(("e10_trace".into(), self.e10_trace.as_str().into()));
         out.push(("e10_trace_path".into(), self.e10_trace_path.clone()));
         out
@@ -1369,6 +1435,42 @@ mod tests {
         assert_eq!(d.cb_config_max_per_node, None);
         assert!(!d.e10_cache_journal);
         assert_eq!(d.e10_cache_journal_path, None);
+    }
+
+    #[test]
+    fn degraded_mode_hints_parse_validate_and_default_off() {
+        let info = Info::from_pairs([
+            ("e10_coll_timeout", "500"),
+            ("e10_pfs_max_retries", "2"),
+            ("e10_pfs_retry_base_us", "750"),
+        ]);
+        let h = RomioHints::parse(&info).unwrap();
+        assert_eq!(h.e10_coll_timeout, 500);
+        assert_eq!(h.e10_pfs_max_retries, Some(2));
+        assert_eq!(h.e10_pfs_retry_base_us, Some(750));
+
+        for (k, v) in [
+            ("e10_coll_timeout", "soon"),
+            ("e10_coll_timeout", "-1"),
+            ("e10_pfs_max_retries", "-1"),
+            ("e10_pfs_max_retries", "many"),
+            ("e10_pfs_retry_base_us", "0"),
+            ("e10_pfs_retry_base_us", "2ms"),
+        ] {
+            let info = Info::from_pairs([(k, v)]);
+            assert!(RomioHints::parse(&info).is_err(), "{k}={v} must fail");
+        }
+        // The typed zero-base rejection matches the string path.
+        assert!(RomioHints::builder()
+            .e10_pfs_retry_base_us(0)
+            .build()
+            .is_err());
+
+        // Defaults: tolerance off, file-system retry policy untouched.
+        let d = RomioHints::default();
+        assert_eq!(d.e10_coll_timeout, 0);
+        assert_eq!(d.e10_pfs_max_retries, None);
+        assert_eq!(d.e10_pfs_retry_base_us, None);
     }
 
     #[test]

@@ -61,6 +61,13 @@ pub enum Record {
         /// Punched length in bytes.
         len: u64,
     },
+    /// The cache tier was retired after a permanent device failure
+    /// (format version 4): the health state machine drained every
+    /// unsynced extent straight to the global file and abandoned the
+    /// volume. Recovery after a later power loss must not re-queue
+    /// anything — the tier is gone and the drain already made the data
+    /// durable. Both words are reserved (zero).
+    Retired,
 }
 
 impl Record {
@@ -70,6 +77,7 @@ impl Record {
             Record::Synced { offset, len } => (2, offset, len),
             Record::Cksum { offset, digest } => (3, offset, digest),
             Record::Evicted { offset, len } => (4, offset, len),
+            Record::Retired => (5, 0, 0),
         }
     }
 
@@ -107,6 +115,7 @@ impl Record {
                 digest: len,
             }),
             4 => Some(Record::Evicted { offset, len }),
+            5 => Some(Record::Retired),
             _ => None,
         }
     }
@@ -126,16 +135,28 @@ impl Replay {
     /// the set recovery must push to the global file.
     pub fn unsynced(&self) -> Vec<(u64, u64)> {
         let mut map = e10_storesim::ExtentMap::new();
+        if self.retired() {
+            // A retired tier was drained in full before the Retired
+            // record was appended: nothing is recoverable (or needs to
+            // be) from this volume.
+            return Vec::new();
+        }
         for r in &self.records {
             match *r {
                 Record::Add { offset, len } => map.insert(offset, len, e10_storesim::Source::Zero),
                 Record::Synced { offset, len } => map.remove(offset, len),
-                Record::Cksum { .. } | Record::Evicted { .. } => {}
+                Record::Cksum { .. } | Record::Evicted { .. } | Record::Retired => {}
             }
         }
         map.iter()
             .map(|(start, end, _)| (start, end - start))
             .collect()
+    }
+
+    /// True if the journal records the tier's retirement (a permanent
+    /// device failure whose drain already completed).
+    pub fn retired(&self) -> bool {
+        self.records.iter().any(|r| matches!(r, Record::Retired))
     }
 
     /// Latest recorded data digest per extent offset (format v2; empty
@@ -336,6 +357,41 @@ mod tests {
         let rep = replay(&log);
         assert!(!rep.torn);
         assert!(rep.unsynced().is_empty());
+    }
+
+    #[test]
+    fn retired_records_roundtrip_and_empty_the_unsynced_set() {
+        assert_eq!(
+            Record::decode(&Record::Retired.encode()),
+            Some(Record::Retired)
+        );
+        // A tier that failed mid-sync: one extent still unsynced when
+        // the drain ran and the Retired record landed. Replay must
+        // report retirement and re-queue nothing — the drain already
+        // pushed the bytes to the global file.
+        let mut log = Vec::new();
+        for r in [
+            Record::Add {
+                offset: 0,
+                len: 1024,
+            },
+            Record::Synced {
+                offset: 0,
+                len: 512,
+            },
+            Record::Retired,
+        ] {
+            log.extend_from_slice(&r.encode());
+        }
+        let rep = replay(&log);
+        assert!(!rep.torn);
+        assert!(rep.retired());
+        assert!(rep.unsynced().is_empty());
+        // Without the Retired record the same journal re-queues the
+        // tail, pinning that retirement is what empties the set.
+        let rep = replay(&log[..2 * RECORD_LEN]);
+        assert!(!rep.retired());
+        assert_eq!(rep.unsynced(), vec![(512, 512)]);
     }
 
     #[test]

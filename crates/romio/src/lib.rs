@@ -44,11 +44,12 @@ pub mod node_agg;
 pub mod profile;
 pub mod sieve;
 pub mod testbed;
+pub mod tolerant;
 
 pub use adio::{AdioError, AdioFile, DataSpec};
 pub use arbiter::{job_family, Admission, CacheArbiter};
 pub use baselines::{group_of, write_at_all_multifile, write_at_all_partitioned};
-pub use cache::{CacheConfig, CacheLayer, RecoverError, RecoveryReport};
+pub use cache::{CacheConfig, CacheLayer, Health, RecoverError, RecoveryReport};
 pub use collective::{write_at_all, WriteAllResult};
 pub use collective_read::{read_at_all, ReadAllResult, ReadPiece};
 pub use error::Error;

@@ -53,7 +53,7 @@ use crate::profile::Phase;
 const GATHER_TAG: Tag = 0x3000_0000;
 
 /// The node's aggregated request list, held by the node leader.
-struct MergedNode {
+pub(crate) struct MergedNode {
     /// Merged `(file_offset, payload)` pieces, sorted by offset.
     pieces: Vec<(u64, Payload)>,
     /// Prefix maximum of merged piece end offsets (window stabbing).
@@ -75,7 +75,7 @@ fn prefix_max(ends: impl Iterator<Item = u64>) -> Vec<u64> {
 }
 
 impl MergedNode {
-    fn new(pieces: Vec<(u64, Payload)>, raw: Vec<(u64, u64, usize)>) -> MergedNode {
+    pub(crate) fn new(pieces: Vec<(u64, Payload)>, raw: Vec<(u64, u64, usize)>) -> MergedNode {
         let pmax = prefix_max(pieces.iter().map(|&(off, ref p)| off + p.len));
         let rmax = prefix_max(raw.iter().map(|&(off, len, _)| off + len));
         MergedNode {
@@ -87,7 +87,7 @@ impl MergedNode {
     }
 
     /// Total payload bytes of the aggregated request.
-    fn total_bytes(&self) -> u64 {
+    pub(crate) fn total_bytes(&self) -> u64 {
         self.pieces.iter().map(|(_, p)| p.len).sum()
     }
 
@@ -97,7 +97,7 @@ impl MergedNode {
     /// the extended algorithm) and raw pieces the window's data came
     /// from. `origins` is caller-owned scratch for the distinct-rank
     /// count, so per-round window queries allocate nothing.
-    fn window_into(
+    pub(crate) fn window_into(
         &self,
         lo: u64,
         hi: u64,
@@ -189,7 +189,7 @@ async fn gather_to_leader(
 /// Stage the leader's aggregated buffer into the node-local cache
 /// device (paper §III: the pre-phase feeds the E10 NVM directly).
 /// Best-effort: a full or failing device just skips the staging.
-async fn stage_into_cache(fd: &AdioFile, merged: &MergedNode) {
+pub(crate) async fn stage_into_cache(fd: &AdioFile, merged: &MergedNode) {
     if !fd.cache_active() {
         return;
     }

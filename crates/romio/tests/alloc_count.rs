@@ -34,7 +34,11 @@ fn install_bt_hook() {
 
 /// A fixed 8-rank interleaved collective write; `blocks` interleaved
 /// 10 KB blocks per rank (rounds scale with it). Returns rounds.
-fn collective_write_scenario(blocks: u64, cache: bool) -> u64 {
+/// With `degraded_hints` the three degraded-mode knobs are set
+/// *explicitly at their default values* (`e10_coll_timeout = 0`,
+/// `e10_pfs_max_retries = 4`, `e10_pfs_retry_base_us = 2000`): parsing
+/// and wiring them must not wake any of the tolerance machinery.
+fn collective_write_scenario(blocks: u64, cache: bool, degraded_hints: bool) -> u64 {
     use e10_mpisim::{FlatType, Info};
     use std::cell::Cell;
     use std::rc::Rc;
@@ -68,6 +72,11 @@ fn collective_write_scenario(blocks: u64, cache: bool) -> u64 {
                         // zero-allocation steady state well-defined.
                         info.set("e10_cache_sync_depth", "4");
                     }
+                    if degraded_hints {
+                        info.set("e10_coll_timeout", "0");
+                        info.set("e10_pfs_max_retries", "4");
+                        info.set("e10_pfs_retry_base_us", "2000");
+                    }
                     let f = e10_romio::AdioFile::open(&ctx, "/gfs/alloc", &info, true)
                         .await
                         .unwrap();
@@ -98,8 +107,8 @@ fn collective_write_scenario(blocks: u64, cache: bool) -> u64 {
 fn collective_write_allocation_budget() {
     // Warm-up outside the counted window (lazy statics, first-touch
     // buffers), then the measured run.
-    collective_write_scenario(16, false);
-    let (n, _) = alloc_gauge::count(|| collective_write_scenario(16, false));
+    collective_write_scenario(16, false, false);
+    let (n, _) = alloc_gauge::count(|| collective_write_scenario(16, false, false));
     println!("collective_write_scenario allocator calls: {n}");
     // Seed (pre-optimisation) count: see CHANGES.md. The ceiling is
     // well above the optimised count; a reintroduced per-round clone
@@ -115,9 +124,9 @@ fn steady_state_rounds_allocate_nothing() {
     install_bt_hook();
     for cache in [false, true] {
         // Warm-up run (lazy statics, thread-locals).
-        collective_write_scenario(16, cache);
-        let (a1, r1) = alloc_gauge::count(|| collective_write_scenario(16, cache));
-        let (a2, r2) = alloc_gauge::count(|| collective_write_scenario(32, cache));
+        collective_write_scenario(16, cache, false);
+        let (a1, r1) = alloc_gauge::count(|| collective_write_scenario(16, cache, false));
+        let (a2, r2) = alloc_gauge::count(|| collective_write_scenario(32, cache, false));
         assert!(r2 > r1, "round doubling failed: {r1} vs {r2}");
         let marginal = (a2 as i64 - a1 as i64) as f64 / (r2 - r1) as f64;
         println!(
@@ -126,6 +135,31 @@ fn steady_state_rounds_allocate_nothing() {
         assert_eq!(
             a2, a1,
             "steady-state rounds must not allocate (cache={cache}): \
+             {a1} allocs over {r1} rounds vs {a2} over {r2} ({marginal:.2}/round)"
+        );
+    }
+}
+
+/// The same steady-state gate with the degraded-mode hints explicitly
+/// at their defaults: crash tolerance off (`e10_coll_timeout = 0`) and
+/// the PFS retry policy pinned to its built-in values. The tolerance
+/// machinery must add exactly zero allocator calls per round when off.
+#[test]
+fn steady_state_with_tolerance_hints_off_allocates_nothing() {
+    install_bt_hook();
+    for cache in [false, true] {
+        collective_write_scenario(16, cache, true);
+        let (a1, r1) = alloc_gauge::count(|| collective_write_scenario(16, cache, true));
+        let (a2, r2) = alloc_gauge::count(|| collective_write_scenario(32, cache, true));
+        assert!(r2 > r1, "round doubling failed: {r1} vs {r2}");
+        let marginal = (a2 as i64 - a1 as i64) as f64 / (r2 - r1) as f64;
+        println!(
+            "cache={cache} degraded-hints: rounds {r1}->{r2}, allocs {a1}->{a2}, \
+             marginal {marginal:.2}/round"
+        );
+        assert_eq!(
+            a2, a1,
+            "tolerance machinery at defaults must not allocate (cache={cache}): \
              {a1} allocs over {r1} rounds vs {a2} over {r2} ({marginal:.2}/round)"
         );
     }

@@ -312,6 +312,22 @@ impl DeviceModel {
     pub fn byte_granular(&self) -> bool {
         matches!(self, DeviceModel::Nvm(_))
     }
+
+    /// The fault-surface class of this device (what a
+    /// [`e10_faultsim::FaultSpec::DeviceFail`] spec matches on).
+    pub fn fault_class(&self) -> e10_faultsim::DeviceClass {
+        match self {
+            DeviceModel::Ssd(_) => e10_faultsim::DeviceClass::Ssd,
+            DeviceModel::Nvm(_) => e10_faultsim::DeviceClass::Nvm,
+        }
+    }
+
+    /// True if a planned permanent failure of this device has fired:
+    /// every subsequent command must be refused with a typed error by
+    /// the layer above (the local file system).
+    pub fn failed(&self) -> bool {
+        e10_faultsim::device_failed(self.node(), self.fault_class())
+    }
 }
 
 #[cfg(test)]

@@ -20,7 +20,8 @@ pub mod ior;
 pub mod multi_job;
 
 pub use chaos::{
-    chaos_case, random_plan, shrink_plan, ChaosCase, ChaosReport, ChaosVerdict, ChaosWorkload,
+    chaos_case, probe_with_plan, random_plan, shrink_plan, spec_kind, ChaosCase, ChaosReport,
+    ChaosVerdict, ChaosWorkload,
 };
 pub use collperf::CollPerf;
 pub use crash::{run_crash_recovery, CrashConfig, CrashConfigError, CrashOutcome};

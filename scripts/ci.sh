@@ -49,6 +49,15 @@
 #      baseline's tolerance factor, and the JSON minus the
 #      wall-clock/host fields must be byte-identical at --jobs 1
 #      and --jobs 8
+#  12. degraded smoke: the failure-intensity × cache-class ×
+#      algorithm survivability grid; the binary gates on every cell
+#      verifying all acked bytes (device failure, mid-collective node
+#      crash, both), on the zero-failure arms being byte-identical
+#      with the crash-tolerant engine forced on, and the JSON (minus
+#      host_secs) must be byte-identical at E10_JOBS=1 and E10_JOBS=8.
+#      The zero-cost-when-off half of the gate is the alloc_count
+#      steady-state test in step 2 (tolerance hints at defaults add
+#      exactly 0 allocator calls per round).
 #
 # Each step prints its wall-clock seconds.
 set -euo pipefail
@@ -147,5 +156,20 @@ grep -Ev "$STRIP" target/ci-bench-perf-8.json \
   > target/ci-bench-perf-8.stripped.json
 cmp target/ci-bench-perf-1.stripped.json target/ci-bench-perf-8.stripped.json
 echo "    [$(($SECONDS - t0))s] bench_perf smoke"
+
+echo "==> degraded smoke (survivability gate + E10_JOBS=1 vs 8 byte-identity)"
+t0=$SECONDS
+E10_JOBS=1 cargo run --release -q -p e10-bench --bin degraded -- --smoke --json \
+  --out - > target/ci-degraded-1.json
+E10_JOBS=8 cargo run --release -q -p e10-bench --bin degraded -- --smoke --json \
+  --out - > target/ci-degraded-8.json
+# host_secs is the only wall-clock field; verdicts, injection counts
+# and file digests must not depend on the worker count.
+sed 's/"host_secs":[^,]*,//' target/ci-degraded-1.json \
+  > target/ci-degraded-1.stripped.json
+sed 's/"host_secs":[^,]*,//' target/ci-degraded-8.json \
+  > target/ci-degraded-8.stripped.json
+cmp target/ci-degraded-1.stripped.json target/ci-degraded-8.stripped.json
+echo "    [$(($SECONDS - t0))s] degraded smoke"
 
 echo "==> ci: all green"
